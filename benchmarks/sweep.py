@@ -1,0 +1,86 @@
+"""Shared sweep driver for the Figure 13 / Figure 14 experiments.
+
+Runs the random join-graph workload (chain plus extra edges) through the
+plan generator under both ordering backends and aggregates the paper's
+measures.  Results are memoized per process so the two benchmark files can
+share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import bench_full
+from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+from repro.workloads import GeneratorConfig, random_join_query
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements for one (n, extra_edges) configuration."""
+
+    n: int
+    extra_edges: int
+    queries: int
+    simmen_t_ms: float = 0.0
+    simmen_plans: float = 0.0
+    simmen_bytes: float = 0.0
+    fsm_t_ms: float = 0.0
+    fsm_plans: float = 0.0
+    fsm_bytes: float = 0.0
+    fsm_dfsm_bytes: float = 0.0
+    mismatched_costs: int = 0
+
+    @property
+    def edge_label(self) -> str:
+        return {0: "n-1", 1: "n+0", 2: "n+1"}.get(self.extra_edges + 0, "?")
+
+    @property
+    def simmen_us_per_plan(self) -> float:
+        return 1000.0 * self.simmen_t_ms / max(self.simmen_plans, 1.0)
+
+    @property
+    def fsm_us_per_plan(self) -> float:
+        return 1000.0 * self.fsm_t_ms / max(self.fsm_plans, 1.0)
+
+
+_CACHE: dict[tuple, list[SweepPoint]] = {}
+
+
+def sweep_grid() -> tuple[tuple[int, ...], tuple[int, ...], int]:
+    """(relation counts, extra-edge counts, seeds per configuration)."""
+    if bench_full():
+        return (5, 6, 7, 8, 9, 10), (0, 1, 2), 10
+    return (5, 6, 7, 8), (0, 1, 2), 3
+
+
+def run_sweep() -> list[SweepPoint]:
+    """Run (or fetch) the full sweep."""
+    grid = sweep_grid()
+    cached = _CACHE.get(grid)
+    if cached is not None:
+        return cached
+
+    sizes, extras, seeds = grid
+    points: list[SweepPoint] = []
+    for extra in extras:
+        for n in sizes:
+            point = SweepPoint(n=n, extra_edges=extra, queries=seeds)
+            for seed in range(seeds):
+                spec = random_join_query(
+                    GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+                )
+                simmen = PlanGenerator(spec, SimmenBackend()).run()
+                fsm = PlanGenerator(spec, FsmBackend()).run()
+                if abs(simmen.best_plan.cost - fsm.best_plan.cost) > 1e-6:
+                    point.mismatched_costs += 1
+                point.simmen_t_ms += simmen.stats.time_ms / seeds
+                point.simmen_plans += simmen.stats.plans_created / seeds
+                point.simmen_bytes += simmen.stats.total_order_bytes / seeds
+                point.fsm_t_ms += fsm.stats.time_ms / seeds
+                point.fsm_plans += fsm.stats.plans_created / seeds
+                point.fsm_bytes += fsm.stats.total_order_bytes / seeds
+                point.fsm_dfsm_bytes += fsm.stats.shared_bytes / seeds
+            points.append(point)
+    _CACHE[grid] = points
+    return points

@@ -1,0 +1,139 @@
+"""Ablation: the Section 5.7 reduction techniques, toggled one at a time.
+
+DESIGN.md calls out four design choices in the preparation phase: FD
+filtering, ε-node deletion, node merging, and the Ω search-space bounds
+(length cut + interesting-prefix test).  This bench quantifies each one's
+contribution to NFSM size, DFSM size, and preparation time on TPC-R Q8.
+
+Expected shape: the Ω bounds and FD filtering carry most of the reduction;
+deletion/merging clean up the remainder; every configuration leaves DFSM
+behaviour on interesting orders unchanged (asserted on entry states).
+"""
+
+from repro.bench import format_table, report
+from repro.core.attributes import attrs
+from repro.core.fd import ConstantBinding, Equation, FDSet, FunctionalDependency
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.ordering import ordering
+from repro.query.analyzer import QueryOrderInfo
+from repro.workloads import q8_order_info
+
+
+def multi_attribute_workload() -> QueryOrderInfo:
+    """A workload with long interesting orders, where ε-deletion and node
+    merging actually fire (Q8's orders are all single-attribute, so there
+    the Ω bounds do all the work)."""
+    a, b, c, d, e, x = attrs("a", "b", "c", "d", "e", "x")
+    interesting = InterestingOrders.of(
+        produced=[
+            ordering("a", "b", "c"),
+            ordering("b", "a"),
+            ordering("d", "e"),
+        ],
+        tested=[ordering("a", "b", "c", "x"), ordering("d", "e", "x")],
+    )
+    fdsets = (
+        FDSet.of(Equation(a, d)),
+        FDSet.of(Equation(b, e)),
+        FDSet.of(ConstantBinding(x)),
+        FDSet.of(FunctionalDependency(frozenset({a, b}), c)),
+    )
+    return QueryOrderInfo(interesting=interesting, fdsets=fdsets)
+
+CONFIGS = [
+    ("all on (default)", BuilderOptions()),
+    ("no FD filtering", BuilderOptions(fd_prune_mode="off")),
+    ("no eps-deletion", BuilderOptions(delete_eps_nodes=False)),
+    ("no merging", BuilderOptions(merge_nodes=False)),
+    ("no prefix bound", BuilderOptions(use_prefix_bound=False)),
+    (
+        "no bounds at all",
+        BuilderOptions(use_prefix_bound=False, use_length_bound=False),
+    ),
+    ("all off", BuilderOptions().without_pruning()),
+]
+
+
+def _ablation_rows(info, workload_name):
+    results = [
+        (label, OrderOptimizer.prepare(info.interesting, info.fdsets, options))
+        for label, options in CONFIGS
+    ]
+    rows = [
+        (
+            workload_name,
+            label,
+            opt.stats.nfsm_nodes,
+            opt.stats.dfsm_states,
+            f"{opt.stats.preparation_ms:.1f}",
+            opt.stats.precomputed_bytes,
+        )
+        for label, opt in results
+    ]
+    return results, rows
+
+
+def _behaviour_signature(info, opt, depth=2):
+    """Contains answers along all FD-symbol paths up to ``depth``."""
+    signature = []
+
+    def walk(state, remaining):
+        signature.append(
+            tuple(
+                opt.contains(state, opt.ordering_handle(order))
+                for order in info.interesting.all_orders
+            )
+        )
+        if remaining == 0:
+            return
+        for fdset in info.fdsets:
+            walk(opt.infer(state, opt.fdset_handle(fdset)), remaining - 1)
+
+    for produced in info.interesting.produced:
+        walk(opt.state_for_produced(opt.producer_handle(produced)), depth)
+    return signature
+
+
+def test_pruning_ablation(benchmark):
+    workloads = [
+        ("q8", q8_order_info()),
+        ("multi-attr", multi_attribute_workload()),
+    ]
+
+    def run():
+        return [
+            (name, info, *_ablation_rows(info, name))
+            for name, info in workloads
+        ]
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    all_rows = [row for _, _, _, rows in outcome for row in rows]
+    text = report(
+        "ablation_pruning",
+        "Preparation ablation (Section 5.7 techniques)",
+        format_table(
+            ("workload", "configuration", "NFSM", "DFSM", "time(ms)", "bytes"),
+            all_rows,
+        ),
+    )
+    print("\n" + text)
+
+    for name, info, results, _ in outcome:
+        by_label = dict(results)
+        default = by_label["all on (default)"]
+        unpruned = by_label["all off"]
+        assert default.stats.nfsm_nodes < unpruned.stats.nfsm_nodes, name
+        assert default.stats.dfsm_states <= unpruned.stats.dfsm_states, name
+
+        # Behaviour must be identical across every configuration.
+        reference = None
+        for label, opt in results:
+            signature = _behaviour_signature(info, opt)
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference, (
+                    f"behaviour changed under {label} ({name})"
+                )

@@ -1,0 +1,92 @@
+"""Ablation: the two extensions beyond the paper.
+
+1. **DFSM minimization** (Moore partition refinement on the precomputed
+   tables).  Expected: near-zero effect after full Section 5.7 pruning (the
+   pruned machine is already almost minimal) but collapses the *unpruned*
+   machine close to the pruned one — NFSM reduction and DFSM minimization
+   remove the same redundancy from opposite ends.
+2. **Simulation-dominance plan pruning** — prune a plan when a cheaper
+   plan's DFSM state simulates its state.  Expected: measurably fewer
+   generated plans at identical optimal cost.
+"""
+
+from repro.bench import format_table, report
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.tables import minimize_tables
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+from repro.workloads import GeneratorConfig, q8_order_info, random_join_query
+
+
+def test_minimization_ablation(benchmark):
+    info = q8_order_info()
+
+    def run():
+        pruned = OrderOptimizer.prepare(info.interesting, info.fdsets)
+        unpruned = OrderOptimizer.prepare(
+            info.interesting, info.fdsets, BuilderOptions().without_pruning()
+        )
+        return {
+            "pruned": pruned.tables,
+            "pruned+min": minimize_tables(pruned.tables),
+            "unpruned": unpruned.tables,
+            "unpruned+min": minimize_tables(unpruned.tables),
+        }
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (label, t.state_count, t.total_bytes) for label, t in tables.items()
+    ]
+    text = report(
+        "extension_minimization",
+        "DFSM Moore-minimization on Q8 (extension)",
+        format_table(("configuration", "DFSM states", "bytes"), rows),
+    )
+    print("\n" + text)
+
+    assert tables["unpruned+min"].state_count < tables["unpruned"].state_count
+    assert (
+        tables["unpruned+min"].state_count
+        <= tables["pruned"].state_count + 2
+    )
+
+
+def test_dominance_pruning_ablation(benchmark):
+    def run():
+        rows = []
+        for n, extra in ((5, 1), (6, 1), (7, 2)):
+            base_plans = base_t = dom_plans = dom_t = 0.0
+            seeds = 3
+            for seed in range(seeds):
+                spec = random_join_query(
+                    GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+                )
+                base = PlanGenerator(spec, FsmBackend()).run()
+                dominant = PlanGenerator(
+                    spec,
+                    FsmBackend(use_dominance=True),
+                    config=PlanGenConfig(cross_key_dominance=True),
+                ).run()
+                assert abs(base.best_plan.cost - dominant.best_plan.cost) < 1e-6
+                base_plans += base.stats.plans_created / seeds
+                base_t += base.stats.time_ms / seeds
+                dom_plans += dominant.stats.plans_created / seeds
+                dom_t += dominant.stats.time_ms / seeds
+            rows.append((n, extra, base_plans, base_t, dom_plans, dom_t))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = report(
+        "extension_dominance",
+        "Simulation-dominance plan pruning (extension)",
+        format_table(
+            ("n", "extra", "base #plans", "base t(ms)", "dom #plans", "dom t(ms)"),
+            [
+                (n, e, f"{bp:.0f}", f"{bt:.1f}", f"{dp:.0f}", f"{dt:.1f}")
+                for n, e, bp, bt, dp, dt in rows
+            ],
+        ),
+    )
+    print("\n" + text)
+
+    for _, _, base_plans, _, dom_plans, _ in rows:
+        assert dom_plans <= base_plans

@@ -1,0 +1,84 @@
+"""Ablation: the groupings extension (paper's follow-up work).
+
+Measures (a) the preparation-cost overhead of grouping nodes and (b) the
+plan-quality payoff of streaming aggregation on GROUP BY queries where the
+group keys ride along a join ordering.
+
+Expected shape: modest NFSM/DFSM growth; the grouping-aware FSM backend
+finds strictly cheaper aggregation plans than the baseline on every
+suitable query, while costs stay identical with the extension disabled.
+"""
+
+from repro.bench import format_table, report
+from repro.core.grouping import Grouping
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator, SimmenBackend
+from repro.query.analyzer import analyze
+from repro.core.optimizer import OrderOptimizer
+from repro.workloads import q10_query, q3_query, q8_query
+
+
+QUERIES = {"q3": q3_query, "q8": q8_query, "q10": q10_query}
+
+
+def test_grouping_preparation_overhead(benchmark):
+    def run():
+        rows = []
+        for name, factory in QUERIES.items():
+            spec = factory()
+            plain = analyze(spec)
+            with_groupings = analyze(spec, include_groupings=True)
+            opt_plain = OrderOptimizer.prepare(plain.interesting, plain.fdsets)
+            opt_grouped = OrderOptimizer.prepare(
+                with_groupings.interesting, with_groupings.fdsets
+            )
+            rows.append(
+                (
+                    name,
+                    opt_plain.stats.nfsm_nodes,
+                    opt_grouped.stats.nfsm_nodes,
+                    opt_plain.stats.dfsm_states,
+                    opt_grouped.stats.dfsm_states,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = report(
+        "extension_groupings_prep",
+        "Groupings extension: preparation overhead",
+        format_table(
+            ("query", "NFSM", "NFSM+grp", "DFSM", "DFSM+grp"), rows
+        ),
+    )
+    print("\n" + text)
+    for _, nfsm, nfsm_g, dfsm, dfsm_g in rows:
+        assert nfsm_g >= nfsm
+        assert dfsm_g >= dfsm
+        assert dfsm_g <= 4 * dfsm + 8  # overhead stays modest
+
+
+def test_streaming_aggregation_payoff(benchmark):
+    def run():
+        rows = []
+        config = PlanGenConfig(enable_aggregation=True)
+        for name, factory in QUERIES.items():
+            spec = factory()
+            fsm = PlanGenerator(spec, FsmBackend(), config=config).run()
+            simmen = PlanGenerator(spec, SimmenBackend(), config=config).run()
+            agg_op = fsm.best_plan.op
+            rows.append(
+                (name, f"{simmen.best_plan.cost:,.0f}", f"{fsm.best_plan.cost:,.0f}", agg_op)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = report(
+        "extension_groupings_payoff",
+        "Groupings extension: aggregation plan cost, Simmen vs FSM",
+        format_table(("query", "Simmen cost", "FSM cost", "FSM top op"), rows),
+    )
+    print("\n" + text)
+    for _, simmen_cost, fsm_cost, _ in rows:
+        assert float(fsm_cost.replace(",", "")) <= float(
+            simmen_cost.replace(",", "")
+        )

@@ -1,0 +1,114 @@
+"""Experiment: Figure 13 — plan generation across join-graph families.
+
+Paper: random queries with n = 5..10 relations and n-1 / n / n+1 join
+edges, averaged over up to 100 queries.  Reported per configuration:
+total plan-generation time, number of generated subplans, and time per
+subplan for Simmen's algorithm and the FSM algorithm, plus the improvement
+factors (% t, % #Plans, % t/plan).
+
+Paper improvement factors range from 2.0x (n=5, chain) to 67x (n=10, n+1
+edges) for total time and from 1.2x to 2.5x for #Plans.
+
+Expected shape here: every improvement factor > 1, growing with query size,
+with identical optimal plan costs throughout.  The default grid stops at
+n = 8 for runtime reasons (REPRO_BENCH_FULL=1 for the paper grid).
+"""
+
+from repro.bench import format_table, report
+from sweep import run_sweep
+
+# Figure 13, improvement-factor columns (% t, % #Plans, % t/plan) from the
+# paper, keyed by (n, extra_edges), for side-by-side display.
+PAPER_FACTORS = {
+    (5, 0): (2.00, 1.21, 1.65),
+    (6, 0): (4.50, 1.28, 3.55),
+    (7, 0): (3.75, 1.34, 2.82),
+    (8, 0): (3.91, 1.41, 2.79),
+    (9, 0): (4.46, 1.49, 3.00),
+    (10, 0): (6.01, 1.59, 3.81),
+    (5, 1): (4.00, 1.49, 2.71),
+    (6, 1): (5.25, 1.60, 3.30),
+    (7, 1): (4.90, 1.63, 3.02),
+    (8, 1): (6.14, 1.82, 3.40),
+    (9, 1): (8.20, 1.81, 4.56),
+    (10, 1): (13.22, 2.00, 6.61),
+    (5, 2): (12.00, 1.98, 6.06),
+    (6, 2): (11.50, 2.10, 5.47),
+    (7, 2): (13.21, 2.21, 6.06),
+    (8, 2): (18.02, 2.45, 7.42),
+    (9, 2): (44.00, 2.53, 17.41),
+    (10, 2): (67.14, 2.29, 29.62),
+}
+
+
+def test_figure13_join_graph_sweep(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for p in points:
+        factor_t = p.simmen_t_ms / max(p.fsm_t_ms, 1e-9)
+        factor_plans = p.simmen_plans / max(p.fsm_plans, 1e-9)
+        factor_tpp = p.simmen_us_per_plan / max(p.fsm_us_per_plan, 1e-9)
+        paper = PAPER_FACTORS.get((p.n, p.extra_edges), ("-", "-", "-"))
+        rows.append(
+            (
+                p.n,
+                f"n{['-1','+0','+1'][p.extra_edges]}",
+                f"{p.simmen_t_ms:.1f}",
+                f"{p.simmen_plans:.0f}",
+                f"{p.simmen_us_per_plan:.2f}",
+                f"{p.fsm_t_ms:.1f}",
+                f"{p.fsm_plans:.0f}",
+                f"{p.fsm_us_per_plan:.2f}",
+                f"{factor_t:.2f}",
+                f"{factor_plans:.2f}",
+                f"{factor_tpp:.2f}",
+                paper[0],
+                paper[1],
+                paper[2],
+            )
+        )
+    text = report(
+        "figure13_join_graphs",
+        "Figure 13: plan generation, Simmen (S) vs FSM (F), measured + paper factors",
+        format_table(
+            (
+                "n",
+                "edges",
+                "S t(ms)",
+                "S #plans",
+                "S t/plan",
+                "F t(ms)",
+                "F #plans",
+                "F t/plan",
+                "%t",
+                "%plans",
+                "%t/plan",
+                "paper %t",
+                "paper %plans",
+                "paper %t/plan",
+            ),
+            rows,
+        ),
+    )
+    print("\n" + text)
+
+    # Shape assertions.
+    for p in points:
+        assert p.mismatched_costs == 0, f"optimal plans diverged at n={p.n}"
+        assert p.fsm_plans <= p.simmen_plans
+    # Aggregate time advantage must be clear even if single small points jitter.
+    total_simmen = sum(p.simmen_t_ms for p in points)
+    total_fsm = sum(p.fsm_t_ms for p in points)
+    assert total_fsm < total_simmen
+
+    # The paper's trend: the #Plans factor grows with query size — the
+    # largest, densest configuration beats the smallest chain.
+    smallest_chain = next(p for p in points if p.extra_edges == 0)
+    largest_dense = max(
+        (p for p in points if p.extra_edges == 2), key=lambda p: p.n
+    )
+    assert (
+        largest_dense.simmen_plans / largest_dense.fsm_plans
+        > smallest_chain.simmen_plans / smallest_chain.fsm_plans
+    )

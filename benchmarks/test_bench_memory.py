@@ -1,0 +1,78 @@
+"""Experiment: Figure 14 — memory consumption of the order components.
+
+Paper: for the Figure 13 queries, the total memory consumed by the order
+optimization annotations, in KB; Simmen vs. our algorithm, with the DFSM
+size reported separately (it is included in the FSM total).  Paper examples
+(n, edges = n-1): Simmen 14 KB vs 10 KB (n=5) up to 3307 KB vs 1972 KB
+(n=10); the FSM side is roughly half, and the DFSM itself is a few KB.
+
+Expected shape: FSM total below Simmen total at every point; the DFSM share
+is small and nearly size-independent.
+"""
+
+from repro.bench import format_table, report
+from sweep import run_sweep
+
+PAPER_KB = {  # (n, extra): (simmen, fsm_total, dfsm)
+    (5, 0): (14, 10, 2),
+    (6, 0): (44, 28, 2),
+    (7, 0): (123, 77, 2),
+    (8, 0): (383, 241, 3),
+    (9, 0): (1092, 668, 3),
+    (10, 0): (3307, 1972, 4),
+    (5, 1): (27, 12, 2),
+    (6, 1): (68, 36, 2),
+    (7, 1): (238, 98, 3),
+    (8, 1): (688, 317, 3),
+    (9, 1): (1854, 855, 4),
+    (10, 1): (5294, 2266, 4),
+    (5, 2): (53, 15, 2),
+    (6, 2): (146, 49, 3),
+    (7, 2): (404, 118, 3),
+    (8, 2): (1247, 346, 4),
+    (9, 2): (2641, 1051, 4),
+    (10, 2): (8736, 3003, 5),
+}
+
+
+def test_figure14_memory(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for p in points:
+        paper = PAPER_KB.get((p.n, p.extra_edges), ("-", "-", "-"))
+        rows.append(
+            (
+                p.n,
+                f"n{['-1','+0','+1'][p.extra_edges]}",
+                f"{p.simmen_bytes / 1024:.2f}",
+                f"{p.fsm_bytes / 1024:.2f}",
+                f"{p.fsm_dfsm_bytes / 1024:.2f}",
+                paper[0],
+                paper[1],
+                paper[2],
+            )
+        )
+    text = report(
+        "figure14_memory",
+        "Figure 14: order-annotation memory (KB), measured + paper",
+        format_table(
+            (
+                "n",
+                "edges",
+                "Simmen KB",
+                "FSM KB",
+                "DFSM KB",
+                "paper Simmen",
+                "paper FSM",
+                "paper DFSM",
+            ),
+            rows,
+        ),
+    )
+    print("\n" + text)
+
+    for p in points:
+        assert p.fsm_bytes < p.simmen_bytes, (p.n, p.extra_edges)
+        # the DFSM share is included in the FSM total and stays small
+        assert p.fsm_dfsm_bytes <= p.fsm_bytes

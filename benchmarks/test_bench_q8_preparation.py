@@ -1,0 +1,70 @@
+"""Experiment: Section 6.2 — preparation cost for TPC-R Query 8.
+
+Paper table (AMD Athlon XP 1800+, gcc 3.2):
+
+                      w/o pruning    with pruning
+    NFSM size         376 nodes      38 nodes
+    DFSM size         80 nodes       24 nodes
+    total time        16 ms          0.2 ms
+    precomputed data  3040 bytes     912 bytes
+
+Expected shape: pruning shrinks the NFSM by an order of magnitude, the DFSM
+by ~3x, preparation time by huge factors, and the table bytes accordingly.
+Absolute values differ (Python vs. 2003 C++), byte accounting is
+approximate (see PreparedTables docstring).
+"""
+
+import pytest
+
+from repro.bench import format_table, report
+from repro.core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
+from repro.workloads import q8_order_info
+
+PAPER = {
+    "with pruning": dict(nfsm=38, dfsm=24, time_ms=0.2, data=912),
+    "w/o pruning": dict(nfsm=376, dfsm=80, time_ms=16.0, data=3040),
+}
+
+
+def prepare(options):
+    info = q8_order_info()
+    return OrderOptimizer.prepare(info.interesting, info.fdsets, options)
+
+
+@pytest.mark.parametrize(
+    "label,options",
+    [("with pruning", BuilderOptions()), ("w/o pruning", NO_PRUNING)],
+)
+def test_q8_preparation(benchmark, label, options):
+    optimizer = benchmark.pedantic(prepare, args=(options,), rounds=3, iterations=1)
+    stats = optimizer.stats
+    paper = PAPER[label]
+    rows = [
+        ("NFSM size (nodes)", stats.nfsm_nodes, paper["nfsm"]),
+        ("DFSM size (states)", stats.dfsm_states, paper["dfsm"]),
+        ("total time (ms)", f"{stats.preparation_ms:.2f}", paper["time_ms"]),
+        ("precomputed data (bytes)", stats.precomputed_bytes, paper["data"]),
+    ]
+    text = report(
+        f"q8_preparation_{label.replace(' ', '_').replace('/', '')}",
+        f"Q8 preparation, {label}",
+        format_table(("metric", "measured", "paper"), rows),
+    )
+    print("\n" + text)
+
+    # Shape assertions (not absolute values).
+    assert stats.dfsm_states >= 2
+    if label == "with pruning":
+        assert stats.dfsm_states == 24  # exact match with the paper
+        assert stats.pruned_fd_items >= 1  # ∅ -> p_type is useless
+
+
+def test_q8_pruning_shrinks_everything(benchmark):
+    def both():
+        return prepare(BuilderOptions()), prepare(NO_PRUNING)
+
+    pruned, unpruned = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert pruned.stats.nfsm_nodes * 5 < unpruned.stats.nfsm_nodes
+    assert pruned.stats.dfsm_states < unpruned.stats.dfsm_states
+    assert pruned.stats.precomputed_bytes < unpruned.stats.precomputed_bytes
+    assert pruned.stats.preparation_ms < unpruned.stats.preparation_ms

@@ -1,0 +1,46 @@
+"""End-to-end: optimize a random join query, execute the plan on synthetic
+data, and *verify on real tuples* every ordering the ADT claims.
+
+This closes the loop between the paper's formal Section 2 semantics and the
+FSM implementation: at every operator of the chosen plan, each interesting
+order the DFSM state satisfies is checked against the actual tuple stream.
+
+Run:  python examples/end_to_end.py
+"""
+
+from repro.exec import execute_plan, generate_query_data, satisfies_ordering
+from repro.plangen import FsmBackend, PlanGenerator
+from repro.workloads import GeneratorConfig, random_join_query
+
+
+def main() -> None:
+    spec = random_join_query(GeneratorConfig(n_relations=4, n_edges=4, seed=42))
+    print(spec.describe())
+    print()
+
+    backend = FsmBackend()
+    result = PlanGenerator(spec, backend).run()
+    plan = result.best_plan
+    print("chosen plan:")
+    print(plan.explain())
+    print()
+
+    data = generate_query_data(spec, rows_per_table=25, domain=5, seed=42)
+    rows = execute_plan(plan, spec, data)
+    print(f"executed: {len(rows)} result rows")
+
+    optimizer = backend.optimizer
+    checked = 0
+    for node in plan.operators():
+        stream = execute_plan(node, spec, data)
+        for claimed in optimizer.satisfied_orders(node.state):
+            ok = satisfies_ordering(stream, claimed)
+            status = "ok" if ok else "VIOLATED"
+            print(f"  {node.op:<12} claims {claimed!r}: {status}")
+            assert ok
+            checked += 1
+    print(f"\nall {checked} claimed orderings hold on the physical streams")
+
+
+if __name__ == "__main__":
+    main()

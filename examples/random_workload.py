@@ -1,0 +1,46 @@
+"""A miniature Figure 13: random join-graph queries, Simmen vs. FSM.
+
+Sweeps chain / chain+1 / chain+2 join graphs over a few sizes and prints
+total plan-generation time, generated plans, and the improvement factors —
+the shape of the paper's Figure 13 on your machine in under a minute.
+
+Run:  python examples/random_workload.py [max_n]
+"""
+
+import sys
+
+from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+from repro.workloads import GeneratorConfig, random_join_query
+
+
+def main(max_n: int = 7) -> None:
+    seeds = range(3)
+    header = (
+        f"{'n':>3} {'edges':>6} {'S t(ms)':>9} {'S plans':>8} "
+        f"{'F t(ms)':>9} {'F plans':>8} {'%t':>6} {'%plans':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for extra, label in ((0, "n-1"), (1, "n+0"), (2, "n+1")):
+        for n in range(5, max_n + 1):
+            s_t = s_p = f_t = f_p = 0.0
+            for seed in seeds:
+                spec = random_join_query(
+                    GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+                )
+                simmen = PlanGenerator(spec, SimmenBackend()).run()
+                fsm = PlanGenerator(spec, FsmBackend()).run()
+                assert abs(simmen.best_plan.cost - fsm.best_plan.cost) < 1e-6
+                s_t += simmen.stats.time_ms
+                s_p += simmen.stats.plans_created
+                f_t += fsm.stats.time_ms
+                f_p += fsm.stats.plans_created
+            print(
+                f"{n:>3} {label:>6} {s_t/len(seeds):>9.1f} {s_p/len(seeds):>8.0f} "
+                f"{f_t/len(seeds):>9.1f} {f_p/len(seeds):>8.0f} "
+                f"{s_t/f_t:>6.2f} {s_p/f_p:>7.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

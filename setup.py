@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "An Efficient Framework for Order Optimization".
+
+Neumann & Moerkotte, ICDE 2004.  See README.md for a tour and DESIGN.md for
+the system inventory and the per-experiment index.
+
+The most common entry points are re-exported here:
+
+>>> from repro import ordering, FDSet, Equation, InterestingOrders, OrderOptimizer
+"""
+
+from .core import (
+    EMPTY_ORDERING,
+    NO_PRUNING,
+    Attribute,
+    BuilderOptions,
+    ConstantBinding,
+    Equation,
+    FDSet,
+    FunctionalDependency,
+    Grouping,
+    InterestingOrders,
+    OrderOptimizer,
+    Ordering,
+    attr,
+    attrs,
+    grouping,
+    omega,
+    ordering,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "attr",
+    "attrs",
+    "Ordering",
+    "ordering",
+    "EMPTY_ORDERING",
+    "FunctionalDependency",
+    "Equation",
+    "ConstantBinding",
+    "FDSet",
+    "Grouping",
+    "grouping",
+    "InterestingOrders",
+    "OrderOptimizer",
+    "BuilderOptions",
+    "NO_PRUNING",
+    "omega",
+    "__version__",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``q8``                 — TPC-R Q8: preparation table + Simmen-vs-FSM plan
+                           generation summary (Sections 6.2 / 7);
+* ``plan --catalog tpch "SELECT ..."``
+                         — parse, bind, optimize, and explain a query;
+* ``prepare --catalog tpch "SELECT ..."``
+                         — show the preparation phase for a query: interesting
+                           orders, FD sets, NFSM/DFSM sizes;
+* ``sweep [--max-n N]``  — a miniature Figure 13 sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .catalog.schema import Catalog, simple_table
+from .catalog.tpch import tpch_catalog
+from .core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
+from .plangen import FsmBackend, PlanGenerator, SimmenBackend
+from .query.analyzer import analyze
+from .query.sql import sql_to_query
+from .workloads import GeneratorConfig, q8_order_info, q8_query, random_join_query
+
+
+def demo_catalog() -> Catalog:
+    """The Section 6.1 persons/jobs schema."""
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+        .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+    )
+
+
+CATALOGS = {"tpch": tpch_catalog, "demo": demo_catalog}
+
+
+def _resolve_catalog(name: str) -> Catalog:
+    try:
+        return CATALOGS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown catalog {name!r}; available: {', '.join(sorted(CATALOGS))}"
+        ) from None
+
+
+def cmd_q8(_: argparse.Namespace) -> int:
+    info = q8_order_info()
+    print("Q8 preparation (Section 6.2):")
+    for label, options in (("w/o pruning", NO_PRUNING), ("with pruning", BuilderOptions())):
+        stats = OrderOptimizer.prepare(info.interesting, info.fdsets, options).stats
+        print(
+            f"  {label:>13}: NFSM {stats.nfsm_nodes:>3} nodes, DFSM "
+            f"{stats.dfsm_states:>3} states, {stats.preparation_ms:7.2f} ms, "
+            f"{stats.precomputed_bytes} bytes"
+        )
+    print("\nQ8 plan generation (Section 7):")
+    spec = q8_query()
+    for backend in (SimmenBackend(), FsmBackend()):
+        result = PlanGenerator(spec, backend).run()
+        stats = result.stats
+        print(
+            f"  {backend.name:>7}: {stats.time_ms:8.1f} ms, "
+            f"{stats.plans_created:>6} plans, {stats.us_per_plan:6.2f} us/plan, "
+            f"{stats.total_order_bytes / 1024:7.2f} KB, "
+            f"cost {result.best_plan.cost:,.0f}"
+        )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    catalog = _resolve_catalog(args.catalog)
+    spec = sql_to_query(args.sql, catalog)
+    result = PlanGenerator(spec, FsmBackend()).run()
+    print(spec.describe())
+    print()
+    print(result.best_plan.explain())
+    print(
+        f"\n{result.stats.plans_created} plans generated in "
+        f"{result.stats.time_ms:.1f} ms"
+    )
+    return 0
+
+
+def cmd_prepare(args: argparse.Namespace) -> int:
+    catalog = _resolve_catalog(args.catalog)
+    spec = sql_to_query(args.sql, catalog)
+    info = analyze(spec, include_tested_selections=True)
+    print("interesting orders:")
+    for order in info.interesting.produced:
+        print(f"  produced: {order!r}")
+    for order in info.interesting.tested:
+        print(f"  tested:   {order!r}")
+    print("FD sets:")
+    for fdset in info.fdsets:
+        print(f"  {fdset}")
+    optimizer = OrderOptimizer.prepare(info.interesting, info.fdsets)
+    stats = optimizer.stats
+    print(
+        f"\nNFSM {stats.nfsm_nodes} nodes -> DFSM {stats.dfsm_states} states, "
+        f"{stats.preparation_ms:.2f} ms, {stats.precomputed_bytes} bytes, "
+        f"{stats.pruned_fd_items} FD item(s) pruned"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    print(f"{'n':>3} {'edges':>6} {'simmen ms':>10} {'fsm ms':>8} {'%t':>6} {'%plans':>7}")
+    for extra, label in ((0, "n-1"), (1, "n+0"), (2, "n+1")):
+        for n in range(5, args.max_n + 1):
+            s_t = f_t = s_p = f_p = 0.0
+            for seed in range(args.seeds):
+                spec = random_join_query(
+                    GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+                )
+                simmen = PlanGenerator(spec, SimmenBackend()).run()
+                fsm = PlanGenerator(spec, FsmBackend()).run()
+                s_t += simmen.stats.time_ms
+                f_t += fsm.stats.time_ms
+                s_p += simmen.stats.plans_created
+                f_p += fsm.stats.plans_created
+            print(
+                f"{n:>3} {label:>6} {s_t/args.seeds:>10.1f} {f_t/args.seeds:>8.1f} "
+                f"{s_t/f_t:>6.2f} {s_p/f_p:>7.2f}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Order-optimization framework reproduction (Neumann & Moerkotte, ICDE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("q8", help="run the TPC-R Q8 experiments").set_defaults(fn=cmd_q8)
+
+    plan = sub.add_parser("plan", help="optimize a SQL query and print the plan")
+    plan.add_argument("sql")
+    plan.add_argument("--catalog", default="demo", help="demo | tpch")
+    plan.set_defaults(fn=cmd_plan)
+
+    prepare = sub.add_parser("prepare", help="show the preparation phase for a SQL query")
+    prepare.add_argument("sql")
+    prepare.add_argument("--catalog", default="demo", help="demo | tpch")
+    prepare.set_defaults(fn=cmd_prepare)
+
+    sweep = sub.add_parser("sweep", help="miniature Figure 13 sweep")
+    sweep.add_argument("--max-n", type=int, default=7)
+    sweep.add_argument("--seeds", type=int, default=3)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

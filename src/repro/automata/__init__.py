@@ -1,0 +1,8 @@
+"""Generic automata substrate: ε-NFA, DFA/Moore machine, power-set
+construction (paper Appendix A), and Moore minimization."""
+
+from .dfa import DFA, subset_construction
+from .minimize import minimize_moore
+from .nfa import NFA
+
+__all__ = ["NFA", "DFA", "subset_construction", "minimize_moore"]

@@ -1,0 +1,77 @@
+"""A generic DFA / Moore machine and the power-set construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from .nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass
+class DFA:
+    """Deterministic automaton; ``outputs`` makes it a Moore machine.
+
+    ``transitions`` is total over ``symbols`` by convention: a missing entry
+    is interpreted as a self-loop (this matches the order-FSM semantics
+    where an inapplicable FD set leaves the state unchanged).
+    """
+
+    states: set = field(default_factory=set)
+    symbols: set = field(default_factory=set)
+    transitions: dict = field(default_factory=dict)  # (state, symbol) -> state
+    start: State = None
+    accepting: set = field(default_factory=set)
+    outputs: dict = field(default_factory=dict)  # state -> hashable output
+
+    def add_transition(self, source: State, symbol: Symbol, target: State) -> None:
+        if (source, symbol) in self.transitions and self.transitions[
+            (source, symbol)
+        ] != target:
+            raise ValueError(f"non-deterministic transition at ({source}, {symbol})")
+        self.states.update((source, target))
+        self.symbols.add(symbol)
+        self.transitions[(source, symbol)] = target
+
+    def step(self, state: State, symbol: Symbol) -> State:
+        return self.transitions.get((state, symbol), state)
+
+    def run(self, word: Iterable[Symbol]) -> State:
+        state = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        return self.run(word) in self.accepting
+
+    def output(self, state: State):
+        return self.outputs.get(state)
+
+
+def subset_construction(nfa: NFA) -> DFA:
+    """The classic power-set construction (Appendix A.2).
+
+    DFA states are frozensets of NFA states; accepting if they intersect
+    the NFA's accepting set.
+    """
+    dfa = DFA(start=nfa.epsilon_closure([nfa.start]))
+    dfa.states.add(dfa.start)
+    dfa.symbols = set(nfa.symbols)
+    work = [dfa.start]
+    seen = {dfa.start}
+    while work:
+        current = work.pop()
+        if current & nfa.accepting:
+            dfa.accepting.add(current)
+        for symbol in nfa.symbols:
+            target = nfa.step(current, symbol)
+            dfa.transitions[(current, symbol)] = target
+            if target not in seen:
+                seen.add(target)
+                dfa.states.add(target)
+                work.append(target)
+    return dfa

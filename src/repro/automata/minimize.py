@@ -1,0 +1,60 @@
+"""Moore-machine minimization by partition refinement (Hopcroft-style).
+
+Beyond the paper: the subset construction can leave behaviourally identical
+DFSM states (same contains row, same reactions to every FD set).  Merging
+them shrinks the precomputed tables *and* improves plan pruning — two plans
+whose states merge become cost-comparable.  This module minimizes a Moore
+machine given as parallel arrays, which is exactly the shape of
+:class:`repro.core.tables.PreparedTables`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def minimize_moore(
+    outputs: Sequence,
+    transitions: Sequence[Sequence[int]],
+    start: int,
+) -> tuple[list[int], int]:
+    """Minimize a Moore machine.
+
+    ``outputs[s]`` is the observable output of state ``s`` (hashable);
+    ``transitions[s][k]`` the successor of ``s`` under symbol ``k``.  Every
+    state is considered observable (the FSM has no accepting set).
+
+    Returns ``(state_map, n_classes)`` where ``state_map[s]`` is the id of
+    ``s``'s equivalence class; class ids are assigned so that the start
+    state's class keeps id ``state_map[start]`` consistent with first-seen
+    ordering.
+    """
+    n = len(outputs)
+    if n == 0:
+        return [], 0
+    symbol_count = len(transitions[0]) if n else 0
+
+    # initial partition: by output
+    classes: dict = {}
+    state_map = [0] * n
+    for state in range(n):
+        key = outputs[state]
+        if key not in classes:
+            classes[key] = len(classes)
+        state_map[state] = classes[key]
+
+    # refine until stable: split classes by successor-class signatures
+    while True:
+        signatures: dict = {}
+        new_map = [0] * n
+        for state in range(n):
+            signature = (
+                state_map[state],
+                tuple(state_map[transitions[state][k]] for k in range(symbol_count)),
+            )
+            if signature not in signatures:
+                signatures[signature] = len(signatures)
+            new_map[state] = signatures[signature]
+        if len(signatures) == len(set(state_map)):
+            return new_map, len(signatures)
+        state_map = new_map

@@ -1,0 +1,70 @@
+"""A generic ε-NFA over hashable states and symbols.
+
+The order-optimization core builds its NFSM directly (it needs closure
+edges and producer entry points), but the underlying theory is the classic
+automata construction the paper's Appendix A appeals to.  This package
+provides that theory generically — used by the tests to cross-check the
+specialized implementation, and by the DFSM minimization extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass
+class NFA:
+    """Non-deterministic finite automaton with ε-transitions.
+
+    ``accepting`` may be empty: an FSM in the paper's sense is an NFA where
+    every state matters (Appendix A.1).
+    """
+
+    states: set = field(default_factory=set)
+    symbols: set = field(default_factory=set)
+    transitions: dict = field(default_factory=dict)  # (state, symbol) -> set
+    epsilon: dict = field(default_factory=dict)  # state -> set
+    start: State = None
+    accepting: set = field(default_factory=set)
+
+    def add_transition(self, source: State, symbol: Symbol, target: State) -> None:
+        self.states.update((source, target))
+        self.symbols.add(symbol)
+        self.transitions.setdefault((source, symbol), set()).add(target)
+
+    def add_epsilon(self, source: State, target: State) -> None:
+        self.states.update((source, target))
+        self.epsilon.setdefault(source, set()).add(target)
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset:
+        """All states reachable from ``states`` via ε-transitions."""
+        closure = set(states)
+        work = list(closure)
+        while work:
+            state = work.pop()
+            for target in self.epsilon.get(state, ()):
+                if target not in closure:
+                    closure.add(target)
+                    work.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> frozenset:
+        """ε-closure after consuming one symbol from a state set."""
+        moved: set = set()
+        for state in states:
+            moved |= self.transitions.get((state, symbol), set())
+        return self.epsilon_closure(moved)
+
+    def run(self, word: Iterable[Symbol]) -> frozenset:
+        """The state set after consuming ``word`` from the start state."""
+        current = self.epsilon_closure([self.start])
+        for symbol in word:
+            current = self.step(current, symbol)
+        return current
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        return bool(self.run(word) & self.accepting)

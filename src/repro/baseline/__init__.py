@@ -1,0 +1,17 @@
+"""Simmen et al. (SIGMOD 1996) order-optimization baseline.
+
+Reimplemented from the description in Neumann & Moerkotte Section 3,
+including the tuning they applied for the comparison (memoized reductions).
+"""
+
+from .reduction import ReductionContext, reduce_ordering, reduced_contains
+from .simmen import SimmenOrderOptimizer, SimmenState, SimmenStats
+
+__all__ = [
+    "ReductionContext",
+    "reduce_ordering",
+    "reduced_contains",
+    "SimmenOrderOptimizer",
+    "SimmenState",
+    "SimmenStats",
+]

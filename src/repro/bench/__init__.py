@@ -1,0 +1,5 @@
+"""Benchmark harness helpers."""
+
+from .harness import bench_full, format_table, report, results_dir, save_result
+
+__all__ = ["bench_full", "format_table", "report", "results_dir", "save_result"]

@@ -1,0 +1,56 @@
+"""Benchmark harness helpers: table formatting, result persistence, scale.
+
+Every benchmark prints a paper-style table (with the paper's own numbers
+alongside for comparison) and persists it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+
+Scale: by default the sweeps run a reduced grid so the whole suite finishes
+in minutes on a laptop; set ``REPRO_BENCH_FULL=1`` for paper-scale sweeps
+(n up to 10 relations, more random-query seeds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+
+def bench_full() -> bool:
+    """True when paper-scale sweeps are requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """benchmarks/results/ at the repository root."""
+    root = Path(__file__).resolve().parents[3]
+    directory = root / "benchmarks" / "results"
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered experiment table; returns the file path."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def report(name: str, title: str, body: str) -> str:
+    """Compose, save, and return a report (printing is the caller's call)."""
+    text = f"== {title} ==\n{body}"
+    save_result(name, text)
+    return text

@@ -1,0 +1,15 @@
+"""Catalog substrate: schema, statistics, and the TPC-H/R schema."""
+
+from .schema import Catalog, Column, Index, Table, simple_table
+from .statistics import Statistics
+from .tpch import tpch_catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Index",
+    "Table",
+    "simple_table",
+    "Statistics",
+    "tpch_catalog",
+]

@@ -1,0 +1,144 @@
+"""Catalog: tables, columns, indexes, and keys.
+
+A small but complete schema substrate: the plan generator needs to know
+which relations exist, their cardinalities, which indexes (and therefore
+produced orderings) are available, and which keys hold (keys can contribute
+functional dependencies ``key -> other columns`` when enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..core.attributes import Attribute
+from ..core.ordering import Ordering
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition with an optional distinct-value count."""
+
+    name: str
+    distinct_values: int | None = None
+
+
+@dataclass(frozen=True)
+class Index:
+    """An index over a table; clustered indexes produce their key ordering."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    clustered: bool = True
+
+    def ordering(self) -> Ordering:
+        """The logical ordering an (index) scan of this index produces."""
+        return Ordering(Attribute(c, self.table) for c in self.columns)
+
+
+@dataclass
+class Table:
+    """A table with columns, cardinality, optional primary key and indexes."""
+
+    name: str
+    columns: tuple[Column, ...]
+    cardinality: int = 1000
+    primary_key: tuple[str, ...] = ()
+    indexes: tuple[Index, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column in table {self.name}")
+        for key_column in self.primary_key:
+            if key_column not in names:
+                raise ValueError(
+                    f"primary key column {key_column} not in table {self.name}"
+                )
+        for index in self.indexes:
+            if index.table != self.name:
+                raise ValueError(f"index {index.name} belongs to {index.table}")
+            for col in index.columns:
+                if col not in names:
+                    raise ValueError(f"index column {col} not in table {self.name}")
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column {name} in table {self.name}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def attribute(self, name: str) -> Attribute:
+        """The qualified attribute for a column of this table."""
+        if not self.has_column(name):
+            raise KeyError(f"no column {name} in table {self.name}")
+        return Attribute(name, self.name)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return tuple(Attribute(c.name, self.name) for c in self.columns)
+
+
+@dataclass
+class Catalog:
+    """A named collection of tables."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def add(self, table: Table) -> "Catalog":
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name} already exists")
+        self.tables[table.name] = table
+        return self
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables.values())
+
+    def resolve(self, attribute_text: str) -> Attribute:
+        """Resolve ``"table.column"`` or a unique bare ``"column"``."""
+        if "." in attribute_text:
+            table_name, _, column = attribute_text.rpartition(".")
+            table = self.table(table_name)
+            return table.attribute(column)
+        owners = [t for t in self if t.has_column(attribute_text)]
+        if not owners:
+            raise KeyError(f"no table has a column {attribute_text}")
+        if len(owners) > 1:
+            names = ", ".join(t.name for t in owners)
+            raise KeyError(f"ambiguous column {attribute_text} (in {names})")
+        return owners[0].attribute(attribute_text)
+
+
+def simple_table(
+    name: str,
+    columns: Iterable[str],
+    cardinality: int = 1000,
+    *,
+    primary_key: str | None = None,
+    clustered_on: str | None = None,
+) -> Table:
+    """Convenience constructor used by tests and the workload generator."""
+    cols = tuple(Column(c) for c in columns)
+    indexes: tuple[Index, ...] = ()
+    if clustered_on is not None:
+        indexes = (Index(f"idx_{name}_{clustered_on}", name, (clustered_on,)),)
+    return Table(
+        name=name,
+        columns=cols,
+        cardinality=cardinality,
+        primary_key=(primary_key,) if primary_key else (),
+        indexes=indexes,
+    )

@@ -1,0 +1,67 @@
+"""Cardinality and selectivity statistics for the cost model.
+
+Classic System-R style estimation: join selectivity defaults to
+``1 / max(distinct(left), distinct(right))`` (falling back to the larger
+table cardinality when distinct counts are unknown); equality selections use
+``1 / distinct``; range selections use a fixed default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.attributes import Attribute
+from .schema import Catalog
+
+DEFAULT_RANGE_SELECTIVITY = 0.3
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+
+
+@dataclass
+class Statistics:
+    """Statistics provider backed by a catalog with optional overrides."""
+
+    catalog: Catalog
+    join_selectivities: dict[frozenset[Attribute], float] = field(default_factory=dict)
+    selection_selectivities: dict[Attribute, float] = field(default_factory=dict)
+
+    def table_cardinality(self, table: str) -> int:
+        return self.catalog.table(table).cardinality
+
+    def distinct_values(self, attribute: Attribute) -> int:
+        """Distinct count of a column; defaults to the table cardinality."""
+        if attribute.relation is None:
+            raise ValueError(f"cannot look up statistics for bare {attribute}")
+        table = self.catalog.table(attribute.relation)
+        column = table.column(attribute.name)
+        if column.distinct_values is not None:
+            return max(1, column.distinct_values)
+        return max(1, table.cardinality)
+
+    def set_join_selectivity(self, a: Attribute, b: Attribute, value: float) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {value}")
+        self.join_selectivities[frozenset((a, b))] = value
+
+    def join_selectivity(self, a: Attribute, b: Attribute) -> float:
+        override = self.join_selectivities.get(frozenset((a, b)))
+        if override is not None:
+            return override
+        return 1.0 / max(self.distinct_values(a), self.distinct_values(b))
+
+    def set_selection_selectivity(self, attribute: Attribute, value: float) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {value}")
+        self.selection_selectivities[attribute] = value
+
+    def equality_selectivity(self, attribute: Attribute) -> float:
+        override = self.selection_selectivities.get(attribute)
+        if override is not None:
+            return override
+        return 1.0 / self.distinct_values(attribute)
+
+    def range_selectivity(self, attribute: Attribute) -> float:
+        override = self.selection_selectivities.get(attribute)
+        if override is not None:
+            return override
+        return DEFAULT_RANGE_SELECTIVITY

@@ -1,0 +1,117 @@
+"""The TPC-H/R schema (TPC Benchmark R, revision 1.2.0).
+
+Cardinalities follow scale factor 0.1; only columns referenced by the
+reproduced queries (plus keys) are modelled — the plan generator needs
+names, cardinalities, distinct counts, and indexes, not data.  Primary keys
+get clustered indexes, which is what gives index scans their produced
+orderings.
+"""
+
+from __future__ import annotations
+
+from .schema import Catalog, Column, Index, Table
+
+SCALE = 0.1
+
+
+def _t(name: str, columns: list[Column], cardinality: int, key: str) -> Table:
+    return Table(
+        name=name,
+        columns=tuple(columns),
+        cardinality=cardinality,
+        primary_key=(key,),
+        indexes=(Index(f"pk_{name}", name, (key,), clustered=True),),
+    )
+
+
+def tpch_catalog(scale: float = SCALE) -> Catalog:
+    """Build the TPC-H/R catalog at the given scale factor."""
+
+    def rows(base: int) -> int:
+        return max(1, int(base * scale))
+
+    catalog = Catalog()
+    catalog.add(
+        _t(
+            "region",
+            [Column("r_regionkey", 5), Column("r_name", 5)],
+            5,
+            "r_regionkey",
+        )
+    )
+    catalog.add(
+        _t(
+            "nation",
+            [
+                Column("n_nationkey", 25),
+                Column("n_name", 25),
+                Column("n_regionkey", 5),
+            ],
+            25,
+            "n_nationkey",
+        )
+    )
+    catalog.add(
+        _t(
+            "supplier",
+            [
+                Column("s_suppkey", rows(10_000)),
+                Column("s_name"),
+                Column("s_nationkey", 25),
+            ],
+            rows(10_000),
+            "s_suppkey",
+        )
+    )
+    catalog.add(
+        _t(
+            "customer",
+            [
+                Column("c_custkey", rows(150_000)),
+                Column("c_name"),
+                Column("c_nationkey", 25),
+            ],
+            rows(150_000),
+            "c_custkey",
+        )
+    )
+    catalog.add(
+        _t(
+            "part",
+            [
+                Column("p_partkey", rows(200_000)),
+                Column("p_name"),
+                Column("p_type", 150),
+            ],
+            rows(200_000),
+            "p_partkey",
+        )
+    )
+    catalog.add(
+        _t(
+            "orders",
+            [
+                Column("o_orderkey", rows(1_500_000)),
+                Column("o_custkey", rows(150_000)),
+                Column("o_orderdate", 2_406),
+                Column("o_year", 7),
+            ],
+            rows(1_500_000),
+            "o_orderkey",
+        )
+    )
+    catalog.add(
+        _t(
+            "lineitem",
+            [
+                Column("l_orderkey", rows(1_500_000)),
+                Column("l_partkey", rows(200_000)),
+                Column("l_suppkey", rows(10_000)),
+                Column("l_extendedprice"),
+                Column("l_discount", 11),
+            ],
+            rows(6_000_000),
+            "l_orderkey",
+        )
+    )
+    return catalog

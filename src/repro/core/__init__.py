@@ -1,0 +1,69 @@
+"""Core order-optimization framework (the paper's contribution).
+
+Public surface:
+
+* data model — :class:`Attribute`, :class:`Ordering`,
+  :class:`FunctionalDependency`, :class:`Equation`, :class:`ConstantBinding`,
+  :class:`FDSet`, :class:`InterestingOrders`;
+* the executable specification — :func:`omega` (the ``Ω(O, F)`` closure of
+  Section 2) and friends in :mod:`repro.core.inference`;
+* the prepared component — :class:`OrderOptimizer` with
+  :class:`BuilderOptions` / :data:`NO_PRUNING`, exposing the O(1) ADT
+  operations of Section 5.6.
+"""
+
+from .attributes import Attribute, attr, attrs
+from .dfsm import DFSM, subset_construction
+from .equivalence import EquivalenceClasses
+from .fd import (
+    ConstantBinding,
+    Equation,
+    FDItem,
+    FDSet,
+    FunctionalDependency,
+    normalize_fd,
+)
+from .grouping import Grouping, grouping, grouping_closure
+from .inference import Bounds, derive_item, omega, omega_new, prefix_closure
+from .interesting import InterestingOrders
+from .nfsm import NFSM, START
+from .optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer, PreparationStats
+from .ordering import EMPTY_ORDERING, Ordering, ordering
+from .tables import PreparedTables, build_tables
+from .trie import PrefixTrie
+
+__all__ = [
+    "Attribute",
+    "attr",
+    "attrs",
+    "Ordering",
+    "ordering",
+    "EMPTY_ORDERING",
+    "FunctionalDependency",
+    "Equation",
+    "ConstantBinding",
+    "FDItem",
+    "FDSet",
+    "normalize_fd",
+    "EquivalenceClasses",
+    "PrefixTrie",
+    "Grouping",
+    "grouping",
+    "grouping_closure",
+    "Bounds",
+    "derive_item",
+    "omega",
+    "omega_new",
+    "prefix_closure",
+    "InterestingOrders",
+    "NFSM",
+    "START",
+    "DFSM",
+    "subset_construction",
+    "PreparedTables",
+    "build_tables",
+    "OrderOptimizer",
+    "BuilderOptions",
+    "NO_PRUNING",
+    "PreparationStats",
+]

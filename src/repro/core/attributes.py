@@ -1,0 +1,98 @@
+"""Attributes: the atoms that orderings and functional dependencies range over.
+
+An attribute is an immutable ``(relation, name)`` pair.  The ``relation``
+part is optional so that toy examples can use bare names (``a``, ``b``) while
+catalog-backed queries use qualified names (``persons.jobid``).
+
+Attributes are value objects: two attributes with equal relation and name
+compare equal and hash equal regardless of how they were created.  A small
+helper, :func:`attrs`, builds several attributes at once, which keeps tests
+and examples terse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A single column reference, optionally qualified by a relation name."""
+
+    name: str
+    relation: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    def _sort_key(self) -> tuple[str, str]:
+        return (self.relation or "", self.name)
+
+    def __lt__(self, other: "Attribute") -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Attribute") -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Attribute") -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Attribute") -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    @property
+    def qualified_name(self) -> str:
+        """Return ``relation.name`` when qualified, else just ``name``."""
+        if self.relation:
+            return f"{self.relation}.{self.name}"
+        return self.name
+
+    def __str__(self) -> str:
+        return self.qualified_name
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.qualified_name!r})"
+
+    @classmethod
+    def parse(cls, text: str) -> "Attribute":
+        """Parse ``"rel.name"`` or ``"name"`` into an :class:`Attribute`."""
+        text = text.strip()
+        if not text:
+            raise ValueError("cannot parse an empty attribute")
+        if "." in text:
+            relation, _, name = text.rpartition(".")
+            return cls(name=name, relation=relation)
+        return cls(name=text)
+
+
+def attr(text: str) -> Attribute:
+    """Shorthand for :meth:`Attribute.parse`."""
+    return Attribute.parse(text)
+
+
+def attrs(*texts: str) -> tuple[Attribute, ...]:
+    """Parse several attribute names at once.
+
+    >>> attrs("a", "b", "t.c")
+    (Attribute('a'), Attribute('b'), Attribute('t.c'))
+    """
+    return tuple(Attribute.parse(t) for t in texts)
+
+
+def iter_unique(attributes: Iterator[Attribute]) -> Iterator[Attribute]:
+    """Yield attributes skipping duplicates while preserving order."""
+    seen: set[Attribute] = set()
+    for attribute in attributes:
+        if attribute not in seen:
+            seen.add(attribute)
+            yield attribute

@@ -1,0 +1,124 @@
+"""NFSM → DFSM conversion (Section 5.4, Appendix A).
+
+The classic NFA power-set construction, lifted to finite state machines
+without accepting states.  DFSM states are ε-closed sets of NFSM nodes; the
+construction preserves the artificial start node and the producer entry
+edges, which is what makes the O(1) ADT constructor possible.
+
+Because every NFSM node is among its own FD targets (closure edges), FD
+transitions are monotone: the represented set of logical orderings only
+grows, mirroring the semantics of ``inferNewLogicalOrderings``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .nfsm import NFSM, START
+from .ordering import Ordering
+
+
+@dataclass
+class DFSM:
+    """The deterministic FSM produced by the subset construction."""
+
+    nfsm: NFSM
+    states: tuple[frozenset[int], ...]
+    """DFSM state id -> set of NFSM node ids (ε-closed)."""
+
+    fd_transitions: tuple[tuple[int, ...], ...]
+    """[state][fd symbol] -> state."""
+
+    producer_transitions: dict[Ordering, int]
+    """Entry edges from the start state: produced ordering -> state."""
+
+    start: int = 0
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    @property
+    def transition_count(self) -> int:
+        return sum(len(row) for row in self.fd_transitions) + len(self.producer_transitions)
+
+    def state_orderings(self, state: int) -> frozenset[Ordering]:
+        """The explicit set of logical orderings a DFSM state represents."""
+        orderings = self.nfsm.orderings
+        return frozenset(
+            orderings[node]  # type: ignore[misc]
+            for node in self.states[state]
+            if node != START and orderings[node] is not None
+        )
+
+    def describe(self) -> str:
+        lines = [f"DFSM: {self.state_count} states"]
+        for state_id, nodes in enumerate(self.states):
+            content = ", ".join(
+                repr(self.nfsm.orderings[n]) for n in sorted(nodes) if n != START
+            )
+            marker = " (start)" if state_id == self.start else ""
+            lines.append(f"  state {state_id}{marker}: {{{content}}}")
+            for symbol, fdset in enumerate(self.nfsm.fd_symbols):
+                target = self.fd_transitions[state_id][symbol]
+                if target != state_id:
+                    lines.append(f"    --{fdset}--> state {target}")
+        for order, target in sorted(
+            self.producer_transitions.items(), key=lambda kv: repr(kv[0])
+        ):
+            lines.append(f"  start --[{order!r}]--> state {target}")
+        return "\n".join(lines)
+
+
+def subset_construction(nfsm: NFSM) -> DFSM:
+    """Convert the NFSM into a DFSM by the power-set construction.
+
+    Producer symbols are only expanded from the start state (the ADT
+    constructor is the only caller); from every other state a produced-order
+    symbol is a self-transition and cannot create new states.
+    """
+    symbol_count = len(nfsm.fd_symbols)
+    node_ids = {o: i for i, o in enumerate(nfsm.orderings) if o is not None}
+
+    start_set = frozenset((START,))
+    state_ids: dict[frozenset[int], int] = {start_set: 0}
+    states: list[frozenset[int]] = [start_set]
+    fd_rows: list[tuple[int, ...]] = []
+
+    def intern(nodes: frozenset[int]) -> int:
+        state = state_ids.get(nodes)
+        if state is None:
+            state = len(states)
+            state_ids[nodes] = state
+            states.append(nodes)
+        return state
+
+    producer_transitions: dict[Ordering, int] = {}
+    for order in nfsm.producer_orders:
+        entry = node_ids[order]
+        producer_transitions[order] = intern(nfsm.eps_closure(entry))
+
+    # Breadth-first expansion over FD symbols.
+    explored = 0
+    while explored < len(states):
+        nodes = states[explored]
+        row: list[int] = []
+        for symbol in range(symbol_count):
+            targets: set[int] = set()
+            for node in nodes:
+                if node == START:
+                    targets.add(node)
+                    continue
+                for target in nfsm.targets(node, symbol):
+                    targets.update(nfsm.eps_closure(target))
+            row.append(intern(frozenset(targets)))
+        fd_rows.append(tuple(row))
+        explored += 1
+
+    return DFSM(
+        nfsm=nfsm,
+        states=tuple(states),
+        fd_transitions=tuple(fd_rows),
+        producer_transitions=producer_transitions,
+        start=0,
+    )

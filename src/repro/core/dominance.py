@@ -1,0 +1,55 @@
+"""Simulation dominance between DFSM states (extension beyond the paper).
+
+The paper prunes plans only when their DFSM states are *equal*.  A strictly
+stronger, still safe criterion: state ``s1`` *dominates* ``s2`` when ``s1``
+satisfies every testable order ``s2`` satisfies **and** keeps doing so after
+any sequence of FD-set symbols — a simulation preorder over the transition
+system.  A cheaper plan whose state dominates another plan's state makes
+the latter unnecessary: every future ``contains`` it could pass, the
+dominating plan passes too, at no larger cost.
+
+Computed as a greatest fixpoint over the precomputed tables: start from all
+pairs whose contains rows are in superset relation, then repeatedly remove
+pairs with a successor pair not in the relation.
+"""
+
+from __future__ import annotations
+
+from .tables import PreparedTables
+
+
+def simulation_dominance(tables: PreparedTables) -> tuple[frozenset[int], ...]:
+    """For each state ``s``, the set of states it dominates (excluding itself).
+
+    ``result[s1]`` contains ``s2`` iff ``s1`` simulates ``s2``.
+    """
+    n = tables.state_count
+    rows = tables.contains_rows
+    symbol_count = tables.symbol_count
+
+    # candidate pairs: contains-row superset (bitmask inclusion)
+    dominates: list[set[int]] = [
+        {
+            s2
+            for s2 in range(n)
+            if s2 != s1 and rows[s1] & rows[s2] == rows[s2]
+        }
+        for s1 in range(n)
+    ]
+
+    changed = True
+    while changed:
+        changed = False
+        for s1 in range(n):
+            doomed = []
+            for s2 in dominates[s1]:
+                for symbol in range(symbol_count):
+                    t1 = tables.transition(s1, symbol)
+                    t2 = tables.transition(s2, symbol)
+                    if t1 != t2 and t2 not in dominates[t1]:
+                        doomed.append(s2)
+                        break
+            if doomed:
+                changed = True
+                dominates[s1].difference_update(doomed)
+    return tuple(frozenset(d) for d in dominates)

@@ -1,0 +1,92 @@
+"""Equivalence classes of attributes induced by equations.
+
+Section 5.7 of the paper: when equations ``a = b`` occur, the prefix-based
+search-space heuristic must compare orderings modulo attribute equivalence.
+"A representative is chosen for each equivalence class created by these
+dependencies and for the prefix test the attributes are replaced with their
+representatives."
+
+This module provides a small union-find over attributes.  Representatives are
+chosen deterministically (the smallest attribute of a class in the natural
+attribute order) so that results are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .attributes import Attribute
+from .fd import Equation, FDSet
+from .ordering import Ordering
+
+
+class EquivalenceClasses:
+    """Union-find over attributes with deterministic representatives."""
+
+    def __init__(self, equations: Iterable[Equation] = ()) -> None:
+        self._parent: dict[Attribute, Attribute] = {}
+        for equation in equations:
+            self.add_equation(equation)
+
+    @classmethod
+    def from_fdsets(cls, fdsets: Iterable[FDSet]) -> "EquivalenceClasses":
+        """Collect every equation from a collection of FD sets."""
+        classes = cls()
+        for fdset in fdsets:
+            for equation in fdset.equations:
+                classes.add_equation(equation)
+        return classes
+
+    def add_equation(self, equation: Equation) -> None:
+        self._union(equation.left, equation.right)
+
+    def _find(self, attribute: Attribute) -> Attribute:
+        parent = self._parent.get(attribute)
+        if parent is None or parent == attribute:
+            return attribute
+        root = self._find(parent)
+        self._parent[attribute] = root
+        return root
+
+    def _union(self, a: Attribute, b: Attribute) -> None:
+        root_a, root_b = self._find(a), self._find(b)
+        if root_a == root_b:
+            return
+        # Keep the smaller attribute as root for deterministic representatives.
+        if root_b < root_a:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._parent.setdefault(root_a, root_a)
+
+    def representative(self, attribute: Attribute) -> Attribute:
+        """The canonical representative of ``attribute``'s class."""
+        return self._find(attribute)
+
+    def are_equivalent(self, a: Attribute, b: Attribute) -> bool:
+        return self._find(a) == self._find(b)
+
+    def class_of(self, attribute: Attribute) -> frozenset[Attribute]:
+        """All known attributes equivalent to ``attribute`` (including itself)."""
+        root = self._find(attribute)
+        members = {a for a in self._parent if self._find(a) == root}
+        members.add(attribute)
+        return frozenset(members)
+
+    def canonical_sequence(self, ordering: Ordering) -> tuple[Attribute, ...]:
+        """Map each ordering element to its class representative.
+
+        Note that the result may contain repeated representatives when an
+        ordering mentions two equivalent attributes; callers that need
+        duplicate-free sequences must handle this themselves.
+        """
+        return tuple(self._find(a) for a in ordering)
+
+    def __contains__(self, attribute: Attribute) -> bool:
+        return attribute in self._parent
+
+    def classes(self) -> tuple[frozenset[Attribute], ...]:
+        """All non-singleton classes, deterministically ordered."""
+        by_root: dict[Attribute, set[Attribute]] = {}
+        for attribute in self._parent:
+            by_root.setdefault(self._find(attribute), set()).add(attribute)
+        return tuple(frozenset(v) for _, v in sorted(by_root.items()))

@@ -1,0 +1,207 @@
+"""Functional dependencies, equations, and constant bindings.
+
+Section 2 of the paper describes three kinds of order-relevant facts an
+algebraic operator can introduce:
+
+* a plain functional dependency ``B1, ..., Bk -> Bk+1`` (compound right-hand
+  sides are normalized into one FD per right-hand attribute),
+* an equation ``Ai = Aj`` coming from a join or selection predicate, which is
+  *stronger* than the two functional dependencies ``Ai -> Aj`` and
+  ``Aj -> Ai`` because it additionally permits substituting one attribute for
+  the other inside an ordering,
+* a constant binding ``A = const``, equivalent to the FD ``∅ -> A``: the
+  attribute may be inserted at *any* position of an ordering.
+
+A single algebraic operator may introduce several of these at once, so the
+alphabet of the order FSM is a *set* of such items — :class:`FDSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from .attributes import Attribute
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionalDependency:
+    """A normalized functional dependency ``lhs -> rhs`` (single rhs attribute)."""
+
+    lhs: frozenset[Attribute]
+    rhs: Attribute
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, frozenset):
+            object.__setattr__(self, "lhs", frozenset(self.lhs))
+        if self.rhs in self.lhs:
+            raise ValueError(f"trivial functional dependency: {self}")
+
+    @property
+    def attributes(self) -> frozenset[Attribute]:
+        return self.lhs | {self.rhs}
+
+    def __str__(self) -> str:
+        lhs = ",".join(sorted(str(a) for a in self.lhs)) or "∅"
+        return f"{{{lhs}}} -> {self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"FD({self})"
+
+
+@dataclass(frozen=True, slots=True)
+class Equation:
+    """An equality predicate ``left = right`` between two attributes.
+
+    The pair is stored in canonical (sorted) order so ``Equation(a, b)`` and
+    ``Equation(b, a)`` compare equal.
+    """
+
+    left: Attribute
+    right: Attribute
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise ValueError(f"trivial equation {self.left} = {self.right}")
+        if self.right < self.left:
+            left, right = self.right, self.left
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "right", right)
+
+    @property
+    def attributes(self) -> frozenset[Attribute]:
+        return frozenset((self.left, self.right))
+
+    def implied_fds(self) -> tuple[FunctionalDependency, FunctionalDependency]:
+        """The two plain FDs implied by the equation."""
+        return (
+            FunctionalDependency(frozenset({self.left}), self.right),
+            FunctionalDependency(frozenset({self.right}), self.left),
+        )
+
+    def other(self, attribute: Attribute) -> Attribute:
+        """Given one side of the equation, return the other side."""
+        if attribute == self.left:
+            return self.right
+        if attribute == self.right:
+            return self.left
+        raise ValueError(f"{attribute} does not occur in {self}")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    def __repr__(self) -> str:
+        return f"Equation({self})"
+
+
+@dataclass(frozen=True, slots=True)
+class ConstantBinding:
+    """A predicate ``attribute = const``, equivalent to the FD ``∅ -> attribute``."""
+
+    attribute: Attribute
+
+    @property
+    def attributes(self) -> frozenset[Attribute]:
+        return frozenset((self.attribute,))
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = const"
+
+    def __repr__(self) -> str:
+        return f"Constant({self})"
+
+
+FDItem = Union[FunctionalDependency, Equation, ConstantBinding]
+
+
+def normalize_fd(lhs: Iterable[Attribute], rhs: Iterable[Attribute]) -> tuple[FDItem, ...]:
+    """Normalize a compound FD ``lhs -> rhs1, rhs2, ...`` into single-rhs items.
+
+    An empty left-hand side produces :class:`ConstantBinding` items, matching
+    the paper's treatment of ``A = const`` as ``∅ -> A``.
+    """
+    lhs_set = frozenset(lhs)
+    items: list[FDItem] = []
+    for attribute in rhs:
+        if attribute in lhs_set:
+            continue
+        if lhs_set:
+            items.append(FunctionalDependency(lhs_set, attribute))
+        else:
+            items.append(ConstantBinding(attribute))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class FDSet:
+    """The set of FD items one algebraic operator introduces.
+
+    FD sets are the input-alphabet symbols of the order NFSM/DFSM: the paper's
+    ``F`` is a *set of FD sets*, one per operator.  The empty FD set is legal
+    (an operator that introduces nothing).
+    """
+
+    items: frozenset[FDItem] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.items, frozenset):
+            object.__setattr__(self, "items", frozenset(self.items))
+        for item in self.items:
+            if not isinstance(item, (FunctionalDependency, Equation, ConstantBinding)):
+                raise TypeError(f"not an FD item: {item!r}")
+
+    @classmethod
+    def of(cls, *items: FDItem) -> "FDSet":
+        return cls(frozenset(items))
+
+    @property
+    def attributes(self) -> frozenset[Attribute]:
+        result: set[Attribute] = set()
+        for item in self.items:
+            result |= item.attributes
+        return frozenset(result)
+
+    @property
+    def equations(self) -> tuple[Equation, ...]:
+        return tuple(i for i in self.items if isinstance(i, Equation))
+
+    @property
+    def constants(self) -> tuple[ConstantBinding, ...]:
+        return tuple(i for i in self.items if isinstance(i, ConstantBinding))
+
+    @property
+    def plain_fds(self) -> tuple[FunctionalDependency, ...]:
+        return tuple(i for i in self.items if isinstance(i, FunctionalDependency))
+
+    def union(self, other: "FDSet") -> "FDSet":
+        return FDSet(self.items | other.items)
+
+    def without(self, items: Iterable[FDItem]) -> "FDSet":
+        return FDSet(self.items - frozenset(items))
+
+    def __iter__(self) -> Iterator[FDItem]:
+        return iter(sorted(self.items, key=str))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.items
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self)
+        return f"{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"FDSet({self})"
+
+
+def flatten_items(fdsets: Iterable[FDSet]) -> frozenset[FDItem]:
+    """Union of all items across several FD sets."""
+    result: set[FDItem] = set()
+    for fdset in fdsets:
+        result |= fdset.items
+    return frozenset(result)

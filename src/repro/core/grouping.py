@@ -1,0 +1,159 @@
+"""Groupings: the order-optimization extension of the paper's follow-up work.
+
+A *grouping* ``{a, b}`` is satisfied by a tuple stream when all rows with
+equal ``(a, b)`` combinations are adjacent — the property a streaming
+aggregation or DISTINCT needs.  Groupings are weaker than orderings in one
+direction (any stream sorted by ``(a, b)`` is grouped by ``{a}`` and
+``{a, b}``) and incomparable in the other (grouped-by-``{a,b}`` implies
+*neither* grouped-by-``{a}`` nor any ordering).
+
+Functional dependencies act on groupings by set growth:
+
+* FD ``lhs -> b`` with ``lhs ⊆ g``: the stream is also grouped by
+  ``g ∪ {b}`` (within a ``g``-group, ``b`` is constant);
+* equation ``a = b`` with ``a ∈ g``: grouped by ``g ∪ {b}`` and by the
+  substitution ``(g \\ {a}) ∪ {b}``;
+* constant ``x``: grouped by ``g ∪ {x}``.
+
+Unlike orderings, groupings have **no prefix deduction**: the node for a
+grouping satisfies exactly itself.  The NFSM integration (see
+:mod:`repro.core.nfsm`) adds grouping nodes, ε-edges from every ordering
+node to the groupings of its prefixes, and closure FD edges computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .attributes import Attribute
+from .equivalence import EquivalenceClasses
+from .fd import ConstantBinding, Equation, FDItem, FDSet
+from .fd import FunctionalDependency
+from .ordering import Ordering
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """An immutable, non-empty set of attributes."""
+
+    attributes: frozenset[Attribute]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attributes, frozenset):
+            object.__setattr__(self, "attributes", frozenset(self.attributes))
+        if not self.attributes:
+            raise ValueError("a grouping must contain at least one attribute")
+        for attribute in self.attributes:
+            if not isinstance(attribute, Attribute):
+                raise TypeError(f"grouping elements must be Attribute: {attribute!r}")
+
+    @classmethod
+    def of(cls, *attributes: Attribute) -> "Grouping":
+        return cls(frozenset(attributes))
+
+    @classmethod
+    def from_ordering(cls, order: Ordering) -> "Grouping":
+        return cls(order.attribute_set)
+
+    def union(self, attribute: Attribute) -> "Grouping":
+        return Grouping(self.attributes | {attribute})
+
+    def substitute(self, old: Attribute, new: Attribute) -> "Grouping":
+        return Grouping((self.attributes - {old}) | {new})
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.attributes
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(sorted(self.attributes))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self)
+        return f"{{{inner}}}"
+
+
+def grouping(*names: str) -> Grouping:
+    """Build a grouping from attribute names (test/demo helper)."""
+    return Grouping(frozenset(Attribute.parse(n) for n in names))
+
+
+def derive_grouping(g: Grouping, item: FDItem) -> Iterator[Grouping]:
+    """One-step derivations of a grouping under a single FD item."""
+    if isinstance(item, FunctionalDependency):
+        if item.lhs <= g.attributes and item.rhs not in g:
+            yield g.union(item.rhs)
+    elif isinstance(item, ConstantBinding):
+        if item.attribute not in g:
+            yield g.union(item.attribute)
+    elif isinstance(item, Equation):
+        for source, target in ((item.left, item.right), (item.right, item.left)):
+            if source in g and target not in g:
+                yield g.union(target)
+                yield g.substitute(source, target)
+    else:  # pragma: no cover - guarded upstream
+        raise TypeError(f"unknown FD item {item!r}")
+
+
+class GroupingBounds:
+    """Relevance filter for artificial grouping nodes (Section 5.7 spirit).
+
+    A derived grouping can only ever satisfy an interesting grouping ``gi``
+    if its representative set is a subset of ``gi``'s (growth adds
+    attributes, substitution keeps representatives) — so anything else is
+    discarded during closure.
+    """
+
+    def __init__(
+        self,
+        interesting: Iterable[Grouping],
+        classes: EquivalenceClasses | None = None,
+    ) -> None:
+        self.classes = classes or EquivalenceClasses()
+        self._targets = [
+            frozenset(self.classes.representative(a) for a in g.attributes)
+            for g in interesting
+        ]
+
+    def admits(self, g: Grouping) -> bool:
+        canon = frozenset(self.classes.representative(a) for a in g.attributes)
+        return any(canon <= target for target in self._targets)
+
+
+def grouping_closure(
+    seeds: Iterable[Grouping],
+    fdsets: Iterable[FDSet | FDItem],
+    bounds: GroupingBounds | None = None,
+) -> frozenset[Grouping]:
+    """Closure of a set of groupings under FD derivation (no prefix rule)."""
+    items: list[FDItem] = []
+    for entry in fdsets:
+        entry_items = entry.items if isinstance(entry, FDSet) else (entry,)
+        for item in entry_items:
+            if item not in items:
+                items.append(item)
+    result: set[Grouping] = set()
+    work = list(seeds)
+    while work:
+        g = work.pop()
+        if g in result:
+            continue
+        result.add(g)
+        for item in items:
+            for candidate in derive_grouping(g, item):
+                if candidate in result:
+                    continue
+                if bounds is not None and not bounds.admits(candidate):
+                    continue
+                work.append(candidate)
+    return frozenset(result)
+
+
+def prefix_groupings(order: Ordering) -> tuple[Grouping, ...]:
+    """The groupings an ordering implies: one per non-empty prefix."""
+    return tuple(
+        Grouping.from_ordering(order.truncate(k)) for k in range(1, len(order) + 1)
+    )

@@ -1,0 +1,228 @@
+"""Order inference: the executable specification of Section 2.
+
+This module implements the paper's derivation rules and the closure
+``Ω(O, F)`` directly on explicit sets of orderings.  It serves three
+purposes:
+
+1. it is the *oracle* against which the NFSM/DFSM implementation is tested
+   (they must agree on every ``contains`` answer for interesting orders),
+2. it is used by the NFSM builder to materialize nodes and edges, and
+3. it hosts the two search-space heuristics of Section 5.7 (length bound and
+   interesting-order prefix bound) as an optional :class:`Bounds` filter.
+
+Derivation rules (paper Section 2):
+
+* prefix rule — an ordering satisfies every prefix of itself;
+* FD rule — given ``o`` and ``B1..Bk -> B``, insert ``B`` at any position
+  after all of ``B1..Bk`` (no-op when ``B`` already occurs in ``o``);
+* equation rule ``a = b`` — both implied FDs, substitution of one side for
+  the other, and (per Section 5.7) insertion *at* the position of the
+  equivalent attribute, which yields e.g. ``(jobid, id)`` from ``(id)``;
+* constant rule ``a = const`` — insert ``a`` at any position (``∅ -> a``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .attributes import Attribute
+from .equivalence import EquivalenceClasses
+from .fd import ConstantBinding, Equation, FDItem, FDSet, FunctionalDependency
+from .ordering import Ordering
+from .trie import PrefixTrie
+
+
+@dataclass(frozen=True, slots=True)
+class Derivation:
+    """A one-step derivation result.
+
+    ``insert_pos`` is the position at which a new attribute was inserted, or
+    ``None`` for substitution steps; the Section 5.7 prefix heuristic needs
+    the position to validate the insertion.
+    """
+
+    result: Ordering
+    insert_pos: int | None
+
+
+def _insertions(o: Ordering, attribute: Attribute, min_pos: int) -> Iterator[Derivation]:
+    if attribute in o:
+        return
+    for pos in range(min_pos, len(o) + 1):
+        yield Derivation(o.insert(pos, attribute), pos)
+
+
+def derive_item(o: Ordering, item: FDItem) -> Iterator[Derivation]:
+    """All one-step derivations of ``o`` under a single FD item."""
+    if isinstance(item, FunctionalDependency):
+        if not item.lhs <= o.attribute_set:
+            return
+        min_pos = max(o.index(a) for a in item.lhs) + 1
+        yield from _insertions(o, item.rhs, min_pos)
+    elif isinstance(item, ConstantBinding):
+        yield from _insertions(o, item.attribute, 0)
+    elif isinstance(item, Equation):
+        for source, target in ((item.left, item.right), (item.right, item.left)):
+            if source in o:
+                # Insertion may happen *at* the source position as well
+                # (Section 5.7: "for the special case of a condition a = b,
+                # i = j is also possible").
+                yield from _insertions(o, target, o.index(source))
+                if target not in o:
+                    yield Derivation(o.replace(o.index(source), target), None)
+    else:  # pragma: no cover - guarded by FDSet validation
+        raise TypeError(f"unknown FD item {item!r}")
+
+
+class Bounds:
+    """The Section 5.7 search-space heuristics as a derivation filter.
+
+    * interesting orders are always kept verbatim;
+    * with the prefix/relevance bound, a candidate is truncated to its
+      longest *prefix* whose canonical form (attributes replaced by
+      equivalence-class representatives) is a **subsequence** of some
+      canonical interesting order, and discarded when no prefix qualifies;
+    * when only the length bound is active, candidates are truncated to the
+      maximal interesting-order length.
+
+    A candidate that is a prefix of its source ordering carries no new
+    information — prefix closure already provides it — and is discarded.
+
+    **Soundness note (deviation from the paper).**  The paper's heuristic
+    tests whether the *prefix up to the insertion point* matches an
+    interesting order and stops otherwise.  That is unsound: inserting ``d``
+    into ``(a)`` fails the prefix test against the interesting order
+    ``(a, b, d)``, yet a later FD can insert ``b`` *between* ``a`` and
+    ``d``, making ``(a, b, d)`` reachable only through the rejected node
+    (found by the hypothesis property suite; pinned in
+    ``tests/core/test_inference.py``).  The subsequence criterion repairs
+    it: if a derived ordering ``c`` eventually yields an interesting order
+    ``w`` (as a prefix of a descendant), then the elements of ``c`` landing
+    inside that prefix form a *prefix of c* that is a *subsequence of w* —
+    so keeping, for every candidate, its longest prefix that is a
+    subsequence of some interesting order preserves all reachability
+    (prefix closure supplies the shorter prefixes).  The filter coincides
+    with the paper's on single-attribute interesting orders (all of its
+    experiments).
+    """
+
+    def __init__(
+        self,
+        interesting: Iterable[Ordering],
+        classes: EquivalenceClasses | None = None,
+        *,
+        use_prefix_bound: bool = True,
+        use_length_bound: bool = True,
+    ) -> None:
+        self.interesting = frozenset(interesting)
+        self.classes = classes or EquivalenceClasses()
+        self.use_prefix_bound = use_prefix_bound
+        self.use_length_bound = use_length_bound
+        self.max_length = max((len(o) for o in self.interesting), default=0)
+        self._canonical_interesting = tuple(
+            {self.classes.canonical_sequence(o) for o in self.interesting}
+        )
+
+    @staticmethod
+    def _matched_prefix_length(needle: tuple, hay: tuple) -> int:
+        """Length of the longest prefix of ``needle`` that is a subsequence
+        of ``hay`` (greedy two-pointer is exact for prefix matching)."""
+        position = 0
+        for element in hay:
+            if position < len(needle) and needle[position] == element:
+                position += 1
+        return position
+
+    def filter(self, derivation: Derivation, source: Ordering) -> Ordering | None:
+        """Apply the heuristics to a one-step derivation; ``None`` = discard."""
+        candidate = derivation.result
+        if candidate in self.interesting:
+            return candidate
+        if self.use_prefix_bound:
+            canonical = self.classes.canonical_sequence(candidate)
+            matched = max(
+                (
+                    self._matched_prefix_length(canonical, target)
+                    for target in self._canonical_interesting
+                ),
+                default=0,
+            )
+            if matched == 0:
+                return None
+            candidate = candidate.truncate(matched)
+        elif self.use_length_bound and self.max_length:
+            candidate = candidate.truncate(self.max_length)
+        if candidate.is_prefix_of(source):
+            return None
+        return candidate
+
+
+def prefix_closure(orders: Iterable[Ordering]) -> frozenset[Ordering]:
+    """Close a set of orderings under (proper, non-empty) prefixes."""
+    result: set[Ordering] = set()
+    for order in orders:
+        result.add(order)
+        result.update(order.prefixes())
+    return frozenset(result)
+
+
+def _items_of(fdsets: Iterable[FDSet | FDItem]) -> tuple[FDItem, ...]:
+    items: list[FDItem] = []
+    seen: set[FDItem] = set()
+    for entry in fdsets:
+        entry_items = entry.items if isinstance(entry, FDSet) else (entry,)
+        for item in entry_items:
+            if item not in seen:
+                seen.add(item)
+                items.append(item)
+    return tuple(items)
+
+
+def omega(
+    orders: Iterable[Ordering],
+    fdsets: Iterable[FDSet | FDItem] = (),
+    bounds: Bounds | None = None,
+) -> frozenset[Ordering]:
+    """Compute ``Ω(O, F)``: closure under prefixes and FD derivations.
+
+    ``fdsets`` may mix :class:`FDSet` symbols and bare FD items; the closure
+    is taken over the union of all items (interleaved application, exactly as
+    the paper's fixpoint definition).  With ``bounds`` the closure is the
+    *bounded* variant used for NFSM construction; without, it is the exact
+    specification (always finite: orderings are duplicate-free sequences over
+    a finite attribute set).
+    """
+    items = _items_of(fdsets)
+    result: set[Ordering] = set()
+    work: list[Ordering] = list(orders)
+    while work:
+        order = work.pop()
+        if order in result:
+            continue
+        result.add(order)
+        for prefix in order.prefixes():
+            if prefix not in result:
+                work.append(prefix)
+        for item in items:
+            for derivation in derive_item(order, item):
+                candidate = (
+                    bounds.filter(derivation, order) if bounds is not None else derivation.result
+                )
+                if candidate is not None and candidate not in result:
+                    work.append(candidate)
+    return frozenset(result)
+
+
+def omega_new(
+    order: Ordering,
+    fdset: FDSet | FDItem,
+    bounds: Bounds | None = None,
+) -> frozenset[Ordering]:
+    """``Ω_N(o, f)`` of Section 5.7: what ``f`` adds beyond prefix deduction."""
+    return omega([order], [fdset], bounds) - omega([order], (), bounds)
+
+
+def satisfies(orders: frozenset[Ordering], required: Ordering) -> bool:
+    """Membership test against an explicit (closed) set of logical orderings."""
+    return required in orders

@@ -1,0 +1,111 @@
+"""Interesting orders: the inputs of the preparation phase (Section 5.2).
+
+The set of interesting orders ``O_I`` is partitioned into
+
+* ``O_P`` — orderings *produced* by some physical operator (index scans,
+  sorts, the ``ORDER BY`` target, ...).  These get an artificial entry edge
+  from the start node ``q0`` so the ADT constructor is a single transition;
+* ``O_T`` — orderings that are only *tested for* (e.g. an ordering a
+  selection could exploit but no operator generates).
+
+Orders in ``O_P`` may of course also be tested for; the partition stored
+here keeps the two sets disjoint by treating "produced" as the stronger
+property, exactly like the paper's ``Q_I = Q_I^P ∪ Q_I^T`` with
+``Q_I^P ∩ Q_I^T = ∅``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .ordering import Ordering
+
+
+def _dedupe(orders: Iterable[Ordering]) -> tuple[Ordering, ...]:
+    seen: set[Ordering] = set()
+    result: list[Ordering] = []
+    for order in orders:
+        if not isinstance(order, Ordering):
+            raise TypeError(f"expected Ordering, got {order!r}")
+        if len(order) == 0:
+            raise ValueError("the empty ordering cannot be an interesting order")
+        if order not in seen:
+            seen.add(order)
+            result.append(order)
+    return tuple(result)
+
+
+@dataclass(frozen=True)
+class InterestingOrders:
+    """The partitioned set ``O_I = O_P ∪ O_T`` of interesting orders.
+
+    The optional *grouping* fields carry the groupings extension (the
+    follow-up work to the paper; see :mod:`repro.core.grouping`): groupings
+    a grouping-aware operator produces or tests for.  They default to empty,
+    in which case the machinery adds zero overhead.
+    """
+
+    produced: tuple[Ordering, ...] = field(default_factory=tuple)
+    tested: tuple[Ordering, ...] = field(default_factory=tuple)
+    groupings_produced: tuple = field(default_factory=tuple)
+    groupings_tested: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        produced = _dedupe(self.produced)
+        produced_set = set(produced)
+        tested = tuple(o for o in _dedupe(self.tested) if o not in produced_set)
+        object.__setattr__(self, "produced", produced)
+        object.__setattr__(self, "tested", tested)
+        g_produced = tuple(dict.fromkeys(self.groupings_produced))
+        g_tested = tuple(
+            g for g in dict.fromkeys(self.groupings_tested) if g not in g_produced
+        )
+        object.__setattr__(self, "groupings_produced", g_produced)
+        object.__setattr__(self, "groupings_tested", g_tested)
+
+    @classmethod
+    def of(
+        cls,
+        produced: Iterable[Ordering] = (),
+        tested: Iterable[Ordering] = (),
+        groupings_produced: Iterable = (),
+        groupings_tested: Iterable = (),
+    ) -> "InterestingOrders":
+        return cls(
+            tuple(produced),
+            tuple(tested),
+            tuple(groupings_produced),
+            tuple(groupings_tested),
+        )
+
+    @property
+    def all_groupings(self) -> tuple:
+        return self.groupings_produced + self.groupings_tested
+
+    @property
+    def all_orders(self) -> tuple[Ordering, ...]:
+        """Every interesting order, produced first, deterministic order."""
+        return self.produced + self.tested
+
+    @property
+    def max_length(self) -> int:
+        return max((len(o) for o in self.all_orders), default=0)
+
+    def is_produced(self, order: Ordering) -> bool:
+        return order in self.produced
+
+    def __contains__(self, order: object) -> bool:
+        return order in self.produced or order in self.tested
+
+    def __len__(self) -> int:
+        return len(self.produced) + len(self.tested)
+
+    def merge(self, other: "InterestingOrders") -> "InterestingOrders":
+        """Union of two interesting-order sets (produced wins over tested)."""
+        return InterestingOrders(
+            self.produced + other.produced,
+            self.tested + other.tested,
+            self.groupings_produced + other.groupings_produced,
+            self.groupings_tested + other.groupings_tested,
+        )

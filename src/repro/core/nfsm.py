@@ -1,0 +1,307 @@
+"""The non-deterministic FSM over logical orderings (Section 5.3).
+
+Nodes are orderings: the interesting orders themselves plus *artificial*
+orderings reachable from them by FD inference (``Q_A = Ω(O_I, F) \\ O_I``),
+plus the artificial start node ``q0``.
+
+Edges come in three flavours:
+
+* ε-edges — from an ordering to each of its proper prefixes (prefix
+  deduction);
+* FD edges — labelled with an FD-set symbol ``f``; the targets of node ``o``
+  under ``f`` are *all* of ``Ω({o}, {f})``, i.e. the edges are closure
+  edges.  One DFSM transition therefore implements the full
+  ``inferNewLogicalOrderings`` semantics, and the represented set of logical
+  orderings only ever grows (every node is among its own targets);
+* artificial start edges — from ``q0`` to each *produced* interesting order,
+  labelled with that ordering.  They are the ADT constructor entry points
+  and are preserved by the subset construction.
+
+An optional *empty ordering* node models a tuple stream with no physical
+ordering; constant bindings (``x = const``) still generate orderings for it.
+The paper leaves the scan entry state implicit; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .fd import FDSet
+from .grouping import Grouping, GroupingBounds, grouping_closure, prefix_groupings
+from .inference import Bounds, omega
+from .interesting import InterestingOrders
+from .ordering import EMPTY_ORDERING, Ordering
+
+START = 0
+"""Node id of the artificial start node ``q0``."""
+
+Node = "Ordering | Grouping"
+
+
+def _sort_key(node) -> tuple[int, str]:
+    kind = 1 if isinstance(node, Grouping) else 0
+    return (kind, len(node), repr(node))
+
+
+@dataclass
+class NFSM:
+    """The constructed NFSM.  Node ``0`` is always the start node ``q0``."""
+
+    orderings: tuple
+    """Node id -> node (``None`` for the start node).  Nodes are orderings,
+    plus :class:`repro.core.grouping.Grouping` entries when the groupings
+    extension is active."""
+
+    interesting: InterestingOrders
+    fd_symbols: tuple[FDSet, ...]
+    """The FD-set part of the input alphabet, deduplicated."""
+
+    producer_orders: tuple
+    """Nodes with an artificial start edge: ``O_P`` (plus ``()`` if enabled,
+    plus produced groupings)."""
+
+    testable: tuple
+    """Orders the contains matrix covers: ``O_I`` plus its prefix closure.
+
+    The paper's Figure 9 lists ``(a)`` although only ``(a,b)`` and
+    ``(a,b,c)`` are declared interesting — prefixes of interesting orders
+    are testable (a merge join may require a key prefix), so they are
+    protected from node pruning and given contains-matrix columns.
+    """
+
+    fd_targets: Mapping[tuple[int, int], frozenset[int]]
+    """(node id, fd symbol index) -> target node ids.  Missing key = {self}."""
+
+    eps: Mapping[int, frozenset[int]]
+    """node id -> all (transitive) ε-targets, i.e. its prefixes present as nodes."""
+
+    node_of: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.node_of:
+            self.node_of = {
+                o: i for i, o in enumerate(self.orderings) if o is not None
+            }
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes excluding the artificial start node."""
+        return len(self.orderings) - 1
+
+    @property
+    def edge_count(self) -> int:
+        eps_edges = sum(len(v) for v in self.eps.values())
+        fd_edges = sum(len(v) for v in self.fd_targets.values())
+        return eps_edges + fd_edges + len(self.producer_orders)
+
+    def targets(self, node: int, symbol: int) -> frozenset[int]:
+        """Closure targets of ``node`` under FD symbol ``symbol`` (⊇ {node})."""
+        return self.fd_targets.get((node, symbol), frozenset((node,)))
+
+    def eps_closure(self, node: int) -> frozenset[int]:
+        return self.eps.get(node, frozenset()) | {node}
+
+    def is_interesting(self, node: int) -> bool:
+        order = self.orderings[node]
+        return order is not None and order in self.interesting
+
+    def is_artificial(self, node: int) -> bool:
+        return node != START and not self.is_interesting(node)
+
+    def describe(self) -> str:
+        """A human-readable dump used by examples and debugging."""
+        lines = [f"NFSM: {self.node_count} nodes, {len(self.fd_symbols)} FD symbols"]
+        for node, order in enumerate(self.orderings):
+            if node == START:
+                lines.append("  q0 (start)")
+                for producer in self.producer_orders:
+                    lines.append(f"    --[{producer!r}]--> {producer!r}")
+                continue
+            kind = "interesting" if self.is_interesting(node) else "artificial"
+            lines.append(f"  {order!r} [{kind}]")
+            eps = self.eps.get(node, frozenset())
+            if eps:
+                eps_repr = ", ".join(repr(self.orderings[t]) for t in sorted(eps))
+                lines.append(f"    --eps--> {eps_repr}")
+            for symbol, fdset in enumerate(self.fd_symbols):
+                targets = self.fd_targets.get((node, symbol))
+                if targets and targets != frozenset((node,)):
+                    shown = ", ".join(
+                        repr(self.orderings[t]) for t in sorted(targets) if t != node
+                    )
+                    lines.append(f"    --{fdset}--> {shown}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NFSMStats:
+    """Construction statistics (reported by benchmarks for Section 6.2)."""
+
+    universe_size: int = 0
+    nodes: int = 0
+    fd_edges: int = 0
+    eps_edges: int = 0
+    pruned_fd_items: int = 0
+    merged_nodes: int = 0
+    deleted_nodes: int = 0
+
+
+def dedupe_fdsets(fdsets: Sequence[FDSet]) -> tuple[FDSet, ...]:
+    """Deduplicate FD-set symbols while preserving first-seen order."""
+    seen: set[FDSet] = set()
+    result: list[FDSet] = []
+    for fdset in fdsets:
+        if fdset not in seen:
+            seen.add(fdset)
+            result.append(fdset)
+    return tuple(result)
+
+
+def build_universe(
+    interesting: InterestingOrders,
+    fd_symbols: Sequence[FDSet],
+    bounds: Bounds | None,
+    *,
+    include_empty: bool,
+) -> tuple[Ordering, ...]:
+    """Materialize the ordering-node universe ``{q0} ∪ O_I ∪ Q_A`` (Step 2a).
+
+    Returns the orderings in a deterministic layout: interesting orders
+    first (in their declared order), then the empty ordering if requested,
+    then artificial orderings sorted by (length, repr).
+    """
+    seeds: list[Ordering] = list(interesting.all_orders)
+    if include_empty:
+        seeds.append(EMPTY_ORDERING)
+    closure = omega(seeds, fd_symbols, bounds)
+    artificial = sorted(
+        (o for o in closure if o not in interesting and len(o) > 0),
+        key=_sort_key,
+    )
+    layout: list[Ordering] = list(interesting.all_orders)
+    if include_empty:
+        layout.append(EMPTY_ORDERING)
+    layout.extend(artificial)
+    return tuple(layout)
+
+
+def build_grouping_universe(
+    interesting: InterestingOrders,
+    fd_symbols: Sequence[FDSet],
+    ordering_universe: Sequence[Ordering],
+    gbounds: GroupingBounds | None,
+) -> tuple[Grouping, ...]:
+    """Grouping nodes: interesting groupings, the (admissible) groupings
+    implied by ordering-node prefixes, and their FD closure.
+
+    Empty when the query declares no interesting groupings — the groupings
+    extension then costs nothing.
+    """
+    declared = tuple(interesting.all_groupings)
+    if not declared:
+        return ()
+    seeds: list[Grouping] = list(declared)
+    declared_set = set(declared)
+    for order in ordering_universe:
+        for g in prefix_groupings(order):
+            if g in declared_set:
+                continue
+            if gbounds is None or gbounds.admits(g):
+                seeds.append(g)
+    closure = grouping_closure(seeds, fd_symbols, gbounds)
+    artificial = sorted((g for g in closure if g not in declared_set), key=_sort_key)
+    return declared + tuple(artificial)
+
+
+def build_edges(
+    universe: Sequence[Ordering],
+    fd_symbols: Sequence[FDSet],
+    bounds: Bounds | None,
+    grouping_universe: Sequence[Grouping] = (),
+    gbounds: GroupingBounds | None = None,
+) -> tuple[dict[tuple[int, int], frozenset[int]], dict[int, frozenset[int]]]:
+    """Compute closure FD edges and ε edges over the universe (Step 2c).
+
+    Node ids in the returned maps are offset by 1 (id 0 is reserved for
+    ``q0``); ``universe[i]`` becomes node ``i + 1`` and grouping nodes
+    follow after the orderings.  ε edges: ordering → its prefixes, and
+    ordering → the groupings of its prefixes (sorted implies grouped).
+    """
+    node_of: dict = {order: i + 1 for i, order in enumerate(universe)}
+    for i, g in enumerate(grouping_universe):
+        node_of[g] = len(universe) + 1 + i
+
+    fd_targets: dict[tuple[int, int], frozenset[int]] = {}
+    eps: dict[int, frozenset[int]] = {}
+    for order in universe:
+        node = node_of[order]
+        eps_nodes = {node_of[p] for p in order.prefixes() if p in node_of}
+        if grouping_universe:
+            eps_nodes.update(
+                node_of[g] for g in prefix_groupings(order) if g in node_of
+            )
+        if eps_nodes:
+            eps[node] = frozenset(eps_nodes)
+        for symbol, fdset in enumerate(fd_symbols):
+            if not fdset:
+                continue
+            closure = omega([order], [fdset], bounds)
+            targets = frozenset(node_of[o] for o in closure if o in node_of)
+            if targets != frozenset((node,)):
+                fd_targets[(node, symbol)] = targets
+
+    for g in grouping_universe:
+        node = node_of[g]
+        for symbol, fdset in enumerate(fd_symbols):
+            if not fdset:
+                continue
+            closure = grouping_closure([g], [fdset], gbounds)
+            targets = frozenset(node_of[x] for x in closure if x in node_of)
+            if targets != frozenset((node,)):
+                fd_targets[(node, symbol)] = targets
+    return fd_targets, eps
+
+
+def assemble(
+    interesting: InterestingOrders,
+    fd_symbols: Sequence[FDSet],
+    universe: Sequence[Ordering],
+    fd_targets: Mapping[tuple[int, int], frozenset[int]],
+    eps: Mapping[int, frozenset[int]],
+    *,
+    include_empty: bool,
+    grouping_universe: Sequence[Grouping] = (),
+) -> NFSM:
+    """Attach the start node and artificial edges (Step 2e) and freeze."""
+    producer_orders: list = list(interesting.produced)
+    if include_empty:
+        producer_orders.append(EMPTY_ORDERING)
+    producer_orders.extend(interesting.groupings_produced)
+    declared = set(interesting.all_orders)
+    extra_prefixes = sorted(
+        {
+            prefix
+            for order in interesting.all_orders
+            for prefix in order.prefixes()
+            if prefix not in declared
+        },
+        key=_sort_key,
+    )
+    testable = (
+        interesting.all_orders
+        + tuple(extra_prefixes)
+        + tuple(interesting.all_groupings)
+    )
+    orderings: tuple = (None, *universe, *grouping_universe)
+    return NFSM(
+        orderings=orderings,
+        interesting=interesting,
+        fd_symbols=tuple(fd_symbols),
+        producer_orders=tuple(producer_orders),
+        testable=testable,
+        fd_targets=dict(fd_targets),
+        eps=dict(eps),
+    )

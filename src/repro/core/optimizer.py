@@ -1,0 +1,350 @@
+"""The order-optimization component: preparation pipeline plus O(1) ADT.
+
+:class:`OrderOptimizer.prepare` runs the four preparation steps of the
+paper's Figure 3:
+
+1. determine the input (interesting orders, FD sets — supplied by the
+   caller, typically :mod:`repro.query.analyzer`),
+2. construct the NFSM (nodes, FD filtering, edges, node pruning, start node),
+3. convert the NFSM into a DFSM (power-set construction),
+4. precompute the contains matrix and the transition table.
+
+Afterwards the ADT ``LogicalOrderings`` of the paper is available: a plan
+node's state is one ``int``; ``contains`` and ``infer_new_logical_orderings``
+are single table lookups.  The mid-plan *sort* entry (Section 5.6: follow
+the producer edge, then replay the FD-set symbols that hold for the subplan)
+is provided by :meth:`OrderOptimizer.state_after_sort`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from .dfsm import DFSM, subset_construction
+from .fd import FDSet
+from .inference import Bounds
+from .interesting import InterestingOrders
+from .nfsm import (
+    NFSM,
+    assemble,
+    build_edges,
+    build_grouping_universe,
+    build_universe,
+    dedupe_fdsets,
+)
+from .ordering import EMPTY_ORDERING, Ordering
+from .prune import FDPruneMode, prune_fd_items, prune_nodes
+from .tables import PreparedTables, build_tables
+
+
+@dataclass(frozen=True)
+class BuilderOptions:
+    """Toggles for every Section 5.7 reduction technique.
+
+    The defaults enable everything (the paper's "with pruning"
+    configuration); :data:`NO_PRUNING` reproduces the "w/o pruning" column
+    of the Section 6.2 experiment.
+    """
+
+    fd_prune_mode: FDPruneMode = "relevance"
+    merge_nodes: bool = True
+    delete_eps_nodes: bool = True
+    use_prefix_bound: bool = True
+    use_length_bound: bool = True
+    include_empty_ordering: bool = True
+    minimize_dfsm: bool = False
+    """Extension beyond the paper: Moore-minimize the precomputed tables.
+
+    Observable behaviour is unchanged; ``OrderOptimizer.dfsm`` keeps the
+    unminimized machine for introspection (state ids differ from table
+    state ids when minimization merged anything)."""
+
+    def without_pruning(self) -> "BuilderOptions":
+        return replace(
+            self,
+            fd_prune_mode="off",
+            merge_nodes=False,
+            delete_eps_nodes=False,
+            use_prefix_bound=False,
+            use_length_bound=False,
+        )
+
+
+NO_PRUNING = BuilderOptions().without_pruning()
+
+
+@dataclass
+class PreparationStats:
+    """Measurements reported by the Section 6.2 experiment."""
+
+    nfsm_nodes_initial: int = 0
+    nfsm_nodes: int = 0
+    nfsm_edges: int = 0
+    dfsm_states: int = 0
+    dfsm_transitions: int = 0
+    pruned_fd_items: int = 0
+    deleted_nodes: int = 0
+    merged_nodes: int = 0
+    preparation_ms: float = 0.0
+    precomputed_bytes: int = 0
+    interesting_order_count: int = 0
+    fd_symbol_count: int = 0
+
+
+class OrderOptimizer:
+    """The prepared order-optimization component (the paper's ADT factory)."""
+
+    def __init__(
+        self,
+        interesting: InterestingOrders,
+        nfsm: NFSM,
+        dfsm: DFSM,
+        tables: PreparedTables,
+        stats: PreparationStats,
+        options: BuilderOptions,
+        fdset_aliases: dict[FDSet, int] | None = None,
+    ) -> None:
+        self.interesting = interesting
+        self.nfsm = nfsm
+        self.dfsm = dfsm
+        self.tables = tables
+        self.stats = stats
+        self.options = options
+        self._order_handles = {
+            order: i for i, order in enumerate(tables.testable_orders)
+        }
+        # Original (pre-filtering) operator FD sets resolve to the symbol of
+        # their filtered content, so plan generators can keep using the FD
+        # sets they extracted from the query.
+        self._fd_handles = {fdset: i for i, fdset in enumerate(tables.fd_symbols)}
+        if fdset_aliases:
+            self._fd_handles.update(fdset_aliases)
+        fd_count = len(tables.fd_symbols)
+        self._producer_handles = {
+            order: fd_count + i for i, order in enumerate(tables.producer_orders)
+        }
+
+    # -- preparation --------------------------------------------------------------
+
+    @classmethod
+    def prepare(
+        cls,
+        interesting: InterestingOrders,
+        fdsets: Iterable[FDSet],
+        options: BuilderOptions | None = None,
+    ) -> "OrderOptimizer":
+        """Run the full preparation phase (Figure 3) and return the component."""
+        options = options or BuilderOptions()
+        started = time.perf_counter()
+
+        from .equivalence import EquivalenceClasses
+        from .grouping import GroupingBounds
+
+        symbols = dedupe_fdsets(tuple(fdsets))
+        classes = EquivalenceClasses.from_fdsets(symbols)
+        bounds: Bounds | None = None
+        if options.use_prefix_bound or options.use_length_bound:
+            bounds = Bounds(
+                interesting.all_orders,
+                classes,
+                use_prefix_bound=options.use_prefix_bound,
+                use_length_bound=options.use_length_bound,
+            )
+        gbounds: GroupingBounds | None = None
+        if options.use_prefix_bound and interesting.all_groupings:
+            gbounds = GroupingBounds(interesting.all_groupings, classes)
+
+        filtered_aligned, pruned_items = prune_fd_items(
+            symbols, interesting, options.fd_prune_mode, bounds
+        )
+
+        # Canonicalize: distinct originals may filter to the same content
+        # (e.g. both become empty); they then share one DFSM symbol.
+        filtered_symbols_list: list[FDSet] = []
+        canonical_index: dict[FDSet, int] = {}
+        fdset_aliases: dict[FDSet, int] = {}
+        for original, filtered in zip(symbols, filtered_aligned):
+            index = canonical_index.get(filtered)
+            if index is None:
+                index = len(filtered_symbols_list)
+                filtered_symbols_list.append(filtered)
+                canonical_index[filtered] = index
+            fdset_aliases[original] = index
+        filtered_symbols = tuple(filtered_symbols_list)
+
+        universe = build_universe(
+            interesting,
+            filtered_symbols,
+            bounds,
+            include_empty=options.include_empty_ordering,
+        )
+        grouping_universe = build_grouping_universe(
+            interesting, filtered_symbols, universe, gbounds
+        )
+        fd_targets, eps = build_edges(
+            universe, filtered_symbols, bounds, grouping_universe, gbounds
+        )
+        nfsm = assemble(
+            interesting,
+            filtered_symbols,
+            universe,
+            fd_targets,
+            eps,
+            include_empty=options.include_empty_ordering,
+            grouping_universe=grouping_universe,
+        )
+
+        stats = PreparationStats(
+            nfsm_nodes_initial=nfsm.node_count,
+            pruned_fd_items=len(pruned_items),
+            interesting_order_count=len(interesting),
+            fd_symbol_count=len(filtered_symbols),
+        )
+
+        if options.delete_eps_nodes or options.merge_nodes:
+            # The two heuristics are iterated together; disabling one simply
+            # skips its pass inside prune_nodes via the options below.
+            result = _prune_with_options(nfsm, options)
+            nfsm = result.nfsm
+            stats.deleted_nodes = result.deleted
+            stats.merged_nodes = result.merged
+
+        dfsm = subset_construction(nfsm)
+        tables = build_tables(dfsm)
+        if options.minimize_dfsm:
+            from .tables import minimize_tables
+
+            tables = minimize_tables(tables)
+
+        stats.nfsm_nodes = nfsm.node_count
+        stats.nfsm_edges = nfsm.edge_count
+        stats.dfsm_states = tables.state_count
+        stats.dfsm_transitions = dfsm.transition_count
+        stats.preparation_ms = (time.perf_counter() - started) * 1000.0
+        stats.precomputed_bytes = tables.total_bytes
+
+        return cls(interesting, nfsm, dfsm, tables, stats, options, fdset_aliases)
+
+    # -- handle lookups (done once per operator during plan-generation setup) -----
+
+    @property
+    def start_state(self) -> int:
+        return self.tables.start_state
+
+    def ordering_handle(self, order: Ordering) -> int:
+        """Handle of a testable order (an interesting order or a prefix of one)."""
+        try:
+            return self._order_handles[order]
+        except KeyError:
+            raise KeyError(
+                f"{order!r} is not a testable order of this query"
+            ) from None
+
+    def grouping_handle(self, g) -> int:
+        """Handle of an interesting grouping (groupings extension)."""
+        try:
+            return self._order_handles[g]
+        except KeyError:
+            raise KeyError(
+                f"{g!r} is not an interesting grouping of this query"
+            ) from None
+
+    def has_grouping(self, g) -> bool:
+        return g in self._order_handles
+
+    def fdset_handle(self, fdset: FDSet) -> int:
+        """Symbol handle of an operator's FD set, for :meth:`infer`."""
+        try:
+            return self._fd_handles[fdset]
+        except KeyError:
+            raise KeyError(
+                f"FD set {fdset} was not registered during preparation"
+            ) from None
+
+    def producer_handle(self, order: Ordering) -> int:
+        """Symbol handle of a produced ordering, for the ADT constructor."""
+        try:
+            return self._producer_handles[order]
+        except KeyError:
+            raise KeyError(
+                f"{order!r} is not a produced interesting order"
+            ) from None
+
+    def has_ordering(self, order: Ordering) -> bool:
+        return order in self._order_handles
+
+    def has_fdset(self, fdset: FDSet) -> bool:
+        return fdset in self._fd_handles
+
+    # -- the O(1) ADT operations ---------------------------------------------------
+
+    def contains(self, state: int, order_handle: int) -> bool:
+        """Does the plan node's tuple stream satisfy the interesting order?"""
+        return self.tables.contains(state, order_handle)
+
+    def infer(self, state: int, fdset_handle: int) -> int:
+        """``inferNewLogicalOrderings``: apply an operator's FD set."""
+        return self.tables.transition(state, fdset_handle)
+
+    def state_for_produced(self, producer_handle: int) -> int:
+        """ADT constructor for atomic subplans producing an ordering."""
+        return self.tables.transition(self.start_state, producer_handle)
+
+    def scan_state(self) -> int:
+        """State of an unordered scan (the empty physical ordering)."""
+        if self.options.include_empty_ordering:
+            return self.state_for_produced(self.producer_handle(EMPTY_ORDERING))
+        return self.start_state
+
+    def state_after_sort(
+        self, producer_handle: int, held_fdsets: Sequence[int] = ()
+    ) -> int:
+        """State after a mid-plan sort (Section 5.6).
+
+        Follows the producer edge from the start state and then replays the
+        FD-set symbols that currently hold for the subplan.
+        """
+        state = self.state_for_produced(producer_handle)
+        for fd_handle in held_fdsets:
+            state = self.tables.transition(state, fd_handle)
+        return state
+
+    # -- convenience (object-level API for examples/tests; not the hot path) -------
+
+    def satisfied_orders(self, state: int) -> frozenset[Ordering]:
+        """All interesting orders a state satisfies (for reporting)."""
+        return frozenset(
+            order
+            for order, handle in self._order_handles.items()
+            if self.contains(state, handle)
+        )
+
+
+def _prune_with_options(nfsm: NFSM, options: BuilderOptions):
+    """Run node pruning honouring the merge/delete toggles."""
+    from . import prune as prune_mod
+
+    if options.delete_eps_nodes and options.merge_nodes:
+        return prune_mod.prune_nodes(nfsm)
+
+    # Partial configurations: run only the requested passes to fixpoint.
+    deleted = 0
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        if options.delete_eps_nodes:
+            reduced = prune_mod._delete_pass(nfsm)
+            if reduced is not None:
+                deleted += nfsm.node_count - reduced.node_count
+                nfsm = reduced
+                changed = True
+        if options.merge_nodes:
+            reduced, merged_now = prune_mod._merge_pass(nfsm)
+            if reduced is not None:
+                merged += merged_now
+                nfsm = reduced
+                changed = True
+    return prune_mod.NodePruneResult(nfsm=nfsm, deleted=deleted, merged=merged)

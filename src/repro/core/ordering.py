@@ -1,0 +1,151 @@
+"""Logical orderings: duplicate-free sequences of attributes.
+
+An ordering ``(a, b, c)`` states that a tuple stream is sorted
+lexicographically by ``a``, then ``b``, then ``c`` (the formal condition is
+given in Section 2 of the paper and implemented verbatim in
+:mod:`repro.exec.verify`).  Orderings are immutable value objects; the empty
+ordering is a valid object (it is the ordering of an unsorted stream) and is
+exposed as :data:`EMPTY_ORDERING`.
+
+The operations provided here are exactly those the order-inference rules of
+the paper need: prefix enumeration, prefix tests, insertion of an attribute
+at a position, substitution of one attribute by another, and truncation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, overload
+
+from .attributes import Attribute
+
+
+class Ordering:
+    """An immutable sequence of pairwise distinct attributes."""
+
+    __slots__ = ("_attrs", "_hash")
+
+    def __init__(self, attributes: Iterable[Attribute] = ()) -> None:
+        attrs_tuple = tuple(attributes)
+        seen: set[Attribute] = set()
+        for attribute in attrs_tuple:
+            if not isinstance(attribute, Attribute):
+                raise TypeError(f"ordering elements must be Attribute, got {attribute!r}")
+            if attribute in seen:
+                raise ValueError(f"duplicate attribute {attribute} in ordering {attrs_tuple}")
+            seen.add(attribute)
+        self._attrs: tuple[Attribute, ...] = attrs_tuple
+        self._hash = hash(attrs_tuple)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attrs)
+
+    def __bool__(self) -> bool:
+        return bool(self._attrs)
+
+    @overload
+    def __getitem__(self, index: int) -> Attribute: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Ordering": ...
+
+    def __getitem__(self, index: int | slice) -> "Attribute | Ordering":
+        if isinstance(index, slice):
+            return Ordering(self._attrs[index])
+        return self._attrs[index]
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attrs
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Ordering):
+            return self._attrs == other._attrs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self._attrs)
+        return f"({inner})"
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The underlying attribute tuple."""
+        return self._attrs
+
+    @property
+    def attribute_set(self) -> frozenset[Attribute]:
+        """The set of attributes appearing in the ordering."""
+        return frozenset(self._attrs)
+
+    def index(self, attribute: Attribute) -> int:
+        """Position of ``attribute``; raises ``ValueError`` when absent."""
+        return self._attrs.index(attribute)
+
+    # -- prefix machinery ---------------------------------------------------------
+
+    def prefixes(self, *, proper: bool = True, include_empty: bool = False) -> Iterator["Ordering"]:
+        """Yield prefixes from shortest to longest.
+
+        By default only *proper, non-empty* prefixes are produced, which is
+        the prefix-closure convention of the paper (the ordering itself is
+        trivially satisfied and the empty ordering carries no information).
+        """
+        start = 0 if include_empty else 1
+        stop = len(self._attrs) if proper else len(self._attrs) + 1
+        for length in range(start, stop):
+            yield Ordering(self._attrs[:length])
+
+    def is_prefix_of(self, other: "Ordering") -> bool:
+        """True when ``self`` is a (non-strict) prefix of ``other``."""
+        return self._attrs == other._attrs[: len(self._attrs)]
+
+    def startswith(self, prefix: "Ordering") -> bool:
+        """True when ``prefix`` is a (non-strict) prefix of ``self``."""
+        return prefix.is_prefix_of(self)
+
+    # -- derivation helpers (used by the inference rules) --------------------------
+
+    def insert(self, position: int, attribute: Attribute) -> "Ordering":
+        """Return a new ordering with ``attribute`` inserted at ``position``."""
+        if not 0 <= position <= len(self._attrs):
+            raise IndexError(f"insert position {position} out of range for {self!r}")
+        return Ordering(self._attrs[:position] + (attribute,) + self._attrs[position:])
+
+    def replace(self, position: int, attribute: Attribute) -> "Ordering":
+        """Return a new ordering with the element at ``position`` replaced."""
+        if not 0 <= position < len(self._attrs):
+            raise IndexError(f"replace position {position} out of range for {self!r}")
+        return Ordering(self._attrs[:position] + (attribute,) + self._attrs[position + 1 :])
+
+    def truncate(self, length: int) -> "Ordering":
+        """Return the prefix of at most ``length`` attributes."""
+        if length < 0:
+            raise ValueError("truncate length must be non-negative")
+        if length >= len(self._attrs):
+            return self
+        return Ordering(self._attrs[:length])
+
+    def concat(self, other: "Ordering") -> "Ordering":
+        """Concatenate, skipping attributes already present in ``self``."""
+        extra = tuple(a for a in other._attrs if a not in self._attrs)
+        return Ordering(self._attrs + extra)
+
+
+EMPTY_ORDERING = Ordering(())
+
+
+def ordering(*names: str) -> Ordering:
+    """Build an ordering from attribute names.
+
+    >>> ordering("a", "b")
+    (a, b)
+    """
+    return Ordering(Attribute.parse(n) for n in names)

@@ -1,0 +1,358 @@
+"""NFSM reduction techniques (Section 5.7).
+
+Two families of reductions:
+
+**FD filtering (Step 2b).**  Functional dependencies that can never lead to a
+new interesting order are removed before nodes are materialized.  We provide
+two criteria:
+
+* ``"relevance"`` (default) — the paper's *narrative* criterion ("b → d has
+  been pruned, since d does not occur in any interesting order"), made
+  precise: compute the least set ``R`` of *relevant attributes* containing
+  every attribute of an interesting order and closed under equations
+  (``x = y`` with ``y ∈ R`` puts ``x`` into ``R``, because a substitution can
+  rewrite ``x`` into ``y``).  An FD/constant whose right-hand attribute is
+  outside ``R`` can never contribute to reaching an interesting order
+  (insertions only append information, they never reorder existing
+  attributes), and an equation with a side outside ``R`` likewise.  This is
+  sound and matches the paper's example outputs.
+* ``"formula"`` — the paper's formula
+  ``F_P = {f | ∀o: (Ω(Ω_N(o,f),F) \\ Ω({o},ε)) ∩ O_I = ∅}``, with one repair:
+  the quantifier ranges over the whole node universe rather than only
+  ``O_I``.  Quantified over ``O_I`` alone (as printed) the formula is
+  unsound — an FD whose left-hand side only ever occurs in *derived*
+  orderings would be pruned even when it is the only way to reach an
+  interesting order — and, conversely, it fails to prune ``b → d`` in the
+  paper's own running example.  See DESIGN.md and
+  ``tests/core/test_prune.py`` for the concrete counterexamples.
+
+**Node reduction (Step 2d).**  Artificial nodes are invisible to the plan
+generator, so they may be removed or merged as long as DFSM behaviour on
+interesting orders is preserved:
+
+* *ε-replacement* — an artificial node whose FD targets are all already
+  provided by its prefixes adds nothing: every (prefix-closed) DFSM state
+  containing it also contains its prefixes.  Such nodes are deleted.
+* *merging* — artificial nodes with identical ε-targets and identical FD
+  targets (modulo themselves) are bisimilar and collapsed into one node.
+  The ε-target condition is slightly stronger than the paper's formula; see
+  DESIGN.md ("Deliberate deviations").
+
+Both reductions are iterated to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal, Sequence
+
+from .attributes import Attribute
+from .fd import ConstantBinding, Equation, FDItem, FDSet, FunctionalDependency
+from .inference import Bounds, omega, omega_new
+from .interesting import InterestingOrders
+from .nfsm import NFSM, START
+from .ordering import Ordering
+
+FDPruneMode = Literal["relevance", "formula", "both", "off"]
+
+
+# ---------------------------------------------------------------------------
+# FD filtering (Step 2b)
+# ---------------------------------------------------------------------------
+
+
+def relevant_attributes(
+    interesting: InterestingOrders,
+    items: Iterable[FDItem],
+) -> frozenset[Attribute]:
+    """Least set of attributes that can still matter for an interesting order
+    (or interesting grouping — the groupings extension).
+
+    Seeded with every attribute of an interesting order/grouping and closed
+    under equation reachability: if ``x = y`` is available and ``y`` is
+    relevant, then ``x`` is relevant too (an occurrence of ``x`` can be
+    substituted by ``y`` on the way to an interesting order).
+    """
+    relevant: set[Attribute] = set()
+    for order in interesting.all_orders:
+        relevant.update(order.attribute_set)
+    for g in interesting.all_groupings:
+        relevant.update(g.attributes)
+    equations = [i for i in items if isinstance(i, Equation)]
+    changed = True
+    while changed:
+        changed = False
+        for equation in equations:
+            if equation.left in relevant and equation.right not in relevant:
+                relevant.add(equation.right)
+                changed = True
+            if equation.right in relevant and equation.left not in relevant:
+                relevant.add(equation.left)
+                changed = True
+    return frozenset(relevant)
+
+
+def _prunable_by_relevance(item: FDItem, relevant: frozenset[Attribute]) -> bool:
+    if isinstance(item, FunctionalDependency):
+        return item.rhs not in relevant
+    if isinstance(item, ConstantBinding):
+        return item.attribute not in relevant
+    if isinstance(item, Equation):
+        return item.left not in relevant or item.right not in relevant
+    raise TypeError(f"unknown FD item {item!r}")  # pragma: no cover
+
+
+def prune_items_relevance(
+    fdsets: Sequence[FDSet],
+    interesting: InterestingOrders,
+) -> tuple[tuple[FDSet, ...], frozenset[FDItem]]:
+    """Apply the relevance criterion; returns (filtered FD sets, pruned items)."""
+    all_items = {item for fdset in fdsets for item in fdset.items}
+    relevant = relevant_attributes(interesting, all_items)
+    pruned = frozenset(i for i in all_items if _prunable_by_relevance(i, relevant))
+    filtered = tuple(fdset.without(pruned) for fdset in fdsets)
+    return filtered, pruned
+
+
+def prune_items_formula(
+    fdsets: Sequence[FDSet],
+    interesting: InterestingOrders,
+    bounds: Bounds | None = None,
+    *,
+    quantify_over_universe: bool = True,
+) -> tuple[tuple[FDSet, ...], frozenset[FDItem]]:
+    """Apply the paper's Ω-based pruning formula.
+
+    ``quantify_over_universe=False`` reproduces the formula exactly as
+    printed (quantifier over ``O_I`` only); the default repairs it by
+    quantifying over the whole bounded universe ``Ω(O_I, F)``, which is the
+    sound reading.
+    """
+    all_items = [item for fdset in fdsets for item in fdset.items]
+    unique_items: list[FDItem] = []
+    for item in all_items:
+        if item not in unique_items:
+            unique_items.append(item)
+
+    sources: tuple[Ordering, ...] = interesting.all_orders
+    if quantify_over_universe:
+        sources = tuple(omega(interesting.all_orders, fdsets, bounds))
+
+    interesting_set = frozenset(interesting.all_orders)
+    pruned: set[FDItem] = set()
+    for item in unique_items:
+        useful = False
+        for source in sources:
+            new_orders = omega_new(source, item, bounds)
+            if not new_orders:
+                continue
+            reachable = omega(new_orders, fdsets, bounds)
+            base = omega([source], (), bounds)
+            if (reachable - base) & interesting_set:
+                useful = True
+                break
+        if not useful:
+            pruned.add(item)
+    filtered = tuple(fdset.without(pruned) for fdset in fdsets)
+    return filtered, frozenset(pruned)
+
+
+def prune_fd_items(
+    fdsets: Sequence[FDSet],
+    interesting: InterestingOrders,
+    mode: FDPruneMode,
+    bounds: Bounds | None = None,
+) -> tuple[tuple[FDSet, ...], frozenset[FDItem]]:
+    """Dispatch on the FD-pruning mode; see module docstring.
+
+    When interesting groupings exist, items relevant to them are never
+    pruned (the Ω-formula mode only reasons about orderings)."""
+    if mode == "off":
+        return tuple(fdsets), frozenset()
+    if mode == "relevance":
+        filtered, pruned = prune_items_relevance(fdsets, interesting)
+    elif mode == "formula":
+        filtered, pruned = prune_items_formula(fdsets, interesting, bounds)
+    elif mode == "both":
+        filtered, pruned_a = prune_items_relevance(fdsets, interesting)
+        filtered, pruned_b = prune_items_formula(filtered, interesting, bounds)
+        pruned = pruned_a | pruned_b
+    else:
+        raise ValueError(f"unknown FD prune mode {mode!r}")
+
+    if interesting.all_groupings and pruned:
+        all_items = {item for fdset in fdsets for item in fdset.items}
+        relevant = relevant_attributes(interesting, all_items)
+        rescued = {
+            item for item in pruned if not _prunable_by_relevance(item, relevant)
+        }
+        if rescued:
+            pruned = pruned - rescued
+            filtered = tuple(fdset.without(pruned) for fdset in fdsets)
+    return filtered, pruned
+
+
+# ---------------------------------------------------------------------------
+# Node reduction (Step 2d)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NodePruneResult:
+    nfsm: NFSM
+    deleted: int
+    merged: int
+
+
+def _rebuild(
+    nfsm: NFSM,
+    keep: Sequence[int],
+    remap: dict[int, int],
+) -> NFSM:
+    """Rebuild an NFSM keeping only ``keep`` nodes, applying ``remap`` first.
+
+    ``remap`` maps removed node ids to their replacement (for merging); ids
+    absent from both ``keep`` and ``remap`` are dropped entirely (deletion).
+    """
+    old_to_new: dict[int, int] = {START: START}
+    new_orderings: list[Ordering | None] = [None]
+    for old in keep:
+        old_to_new[old] = len(new_orderings)
+        new_orderings.append(nfsm.orderings[old])
+
+    def translate(old: int) -> int | None:
+        old = remap.get(old, old)
+        return old_to_new.get(old)
+
+    fd_targets: dict[tuple[int, int], frozenset[int]] = {}
+    for (node, symbol), targets in nfsm.fd_targets.items():
+        new_node = translate(node)
+        if new_node is None:
+            continue
+        new_targets = frozenset(
+            t for t in (translate(target) for target in targets) if t is not None
+        )
+        if new_targets and new_targets != frozenset((new_node,)):
+            existing = fd_targets.get((new_node, symbol))
+            if existing:
+                new_targets |= existing
+            fd_targets[(new_node, symbol)] = new_targets
+
+    eps: dict[int, frozenset[int]] = {}
+    for node, targets in nfsm.eps.items():
+        new_node = translate(node)
+        if new_node is None:
+            continue
+        new_targets = frozenset(
+            t
+            for t in (translate(target) for target in targets)
+            if t is not None and t != new_node
+        )
+        if new_targets:
+            existing = eps.get(new_node, frozenset())
+            eps[new_node] = new_targets | existing
+
+    return NFSM(
+        orderings=tuple(new_orderings),
+        interesting=nfsm.interesting,
+        fd_symbols=nfsm.fd_symbols,
+        producer_orders=nfsm.producer_orders,
+        testable=nfsm.testable,
+        fd_targets=fd_targets,
+        eps=eps,
+    )
+
+
+def _protected_nodes(nfsm: NFSM) -> frozenset[int]:
+    """Testable orders, producer entry points, and the start node."""
+    protected = {START}
+    testable = set(nfsm.testable)
+    for node, order in enumerate(nfsm.orderings):
+        if order is None:
+            continue
+        if order in testable or order in nfsm.producer_orders:
+            protected.add(node)
+    return frozenset(protected)
+
+
+def _delete_pass(nfsm: NFSM) -> NFSM | None:
+    """One ε-replacement pass; returns the reduced NFSM or None if unchanged."""
+    protected = _protected_nodes(nfsm)
+    symbols = range(len(nfsm.fd_symbols))
+    deletable: list[int] = []
+    for node in range(1, len(nfsm.orderings)):
+        if node in protected:
+            continue
+        prefixes = nfsm.eps.get(node, frozenset())
+        removable = True
+        for symbol in symbols:
+            extra = nfsm.targets(node, symbol) - {node}
+            if not extra:
+                continue
+            provided: set[int] = set()
+            for prefix in prefixes:
+                provided |= nfsm.targets(prefix, symbol)
+            if not extra <= provided:
+                removable = False
+                break
+        if removable:
+            deletable.append(node)
+    if not deletable:
+        return None
+    keep = [
+        node
+        for node in range(1, len(nfsm.orderings))
+        if node not in set(deletable)
+    ]
+    return _rebuild(nfsm, keep, remap={})
+
+
+def _merge_pass(nfsm: NFSM) -> tuple[NFSM | None, int]:
+    """One merge pass; returns (reduced NFSM or None, merged node count)."""
+    protected = _protected_nodes(nfsm)
+    symbols = range(len(nfsm.fd_symbols))
+    groups: dict[tuple, list[int]] = {}
+    for node in range(1, len(nfsm.orderings)):
+        if node in protected:
+            continue
+        signature = (
+            nfsm.eps.get(node, frozenset()),
+            tuple(frozenset(nfsm.targets(node, s) - {node}) for s in symbols),
+        )
+        groups.setdefault(signature, []).append(node)
+
+    remap: dict[int, int] = {}
+    merged = 0
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        representative = members[0]
+        for other in members[1:]:
+            remap[other] = representative
+            merged += 1
+    if not remap:
+        return None, 0
+    keep = [
+        node for node in range(1, len(nfsm.orderings)) if node not in remap
+    ]
+    return _rebuild(nfsm, keep, remap), merged
+
+
+def prune_nodes(nfsm: NFSM) -> NodePruneResult:
+    """Iterate ε-replacement and merging to a fixpoint."""
+    deleted = 0
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        reduced = _delete_pass(nfsm)
+        if reduced is not None:
+            deleted += nfsm.node_count - reduced.node_count
+            nfsm = reduced
+            changed = True
+        reduced, merged_now = _merge_pass(nfsm)
+        if reduced is not None:
+            merged += merged_now
+            nfsm = reduced
+            changed = True
+    return NodePruneResult(nfsm=nfsm, deleted=deleted, merged=merged)

@@ -1,0 +1,172 @@
+"""Precomputed lookup tables (Section 5.5, Figures 9 and 10).
+
+Two matrices are derived from the DFSM:
+
+* the **contains matrix** — one bit per (DFSM state, interesting order):
+  whether the NFSM node of that interesting order is a member of the DFSM
+  state.  Stored as one Python int bitmask per state (the paper uses a
+  compact bit vector; the accounting below assumes one bit per entry
+  rounded up to bytes per state);
+* the **transition table** — ``state × symbol -> state`` where symbols are
+  the FD-set handles followed by the produced-order handles.  Produced-order
+  symbols act from the start state only (the ADT constructor); from any
+  other state they are self-transitions.
+
+With these tables, both ADT operations are single array lookups — the O(1)
+claim of the paper.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+from .dfsm import DFSM
+from .fd import FDSet
+from .nfsm import START
+from .ordering import Ordering
+
+
+@dataclass
+class PreparedTables:
+    """The O(1) runtime representation of the order optimization component."""
+
+    start_state: int
+    testable_orders: tuple[Ordering, ...]
+    """The interesting orders plus their prefix closure (Figure 9 columns)."""
+
+    fd_symbols: tuple[FDSet, ...]
+    producer_orders: tuple[Ordering, ...]
+
+    contains_rows: tuple[int, ...]
+    """Per-state bitmask; bit ``i`` = state satisfies ``testable_orders[i]``."""
+
+    transitions: tuple[array, ...]
+    """Per-state symbol-indexed rows: FD symbols first, then producer symbols."""
+
+    @property
+    def state_count(self) -> int:
+        return len(self.contains_rows)
+
+    @property
+    def symbol_count(self) -> int:
+        return len(self.fd_symbols) + len(self.producer_orders)
+
+    def contains(self, state: int, order_handle: int) -> bool:
+        """O(1) membership test (Figure 9 lookup)."""
+        return bool(self.contains_rows[state] >> order_handle & 1)
+
+    def transition(self, state: int, symbol: int) -> int:
+        """O(1) state transition (Figure 10 lookup)."""
+        return self.transitions[state][symbol]
+
+    # -- size accounting (paper Section 6.2, "precomputed data") ----------------
+
+    @property
+    def contains_bytes(self) -> int:
+        row_bytes = (len(self.testable_orders) + 7) // 8
+        return row_bytes * self.state_count
+
+    @property
+    def transition_bytes(self) -> int:
+        # Two bytes per entry suffice for any realistic DFSM (the paper's
+        # largest unpruned DFSM has 80 states).
+        return 2 * self.symbol_count * self.state_count
+
+    @property
+    def total_bytes(self) -> int:
+        return self.contains_bytes + self.transition_bytes
+
+    # -- debugging / examples ----------------------------------------------------
+
+    def contains_table(self) -> list[list[int]]:
+        """The Figure 9 matrix as a list of 0/1 rows (state major)."""
+        return [
+            [1 if self.contains(state, i) else 0 for i in range(len(self.testable_orders))]
+            for state in range(self.state_count)
+        ]
+
+    def transition_table(self) -> list[list[int]]:
+        """The Figure 10 matrix as plain lists (state major)."""
+        return [list(row) for row in self.transitions]
+
+
+def build_tables(dfsm: DFSM) -> PreparedTables:
+    """Precompute the contains matrix and transition table from a DFSM."""
+    nfsm = dfsm.nfsm
+    testable_orders = nfsm.testable
+    node_of = nfsm.node_of
+
+    contains_rows: list[int] = []
+    for nodes in dfsm.states:
+        row = 0
+        for i, order in enumerate(testable_orders):
+            node = node_of.get(order)
+            if node is not None and node in nodes:
+                row |= 1 << i
+        contains_rows.append(row)
+
+    producer_orders = nfsm.producer_orders
+
+    transitions: list[array] = []
+    for state, fd_row in enumerate(dfsm.fd_transitions):
+        row = array("l", fd_row)
+        for order in producer_orders:
+            if state == dfsm.start:
+                row.append(dfsm.producer_transitions[order])
+            else:
+                row.append(state)
+        transitions.append(row)
+
+    return PreparedTables(
+        start_state=dfsm.start,
+        testable_orders=testable_orders,
+        fd_symbols=nfsm.fd_symbols,
+        producer_orders=producer_orders,
+        contains_rows=tuple(contains_rows),
+        transitions=tuple(transitions),
+    )
+
+
+def state_for_node_set(dfsm: DFSM, node: int) -> frozenset[int]:
+    """ε-closure helper exposed for tests."""
+    if node == START:
+        return frozenset((START,))
+    return dfsm.nfsm.eps_closure(node)
+
+
+def minimize_tables(tables: PreparedTables) -> PreparedTables:
+    """Moore-minimize the prepared tables (extension beyond the paper).
+
+    Merges DFSM states with identical contains rows and identical reactions
+    to every symbol.  Observable ADT behaviour is preserved by construction;
+    the tables shrink and plan pruning improves (plans whose states merge
+    become cost-comparable).  Note that :class:`repro.core.dfsm.DFSM`
+    introspection objects keep the unminimized state ids.
+    """
+    from ..automata.minimize import minimize_moore
+
+    state_map, n_classes = minimize_moore(
+        tables.contains_rows,
+        tables.transitions,
+        tables.start_state,
+    )
+    if n_classes == tables.state_count:
+        return tables
+
+    contains_rows = [0] * n_classes
+    transitions: list[array | None] = [None] * n_classes
+    for state, cls in enumerate(state_map):
+        contains_rows[cls] = tables.contains_rows[state]
+        if transitions[cls] is None:
+            transitions[cls] = array(
+                "l", (state_map[t] for t in tables.transitions[state])
+            )
+    return PreparedTables(
+        start_state=state_map[tables.start_state],
+        testable_orders=tables.testable_orders,
+        fd_symbols=tables.fd_symbols,
+        producer_orders=tables.producer_orders,
+        contains_rows=tuple(contains_rows),
+        transitions=tuple(t for t in transitions if t is not None),
+    )

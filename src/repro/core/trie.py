@@ -1,0 +1,79 @@
+"""A prefix trie over attribute sequences.
+
+Implements the lookup structure behind the paper's original Section 5.7
+prefix heuristic (longest interesting-order prefix in O(length)).  The
+default bounds in :mod:`repro.core.inference` now use the repaired
+*subsequence* criterion instead (see DESIGN.md), so the trie remains as a
+general-purpose utility for prefix-indexed attribute sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .attributes import Attribute
+
+
+class _TrieNode:
+    __slots__ = ("children", "terminal")
+
+    def __init__(self) -> None:
+        self.children: dict[Attribute, _TrieNode] = {}
+        self.terminal = False
+
+
+class PrefixTrie:
+    """Stores attribute sequences; answers longest-known-prefix queries."""
+
+    def __init__(self, sequences: Iterable[Sequence[Attribute]] = ()) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+        for sequence in sequences:
+            self.insert(sequence)
+
+    def insert(self, sequence: Sequence[Attribute]) -> None:
+        """Insert a sequence (and thereby all of its prefixes as paths)."""
+        node = self._root
+        for attribute in sequence:
+            node = node.children.setdefault(attribute, _TrieNode())
+        if not node.terminal:
+            node.terminal = True
+            self._size += 1
+
+    def __len__(self) -> int:
+        """Number of distinct terminal sequences inserted."""
+        return self._size
+
+    def has_path(self, sequence: Sequence[Attribute]) -> bool:
+        """True when ``sequence`` is a prefix of some inserted sequence."""
+        node = self._root
+        for attribute in sequence:
+            node = node.children.get(attribute)  # type: ignore[assignment]
+            if node is None:
+                return False
+        return True
+
+    def longest_path_length(self, sequence: Sequence[Attribute]) -> int:
+        """Length of the longest prefix of ``sequence`` that is a trie path.
+
+        Returns 0 when even the first element diverges from every inserted
+        sequence.
+        """
+        node = self._root
+        length = 0
+        for attribute in sequence:
+            node = node.children.get(attribute)  # type: ignore[assignment]
+            if node is None:
+                break
+            length += 1
+        return length
+
+    def max_depth(self) -> int:
+        """Length of the longest inserted sequence."""
+
+        def depth(node: _TrieNode) -> int:
+            if not node.children:
+                return 0
+            return 1 + max(depth(child) for child in node.children.values())
+
+        return depth(self._root)

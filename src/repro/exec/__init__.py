@@ -1,0 +1,34 @@
+"""Execution substrate: synthetic data, iterator operators, plan execution,
+and the Section 2 order-verification predicates."""
+
+from .data import generate_query_data, most_common_value
+from .executor import Executor, execute_plan
+from .iterators import (
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    select_rows,
+    sort_rows,
+)
+from .verify import (
+    satisfied_orderings,
+    satisfies_grouping,
+    satisfies_ordering,
+    satisfies_ordering_formal,
+)
+
+__all__ = [
+    "generate_query_data",
+    "most_common_value",
+    "Executor",
+    "execute_plan",
+    "sort_rows",
+    "select_rows",
+    "merge_join",
+    "hash_join",
+    "nested_loop_join",
+    "satisfies_ordering",
+    "satisfies_ordering_formal",
+    "satisfied_orderings",
+    "satisfies_grouping",
+]

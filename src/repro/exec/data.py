@@ -1,0 +1,62 @@
+"""Synthetic data generation for executing query plans.
+
+Rows are ``dict[Attribute, value]`` keyed by *alias-qualified* attributes,
+matching the plan generator's world.  Join columns draw from a shared small
+integer domain so equi-joins actually produce matches; other columns draw
+from per-column domains (duplicates are intentional — orderings must hold
+under ties).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..core.attributes import Attribute
+from ..query.query import QuerySpec
+
+Row = Dict[Attribute, object]
+
+
+def generate_query_data(
+    spec: QuerySpec,
+    *,
+    rows_per_table: int = 30,
+    domain: int = 8,
+    seed: int = 0,
+) -> dict[str, List[Row]]:
+    """Random rows for every relation of a query.
+
+    ``domain`` bounds the value range of join columns; with
+    ``rows_per_table`` comfortably above it, joins have plenty of matches
+    and plenty of duplicate keys (the interesting case for orderings).
+    """
+    rng = random.Random(seed)
+    data: dict[str, List[Row]] = {}
+    for ref in spec.relations:
+        table = spec.catalog.table(ref.table)
+        rows: List[Row] = []
+        for _ in range(rows_per_table):
+            row: Row = {}
+            for column in table.columns:
+                attribute = Attribute(column.name, ref.alias)
+                row[attribute] = rng.randrange(domain)
+            rows.append(row)
+        data[ref.alias] = rows
+    return data
+
+
+def apply_constant(rows: List[Row], attribute: Attribute, value: object) -> List[Row]:
+    """Filter rows to those where ``attribute == value``."""
+    return [row for row in rows if row[attribute] == value]
+
+
+def most_common_value(rows: List[Row], attribute: Attribute) -> object:
+    """The most frequent value of a column (useful to pick selective but
+    non-empty constants for ``x = const`` predicates in tests)."""
+    counts: dict[object, int] = {}
+    for row in rows:
+        counts[row[attribute]] = counts.get(row[attribute], 0) + 1
+    if not counts:
+        raise ValueError("no rows")
+    return max(counts.items(), key=lambda kv: kv[1])[0]

@@ -1,0 +1,148 @@
+"""Plan execution: interpret a :class:`PlanNode` tree over synthetic data.
+
+The executor closes the loop of the reproduction: a plan produced by the DP
+generator is run on actual tuples, and the orderings its ADT state *claims*
+can be checked against the physical stream (see
+``tests/exec/test_executor.py`` and the property suite).
+
+Selections are applied at scan level (exactly where the plan generator
+charges their FD sets); join predicates are applied at their join.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.attributes import Attribute
+from ..query.predicates import (
+    EqualsConstant,
+    JoinPredicate,
+    RangePredicate,
+    SelectionPredicate,
+)
+from ..query.query import QuerySpec
+from ..plangen.plan import (
+    HASH_JOIN,
+    INDEX_SCAN,
+    MERGE_JOIN,
+    NL_JOIN,
+    SCAN,
+    SORT,
+    PlanNode,
+)
+from .data import Row
+from .iterators import (
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    select_rows,
+    sort_rows,
+)
+
+
+def _selection_predicate(selection: SelectionPredicate):
+    attribute = selection.attribute
+    if isinstance(selection, EqualsConstant):
+        value = selection.value
+        return lambda row: row[attribute] == value
+    if isinstance(selection, RangePredicate):
+        op, lo, hi = selection.operator, selection.value, selection.upper_value
+        if op == "between":
+            return lambda row: lo <= row[attribute] <= hi  # type: ignore[operator]
+        ops = {
+            "<": lambda row: row[attribute] < lo,
+            "<=": lambda row: row[attribute] <= lo,
+            ">": lambda row: row[attribute] > lo,
+            ">=": lambda row: row[attribute] >= lo,
+            "<>": lambda row: row[attribute] != lo,
+        }
+        return ops[op]
+    raise TypeError(f"unknown selection {selection!r}")  # pragma: no cover
+
+
+class Executor:
+    """Interprets plan trees over per-alias row lists."""
+
+    def __init__(self, spec: QuerySpec, data: dict[str, List[Row]]) -> None:
+        self.spec = spec
+        self.data = data
+
+    def run(self, plan: PlanNode) -> List[Row]:
+        method = getattr(self, f"_run_{plan.op}", None)
+        if method is None:
+            raise ValueError(f"cannot execute operator {plan.op}")
+        return method(plan)
+
+    # -- leaves -----------------------------------------------------------------
+
+    def _scan_with_selections(self, alias: str, rows: List[Row]) -> List[Row]:
+        for selection in self.spec.selections_for(alias):
+            rows = select_rows(rows, _selection_predicate(selection))
+        return rows
+
+    def _run_scan(self, plan: PlanNode) -> List[Row]:
+        return self._scan_with_selections(plan.alias, list(self.data[plan.alias]))
+
+    def _run_index_scan(self, plan: PlanNode) -> List[Row]:
+        if plan.ordering is None:
+            raise ValueError("index scan without ordering")
+        rows = sort_rows(list(self.data[plan.alias]), plan.ordering)
+        return self._scan_with_selections(plan.alias, rows)
+
+    # -- unary ------------------------------------------------------------------
+
+    def _run_sort(self, plan: PlanNode) -> List[Row]:
+        if plan.ordering is None or plan.left is None:
+            raise ValueError("malformed sort node")
+        return sort_rows(self.run(plan.left), plan.ordering)
+
+    # -- joins ------------------------------------------------------------------
+
+    def _oriented_keys(self, plan: PlanNode) -> tuple[Attribute, Attribute]:
+        """First predicate's keys oriented as (left input, right input)."""
+        join: JoinPredicate = plan.predicates[0]
+        left_aliases = {node.alias for node in plan.left.operators() if node.alias}
+        if join.left.relation in left_aliases:
+            return join.left, join.right
+        return join.right, join.left
+
+    def _residual(self, plan: PlanNode):
+        rest: tuple[JoinPredicate, ...] = plan.predicates[1:]
+        if not rest:
+            return None
+
+        def condition(left_row: Row, right_row: Row) -> bool:
+            combined = dict(left_row)
+            combined.update(right_row)
+            return all(combined[p.left] == combined[p.right] for p in rest)
+
+        return condition
+
+    def _run_merge_join(self, plan: PlanNode) -> List[Row]:
+        lk, rk = self._oriented_keys(plan)
+        return merge_join(
+            self.run(plan.left), self.run(plan.right), lk, rk, self._residual(plan)
+        )
+
+    def _run_hash_join(self, plan: PlanNode) -> List[Row]:
+        lk, rk = self._oriented_keys(plan)
+        return hash_join(
+            self.run(plan.left), self.run(plan.right), lk, rk, self._residual(plan)
+        )
+
+    def _run_nl_join(self, plan: PlanNode) -> List[Row]:
+        predicates: tuple[JoinPredicate, ...] = plan.predicates
+
+        def condition(left_row: Row, right_row: Row) -> bool:
+            combined = dict(left_row)
+            combined.update(right_row)
+            return all(combined[p.left] == combined[p.right] for p in predicates)
+
+        return nested_loop_join(self.run(plan.left), self.run(plan.right), condition)
+
+
+def execute_plan(
+    plan: PlanNode, spec: QuerySpec, data: dict[str, List[Row]]
+) -> List[Row]:
+    """Convenience wrapper."""
+    return Executor(spec, data).run(plan)

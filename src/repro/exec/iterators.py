@@ -1,0 +1,101 @@
+"""Physical operators over in-memory tuple streams.
+
+Materialized list-based implementations (data volumes in tests are tiny);
+the semantics match the cost model's operators:
+
+* :func:`sort_rows` — stable sort by an ordering;
+* :func:`merge_join` — classic two-pointer merge with duplicate-group
+  buffering; **requires both inputs sorted on the join keys** and preserves
+  the left input's ordering;
+* :func:`hash_join` — builds on the right, probes with the left, preserving
+  the left (probe) ordering;
+* :func:`nested_loop_join` — reference implementation, preserves left order.
+
+All joins concatenate the two rows (attribute sets are disjoint because
+attributes are alias-qualified).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..core.attributes import Attribute
+from ..core.ordering import Ordering
+from .data import Row
+
+
+def sort_rows(rows: List[Row], order: Ordering) -> List[Row]:
+    """Stable sort by the ordering's attributes."""
+    return sorted(rows, key=lambda row: tuple(row[a] for a in order))  # type: ignore[type-var]
+
+
+def select_rows(rows: List[Row], predicate: Callable[[Row], bool]) -> List[Row]:
+    return [row for row in rows if predicate(row)]
+
+
+def _merged(left_row: Row, right_row: Row) -> Row:
+    combined = dict(left_row)
+    combined.update(right_row)
+    return combined
+
+
+def nested_loop_join(
+    left: List[Row],
+    right: List[Row],
+    condition: Callable[[Row, Row], bool],
+) -> List[Row]:
+    return [
+        _merged(l, r)
+        for l in left
+        for r in right
+        if condition(l, r)
+    ]
+
+
+def hash_join(
+    left: List[Row],
+    right: List[Row],
+    left_key: Attribute,
+    right_key: Attribute,
+    residual: Callable[[Row, Row], bool] | None = None,
+) -> List[Row]:
+    buckets: dict[object, List[Row]] = {}
+    for row in right:
+        buckets.setdefault(row[right_key], []).append(row)
+    result: List[Row] = []
+    for l in left:
+        for r in buckets.get(l[left_key], ()):
+            if residual is None or residual(l, r):
+                result.append(_merged(l, r))
+    return result
+
+
+def merge_join(
+    left: List[Row],
+    right: List[Row],
+    left_key: Attribute,
+    right_key: Attribute,
+    residual: Callable[[Row, Row], bool] | None = None,
+) -> List[Row]:
+    """Sort-merge join; inputs must be sorted on their keys."""
+    result: List[Row] = []
+    i = j = 0
+    n, m = len(left), len(right)
+    while i < n and j < m:
+        lv, rv = left[i][left_key], right[j][right_key]
+        if lv < rv:  # type: ignore[operator]
+            i += 1
+        elif rv < lv:  # type: ignore[operator]
+            j += 1
+        else:
+            # buffer the right duplicate group, sweep the left group
+            group_start = j
+            while j < m and right[j][right_key] == lv:
+                j += 1
+            group = right[group_start:j]
+            while i < n and left[i][left_key] == lv:
+                for r in group:
+                    if residual is None or residual(left[i], r):
+                        result.append(_merged(left[i], r))
+                i += 1
+    return result

@@ -1,0 +1,95 @@
+"""Order verification: the formal satisfaction condition of Section 2.
+
+A tuple stream ``R = (t1, ..., tr)`` satisfies the logical ordering
+``o = (A_o1, ..., A_om)`` iff for all ``1 <= i < j <= r``:
+
+    (t_i.A_o1 <= t_j.A_o1)
+    ∧ ∀ 1 < k <= m:  (∃ 1 <= l < k: t_i.A_ol < t_j.A_ol)
+                     ∨ ((t_i.A_ok-1 = t_j.A_ok-1) ∧ (t_i.A_ok <= t_j.A_ok))
+
+:func:`satisfies_ordering_formal` transcribes this quantifier structure
+verbatim (quadratic, the executable specification);
+:func:`satisfies_ordering` is the linear adjacent-pairs check.  The property
+suite asserts they agree.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.attributes import Attribute
+from ..core.ordering import Ordering
+
+Row = Mapping[Attribute, object]
+
+
+def satisfies_ordering(rows: Sequence[Row], order: Ordering) -> bool:
+    """Linear check: lexicographic non-decreasing over adjacent rows."""
+    if len(order) == 0 or len(rows) < 2:
+        return True
+    attrs = order.attributes
+    previous = rows[0]
+    for row in rows[1:]:
+        for attribute in attrs:
+            a, b = previous[attribute], row[attribute]
+            if a < b:  # type: ignore[operator]
+                break
+            if a > b:  # type: ignore[operator]
+                return False
+        previous = row
+    return True
+
+
+def satisfies_ordering_formal(rows: Sequence[Row], order: Ordering) -> bool:
+    """Quadratic check transcribing Section 2's condition verbatim."""
+    if len(order) == 0:
+        return True
+    attrs = order.attributes
+    m = len(attrs)
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            ti, tj = rows[i], rows[j]
+            if not ti[attrs[0]] <= tj[attrs[0]]:  # type: ignore[operator]
+                return False
+            for k in range(1, m):
+                strictly_less_before = any(
+                    ti[attrs[l]] < tj[attrs[l]]  # type: ignore[operator]
+                    for l in range(k)
+                )
+                tie_and_ordered = (
+                    ti[attrs[k - 1]] == tj[attrs[k - 1]]
+                    and ti[attrs[k]] <= tj[attrs[k]]  # type: ignore[operator]
+                )
+                if not (strictly_less_before or tie_and_ordered):
+                    return False
+    return True
+
+
+def satisfied_orderings(
+    rows: Sequence[Row],
+    candidates: Sequence[Ordering],
+) -> list[Ordering]:
+    """Which of the candidate orderings does the stream satisfy?"""
+    return [order for order in candidates if satisfies_ordering(rows, order)]
+
+
+def satisfies_grouping(rows: Sequence[Row], attributes) -> bool:
+    """Grouping satisfaction: equal attribute combinations are adjacent.
+
+    ``attributes`` is any iterable of attributes (e.g. a
+    :class:`repro.core.grouping.Grouping`).
+    """
+    attrs = tuple(attributes)
+    if not attrs:
+        return True
+    seen: set = set()
+    current = object()
+    for row in rows:
+        key = tuple(row[a] for a in attrs)
+        if key == current:
+            continue
+        if key in seen:
+            return False
+        seen.add(key)
+        current = key
+    return True

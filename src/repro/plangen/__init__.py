@@ -1,0 +1,37 @@
+"""Bottom-up DP plan generator with pluggable order-optimization backends."""
+
+from .backends import FsmBackend, OracleBackend, OrderingBackend, SimmenBackend
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .dp import PlanGenConfig, PlanGenerator, PlanGenResult, PlanGenStats, generate_plan
+from .plan import (
+    HASH_JOIN,
+    INDEX_SCAN,
+    JOIN_OPS,
+    MERGE_JOIN,
+    NL_JOIN,
+    SCAN,
+    SORT,
+    PlanNode,
+)
+
+__all__ = [
+    "OrderingBackend",
+    "FsmBackend",
+    "SimmenBackend",
+    "OracleBackend",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "PlanGenerator",
+    "PlanGenConfig",
+    "PlanGenResult",
+    "PlanGenStats",
+    "generate_plan",
+    "PlanNode",
+    "SCAN",
+    "INDEX_SCAN",
+    "SORT",
+    "MERGE_JOIN",
+    "HASH_JOIN",
+    "NL_JOIN",
+    "JOIN_OPS",
+]

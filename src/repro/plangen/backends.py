@@ -1,0 +1,255 @@
+"""Pluggable ordering backends for the plan generator.
+
+The plan generator talks to the order-optimization component through this
+small interface, which is exactly the ADT of the paper (constructor,
+``contains``, ``inferNewLogicalOrderings``) plus bookkeeping for the
+experiments.  Three implementations:
+
+* :class:`FsmBackend` — the paper's contribution; state is one ``int``;
+* :class:`SimmenBackend` — the baseline; state is (ordering, FD set);
+* :class:`OracleBackend` — explicit ``Ω``-closure sets; hopelessly slow but
+  an executable specification, used to validate the other two in tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Sequence
+
+from ..baseline.simmen import SimmenOrderOptimizer, SimmenState
+from ..core.fd import FDSet
+from ..core.inference import omega
+from ..core.optimizer import BuilderOptions, OrderOptimizer
+from ..core.ordering import EMPTY_ORDERING, Ordering
+from ..query.analyzer import QueryOrderInfo
+
+State = Any
+
+
+class OrderingBackend(ABC):
+    """The ADT interface the plan generator consumes."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def prepare(self, info: QueryOrderInfo) -> None:
+        """One-time preparation before plan generation starts."""
+
+    @abstractmethod
+    def scan_state(self) -> State:
+        """State of an unordered scan."""
+
+    @abstractmethod
+    def produced_state(self, order: Ordering) -> State:
+        """State of an atomic subplan producing ``order`` (e.g. index scan)."""
+
+    @abstractmethod
+    def sort_state(self, order: Ordering, held: Sequence[FDSet]) -> State:
+        """State after a mid-plan sort, given the FD sets that already hold."""
+
+    @abstractmethod
+    def apply(self, state: State, fdset: FDSet) -> State:
+        """``inferNewLogicalOrderings``."""
+
+    @abstractmethod
+    def satisfies(self, state: State, order: Ordering) -> bool:
+        """``contains``."""
+
+    @abstractmethod
+    def plan_key(self, state: State) -> Hashable:
+        """Pruning key: plans with equal keys are cost-comparable."""
+
+    @abstractmethod
+    def state_bytes(self, state: State) -> int:
+        """Per-plan-node storage for the memory experiment (Figure 14)."""
+
+    def shared_bytes(self) -> int:
+        """Query-wide storage (e.g. the DFSM tables); 0 for the baseline."""
+        return 0
+
+    def dominates(self, key_a: Hashable, key_b: Hashable) -> bool:
+        """Does plan-key ``key_a`` provide at least ``key_b``'s order info,
+        now and after any FD sequence?  Backends without a dominance
+        relation answer False (only equal keys are comparable)."""
+        return False
+
+    def satisfies_grouping(self, state: State, grouping) -> bool:
+        """Groupings extension: is the stream grouped on these attributes?
+        Backends without grouping support answer False (they fall back to
+        hash aggregation)."""
+        return False
+
+
+class FsmBackend(OrderingBackend):
+    """The paper's DFSM-based component (state = one integer).
+
+    With ``use_dominance=True`` (extension beyond the paper) the backend
+    precomputes the simulation preorder over DFSM states and offers it to
+    the plan generator for cross-state pruning.
+    """
+
+    name = "fsm"
+
+    def __init__(
+        self,
+        options: BuilderOptions | None = None,
+        *,
+        use_dominance: bool = False,
+    ) -> None:
+        self.options = options or BuilderOptions()
+        self.use_dominance = use_dominance
+        self.optimizer: OrderOptimizer | None = None
+        self._dominance: tuple[frozenset[int], ...] | None = None
+
+    def prepare(self, info: QueryOrderInfo) -> None:
+        self.optimizer = OrderOptimizer.prepare(
+            info.interesting, info.fdsets, self.options
+        )
+        self._fd_handles: dict[FDSet, int] = {}
+        self._producer_handles: dict[Ordering, int] = {}
+        self._order_handles: dict[Ordering, int] = {}
+        if self.use_dominance:
+            from ..core.dominance import simulation_dominance
+
+            self._dominance = simulation_dominance(self.optimizer.tables)
+
+    def dominates(self, key_a: int, key_b: int) -> bool:
+        if self._dominance is None:
+            return False
+        return key_b in self._dominance[key_a]
+
+    def _opt(self) -> OrderOptimizer:
+        if self.optimizer is None:
+            raise RuntimeError("backend not prepared")
+        return self.optimizer
+
+    def _fd_handle(self, fdset: FDSet) -> int:
+        handle = self._fd_handles.get(fdset)
+        if handle is None:
+            handle = self._opt().fdset_handle(fdset)
+            self._fd_handles[fdset] = handle
+        return handle
+
+    def scan_state(self) -> int:
+        return self._opt().scan_state()
+
+    def produced_state(self, order: Ordering) -> int:
+        opt = self._opt()
+        handle = self._producer_handles.get(order)
+        if handle is None:
+            handle = opt.producer_handle(order)
+            self._producer_handles[order] = handle
+        return opt.state_for_produced(handle)
+
+    def sort_state(self, order: Ordering, held: Sequence[FDSet]) -> int:
+        opt = self._opt()
+        handle = self._producer_handles.get(order)
+        if handle is None:
+            handle = opt.producer_handle(order)
+            self._producer_handles[order] = handle
+        return opt.state_after_sort(handle, [self._fd_handle(f) for f in held])
+
+    def apply(self, state: int, fdset: FDSet) -> int:
+        return self._opt().infer(state, self._fd_handle(fdset))
+
+    def satisfies(self, state: int, order: Ordering) -> bool:
+        opt = self._opt()
+        handle = self._order_handles.get(order)
+        if handle is None:
+            if not opt.has_ordering(order):
+                return False
+            handle = opt.ordering_handle(order)
+            self._order_handles[order] = handle
+        return opt.contains(state, handle)
+
+    def plan_key(self, state: int) -> int:
+        return state
+
+    def satisfies_grouping(self, state: int, grouping) -> bool:
+        opt = self._opt()
+        if not opt.has_grouping(grouping):
+            return False
+        return opt.contains(state, opt.grouping_handle(grouping))
+
+    def state_bytes(self, state: int) -> int:
+        return 4  # the paper's O(1): one 4-byte integer per plan node
+
+    def shared_bytes(self) -> int:
+        return self._opt().stats.precomputed_bytes
+
+
+class SimmenBackend(OrderingBackend):
+    """The Simmen et al. baseline (state = physical ordering + FD set)."""
+
+    name = "simmen"
+
+    def __init__(self) -> None:
+        self.adt = SimmenOrderOptimizer()
+
+    def prepare(self, info: QueryOrderInfo) -> None:
+        # No preparation phase — that is the point of the comparison.
+        self.info = info
+
+    def scan_state(self) -> SimmenState:
+        return self.adt.scan_state()
+
+    def produced_state(self, order: Ordering) -> SimmenState:
+        return self.adt.state_for_produced(order)
+
+    def sort_state(self, order: Ordering, held: Sequence[FDSet]) -> SimmenState:
+        items = frozenset(item for fdset in held for item in fdset.items)
+        return self.adt.state_after_sort(order, items)
+
+    def apply(self, state: SimmenState, fdset: FDSet) -> SimmenState:
+        return self.adt.infer(state, fdset)
+
+    def satisfies(self, state: SimmenState, order: Ordering) -> bool:
+        return self.adt.contains(state, order)
+
+    def plan_key(self, state: SimmenState) -> Hashable:
+        # The paper: Simmen's framework can only compare plans with the same
+        # physical ordering and the same (or subset) FD set.  Within one DP
+        # class the FD sets coincide, so the ordering is the key.
+        return (state.physical, state.fds)
+
+    def state_bytes(self, state: SimmenState) -> int:
+        return state.size_bytes()
+
+
+class OracleBackend(OrderingBackend):
+    """Explicit logical-ordering sets — the executable specification."""
+
+    name = "oracle"
+
+    def prepare(self, info: QueryOrderInfo) -> None:
+        self.info = info
+
+    def scan_state(self) -> frozenset[Ordering]:
+        # The empty physical ordering: constants can still create orderings
+        # (mirrors the FSM's explicit empty-ordering node).
+        return frozenset({EMPTY_ORDERING})
+
+    def produced_state(self, order: Ordering) -> frozenset[Ordering]:
+        return omega([order], ())
+
+    def sort_state(
+        self, order: Ordering, held: Sequence[FDSet]
+    ) -> frozenset[Ordering]:
+        state = self.produced_state(order)
+        for fdset in held:
+            state = self.apply(state, fdset)
+        return state
+
+    def apply(self, state: frozenset[Ordering], fdset: FDSet) -> frozenset[Ordering]:
+        if not fdset.items:
+            return state
+        return omega(state, [fdset])
+
+    def satisfies(self, state: frozenset[Ordering], order: Ordering) -> bool:
+        return order in state
+
+    def plan_key(self, state: frozenset[Ordering]) -> Hashable:
+        return state
+
+    def state_bytes(self, state: frozenset[Ordering]) -> int:
+        return sum(4 * len(o) for o in state)

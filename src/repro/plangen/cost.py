@@ -1,0 +1,72 @@
+"""The cost model of the plan generator.
+
+A classic textbook model in abstract row units.  The constants are chosen so
+that the order-related trade-offs of the paper actually arise:
+
+* a merge join on pre-sorted inputs is the cheapest join,
+* a hash join beats sort-plus-merge for large unsorted inputs,
+* sort-plus-merge beats hash when one side is already sorted or small,
+* nested loops win only for very small outer/inner combinations.
+
+Costs are cumulative: every operator adds its own cost to its inputs'.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost constants (per-row factors)."""
+
+    scan_factor: float = 1.0
+    index_scan_factor: float = 1.1  # slight overhead over a plain scan
+    sort_factor: float = 0.07  # multiplied by n·log2(n)
+    merge_factor: float = 1.0
+    hash_factor: float = 1.6  # build + probe overhead per row
+    nl_factor: float = 0.02  # per (outer row, inner row) pair
+
+    def scan(self, cardinality: float) -> float:
+        return self.scan_factor * cardinality
+
+    def index_scan(self, cardinality: float) -> float:
+        return self.index_scan_factor * cardinality
+
+    def sort(self, input_cost: float, cardinality: float) -> float:
+        n = max(cardinality, 2.0)
+        return input_cost + self.sort_factor * n * math.log2(n)
+
+    def merge_join(
+        self, left_cost: float, right_cost: float, left_card: float, right_card: float
+    ) -> float:
+        return left_cost + right_cost + self.merge_factor * (left_card + right_card)
+
+    def hash_join(
+        self, left_cost: float, right_cost: float, left_card: float, right_card: float
+    ) -> float:
+        return left_cost + right_cost + self.hash_factor * (left_card + right_card)
+
+    def nested_loop_join(
+        self, left_cost: float, right_cost: float, left_card: float, right_card: float
+    ) -> float:
+        return left_cost + right_cost + self.nl_factor * left_card * right_card
+
+    # -- aggregation (groupings extension) ---------------------------------------
+
+    stream_agg_factor: float = 0.5
+    hash_agg_factor: float = 1.8
+
+    def stream_aggregate(self, input_cost: float, cardinality: float) -> float:
+        """Aggregation over an input already grouped on the keys."""
+        return input_cost + self.stream_agg_factor * cardinality
+
+    def hash_aggregate(
+        self, input_cost: float, cardinality: float, groups: float
+    ) -> float:
+        """Hash aggregation: build a table of groups."""
+        return input_cost + self.hash_agg_factor * cardinality + groups
+
+
+DEFAULT_COST_MODEL = CostModel()

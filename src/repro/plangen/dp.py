@@ -1,0 +1,464 @@
+"""The bottom-up dynamic-programming plan generator (Lohman-style).
+
+System-R/Starburst shape, as the paper assumes (Section 2, [3]):
+
+1. **base plans** — per relation: table scan (plus index scans), with the
+   relation's equality-selection FD set applied;
+2. **joins** — enumerate connected subgraph / connected complement pairs of
+   the join graph in increasing size; for each pair of sub-plans emit nested
+   loop, hash, and sort-merge joins.  Merge joins require both inputs sorted
+   on the join attributes (``contains``); when an input is not, a *sort
+   enforcer* is inserted.  Every join applies the FD sets of the predicates
+   it evaluates (``inferNewLogicalOrderings``);
+3. **pruning** — within a relation subset, plans are comparable when the
+   ordering backend says their states are (FSM: equal DFSM state; Simmen:
+   equal physical ordering and FD set).  Comparable plans keep only the
+   cheapest.  This is precisely where the FSM framework's smaller state
+   space shrinks the search space (paper Section 7);
+4. **finalization** — a sort enforcer satisfies ``ORDER BY`` if no plan
+   already does.
+
+Instrumentation counts every constructed operator (the paper's ``#Plans``),
+retained table entries, and the bytes of order annotations (Figure 14).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.fd import FDSet
+from ..core.ordering import Ordering
+from ..query.analyzer import QueryOrderInfo, analyze
+from ..query.joingraph import JoinGraph, iter_bits
+from ..query.predicates import JoinPredicate
+from ..query.query import QuerySpec
+from .backends import OrderingBackend
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .plan import (
+    HASH_JOIN,
+    INDEX_SCAN,
+    MERGE_JOIN,
+    NL_JOIN,
+    SCAN,
+    SORT,
+    PlanNode,
+)
+
+
+@dataclass(frozen=True)
+class PlanGenConfig:
+    """Operator toggles and pruning policy."""
+
+    enable_nl_join: bool = True
+    enable_hash_join: bool = True
+    enable_merge_join: bool = True
+    enable_sort_enforcers: bool = True
+    enable_index_scans: bool = True
+    include_tested_selections: bool = False
+    cross_key_dominance: bool = False
+    """Extension beyond the paper: prune a plan when a cheaper plan's state
+    *dominates* its state (backend-provided simulation preorder), instead of
+    requiring equal states.  Optimality-preserving."""
+
+    enable_aggregation: bool = False
+    """Groupings extension: plan an aggregation step for ``GROUP BY``.  A
+    streaming aggregate is used when the ordering backend proves the input
+    grouped on the keys (only the FSM backend can); otherwise a hash
+    aggregate.  Off by default so the Simmen-comparison experiments match
+    the paper's operator repertoire."""
+
+
+@dataclass
+class PlanGenStats:
+    """The measurements of the Section 7 experiments."""
+
+    plans_created: int = 0
+    plans_retained: int = 0
+    time_ms: float = 0.0
+    prepare_ms: float = 0.0
+    state_bytes: int = 0
+    shared_bytes: int = 0
+
+    @property
+    def total_order_bytes(self) -> int:
+        return self.state_bytes + self.shared_bytes
+
+    @property
+    def us_per_plan(self) -> float:
+        if self.plans_created == 0:
+            return 0.0
+        return 1000.0 * self.time_ms / self.plans_created
+
+
+@dataclass
+class PlanGenResult:
+    best_plan: PlanNode
+    stats: PlanGenStats
+    info: QueryOrderInfo
+    tables: dict[int, dict] = field(default_factory=dict)
+
+
+class PlanGenerator:
+    """Bottom-up DP over connected subgraphs with order-aware pruning."""
+
+    def __init__(
+        self,
+        spec: QuerySpec,
+        backend: OrderingBackend,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        config: PlanGenConfig = PlanGenConfig(),
+    ) -> None:
+        self.spec = spec
+        self.backend = backend
+        self.cost = cost_model
+        self.config = config
+        self.graph = JoinGraph(spec)
+        self.stats = PlanGenStats()
+        self._card_cache: dict[int, float] = {}
+        self._held_cache: dict[int, tuple[FDSet, ...]] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _make(self, op: str, relations: int, **kwargs) -> PlanNode:
+        self.stats.plans_created += 1
+        return PlanNode(op, relations, **kwargs)
+
+    def _base_cardinality(self, alias: str) -> float:
+        card = float(self.spec.cardinality(alias))
+        for selection in self.spec.selections_for(alias):
+            card *= self.spec.selection_selectivity(selection)
+        return max(card, 1.0)
+
+    def _cardinality(self, mask: int) -> float:
+        cached = self._card_cache.get(mask)
+        if cached is not None:
+            return cached
+        card = 1.0
+        for i in iter_bits(mask):
+            card *= self._base_cardinality(self.graph.aliases[i])
+        for join in self.graph.edges_within(mask):
+            card *= self.spec.join_selectivity(join)
+        card = max(card, 1.0)
+        self._card_cache[mask] = card
+        return card
+
+    def _held_fdsets(self, mask: int) -> tuple[FDSet, ...]:
+        """FD sets that hold for any plan covering ``mask`` (for sorts)."""
+        cached = self._held_cache.get(mask)
+        if cached is not None:
+            return cached
+        held: list[FDSet] = []
+        for i in iter_bits(mask):
+            alias = self.graph.aliases[i]
+            fdset = self.info.scan_fdsets.get(alias)
+            if fdset is not None:
+                held.append(fdset)
+        for join in self.graph.edges_within(mask):
+            held.append(self.info.join_fdsets[join])
+        result = tuple(held)
+        self._held_cache[mask] = result
+        return result
+
+    # -- DP table maintenance ---------------------------------------------------
+
+    def _emit(self, table: dict, plan: PlanNode) -> None:
+        key = self.backend.plan_key(plan.state)
+        incumbent = table.get(key)
+        if incumbent is not None and incumbent.cost <= plan.cost:
+            return
+        if self.config.cross_key_dominance:
+            dominates = self.backend.dominates
+            for other_key, other in table.items():
+                if (
+                    other_key != key
+                    and other.cost <= plan.cost
+                    and dominates(other_key, key)
+                ):
+                    return
+            doomed = [
+                other_key
+                for other_key, other in table.items()
+                if other_key != key
+                and plan.cost <= other.cost
+                and dominates(key, other_key)
+            ]
+            for other_key in doomed:
+                del table[other_key]
+        table[key] = plan
+
+    # -- base plans ---------------------------------------------------------------
+
+    def _base_plans(self, i: int) -> dict:
+        alias = self.graph.aliases[i]
+        mask = 1 << i
+        card = self._cardinality(mask)
+        raw_card = float(self.spec.cardinality(alias))
+        scan_fdset = self.info.scan_fdsets.get(alias)
+        table: dict = {}
+
+        state = self.backend.scan_state()
+        if scan_fdset is not None:
+            state = self.backend.apply(state, scan_fdset)
+        table_scan = self._make(
+            SCAN,
+            mask,
+            state=state,
+            cost=self.cost.scan(raw_card),
+            cardinality=card,
+            detail=alias,
+            alias=alias,
+        )
+        self._emit(table, table_scan)
+
+        if self.config.enable_index_scans:
+            for index, order in self.spec.indexes_for(alias):
+                if not index.clustered:
+                    continue
+                state = self.backend.produced_state(order)
+                if scan_fdset is not None:
+                    state = self.backend.apply(state, scan_fdset)
+                index_scan = self._make(
+                    INDEX_SCAN,
+                    mask,
+                    state=state,
+                    cost=self.cost.index_scan(raw_card),
+                    cardinality=card,
+                    ordering=order,
+                    detail=f"{alias}.{index.name}",
+                    alias=alias,
+                )
+                self._emit(table, index_scan)
+        return table
+
+    # -- joins --------------------------------------------------------------------
+
+    def _sorted_input(
+        self, plan: PlanNode, order: Ordering, mask: int
+    ) -> PlanNode | None:
+        """Return ``plan`` if already sorted on ``order``, else a sort on top."""
+        if self.backend.satisfies(plan.state, order):
+            return plan
+        if not self.config.enable_sort_enforcers:
+            return None
+        state = self.backend.sort_state(order, self._held_fdsets(mask))
+        return self._make(
+            SORT,
+            mask,
+            state=state,
+            cost=self.cost.sort(plan.cost, plan.cardinality),
+            cardinality=plan.cardinality,
+            left=plan,
+            ordering=order,
+        )
+
+    def _join_state(
+        self,
+        input_state,
+        other_mask: int,
+        predicates: tuple[JoinPredicate, ...],
+    ):
+        """Output state of a join: the order-carrying input's state, plus the
+        FD sets of the other side (its predicates hold on the join output)
+        and of the newly evaluated join predicates."""
+        state = input_state
+        for fdset in self._held_fdsets(other_mask):
+            state = self.backend.apply(state, fdset)
+        for join in predicates:
+            state = self.backend.apply(state, self.info.join_fdsets[join])
+        return state
+
+    def _emit_joins(
+        self,
+        table: dict,
+        mask: int,
+        left: PlanNode,
+        right: PlanNode,
+        predicates: tuple[JoinPredicate, ...],
+        out_card: float,
+    ) -> None:
+        """All join alternatives for one (left, right) plan pair."""
+        cost = self.cost
+        detail = " and ".join(str(p) for p in predicates)
+
+        if self.config.enable_nl_join:
+            self._emit(
+                table,
+                self._make(
+                    NL_JOIN,
+                    mask,
+                    state=self._join_state(left.state, right.relations, predicates),
+                    cost=cost.nested_loop_join(
+                        left.cost, right.cost, left.cardinality, right.cardinality
+                    ),
+                    cardinality=out_card,
+                    left=left,
+                    right=right,
+                    detail=detail,
+                    predicates=predicates,
+                ),
+            )
+
+        if self.config.enable_hash_join:
+            self._emit(
+                table,
+                self._make(
+                    HASH_JOIN,
+                    mask,
+                    state=self._join_state(left.state, right.relations, predicates),
+                    cost=cost.hash_join(
+                        left.cost, right.cost, left.cardinality, right.cardinality
+                    ),
+                    cardinality=out_card,
+                    left=left,
+                    right=right,
+                    detail=detail,
+                    predicates=predicates,
+                ),
+            )
+
+        if self.config.enable_merge_join:
+            # Merge on the first predicate; orient its sides to the inputs.
+            join = predicates[0]
+            if join.left.relation in self.graph.aliases_of(left.relations):
+                left_key, right_key = Ordering([join.left]), Ordering([join.right])
+            else:
+                left_key, right_key = Ordering([join.right]), Ordering([join.left])
+            sorted_left = self._sorted_input(left, left_key, left.relations)
+            sorted_right = self._sorted_input(right, right_key, right.relations)
+            if sorted_left is not None and sorted_right is not None:
+                self._emit(
+                    table,
+                    self._make(
+                        MERGE_JOIN,
+                        mask,
+                        state=self._join_state(sorted_left.state, right.relations, predicates),
+                        cost=cost.merge_join(
+                            sorted_left.cost,
+                            sorted_right.cost,
+                            sorted_left.cardinality,
+                            sorted_right.cardinality,
+                        ),
+                        cardinality=out_card,
+                        left=sorted_left,
+                        right=sorted_right,
+                        detail=detail,
+                        predicates=predicates,
+                    ),
+                )
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> PlanGenResult:
+        """Generate the optimal plan for the query."""
+        started = time.perf_counter()
+        self.info = analyze(
+            self.spec,
+            include_tested_selections=self.config.include_tested_selections,
+            include_groupings=self.config.enable_aggregation,
+        )
+        self.backend.prepare(self.info)
+        self.stats.prepare_ms = (time.perf_counter() - started) * 1000.0
+
+        if not self.graph.connected(self.graph.all_mask):
+            raise ValueError(
+                f"query {self.spec.name} has a disconnected join graph"
+            )
+
+        tables: dict[int, dict] = {}
+        for i in range(self.graph.n):
+            tables[1 << i] = self._base_plans(i)
+
+        for mask in self.graph.connected_subsets():
+            if mask.bit_count() < 2:
+                continue
+            table = tables.setdefault(mask, {})
+            out_card = self._cardinality(mask)
+            for s1, s2 in self.graph.partitions(mask):
+                predicates = self.graph.edges_between(s1, s2)
+                for left_mask, right_mask in ((s1, s2), (s2, s1)):
+                    for left in list(tables[left_mask].values()):
+                        for right in list(tables[right_mask].values()):
+                            self._emit_joins(
+                                table, mask, left, right, predicates, out_card
+                            )
+
+        final_table = tables[self.graph.all_mask]
+        best = self._finalize(final_table)
+
+        self.stats.time_ms = (time.perf_counter() - started) * 1000.0
+        self.stats.plans_retained = sum(len(t) for t in tables.values())
+        self.stats.state_bytes = sum(
+            self.backend.state_bytes(plan.state)
+            for t in tables.values()
+            for plan in t.values()
+        )
+        self.stats.shared_bytes = self.backend.shared_bytes()
+        return PlanGenResult(
+            best_plan=best, stats=self.stats, info=self.info, tables=tables
+        )
+
+    def _aggregate(self, plan: PlanNode) -> PlanNode:
+        """Plan the GROUP BY step (groupings extension, opt-in)."""
+        from ..core.grouping import Grouping
+        from .plan import HASH_AGGREGATE, STREAM_AGGREGATE
+
+        group_by = self.spec.group_by
+        groups = 1.0
+        for attribute in group_by:
+            groups *= self.spec.distinct_values(attribute)
+        groups = min(groups, plan.cardinality)
+        keys = Grouping(frozenset(group_by))
+        detail = ", ".join(str(a) for a in group_by)
+        if self.backend.satisfies_grouping(plan.state, keys):
+            return self._make(
+                STREAM_AGGREGATE,
+                plan.relations,
+                state=plan.state,  # streaming preserves the input order
+                cost=self.cost.stream_aggregate(plan.cost, plan.cardinality),
+                cardinality=groups,
+                left=plan,
+                detail=detail,
+            )
+        return self._make(
+            HASH_AGGREGATE,
+            plan.relations,
+            state=self.backend.scan_state(),  # hashing destroys order
+            cost=self.cost.hash_aggregate(plan.cost, plan.cardinality, groups),
+            cardinality=groups,
+            left=plan,
+            detail=detail,
+        )
+
+    def _finalize(self, final_table: dict) -> PlanNode:
+        order_by = self.spec.order_by
+        aggregate = self.config.enable_aggregation and bool(self.spec.group_by)
+        candidates: list[PlanNode] = []
+        for plan in final_table.values():
+            if aggregate:
+                plan = self._aggregate(plan)
+            if order_by is None or not len(order_by):
+                candidates.append(plan)
+            elif self.backend.satisfies(plan.state, order_by):
+                candidates.append(plan)
+            elif self.config.enable_sort_enforcers:
+                sorted_plan = self._sorted_input(
+                    plan, order_by, self.graph.all_mask
+                )
+                if sorted_plan is not None:
+                    candidates.append(sorted_plan)
+        if not candidates:
+            raise RuntimeError(
+                f"no plan satisfies the ORDER BY of query {self.spec.name}"
+            )
+        return min(candidates, key=lambda p: p.cost)
+
+
+def generate_plan(
+    spec: QuerySpec,
+    backend: OrderingBackend,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    config: PlanGenConfig = PlanGenConfig(),
+) -> PlanGenResult:
+    """Convenience wrapper: build a generator and run it."""
+    return PlanGenerator(spec, backend, cost_model, config).run()

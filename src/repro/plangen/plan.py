@@ -1,0 +1,107 @@
+"""Physical plan nodes.
+
+Plan nodes are immutable and deliberately small: besides tree structure and
+cost/cardinality they carry exactly one piece of order information — the
+opaque ``state`` of the active ordering backend (an ``int`` for the FSM
+framework, a ``SimmenState`` for the baseline), which is the point of the
+paper's O(1)-space claim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core.ordering import Ordering
+
+SCAN = "scan"
+INDEX_SCAN = "index_scan"
+SORT = "sort"
+MERGE_JOIN = "merge_join"
+HASH_JOIN = "hash_join"
+NL_JOIN = "nl_join"
+STREAM_AGGREGATE = "stream_aggregate"
+HASH_AGGREGATE = "hash_aggregate"
+
+JOIN_OPS = (MERGE_JOIN, HASH_JOIN, NL_JOIN)
+AGGREGATE_OPS = (STREAM_AGGREGATE, HASH_AGGREGATE)
+
+
+class PlanNode:
+    """One physical operator in a plan tree."""
+
+    __slots__ = (
+        "op",
+        "relations",
+        "left",
+        "right",
+        "state",
+        "cost",
+        "cardinality",
+        "ordering",
+        "detail",
+        "alias",
+        "predicates",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        relations: int,
+        *,
+        state: Any,
+        cost: float,
+        cardinality: float,
+        left: "PlanNode | None" = None,
+        right: "PlanNode | None" = None,
+        ordering: Ordering | None = None,
+        detail: str = "",
+        alias: str = "",
+        predicates: tuple = (),
+    ) -> None:
+        self.op = op
+        self.relations = relations
+        self.left = left
+        self.right = right
+        self.state = state
+        self.cost = cost
+        self.cardinality = cardinality
+        self.ordering = ordering
+        self.detail = detail
+        self.alias = alias
+        self.predicates = predicates
+
+    def operators(self) -> Iterator["PlanNode"]:
+        """Pre-order iteration over the plan tree."""
+        yield self
+        if self.left is not None:
+            yield from self.left.operators()
+        if self.right is not None:
+            yield from self.right.operators()
+
+    @property
+    def operator_count(self) -> int:
+        return sum(1 for _ in self.operators())
+
+    def join_ops(self) -> list[str]:
+        """The join operators of the plan, outermost first."""
+        return [node.op for node in self.operators() if node.op in JOIN_OPS]
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree."""
+        pad = "  " * indent
+        parts = [f"{pad}{self.op}"]
+        if self.ordering is not None and len(self.ordering):
+            parts.append(f"order={self.ordering!r}")
+        if self.detail:
+            parts.append(f"[{self.detail}]")
+        parts.append(f"cost={self.cost:.1f}")
+        parts.append(f"rows={self.cardinality:.0f}")
+        lines = [" ".join(parts)]
+        if self.left is not None:
+            lines.append(self.left.explain(indent + 1))
+        if self.right is not None:
+            lines.append(self.right.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"PlanNode({self.op}, cost={self.cost:.1f})"

@@ -1,0 +1,28 @@
+"""Query model: predicates, bound query specs, join graphs, and the
+interesting-order / FD analyzer of Section 5.2."""
+
+from .analyzer import QueryOrderInfo, analyze
+from .joingraph import JoinGraph, iter_bits
+from .predicates import (
+    EqualsConstant,
+    JoinPredicate,
+    Predicate,
+    RangePredicate,
+    SelectionPredicate,
+)
+from .query import QuerySpec, RelationRef, make_query
+
+__all__ = [
+    "JoinPredicate",
+    "EqualsConstant",
+    "RangePredicate",
+    "SelectionPredicate",
+    "Predicate",
+    "QuerySpec",
+    "RelationRef",
+    "make_query",
+    "JoinGraph",
+    "iter_bits",
+    "QueryOrderInfo",
+    "analyze",
+]

@@ -1,0 +1,123 @@
+"""Determining the preparation-phase input from a query (Section 5.2).
+
+From a bound :class:`QuerySpec` we extract:
+
+* **produced interesting orders** ``O_P`` — one single-attribute ordering per
+  join-predicate side (sorts and clustered index scans can produce them and
+  merge joins exploit them), the orderings of available indexes, the
+  ``GROUP BY`` ordering, and the ``ORDER BY`` ordering (a sort can produce
+  it).  This mirrors the paper's Q8 walkthrough, where "all attributes used
+  in joins and group by clauses are added to the set of interesting orders";
+* **tested-only interesting orders** ``O_T`` — optionally, the attributes of
+  selection predicates ("a selection operator never sorts but might exploit
+  ordering", paper Section 6.2);
+* **FD sets** ``F`` — one per algebraic operator: an equation per join
+  predicate, and one set of constant bindings per relation with equality
+  selections (the selection operators are applied at scan level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.fd import FDSet, flatten_items
+from ..core.interesting import InterestingOrders
+from ..core.ordering import Ordering
+from .predicates import JoinPredicate
+from .query import QuerySpec
+
+
+@dataclass
+class QueryOrderInfo:
+    """The preparation-phase input, plus per-operator FD set lookup tables."""
+
+    interesting: InterestingOrders
+    fdsets: tuple[FDSet, ...]
+    join_fdsets: dict[JoinPredicate, FDSet] = field(default_factory=dict)
+    scan_fdsets: dict[str, FDSet] = field(default_factory=dict)
+
+    @property
+    def fd_item_count(self) -> int:
+        """Total number of distinct FD items (the paper's ``n``)."""
+        return len(flatten_items(self.fdsets))
+
+
+def analyze(
+    spec: QuerySpec,
+    *,
+    include_tested_selections: bool = False,
+    include_groupings: bool = False,
+) -> QueryOrderInfo:
+    """Extract interesting orders and FD sets from a query.
+
+    ``include_groupings`` activates the groupings extension: the
+    ``GROUP BY`` attribute set becomes an interesting (tested) grouping so
+    streaming aggregation can be recognized.
+    """
+    produced: list[Ordering] = []
+    tested: list[Ordering] = []
+
+    def add_produced(order: Ordering) -> None:
+        if len(order) and order not in produced:
+            produced.append(order)
+
+    # Join attributes: single-attribute orderings, both sides.
+    for join in spec.joins:
+        add_produced(Ordering([join.left]))
+        add_produced(Ordering([join.right]))
+
+    # Index orderings (clustered indexes produce their key ordering).
+    for alias in spec.aliases:
+        for index, order in spec.indexes_for(alias):
+            if index.clustered:
+                add_produced(order)
+
+    # GROUP BY: a sort-based group operator produces/exploits the ordering.
+    if spec.group_by:
+        add_produced(Ordering(spec.group_by))
+
+    # ORDER BY: demanded by the query, producible by a sort.
+    if spec.order_by is not None and len(spec.order_by):
+        add_produced(spec.order_by)
+
+    # Selection attributes are tested-only on request (paper Section 6.2).
+    if include_tested_selections:
+        for selection in spec.selections:
+            order = Ordering([selection.attribute])
+            if order not in produced and order not in tested:
+                tested.append(order)
+
+    # FD sets: one per join operator ...
+    join_fdsets: dict[JoinPredicate, FDSet] = {
+        join: join.fd_set() for join in spec.joins
+    }
+    # ... and one per relation whose scan applies equality selections.
+    scan_fdsets: dict[str, FDSet] = {}
+    for alias in spec.aliases:
+        equalities = spec.equality_selections_for(alias)
+        if equalities:
+            fdset = FDSet(
+                frozenset(
+                    item
+                    for selection in equalities
+                    for item in selection.fd_set().items
+                )
+            )
+            scan_fdsets[alias] = fdset
+
+    groupings_tested: list = []
+    if include_groupings and spec.group_by:
+        from ..core.grouping import Grouping
+
+        groupings_tested.append(Grouping(frozenset(spec.group_by)))
+
+    fdsets = tuple(join_fdsets.values()) + tuple(scan_fdsets.values())
+    interesting = InterestingOrders.of(
+        produced, tested, groupings_tested=groupings_tested
+    )
+    return QueryOrderInfo(
+        interesting=interesting,
+        fdsets=fdsets,
+        join_fdsets=join_fdsets,
+        scan_fdsets=scan_fdsets,
+    )

@@ -1,0 +1,135 @@
+"""The join graph, bitmask-indexed for the dynamic-programming enumerator.
+
+Relations are numbered in query order; a subset of relations is an ``int``
+bitmask.  The DP plan generator (``repro.plangen.dp``) relies on
+connectivity tests and on listing the join predicates crossing a partition,
+both provided here with memoization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+from .predicates import JoinPredicate
+from .query import QuerySpec
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask``."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+@dataclass
+class JoinGraph:
+    """Join graph over the relations of one query."""
+
+    spec: QuerySpec
+
+    def __post_init__(self) -> None:
+        self.aliases = self.spec.aliases
+        self.index_of = {alias: i for i, alias in enumerate(self.aliases)}
+        self.n = len(self.aliases)
+        self.edges: tuple[tuple[int, int, JoinPredicate], ...] = tuple(
+            (
+                self.index_of[join.left.relation],
+                self.index_of[join.right.relation],
+                join,
+            )
+            for join in self.spec.joins
+        )
+        self.adjacency: list[int] = [0] * self.n
+        for a, b, _ in self.edges:
+            self.adjacency[a] |= 1 << b
+            self.adjacency[b] |= 1 << a
+        self._connected = lru_cache(maxsize=None)(self._connected_uncached)
+
+    @property
+    def all_mask(self) -> int:
+        return (1 << self.n) - 1
+
+    def mask_of(self, aliases: str | tuple[str, ...]) -> int:
+        if isinstance(aliases, str):
+            aliases = (aliases,)
+        mask = 0
+        for alias in aliases:
+            mask |= 1 << self.index_of[alias]
+        return mask
+
+    def aliases_of(self, mask: int) -> tuple[str, ...]:
+        return tuple(self.aliases[i] for i in iter_bits(mask))
+
+    def neighbors(self, mask: int) -> int:
+        """All relations adjacent to ``mask`` (excluding ``mask`` itself)."""
+        result = 0
+        for i in iter_bits(mask):
+            result |= self.adjacency[i]
+        return result & ~mask
+
+    def _connected_uncached(self, mask: int) -> bool:
+        if mask == 0:
+            return False
+        start = 1 << next(iter_bits(mask))
+        frontier = start
+        seen = start
+        while frontier:
+            expand = 0
+            for i in iter_bits(frontier):
+                expand |= self.adjacency[i]
+            frontier = expand & mask & ~seen
+            seen |= frontier
+        return seen == mask
+
+    def connected(self, mask: int) -> bool:
+        """Is the induced subgraph on ``mask`` connected?"""
+        return self._connected(mask)
+
+    def edges_between(self, left: int, right: int) -> tuple[JoinPredicate, ...]:
+        """Join predicates with one side in ``left`` and the other in ``right``."""
+        result = []
+        for a, b, join in self.edges:
+            if (left >> a & 1 and right >> b & 1) or (left >> b & 1 and right >> a & 1):
+                result.append(join)
+        return tuple(result)
+
+    def edges_within(self, mask: int) -> tuple[JoinPredicate, ...]:
+        """Join predicates entirely inside ``mask``."""
+        return tuple(
+            join
+            for a, b, join in self.edges
+            if mask >> a & 1 and mask >> b & 1
+        )
+
+    def connected_subsets(self) -> Iterator[int]:
+        """All connected relation subsets, in increasing size order."""
+        masks = [
+            mask
+            for mask in range(1, self.all_mask + 1)
+            if self.connected(mask)
+        ]
+        masks.sort(key=lambda m: (m.bit_count(), m))
+        return iter(masks)
+
+    def partitions(self, mask: int) -> Iterator[tuple[int, int]]:
+        """Unordered partitions (S1, S2) of a connected ``mask`` such that
+        S1 and S2 are connected and joined by at least one edge.
+
+        Each unordered pair is yielded once (S1 contains the lowest bit).
+        """
+        lowest = mask & -mask
+        rest = mask ^ lowest
+        # enumerate all subsets of `rest`, each unioned with `lowest`
+        sub = rest
+        while True:
+            left = lowest | sub
+            right = mask ^ left
+            if right and self.connected(left) and self.connected(right):
+                if self.edges_between(left, right):
+                    yield left, right
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest

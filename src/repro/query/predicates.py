@@ -1,0 +1,100 @@
+"""Query predicates and the FD sets they induce (Section 5.2).
+
+Each predicate knows the FD set its evaluating operator introduces:
+
+* equi-join ``a = b``          -> ``{a = b}`` (an :class:`Equation`),
+* selection ``a = const``      -> ``{∅ -> a}`` (a :class:`ConstantBinding`),
+* range / inequality selection -> no functional dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.attributes import Attribute
+from ..core.fd import ConstantBinding, Equation, FDSet
+
+RANGE_OPERATORS = ("<", "<=", ">", ">=", "<>", "between")
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left = right`` between two relations."""
+
+    left: Attribute
+    right: Attribute
+
+    def __post_init__(self) -> None:
+        if self.left.relation is None or self.right.relation is None:
+            raise ValueError(f"join predicate attributes must be qualified: {self}")
+        if self.left.relation == self.right.relation:
+            raise ValueError(f"join predicate within one relation: {self}")
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset((self.left.relation, self.right.relation))  # type: ignore[arg-type]
+
+    @property
+    def attributes(self) -> frozenset[Attribute]:
+        return frozenset((self.left, self.right))
+
+    def fd_set(self) -> FDSet:
+        return FDSet.of(Equation(self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class EqualsConstant:
+    """A selection predicate ``attribute = value``."""
+
+    attribute: Attribute
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.attribute.relation is None:
+            raise ValueError(f"selection attribute must be qualified: {self}")
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset((self.attribute.relation,))  # type: ignore[arg-type]
+
+    def fd_set(self) -> FDSet:
+        return FDSet.of(ConstantBinding(self.attribute))
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """A selection ``attribute <op> value`` that induces no FD."""
+
+    attribute: Attribute
+    operator: str
+    value: object = None
+    upper_value: object = None  # for BETWEEN
+
+    def __post_init__(self) -> None:
+        if self.attribute.relation is None:
+            raise ValueError(f"selection attribute must be qualified: {self}")
+        if self.operator not in RANGE_OPERATORS:
+            raise ValueError(f"unsupported range operator {self.operator!r}")
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset((self.attribute.relation,))  # type: ignore[arg-type]
+
+    def fd_set(self) -> FDSet:
+        return FDSet()
+
+    def __str__(self) -> str:
+        if self.operator == "between":
+            return f"{self.attribute} between {self.value!r} and {self.upper_value!r}"
+        return f"{self.attribute} {self.operator} {self.value!r}"
+
+
+SelectionPredicate = Union[EqualsConstant, RangePredicate]
+Predicate = Union[JoinPredicate, EqualsConstant, RangePredicate]

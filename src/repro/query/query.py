@@ -1,0 +1,173 @@
+"""Query specifications: the input of the plan generator.
+
+A :class:`QuerySpec` is the bound, validated form of a select-project-join
+query: relation references (with aliases, so the same table can appear twice
+— TPC-R Q8 joins ``nation`` twice), equi-join predicates, selections, and
+the optional ``GROUP BY`` / ``ORDER BY`` clauses that make orderings
+interesting.  Attributes are always qualified by the *alias*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..catalog.schema import Catalog, Table
+from ..core.attributes import Attribute
+from ..core.ordering import Ordering
+from .predicates import EqualsConstant, JoinPredicate, RangePredicate, SelectionPredicate
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A relation reference ``table [AS alias]``; alias defaults to the table."""
+
+    table: str
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.alias:
+            object.__setattr__(self, "alias", self.table)
+
+
+@dataclass
+class QuerySpec:
+    """A validated select-project-join query over a catalog."""
+
+    catalog: Catalog
+    relations: tuple[RelationRef, ...]
+    joins: tuple[JoinPredicate, ...] = ()
+    selections: tuple[SelectionPredicate, ...] = ()
+    order_by: Ordering | None = None
+    group_by: tuple[Attribute, ...] = ()
+    name: str = "query"
+    join_selectivities: dict[frozenset[Attribute], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        aliases = [r.alias for r in self.relations]
+        if len(set(aliases)) != len(aliases):
+            raise ValueError(f"duplicate relation alias in query {self.name}")
+        for ref in self.relations:
+            if ref.table not in self.catalog:
+                raise ValueError(f"unknown table {ref.table}")
+        alias_set = set(aliases)
+        for join in self.joins:
+            self._check_attribute(join.left, alias_set)
+            self._check_attribute(join.right, alias_set)
+        for selection in self.selections:
+            self._check_attribute(selection.attribute, alias_set)
+        if self.order_by is not None:
+            for attribute in self.order_by:
+                self._check_attribute(attribute, alias_set)
+        for attribute in self.group_by:
+            self._check_attribute(attribute, alias_set)
+
+    def _check_attribute(self, attribute: Attribute, aliases: set[str]) -> None:
+        if attribute.relation not in aliases:
+            raise ValueError(
+                f"attribute {attribute} does not reference a relation of "
+                f"query {self.name}"
+            )
+        table = self.table_of(attribute.relation)
+        if not table.has_column(attribute.name):
+            raise ValueError(f"table {table.name} has no column {attribute.name}")
+
+    # -- resolution helpers ---------------------------------------------------
+
+    def table_of(self, alias: str | None) -> Table:
+        for ref in self.relations:
+            if ref.alias == alias:
+                return self.catalog.table(ref.table)
+        raise KeyError(f"unknown relation alias {alias}")
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(r.alias for r in self.relations)
+
+    def cardinality(self, alias: str) -> int:
+        return self.table_of(alias).cardinality
+
+    def distinct_values(self, attribute: Attribute) -> int:
+        table = self.table_of(attribute.relation)
+        column = table.column(attribute.name)
+        if column.distinct_values is not None:
+            return max(1, column.distinct_values)
+        return max(1, table.cardinality)
+
+    def selections_for(self, alias: str) -> tuple[SelectionPredicate, ...]:
+        return tuple(
+            s for s in self.selections if s.attribute.relation == alias
+        )
+
+    def equality_selections_for(self, alias: str) -> tuple[EqualsConstant, ...]:
+        return tuple(
+            s
+            for s in self.selections_for(alias)
+            if isinstance(s, EqualsConstant)
+        )
+
+    def indexes_for(self, alias: str) -> tuple:
+        """Indexes of the underlying table, with orderings re-qualified by alias."""
+        table = self.table_of(alias)
+        result = []
+        for index in table.indexes:
+            result.append(
+                (index, Ordering(Attribute(c, alias) for c in index.columns))
+            )
+        return tuple(result)
+
+    def join_selectivity(self, join: JoinPredicate) -> float:
+        override = self.join_selectivities.get(join.attributes)
+        if override is not None:
+            return override
+        return 1.0 / max(
+            self.distinct_values(join.left), self.distinct_values(join.right)
+        )
+
+    def selection_selectivity(self, selection: SelectionPredicate) -> float:
+        if isinstance(selection, EqualsConstant):
+            return 1.0 / self.distinct_values(selection.attribute)
+        if isinstance(selection, RangePredicate):
+            return 0.3
+        raise TypeError(f"unknown selection {selection!r}")  # pragma: no cover
+
+    def describe(self) -> str:
+        lines = [f"query {self.name}:"]
+        froms = ", ".join(
+            r.table if r.table == r.alias else f"{r.table} {r.alias}"
+            for r in self.relations
+        )
+        lines.append(f"  from {froms}")
+        for join in self.joins:
+            lines.append(f"  join {join}")
+        for selection in self.selections:
+            lines.append(f"  where {selection}")
+        if self.group_by:
+            lines.append(f"  group by {', '.join(map(str, self.group_by))}")
+        if self.order_by is not None:
+            lines.append(f"  order by {self.order_by!r}")
+        return "\n".join(lines)
+
+
+def make_query(
+    catalog: Catalog,
+    relations: Iterable[str | RelationRef],
+    joins: Iterable[JoinPredicate] = (),
+    selections: Iterable[SelectionPredicate] = (),
+    order_by: Ordering | None = None,
+    group_by: Iterable[Attribute] = (),
+    name: str = "query",
+) -> QuerySpec:
+    """Convenience constructor accepting bare table names."""
+    refs = tuple(
+        r if isinstance(r, RelationRef) else RelationRef(r) for r in relations
+    )
+    return QuerySpec(
+        catalog=catalog,
+        relations=refs,
+        joins=tuple(joins),
+        selections=tuple(selections),
+        order_by=order_by,
+        group_by=tuple(group_by),
+        name=name,
+    )

@@ -1,0 +1,33 @@
+"""SQL front end: lexer, parser, and catalog binder for the subset used by
+the paper's example queries."""
+
+from .ast import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Literal,
+    OrderItem,
+    SelectStatement,
+    TableRef,
+)
+from .binder import Binder, BindError, sql_to_query
+from .lexer import SqlSyntaxError, Token, tokenize
+from .parser import Parser, parse_sql
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "SqlSyntaxError",
+    "parse_sql",
+    "Parser",
+    "SelectStatement",
+    "TableRef",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "Between",
+    "OrderItem",
+    "Binder",
+    "BindError",
+    "sql_to_query",
+]

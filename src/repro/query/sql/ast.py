@@ -1,0 +1,81 @@
+"""AST for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``column`` or ``qualifier.column``."""
+
+    column: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` where ``op`` ∈ =, <, <=, >, >=, <>."""
+
+    left: ColumnRef
+    operator: str
+    right: Union[ColumnRef, Literal]
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.operator} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN low AND high``."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+    def __str__(self) -> str:
+        return f"{self.column} between {self.low} and {self.high}"
+
+
+Condition = Union[Comparison, Between]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table} {self.alias}" if self.alias else self.table
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """``SELECT ... FROM ... [WHERE ...] [GROUP BY ...] [ORDER BY ...]``."""
+
+    select_star: bool = False
+    select_items: tuple[ColumnRef, ...] = ()
+    tables: tuple[TableRef, ...] = ()
+    conditions: tuple[Condition, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)

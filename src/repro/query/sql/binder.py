@@ -1,0 +1,127 @@
+"""Binder: resolve a parsed statement against a catalog into a QuerySpec.
+
+Name resolution follows SQL scoping: a qualified column must name a FROM
+alias; an unqualified column must be unambiguous across the FROM tables.
+Conditions are classified into join predicates (column = column across
+relations), constant equalities, and range selections.  ``ORDER BY ... DESC``
+is rejected — the paper's framework models undirected orderings.
+"""
+
+from __future__ import annotations
+
+from ...catalog.schema import Catalog
+from ...core.attributes import Attribute
+from ...core.ordering import Ordering
+from ..predicates import EqualsConstant, JoinPredicate, RangePredicate
+from ..query import QuerySpec, RelationRef
+from .ast import Between, ColumnRef, Comparison, Literal, SelectStatement
+from .parser import parse_sql
+
+
+class BindError(ValueError):
+    """Semantic error while binding a statement."""
+
+
+class Binder:
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def bind(self, statement: SelectStatement, name: str = "query") -> QuerySpec:
+        relations: list[RelationRef] = []
+        for table_ref in statement.tables:
+            if table_ref.table not in self.catalog:
+                raise BindError(f"unknown table {table_ref.table}")
+            relations.append(RelationRef(table_ref.table, table_ref.alias or ""))
+
+        aliases = [r.alias for r in relations]
+        if len(set(aliases)) != len(aliases):
+            raise BindError("duplicate relation alias in FROM clause")
+        self._alias_tables = {
+            r.alias: self.catalog.table(r.table) for r in relations
+        }
+
+        joins: list[JoinPredicate] = []
+        selections: list = []
+        for condition in statement.conditions:
+            if isinstance(condition, Comparison):
+                left = self.resolve(condition.left)
+                if isinstance(condition.right, ColumnRef):
+                    right = self.resolve(condition.right)
+                    if condition.operator != "=":
+                        raise BindError(
+                            f"only equi-joins are supported, got "
+                            f"{condition.operator!r}"
+                        )
+                    if left.relation == right.relation:
+                        raise BindError(
+                            f"intra-relation predicate {condition} not supported"
+                        )
+                    joins.append(JoinPredicate(left, right))
+                elif condition.operator == "=":
+                    selections.append(EqualsConstant(left, condition.right.value))
+                else:
+                    selections.append(
+                        RangePredicate(left, condition.operator, condition.right.value)
+                    )
+            elif isinstance(condition, Between):
+                attribute = self.resolve(condition.column)
+                selections.append(
+                    RangePredicate(
+                        attribute, "between", condition.low.value, condition.high.value
+                    )
+                )
+            else:  # pragma: no cover
+                raise BindError(f"unsupported condition {condition!r}")
+
+        order_by: Ordering | None = None
+        if statement.order_by:
+            attributes = []
+            for item in statement.order_by:
+                if item.descending:
+                    raise BindError(
+                        "ORDER BY ... DESC is not supported (the framework "
+                        "models undirected orderings)"
+                    )
+                attributes.append(self.resolve(item.column))
+            order_by = Ordering(attributes)
+
+        group_by = tuple(self.resolve(c) for c in statement.group_by)
+
+        return QuerySpec(
+            catalog=self.catalog,
+            relations=tuple(relations),
+            joins=tuple(joins),
+            selections=tuple(selections),
+            order_by=order_by,
+            group_by=group_by,
+            name=name,
+        )
+
+    def resolve(self, ref: ColumnRef) -> Attribute:
+        if ref.qualifier is not None:
+            table = self._alias_tables.get(ref.qualifier)
+            if table is None:
+                raise BindError(f"unknown alias {ref.qualifier}")
+            if not table.has_column(ref.column):
+                raise BindError(
+                    f"table {table.name} (alias {ref.qualifier}) has no "
+                    f"column {ref.column}"
+                )
+            return Attribute(ref.column, ref.qualifier)
+        owners = [
+            alias
+            for alias, table in self._alias_tables.items()
+            if table.has_column(ref.column)
+        ]
+        if not owners:
+            raise BindError(f"unknown column {ref.column}")
+        if len(owners) > 1:
+            raise BindError(
+                f"ambiguous column {ref.column} (in {', '.join(sorted(owners))})"
+            )
+        return Attribute(ref.column, owners[0])
+
+
+def sql_to_query(text: str, catalog: Catalog, name: str = "query") -> QuerySpec:
+    """Parse and bind one SELECT statement."""
+    return Binder(catalog).bind(parse_sql(text), name)

@@ -1,0 +1,115 @@
+"""SQL lexer for the subset the paper's examples use.
+
+Tokens: keywords (case-insensitive), identifiers, integer/float literals,
+single-quoted string literals, comparison operators, punctuation.  Each
+token carries its source position for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "and",
+        "group",
+        "order",
+        "by",
+        "asc",
+        "desc",
+        "between",
+        "as",
+    }
+)
+
+OPERATORS = ("<=", ">=", "<>", "=", "<", ">")
+PUNCTUATION = {",": "comma", "(": "lparen", ")": "rparen", ".": "dot", "*": "star"}
+
+
+class SqlSyntaxError(ValueError):
+    """Lexing or parsing error with a source position."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | identifier | number | string | operator | punctuation name | eof
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated string literal", i)
+            tokens.append(Token("string", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot not followed by a digit belongs to punctuation
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, i))
+            else:
+                tokens.append(Token("identifier", word, i))
+            i = j
+            continue
+        matched_operator = False
+        for operator in OPERATORS:
+            if text.startswith(operator, i):
+                tokens.append(Token("operator", operator, i))
+                i += len(operator)
+                matched_operator = True
+                break
+        if matched_operator:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(PUNCTUATION[ch], ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+def iter_token_values(text: str) -> Iterator[str]:
+    """Convenience for tests: token values without positions."""
+    for token in tokenize(text):
+        if token.kind != "eof":
+            yield token.value

@@ -1,0 +1,186 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (conjunctive select-project-join, the shape of every query in the
+paper):
+
+    statement   := SELECT select_list FROM table_list
+                   [WHERE condition (AND condition)*]
+                   [GROUP BY column_list] [ORDER BY order_list]
+    select_list := '*' | column (',' column)*
+    table_list  := table [AS? alias] (',' table [AS? alias])*
+    condition   := column op (column | literal)
+                 | column BETWEEN literal AND literal
+    op          := '=' | '<' | '<=' | '>' | '>=' | '<>'
+    column      := identifier ['.' identifier]
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Condition,
+    Literal,
+    OrderItem,
+    SelectStatement,
+    TableRef,
+)
+from .lexer import SqlSyntaxError, Token, tokenize
+
+
+class Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_kind(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise SqlSyntaxError(
+                f"expected {kind}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        statement = self.statement()
+        if self.current.kind != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+        return statement
+
+    def statement(self) -> SelectStatement:
+        self.expect_keyword("select")
+        select_star = False
+        select_items: list[ColumnRef] = []
+        if self.current.kind == "star":
+            self.advance()
+            select_star = True
+        else:
+            select_items.append(self.column())
+            while self.current.kind == "comma":
+                self.advance()
+                select_items.append(self.column())
+
+        self.expect_keyword("from")
+        tables = [self.table_ref()]
+        while self.current.kind == "comma":
+            self.advance()
+            tables.append(self.table_ref())
+
+        conditions: list[Condition] = []
+        if self.accept_keyword("where"):
+            conditions.append(self.condition())
+            while self.accept_keyword("and"):
+                conditions.append(self.condition())
+
+        group_by: list[ColumnRef] = []
+        order_by: list[OrderItem] = []
+        while self.current.kind == "keyword" and self.current.value in ("group", "order"):
+            clause = self.advance().value
+            self.expect_keyword("by")
+            if clause == "group":
+                group_by.append(self.column())
+                while self.current.kind == "comma":
+                    self.advance()
+                    group_by.append(self.column())
+            else:
+                order_by.append(self.order_item())
+                while self.current.kind == "comma":
+                    self.advance()
+                    order_by.append(self.order_item())
+
+        return SelectStatement(
+            select_star=select_star,
+            select_items=tuple(select_items),
+            tables=tuple(tables),
+            conditions=tuple(conditions),
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+        )
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_kind("identifier").value
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias = self.expect_kind("identifier").value
+        elif self.current.kind == "identifier":
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def column(self) -> ColumnRef:
+        first = self.expect_kind("identifier").value
+        if self.current.kind == "dot":
+            self.advance()
+            second = self.expect_kind("identifier").value
+            return ColumnRef(second, first)
+        return ColumnRef(first)
+
+    def literal(self) -> Literal:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        raise SqlSyntaxError(
+            f"expected a literal, found {token.value!r}", token.position
+        )
+
+    def condition(self) -> Condition:
+        column = self.column()
+        if self.accept_keyword("between"):
+            low = self.literal()
+            self.expect_keyword("and")
+            high = self.literal()
+            return Between(column, low, high)
+        operator_token = self.expect_kind("operator")
+        if self.current.kind == "identifier":
+            return Comparison(column, operator_token.value, self.column())
+        return Comparison(column, operator_token.value, self.literal())
+
+    def order_item(self) -> OrderItem:
+        column = self.column()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(column, descending)
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return Parser(text).parse()

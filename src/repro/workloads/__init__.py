@@ -1,0 +1,25 @@
+"""Workloads: the random join-graph generator (Figures 13/14) and TPC-R Q8."""
+
+from .generator import GeneratorConfig, query_family, random_join_query
+from .tpch_queries import (
+    ALL_TPCH_QUERIES,
+    q3_query,
+    q5_query,
+    q8_analyzed,
+    q8_order_info,
+    q8_query,
+    q10_query,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "random_join_query",
+    "query_family",
+    "q3_query",
+    "q5_query",
+    "q8_query",
+    "q10_query",
+    "q8_order_info",
+    "q8_analyzed",
+    "ALL_TPCH_QUERIES",
+]

@@ -1,0 +1,129 @@
+"""Random join-graph query generator (the Figure 13/14 workload).
+
+The paper: "we generated queries with 5-10 relations and a varying number of
+join predicates — that is, edges in the join graph.  We always started from
+a chain query and then randomly added some edges."
+
+Generation is fully deterministic given a seed:
+
+* relation cardinalities are log-uniform in ``[100, 100_000]``;
+* each edge gets a *fresh* attribute pair (one column per side), the shape
+  of real PK/FK join graphs — this also keeps the FD sets of distinct
+  operators attribute-disjoint, the regime where the FSM and Simmen
+  frameworks provably agree (see DESIGN.md);
+* a random subset of relations gets a clustered index on one of its join
+  columns, providing free interesting orders to exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..catalog.schema import Catalog, Column, Index, Table
+from ..core.attributes import Attribute
+from ..query.predicates import JoinPredicate
+from ..query.query import QuerySpec, RelationRef
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the random query generator."""
+
+    n_relations: int = 5
+    n_edges: int | None = None  # default: chain (n_relations - 1)
+    min_cardinality: int = 100
+    max_cardinality: int = 100_000
+    index_probability: float = 0.5
+    seed: int = 0
+
+    def resolved_edges(self) -> int:
+        if self.n_edges is None:
+            return self.n_relations - 1
+        max_edges = self.n_relations * (self.n_relations - 1) // 2
+        if not self.n_relations - 1 <= self.n_edges <= max_edges:
+            raise ValueError(
+                f"n_edges must be in [{self.n_relations - 1}, {max_edges}]"
+            )
+        return self.n_edges
+
+
+def random_join_query(config: GeneratorConfig) -> QuerySpec:
+    """Generate one random query: a chain plus random extra edges."""
+    rng = random.Random(config.seed)
+    n = config.n_relations
+    if n < 2:
+        raise ValueError("need at least two relations")
+
+    # Pick edges: chain first, then random non-duplicate pairs.
+    edges: list[tuple[int, int]] = [(i, i + 1) for i in range(n - 1)]
+    existing = set(edges)
+    candidates = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if (i, j) not in existing
+    ]
+    rng.shuffle(candidates)
+    extra = config.resolved_edges() - len(edges)
+    edges.extend(candidates[:extra])
+
+    # Column layout: one fresh column per edge endpoint.
+    columns: dict[int, list[Column]] = {i: [] for i in range(n)}
+    joins: list[JoinPredicate] = []
+    for edge_index, (i, j) in enumerate(edges):
+        left_col = f"c{edge_index}a"
+        right_col = f"c{edge_index}b"
+        columns[i].append(Column(left_col))
+        columns[j].append(Column(right_col))
+        joins.append(
+            JoinPredicate(
+                Attribute(left_col, f"R{i}"), Attribute(right_col, f"R{j}")
+            )
+        )
+
+    catalog = Catalog()
+    for i in range(n):
+        name = f"R{i}"
+        cardinality = int(
+            round(
+                config.min_cardinality
+                * (config.max_cardinality / config.min_cardinality)
+                ** rng.random()
+            )
+        )
+        indexes: tuple[Index, ...] = ()
+        if columns[i] and rng.random() < config.index_probability:
+            indexed = rng.choice(columns[i]).name
+            indexes = (Index(f"idx_{name}_{indexed}", name, (indexed,)),)
+        catalog.add(
+            Table(
+                name=name,
+                columns=tuple(columns[i]),
+                cardinality=cardinality,
+                indexes=indexes,
+            )
+        )
+
+    return QuerySpec(
+        catalog=catalog,
+        relations=tuple(RelationRef(f"R{i}") for i in range(n)),
+        joins=tuple(joins),
+        name=f"rand-n{n}-e{len(edges)}-s{config.seed}",
+    )
+
+
+def query_family(
+    n_relations: int,
+    extra_edges: int,
+    seeds: Iterator[int] | range,
+) -> Iterator[QuerySpec]:
+    """The Figure 13 families: edges = (n-1) + extra_edges, several seeds."""
+    for seed in seeds:
+        config = GeneratorConfig(
+            n_relations=n_relations,
+            n_edges=n_relations - 1 + extra_edges,
+            seed=seed,
+        )
+        yield random_join_query(config)

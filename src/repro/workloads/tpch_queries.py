@@ -1,0 +1,219 @@
+"""TPC-R Query 8 — the paper's large example (Sections 6.2 and 7).
+
+Two artifacts:
+
+* :func:`q8_order_info` — the *exact* preparation-phase input listed in the
+  paper's Section 6.2: sixteen produced single-attribute orderings, the two
+  optional tested orderings, and the nine FD sets (seven join equations plus
+  the two constant predicates).  This feeds the preparation-cost experiment.
+* :func:`q8_query` — the bound eight-relation join query (nation appears
+  twice, as ``n1`` and ``n2``) for the plan-generation experiment.
+"""
+
+from __future__ import annotations
+
+from ..catalog.tpch import tpch_catalog
+from ..core.attributes import Attribute
+from ..core.fd import ConstantBinding, Equation, FDSet
+from ..core.interesting import InterestingOrders
+from ..core.ordering import Ordering
+from ..query.analyzer import QueryOrderInfo, analyze
+from ..query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from ..query.query import QuerySpec, RelationRef
+
+
+def _a(text: str) -> Attribute:
+    return Attribute.parse(text)
+
+
+def q8_query(scale: float = 0.1) -> QuerySpec:
+    """The flattened join/grouping skeleton of TPC-R Query 8."""
+    catalog = tpch_catalog(scale)
+    return QuerySpec(
+        catalog=catalog,
+        relations=(
+            RelationRef("part"),
+            RelationRef("supplier"),
+            RelationRef("lineitem"),
+            RelationRef("orders"),
+            RelationRef("customer"),
+            RelationRef("nation", "n1"),
+            RelationRef("nation", "n2"),
+            RelationRef("region"),
+        ),
+        joins=(
+            JoinPredicate(_a("part.p_partkey"), _a("lineitem.l_partkey")),
+            JoinPredicate(_a("supplier.s_suppkey"), _a("lineitem.l_suppkey")),
+            JoinPredicate(_a("lineitem.l_orderkey"), _a("orders.o_orderkey")),
+            JoinPredicate(_a("orders.o_custkey"), _a("customer.c_custkey")),
+            JoinPredicate(_a("customer.c_nationkey"), _a("n1.n_nationkey")),
+            JoinPredicate(_a("n1.n_regionkey"), _a("region.r_regionkey")),
+            JoinPredicate(_a("supplier.s_nationkey"), _a("n2.n_nationkey")),
+        ),
+        selections=(
+            EqualsConstant(_a("region.r_name"), "AMERICA"),
+            EqualsConstant(_a("part.p_type"), "ECONOMY ANODIZED STEEL"),
+            RangePredicate(
+                _a("orders.o_orderdate"), "between", "1995-01-01", "1996-12-31"
+            ),
+        ),
+        group_by=(_a("orders.o_year"),),
+        order_by=Ordering([_a("orders.o_year")]),
+        name="tpcr-q8",
+    )
+
+
+def q8_order_info(*, include_tested_selections: bool = False) -> QueryOrderInfo:
+    """The Section 6.2 preparation input, exactly as printed in the paper.
+
+    Produced orders (the paper's ``O_I^P``): all join attributes plus
+    ``(o_year)``.  The paper's list contains a sixteenth entry
+    ``(o_partkey)``, which is a typo — ``orders`` has no ``partkey`` column
+    and no predicate mentions one — so we model the fifteen real orders.
+    Tested-only (``O_T^I``, "if appropriate operators ... are available",
+    i.e. optional): ``(r_name)`` and ``(o_orderdate)``.  FD sets: the seven
+    join equations and the two constant conditions ``∅ -> p_type``,
+    ``∅ -> r_name``.  Note ``p_type`` occurs in no interesting order, which
+    is what lets the preparation prune ``∅ -> p_type`` entirely.
+    """
+    produced = [
+        Ordering([_a(name)])
+        for name in (
+            "orders.o_year",
+            "part.p_partkey",
+            "lineitem.l_partkey",
+            "lineitem.l_suppkey",
+            "lineitem.l_orderkey",
+            "orders.o_orderkey",
+            "orders.o_custkey",
+            "customer.c_custkey",
+            "customer.c_nationkey",
+            "n1.n_nationkey",
+            "n2.n_nationkey",
+            "n1.n_regionkey",
+            "region.r_regionkey",
+            "supplier.s_suppkey",
+            "supplier.s_nationkey",
+        )
+    ]
+    tested = []
+    if include_tested_selections:
+        tested = [Ordering([_a("region.r_name")]), Ordering([_a("orders.o_orderdate")])]
+
+    fdsets = (
+        FDSet.of(Equation(_a("part.p_partkey"), _a("lineitem.l_partkey"))),
+        FDSet.of(ConstantBinding(_a("part.p_type"))),
+        FDSet.of(Equation(_a("orders.o_custkey"), _a("customer.c_custkey"))),
+        FDSet.of(ConstantBinding(_a("region.r_name"))),
+        FDSet.of(Equation(_a("customer.c_nationkey"), _a("n1.n_nationkey"))),
+        FDSet.of(Equation(_a("supplier.s_nationkey"), _a("n2.n_nationkey"))),
+        FDSet.of(Equation(_a("lineitem.l_orderkey"), _a("orders.o_orderkey"))),
+        FDSet.of(Equation(_a("supplier.s_suppkey"), _a("lineitem.l_suppkey"))),
+        FDSet.of(Equation(_a("n1.n_regionkey"), _a("region.r_regionkey"))),
+    )
+
+    interesting = InterestingOrders.of(produced, tested)
+    return QueryOrderInfo(interesting=interesting, fdsets=fdsets)
+
+
+def q8_analyzed(scale: float = 0.1) -> QueryOrderInfo:
+    """Order info derived from the bound query by the Section 5.2 analyzer."""
+    return analyze(q8_query(scale), include_tested_selections=True)
+
+
+def q3_query(scale: float = 0.1) -> QuerySpec:
+    """TPC-H/R Q3 (shipping priority), flattened: customer ⋈ orders ⋈
+    lineitem with a segment constant and date ranges, ordered by o_orderkey
+    as a stand-in for the revenue sort (orderings over computed aggregates
+    are out of scope, as in the paper)."""
+    catalog = tpch_catalog(scale)
+    return QuerySpec(
+        catalog=catalog,
+        relations=(
+            RelationRef("customer"),
+            RelationRef("orders"),
+            RelationRef("lineitem"),
+        ),
+        joins=(
+            JoinPredicate(_a("customer.c_custkey"), _a("orders.o_custkey")),
+            JoinPredicate(_a("orders.o_orderkey"), _a("lineitem.l_orderkey")),
+        ),
+        selections=(
+            EqualsConstant(_a("customer.c_nationkey"), 7),
+            RangePredicate(_a("orders.o_orderdate"), "<", "1995-03-15"),
+        ),
+        group_by=(_a("lineitem.l_orderkey"), _a("orders.o_orderdate")),
+        order_by=Ordering([_a("lineitem.l_orderkey")]),
+        name="tpcr-q3",
+    )
+
+
+def q5_query(scale: float = 0.1) -> QuerySpec:
+    """TPC-H/R Q5 (local supplier volume), flattened: a six-relation cycle
+    through customer, orders, lineitem, supplier, nation, region — the
+    densest standard workload here (the supplier-customer nation equality
+    closes a cycle in the join graph)."""
+    catalog = tpch_catalog(scale)
+    return QuerySpec(
+        catalog=catalog,
+        relations=(
+            RelationRef("customer"),
+            RelationRef("orders"),
+            RelationRef("lineitem"),
+            RelationRef("supplier"),
+            RelationRef("nation"),
+            RelationRef("region"),
+        ),
+        joins=(
+            JoinPredicate(_a("customer.c_custkey"), _a("orders.o_custkey")),
+            JoinPredicate(_a("orders.o_orderkey"), _a("lineitem.l_orderkey")),
+            JoinPredicate(_a("lineitem.l_suppkey"), _a("supplier.s_suppkey")),
+            JoinPredicate(_a("customer.c_nationkey"), _a("supplier.s_nationkey")),
+            JoinPredicate(_a("supplier.s_nationkey"), _a("nation.n_nationkey")),
+            JoinPredicate(_a("nation.n_regionkey"), _a("region.r_regionkey")),
+        ),
+        selections=(
+            EqualsConstant(_a("region.r_name"), "ASIA"),
+            RangePredicate(
+                _a("orders.o_orderdate"), "between", "1994-01-01", "1994-12-31"
+            ),
+        ),
+        group_by=(_a("nation.n_name"),),
+        name="tpcr-q5",
+    )
+
+
+def q10_query(scale: float = 0.1) -> QuerySpec:
+    """TPC-H/R Q10 (returned items), flattened: customer ⋈ orders ⋈
+    lineitem ⋈ nation grouped by the customer key."""
+    catalog = tpch_catalog(scale)
+    return QuerySpec(
+        catalog=catalog,
+        relations=(
+            RelationRef("customer"),
+            RelationRef("orders"),
+            RelationRef("lineitem"),
+            RelationRef("nation"),
+        ),
+        joins=(
+            JoinPredicate(_a("customer.c_custkey"), _a("orders.o_custkey")),
+            JoinPredicate(_a("orders.o_orderkey"), _a("lineitem.l_orderkey")),
+            JoinPredicate(_a("customer.c_nationkey"), _a("nation.n_nationkey")),
+        ),
+        selections=(
+            RangePredicate(
+                _a("orders.o_orderdate"), "between", "1993-10-01", "1993-12-31"
+            ),
+        ),
+        group_by=(_a("customer.c_custkey"),),
+        order_by=Ordering([_a("customer.c_custkey")]),
+        name="tpcr-q10",
+    )
+
+
+ALL_TPCH_QUERIES = {
+    "q3": q3_query,
+    "q5": q5_query,
+    "q8": q8_query,
+    "q10": q10_query,
+}

@@ -1,0 +1,146 @@
+"""Tests for the generic automata substrate, including a cross-check of the
+core order-FSM against the textbook power-set construction."""
+
+import pytest
+
+from repro.automata import DFA, NFA, minimize_moore, subset_construction
+
+
+def simple_nfa():
+    """(a|b)*abb — the classic textbook example."""
+    nfa = NFA(start=0, accepting={3})
+    nfa.add_transition(0, "a", 0)
+    nfa.add_transition(0, "b", 0)
+    nfa.add_transition(0, "a", 1)
+    nfa.add_transition(1, "b", 2)
+    nfa.add_transition(2, "b", 3)
+    return nfa
+
+
+class TestNFA:
+    def test_epsilon_closure(self):
+        nfa = NFA(start=0)
+        nfa.add_epsilon(0, 1)
+        nfa.add_epsilon(1, 2)
+        nfa.add_transition(2, "x", 3)
+        assert nfa.epsilon_closure([0]) == {0, 1, 2}
+
+    def test_run_and_accept(self):
+        nfa = simple_nfa()
+        assert nfa.accepts("abb")
+        assert nfa.accepts("aabb")
+        assert nfa.accepts("babb")
+        assert not nfa.accepts("ab")
+        assert not nfa.accepts("abba")
+
+    def test_epsilon_participates_in_step(self):
+        nfa = NFA(start=0, accepting={2})
+        nfa.add_transition(0, "x", 1)
+        nfa.add_epsilon(1, 2)
+        assert nfa.accepts("x")
+
+
+class TestSubsetConstruction:
+    def test_equivalent_language(self):
+        nfa = simple_nfa()
+        dfa = subset_construction(nfa)
+        for word in ("", "a", "b", "ab", "abb", "aabb", "ababb", "abab", "bbbb"):
+            assert dfa.accepts(word) == nfa.accepts(word), word
+
+    def test_deterministic(self):
+        dfa = subset_construction(simple_nfa())
+        assert len(dfa.transitions) == len(set(dfa.transitions))
+
+    def test_dfa_rejects_nondeterminism(self):
+        dfa = DFA(start=0)
+        dfa.add_transition(0, "a", 1)
+        with pytest.raises(ValueError):
+            dfa.add_transition(0, "a", 2)
+
+    def test_missing_transition_is_self_loop(self):
+        dfa = DFA(start=0)
+        dfa.states.add(0)
+        assert dfa.run("zzz" ) == 0
+
+
+class TestMooreMinimization:
+    def test_merges_equivalent_states(self):
+        # states 1 and 2 behave identically (same output, same successors)
+        outputs = ["s", "x", "x", "y"]
+        transitions = [[1], [3], [3], [3]]
+        state_map, n = minimize_moore(outputs, transitions, start=0)
+        assert n == 3
+        assert state_map[1] == state_map[2]
+        assert state_map[0] != state_map[1]
+
+    def test_distinguishes_by_future(self):
+        # same outputs but different successors' outputs
+        outputs = ["x", "x", "a", "b"]
+        transitions = [[2], [3], [2], [3]]
+        state_map, n = minimize_moore(outputs, transitions, start=0)
+        assert n == 4
+
+    def test_already_minimal(self):
+        outputs = ["a", "b"]
+        transitions = [[1], [0]]
+        state_map, n = minimize_moore(outputs, transitions, start=0)
+        assert n == 2
+
+    def test_empty(self):
+        assert minimize_moore([], [], 0) == ([], 0)
+
+
+class TestCrossCheckWithCoreFsm:
+    """Convert a core NFSM into a generic NFA and verify the specialized
+    subset construction agrees with the textbook one on reachable states."""
+
+    def test_core_dfsm_matches_generic_construction(self):
+        from repro.core.attributes import attrs
+        from repro.core.fd import FDSet, FunctionalDependency, Equation
+        from repro.core.interesting import InterestingOrders
+        from repro.core.optimizer import BuilderOptions, OrderOptimizer
+        from repro.core.ordering import ordering
+
+        a, b, c = attrs("a", "b", "c")
+        fdsets = [
+            FDSet.of(FunctionalDependency(frozenset({b}), c)),
+            FDSet.of(Equation(a, b)),
+        ]
+        interesting = InterestingOrders.of(
+            [ordering("b"), ordering("a", "b")], [ordering("a", "b", "c")]
+        )
+        optimizer = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions(include_empty_ordering=False)
+        )
+        nfsm = optimizer.nfsm
+
+        nfa = NFA(start=0)
+        for node in range(1, len(nfsm.orderings)):
+            for target in nfsm.eps.get(node, ()):
+                nfa.add_epsilon(node, target)
+            for symbol in range(len(nfsm.fd_symbols)):
+                for target in nfsm.targets(node, symbol):
+                    nfa.add_transition(node, ("fd", symbol), target)
+            # FD symbols are identity on q0 and on states without edges
+            nfa.states.add(node)
+        for symbol in range(len(nfsm.fd_symbols)):
+            nfa.add_transition(0, ("fd", symbol), 0)
+        for producer in nfsm.producer_orders:
+            nfa.add_transition(0, ("prod", producer), nfsm.node_of[producer])
+
+        # every missing (state, fd) pair self-loops in the core semantics
+        for node in range(1, len(nfsm.orderings)):
+            for symbol in range(len(nfsm.fd_symbols)):
+                nfa.add_transition(node, ("fd", symbol), node)
+
+        for producer in nfsm.producer_orders:
+            for walk in ([0], [1], [0, 1], [1, 0], [1, 1, 0]):
+                word = [("prod", producer)] + [("fd", s) for s in walk]
+                generic_state = nfa.run(word)
+                core_state = optimizer.state_for_produced(
+                    optimizer.producer_handle(producer)
+                )
+                for s in walk:
+                    core_state = optimizer.tables.transition(core_state, s)
+                core_nodes = optimizer.dfsm.states[core_state]
+                assert generic_state == core_nodes, (producer, walk)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, Column, Index, Table, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import ordering
+
+
+def make_table(**kwargs):
+    defaults = dict(
+        name="t",
+        columns=(Column("a"), Column("b")),
+        cardinality=100,
+    )
+    defaults.update(kwargs)
+    return Table(**defaults)
+
+
+class TestTable:
+    def test_basic(self):
+        table = make_table()
+        assert table.column("a").name == "a"
+        assert table.has_column("b")
+        assert not table.has_column("z")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            make_table(columns=(Column("a"), Column("a")))
+
+    def test_primary_key_validated(self):
+        with pytest.raises(ValueError):
+            make_table(primary_key=("z",))
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            make_table(indexes=(Index("i", "other", ("a",)),))
+        with pytest.raises(ValueError):
+            make_table(indexes=(Index("i", "t", ("z",)),))
+
+    def test_attribute(self):
+        assert make_table().attribute("a") == Attribute("a", "t")
+        with pytest.raises(KeyError):
+            make_table().attribute("z")
+
+    def test_attributes_tuple(self):
+        assert make_table().attributes == (Attribute("a", "t"), Attribute("b", "t"))
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(KeyError):
+            make_table().column("z")
+
+
+class TestIndex:
+    def test_ordering(self):
+        index = Index("i", "t", ("a", "b"))
+        assert index.ordering() == ordering("t.a", "t.b")
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog().add(make_table())
+        assert "t" in catalog
+        assert catalog.table("t").name == "t"
+
+    def test_duplicate_add_rejected(self):
+        catalog = Catalog().add(make_table())
+        with pytest.raises(ValueError):
+            catalog.add(make_table())
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            Catalog().table("nope")
+
+    def test_resolve_qualified(self):
+        catalog = Catalog().add(make_table())
+        assert catalog.resolve("t.a") == Attribute("a", "t")
+
+    def test_resolve_bare_unique(self):
+        catalog = Catalog().add(make_table())
+        assert catalog.resolve("a") == Attribute("a", "t")
+
+    def test_resolve_bare_ambiguous(self):
+        catalog = Catalog().add(make_table()).add(make_table(name="u"))
+        with pytest.raises(KeyError, match="ambiguous"):
+            catalog.resolve("a")
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            Catalog().add(make_table()).resolve("zzz")
+
+    def test_iteration(self):
+        catalog = Catalog().add(make_table()).add(make_table(name="u"))
+        assert [t.name for t in catalog] == ["t", "u"]
+
+
+class TestSimpleTable:
+    def test_defaults(self):
+        table = simple_table("t", ["a", "b"], 42)
+        assert table.cardinality == 42
+        assert table.indexes == ()
+
+    def test_clustered_index(self):
+        table = simple_table("t", ["a"], clustered_on="a")
+        assert table.indexes[0].clustered
+        assert table.indexes[0].ordering() == ordering("t.a")
+
+    def test_primary_key(self):
+        assert simple_table("t", ["a"], primary_key="a").primary_key == ("a",)

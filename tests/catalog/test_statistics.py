@@ -1,0 +1,101 @@
+"""Unit tests for repro.catalog.statistics and the TPC-H catalog."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, Column, Table
+from repro.catalog.statistics import Statistics
+from repro.catalog.tpch import tpch_catalog
+from repro.core.attributes import Attribute
+
+
+@pytest.fixture
+def catalog():
+    return Catalog().add(
+        Table(
+            name="t",
+            columns=(Column("a", distinct_values=50), Column("b")),
+            cardinality=1000,
+        )
+    ).add(
+        Table(name="u", columns=(Column("x", distinct_values=200),), cardinality=400)
+    )
+
+
+class TestStatistics:
+    def test_table_cardinality(self, catalog):
+        assert Statistics(catalog).table_cardinality("t") == 1000
+
+    def test_distinct_values_explicit(self, catalog):
+        stats = Statistics(catalog)
+        assert stats.distinct_values(Attribute("a", "t")) == 50
+
+    def test_distinct_values_defaults_to_cardinality(self, catalog):
+        stats = Statistics(catalog)
+        assert stats.distinct_values(Attribute("b", "t")) == 1000
+
+    def test_distinct_values_requires_qualified(self, catalog):
+        with pytest.raises(ValueError):
+            Statistics(catalog).distinct_values(Attribute("a"))
+
+    def test_join_selectivity_default(self, catalog):
+        stats = Statistics(catalog)
+        sel = stats.join_selectivity(Attribute("a", "t"), Attribute("x", "u"))
+        assert sel == 1.0 / 200
+
+    def test_join_selectivity_override(self, catalog):
+        stats = Statistics(catalog)
+        stats.set_join_selectivity(Attribute("a", "t"), Attribute("x", "u"), 0.5)
+        assert stats.join_selectivity(Attribute("x", "u"), Attribute("a", "t")) == 0.5
+
+    def test_selectivity_bounds_validated(self, catalog):
+        stats = Statistics(catalog)
+        with pytest.raises(ValueError):
+            stats.set_join_selectivity(Attribute("a", "t"), Attribute("x", "u"), 0.0)
+        with pytest.raises(ValueError):
+            stats.set_selection_selectivity(Attribute("a", "t"), 2.0)
+
+    def test_equality_selectivity(self, catalog):
+        stats = Statistics(catalog)
+        assert stats.equality_selectivity(Attribute("a", "t")) == 1.0 / 50
+
+    def test_range_selectivity_default_and_override(self, catalog):
+        stats = Statistics(catalog)
+        assert stats.range_selectivity(Attribute("a", "t")) == 0.3
+        stats.set_selection_selectivity(Attribute("a", "t"), 0.1)
+        assert stats.range_selectivity(Attribute("a", "t")) == 0.1
+
+
+class TestTPCHCatalog:
+    def test_all_tables_present(self):
+        catalog = tpch_catalog()
+        for name in (
+            "region",
+            "nation",
+            "supplier",
+            "customer",
+            "part",
+            "orders",
+            "lineitem",
+        ):
+            assert name in catalog
+
+    def test_cardinality_ratios(self):
+        catalog = tpch_catalog(1.0)
+        assert catalog.table("lineitem").cardinality == 4 * catalog.table(
+            "orders"
+        ).cardinality
+        assert catalog.table("region").cardinality == 5
+        assert catalog.table("nation").cardinality == 25
+
+    def test_scaling(self):
+        small = tpch_catalog(0.01)
+        big = tpch_catalog(1.0)
+        assert small.table("orders").cardinality < big.table("orders").cardinality
+        # fixed-size tables do not scale
+        assert small.table("nation").cardinality == 25
+
+    def test_primary_keys_have_clustered_indexes(self):
+        catalog = tpch_catalog()
+        orders = catalog.table("orders")
+        assert orders.indexes[0].clustered
+        assert orders.indexes[0].columns == ("o_orderkey",)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.attributes."""
+
+import pytest
+
+from repro.core.attributes import Attribute, attr, attrs, iter_unique
+
+
+class TestAttribute:
+    def test_value_equality(self):
+        assert Attribute("a") == Attribute("a")
+        assert Attribute("a", "t") == Attribute("a", "t")
+
+    def test_inequality_on_relation(self):
+        assert Attribute("a", "t") != Attribute("a", "u")
+        assert Attribute("a", "t") != Attribute("a")
+
+    def test_hashable(self):
+        assert len({Attribute("a"), Attribute("a"), Attribute("b")}) == 2
+
+    def test_qualified_name(self):
+        assert Attribute("a").qualified_name == "a"
+        assert Attribute("a", "t").qualified_name == "t.a"
+
+    def test_str(self):
+        assert str(Attribute("jobid", "persons")) == "persons.jobid"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_ordering_is_total(self):
+        ordered = sorted([Attribute("b"), Attribute("a", "t"), Attribute("a")])
+        assert ordered[0] == Attribute("a")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Attribute("a").name = "b"  # type: ignore[misc]
+
+
+class TestParse:
+    def test_parse_bare(self):
+        assert attr("a") == Attribute("a")
+
+    def test_parse_qualified(self):
+        assert attr("t.a") == Attribute("a", "t")
+
+    def test_parse_strips_whitespace(self):
+        assert attr("  t.a ") == Attribute("a", "t")
+
+    def test_parse_nested_qualifier_uses_last_dot(self):
+        parsed = attr("schema.table.col")
+        assert parsed.name == "col"
+        assert parsed.relation == "schema.table"
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            attr("   ")
+
+    def test_attrs_builds_many(self):
+        a, b, c = attrs("a", "b", "t.c")
+        assert (a.name, b.name, c.name) == ("a", "b", "c")
+        assert c.relation == "t"
+
+
+def test_iter_unique_preserves_first_occurrence():
+    a, b = attrs("a", "b")
+    assert list(iter_unique(iter([a, b, a, b, a]))) == [a, b]

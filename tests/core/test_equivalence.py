@@ -1,0 +1,65 @@
+"""Unit tests for repro.core.equivalence."""
+
+from repro.core.attributes import attrs
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.fd import Equation, FDSet
+from repro.core.ordering import ordering
+
+A, B, C, D, E = attrs("a", "b", "c", "d", "e")
+
+
+class TestEquivalenceClasses:
+    def test_singleton_by_default(self):
+        classes = EquivalenceClasses()
+        assert classes.representative(A) == A
+        assert not classes.are_equivalent(A, B)
+
+    def test_single_equation(self):
+        classes = EquivalenceClasses([Equation(A, B)])
+        assert classes.are_equivalent(A, B)
+        assert classes.representative(B) == A
+
+    def test_transitive_chain(self):
+        classes = EquivalenceClasses([Equation(A, B), Equation(B, C)])
+        assert classes.are_equivalent(A, C)
+        assert classes.representative(C) == A
+
+    def test_representative_is_deterministic_minimum(self):
+        classes = EquivalenceClasses([Equation(C, B), Equation(B, D)])
+        # the class is {b, c, d}; the minimum attribute is b
+        for member in (B, C, D):
+            assert classes.representative(member) == B
+
+    def test_disjoint_classes(self):
+        classes = EquivalenceClasses([Equation(A, B), Equation(C, D)])
+        assert classes.are_equivalent(A, B)
+        assert classes.are_equivalent(C, D)
+        assert not classes.are_equivalent(A, C)
+
+    def test_class_of(self):
+        classes = EquivalenceClasses([Equation(A, B), Equation(B, C)])
+        assert classes.class_of(B) == {A, B, C}
+        assert classes.class_of(E) == {E}
+
+    def test_from_fdsets_collects_equations(self):
+        fdsets = [FDSet.of(Equation(A, B)), FDSet.of(Equation(C, D))]
+        classes = EquivalenceClasses.from_fdsets(fdsets)
+        assert classes.are_equivalent(A, B)
+        assert classes.are_equivalent(C, D)
+
+    def test_canonical_sequence(self):
+        classes = EquivalenceClasses([Equation(A, B)])
+        assert classes.canonical_sequence(ordering("b", "c")) == (A, C)
+
+    def test_canonical_sequence_may_repeat_representatives(self):
+        classes = EquivalenceClasses([Equation(A, B)])
+        assert classes.canonical_sequence(ordering("a", "b")) == (A, A)
+
+    def test_classes_listing(self):
+        classes = EquivalenceClasses([Equation(A, B), Equation(C, D)])
+        assert set(classes.classes()) == {frozenset({A, B}), frozenset({C, D})}
+
+    def test_contains(self):
+        classes = EquivalenceClasses([Equation(A, B)])
+        assert A in classes
+        assert E not in classes

@@ -1,0 +1,81 @@
+"""Extension features combined end-to-end: minimized tables and dominance
+inside the full plan generator, and groupings under hypothesis-driven data."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Attribute, attrs
+from repro.core.fd import ConstantBinding, Equation, FDSet
+from repro.core.grouping import Grouping, grouping_closure, prefix_groupings
+from repro.core.optimizer import BuilderOptions
+from repro.core.ordering import Ordering
+from repro.exec.iterators import sort_rows
+from repro.exec.verify import satisfies_grouping
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+from repro.workloads import GeneratorConfig, q8_query, random_join_query
+
+A, B, X = attrs("a", "b", "x")
+
+
+class TestMinimizedBackendInPlanGen:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_minimized_tables_same_optimal_plan(self, seed):
+        spec = random_join_query(GeneratorConfig(n_relations=5, n_edges=6, seed=seed))
+        plain = PlanGenerator(spec, FsmBackend()).run()
+        minimized = PlanGenerator(
+            spec, FsmBackend(BuilderOptions(minimize_dfsm=True))
+        ).run()
+        assert plain.best_plan.cost == pytest.approx(minimized.best_plan.cost)
+        assert minimized.stats.plans_created <= plain.stats.plans_created
+
+    def test_minimized_plus_dominance_on_q8(self):
+        spec = q8_query()
+        plain = PlanGenerator(spec, FsmBackend()).run()
+        stacked = PlanGenerator(
+            spec,
+            FsmBackend(BuilderOptions(minimize_dfsm=True), use_dominance=True),
+            config=PlanGenConfig(cross_key_dominance=True),
+        ).run()
+        assert plain.best_plan.cost == pytest.approx(stacked.best_plan.cost)
+        assert stacked.stats.plans_created <= plain.stats.plans_created
+
+    def test_dominance_with_aggregation(self):
+        spec = q8_query()
+        result = PlanGenerator(
+            spec,
+            FsmBackend(use_dominance=True),
+            config=PlanGenConfig(cross_key_dominance=True, enable_aggregation=True),
+        ).run()
+        assert result.best_plan.cost > 0
+
+
+class TestGroupingSoundnessOnData:
+    """Hypothesis: every grouping in the closure of a sorted, FD-restricted
+    stream's prefix groupings holds physically."""
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, 20),
+        st.sampled_from(["equation", "constant"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_closure_groupings_hold(self, seed, n_rows, kind):
+        rng = random.Random(seed)
+        rows = [
+            {A: rng.randrange(3), B: rng.randrange(3), X: rng.randrange(2)}
+            for _ in range(n_rows)
+        ]
+        order = Ordering([A, B])
+        if kind == "equation":
+            item = Equation(A, B)
+            rows = [r for r in rows if r[A] == r[B]]
+        else:
+            item = ConstantBinding(X)
+            rows = [r for r in rows if r[X] == 0]
+        stream = sort_rows(rows, order)
+        seeds = prefix_groupings(order)
+        for g in grouping_closure(seeds, [FDSet.of(item)]):
+            assert satisfies_grouping(stream, g), (g, kind, stream)

@@ -1,0 +1,130 @@
+"""Tests for the two extensions beyond the paper: DFSM minimization and
+simulation dominance (both documented in DESIGN.md)."""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.dominance import simulation_dominance
+from repro.core.fd import ConstantBinding, Equation, FDSet
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.ordering import ordering
+from repro.core.tables import minimize_tables
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+from repro.workloads import GeneratorConfig, q8_order_info, random_join_query
+
+A, B, C = attrs("a", "b", "c")
+
+
+class TestMinimization:
+    def test_unpruned_q8_tables_shrink(self):
+        """Without NFSM pruning the subset construction leaves behaviourally
+        equal states; minimization collapses them."""
+        info = q8_order_info()
+        unpruned = OrderOptimizer.prepare(
+            info.interesting, info.fdsets, BuilderOptions().without_pruning()
+        )
+        minimized = minimize_tables(unpruned.tables)
+        assert minimized.state_count < unpruned.tables.state_count
+
+    def test_minimization_close_to_pruned_size(self):
+        """Minimizing the unpruned machine approaches the pruned machine:
+        NFSM reduction and DFSM minimization remove the same redundancy."""
+        info = q8_order_info()
+        pruned = OrderOptimizer.prepare(info.interesting, info.fdsets)
+        unpruned = OrderOptimizer.prepare(
+            info.interesting, info.fdsets, BuilderOptions().without_pruning()
+        )
+        minimized = minimize_tables(unpruned.tables)
+        assert minimized.state_count <= pruned.tables.state_count + 2
+
+    def test_behaviour_preserved(self):
+        info = q8_order_info()
+        plain = OrderOptimizer.prepare(info.interesting, info.fdsets)
+        mini = OrderOptimizer.prepare(
+            info.interesting, info.fdsets, BuilderOptions(minimize_dfsm=True)
+        )
+        for produced in info.interesting.produced:
+            s_plain = plain.state_for_produced(plain.producer_handle(produced))
+            s_mini = mini.state_for_produced(mini.producer_handle(produced))
+            for fdset in info.fdsets:
+                n_plain = plain.infer(s_plain, plain.fdset_handle(fdset))
+                n_mini = mini.infer(s_mini, mini.fdset_handle(fdset))
+                for order in info.interesting.all_orders:
+                    assert plain.contains(
+                        n_plain, plain.ordering_handle(order)
+                    ) == mini.contains(n_mini, mini.ordering_handle(order))
+
+    def test_already_minimal_is_identity(self):
+        info = q8_order_info()
+        prepared = OrderOptimizer.prepare(info.interesting, info.fdsets)
+        assert minimize_tables(prepared.tables) is prepared.tables
+
+
+class TestSimulationDominance:
+    def prepared(self):
+        interesting = InterestingOrders.of(
+            [ordering("a"), ordering("b")], [ordering("c")]
+        )
+        fdsets = [FDSet.of(Equation(A, B)), FDSet.of(ConstantBinding(C))]
+        return OrderOptimizer.prepare(interesting, fdsets), fdsets
+
+    def test_reflexive_pairs_excluded(self):
+        optimizer, _ = self.prepared()
+        dominance = simulation_dominance(optimizer.tables)
+        for state, dominated in enumerate(dominance):
+            assert state not in dominated
+
+    def test_merged_state_dominates_entry_states(self):
+        """After a = b, the combined state dominates both entry states."""
+        optimizer, fdsets = self.prepared()
+        dominance = simulation_dominance(optimizer.tables)
+        state_a = optimizer.state_for_produced(
+            optimizer.producer_handle(ordering("a"))
+        )
+        merged = optimizer.infer(state_a, optimizer.fdset_handle(fdsets[0]))
+        assert state_a in dominance[merged]
+
+    def test_dominance_implies_contains_superset(self):
+        optimizer, _ = self.prepared()
+        tables = optimizer.tables
+        dominance = simulation_dominance(tables)
+        for s1, dominated in enumerate(dominance):
+            for s2 in dominated:
+                assert tables.contains_rows[s1] & tables.contains_rows[s2] == (
+                    tables.contains_rows[s2]
+                )
+
+    def test_dominance_is_transitive(self):
+        optimizer, _ = self.prepared()
+        dominance = simulation_dominance(optimizer.tables)
+        for s1, dominated in enumerate(dominance):
+            for s2 in dominated:
+                assert dominance[s2] <= dominated | {s1, s2}
+
+
+class TestDominancePlanPruning:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimality_preserved_with_fewer_plans(self, seed):
+        spec = random_join_query(
+            GeneratorConfig(n_relations=5, n_edges=6, seed=seed)
+        )
+        base = PlanGenerator(spec, FsmBackend()).run()
+        dominant = PlanGenerator(
+            spec,
+            FsmBackend(use_dominance=True),
+            config=PlanGenConfig(cross_key_dominance=True),
+        ).run()
+        assert abs(base.best_plan.cost - dominant.best_plan.cost) < 1e-6
+        assert dominant.stats.plans_created <= base.stats.plans_created
+        assert dominant.stats.plans_retained <= base.stats.plans_retained
+
+    def test_dominance_actually_fires(self):
+        spec = random_join_query(GeneratorConfig(n_relations=6, n_edges=7, seed=1))
+        base = PlanGenerator(spec, FsmBackend()).run()
+        dominant = PlanGenerator(
+            spec,
+            FsmBackend(use_dominance=True),
+            config=PlanGenConfig(cross_key_dominance=True),
+        ).run()
+        assert dominant.stats.plans_created < base.stats.plans_created

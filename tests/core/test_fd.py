@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.fd."""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.fd import (
+    ConstantBinding,
+    Equation,
+    FDSet,
+    FunctionalDependency,
+    flatten_items,
+    normalize_fd,
+)
+
+A, B, C, D = attrs("a", "b", "c", "d")
+
+
+class TestFunctionalDependency:
+    def test_basic(self):
+        fd = FunctionalDependency(frozenset({A, B}), C)
+        assert fd.lhs == {A, B}
+        assert fd.rhs == C
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency(frozenset({A}), A)
+
+    def test_attributes(self):
+        fd = FunctionalDependency(frozenset({A}), B)
+        assert fd.attributes == {A, B}
+
+    def test_str(self):
+        assert str(FunctionalDependency(frozenset({A}), B)) == "{a} -> b"
+
+    def test_equality(self):
+        assert FunctionalDependency(frozenset({A}), B) == FunctionalDependency(
+            frozenset({A}), B
+        )
+
+
+class TestEquation:
+    def test_canonical_order(self):
+        assert Equation(B, A) == Equation(A, B)
+        assert Equation(B, A).left == A
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            Equation(A, A)
+
+    def test_implied_fds(self):
+        fd_ab, fd_ba = Equation(A, B).implied_fds()
+        assert fd_ab == FunctionalDependency(frozenset({A}), B)
+        assert fd_ba == FunctionalDependency(frozenset({B}), A)
+
+    def test_other(self):
+        eq = Equation(A, B)
+        assert eq.other(A) == B
+        assert eq.other(B) == A
+        with pytest.raises(ValueError):
+            eq.other(C)
+
+
+class TestConstantBinding:
+    def test_attributes(self):
+        assert ConstantBinding(A).attributes == {A}
+
+    def test_equality(self):
+        assert ConstantBinding(A) == ConstantBinding(A)
+        assert ConstantBinding(A) != ConstantBinding(B)
+
+
+class TestNormalizeFD:
+    def test_compound_rhs_split(self):
+        items = normalize_fd([A], [B, C])
+        assert set(items) == {
+            FunctionalDependency(frozenset({A}), B),
+            FunctionalDependency(frozenset({A}), C),
+        }
+
+    def test_empty_lhs_gives_constants(self):
+        items = normalize_fd([], [A, B])
+        assert set(items) == {ConstantBinding(A), ConstantBinding(B)}
+
+    def test_rhs_attribute_in_lhs_skipped(self):
+        items = normalize_fd([A, B], [B, C])
+        assert set(items) == {FunctionalDependency(frozenset({A, B}), C)}
+
+
+class TestFDSet:
+    def test_of(self):
+        fdset = FDSet.of(Equation(A, B), ConstantBinding(C))
+        assert len(fdset) == 2
+        assert Equation(A, B) in fdset
+
+    def test_empty(self):
+        assert not FDSet()
+        assert len(FDSet()) == 0
+
+    def test_typed_views(self):
+        fdset = FDSet.of(
+            Equation(A, B),
+            ConstantBinding(C),
+            FunctionalDependency(frozenset({A}), D),
+        )
+        assert fdset.equations == (Equation(A, B),)
+        assert fdset.constants == (ConstantBinding(C),)
+        assert fdset.plain_fds == (FunctionalDependency(frozenset({A}), D),)
+
+    def test_attributes(self):
+        fdset = FDSet.of(Equation(A, B), ConstantBinding(C))
+        assert fdset.attributes == {A, B, C}
+
+    def test_union_and_without(self):
+        fdset = FDSet.of(Equation(A, B))
+        merged = fdset.union(FDSet.of(ConstantBinding(C)))
+        assert len(merged) == 2
+        assert merged.without([Equation(A, B)]) == FDSet.of(ConstantBinding(C))
+
+    def test_hashable_value_semantics(self):
+        assert FDSet.of(Equation(A, B)) == FDSet.of(Equation(B, A))
+        assert len({FDSet.of(Equation(A, B)), FDSet.of(Equation(B, A))}) == 1
+
+    def test_iter_is_deterministic(self):
+        fdset = FDSet.of(ConstantBinding(C), Equation(A, B))
+        assert list(fdset) == sorted(fdset.items, key=str)
+
+    def test_rejects_non_items(self):
+        with pytest.raises(TypeError):
+            FDSet(frozenset({"not an item"}))  # type: ignore[arg-type]
+
+
+def test_flatten_items():
+    s1 = FDSet.of(Equation(A, B))
+    s2 = FDSet.of(Equation(A, B), ConstantBinding(C))
+    assert flatten_items([s1, s2]) == frozenset({Equation(A, B), ConstantBinding(C)})

@@ -1,0 +1,233 @@
+"""Tests for the groupings extension (the paper's follow-up work).
+
+Covers the Grouping data type, the derivation rules, the closure, NFSM/DFSM
+integration, and the end-to-end plan-generation payoff (streaming
+aggregation recognized only by the grouping-aware FSM backend).
+"""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.fd import ConstantBinding, Equation, FDSet, FunctionalDependency
+from repro.core.grouping import (
+    Grouping,
+    GroupingBounds,
+    derive_grouping,
+    grouping,
+    grouping_closure,
+    prefix_groupings,
+)
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import OrderOptimizer
+from repro.core.ordering import ordering
+
+A, B, C, X = attrs("a", "b", "c", "x")
+
+
+class TestGroupingType:
+    def test_set_semantics(self):
+        assert grouping("a", "b") == grouping("b", "a")
+        assert len({grouping("a", "b"), grouping("b", "a")}) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Grouping(frozenset())
+
+    def test_non_attribute_rejected(self):
+        with pytest.raises(TypeError):
+            Grouping(frozenset({"a"}))  # type: ignore[arg-type]
+
+    def test_from_ordering(self):
+        assert Grouping.from_ordering(ordering("b", "a")) == grouping("a", "b")
+
+    def test_union_substitute(self):
+        g = grouping("a")
+        assert g.union(B) == grouping("a", "b")
+        assert grouping("a", "b").substitute(A, X) == grouping("x", "b")
+
+    def test_repr_sorted(self):
+        assert repr(grouping("b", "a")) == "{a, b}"
+
+
+class TestDerivation:
+    def test_fd_grows_grouping(self):
+        fd = FunctionalDependency(frozenset({A}), B)
+        assert set(derive_grouping(grouping("a"), fd)) == {grouping("a", "b")}
+
+    def test_fd_requires_lhs_subset(self):
+        fd = FunctionalDependency(frozenset({A, B}), C)
+        assert set(derive_grouping(grouping("a"), fd)) == set()
+        assert set(derive_grouping(grouping("a", "b"), fd)) == {
+            grouping("a", "b", "c")
+        }
+
+    def test_constant(self):
+        assert set(derive_grouping(grouping("a"), ConstantBinding(X))) == {
+            grouping("a", "x")
+        }
+
+    def test_equation_union_and_substitution(self):
+        assert set(derive_grouping(grouping("a"), Equation(A, B))) == {
+            grouping("a", "b"),
+            grouping("b"),
+        }
+
+    def test_no_duplicates(self):
+        assert set(derive_grouping(grouping("a", "b"), Equation(A, B))) == set()
+
+
+class TestClosure:
+    def test_chained(self):
+        fdset = FDSet.of(
+            FunctionalDependency(frozenset({A}), B),
+            FunctionalDependency(frozenset({B}), C),
+        )
+        closure = grouping_closure([grouping("a")], [fdset])
+        assert grouping("a", "b", "c") in closure
+
+    def test_bounds_filter(self):
+        bounds = GroupingBounds([grouping("a", "b")])
+        fdset = FDSet.of(ConstantBinding(X))
+        closure = grouping_closure([grouping("a")], [fdset], bounds)
+        assert grouping("a", "x") not in closure  # x not relevant to {a,b}
+
+    def test_bounds_respect_equivalence(self):
+        from repro.core.equivalence import EquivalenceClasses
+
+        classes = EquivalenceClasses([Equation(A, B)])
+        bounds = GroupingBounds([grouping("a")], classes)
+        assert bounds.admits(grouping("b"))  # b ~ a
+
+    def test_prefix_groupings(self):
+        assert prefix_groupings(ordering("a", "b")) == (
+            grouping("a"),
+            grouping("a", "b"),
+        )
+
+
+class TestFsmIntegration:
+    def build(self):
+        interesting = InterestingOrders.of(
+            produced=[ordering("a", "b")],
+            groupings_tested=[grouping("a", "b"), grouping("a", "x"), grouping("b")],
+        )
+        fdsets = [FDSet.of(ConstantBinding(X)), FDSet.of(Equation(A, C))]
+        return OrderOptimizer.prepare(interesting, fdsets), fdsets
+
+    def test_sorted_stream_satisfies_prefix_groupings_only(self):
+        opt, _ = self.build()
+        state = opt.state_for_produced(opt.producer_handle(ordering("a", "b")))
+        assert opt.contains(state, opt.grouping_handle(grouping("a", "b")))
+        # grouped-by-{a,b} does NOT imply grouped-by-{b}
+        assert not opt.contains(state, opt.grouping_handle(grouping("b")))
+
+    def test_constants_grow_groupings(self):
+        opt, fdsets = self.build()
+        state = opt.state_for_produced(opt.producer_handle(ordering("a", "b")))
+        assert not opt.contains(state, opt.grouping_handle(grouping("a", "x")))
+        state = opt.infer(state, opt.fdset_handle(fdsets[0]))
+        assert opt.contains(state, opt.grouping_handle(grouping("a", "x")))
+
+    def test_produced_grouping_entry_point(self):
+        interesting = InterestingOrders.of(
+            produced=[ordering("a")],
+            groupings_produced=[grouping("b")],
+            groupings_tested=[grouping("b", "x")],
+        )
+        fdsets = [FDSet.of(ConstantBinding(X))]
+        opt = OrderOptimizer.prepare(interesting, fdsets)
+        state = opt.state_for_produced(opt.producer_handle(grouping("b")))
+        assert opt.contains(state, opt.grouping_handle(grouping("b")))
+        state = opt.infer(state, opt.fdset_handle(fdsets[0]))
+        assert opt.contains(state, opt.grouping_handle(grouping("b", "x")))
+
+    def test_unknown_grouping_raises(self):
+        opt, _ = self.build()
+        with pytest.raises(KeyError, match="grouping"):
+            opt.grouping_handle(grouping("c", "x"))
+
+    def test_no_groupings_means_no_grouping_nodes(self):
+        interesting = InterestingOrders.of(produced=[ordering("a")])
+        opt = OrderOptimizer.prepare(interesting, [FDSet.of(Equation(A, B))])
+        assert all(
+            not isinstance(node, Grouping) for node in opt.nfsm.orderings
+        )
+
+
+class TestDataLevelSoundness:
+    def test_claimed_groupings_hold_on_sorted_filtered_stream(self):
+        """Sorted by (a, b), then x = const: {a, x} must hold physically."""
+        import random
+
+        from repro.exec.iterators import sort_rows
+        from repro.exec.verify import satisfies_grouping
+
+        rng = random.Random(5)
+        rows = [
+            {A: rng.randrange(3), B: rng.randrange(3), X: rng.randrange(2)}
+            for _ in range(60)
+        ]
+        stream = [r for r in sort_rows(rows, ordering("a", "b")) if r[X] == 1]
+        for claimed in (grouping("a"), grouping("a", "b"), grouping("a", "x")):
+            assert satisfies_grouping(stream, claimed)
+        # and the negative case: grouped by {b} generally does not hold
+        ungrouped = [{B: 0}, {B: 1}, {B: 0}]
+        assert not satisfies_grouping(ungrouped, grouping("b"))
+
+
+class TestAggregationPlanning:
+    def make_query(self):
+        from repro.catalog.schema import Catalog, simple_table
+        from repro.core.attributes import Attribute
+        from repro.query.predicates import JoinPredicate
+        from repro.query.query import make_query
+
+        catalog = (
+            Catalog()
+            .add(simple_table("t", ["a", "g"], 20_000, clustered_on="a"))
+            .add(simple_table("u", ["b"], 20_000, clustered_on="b"))
+        )
+        return make_query(
+            catalog,
+            ["t", "u"],
+            [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+            group_by=[Attribute("a", "t")],
+        )
+
+    def test_fsm_uses_streaming_aggregation(self):
+        from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+
+        spec = self.make_query()
+        config = PlanGenConfig(enable_aggregation=True)
+        result = PlanGenerator(spec, FsmBackend(), config=config).run()
+        assert result.best_plan.op == "stream_aggregate"
+
+    def test_simmen_falls_back_to_hash_aggregation(self):
+        from repro.plangen import PlanGenConfig, PlanGenerator, SimmenBackend
+
+        spec = self.make_query()
+        config = PlanGenConfig(enable_aggregation=True)
+        result = PlanGenerator(spec, SimmenBackend(), config=config).run()
+        assert result.best_plan.op == "hash_aggregate"
+
+    def test_grouping_awareness_wins_on_cost(self):
+        from repro.plangen import (
+            FsmBackend,
+            PlanGenConfig,
+            PlanGenerator,
+            SimmenBackend,
+        )
+
+        spec = self.make_query()
+        config = PlanGenConfig(enable_aggregation=True)
+        fsm = PlanGenerator(spec, FsmBackend(), config=config).run()
+        simmen = PlanGenerator(spec, SimmenBackend(), config=config).run()
+        assert fsm.best_plan.cost < simmen.best_plan.cost
+
+    def test_aggregation_off_keeps_parity(self):
+        from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+
+        spec = self.make_query()
+        fsm = PlanGenerator(spec, FsmBackend()).run()
+        simmen = PlanGenerator(spec, SimmenBackend()).run()
+        assert fsm.best_plan.cost == pytest.approx(simmen.best_plan.cost)

@@ -1,0 +1,279 @@
+"""Unit tests for repro.core.inference — the Ω(O, F) oracle of Section 2."""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.fd import ConstantBinding, Equation, FDSet, FunctionalDependency
+from repro.core.inference import (
+    Bounds,
+    Derivation,
+    derive_item,
+    omega,
+    omega_new,
+    prefix_closure,
+    satisfies,
+)
+from repro.core.ordering import EMPTY_ORDERING, ordering
+
+A, B, C, D, X = attrs("a", "b", "c", "d", "x")
+
+
+def results(o, item):
+    return {d.result for d in derive_item(o, item)}
+
+
+class TestDeriveFunctionalDependency:
+    def test_insert_after_lhs(self):
+        fd = FunctionalDependency(frozenset({A}), B)
+        assert results(ordering("a", "c"), fd) == {
+            ordering("a", "b", "c"),
+            ordering("a", "c", "b"),
+        }
+
+    def test_lhs_missing_no_derivation(self):
+        fd = FunctionalDependency(frozenset({A}), B)
+        assert results(ordering("c"), fd) == set()
+
+    def test_rhs_already_present_no_derivation(self):
+        fd = FunctionalDependency(frozenset({A}), B)
+        assert results(ordering("b", "a"), fd) == set()
+
+    def test_compound_lhs_requires_all(self):
+        fd = FunctionalDependency(frozenset({A, B}), C)
+        assert results(ordering("a"), fd) == set()
+        assert results(ordering("a", "b"), fd) == {ordering("a", "b", "c")}
+        # insertion only after *both* lhs attributes
+        assert results(ordering("b", "x", "a"), fd) == {ordering("b", "x", "a", "c")}
+
+    def test_positions_are_recorded(self):
+        fd = FunctionalDependency(frozenset({A}), B)
+        derivations = list(derive_item(ordering("a", "c"), fd))
+        assert Derivation(ordering("a", "b", "c"), 1) in derivations
+        assert Derivation(ordering("a", "c", "b"), 2) in derivations
+
+
+class TestDeriveConstant:
+    def test_insert_anywhere(self):
+        const = ConstantBinding(X)
+        assert results(ordering("a", "b"), const) == {
+            ordering("x", "a", "b"),
+            ordering("a", "x", "b"),
+            ordering("a", "b", "x"),
+        }
+
+    def test_insert_into_empty(self):
+        assert results(EMPTY_ORDERING, ConstantBinding(X)) == {ordering("x")}
+
+    def test_already_present(self):
+        assert results(ordering("x"), ConstantBinding(X)) == set()
+
+
+class TestDeriveEquation:
+    def test_introduction_example(self):
+        """Intro example: stream ordered on (a), predicate a = b."""
+        derived = results(ordering("a"), Equation(A, B))
+        assert derived == {ordering("a", "b"), ordering("b", "a"), ordering("b")}
+
+    def test_substitution_both_directions(self):
+        eq = Equation(A, B)
+        assert ordering("b", "c") in results(ordering("a", "c"), eq)
+        assert ordering("a", "c") in results(ordering("b", "c"), eq)
+
+    def test_insertion_at_source_position(self):
+        """Section 5.7: for a = b, inserting at the position of a is allowed."""
+        derived = results(ordering("c", "a"), Equation(A, B))
+        assert ordering("c", "b", "a") in derived
+        assert ordering("c", "a", "b") in derived
+
+    def test_no_substitution_when_both_present(self):
+        # Substituting would duplicate an attribute, so one-step derivation
+        # yields nothing from (a, b) under a = b ...
+        assert results(ordering("a", "b"), Equation(A, B)) == set()
+        # ... but the closure still reaches (b, a) via the prefix (a):
+        closure = omega([ordering("a", "b")], [FDSet.of(Equation(A, B))])
+        assert ordering("b", "a") in closure
+
+    def test_not_applicable(self):
+        assert results(ordering("c"), Equation(A, B)) == set()
+
+
+class TestPrefixClosure:
+    def test_basic(self):
+        closed = prefix_closure([ordering("a", "b", "c")])
+        assert closed == {
+            ordering("a"),
+            ordering("a", "b"),
+            ordering("a", "b", "c"),
+        }
+
+    def test_union(self):
+        closed = prefix_closure([ordering("a", "b"), ordering("x")])
+        assert closed == {ordering("a"), ordering("a", "b"), ordering("x")}
+
+
+class TestOmega:
+    def test_no_fds_is_prefix_closure(self):
+        assert omega([ordering("a", "b")]) == {ordering("a"), ordering("a", "b")}
+
+    def test_paper_intro_example(self):
+        """sort(a,b) then select x = const (Section 2 example)."""
+        fdset = FDSet.of(ConstantBinding(X))
+        closure = omega([ordering("a", "b")], [fdset])
+        expected = {
+            ordering("x", "a", "b"),
+            ordering("a", "x", "b"),
+            ordering("a", "b", "x"),
+            ordering("x", "a"),
+            ordering("a", "x"),
+            ordering("x"),
+            ordering("a"),
+            ordering("a", "b"),
+        }
+        assert closure == expected
+
+    def test_interleaved_fixpoint(self):
+        """Closure must chain FDs: a -> b then b -> c."""
+        fdset = FDSet.of(
+            FunctionalDependency(frozenset({A}), B),
+            FunctionalDependency(frozenset({B}), C),
+        )
+        closure = omega([ordering("a")], [fdset])
+        assert ordering("a", "b", "c") in closure
+        assert ordering("a", "c") not in closure  # c needs b before it
+
+    def test_accepts_bare_items(self):
+        closure = omega([ordering("a")], [FunctionalDependency(frozenset({A}), B)])
+        assert ordering("a", "b") in closure
+
+    def test_monotone_in_fds(self):
+        fd1 = FDSet.of(FunctionalDependency(frozenset({A}), B))
+        fd2 = FDSet.of(FunctionalDependency(frozenset({B}), C))
+        assert omega([ordering("a")], [fd1]) <= omega([ordering("a")], [fd1, fd2])
+
+    def test_equation_permutations(self):
+        """Equations generate all orderings over an equivalence class."""
+        closure = omega([ordering("a")], [FDSet.of(Equation(A, B))])
+        assert closure == {
+            ordering("a"),
+            ordering("b"),
+            ordering("a", "b"),
+            ordering("b", "a"),
+        }
+
+    def test_terminates_on_dense_equations(self):
+        fdset = FDSet.of(Equation(A, B), Equation(B, C), Equation(C, D))
+        closure = omega([ordering("a")], [fdset])
+        # all non-empty permutations-without-repetition over {a,b,c,d}
+        assert len(closure) == 4 + 12 + 24 + 24
+
+
+class TestOmegaNew:
+    def test_new_orderings_only(self):
+        fdset = FDSet.of(FunctionalDependency(frozenset({B}), D))
+        new = omega_new(ordering("a", "b"), fdset)
+        assert new == {ordering("a", "b", "d")}
+
+    def test_empty_when_inapplicable(self):
+        fdset = FDSet.of(FunctionalDependency(frozenset({X}), D))
+        assert omega_new(ordering("a", "b"), fdset) == frozenset()
+
+
+class TestBounds:
+    def make_bounds(self, interesting, equations=(), **kwargs):
+        classes = EquivalenceClasses(equations)
+        return Bounds(interesting, classes, **kwargs)
+
+    def test_interesting_orders_kept_verbatim(self):
+        bounds = self.make_bounds([ordering("a", "b")])
+        derivation = Derivation(ordering("a", "b"), 1)
+        assert bounds.filter(derivation, ordering("a")) == ordering("a", "b")
+
+    def test_divergent_candidate_rejected(self):
+        bounds = self.make_bounds([ordering("a", "b")])
+        # (b, c): first element diverges from every interesting order
+        derivation = Derivation(ordering("b", "c"), 1)
+        assert bounds.filter(derivation, ordering("b")) is None
+
+    def test_insertion_of_irrelevant_attribute_rejected(self):
+        bounds = self.make_bounds([ordering("a")])
+        # (a, d) is not a subsequence of any interesting order
+        derivation = Derivation(ordering("a", "d"), 1)
+        assert bounds.filter(derivation, ordering("a")) is None
+
+    def test_gap_candidates_kept(self):
+        """The repaired bound keeps (a, d) when (a, b, d) is interesting:
+        a later FD can insert b between a and d (the unsoundness of the
+        paper's prefix test, found by the property suite)."""
+        bounds = self.make_bounds([ordering("a", "b", "d")])
+        derivation = Derivation(ordering("a", "d"), 1)
+        assert bounds.filter(derivation, ordering("a")) == ordering("a", "d")
+
+    def test_paper_heuristic_counterexample_end_to_end(self):
+        """(a) + {∅→d} + {a→b} must satisfy (a, b, d) even with pruning."""
+        from repro.core.fd import ConstantBinding
+        from repro.core.interesting import InterestingOrders
+        from repro.core.optimizer import OrderOptimizer
+
+        interesting = InterestingOrders.of(
+            produced=[ordering("a")], tested=[ordering("a", "b", "d")]
+        )
+        f_d = FDSet.of(ConstantBinding(D))
+        f_ab = FDSet.of(FunctionalDependency(frozenset({A}), B))
+        optimizer = OrderOptimizer.prepare(interesting, [f_d, f_ab])
+        state = optimizer.state_for_produced(optimizer.producer_handle(ordering("a")))
+        state = optimizer.infer(state, optimizer.fdset_handle(f_d))
+        state = optimizer.infer(state, optimizer.fdset_handle(f_ab))
+        assert optimizer.contains(
+            state, optimizer.ordering_handle(ordering("a", "b", "d"))
+        )
+
+    def test_truncation_to_matched_prefix(self):
+        bounds = self.make_bounds([ordering("x", "a")])
+        # (x, a, b): the prefix (x, a) matches, the b tail is irrelevant
+        derivation = Derivation(ordering("x", "a", "b"), 0)
+        assert bounds.filter(derivation, ordering("a", "b")) == ordering("x", "a")
+
+    def test_truncation_recovers_prefix_interesting_order(self):
+        """From (b) + ∅→a, the candidate (a, b) truncates to the
+        interesting order (a) instead of being dropped (hypothesis-found
+        counterexample #2)."""
+        bounds = self.make_bounds([ordering("a"), ordering("b")])
+        derivation = Derivation(ordering("a", "b"), 0)
+        assert bounds.filter(derivation, ordering("b")) == ordering("a")
+
+    def test_equivalence_respected_in_prefix_test(self):
+        bounds = self.make_bounds([ordering("a", "c")], equations=[Equation(A, B)])
+        # (b, c) canonicalizes to (a, c) which is interesting
+        derivation = Derivation(ordering("b", "c"), None)
+        assert bounds.filter(derivation, ordering("a", "c")) == ordering("b", "c")
+
+    def test_length_bound_only(self):
+        bounds = self.make_bounds(
+            [ordering("a", "b")], use_prefix_bound=False, use_length_bound=True
+        )
+        derivation = Derivation(ordering("c", "d", "a"), 0)
+        assert bounds.filter(derivation, ordering("d", "a")) == ordering("c", "d")
+
+    def test_prefix_of_source_discarded(self):
+        bounds = self.make_bounds([ordering("a", "b")])
+        derivation = Derivation(ordering("a"), None)
+        assert bounds.filter(derivation, ordering("a", "b")) is None
+
+    def test_bounded_omega_still_finds_interesting_orders(self):
+        interesting = [ordering("a", "b", "c")]
+        bounds = self.make_bounds(interesting)
+        fdset = FDSet.of(FunctionalDependency(frozenset({B}), C))
+        closure = omega([ordering("a", "b")], [fdset], bounds)
+        assert ordering("a", "b", "c") in closure
+
+
+def test_satisfies_helper():
+    closure = omega([ordering("a", "b")])
+    assert satisfies(closure, ordering("a"))
+    assert not satisfies(closure, ordering("b"))
+
+
+def test_derive_item_rejects_unknown_type():
+    with pytest.raises(TypeError):
+        list(derive_item(ordering("a"), "nonsense"))  # type: ignore[arg-type]

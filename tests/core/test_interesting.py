@@ -1,0 +1,58 @@
+"""Unit tests for repro.core.interesting."""
+
+import pytest
+
+from repro.core.interesting import InterestingOrders
+from repro.core.ordering import EMPTY_ORDERING, ordering
+
+
+class TestInterestingOrders:
+    def test_partition_disjoint(self):
+        orders = InterestingOrders.of(
+            produced=[ordering("a"), ordering("b")],
+            tested=[ordering("a"), ordering("c")],
+        )
+        assert orders.produced == (ordering("a"), ordering("b"))
+        assert orders.tested == (ordering("c"),)
+
+    def test_all_orders_produced_first(self):
+        orders = InterestingOrders.of([ordering("a")], [ordering("b")])
+        assert orders.all_orders == (ordering("a"), ordering("b"))
+
+    def test_deduplication(self):
+        orders = InterestingOrders.of([ordering("a"), ordering("a")])
+        assert orders.produced == (ordering("a"),)
+
+    def test_membership(self):
+        orders = InterestingOrders.of([ordering("a")], [ordering("b")])
+        assert ordering("a") in orders
+        assert ordering("b") in orders
+        assert ordering("c") not in orders
+
+    def test_is_produced(self):
+        orders = InterestingOrders.of([ordering("a")], [ordering("b")])
+        assert orders.is_produced(ordering("a"))
+        assert not orders.is_produced(ordering("b"))
+
+    def test_len(self):
+        assert len(InterestingOrders.of([ordering("a")], [ordering("b")])) == 2
+
+    def test_max_length(self):
+        orders = InterestingOrders.of([ordering("a", "b", "c")], [ordering("x")])
+        assert orders.max_length == 3
+        assert InterestingOrders.of().max_length == 0
+
+    def test_empty_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            InterestingOrders.of([EMPTY_ORDERING])
+
+    def test_non_ordering_rejected(self):
+        with pytest.raises(TypeError):
+            InterestingOrders.of(["a"])  # type: ignore[list-item]
+
+    def test_merge(self):
+        left = InterestingOrders.of([ordering("a")], [ordering("b")])
+        right = InterestingOrders.of([ordering("b")], [ordering("c")])
+        merged = left.merge(right)
+        assert merged.produced == (ordering("a"), ordering("b"))
+        assert merged.tested == (ordering("c"),)

@@ -1,0 +1,233 @@
+"""Structural tests for NFSM construction, subset construction, and tables."""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.fd import ConstantBinding, Equation, FDSet, FunctionalDependency
+from repro.core.inference import omega
+from repro.core.interesting import InterestingOrders
+from repro.core.nfsm import START, build_universe, dedupe_fdsets
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.ordering import EMPTY_ORDERING, ordering
+
+A, B, C, X = attrs("a", "b", "c", "x")
+
+
+def prepare(produced, tested, fdsets, **option_kwargs):
+    interesting = InterestingOrders.of(produced, tested)
+    return OrderOptimizer.prepare(
+        interesting, fdsets, BuilderOptions(**option_kwargs)
+    )
+
+
+class TestUniverse:
+    def test_universe_layout_interesting_first(self):
+        interesting = InterestingOrders.of([ordering("a", "b")], [ordering("x")])
+        universe = build_universe(interesting, (), None, include_empty=False)
+        assert universe[:2] == (ordering("a", "b"), ordering("x"))
+        assert ordering("a") in universe  # prefix closure
+
+    def test_universe_includes_empty_when_requested(self):
+        interesting = InterestingOrders.of([ordering("a")])
+        universe = build_universe(interesting, (), None, include_empty=True)
+        assert EMPTY_ORDERING in universe
+
+    def test_universe_matches_omega(self):
+        interesting = InterestingOrders.of([ordering("a")])
+        fdsets = (FDSet.of(Equation(A, B)),)
+        universe = build_universe(interesting, fdsets, None, include_empty=False)
+        assert set(universe) == set(omega([ordering("a")], fdsets))
+
+    def test_dedupe_fdsets(self):
+        s = FDSet.of(Equation(A, B))
+        assert dedupe_fdsets((s, FDSet.of(Equation(B, A)), FDSet())) == (s, FDSet())
+
+
+class TestNFSMStructure:
+    def test_start_node_is_zero(self):
+        opt = prepare([ordering("a")], [], [])
+        assert opt.nfsm.orderings[START] is None
+
+    def test_fd_targets_include_self(self):
+        opt = prepare([ordering("a")], [], [FDSet.of(Equation(A, B))])
+        nfsm = opt.nfsm
+        node = nfsm.node_of[ordering("a")]
+        assert node in nfsm.targets(node, 0)
+
+    def test_targets_default_to_self(self):
+        opt = prepare([ordering("a")], [], [FDSet.of(Equation(B, C))])
+        nfsm = opt.nfsm
+        node = nfsm.node_of[ordering("a")]
+        # b = c never applies to (a)
+        assert nfsm.targets(node, 0) == frozenset((node,))
+
+    def test_describe_mentions_nodes(self):
+        opt = prepare([ordering("a")], [], [])
+        text = opt.nfsm.describe()
+        assert "(a)" in text
+        assert "q0" in text
+
+    def test_edge_count_positive(self):
+        opt = prepare([ordering("a", "b")], [], [FDSet.of(Equation(A, B))])
+        assert opt.nfsm.edge_count > 0
+
+
+class TestDFSMProperties:
+    def test_states_are_eps_closed(self):
+        opt = prepare(
+            [ordering("a", "b", "c")], [], [FDSet.of(ConstantBinding(X))]
+        )
+        for nodes in opt.dfsm.states:
+            for node in nodes:
+                if node == START:
+                    continue
+                assert opt.nfsm.eps_closure(node) <= nodes
+
+    def test_transitions_are_monotone(self):
+        """Applying an FD set never loses logical orderings."""
+        opt = prepare(
+            [ordering("a"), ordering("b")],
+            [ordering("a", "b")],
+            [FDSet.of(Equation(A, B))],
+        )
+        dfsm = opt.dfsm
+        for state in range(dfsm.state_count):
+            nodes = dfsm.states[state]
+            if START in nodes:
+                continue
+            for symbol in range(len(opt.nfsm.fd_symbols)):
+                target = dfsm.fd_transitions[state][symbol]
+                assert nodes <= dfsm.states[target]
+
+    def test_repeated_application_is_idempotent(self):
+        opt = prepare([ordering("a")], [], [FDSet.of(Equation(A, B))])
+        handle = opt.fdset_handle(FDSet.of(Equation(A, B)))
+        state = opt.state_for_produced(opt.producer_handle(ordering("a")))
+        once = opt.infer(state, handle)
+        assert opt.infer(once, handle) == once
+
+    def test_describe_runs(self):
+        opt = prepare([ordering("a")], [], [])
+        assert "DFSM" in opt.dfsm.describe()
+
+    def test_dfsm_state_matches_oracle(self):
+        """The state reached after applying f must represent Ω({o}, f)
+        restricted to testable orders (the observable part)."""
+        fdset = FDSet.of(Equation(A, B), ConstantBinding(X))
+        opt = prepare(
+            [ordering("a")],
+            [ordering("x", "a"), ordering("b", "x")],
+            [fdset],
+        )
+        state = opt.state_for_produced(opt.producer_handle(ordering("a")))
+        state = opt.infer(state, opt.fdset_handle(fdset))
+        oracle = omega([ordering("a")], [fdset])
+        for order in opt.tables.testable_orders:
+            assert opt.contains(state, opt.ordering_handle(order)) == (
+                order in oracle
+            ), order
+
+
+class TestTables:
+    def test_transition_matrix_shape(self):
+        opt = prepare([ordering("a")], [], [FDSet.of(Equation(A, B))])
+        tables = opt.tables
+        assert len(tables.transitions) == tables.state_count
+        for row in tables.transitions:
+            assert len(row) == tables.symbol_count
+
+    def test_byte_accounting(self):
+        opt = prepare([ordering("a")], [], [FDSet.of(Equation(A, B))])
+        tables = opt.tables
+        assert tables.contains_bytes == tables.state_count * (
+            (len(tables.testable_orders) + 7) // 8
+        )
+        assert tables.transition_bytes == (
+            2 * tables.symbol_count * tables.state_count
+        )
+        assert tables.total_bytes == tables.contains_bytes + tables.transition_bytes
+
+    def test_contains_table_matches_contains(self):
+        opt = prepare([ordering("a", "b")], [], [])
+        matrix = opt.tables.contains_table()
+        for state in range(opt.tables.state_count):
+            for handle in range(len(opt.tables.testable_orders)):
+                assert bool(matrix[state][handle]) == opt.contains(state, handle)
+
+
+class TestOptimizerAPI:
+    def test_scan_state_satisfies_nothing_initially(self):
+        opt = prepare([ordering("x")], [], [FDSet.of(ConstantBinding(X))])
+        assert opt.satisfied_orders(opt.scan_state()) == frozenset()
+
+    def test_scan_state_gains_constant_orderings(self):
+        """A constant predicate makes an unsorted stream sorted on (x)."""
+        fdset = FDSet.of(ConstantBinding(X))
+        opt = prepare([ordering("x")], [], [fdset])
+        state = opt.infer(opt.scan_state(), opt.fdset_handle(fdset))
+        assert opt.contains(state, opt.ordering_handle(ordering("x")))
+
+    def test_scan_state_without_empty_ordering_is_start(self):
+        opt = prepare(
+            [ordering("a")], [], [], include_empty_ordering=False
+        )
+        assert opt.scan_state() == opt.start_state
+
+    def test_state_after_sort_replays_fdsets(self):
+        fdset = FDSet.of(Equation(A, B))
+        opt = prepare([ordering("a")], [ordering("b")], [fdset])
+        handle = opt.producer_handle(ordering("a"))
+        plain = opt.state_after_sort(handle)
+        replayed = opt.state_after_sort(handle, [opt.fdset_handle(fdset)])
+        assert not opt.contains(plain, opt.ordering_handle(ordering("b")))
+        assert opt.contains(replayed, opt.ordering_handle(ordering("b")))
+
+    def test_unknown_ordering_handle_raises(self):
+        opt = prepare([ordering("a")], [], [])
+        with pytest.raises(KeyError, match="testable"):
+            opt.ordering_handle(ordering("zzz"))
+
+    def test_unknown_fdset_raises(self):
+        opt = prepare([ordering("a")], [], [])
+        with pytest.raises(KeyError, match="registered"):
+            opt.fdset_handle(FDSet.of(Equation(A, B)))
+
+    def test_tested_only_order_not_producible(self):
+        opt = prepare([ordering("a")], [ordering("b")], [])
+        with pytest.raises(KeyError, match="produced"):
+            opt.producer_handle(ordering("b"))
+
+    def test_has_helpers(self):
+        opt = prepare([ordering("a")], [], [FDSet()])
+        assert opt.has_ordering(ordering("a"))
+        assert not opt.has_ordering(ordering("b"))
+        assert opt.has_fdset(FDSet())
+
+    def test_empty_fdset_symbol_is_identity(self):
+        opt = prepare([ordering("a")], [], [FDSet()])
+        state = opt.state_for_produced(opt.producer_handle(ordering("a")))
+        assert opt.infer(state, opt.fdset_handle(FDSet())) == state
+
+    def test_stats_populated(self):
+        opt = prepare([ordering("a")], [], [FDSet.of(Equation(A, B))])
+        stats = opt.stats
+        assert stats.nfsm_nodes >= 1
+        assert stats.dfsm_states >= 2
+        assert stats.preparation_ms >= 0.0
+        assert stats.precomputed_bytes > 0
+        assert stats.interesting_order_count == 1
+
+    def test_partial_prune_configurations(self):
+        fdsets = [FDSet.of(Equation(A, B))]
+        interesting = InterestingOrders.of([ordering("a")], [ordering("b")])
+        full = OrderOptimizer.prepare(interesting, fdsets, BuilderOptions())
+        merge_only = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions(delete_eps_nodes=False)
+        )
+        delete_only = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions(merge_nodes=False)
+        )
+        for opt in (full, merge_only, delete_only):
+            state = opt.state_for_produced(opt.producer_handle(ordering("a")))
+            state = opt.infer(state, opt.fdset_handle(fdsets[0]))
+            assert opt.contains(state, opt.ordering_handle(ordering("b")))

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.ordering."""
+
+import pytest
+
+from repro.core.attributes import attr, attrs
+from repro.core.ordering import EMPTY_ORDERING, Ordering, ordering
+
+
+class TestConstruction:
+    def test_from_names(self):
+        o = ordering("a", "b")
+        assert len(o) == 2
+        assert [x.name for x in o] == ["a", "b"]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ordering("a", "a")
+
+    def test_non_attribute_rejected(self):
+        with pytest.raises(TypeError):
+            Ordering(["a"])  # type: ignore[list-item]
+
+    def test_empty_is_falsy(self):
+        assert not EMPTY_ORDERING
+        assert ordering("a")
+
+    def test_equality_and_hash(self):
+        assert ordering("a", "b") == ordering("a", "b")
+        assert ordering("a", "b") != ordering("b", "a")
+        assert hash(ordering("a", "b")) == hash(ordering("a", "b"))
+
+    def test_repr(self):
+        assert repr(ordering("a", "b")) == "(a, b)"
+        assert repr(EMPTY_ORDERING) == "()"
+
+
+class TestAccess:
+    def test_getitem_int(self):
+        assert ordering("a", "b")[1] == attr("b")
+
+    def test_getitem_slice_returns_ordering(self):
+        sliced = ordering("a", "b", "c")[:2]
+        assert isinstance(sliced, Ordering)
+        assert sliced == ordering("a", "b")
+
+    def test_contains(self):
+        assert attr("a") in ordering("a", "b")
+        assert attr("c") not in ordering("a", "b")
+
+    def test_index(self):
+        assert ordering("a", "b", "c").index(attr("c")) == 2
+
+    def test_attribute_set(self):
+        assert ordering("a", "b").attribute_set == frozenset(attrs("a", "b"))
+
+
+class TestPrefixes:
+    def test_proper_prefixes(self):
+        o = ordering("a", "b", "c")
+        assert list(o.prefixes()) == [ordering("a"), ordering("a", "b")]
+
+    def test_prefixes_including_self(self):
+        o = ordering("a", "b")
+        assert list(o.prefixes(proper=False)) == [ordering("a"), ordering("a", "b")]
+
+    def test_prefixes_including_empty(self):
+        o = ordering("a")
+        assert list(o.prefixes(include_empty=True)) == [EMPTY_ORDERING]
+
+    def test_empty_has_no_proper_prefixes(self):
+        assert list(EMPTY_ORDERING.prefixes()) == []
+
+    def test_is_prefix_of(self):
+        assert ordering("a").is_prefix_of(ordering("a", "b"))
+        assert ordering("a", "b").is_prefix_of(ordering("a", "b"))
+        assert not ordering("b").is_prefix_of(ordering("a", "b"))
+        assert EMPTY_ORDERING.is_prefix_of(ordering("a"))
+
+    def test_startswith(self):
+        assert ordering("a", "b").startswith(ordering("a"))
+        assert not ordering("a", "b").startswith(ordering("b"))
+
+
+class TestDerivationHelpers:
+    def test_insert_positions(self):
+        o = ordering("a", "c")
+        assert o.insert(1, attr("b")) == ordering("a", "b", "c")
+        assert o.insert(0, attr("b")) == ordering("b", "a", "c")
+        assert o.insert(2, attr("b")) == ordering("a", "c", "b")
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(IndexError):
+            ordering("a").insert(5, attr("b"))
+
+    def test_replace(self):
+        assert ordering("a", "b").replace(0, attr("x")) == ordering("x", "b")
+
+    def test_replace_out_of_range(self):
+        with pytest.raises(IndexError):
+            ordering("a").replace(1, attr("x"))
+
+    def test_truncate(self):
+        o = ordering("a", "b", "c")
+        assert o.truncate(2) == ordering("a", "b")
+        assert o.truncate(0) == EMPTY_ORDERING
+        assert o.truncate(9) is o
+
+    def test_truncate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ordering("a").truncate(-1)
+
+    def test_concat_skips_duplicates(self):
+        assert ordering("a", "b").concat(ordering("b", "c")) == ordering("a", "b", "c")

@@ -1,0 +1,207 @@
+"""Reproduction of the paper's running example (Sections 4–5, Figures 1–10).
+
+Input (Section 5.2):
+
+* FD sets ``F = {{b → c}, {b → d}}``,
+* interesting orders ``O_P = {(b), (a,b)}``, ``O_T = {(a,b,c)}``.
+
+Expected pipeline outputs, straight from the paper:
+
+* ``b → d`` is pruned (d occurs in no interesting order) — Figure 5 note;
+* the artificial node ``(b, c)`` disappears — Figure 6;
+* the final NFSM has nodes (a), (a,b), (a,b,c), (b) and one
+  ``{b → c}`` edge from (a,b) to (a,b,c) — Figure 7;
+* the DFSM has three states besides the start state — Figure 8;
+* the contains matrix and transition table match Figures 9 and 10.
+"""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.fd import FDSet, FunctionalDependency
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
+from repro.core.ordering import ordering
+
+A, B, C, D = attrs("a", "b", "c", "d")
+
+F_BC = FDSet.of(FunctionalDependency(frozenset({B}), C))
+F_BD = FDSet.of(FunctionalDependency(frozenset({B}), D))
+
+INTERESTING = InterestingOrders.of(
+    produced=[ordering("b"), ordering("a", "b")],
+    tested=[ordering("a", "b", "c")],
+)
+
+# The paper's figures have no explicit empty-ordering scan state.
+PAPER_OPTIONS = BuilderOptions(include_empty_ordering=False)
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return OrderOptimizer.prepare(INTERESTING, [F_BC, F_BD], PAPER_OPTIONS)
+
+
+class TestFigure7FinalNFSM:
+    def test_nodes(self, optimizer):
+        nodes = {o for o in optimizer.nfsm.orderings if o is not None}
+        assert nodes == {
+            ordering("a"),
+            ordering("b"),
+            ordering("a", "b"),
+            ordering("a", "b", "c"),
+        }
+
+    def test_fd_b_to_d_pruned(self, optimizer):
+        assert optimizer.stats.pruned_fd_items == 1
+        remaining = {
+            item for fdset in optimizer.nfsm.fd_symbols for item in fdset.items
+        }
+        assert remaining == {FunctionalDependency(frozenset({B}), C)}
+
+    def test_artificial_bc_node_absent(self, optimizer):
+        assert ordering("b", "c") not in optimizer.nfsm.node_of
+
+    def test_single_fd_edge_from_ab(self, optimizer):
+        nfsm = optimizer.nfsm
+        ab = nfsm.node_of[ordering("a", "b")]
+        abc = nfsm.node_of[ordering("a", "b", "c")]
+        symbol = nfsm.fd_symbols.index(F_BC)
+        assert abc in nfsm.targets(ab, symbol)
+
+    def test_epsilon_edges_follow_prefixes(self, optimizer):
+        nfsm = optimizer.nfsm
+        abc = nfsm.node_of[ordering("a", "b", "c")]
+        eps_orders = {nfsm.orderings[t] for t in nfsm.eps[abc]}
+        assert eps_orders == {ordering("a"), ordering("a", "b")}
+
+    def test_start_edges_only_for_produced(self, optimizer):
+        assert set(optimizer.nfsm.producer_orders) == {
+            ordering("b"),
+            ordering("a", "b"),
+        }
+
+
+class TestFigure8DFSM:
+    def test_state_count(self, optimizer):
+        # start state plus the three states of Figure 8
+        assert optimizer.dfsm.state_count == 4
+
+    def test_state_contents(self, optimizer):
+        contents = {
+            frozenset(optimizer.dfsm.state_orderings(s))
+            for s in range(optimizer.dfsm.state_count)
+        }
+        assert frozenset() in contents  # start
+        assert frozenset({ordering("b")}) in contents
+        assert frozenset({ordering("a"), ordering("a", "b")}) in contents
+        assert (
+            frozenset({ordering("a"), ordering("a", "b"), ordering("a", "b", "c")})
+            in contents
+        )
+
+    def test_fd_transition_structure(self, optimizer):
+        opt = optimizer
+        state_ab = opt.state_for_produced(opt.producer_handle(ordering("a", "b")))
+        state_b = opt.state_for_produced(opt.producer_handle(ordering("b")))
+        bc = opt.fdset_handle(F_BC)
+        # (a,b) --{b->c}--> the (a,b,c) state; (b) and the target are sinks
+        target = opt.infer(state_ab, bc)
+        assert target != state_ab
+        assert opt.infer(target, bc) == target
+        assert opt.infer(state_b, bc) == state_b
+
+    def test_bd_symbol_is_identity_everywhere(self, optimizer):
+        opt = optimizer
+        bd = opt.fdset_handle(F_BD)  # symbol survives, but is empty after pruning
+        for state in range(opt.dfsm.state_count):
+            assert opt.infer(state, bd) == state
+
+
+class TestFigure9ContainsMatrix:
+    def test_matrix(self, optimizer):
+        opt = optimizer
+        state_b = opt.state_for_produced(opt.producer_handle(ordering("b")))
+        state_ab = opt.state_for_produced(opt.producer_handle(ordering("a", "b")))
+        state_abc = opt.infer(state_ab, opt.fdset_handle(F_BC))
+
+        def row(state):
+            return {
+                name: opt.contains(state, opt.ordering_handle(order))
+                for name, order in {
+                    "(a)": ordering("a"),
+                    "(a,b)": ordering("a", "b"),
+                    "(a,b,c)": ordering("a", "b", "c"),
+                    "(b)": ordering("b"),
+                }.items()
+            }
+
+        # Figure 9, rows 1..3
+        assert row(state_b) == {"(a)": False, "(a,b)": False, "(a,b,c)": False, "(b)": True}
+        assert row(state_ab) == {"(a)": True, "(a,b)": True, "(a,b,c)": False, "(b)": False}
+        assert row(state_abc) == {"(a)": True, "(a,b)": True, "(a,b,c)": True, "(b)": False}
+
+    def test_start_state_satisfies_nothing(self, optimizer):
+        opt = optimizer
+        for order in (ordering("a"), ordering("b"), ordering("a", "b")):
+            assert not opt.contains(opt.start_state, opt.ordering_handle(order))
+
+
+class TestFigure10TransitionMatrix:
+    def test_constructor_column(self, optimizer):
+        opt = optimizer
+        state_b = opt.state_for_produced(opt.producer_handle(ordering("b")))
+        state_ab = opt.state_for_produced(opt.producer_handle(ordering("a", "b")))
+        assert state_b != state_ab
+        assert state_b != opt.start_state
+        # Producer symbols are identity outside the start state (Figure 10
+        # shows rows 1..3 mapping every ordering symbol to themselves).
+        h_b = opt.producer_handle(ordering("b"))
+        for state in (state_b, state_ab):
+            assert opt.tables.transition(state, h_b) == state
+
+    def test_full_walk_of_section_5_6(self, optimizer):
+        """Sort by (a,b) -> node 2; apply {b->c} -> node 3 (paper text)."""
+        opt = optimizer
+        state = opt.state_for_produced(opt.producer_handle(ordering("a", "b")))
+        assert opt.satisfied_orders(state) == {ordering("a"), ordering("a", "b")}
+        state = opt.infer(state, opt.fdset_handle(F_BC))
+        assert opt.satisfied_orders(state) == {
+            ordering("a"),
+            ordering("a", "b"),
+            ordering("a", "b", "c"),
+        }
+
+
+class TestWithoutPruning:
+    """Figure 1/5: the unpruned NFSM keeps (b,c), (a,b,d,c), (a,b,c,d), ..."""
+
+    @pytest.fixture(scope="class")
+    def unpruned(self):
+        options = NO_PRUNING
+        options = options.__class__(**{**options.__dict__, "include_empty_ordering": False})
+        return OrderOptimizer.prepare(INTERESTING, [F_BC, F_BD], options)
+
+    def test_d_orderings_present(self, unpruned):
+        nodes = {o for o in unpruned.nfsm.orderings if o is not None}
+        assert ordering("a", "b", "d") in nodes
+        assert ordering("a", "b", "d", "c") in nodes
+        assert ordering("a", "b", "c", "d") in nodes
+        assert ordering("b", "c") in nodes
+
+    def test_strictly_larger_than_pruned(self, unpruned, optimizer):
+        assert unpruned.nfsm.node_count > optimizer.nfsm.node_count
+        assert unpruned.dfsm.state_count >= optimizer.dfsm.state_count
+
+    def test_same_contains_answers_for_interesting_orders(self, unpruned, optimizer):
+        """Pruning must not change any observable behaviour."""
+        for produced in INTERESTING.produced:
+            state_p = optimizer.state_for_produced(optimizer.producer_handle(produced))
+            state_u = unpruned.state_for_produced(unpruned.producer_handle(produced))
+            for fdset in (F_BC, F_BD):
+                next_p = optimizer.infer(state_p, optimizer.fdset_handle(fdset))
+                next_u = unpruned.infer(state_u, unpruned.fdset_handle(fdset))
+                for order in INTERESTING.all_orders:
+                    assert optimizer.contains(
+                        next_p, optimizer.ordering_handle(order)
+                    ) == unpruned.contains(next_u, unpruned.ordering_handle(order))

@@ -1,0 +1,198 @@
+"""Unit tests for repro.core.prune — Section 5.7 reduction techniques.
+
+Also documents two findings about the paper's FD-pruning formula (see
+DESIGN.md):
+
+* applied literally (quantifier over ``O_I``), it *keeps* the dependency
+  ``b → d`` that the paper's own running example prunes, and
+* it is unsound for FDs whose left-hand side only occurs in derived
+  orderings; quantifying over the whole universe repairs this.
+"""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.fd import ConstantBinding, Equation, FDSet, FunctionalDependency
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.ordering import ordering
+from repro.core.prune import (
+    prune_fd_items,
+    prune_items_formula,
+    prune_items_relevance,
+    relevant_attributes,
+)
+
+A, B, C, D, X = attrs("a", "b", "c", "d", "x")
+
+FD_BC = FunctionalDependency(frozenset({B}), C)
+FD_BD = FunctionalDependency(frozenset({B}), D)
+
+
+def running_example():
+    interesting = InterestingOrders.of(
+        produced=[ordering("b"), ordering("a", "b")],
+        tested=[ordering("a", "b", "c")],
+    )
+    fdsets = [FDSet.of(FD_BC), FDSet.of(FD_BD)]
+    return interesting, fdsets
+
+
+class TestRelevantAttributes:
+    def test_seeded_with_interesting_attributes(self):
+        interesting = InterestingOrders.of([ordering("a", "b")])
+        assert relevant_attributes(interesting, []) == {A, B}
+
+    def test_closed_under_equations(self):
+        interesting = InterestingOrders.of([ordering("a"), ordering("c")])
+        items = [Equation(A, B), Equation(B, C)]
+        assert relevant_attributes(interesting, items) == {A, B, C}
+
+    def test_unrelated_equation_ignored(self):
+        interesting = InterestingOrders.of([ordering("a")])
+        assert relevant_attributes(interesting, [Equation(X, D)]) == {A}
+
+
+class TestRelevancePruning:
+    def test_prunes_b_to_d(self):
+        """The paper's running example: b → d goes, b → c stays."""
+        interesting, fdsets = running_example()
+        filtered, pruned = prune_items_relevance(fdsets, interesting)
+        assert pruned == {FD_BD}
+        assert filtered[0] == FDSet.of(FD_BC)
+        assert filtered[1] == FDSet()
+
+    def test_keeps_equation_chains(self):
+        """a = b, b = c with interesting (a), (c): both equations needed."""
+        interesting = InterestingOrders.of([ordering("a"), ordering("c")])
+        fdsets = [FDSet.of(Equation(A, B)), FDSet.of(Equation(B, C))]
+        _, pruned = prune_items_relevance(fdsets, interesting)
+        assert pruned == frozenset()
+
+    def test_prunes_irrelevant_constant(self):
+        interesting = InterestingOrders.of([ordering("a")])
+        fdsets = [FDSet.of(ConstantBinding(X))]
+        _, pruned = prune_items_relevance(fdsets, interesting)
+        assert pruned == {ConstantBinding(X)}
+
+    def test_keeps_relevant_constant(self):
+        interesting = InterestingOrders.of([ordering("x", "a")])
+        fdsets = [FDSet.of(ConstantBinding(X))]
+        _, pruned = prune_items_relevance(fdsets, interesting)
+        assert pruned == frozenset()
+
+
+class TestFormulaPruning:
+    def test_paper_formula_keeps_b_to_d(self):
+        """As printed, the formula contradicts the paper's own example:
+        from (a,b), the FD b → d yields (a,b,d), from which b → c reaches
+        (a,b,c,d) whose prefix (a,b,c) is interesting — so the formula
+        refuses to prune b → d."""
+        interesting, fdsets = running_example()
+        _, pruned = prune_items_formula(
+            fdsets, interesting, quantify_over_universe=False
+        )
+        assert FD_BD not in pruned
+
+    def test_paper_formula_unsound_for_derived_lhs(self):
+        """f = b → c is only applicable to *derived* orderings here, so the
+        O_I-quantified formula prunes it although it is the sole path to the
+        interesting order (b, c)."""
+        interesting = InterestingOrders.of([ordering("a"), ordering("b", "c")])
+        g = FDSet.of(ConstantBinding(B))
+        f = FDSet.of(FunctionalDependency(frozenset({B}), C))
+        _, pruned = prune_items_formula(
+            [g, f], interesting, quantify_over_universe=False
+        )
+        assert FunctionalDependency(frozenset({B}), C) in pruned  # the flaw
+
+        # The universe-quantified repair keeps it:
+        _, pruned_repaired = prune_items_formula(
+            [g, f], interesting, quantify_over_universe=True
+        )
+        assert FunctionalDependency(frozenset({B}), C) not in pruned_repaired
+
+    def test_universe_formula_prunes_plainly_useless_fd(self):
+        interesting = InterestingOrders.of([ordering("a")])
+        fdsets = [FDSet.of(FunctionalDependency(frozenset({X}), D))]
+        _, pruned = prune_items_formula(fdsets, interesting)
+        assert pruned == {FunctionalDependency(frozenset({X}), D)}
+
+
+class TestPruneDispatch:
+    def test_off(self):
+        interesting, fdsets = running_example()
+        filtered, pruned = prune_fd_items(fdsets, interesting, "off")
+        assert pruned == frozenset()
+        assert tuple(filtered) == tuple(fdsets)
+
+    def test_both_combines(self):
+        interesting, fdsets = running_example()
+        _, pruned = prune_fd_items(fdsets, interesting, "both")
+        assert FD_BD in pruned
+
+    def test_unknown_mode_rejected(self):
+        interesting, fdsets = running_example()
+        with pytest.raises(ValueError):
+            prune_fd_items(fdsets, interesting, "bogus")  # type: ignore[arg-type]
+
+
+class TestNodePruningPreservesBehaviour:
+    """Pruned and unpruned machines must answer `contains` identically
+    along every symbol path — exhaustively checked on small examples."""
+
+    def check_equivalence(self, interesting, fdsets, depth=3):
+        pruned = OrderOptimizer.prepare(interesting, fdsets, BuilderOptions())
+        unpruned = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions().without_pruning()
+        )
+
+        def walk(state_p, state_u, remaining):
+            for order in interesting.all_orders:
+                got_p = pruned.contains(state_p, pruned.ordering_handle(order))
+                got_u = unpruned.contains(state_u, unpruned.ordering_handle(order))
+                assert got_p == got_u, (order, state_p, state_u)
+            if remaining == 0:
+                return
+            for fdset in fdsets:
+                walk(
+                    pruned.infer(state_p, pruned.fdset_handle(fdset)),
+                    unpruned.infer(state_u, unpruned.fdset_handle(fdset)),
+                    remaining - 1,
+                )
+
+        for produced in interesting.produced:
+            walk(
+                pruned.state_for_produced(pruned.producer_handle(produced)),
+                unpruned.state_for_produced(unpruned.producer_handle(produced)),
+                depth,
+            )
+        walk(pruned.scan_state(), unpruned.scan_state(), depth)
+
+    def test_running_example(self):
+        interesting, fdsets = running_example()
+        self.check_equivalence(interesting, fdsets)
+
+    def test_equation_chain(self):
+        interesting = InterestingOrders.of(
+            [ordering("a"), ordering("c")], [ordering("a", "c")]
+        )
+        fdsets = [FDSet.of(Equation(A, B)), FDSet.of(Equation(B, C))]
+        self.check_equivalence(interesting, fdsets)
+
+    def test_constants_and_compound_fds(self):
+        interesting = InterestingOrders.of(
+            [ordering("a", "b"), ordering("x")], [ordering("x", "a", "c")]
+        )
+        fdsets = [
+            FDSet.of(ConstantBinding(X)),
+            FDSet.of(FunctionalDependency(frozenset({A, B}), C)),
+        ]
+        self.check_equivalence(interesting, fdsets)
+
+    def test_mixed_equation_and_constant_in_one_operator(self):
+        interesting = InterestingOrders.of(
+            [ordering("a"), ordering("b", "x")],
+        )
+        fdsets = [FDSet.of(Equation(A, B), ConstantBinding(X))]
+        self.check_equivalence(interesting, fdsets)

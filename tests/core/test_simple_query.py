@@ -1,0 +1,162 @@
+"""Reproduction of the Section 6.1 simple query (Figures 11 and 12).
+
+    select * from persons, jobs
+    where persons.jobid = jobs.id and jobs.salary > 50000
+    order by jobs.id, persons.name
+
+Interesting orders: ``Q_I^P = {(id), (jobid), (id,name)}``,
+``Q_I^T = {(salary)}``; FD set ``F = {{id = jobid}}``.
+
+Figure 11 shows the NFSM *before* the Section 5.7 reductions, with all the
+permutational artificial nodes; Figure 12 shows the DFSM in which these
+permutations collapse into combined states.  The (salary) node stays
+unreachable because no operator produces it.
+"""
+
+import pytest
+
+from repro.core.attributes import attr
+from repro.core.fd import Equation, FDSet
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.ordering import Ordering, ordering
+
+ID = attr("id")
+JOBID = attr("jobid")
+NAME = attr("name")
+SALARY = attr("salary")
+
+F_EQ = FDSet.of(Equation(ID, JOBID))
+
+INTERESTING = InterestingOrders.of(
+    produced=[ordering("id"), ordering("jobid"), ordering("id", "name")],
+    tested=[ordering("salary")],
+)
+
+UNPRUNED = BuilderOptions(include_empty_ordering=False).without_pruning()
+PRUNED = BuilderOptions(include_empty_ordering=False)
+
+
+@pytest.fixture(scope="module")
+def unpruned():
+    return OrderOptimizer.prepare(INTERESTING, [F_EQ], UNPRUNED)
+
+
+@pytest.fixture(scope="module")
+def pruned():
+    return OrderOptimizer.prepare(INTERESTING, [F_EQ], PRUNED)
+
+
+class TestFigure11NFSM:
+    def test_figure_11_nodes(self, unpruned):
+        nodes = {o for o in unpruned.nfsm.orderings if o is not None}
+        expected = {
+            ordering("id"),
+            ordering("jobid"),
+            ordering("salary"),
+            ordering("id", "name"),
+            ordering("jobid", "id"),
+            ordering("id", "jobid"),
+            ordering("id", "name", "jobid"),
+            ordering("jobid", "name", "id"),
+            ordering("id", "jobid", "name"),
+            ordering("jobid", "id", "name"),
+            ordering("jobid", "name"),
+        }
+        assert nodes == expected
+
+    def test_equation_stronger_than_two_fds(self, unpruned):
+        """The edge (id) --id=jobid--> (jobid) requires the substitution rule."""
+        nfsm = unpruned.nfsm
+        node_id = nfsm.node_of[ordering("id")]
+        node_jobid = nfsm.node_of[ordering("jobid")]
+        symbol = nfsm.fd_symbols.index(F_EQ)
+        assert node_jobid in nfsm.targets(node_id, symbol)
+
+    def test_salary_has_no_start_edge(self, unpruned):
+        assert ordering("salary") not in unpruned.nfsm.producer_orders
+
+    def test_id_reaches_both_two_attribute_permutations(self, unpruned):
+        nfsm = unpruned.nfsm
+        node_id = nfsm.node_of[ordering("id")]
+        symbol = nfsm.fd_symbols.index(F_EQ)
+        targets = {nfsm.orderings[t] for t in nfsm.targets(node_id, symbol)}
+        assert ordering("id", "jobid") in targets
+        assert ordering("jobid", "id") in targets
+
+
+class TestFigure12DFSM:
+    def test_salary_state_unreachable(self, unpruned):
+        """Figure 12 has no (salary) state: nothing produces it."""
+        for state in range(unpruned.dfsm.state_count):
+            assert ordering("salary") not in unpruned.dfsm.state_orderings(state)
+
+    def test_permutations_merged(self, unpruned):
+        """After id=jobid, one DFSM state holds all permutations (Figure 12)."""
+        opt = unpruned
+        state = opt.state_for_produced(opt.producer_handle(ordering("id")))
+        merged = opt.infer(state, opt.fdset_handle(F_EQ))
+        orders = opt.dfsm.state_orderings(merged)
+        assert ordering("id") in orders
+        assert ordering("jobid") in orders
+        assert ordering("id", "jobid") in orders
+        assert ordering("jobid", "id") in orders
+
+    def test_id_name_entry_state(self, unpruned):
+        """Figure 12: start --(id,name)--> {(id), (id,name)}."""
+        opt = unpruned
+        state = opt.state_for_produced(opt.producer_handle(ordering("id", "name")))
+        assert opt.dfsm.state_orderings(state) == frozenset(
+            {ordering("id"), ordering("id", "name")}
+        )
+
+    def test_full_closure_state(self, unpruned):
+        """Figure 12's largest state: sort on (id,name), then id = jobid."""
+        opt = unpruned
+        state = opt.state_for_produced(opt.producer_handle(ordering("id", "name")))
+        closed = opt.infer(state, opt.fdset_handle(F_EQ))
+        orders = opt.dfsm.state_orderings(closed)
+        expected = {
+            ordering("id"),
+            ordering("id", "name"),
+            ordering("jobid"),
+            ordering("jobid", "id", "name"),
+            ordering("jobid", "id"),
+            ordering("id", "jobid"),
+            ordering("jobid", "name"),
+            ordering("id", "jobid", "name"),
+            ordering("id", "name", "jobid"),
+            ordering("jobid", "name", "id"),
+        }
+        assert orders == expected
+
+
+class TestPrunedVariant:
+    def test_pruning_shrinks_the_machine(self, unpruned, pruned):
+        assert pruned.nfsm.node_count < unpruned.nfsm.node_count
+        assert pruned.dfsm.state_count <= unpruned.dfsm.state_count
+
+    def test_observable_behaviour_unchanged(self, unpruned, pruned):
+        """Same contains answers for every produced order and FD sequence."""
+        interesting = INTERESTING.all_orders
+        for produced in INTERESTING.produced:
+            st_u = unpruned.state_for_produced(unpruned.producer_handle(produced))
+            st_p = pruned.state_for_produced(pruned.producer_handle(produced))
+            for _ in range(3):  # applying the same symbol repeatedly is stable
+                for order in interesting:
+                    assert unpruned.contains(
+                        st_u, unpruned.ordering_handle(order)
+                    ) == pruned.contains(st_p, pruned.ordering_handle(order)), (
+                        produced,
+                        order,
+                    )
+                st_u = unpruned.infer(st_u, unpruned.fdset_handle(F_EQ))
+                st_p = pruned.infer(st_p, pruned.fdset_handle(F_EQ))
+
+    def test_jobid_name_satisfiable_after_equation(self, pruned):
+        """(jobid) + id=jobid lets a merge join on (id) run without a sort."""
+        opt = pruned
+        state = opt.state_for_produced(opt.producer_handle(ordering("jobid")))
+        assert not opt.contains(state, opt.ordering_handle(ordering("id")))
+        state = opt.infer(state, opt.fdset_handle(F_EQ))
+        assert opt.contains(state, opt.ordering_handle(ordering("id")))

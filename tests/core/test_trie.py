@@ -1,0 +1,54 @@
+"""Unit tests for repro.core.trie."""
+
+from repro.core.attributes import attrs
+from repro.core.trie import PrefixTrie
+
+A, B, C, D = attrs("a", "b", "c", "d")
+
+
+class TestPrefixTrie:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.has_path([])
+        assert not trie.has_path([A])
+        assert trie.longest_path_length([A, B]) == 0
+
+    def test_single_sequence(self):
+        trie = PrefixTrie([[A, B, C]])
+        assert len(trie) == 1
+        assert trie.has_path([A])
+        assert trie.has_path([A, B])
+        assert trie.has_path([A, B, C])
+        assert not trie.has_path([B])
+        assert not trie.has_path([A, C])
+
+    def test_longest_path_length(self):
+        trie = PrefixTrie([[A, B, C]])
+        assert trie.longest_path_length([A, B, D]) == 2
+        assert trie.longest_path_length([A, B, C, D]) == 3
+        assert trie.longest_path_length([D]) == 0
+
+    def test_multiple_sequences_share_prefixes(self):
+        trie = PrefixTrie([[A, B], [A, C]])
+        assert len(trie) == 2
+        assert trie.has_path([A, B])
+        assert trie.has_path([A, C])
+        assert not trie.has_path([A, B, C])
+
+    def test_duplicate_insert_counted_once(self):
+        trie = PrefixTrie()
+        trie.insert([A, B])
+        trie.insert([A, B])
+        assert len(trie) == 1
+
+    def test_repeated_elements_allowed(self):
+        # Canonicalized orderings may repeat class representatives.
+        trie = PrefixTrie([[A, A, B]])
+        assert trie.has_path([A, A])
+        assert trie.longest_path_length([A, A, C]) == 2
+
+    def test_max_depth(self):
+        trie = PrefixTrie([[A], [B, C, D]])
+        assert trie.max_depth() == 3
+        assert PrefixTrie().max_depth() == 0

@@ -1,0 +1,69 @@
+"""Error paths and corner cases of the executor."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import ordering
+from repro.exec.data import apply_constant, generate_query_data, most_common_value
+from repro.exec.executor import Executor
+from repro.plangen.plan import PlanNode
+from repro.query.query import make_query
+
+
+@pytest.fixture
+def setup():
+    catalog = Catalog().add(simple_table("t", ["a"], 100))
+    spec = make_query(catalog, ["t"])
+    data = generate_query_data(spec, rows_per_table=10, domain=3, seed=0)
+    return spec, data
+
+
+class TestExecutorErrors:
+    def test_unknown_operator(self, setup):
+        spec, data = setup
+        plan = PlanNode("cartesian", 1, state=0, cost=0, cardinality=0)
+        with pytest.raises(ValueError, match="cannot execute"):
+            Executor(spec, data).run(plan)
+
+    def test_index_scan_requires_ordering(self, setup):
+        spec, data = setup
+        plan = PlanNode(
+            "index_scan", 1, state=0, cost=0, cardinality=0, alias="t"
+        )
+        with pytest.raises(ValueError, match="ordering"):
+            Executor(spec, data).run(plan)
+
+    def test_malformed_sort(self, setup):
+        spec, data = setup
+        plan = PlanNode(
+            "sort", 1, state=0, cost=0, cardinality=0, ordering=ordering("t.a")
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            Executor(spec, data).run(plan)
+
+
+class TestDataHelpers:
+    def test_rows_respect_domain(self, setup):
+        spec, data = setup
+        attribute = Attribute("a", "t")
+        assert all(0 <= row[attribute] < 3 for row in data["t"])
+
+    def test_apply_constant(self, setup):
+        spec, data = setup
+        attribute = Attribute("a", "t")
+        filtered = apply_constant(data["t"], attribute, 1)
+        assert all(row[attribute] == 1 for row in filtered)
+
+    def test_most_common_value(self):
+        attribute = Attribute("a", "t")
+        rows = [{attribute: v} for v in (1, 2, 2, 3)]
+        assert most_common_value(rows, attribute) == 2
+        with pytest.raises(ValueError):
+            most_common_value([], attribute)
+
+    def test_generation_deterministic(self, setup):
+        spec, _ = setup
+        d1 = generate_query_data(spec, rows_per_table=5, seed=3)
+        d2 = generate_query_data(spec, rows_per_table=5, seed=3)
+        assert d1 == d2

@@ -1,0 +1,92 @@
+"""Unit tests for the iterator operators."""
+
+import random
+
+from repro.core.attributes import Attribute, attrs
+from repro.core.ordering import ordering
+from repro.exec.iterators import (
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    select_rows,
+    sort_rows,
+)
+
+A, B = Attribute("a", "t"), Attribute("b", "u")
+
+
+def t_rows(values):
+    return [{A: v} for v in values]
+
+
+def u_rows(values):
+    return [{B: v} for v in values]
+
+
+class TestSortAndSelect:
+    def test_sort_rows(self):
+        rows = t_rows([3, 1, 2])
+        assert [r[A] for r in sort_rows(rows, ordering("t.a"))] == [1, 2, 3]
+
+    def test_sort_is_stable(self):
+        x = Attribute("x", "t")
+        rows = [{A: 1, x: "first"}, {A: 1, x: "second"}]
+        result = sort_rows(rows, ordering("t.a"))
+        assert [r[x] for r in result] == ["first", "second"]
+
+    def test_select_rows(self):
+        rows = t_rows([1, 2, 3, 4])
+        assert select_rows(rows, lambda r: r[A] % 2 == 0) == t_rows([2, 4])
+
+
+class TestJoins:
+    def reference(self, left, right):
+        return nested_loop_join(left, right, lambda l, r: l[A] == r[B])
+
+    def as_multiset(self, rows):
+        return sorted(tuple(sorted((str(k), v) for k, v in row.items())) for row in rows)
+
+    def test_nested_loop_basic(self):
+        result = self.reference(t_rows([1, 2]), u_rows([2, 3]))
+        assert result == [{A: 2, B: 2}]
+
+    def test_hash_join_matches_reference(self):
+        rng = random.Random(1)
+        left = t_rows([rng.randrange(5) for _ in range(40)])
+        right = u_rows([rng.randrange(5) for _ in range(30)])
+        expected = self.as_multiset(self.reference(left, right))
+        got = self.as_multiset(hash_join(left, right, A, B))
+        assert got == expected
+
+    def test_merge_join_matches_reference_with_duplicates(self):
+        rng = random.Random(2)
+        left = sort_rows(t_rows([rng.randrange(4) for _ in range(50)]), ordering("t.a"))
+        right = sort_rows(u_rows([rng.randrange(4) for _ in range(35)]), ordering("u.b"))
+        expected = self.as_multiset(self.reference(left, right))
+        got = self.as_multiset(merge_join(left, right, A, B))
+        assert got == expected
+
+    def test_merge_join_preserves_left_order(self):
+        left = sort_rows(t_rows([1, 1, 2, 3, 3]), ordering("t.a"))
+        right = sort_rows(u_rows([1, 2, 3]), ordering("u.b"))
+        result = merge_join(left, right, A, B)
+        assert [r[A] for r in result] == [1, 1, 2, 3, 3]
+
+    def test_hash_join_preserves_left_order(self):
+        left = t_rows([3, 1, 2, 1])
+        right = u_rows([1, 2, 3])
+        result = hash_join(left, right, A, B)
+        assert [r[A] for r in result] == [3, 1, 2, 1]
+
+    def test_residual_predicate(self):
+        x = Attribute("x", "t")
+        y = Attribute("y", "u")
+        left = [{A: 1, x: 1}, {A: 1, x: 2}]
+        right = [{B: 1, y: 1}]
+        residual = lambda l, r: l[x] == r[y]
+        assert len(hash_join(left, right, A, B, residual)) == 1
+        assert len(merge_join(left, right, A, B, residual)) == 1
+
+    def test_empty_inputs(self):
+        assert merge_join([], u_rows([1]), A, B) == []
+        assert hash_join(t_rows([1]), [], A, B) == []

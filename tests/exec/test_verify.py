@@ -1,0 +1,72 @@
+"""Unit tests for the Section 2 order-satisfaction predicates."""
+
+from repro.core.attributes import attrs
+from repro.core.ordering import EMPTY_ORDERING, ordering
+from repro.exec.verify import (
+    satisfied_orderings,
+    satisfies_ordering,
+    satisfies_ordering_formal,
+)
+
+A, B = attrs("a", "b")
+
+
+def rows(*pairs):
+    return [{A: a, B: b} for a, b in pairs]
+
+
+class TestSatisfiesOrdering:
+    def test_empty_ordering_always_satisfied(self):
+        assert satisfies_ordering(rows((3, 1), (1, 2)), EMPTY_ORDERING)
+
+    def test_empty_and_singleton_streams(self):
+        assert satisfies_ordering([], ordering("a"))
+        assert satisfies_ordering(rows((5, 0)), ordering("a"))
+
+    def test_single_attribute(self):
+        assert satisfies_ordering(rows((1, 9), (2, 0), (2, 5)), ordering("a"))
+        assert not satisfies_ordering(rows((2, 0), (1, 9)), ordering("a"))
+
+    def test_lexicographic(self):
+        assert satisfies_ordering(rows((1, 1), (1, 2), (2, 0)), ordering("a", "b"))
+        assert not satisfies_ordering(rows((1, 2), (1, 1)), ordering("a", "b"))
+
+    def test_ties_everywhere(self):
+        assert satisfies_ordering(rows((1, 1), (1, 1), (1, 1)), ordering("a", "b"))
+
+    def test_prefix_weaker_than_full(self):
+        stream = rows((1, 2), (1, 1), (2, 0))
+        assert satisfies_ordering(stream, ordering("a"))
+        assert not satisfies_ordering(stream, ordering("a", "b"))
+
+
+class TestFormalDefinition:
+    def test_agrees_with_fast_check_on_examples(self):
+        streams = [
+            rows((1, 1), (1, 2), (2, 0)),
+            rows((1, 2), (1, 1)),
+            rows((2, 0), (1, 9)),
+            rows((1, 1), (1, 1)),
+            rows(),
+            rows((5, 5)),
+            rows((0, 3), (1, 2), (1, 2), (1, 3), (4, 0)),
+        ]
+        for stream in streams:
+            for order in (ordering("a"), ordering("b"), ordering("a", "b"),
+                          ordering("b", "a"), EMPTY_ORDERING):
+                assert satisfies_ordering(stream, order) == (
+                    satisfies_ordering_formal(stream, order)
+                ), (stream, order)
+
+    def test_formal_catches_non_adjacent_violation(self):
+        # (1), (1), (0): adjacent pairs (1,1) fine, (1,0) violates; but a
+        # non-adjacent check (rows 0 and 2) must also catch it.
+        stream = rows((1, 0), (1, 0), (0, 0))
+        assert not satisfies_ordering_formal(stream, ordering("a"))
+        assert not satisfies_ordering(stream, ordering("a"))
+
+
+def test_satisfied_orderings_filters():
+    stream = rows((1, 5), (1, 3), (2, 3))
+    result = satisfied_orderings(stream, [ordering("a"), ordering("b"), ordering("a", "b")])
+    assert result == [ordering("a")]

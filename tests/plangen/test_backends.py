@@ -1,0 +1,152 @@
+"""Unit tests for the ordering backends (the ADT interface itself)."""
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.fd import ConstantBinding, Equation, FDSet
+from repro.core.interesting import InterestingOrders
+from repro.core.ordering import EMPTY_ORDERING, ordering
+from repro.plangen.backends import FsmBackend, OracleBackend, SimmenBackend
+from repro.query.analyzer import QueryOrderInfo
+
+A, B, X = attrs("a", "b", "x")
+
+
+def make_info():
+    interesting = InterestingOrders.of(
+        produced=[ordering("a"), ordering("b")],
+        tested=[ordering("x")],
+    )
+    fdsets = (FDSet.of(Equation(A, B)), FDSet.of(ConstantBinding(X)))
+    return QueryOrderInfo(interesting=interesting, fdsets=fdsets)
+
+
+ALL_BACKENDS = [FsmBackend, SimmenBackend, OracleBackend]
+
+
+@pytest.mark.parametrize("backend_cls", ALL_BACKENDS)
+class TestBackendContract:
+    def test_scan_state_satisfies_nothing(self, backend_cls):
+        backend = backend_cls()
+        backend.prepare(make_info())
+        state = backend.scan_state()
+        for order in (ordering("a"), ordering("b"), ordering("x")):
+            assert not backend.satisfies(state, order)
+
+    def test_produced_state_satisfies_itself(self, backend_cls):
+        backend = backend_cls()
+        backend.prepare(make_info())
+        state = backend.produced_state(ordering("a"))
+        assert backend.satisfies(state, ordering("a"))
+        assert not backend.satisfies(state, ordering("b"))
+
+    def test_apply_equation(self, backend_cls):
+        backend = backend_cls()
+        info = make_info()
+        backend.prepare(info)
+        state = backend.produced_state(ordering("a"))
+        state = backend.apply(state, info.fdsets[0])
+        assert backend.satisfies(state, ordering("b"))
+
+    def test_constant_on_scan(self, backend_cls):
+        backend = backend_cls()
+        info = make_info()
+        backend.prepare(info)
+        state = backend.apply(backend.scan_state(), info.fdsets[1])
+        assert backend.satisfies(state, ordering("x"))
+
+    def test_sort_state_replays_held_fdsets(self, backend_cls):
+        backend = backend_cls()
+        info = make_info()
+        backend.prepare(info)
+        state = backend.sort_state(ordering("a"), [info.fdsets[0]])
+        assert backend.satisfies(state, ordering("b"))
+
+    def test_plan_keys_equal_for_equal_histories(self, backend_cls):
+        backend = backend_cls()
+        info = make_info()
+        backend.prepare(info)
+        s1 = backend.apply(backend.produced_state(ordering("a")), info.fdsets[0])
+        s2 = backend.apply(backend.produced_state(ordering("a")), info.fdsets[0])
+        assert backend.plan_key(s1) == backend.plan_key(s2)
+
+    def test_state_bytes_positive(self, backend_cls):
+        backend = backend_cls()
+        info = make_info()
+        backend.prepare(info)
+        state = backend.produced_state(ordering("a"))
+        assert backend.state_bytes(state) >= 4
+
+    def test_dominates_default_false(self, backend_cls):
+        backend = backend_cls()
+        backend.prepare(make_info())
+        s = backend.plan_key(backend.produced_state(ordering("a")))
+        assert backend.dominates(s, s) is False
+
+
+class TestFsmSpecifics:
+    def test_unprepared_backend_raises(self):
+        backend = FsmBackend()
+        with pytest.raises(RuntimeError, match="not prepared"):
+            backend.scan_state()
+
+    def test_state_is_plain_int(self):
+        backend = FsmBackend()
+        backend.prepare(make_info())
+        assert isinstance(backend.produced_state(ordering("a")), int)
+
+    def test_state_bytes_constant(self):
+        backend = FsmBackend()
+        info = make_info()
+        backend.prepare(info)
+        s1 = backend.scan_state()
+        s2 = backend.apply(backend.produced_state(ordering("a")), info.fdsets[0])
+        assert backend.state_bytes(s1) == backend.state_bytes(s2) == 4
+
+    def test_satisfies_unknown_order_is_false(self):
+        backend = FsmBackend()
+        backend.prepare(make_info())
+        state = backend.produced_state(ordering("a"))
+        assert not backend.satisfies(state, ordering("a", "b", "x"))
+
+    def test_dominance_only_when_requested(self):
+        info = make_info()
+        plain = FsmBackend()
+        plain.prepare(info)
+        assert plain.dominates(0, 1) is False
+
+        with_dominance = FsmBackend(use_dominance=True)
+        with_dominance.prepare(info)
+        s_a = with_dominance.produced_state(ordering("a"))
+        merged = with_dominance.apply(s_a, info.fdsets[0])
+        assert with_dominance.dominates(merged, s_a)
+
+
+class TestSimmenSpecifics:
+    def test_state_grows_with_fds(self):
+        backend = SimmenBackend()
+        info = make_info()
+        backend.prepare(info)
+        s0 = backend.produced_state(ordering("a"))
+        s1 = backend.apply(s0, info.fdsets[0])
+        s2 = backend.apply(s1, info.fdsets[1])
+        assert backend.state_bytes(s0) < backend.state_bytes(s1) < backend.state_bytes(s2)
+
+    def test_no_shared_bytes(self):
+        backend = SimmenBackend()
+        backend.prepare(make_info())
+        assert backend.shared_bytes() == 0
+
+
+class TestOracleSpecifics:
+    def test_scan_state_is_empty_ordering_closure(self):
+        backend = OracleBackend()
+        backend.prepare(make_info())
+        assert backend.scan_state() == frozenset({EMPTY_ORDERING})
+
+    def test_state_is_explicit_set(self):
+        backend = OracleBackend()
+        info = make_info()
+        backend.prepare(info)
+        state = backend.apply(backend.produced_state(ordering("a")), info.fdsets[0])
+        assert ordering("b", "a") in state

@@ -1,0 +1,48 @@
+"""Unit tests for the cost model: the order-related trade-offs must exist."""
+
+from repro.plangen.cost import DEFAULT_COST_MODEL as M
+
+
+class TestCostModel:
+    def test_scan_linear(self):
+        assert M.scan(1000) == 1000.0
+        assert M.index_scan(1000) > M.scan(1000)
+
+    def test_sort_superlinear(self):
+        assert M.sort(0.0, 2000) > 2 * M.sort(0.0, 1000)
+
+    def test_sort_small_input_guard(self):
+        assert M.sort(0.0, 0) >= 0.0
+        assert M.sort(5.0, 1) >= 5.0
+
+    def test_costs_cumulative(self):
+        base = M.merge_join(100.0, 200.0, 10, 20)
+        assert base > 300.0
+
+    def test_merge_beats_hash_on_sorted_inputs(self):
+        """Pre-sorted merge join must be the cheapest join."""
+        args = (0.0, 0.0, 10_000, 10_000)
+        assert M.merge_join(*args) < M.hash_join(*args)
+        assert M.merge_join(*args) < M.nested_loop_join(*args)
+
+    def test_hash_beats_sort_plus_merge_on_large_unsorted(self):
+        n = 1_000_000
+        sorted_inputs = M.sort(0.0, n) + M.sort(0.0, n)
+        assert M.hash_join(0.0, 0.0, n, n) < sorted_inputs + M.merge_join(
+            0.0, 0.0, n, n
+        )
+
+    def test_sort_merge_beats_hash_when_one_side_sorted_and_small(self):
+        big, small = 100_000, 50
+        cost_sort_merge = M.sort(0.0, small) + M.merge_join(0.0, 0.0, big, small)
+        cost_hash = M.hash_join(0.0, 0.0, big, small)
+        assert cost_sort_merge < cost_hash
+
+    def test_nl_wins_for_tiny_inputs(self):
+        args = (0.0, 0.0, 3, 3)
+        assert M.nested_loop_join(*args) < M.hash_join(*args)
+        assert M.nested_loop_join(*args) < M.merge_join(*args)
+
+    def test_nl_loses_for_large_inputs(self):
+        args = (0.0, 0.0, 10_000, 10_000)
+        assert M.nested_loop_join(*args) > M.hash_join(*args)

@@ -1,0 +1,223 @@
+"""Integration tests for the DP plan generator with all three backends."""
+
+import itertools
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import Ordering, ordering
+from repro.plangen import (
+    FsmBackend,
+    OracleBackend,
+    PlanGenConfig,
+    SimmenBackend,
+    generate_plan,
+)
+from repro.plangen.plan import INDEX_SCAN, MERGE_JOIN, SCAN, SORT
+from repro.query.predicates import EqualsConstant, JoinPredicate
+from repro.query.query import make_query
+from repro.workloads.generator import GeneratorConfig, random_join_query
+
+
+def two_table_catalog(card_t=10_000, card_u=10_000, index_t=True, index_u=True):
+    return (
+        Catalog()
+        .add(
+            simple_table(
+                "t", ["a", "k"], card_t, clustered_on="a" if index_t else None
+            )
+        )
+        .add(
+            simple_table(
+                "u", ["b", "k"], card_u, clustered_on="b" if index_u else None
+            )
+        )
+    )
+
+
+def two_table_query(catalog, **kwargs):
+    join = JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))
+    return make_query(catalog, ["t", "u"], [join], **kwargs)
+
+
+ALL_BACKENDS = [FsmBackend, SimmenBackend, OracleBackend]
+
+
+class TestSingleRelation:
+    def test_scan_only(self):
+        catalog = Catalog().add(simple_table("t", ["a"], 500))
+        result = generate_plan(make_query(catalog, ["t"]), FsmBackend())
+        assert result.best_plan.op == SCAN
+        assert result.best_plan.cost == 500.0
+
+    def test_order_by_prefers_index_over_sort(self):
+        catalog = Catalog().add(simple_table("t", ["a"], 50_000, clustered_on="a"))
+        spec = make_query(catalog, ["t"], order_by=ordering("t.a"))
+        result = generate_plan(spec, FsmBackend())
+        assert result.best_plan.op == INDEX_SCAN
+
+    def test_order_by_sorts_when_no_index(self):
+        catalog = Catalog().add(simple_table("t", ["a"], 1000))
+        spec = make_query(catalog, ["t"], order_by=ordering("t.a"))
+        result = generate_plan(spec, FsmBackend())
+        assert result.best_plan.op == SORT
+        assert result.best_plan.ordering == ordering("t.a")
+
+    def test_order_by_without_enforcers_fails(self):
+        catalog = Catalog().add(simple_table("t", ["a"], 1000))
+        spec = make_query(catalog, ["t"], order_by=ordering("t.a"))
+        config = PlanGenConfig(enable_sort_enforcers=False)
+        with pytest.raises(RuntimeError, match="ORDER BY"):
+            generate_plan(spec, FsmBackend(), config=config)
+
+
+class TestJoins:
+    @pytest.mark.parametrize("backend_cls", ALL_BACKENDS)
+    def test_merge_join_used_with_indexes(self, backend_cls):
+        """Both inputs index-sorted on the join keys: merge join, no sorts."""
+        spec = two_table_query(two_table_catalog())
+        result = generate_plan(spec, backend_cls())
+        assert result.best_plan.op == MERGE_JOIN
+        assert all(n.op != SORT for n in result.best_plan.operators())
+
+    @pytest.mark.parametrize("backend_cls", ALL_BACKENDS)
+    def test_join_order_by_exploits_merge_output(self, backend_cls):
+        """ORDER BY the join key: the merge join's output order is free."""
+        spec = two_table_query(
+            two_table_catalog(), order_by=Ordering([Attribute("a", "t")])
+        )
+        result = generate_plan(spec, backend_cls())
+        assert result.best_plan.op == MERGE_JOIN  # no final sort needed
+
+    def test_equivalent_order_by_via_equation(self):
+        """ORDER BY u.b satisfied by output sorted on t.a (t.a = u.b)."""
+        spec = two_table_query(
+            two_table_catalog(), order_by=Ordering([Attribute("b", "u")])
+        )
+        result = generate_plan(spec, FsmBackend())
+        assert result.best_plan.op == MERGE_JOIN
+
+    def test_sort_enforcer_inserted_when_beneficial(self):
+        """One side unsorted and small: sort it, then merge."""
+        catalog = two_table_catalog(card_t=100_000, card_u=200, index_u=False)
+        spec = two_table_query(catalog)
+        result = generate_plan(spec, FsmBackend())
+        ops = [n.op for n in result.best_plan.operators()]
+        if result.best_plan.op == MERGE_JOIN:
+            assert SORT in ops  # u was sorted on the fly
+
+    def test_disconnected_graph_rejected(self):
+        catalog = two_table_catalog()
+        spec = make_query(catalog, ["t", "u"])  # no join predicate
+        with pytest.raises(ValueError, match="disconnected"):
+            generate_plan(spec, FsmBackend())
+
+    def test_constant_selection_enables_ordering(self):
+        """After k = const, an index scan on (a) also satisfies (k, a)...
+        validated indirectly: both backends produce the same optimal cost."""
+        catalog = two_table_catalog()
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+            selections=[EqualsConstant(Attribute("k", "t"), 7)],
+        )
+        costs = {b.name: generate_plan(spec, b).best_plan.cost
+                 for b in (FsmBackend(), SimmenBackend(), OracleBackend())}
+        assert len(set(costs.values())) == 1, costs
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_queries_same_optimal_cost(self, seed):
+        spec = random_join_query(
+            GeneratorConfig(n_relations=5, n_edges=5, seed=seed)
+        )
+        costs = {}
+        for backend in (FsmBackend(), SimmenBackend(), OracleBackend()):
+            result = generate_plan(spec, backend)
+            costs[backend.name] = round(result.best_plan.cost, 6)
+        assert len(set(costs.values())) == 1, costs
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fsm_matches_oracle_plan_counts(self, seed):
+        """FSM states must induce exactly the oracle's plan classes."""
+        spec = random_join_query(
+            GeneratorConfig(n_relations=5, n_edges=6, seed=seed)
+        )
+        fsm = generate_plan(spec, FsmBackend())
+        oracle = generate_plan(spec, OracleBackend())
+        assert fsm.stats.plans_created == oracle.stats.plans_created
+        assert fsm.stats.plans_retained == oracle.stats.plans_retained
+
+    def test_fsm_search_space_not_larger_than_simmen(self):
+        for seed in range(5):
+            spec = random_join_query(
+                GeneratorConfig(n_relations=6, n_edges=6, seed=seed)
+            )
+            fsm = generate_plan(spec, FsmBackend())
+            simmen = generate_plan(spec, SimmenBackend())
+            assert fsm.stats.plans_created <= simmen.stats.plans_created
+            assert fsm.stats.plans_retained <= simmen.stats.plans_retained
+
+
+class UnprunedOracle(OracleBackend):
+    """Oracle variant that never prunes: every plan gets a unique key."""
+
+    name = "unpruned"
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def plan_key(self, state):
+        return next(self._counter)
+
+
+class TestOptimality:
+    """Order-aware pruning must never lose the optimal plan: compare against
+    a no-pruning run that keeps every plan alternative."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dp_optimal_vs_exhaustive(self, seed):
+        spec = random_join_query(
+            GeneratorConfig(n_relations=4, n_edges=4, seed=seed)
+        )
+        pruned = generate_plan(spec, FsmBackend())
+        exhaustive = generate_plan(spec, UnprunedOracle())
+        assert pruned.best_plan.cost == pytest.approx(exhaustive.best_plan.cost)
+
+    def test_exhaustive_with_order_by(self):
+        spec = random_join_query(GeneratorConfig(n_relations=4, seed=9))
+        join_attr = spec.joins[0].left
+        spec.order_by = Ordering([join_attr])
+        pruned = generate_plan(spec, FsmBackend())
+        exhaustive = generate_plan(spec, UnprunedOracle())
+        assert pruned.best_plan.cost == pytest.approx(exhaustive.best_plan.cost)
+
+
+class TestStats:
+    def test_plans_created_counts_all_constructions(self):
+        spec = two_table_query(two_table_catalog())
+        result = generate_plan(spec, FsmBackend())
+        assert result.stats.plans_created >= result.stats.plans_retained
+        assert result.stats.plans_created > 0
+
+    def test_memory_accounting(self):
+        spec = two_table_query(two_table_catalog())
+        fsm = generate_plan(spec, FsmBackend())
+        simmen = generate_plan(spec, SimmenBackend())
+        assert fsm.stats.state_bytes == 4 * fsm.stats.plans_retained
+        assert fsm.stats.shared_bytes > 0  # DFSM tables
+        assert simmen.stats.shared_bytes == 0
+        assert simmen.stats.state_bytes > 0
+
+    def test_us_per_plan(self):
+        spec = two_table_query(two_table_catalog())
+        result = generate_plan(spec, FsmBackend())
+        assert result.stats.us_per_plan > 0.0
+
+    def test_tables_exposed(self):
+        spec = two_table_query(two_table_catalog())
+        result = generate_plan(spec, FsmBackend())
+        assert set(result.tables) == {0b01, 0b10, 0b11}

@@ -1,0 +1,45 @@
+"""Unit tests for plan nodes."""
+
+from repro.core.ordering import ordering
+from repro.plangen.plan import MERGE_JOIN, SCAN, SORT, PlanNode
+
+
+def scan(mask=1, cost=10.0):
+    return PlanNode(SCAN, mask, state=0, cost=cost, cardinality=100, detail="t")
+
+
+class TestPlanNode:
+    def test_operators_preorder(self):
+        left = scan(1)
+        right = scan(2)
+        join = PlanNode(
+            MERGE_JOIN, 3, state=0, cost=50.0, cardinality=10, left=left, right=right
+        )
+        assert [n.op for n in join.operators()] == [MERGE_JOIN, SCAN, SCAN]
+        assert join.operator_count == 3
+
+    def test_join_ops(self):
+        left = scan(1)
+        sort = PlanNode(
+            SORT, 1, state=0, cost=20.0, cardinality=100, left=left,
+            ordering=ordering("t.a"),
+        )
+        join = PlanNode(
+            MERGE_JOIN, 3, state=0, cost=50.0, cardinality=10, left=sort,
+            right=scan(2),
+        )
+        assert join.join_ops() == [MERGE_JOIN]
+
+    def test_explain_structure(self):
+        sort = PlanNode(
+            SORT, 1, state=0, cost=20.0, cardinality=100, left=scan(),
+            ordering=ordering("t.a"),
+        )
+        text = sort.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("sort")
+        assert "order=(t.a)" in lines[0]
+        assert lines[1].startswith("  scan")
+
+    def test_repr(self):
+        assert "scan" in repr(scan())

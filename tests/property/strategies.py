@@ -1,0 +1,75 @@
+"""Shared hypothesis strategies for order-optimization instances."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.attributes import Attribute
+from repro.core.fd import ConstantBinding, Equation, FDSet, FunctionalDependency
+from repro.core.interesting import InterestingOrders
+from repro.core.ordering import Ordering
+
+ATTRIBUTE_POOL = tuple(Attribute(name) for name in "abcdexy")
+
+
+@st.composite
+def orderings(draw, min_size=1, max_size=3, pool=ATTRIBUTE_POOL):
+    attrs = draw(
+        st.lists(
+            st.sampled_from(pool), min_size=min_size, max_size=max_size, unique=True
+        )
+    )
+    return Ordering(attrs)
+
+
+@st.composite
+def fd_items(draw, pool=ATTRIBUTE_POOL):
+    kind = draw(st.sampled_from(("fd", "equation", "constant")))
+    if kind == "constant":
+        return ConstantBinding(draw(st.sampled_from(pool)))
+    if kind == "equation":
+        pair = draw(
+            st.lists(st.sampled_from(pool), min_size=2, max_size=2, unique=True)
+        )
+        return Equation(pair[0], pair[1])
+    lhs = draw(
+        st.lists(st.sampled_from(pool), min_size=1, max_size=2, unique=True)
+    )
+    rhs = draw(st.sampled_from([a for a in pool if a not in lhs]))
+    return FunctionalDependency(frozenset(lhs), rhs)
+
+
+@st.composite
+def fdset_lists(draw, min_sets=1, max_sets=3, pool=ATTRIBUTE_POOL):
+    return draw(
+        st.lists(
+            st.builds(
+                FDSet,
+                st.frozensets(fd_items(pool=pool), min_size=1, max_size=2),
+            ),
+            min_size=min_sets,
+            max_size=max_sets,
+        )
+    )
+
+
+@st.composite
+def interesting_orders(draw, pool=ATTRIBUTE_POOL):
+    produced = draw(
+        st.lists(orderings(pool=pool), min_size=1, max_size=3, unique_by=repr)
+    )
+    tested = draw(
+        st.lists(orderings(pool=pool), min_size=0, max_size=2, unique_by=repr)
+    )
+    return InterestingOrders.of(produced, tested)
+
+
+@st.composite
+def instances(draw, pool=ATTRIBUTE_POOL):
+    """(interesting orders, fd sets, symbol walk) triples."""
+    interesting = draw(interesting_orders(pool=pool))
+    fdsets = draw(fdset_lists(pool=pool))
+    walk = draw(
+        st.lists(st.integers(0, len(fdsets) - 1), min_size=0, max_size=4)
+    )
+    return interesting, fdsets, walk

@@ -1,0 +1,108 @@
+"""Property tests: the Ω closure laws and FSM ≡ oracle equivalence.
+
+The central property of the whole reproduction: for arbitrary interesting
+orders, FD sets, and operator sequences, the prepared DFSM answers
+``contains`` exactly like the executable specification ``Ω`` — with and
+without the Section 5.7 pruning heuristics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import derive_item, omega, prefix_closure
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+
+from .strategies import fd_items, fdset_lists, instances, orderings
+
+
+class TestClosureLaws:
+    @given(orderings())
+    def test_prefix_closure_idempotent(self, order):
+        once = prefix_closure([order])
+        assert prefix_closure(once) == once
+
+    @given(orderings(), fdset_lists())
+    @settings(deadline=None)
+    def test_omega_contains_seed_and_prefixes(self, order, fdsets):
+        closure = omega([order], fdsets)
+        assert order in closure
+        assert prefix_closure([order]) <= closure
+
+    @given(orderings(), fdset_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_omega_idempotent(self, order, fdsets):
+        once = omega([order], fdsets)
+        assert omega(once, fdsets) == once
+
+    @given(orderings(), fdset_lists(max_sets=2), fdset_lists(max_sets=2))
+    @settings(max_examples=40, deadline=None)
+    def test_omega_monotone_in_fds(self, order, fds_a, fds_b):
+        assert omega([order], fds_a) <= omega([order], fds_a + fds_b)
+
+    @given(orderings(min_size=2), fd_items())
+    def test_derivations_preserve_relative_order(self, order, item):
+        """Insertions/substitutions never reorder existing attributes."""
+        source_positions = {a: i for i, a in enumerate(order)}
+        for derivation in derive_item(order, item):
+            result = derivation.result
+            common = [a for a in result if a in source_positions]
+            indices = [source_positions[a] for a in common]
+            assert indices == sorted(indices)
+
+    @given(orderings(), fd_items())
+    def test_derivations_are_duplicate_free(self, order, item):
+        for derivation in derive_item(order, item):
+            attrs = derivation.result.attributes
+            assert len(set(attrs)) == len(attrs)
+
+
+class TestFsmMatchesOracle:
+    def _walk_and_compare(self, interesting, fdsets, walk, options):
+        optimizer = OrderOptimizer.prepare(interesting, fdsets, options)
+        for start in interesting.produced:
+            state = optimizer.state_for_produced(optimizer.producer_handle(start))
+            oracle = omega([start], ())
+            for index in walk:
+                fdset = fdsets[index]
+                state = optimizer.infer(state, optimizer.fdset_handle(fdset))
+                oracle = omega(oracle, [fdset]) if fdset.items else oracle
+                for order in interesting.all_orders:
+                    got = optimizer.contains(state, optimizer.ordering_handle(order))
+                    expected = order in oracle
+                    assert got == expected, (
+                        f"contains({order!r}) = {got}, oracle says {expected} "
+                        f"(start {start!r}, walk {walk})"
+                    )
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_fsm_matches_oracle(self, instance):
+        interesting, fdsets, walk = instance
+        self._walk_and_compare(interesting, fdsets, walk, BuilderOptions())
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_unpruned_fsm_matches_oracle(self, instance):
+        interesting, fdsets, walk = instance
+        self._walk_and_compare(
+            interesting, fdsets, walk, BuilderOptions().without_pruning()
+        )
+
+    @given(instances(), st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_scan_plus_constants_matches_oracle(self, instance, salt):
+        """The empty-ordering entry point agrees with Ω from the empty
+        ordering (constants create orderings out of nothing)."""
+        from repro.core.ordering import EMPTY_ORDERING
+
+        interesting, fdsets, walk = instance
+        optimizer = OrderOptimizer.prepare(interesting, fdsets, BuilderOptions())
+        state = optimizer.scan_state()
+        oracle = frozenset({EMPTY_ORDERING})
+        for index in walk:
+            fdset = fdsets[index]
+            state = optimizer.infer(state, optimizer.fdset_handle(fdset))
+            oracle = omega(oracle, [fdset]) if fdset.items else oracle
+            for order in interesting.all_orders:
+                got = optimizer.contains(state, optimizer.ordering_handle(order))
+                assert got == (order in oracle)

@@ -1,0 +1,69 @@
+"""Property tests for the plan generator across random join graphs."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plangen import FsmBackend, OracleBackend, PlanGenerator, SimmenBackend
+from repro.workloads.generator import GeneratorConfig, random_join_query
+
+
+class UnprunedOracle(OracleBackend):
+    """Keeps every plan (unique key per emission) — exhaustive reference."""
+
+    name = "unpruned"
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def plan_key(self, state):
+        return next(self._counter)
+
+
+@st.composite
+def query_configs(draw):
+    n = draw(st.integers(3, 5))
+    max_edges = n * (n - 1) // 2
+    extra = draw(st.integers(0, min(2, max_edges - (n - 1))))
+    seed = draw(st.integers(0, 500))
+    return GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+
+
+class TestPlanGeneratorProperties:
+    @given(query_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_all_backends_agree_on_optimal_cost(self, config):
+        spec = random_join_query(config)
+        costs = set()
+        for backend in (FsmBackend(), SimmenBackend(), OracleBackend()):
+            result = PlanGenerator(spec, backend).run()
+            costs.add(round(result.best_plan.cost, 6))
+        assert len(costs) == 1
+
+    @given(query_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_order_pruning_preserves_optimality(self, config):
+        spec = random_join_query(config)
+        pruned = PlanGenerator(spec, FsmBackend()).run()
+        exhaustive = PlanGenerator(spec, UnprunedOracle()).run()
+        assert abs(pruned.best_plan.cost - exhaustive.best_plan.cost) < 1e-6
+
+    @given(query_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_fsm_search_space_never_larger(self, config):
+        spec = random_join_query(config)
+        fsm = PlanGenerator(spec, FsmBackend()).run()
+        simmen = PlanGenerator(spec, SimmenBackend()).run()
+        assert fsm.stats.plans_created <= simmen.stats.plans_created
+
+    @given(query_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_plan_covers_all_relations_and_predicates(self, config):
+        spec = random_join_query(config)
+        result = PlanGenerator(spec, FsmBackend()).run()
+        plan = result.best_plan
+        scanned = {n.alias for n in plan.operators() if n.alias}
+        assert scanned == set(spec.aliases)
+        applied = {p for n in plan.operators() for p in n.predicates}
+        assert applied == set(spec.joins)

@@ -1,0 +1,96 @@
+"""Property tests for the Simmen reduction algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.reduction import ReductionContext, reduce_ordering, reduced_contains
+from repro.core.fd import ConstantBinding, Equation
+from repro.core.inference import omega
+
+from .strategies import fd_items, orderings
+
+
+@st.composite
+def contexts(draw):
+    items = draw(st.frozensets(fd_items(), min_size=0, max_size=4))
+    return ReductionContext(items)
+
+
+@st.composite
+def equation_only_contexts(draw):
+    items = draw(
+        st.frozensets(
+            fd_items().filter(lambda i: isinstance(i, Equation)),
+            min_size=0,
+            max_size=3,
+        )
+    )
+    return ReductionContext(items)
+
+
+class TestReductionLaws:
+    @given(orderings(), contexts())
+    @settings(deadline=None)
+    def test_idempotent(self, order, context):
+        once = reduce_ordering(order, context)
+        assert reduce_ordering(once, context) == once
+
+    @given(orderings(), contexts())
+    @settings(deadline=None)
+    def test_result_is_subsequence_of_normalized_input(self, order, context):
+        normalized = list(context.normalize(order))
+        reduced = list(reduce_ordering(order, context))
+        it = iter(normalized)
+        assert all(any(a == b for b in it) for a in reduced)
+
+    @given(orderings(), contexts())
+    @settings(deadline=None)
+    def test_reduction_never_grows(self, order, context):
+        assert len(reduce_ordering(order, context)) <= len(order)
+
+    @given(orderings(), contexts())
+    @settings(deadline=None)
+    def test_self_contains(self, order, context):
+        """Any physical ordering satisfies itself."""
+        assert reduced_contains(order, order, context)
+
+    @given(orderings(min_size=2), contexts())
+    @settings(deadline=None)
+    def test_prefix_contains(self, order, context):
+        """Any physical ordering satisfies its prefixes."""
+        for prefix in order.prefixes():
+            assert reduced_contains(order, prefix, context)
+
+
+class TestAgreementWithOmegaOnEquations:
+    """With only equations (no constants, no compound FDs) the reduction is
+    confluent and must agree exactly with Ω-closure membership."""
+
+    @given(orderings(max_size=2), orderings(max_size=2), equation_only_contexts())
+    @settings(max_examples=80, deadline=None)
+    def test_contains_equals_omega_membership(self, physical, required, context):
+        got = reduced_contains(physical, required, context)
+        closure = omega([physical], context.items)
+        assert got == (required in closure), (
+            physical,
+            required,
+            sorted(map(str, context.items)),
+        )
+
+
+class TestConstantsAreStronger:
+    """Reduction exploits constant-prefix stripping, so with constants it
+    can only be *more* complete than Ω (never less)."""
+
+    @given(orderings(max_size=2), orderings(max_size=2), contexts())
+    @settings(max_examples=80, deadline=None)
+    def test_omega_membership_implies_reduced_contains(
+        self, physical, required, context
+    ):
+        has_compound = any(
+            lhs and len(lhs) >= 1 and True for lhs, _ in context.fds
+        )
+        if has_compound:
+            return  # non-confluence can cause false negatives there
+        if required in omega([physical], context.items):
+            assert reduced_contains(physical, required, context)

@@ -1,0 +1,175 @@
+"""Unit tests for the Section 5.2 analyzer and the workload definitions."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.fd import ConstantBinding, Equation, FDSet
+from repro.core.ordering import Ordering, ordering
+from repro.query.analyzer import analyze
+from repro.query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from repro.query.query import make_query
+from repro.workloads.generator import GeneratorConfig, random_join_query
+from repro.workloads.tpch_queries import q8_analyzed, q8_order_info, q8_query
+
+
+@pytest.fixture
+def catalog():
+    return (
+        Catalog()
+        .add(simple_table("t", ["a", "k"], 1000, clustered_on="a"))
+        .add(simple_table("u", ["b", "k"], 2000))
+    )
+
+
+class TestAnalyze:
+    def test_join_attributes_become_produced(self, catalog):
+        join = JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))
+        info = analyze(make_query(catalog, ["t", "u"], [join]))
+        assert ordering("t.a") in info.interesting.produced
+        assert ordering("u.b") in info.interesting.produced
+
+    def test_index_ordering_produced(self, catalog):
+        info = analyze(make_query(catalog, ["t"]))
+        assert ordering("t.a") in info.interesting.produced
+
+    def test_group_by_and_order_by_produced(self, catalog):
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            group_by=[Attribute("k", "t")],
+            order_by=ordering("u.k"),
+        )
+        info = analyze(spec)
+        assert ordering("t.k") in info.interesting.produced
+        assert ordering("u.k") in info.interesting.produced
+
+    def test_selection_attributes_tested_on_request(self, catalog):
+        spec = make_query(
+            catalog,
+            ["t"],
+            selections=[RangePredicate(Attribute("k", "t"), ">", 1)],
+        )
+        assert ordering("t.k") not in analyze(spec).interesting.tested
+        info = analyze(spec, include_tested_selections=True)
+        assert ordering("t.k") in info.interesting.tested
+
+    def test_join_fdsets(self, catalog):
+        join = JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))
+        info = analyze(make_query(catalog, ["t", "u"], [join]))
+        assert info.join_fdsets[join] == FDSet.of(
+            Equation(Attribute("a", "t"), Attribute("b", "u"))
+        )
+
+    def test_scan_fdsets_group_constants_per_relation(self, catalog):
+        spec = make_query(
+            catalog,
+            ["t"],
+            selections=[
+                EqualsConstant(Attribute("a", "t"), 1),
+                EqualsConstant(Attribute("k", "t"), 2),
+            ],
+        )
+        info = analyze(spec)
+        assert info.scan_fdsets["t"] == FDSet.of(
+            ConstantBinding(Attribute("a", "t")),
+            ConstantBinding(Attribute("k", "t")),
+        )
+
+    def test_range_selection_contributes_no_fd(self, catalog):
+        spec = make_query(
+            catalog,
+            ["t"],
+            selections=[RangePredicate(Attribute("a", "t"), "<", 1)],
+        )
+        assert analyze(spec).scan_fdsets == {}
+
+    def test_fd_item_count(self, catalog):
+        join = JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            [join],
+            selections=[EqualsConstant(Attribute("k", "t"), 1)],
+        )
+        assert analyze(spec).fd_item_count == 2
+
+
+class TestQ8Workload:
+    def test_paper_input_shape(self):
+        info = q8_order_info()
+        assert len(info.interesting.produced) == 15
+        assert len(info.fdsets) == 9
+        equations = sum(len(f.equations) for f in info.fdsets)
+        constants = sum(len(f.constants) for f in info.fdsets)
+        assert equations == 7
+        assert constants == 2
+
+    def test_tested_selections_optional(self):
+        info = q8_order_info(include_tested_selections=True)
+        assert len(info.interesting.tested) == 2
+
+    def test_query_binds(self):
+        spec = q8_query()
+        assert len(spec.relations) == 8
+        assert len(spec.joins) == 7
+        assert spec.order_by == Ordering([Attribute("o_year", "orders")])
+
+    def test_analyzed_matches_paper_structure(self):
+        info = q8_analyzed()
+        # 14 join attributes + o_year (group/order by) + index orderings
+        produced = set(info.interesting.produced)
+        assert ordering("orders.o_year") in produced
+        assert ordering("part.p_partkey") in produced
+        assert ordering("n2.n_nationkey") in produced
+        assert len(info.join_fdsets) == 7
+        assert set(info.scan_fdsets) == {"region", "part"}
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_join_query(GeneratorConfig(n_relations=5, seed=7))
+        b = random_join_query(GeneratorConfig(n_relations=5, seed=7))
+        assert a.joins == b.joins
+        assert [r.alias for r in a.relations] == [r.alias for r in b.relations]
+
+    def test_seed_changes_query(self):
+        a = random_join_query(GeneratorConfig(n_relations=6, n_edges=7, seed=1))
+        b = random_join_query(GeneratorConfig(n_relations=6, n_edges=7, seed=2))
+        assert a.joins != b.joins or [
+            t.cardinality for t in a.catalog
+        ] != [t.cardinality for t in b.catalog]
+
+    def test_edge_count(self):
+        spec = random_join_query(GeneratorConfig(n_relations=6, n_edges=8, seed=0))
+        assert len(spec.joins) == 8
+
+    def test_chain_default(self):
+        spec = random_join_query(GeneratorConfig(n_relations=5, seed=0))
+        assert len(spec.joins) == 4
+
+    def test_edge_bounds_validated(self):
+        with pytest.raises(ValueError):
+            random_join_query(GeneratorConfig(n_relations=4, n_edges=2)).joins
+        with pytest.raises(ValueError):
+            random_join_query(GeneratorConfig(n_relations=4, n_edges=99)).joins
+
+    def test_fresh_attributes_per_edge(self):
+        spec = random_join_query(GeneratorConfig(n_relations=6, n_edges=7, seed=3))
+        seen = set()
+        for join in spec.joins:
+            assert join.left not in seen
+            assert join.right not in seen
+            seen.add(join.left)
+            seen.add(join.right)
+
+    def test_cardinalities_in_range(self):
+        spec = random_join_query(GeneratorConfig(n_relations=8, seed=11))
+        for table in spec.catalog:
+            assert 100 <= table.cardinality <= 100_000
+
+    def test_analyzable(self):
+        spec = random_join_query(GeneratorConfig(n_relations=5, n_edges=6, seed=5))
+        info = analyze(spec)
+        assert len(info.interesting.produced) >= 2 * 4
+        assert len(info.fdsets) == 6

@@ -1,0 +1,90 @@
+"""Unit tests for repro.query.joingraph."""
+
+import pytest
+
+from repro.query.joingraph import JoinGraph, iter_bits
+from repro.workloads.generator import GeneratorConfig, random_join_query
+
+
+def chain(n, seed=0):
+    return JoinGraph(random_join_query(GeneratorConfig(n_relations=n, seed=seed)))
+
+
+def cyclic(n, extra, seed=0):
+    return JoinGraph(
+        random_join_query(
+            GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+        )
+    )
+
+
+def test_iter_bits():
+    assert list(iter_bits(0b10110)) == [1, 2, 4]
+    assert list(iter_bits(0)) == []
+
+
+class TestJoinGraph:
+    def test_masks(self):
+        graph = chain(3)
+        assert graph.all_mask == 0b111
+        assert graph.mask_of("R1") == 0b010
+        assert graph.mask_of(("R0", "R2")) == 0b101
+        assert graph.aliases_of(0b101) == ("R0", "R2")
+
+    def test_connectivity_chain(self):
+        graph = chain(4)
+        assert graph.connected(0b0011)
+        assert graph.connected(0b1111)
+        assert not graph.connected(0b0101)  # R0 and R2 not adjacent
+        assert not graph.connected(0)
+
+    def test_neighbors(self):
+        graph = chain(4)
+        assert graph.neighbors(0b0001) == 0b0010
+        assert graph.neighbors(0b0110) == 0b1001
+
+    def test_edges_between(self):
+        graph = chain(3)
+        edges = graph.edges_between(0b001, 0b010)
+        assert len(edges) == 1
+        assert edges[0].relations == {"R0", "R1"}
+        assert graph.edges_between(0b001, 0b100) == ()
+
+    def test_edges_within(self):
+        graph = chain(3)
+        assert len(graph.edges_within(0b111)) == 2
+        assert len(graph.edges_within(0b011)) == 1
+        assert graph.edges_within(0b101) == ()
+
+    def test_connected_subsets_chain(self):
+        graph = chain(3)
+        subsets = list(graph.connected_subsets())
+        # chain R0-R1-R2: singletons, two pairs, one triple
+        assert subsets == [0b001, 0b010, 0b100, 0b011, 0b110, 0b111]
+
+    def test_connected_subsets_count_for_cycle(self):
+        graph = cyclic(3, 1)  # triangle
+        assert len(list(graph.connected_subsets())) == 7  # all non-empty subsets
+
+    def test_partitions_of_pair(self):
+        graph = chain(2)
+        assert list(graph.partitions(0b11)) == [(0b01, 0b10)]
+
+    def test_partitions_are_connected_and_joined(self):
+        graph = cyclic(5, 1, seed=3)
+        for mask in graph.connected_subsets():
+            if mask.bit_count() < 2:
+                continue
+            partitions = list(graph.partitions(mask))
+            assert partitions, f"connected mask {mask:b} must be splittable"
+            for left, right in partitions:
+                assert left | right == mask
+                assert left & right == 0
+                assert graph.connected(left)
+                assert graph.connected(right)
+                assert graph.edges_between(left, right)
+
+    def test_partition_count_chain4(self):
+        graph = chain(4)
+        # chain of 4: the full set splits at each of the 3 edges
+        assert len(list(graph.partitions(0b1111))) == 3

@@ -1,0 +1,59 @@
+"""Unit tests for repro.query.predicates."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.fd import ConstantBinding, Equation, FDSet
+from repro.query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+
+TA = Attribute("a", "t")
+UB = Attribute("b", "u")
+
+
+class TestJoinPredicate:
+    def test_fd_set(self):
+        join = JoinPredicate(TA, UB)
+        assert join.fd_set() == FDSet.of(Equation(TA, UB))
+
+    def test_relations(self):
+        assert JoinPredicate(TA, UB).relations == {"t", "u"}
+
+    def test_requires_qualified(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(Attribute("a"), UB)
+
+    def test_rejects_self_join_predicate(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(TA, Attribute("c", "t"))
+
+    def test_str(self):
+        assert str(JoinPredicate(TA, UB)) == "t.a = u.b"
+
+
+class TestEqualsConstant:
+    def test_fd_set(self):
+        assert EqualsConstant(TA, 5).fd_set() == FDSet.of(ConstantBinding(TA))
+
+    def test_requires_qualified(self):
+        with pytest.raises(ValueError):
+            EqualsConstant(Attribute("a"), 5)
+
+    def test_relations(self):
+        assert EqualsConstant(TA, 5).relations == {"t"}
+
+
+class TestRangePredicate:
+    def test_no_fds(self):
+        assert RangePredicate(TA, ">", 5).fd_set() == FDSet()
+
+    def test_between_str(self):
+        text = str(RangePredicate(TA, "between", 1, 2))
+        assert "between" in text
+
+    def test_operator_validated(self):
+        with pytest.raises(ValueError):
+            RangePredicate(TA, "=", 5)
+
+    def test_requires_qualified(self):
+        with pytest.raises(ValueError):
+            RangePredicate(Attribute("a"), "<", 5)

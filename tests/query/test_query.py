@@ -1,0 +1,110 @@
+"""Unit tests for repro.query.query (QuerySpec validation and helpers)."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import Ordering, ordering
+from repro.query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from repro.query.query import QuerySpec, RelationRef, make_query
+
+
+@pytest.fixture
+def catalog():
+    return (
+        Catalog()
+        .add(simple_table("t", ["a", "k"], 1000, clustered_on="a"))
+        .add(simple_table("u", ["b", "k"], 2000))
+    )
+
+
+def join_tu():
+    return JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))
+
+
+class TestValidation:
+    def test_valid_query(self, catalog):
+        spec = make_query(catalog, ["t", "u"], [join_tu()])
+        assert spec.aliases == ("t", "u")
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(ValueError, match="unknown table"):
+            make_query(catalog, ["nope"])
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_query(catalog, ["t", "t"])
+
+    def test_alias_allows_same_table_twice(self, catalog):
+        spec = make_query(catalog, [RelationRef("t"), RelationRef("t", "t2")])
+        assert spec.aliases == ("t", "t2")
+
+    def test_join_attribute_must_reference_query_relation(self, catalog):
+        join = JoinPredicate(Attribute("a", "t"), Attribute("b", "zzz"))
+        with pytest.raises(ValueError, match="does not reference"):
+            make_query(catalog, ["t", "u"], [join])
+
+    def test_unknown_column_rejected(self, catalog):
+        join = JoinPredicate(Attribute("nope", "t"), Attribute("b", "u"))
+        with pytest.raises(ValueError, match="no column"):
+            make_query(catalog, ["t", "u"], [join])
+
+    def test_order_by_validated(self, catalog):
+        with pytest.raises(ValueError):
+            make_query(catalog, ["t"], order_by=ordering("zzz.a"))
+
+
+class TestHelpers:
+    def test_table_of_alias(self, catalog):
+        spec = make_query(catalog, [RelationRef("t", "x")])
+        assert spec.table_of("x").name == "t"
+        with pytest.raises(KeyError):
+            spec.table_of("t")
+
+    def test_cardinality(self, catalog):
+        spec = make_query(catalog, ["t", "u"])
+        assert spec.cardinality("u") == 2000
+
+    def test_distinct_values_defaults(self, catalog):
+        spec = make_query(catalog, ["t"])
+        assert spec.distinct_values(Attribute("a", "t")) == 1000
+
+    def test_selections_for(self, catalog):
+        eq = EqualsConstant(Attribute("k", "t"), 1)
+        rng = RangePredicate(Attribute("k", "u"), ">", 0)
+        spec = make_query(catalog, ["t", "u"], selections=[eq, rng])
+        assert spec.selections_for("t") == (eq,)
+        assert spec.equality_selections_for("u") == ()
+
+    def test_indexes_for_requalifies_alias(self, catalog):
+        spec = make_query(catalog, [RelationRef("t", "x")])
+        [(index, order)] = spec.indexes_for("x")
+        assert order == Ordering([Attribute("a", "x")])
+
+    def test_join_selectivity_default_and_override(self, catalog):
+        join = join_tu()
+        spec = make_query(catalog, ["t", "u"], [join])
+        assert spec.join_selectivity(join) == 1.0 / 2000
+        spec.join_selectivities[join.attributes] = 0.25
+        assert spec.join_selectivity(join) == 0.25
+
+    def test_selection_selectivity(self, catalog):
+        spec = make_query(catalog, ["t"])
+        eq = EqualsConstant(Attribute("a", "t"), 1)
+        rng = RangePredicate(Attribute("a", "t"), "<", 1)
+        assert spec.selection_selectivity(eq) == 1.0 / 1000
+        assert spec.selection_selectivity(rng) == 0.3
+
+    def test_describe_mentions_clauses(self, catalog):
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            [join_tu()],
+            selections=[EqualsConstant(Attribute("k", "t"), 7)],
+            order_by=ordering("t.a"),
+            group_by=[Attribute("k", "u")],
+        )
+        text = spec.describe()
+        assert "t.a = u.b" in text
+        assert "order by" in text
+        assert "group by" in text

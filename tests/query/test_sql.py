@@ -1,0 +1,223 @@
+"""Tests for the SQL front end: lexer, parser, binder."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import Ordering
+from repro.query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from repro.query.sql import (
+    Between,
+    BindError,
+    ColumnRef,
+    Comparison,
+    Literal,
+    SqlSyntaxError,
+    parse_sql,
+    sql_to_query,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("SELECT select SeLeCt")]
+        assert kinds == ["keyword"] * 3 + ["eof"]
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("MyTable")[0]
+        assert token.kind == "identifier"
+        assert token.value == "MyTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [(t.kind, t.value) for t in tokens[:2]] == [
+            ("number", "42"),
+            ("number", "3.14"),
+        ]
+
+    def test_qualified_name_is_three_tokens(self):
+        kinds = [t.kind for t in tokenize("t.a")]
+        assert kinds == ["identifier", "dot", "identifier", "eof"]
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind == "string"
+        assert token.value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= < <= > >= <>")[:-1]]
+        assert values == ["=", "<", "<=", ">", ">=", "<>"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestParser:
+    def test_select_star(self):
+        stmt = parse_sql("select * from t")
+        assert stmt.select_star
+        assert stmt.tables[0].table == "t"
+
+    def test_select_columns(self):
+        stmt = parse_sql("select a, t.b from t")
+        assert stmt.select_items == (ColumnRef("a"), ColumnRef("b", "t"))
+
+    def test_aliases(self):
+        stmt = parse_sql("select * from nation n1, nation as n2")
+        assert stmt.tables[0].alias == "n1"
+        assert stmt.tables[1].alias == "n2"
+
+    def test_where_conjunction(self):
+        stmt = parse_sql("select * from t, u where t.a = u.b and t.k = 5")
+        assert stmt.conditions == (
+            Comparison(ColumnRef("a", "t"), "=", ColumnRef("b", "u")),
+            Comparison(ColumnRef("k", "t"), "=", Literal(5)),
+        )
+
+    def test_between(self):
+        stmt = parse_sql("select * from t where a between 1 and 10")
+        assert stmt.conditions == (
+            Between(ColumnRef("a"), Literal(1), Literal(10)),
+        )
+
+    def test_group_and_order_by(self):
+        stmt = parse_sql("select * from t group by a order by a, b desc")
+        assert stmt.group_by == (ColumnRef("a"),)
+        assert stmt.order_by[0].column == ColumnRef("a")
+        assert not stmt.order_by[0].descending
+        assert stmt.order_by[1].descending
+
+    def test_order_then_group_any_clause_order(self):
+        stmt = parse_sql("select * from t order by a group by b")
+        assert stmt.order_by and stmt.group_by
+
+    def test_string_literal_condition(self):
+        stmt = parse_sql("select * from t where name = 'Bob'")
+        assert stmt.conditions[0].right == Literal("Bob")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_sql("select * from t where a = 1 2")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError, match="FROM"):
+            parse_sql("select *")
+
+    def test_missing_literal(self):
+        with pytest.raises(SqlSyntaxError, match="literal"):
+            parse_sql("select * from t where a = ")
+
+
+@pytest.fixture
+def catalog():
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 10_000))
+        .add(simple_table("jobs", ["id", "salary"], 500, clustered_on="id"))
+    )
+
+
+class TestBinder:
+    def test_paper_simple_query_binds(self, catalog):
+        """The Section 6.1 query, verbatim modulo schema names."""
+        spec = sql_to_query(
+            """
+            select * from persons, jobs
+            where persons.jobid = jobs.id and jobs.salary > 50000
+            order by jobs.id, persons.name
+            """,
+            catalog,
+        )
+        assert spec.joins == (
+            JoinPredicate(Attribute("jobid", "persons"), Attribute("id", "jobs")),
+        )
+        assert spec.selections == (
+            RangePredicate(Attribute("salary", "jobs"), ">", 50000),
+        )
+        assert spec.order_by == Ordering(
+            [Attribute("id", "jobs"), Attribute("name", "persons")]
+        )
+
+    def test_unqualified_unique_column(self, catalog):
+        spec = sql_to_query("select * from jobs where salary = 10", catalog)
+        assert spec.selections == (
+            EqualsConstant(Attribute("salary", "jobs"), 10),
+        )
+
+    def test_unqualified_ambiguous_column(self, catalog):
+        bad = Catalog().add(simple_table("t", ["x"], 1)).add(
+            simple_table("u", ["x"], 1)
+        )
+        with pytest.raises(BindError, match="ambiguous"):
+            sql_to_query("select * from t, u where x = 1", bad)
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(BindError, match="unknown table"):
+            sql_to_query("select * from nope", catalog)
+
+    def test_unknown_alias(self, catalog):
+        with pytest.raises(BindError, match="unknown alias"):
+            sql_to_query("select * from jobs where zz.id = 1", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(BindError, match="no column"):
+            sql_to_query("select * from jobs where jobs.nope = 1", catalog)
+
+    def test_self_alias_join(self, catalog):
+        spec = sql_to_query(
+            "select * from jobs j1, jobs j2 where j1.id = j2.id", catalog
+        )
+        assert spec.joins[0].relations == {"j1", "j2"}
+
+    def test_non_equi_join_rejected(self, catalog):
+        with pytest.raises(BindError, match="equi-join"):
+            sql_to_query(
+                "select * from persons, jobs where persons.jobid < jobs.id",
+                catalog,
+            )
+
+    def test_desc_rejected(self, catalog):
+        with pytest.raises(BindError, match="DESC"):
+            sql_to_query("select * from jobs order by id desc", catalog)
+
+    def test_between_binds_to_range(self, catalog):
+        spec = sql_to_query(
+            "select * from jobs where salary between 1 and 2", catalog
+        )
+        [selection] = spec.selections
+        assert isinstance(selection, RangePredicate)
+        assert selection.operator == "between"
+
+    def test_group_by_binds(self, catalog):
+        spec = sql_to_query("select * from jobs group by salary", catalog)
+        assert spec.group_by == (Attribute("salary", "jobs"),)
+
+
+class TestEndToEndSQL:
+    def test_sql_to_optimal_plan(self, catalog):
+        """SQL text all the way to an executed optimizer decision."""
+        from repro.plangen import FsmBackend, generate_plan
+
+        spec = sql_to_query(
+            """
+            select * from persons, jobs
+            where persons.jobid = jobs.id
+            order by jobs.id
+            """,
+            catalog,
+        )
+        result = generate_plan(spec, FsmBackend())
+        # jobs has a clustered index on id; the join output on the join key
+        # satisfies the ORDER BY without a final sort.
+        assert result.best_plan.op != "sort"

@@ -1,0 +1,47 @@
+"""Unit tests for the benchmark harness helpers."""
+
+import os
+
+from repro.bench import bench_full, format_table, report, results_dir, save_result
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bbb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_contains_values(self):
+        text = format_table(("x",), [("hello",)])
+        assert "hello" in text
+        assert "x" in text
+
+
+class TestPersistence:
+    def test_save_and_report(self, tmp_path, monkeypatch):
+        # redirect the results dir into tmp_path
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(
+            harness, "results_dir", lambda: tmp_path
+        )
+        text = harness.report("unit_test_result", "Title", "body")
+        assert "Title" in text
+        saved = (tmp_path / "unit_test_result.txt").read_text()
+        assert "body" in saved
+
+    def test_results_dir_exists(self):
+        directory = results_dir()
+        assert directory.is_dir()
+        assert directory.name == "results"
+
+
+class TestScale:
+    def test_bench_full_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert not bench_full()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert bench_full()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert not bench_full()

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_prepare_demo(capsys):
+    assert (
+        main(
+            [
+                "prepare",
+                "select * from persons, jobs where persons.jobid = jobs.id "
+                "order by jobs.id, persons.name",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "interesting orders" in out
+    assert "DFSM" in out
+    assert "(jobs.id, persons.name)" in out
+
+
+def test_plan_demo(capsys):
+    assert (
+        main(
+            [
+                "plan",
+                "select * from persons, jobs where persons.jobid = jobs.id",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "join" in out
+    assert "plans generated" in out
+
+
+def test_plan_tpch(capsys):
+    sql = (
+        "select * from orders, lineitem "
+        "where orders.o_orderkey = lineitem.l_orderkey "
+        "order by orders.o_orderkey"
+    )
+    assert main(["plan", "--catalog", "tpch", sql]) == 0
+    out = capsys.readouterr().out
+    assert "merge_join" in out or "hash_join" in out
+
+
+def test_unknown_catalog():
+    with pytest.raises(SystemExit, match="unknown catalog"):
+        main(["plan", "--catalog", "nope", "select * from t"])
+
+
+def test_sweep_tiny(capsys):
+    assert main(["sweep", "--max-n", "5", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "%t" in out
+
+
+def test_q8(capsys):
+    assert main(["q8"]) == 0
+    out = capsys.readouterr().out
+    assert "with pruning" in out
+    assert "fsm" in out

@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example must run cleanly.
+
+Guards the examples against bit-rot; they are part of the public surface.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+# keep example runtimes bounded inside the test suite
+ARGS = {"random_workload.py": ["6"]}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script), *ARGS.get(script.name, [])],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_examples_discovered():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5

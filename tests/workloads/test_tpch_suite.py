@@ -1,0 +1,47 @@
+"""Integration tests: the full TPC-H/R query suite through both order
+frameworks (shape of the paper's Section 7 experiment on more workloads)."""
+
+import pytest
+
+from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+from repro.query.joingraph import JoinGraph
+from repro.workloads import ALL_TPCH_QUERIES, q5_query
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+class TestTpchQueries:
+    def test_query_is_connected(self, name):
+        spec = ALL_TPCH_QUERIES[name]()
+        graph = JoinGraph(spec)
+        assert graph.connected(graph.all_mask)
+
+    def test_both_backends_same_optimal_cost(self, name):
+        spec = ALL_TPCH_QUERIES[name]()
+        fsm = PlanGenerator(spec, FsmBackend()).run()
+        simmen = PlanGenerator(spec, SimmenBackend()).run()
+        assert fsm.best_plan.cost == pytest.approx(simmen.best_plan.cost)
+
+    def test_fsm_generates_fewer_or_equal_plans(self, name):
+        spec = ALL_TPCH_QUERIES[name]()
+        fsm = PlanGenerator(spec, FsmBackend()).run()
+        simmen = PlanGenerator(spec, SimmenBackend()).run()
+        assert fsm.stats.plans_created <= simmen.stats.plans_created
+        # per-plan annotations are always smaller (4 bytes/plan); the *total*
+        # includes the fixed DFSM tables, which only amortize on queries with
+        # sizable plan tables (q5/q8 — asserted there by the benchmarks)
+        assert fsm.stats.state_bytes < simmen.stats.state_bytes
+
+    def test_order_by_satisfied(self, name):
+        spec = ALL_TPCH_QUERIES[name]()
+        if spec.order_by is None:
+            pytest.skip("query has no ORDER BY")
+        backend = FsmBackend()
+        result = PlanGenerator(spec, backend).run()
+        assert backend.satisfies(result.best_plan.state, spec.order_by)
+
+
+def test_q5_join_graph_has_a_cycle():
+    """Q5's nation equality closes a cycle — the densest standard query."""
+    graph = JoinGraph(q5_query())
+    assert len(graph.edges) == 6
+    assert graph.n == 6  # 6 edges over 6 nodes => cyclic
