@@ -1,11 +1,18 @@
 """repro — reproduction of "An Efficient Framework for Order Optimization".
 
-Neumann & Moerkotte, ICDE 2004.  See README.md for a tour and DESIGN.md for
-the system inventory and the per-experiment index.
+Neumann & Moerkotte, ICDE 2004.  See README.md for a tour and
+docs/ARCHITECTURE.md for the paper-section → module mapping.
 
 The most common entry points are re-exported here:
 
->>> from repro import ordering, FDSet, Equation, InterestingOrders, OrderOptimizer
+* the data model and the prepared component —
+
+  >>> from repro import ordering, FDSet, Equation, InterestingOrders, OrderOptimizer
+
+* the service layer (optimize many queries with shared-preparation
+  caching) —
+
+  >>> from repro import OptimizationSession
 """
 
 from .core import (
@@ -21,14 +28,17 @@ from .core import (
     InterestingOrders,
     OrderOptimizer,
     Ordering,
+    PreparationFingerprint,
     attr,
     attrs,
     grouping,
     omega,
     ordering,
+    preparation_fingerprint,
 )
+from .service import OptimizationSession, SessionConfig, SessionStatistics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
@@ -47,6 +57,11 @@ __all__ = [
     "OrderOptimizer",
     "BuilderOptions",
     "NO_PRUNING",
+    "PreparationFingerprint",
+    "preparation_fingerprint",
     "omega",
+    "OptimizationSession",
+    "SessionConfig",
+    "SessionStatistics",
     "__version__",
 ]

@@ -9,7 +9,13 @@ Commands:
 * ``prepare --catalog tpch "SELECT ..."``
                          — show the preparation phase for a query: interesting
                            orders, FD sets, NFSM/DFSM sizes;
-* ``sweep [--max-n N]``  — a miniature Figure 13 sweep.
+* ``sweep [--max-n N]``  — a miniature Figure 13 sweep;
+* ``batch``              — optimize a whole workload through an
+                           :class:`OptimizationSession` and report cache
+                           statistics (cold/warm passes via ``--passes``);
+* ``serve``              — line-oriented serving loop: read SQL from stdin,
+                           answer with plans, keep caches warm across queries
+                           (``\\stats`` prints counters, ``\\quit`` exits).
 """
 
 from __future__ import annotations
@@ -17,13 +23,22 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .bench import format_table, timed
 from .catalog.schema import Catalog, simple_table
 from .catalog.tpch import tpch_catalog
 from .core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
 from .plangen import FsmBackend, PlanGenerator, SimmenBackend
 from .query.analyzer import analyze
 from .query.sql import sql_to_query
-from .workloads import GeneratorConfig, q8_order_info, q8_query, random_join_query
+from .service import OptimizationSession, SessionConfig
+from .workloads import (
+    ALL_TPCH_QUERIES,
+    GeneratorConfig,
+    q8_order_info,
+    q8_query,
+    random_join_query,
+    template_workload,
+)
 
 
 def demo_catalog() -> Catalog:
@@ -129,6 +144,100 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_workload(args: argparse.Namespace) -> list:
+    if args.workload == "tpch":
+        return [build() for build in ALL_TPCH_QUERIES.values()]
+    return template_workload(
+        n_templates=args.templates,
+        repeats=args.repeats,
+        base_config=GeneratorConfig(n_relations=args.relations),
+        seed=args.seed,
+    )
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    specs = _batch_workload(args)
+    config = SessionConfig(
+        prepared_cache_size=0 if args.no_cache else 128,
+        plan_cache_size=0 if args.no_cache else 512,
+    )
+    session = OptimizationSession(config=config)
+    rows = []
+    # Results seen in earlier passes came from the plan cache; count a
+    # result's plans_created only the first time we meet it.  Keyed by id
+    # with the object pinned as the value so ids cannot be recycled.
+    served: dict[int, object] = {}
+    for pass_no in range(1, args.passes + 1):
+        before = session.statistics()
+        with timed() as sw:
+            results = session.optimize_batch(specs)
+        after = session.statistics()
+        generated = sum(
+            r.stats.plans_created for r in results if id(r) not in served
+        )
+        served.update((id(r), r) for r in results)
+        rows.append(
+            (
+                pass_no,
+                len(results),
+                f"{sw.ms:.1f}",
+                after.prepared.hits - before.prepared.hits,
+                after.prepared.misses - before.prepared.misses,
+                after.plans.hits - before.plans.hits,
+                f"{generated:,}",
+            )
+        )
+    print(f"workload: {len(specs)} query(ies) ({args.workload}), {args.passes} pass(es)")
+    print(
+        format_table(
+            ("pass", "queries", "ms", "prep hits", "prep miss", "plan hits", "#plans"),
+            rows,
+        )
+    )
+    print()
+    print(session.statistics().describe())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    catalog = _resolve_catalog(args.catalog)
+    session = OptimizationSession(catalog)
+    print(
+        f"serving catalog {args.catalog!r} — one SQL statement per line, "
+        "\\stats for cache counters, \\quit (or EOF) to exit"
+    )
+    for line in sys.stdin:
+        line = line.strip().rstrip(";")
+        if not line:
+            continue
+        if line in ("\\quit", "\\q"):
+            break
+        if line == "\\stats":
+            print(session.statistics().describe())
+            continue
+        before = session.statistics()
+        try:
+            with timed() as sw:
+                result = session.optimize(sql_to_query(line, catalog))
+        except Exception as error:  # serving must survive a bad query
+            print(f"error: {error}")
+            continue
+        after = session.statistics()
+        if after.plans.hits > before.plans.hits:
+            source = "plan cache"
+        elif after.prepared.hits > before.prepared.hits:
+            source = "prepared cache"
+        else:
+            source = "cold"
+        print(result.best_plan.explain())
+        print(
+            f"-- cost {result.best_plan.cost:,.0f}, "
+            f"{result.stats.plans_created} plans, {sw.ms:.1f} ms [{source}]"
+        )
+    print(session.statistics().describe())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -152,6 +261,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-n", type=int, default=7)
     sweep.add_argument("--seeds", type=int, default=3)
     sweep.set_defaults(fn=cmd_sweep)
+
+    batch = sub.add_parser(
+        "batch", help="optimize a workload through a session, report cache stats"
+    )
+    batch.add_argument(
+        "--workload", default="random", choices=("random", "tpch"),
+        help="random: template-repeated join queries; tpch: the TPC-H suite",
+    )
+    batch.add_argument("--templates", type=int, default=4, help="random: #templates")
+    batch.add_argument(
+        "--repeats", type=int, default=5, help="random: constant-variants per template"
+    )
+    batch.add_argument(
+        "--relations", type=int, default=5, help="random: relations per template"
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--passes", type=int, default=2, help="workload passes (pass 2+ is warm)"
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable both caches (baseline)"
+    )
+    batch.set_defaults(fn=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="read SQL from stdin, serve plans with warm caches"
+    )
+    serve.add_argument("--catalog", default="demo", help="demo | tpch")
+    serve.set_defaults(fn=cmd_serve)
 
     return parser
 

@@ -1,5 +1,21 @@
 """Benchmark harness helpers."""
 
-from .harness import bench_full, format_table, report, results_dir, save_result
+from .harness import (
+    Stopwatch,
+    bench_full,
+    format_table,
+    report,
+    results_dir,
+    save_result,
+    timed,
+)
 
-__all__ = ["bench_full", "format_table", "report", "results_dir", "save_result"]
+__all__ = [
+    "Stopwatch",
+    "bench_full",
+    "format_table",
+    "report",
+    "results_dir",
+    "save_result",
+    "timed",
+]

@@ -12,8 +12,28 @@ in minutes on a laptop; set ``REPRO_BENCH_FULL=1`` for paper-scale sweeps
 from __future__ import annotations
 
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
+
+
+class Stopwatch:
+    """Elapsed wall-clock milliseconds of a :func:`timed` block."""
+
+    def __init__(self) -> None:
+        self.ms = 0.0
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Measure a block:  ``with timed() as sw: ...; print(sw.ms)``."""
+    watch = Stopwatch()
+    started = time.perf_counter()
+    try:
+        yield watch
+    finally:
+        watch.ms = (time.perf_counter() - started) * 1000.0
 
 
 def bench_full() -> bool:

@@ -27,7 +27,14 @@ from .grouping import Grouping, grouping, grouping_closure
 from .inference import Bounds, derive_item, omega, omega_new, prefix_closure
 from .interesting import InterestingOrders
 from .nfsm import NFSM, START
-from .optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer, PreparationStats
+from .optimizer import (
+    NO_PRUNING,
+    BuilderOptions,
+    OrderOptimizer,
+    PreparationFingerprint,
+    PreparationStats,
+    preparation_fingerprint,
+)
 from .ordering import EMPTY_ORDERING, Ordering, ordering
 from .tables import PreparedTables, build_tables
 from .trie import PrefixTrie
@@ -66,4 +73,6 @@ __all__ = [
     "BuilderOptions",
     "NO_PRUNING",
     "PreparationStats",
+    "PreparationFingerprint",
+    "preparation_fingerprint",
 ]

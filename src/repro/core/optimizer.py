@@ -18,6 +18,7 @@ is provided by :meth:`OrderOptimizer.state_after_sort`.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
@@ -75,6 +76,64 @@ class BuilderOptions:
 NO_PRUNING = BuilderOptions().without_pruning()
 
 
+@dataclass(frozen=True)
+class PreparationFingerprint:
+    """Canonical, order-insensitive identity of a preparation run.
+
+    Two ``prepare`` calls with equal fingerprints build semantically
+    interchangeable components: preparation depends only on the *sets* of
+    interesting orders / groupings, the *set* of operator FD sets, and the
+    builder options — never on the sequence they were supplied in (handle
+    numbering may differ, but every lookup is by value, so a component
+    prepared from one sequence answers correctly for any permutation).
+    This is the cache key of the service layer's prepared-state cache: a
+    query template re-issued with different constants produces the exact
+    same fingerprint (constant bindings carry the attribute, not the value)
+    and can skip NFSM/DFSM construction entirely.
+    """
+
+    produced: frozenset[Ordering]
+    tested: frozenset[Ordering]
+    groupings_produced: frozenset
+    groupings_tested: frozenset
+    fdsets: frozenset[FDSet]
+    options: BuilderOptions
+
+    def digest(self) -> str:
+        """Short stable hex digest, for logs and cache-stats reporting."""
+        parts = "|".join(
+            (
+                ",".join(sorted(repr(o) for o in self.produced)),
+                ",".join(sorted(repr(o) for o in self.tested)),
+                ",".join(sorted(repr(g) for g in self.groupings_produced)),
+                ",".join(sorted(repr(g) for g in self.groupings_tested)),
+                ",".join(sorted(str(f) for f in self.fdsets)),
+                repr(self.options),
+            )
+        )
+        return hashlib.sha256(parts.encode()).hexdigest()[:16]
+
+
+def preparation_fingerprint(
+    interesting: InterestingOrders,
+    fdsets: Iterable[FDSet],
+    options: BuilderOptions | None = None,
+) -> PreparationFingerprint:
+    """Fingerprint the preparation inputs without running preparation.
+
+    Cheap (a handful of frozensets) compared to :meth:`OrderOptimizer.prepare`,
+    which makes it usable as a cache-lookup key on every query of a workload.
+    """
+    return PreparationFingerprint(
+        produced=frozenset(interesting.produced),
+        tested=frozenset(interesting.tested),
+        groupings_produced=frozenset(interesting.groupings_produced),
+        groupings_tested=frozenset(interesting.groupings_tested),
+        fdsets=frozenset(fdsets),
+        options=options or BuilderOptions(),
+    )
+
+
 @dataclass
 class PreparationStats:
     """Measurements reported by the Section 6.2 experiment."""
@@ -105,6 +164,7 @@ class OrderOptimizer:
         stats: PreparationStats,
         options: BuilderOptions,
         fdset_aliases: dict[FDSet, int] | None = None,
+        fingerprint: PreparationFingerprint | None = None,
     ) -> None:
         self.interesting = interesting
         self.nfsm = nfsm
@@ -112,6 +172,8 @@ class OrderOptimizer:
         self.tables = tables
         self.stats = stats
         self.options = options
+        self.fingerprint = fingerprint
+        self._dominance_relation: tuple[frozenset[int], ...] | None = None
         self._order_handles = {
             order: i for i, order in enumerate(tables.testable_orders)
         }
@@ -142,7 +204,9 @@ class OrderOptimizer:
         from .equivalence import EquivalenceClasses
         from .grouping import GroupingBounds
 
-        symbols = dedupe_fdsets(tuple(fdsets))
+        fdset_tuple = tuple(fdsets)
+        fingerprint = preparation_fingerprint(interesting, fdset_tuple, options)
+        symbols = dedupe_fdsets(fdset_tuple)
         classes = EquivalenceClasses.from_fdsets(symbols)
         bounds: Bounds | None = None
         if options.use_prefix_bound or options.use_length_bound:
@@ -225,7 +289,16 @@ class OrderOptimizer:
         stats.preparation_ms = (time.perf_counter() - started) * 1000.0
         stats.precomputed_bytes = tables.total_bytes
 
-        return cls(interesting, nfsm, dfsm, tables, stats, options, fdset_aliases)
+        return cls(
+            interesting,
+            nfsm,
+            dfsm,
+            tables,
+            stats,
+            options,
+            fdset_aliases,
+            fingerprint=fingerprint,
+        )
 
     # -- handle lookups (done once per operator during plan-generation setup) -----
 
@@ -310,6 +383,22 @@ class OrderOptimizer:
         for fd_handle in held_fdsets:
             state = self.tables.transition(state, fd_handle)
         return state
+
+    def simulation_dominance_relation(self) -> tuple[frozenset[int], ...]:
+        """The simulation preorder over table states, computed lazily.
+
+        Memoized on the component: the relation depends only on the
+        precomputed tables, so consumers holding a *cached* prepared
+        component (the service layer's prepared-state cache) pay the
+        O(states²) fixpoint once, not once per query.
+        """
+        cached = self._dominance_relation
+        if cached is None:
+            from .dominance import simulation_dominance
+
+            cached = simulation_dominance(self.tables)
+            self._dominance_relation = cached
+        return cached
 
     # -- convenience (object-level API for examples/tests; not the hot path) -------
 

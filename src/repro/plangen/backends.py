@@ -14,7 +14,7 @@ experiments.  Three implementations:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Sequence
+from typing import Any, Callable, Hashable, Sequence
 
 from ..baseline.simmen import SimmenOrderOptimizer, SimmenState
 from ..core.fd import FDSet
@@ -86,6 +86,15 @@ class FsmBackend(OrderingBackend):
     With ``use_dominance=True`` (extension beyond the paper) the backend
     precomputes the simulation preorder over DFSM states and offers it to
     the plan generator for cross-state pruning.
+
+    ``preparer`` injects an alternative source of prepared state: a callable
+    mapping the query's :class:`QueryOrderInfo` to an :class:`OrderOptimizer`.
+    The service layer uses this to serve a cached component (keyed by the
+    preparation fingerprint) instead of re-running NFSM/DFSM construction —
+    the injected component must have been prepared with equal interesting
+    orders, FD sets, and builder options (equal fingerprints guarantee
+    this).  When ``preparer`` is ``None`` the backend builds its own
+    component with ``self.options``, exactly as before.
     """
 
     name = "fsm"
@@ -95,25 +104,31 @@ class FsmBackend(OrderingBackend):
         options: BuilderOptions | None = None,
         *,
         use_dominance: bool = False,
+        preparer: Callable[[QueryOrderInfo], OrderOptimizer] | None = None,
     ) -> None:
         self.options = options or BuilderOptions()
         self.use_dominance = use_dominance
+        self.preparer = preparer
         self.optimizer: OrderOptimizer | None = None
         self._dominance: tuple[frozenset[int], ...] | None = None
 
     def prepare(self, info: QueryOrderInfo) -> None:
-        self.optimizer = OrderOptimizer.prepare(
-            info.interesting, info.fdsets, self.options
-        )
+        if self.preparer is not None:
+            self.optimizer = self.preparer(info)
+        else:
+            self.optimizer = OrderOptimizer.prepare(
+                info.interesting, info.fdsets, self.options
+            )
         self._fd_handles: dict[FDSet, int] = {}
         self._producer_handles: dict[Ordering, int] = {}
         self._order_handles: dict[Ordering, int] = {}
         if self.use_dominance:
-            from ..core.dominance import simulation_dominance
-
-            self._dominance = simulation_dominance(self.optimizer.tables)
+            self._dominance = self.optimizer.simulation_dominance_relation()
 
     def dominates(self, key_a: int, key_b: int) -> bool:
+        """Simulation-preorder test between two DFSM states (see
+        :func:`repro.core.dominance.simulation_dominance`); always False
+        unless the backend was built with ``use_dominance=True``."""
         if self._dominance is None:
             return False
         return key_b in self._dominance[key_a]

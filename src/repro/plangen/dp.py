@@ -108,6 +108,8 @@ class PlanGenerator:
         backend: OrderingBackend,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         config: PlanGenConfig = PlanGenConfig(),
+        *,
+        info: QueryOrderInfo | None = None,
     ) -> None:
         self.spec = spec
         self.backend = backend
@@ -115,6 +117,7 @@ class PlanGenerator:
         self.config = config
         self.graph = JoinGraph(spec)
         self.stats = PlanGenStats()
+        self._injected_info = info
         self._card_cache: dict[int, float] = {}
         self._held_cache: dict[int, tuple[FDSet, ...]] = {}
 
@@ -350,13 +353,23 @@ class PlanGenerator:
     # -- driver ---------------------------------------------------------------
 
     def run(self) -> PlanGenResult:
-        """Generate the optimal plan for the query."""
+        """Generate the optimal plan for the query.
+
+        When the caller already analyzed the query (passed ``info`` to the
+        constructor — the service layer does, so it can consult its caches
+        before spending any plan-generation work), that analysis is reused;
+        it must have been produced with the same ``analyze`` flags this
+        generator's config implies.
+        """
         started = time.perf_counter()
-        self.info = analyze(
-            self.spec,
-            include_tested_selections=self.config.include_tested_selections,
-            include_groupings=self.config.enable_aggregation,
-        )
+        if self._injected_info is not None:
+            self.info = self._injected_info
+        else:
+            self.info = analyze(
+                self.spec,
+                include_tested_selections=self.config.include_tested_selections,
+                include_groupings=self.config.enable_aggregation,
+            )
         self.backend.prepare(self.info)
         self.stats.prepare_ms = (time.perf_counter() - started) * 1000.0
 
@@ -459,6 +472,8 @@ def generate_plan(
     backend: OrderingBackend,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     config: PlanGenConfig = PlanGenConfig(),
+    *,
+    info: QueryOrderInfo | None = None,
 ) -> PlanGenResult:
     """Convenience wrapper: build a generator and run it."""
-    return PlanGenerator(spec, backend, cost_model, config).run()
+    return PlanGenerator(spec, backend, cost_model, config, info=info).run()

@@ -1,0 +1,46 @@
+"""Service layer: session-oriented optimization with shared-preparation caching.
+
+The paper's economy is *pay preparation once, amortize it over O(1)-per-
+lookup plan generation*.  This package extends that economy across
+**queries**: an :class:`OptimizationSession` holds a prepared-state cache
+(keyed by the order-insensitive preparation fingerprint, so structurally
+equivalent queries — the same template with different constants — share one
+NFSM/DFSM build) and a plan cache (keyed by the canonicalized query spec).
+See :mod:`repro.service.session` for the exact cache-key semantics and
+:class:`repro.service.cache.LRUCache` for the eviction policy/statistics.
+
+This is the seam future scaling work (sharding, async serving,
+multi-backend routing) plugs into: everything above it sees only
+``optimize`` / ``optimize_batch``.
+
+Quickstart::
+
+    from repro.catalog.tpch import tpch_catalog
+    from repro.service import OptimizationSession
+    from repro.query.sql import sql_to_query
+
+    catalog = tpch_catalog()
+    session = OptimizationSession(catalog)
+    result = session.optimize(sql_to_query("select * from orders, lineitem "
+        "where orders.o_orderkey = lineitem.l_orderkey "
+        "order by orders.o_orderkey", catalog))
+    print(result.best_plan.explain())
+    print(session.statistics().describe())
+"""
+
+from .cache import CacheStats, LRUCache
+from .session import (
+    OptimizationSession,
+    SessionConfig,
+    SessionStatistics,
+    canonical_query_key,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "OptimizationSession",
+    "SessionConfig",
+    "SessionStatistics",
+    "canonical_query_key",
+]

@@ -1,0 +1,104 @@
+"""A small LRU cache with hit/miss/eviction statistics.
+
+Both session caches (prepared FSM state and finished plans) are instances
+of :class:`LRUCache`; the cache itself is policy-free — what makes each
+cache sound is its *key* (see :mod:`repro.service.session` for the key
+semantics).  Capacity 0 disables a cache entirely: every lookup is a miss
+and nothing is ever stored, which gives an honest "caching off" baseline
+for the benchmarks without a second code path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters of one cache (reported by ``serve``/``batch``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.evictions} eviction(s), hit-rate {self.hit_rate:.1%}"
+        )
+
+
+class LRUCache(Generic[V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` counts a hit or a miss and refreshes recency; ``put`` inserts
+    (or refreshes) and evicts the least recently used entry when the
+    capacity is exceeded.  Not thread-safe — a session is a single-threaded
+    object; concurrent serving should shard sessions (see ROADMAP).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+
+    def get(self, key: Hashable) -> V | None:
+        """Look up ``key``, counting a hit or miss; hits become most recent."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert ``key``; evicts the LRU entry beyond capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
+        """Return the cached value, building and storing it on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        """Keys from least to most recently used."""
+        return iter(self._entries.keys())

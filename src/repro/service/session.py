@@ -1,0 +1,239 @@
+"""The session-oriented optimization pipeline.
+
+An :class:`OptimizationSession` fixes everything that is *not* the query —
+catalog, cost model, builder options, plan-generation config, ordering
+backend — and exposes ``optimize(query)`` / ``optimize_batch(queries)``.
+Across queries it amortizes the paper's preparation phase through two
+caches:
+
+**Prepared-state cache** — keyed by the canonical
+:class:`~repro.core.optimizer.PreparationFingerprint` of the preparation
+inputs: the *sets* (order-insensitive) of produced/tested interesting
+orders and groupings, the *set* of operator FD sets, and the builder
+options.  Constant values never enter the key (an equality selection
+contributes ``∅ -> attribute``, not the constant), so the same query
+template issued with different constants — the dominant shape of real
+workloads — fingerprints identically and skips NFSM/DFSM construction
+entirely.  Reuse is sound because every :class:`OrderOptimizer` lookup is
+by value, never by input position.
+
+**Plan cache** — keyed by the canonicalized :class:`QuerySpec`
+(:func:`canonical_query_key`): catalog identity, the relation/join/selection
+*sets* (clause order is irrelevant), the ``ORDER BY`` / ``GROUP BY``
+sequences (their order matters), selection constants (two queries with
+different constants are different queries, even though they share prepared
+state), and any selectivity overrides.  A hit skips plan generation
+entirely and returns the previously computed :class:`PlanGenResult`.
+
+Both caches are LRU with hit/miss/eviction statistics
+(:class:`~repro.service.cache.CacheStats`), surfaced via
+:meth:`OptimizationSession.statistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Hashable, Iterable
+
+from ..catalog.schema import Catalog
+from ..core.optimizer import BuilderOptions, OrderOptimizer, preparation_fingerprint
+from ..plangen.backends import FsmBackend, OrderingBackend
+from ..plangen.cost import DEFAULT_COST_MODEL, CostModel
+from ..plangen.dp import PlanGenConfig, PlanGenerator, PlanGenResult
+from ..query.analyzer import QueryOrderInfo, analyze
+from ..query.predicates import EqualsConstant, RangePredicate
+from ..query.query import QuerySpec
+from .cache import CacheStats, LRUCache
+
+
+def canonical_query_key(spec: QuerySpec) -> Hashable:
+    """Canonical plan-cache key of a query.
+
+    Two specs map to the same key exactly when they are the same query over
+    the same catalog up to clause *ordering*: relations, joins, and
+    selections are compared as sorted multisets (``FROM a, b`` equals
+    ``FROM b, a``; a *repeated* predicate is kept — the cardinality model
+    applies its selectivity per occurrence, so it changes the plan), while
+    ``ORDER BY`` and ``GROUP BY`` keep their attribute sequence
+    (``ORDER BY a, b`` differs from ``ORDER BY b, a``).  Selection constants
+    are part of the key — unlike the preparation fingerprint, a plan is an
+    answer to one concrete query.  Constants are keyed by ``repr`` so
+    unhashable values cannot break the cache.
+    """
+    selections = []
+    for s in spec.selections:
+        if isinstance(s, EqualsConstant):
+            selections.append(("eq", s.attribute, repr(s.value)))
+        elif isinstance(s, RangePredicate):
+            selections.append(
+                ("range", s.attribute, s.operator, repr(s.value), repr(s.upper_value))
+            )
+        else:  # pragma: no cover - SelectionPredicate is a closed union
+            raise TypeError(f"unknown selection {s!r}")
+    return (
+        id(spec.catalog),
+        tuple(sorted((r.table, r.alias) for r in spec.relations)),
+        tuple(sorted(spec.joins, key=str)),
+        tuple(sorted(selections)),
+        None if spec.order_by is None else spec.order_by.attributes,
+        spec.group_by,
+        frozenset(spec.join_selectivities.items()),
+    )
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Cache sizing and optimizer configuration of one session.
+
+    A capacity of 0 disables the corresponding cache (honest baseline for
+    the cold-vs-warm benchmark).
+    """
+
+    prepared_cache_size: int = 128
+    plan_cache_size: int = 512
+    builder_options: BuilderOptions = BuilderOptions()
+    plangen: PlanGenConfig = PlanGenConfig()
+
+
+@dataclass
+class SessionStatistics:
+    """Cumulative counters of one session (what ``serve``/``batch`` print)."""
+
+    queries: int = 0
+    prepared: CacheStats = field(default_factory=CacheStats)
+    plans: CacheStats = field(default_factory=CacheStats)
+    prepared_entries: int = 0
+    plan_entries: int = 0
+
+    def describe(self) -> str:
+        return "\n".join(
+            (
+                f"queries optimized : {self.queries}",
+                f"prepared cache    : {self.prepared.describe()}, "
+                f"{self.prepared_entries} entry(ies)",
+                f"plan cache        : {self.plans.describe()}, "
+                f"{self.plan_entries} entry(ies)",
+            )
+        )
+
+
+class OptimizationSession:
+    """A reusable optimization service: one catalog, many queries.
+
+    >>> from repro.catalog.tpch import tpch_catalog
+    >>> from repro.workloads import q8_query
+    >>> session = OptimizationSession(tpch_catalog())
+    >>> result = session.optimize(q8_query())
+    >>> session.statistics().queries
+    1
+
+    The default backend is the paper's FSM component with the session's
+    prepared-state cache injected.  A custom ``backend_factory`` must
+    return a *fresh* backend per call (backends hold per-query state);
+    factory-made :class:`FsmBackend` instances without their own
+    ``preparer`` are wired to the session cache automatically, other
+    backend types simply bypass the prepared cache (the Simmen baseline
+    has no preparation phase to amortize — that is the point of the
+    comparison).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend_factory: Callable[[], OrderingBackend] | None = None,
+        config: SessionConfig = SessionConfig(),
+    ) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.config = config
+        self._backend_factory = backend_factory
+        self._prepared: LRUCache[OrderOptimizer] = LRUCache(
+            config.prepared_cache_size
+        )
+        # Plan-cache values keep the spec alive so the id(catalog) component
+        # of the key cannot be recycled while the entry is cached.
+        self._plans: LRUCache[tuple[QuerySpec, PlanGenResult]] = LRUCache(
+            config.plan_cache_size
+        )
+        self._queries = 0
+
+    # -- prepared-state cache -------------------------------------------------
+
+    def _cached_prepare(
+        self, info: QueryOrderInfo, options: BuilderOptions
+    ) -> OrderOptimizer:
+        """Serve a prepared component from the cache, building it on a miss."""
+        key = preparation_fingerprint(info.interesting, info.fdsets, options)
+        return self._prepared.get_or_create(
+            key,
+            lambda: OrderOptimizer.prepare(info.interesting, info.fdsets, options),
+        )
+
+    def _make_backend(self) -> OrderingBackend:
+        if self._backend_factory is None:
+            options = self.config.builder_options
+            return FsmBackend(
+                options, preparer=lambda info: self._cached_prepare(info, options)
+            )
+        backend = self._backend_factory()
+        if isinstance(backend, FsmBackend) and backend.preparer is None:
+            options = backend.options
+            backend.preparer = lambda info: self._cached_prepare(info, options)
+        return backend
+
+    # -- the service API ------------------------------------------------------
+
+    def optimize(self, spec: QuerySpec) -> PlanGenResult:
+        """Optimize one query, consulting both caches."""
+        if self.catalog is not None and spec.catalog is not self.catalog:
+            raise ValueError(
+                f"query {spec.name} was bound against a different catalog "
+                "than this session's"
+            )
+        self._queries += 1
+        key = canonical_query_key(spec)
+        hit = self._plans.get(key)
+        if hit is not None:
+            return hit[1]
+        info = analyze(
+            spec,
+            include_tested_selections=self.config.plangen.include_tested_selections,
+            include_groupings=self.config.plangen.enable_aggregation,
+        )
+        result = PlanGenerator(
+            spec,
+            self._make_backend(),
+            self.cost_model,
+            self.config.plangen,
+            info=info,
+        ).run()
+        self._plans.put(key, (spec, result))
+        return result
+
+    def optimize_batch(self, specs: Iterable[QuerySpec]) -> list[PlanGenResult]:
+        """Optimize a workload; equivalent to ``[optimize(q) for q in specs]``.
+
+        Plans are identical to one-by-one optimization — batching changes
+        only the amortization (later queries reuse state cached by earlier
+        ones), never the answer.
+        """
+        return [self.optimize(spec) for spec in specs]
+
+    # -- introspection --------------------------------------------------------
+
+    def statistics(self) -> SessionStatistics:
+        """Snapshot of the session's cumulative cache counters."""
+        return SessionStatistics(
+            queries=self._queries,
+            prepared=replace(self._prepared.stats),
+            plans=replace(self._plans.stats),
+            prepared_entries=len(self._prepared),
+            plan_entries=len(self._plans),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop all cached state (counters are kept); the next query is cold."""
+        self._prepared.clear()
+        self._plans.clear()

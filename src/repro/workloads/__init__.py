@@ -1,6 +1,12 @@
-"""Workloads: the random join-graph generator (Figures 13/14) and TPC-R Q8."""
+"""Workloads: random join graphs (Figures 13/14), template repetition, TPC-R Q8."""
 
-from .generator import GeneratorConfig, query_family, random_join_query
+from .generator import (
+    GeneratorConfig,
+    query_family,
+    random_join_query,
+    template_variants,
+    template_workload,
+)
 from .tpch_queries import (
     ALL_TPCH_QUERIES,
     q3_query,
@@ -15,6 +21,8 @@ __all__ = [
     "GeneratorConfig",
     "random_join_query",
     "query_family",
+    "template_variants",
+    "template_workload",
     "q3_query",
     "q5_query",
     "q8_query",

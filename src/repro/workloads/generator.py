@@ -18,12 +18,12 @@ Generation is fully deterministic given a seed:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from ..catalog.schema import Catalog, Column, Index, Table
 from ..core.attributes import Attribute
-from ..query.predicates import JoinPredicate
+from ..query.predicates import EqualsConstant, JoinPredicate
 from ..query.query import QuerySpec, RelationRef
 
 
@@ -37,6 +37,12 @@ class GeneratorConfig:
     max_cardinality: int = 100_000
     index_probability: float = 0.5
     seed: int = 0
+    relation_prefix: str = "R"
+    """Relation names are ``<prefix>0 .. <prefix>{n-1}``.  Queries generated
+    with the same shape but different prefixes are structurally *distinct*
+    (attributes are qualified by relation), which is how
+    :func:`template_workload` keeps its templates from sharing one
+    preparation fingerprint."""
 
     def resolved_edges(self) -> int:
         if self.n_edges is None:
@@ -53,6 +59,7 @@ def random_join_query(config: GeneratorConfig) -> QuerySpec:
     """Generate one random query: a chain plus random extra edges."""
     rng = random.Random(config.seed)
     n = config.n_relations
+    prefix = config.relation_prefix
     if n < 2:
         raise ValueError("need at least two relations")
 
@@ -79,13 +86,14 @@ def random_join_query(config: GeneratorConfig) -> QuerySpec:
         columns[j].append(Column(right_col))
         joins.append(
             JoinPredicate(
-                Attribute(left_col, f"R{i}"), Attribute(right_col, f"R{j}")
+                Attribute(left_col, f"{prefix}{i}"),
+                Attribute(right_col, f"{prefix}{j}"),
             )
         )
 
     catalog = Catalog()
     for i in range(n):
-        name = f"R{i}"
+        name = f"{prefix}{i}"
         cardinality = int(
             round(
                 config.min_cardinality
@@ -108,7 +116,7 @@ def random_join_query(config: GeneratorConfig) -> QuerySpec:
 
     return QuerySpec(
         catalog=catalog,
-        relations=tuple(RelationRef(f"R{i}") for i in range(n)),
+        relations=tuple(RelationRef(f"{prefix}{i}") for i in range(n)),
         joins=tuple(joins),
         name=f"rand-n{n}-e{len(edges)}-s{config.seed}",
     )
@@ -127,3 +135,64 @@ def query_family(
             seed=seed,
         )
         yield random_join_query(config)
+
+
+def template_variants(
+    template: QuerySpec, repeats: int, *, value_prefix: str = "param"
+) -> list[QuerySpec]:
+    """``repeats`` copies of ``template`` differing only in a constant.
+
+    Each variant adds one equality selection ``attr = "<prefix>-<i>"`` on the
+    first join attribute (toy schemas have no other guaranteed column), with
+    a distinct value per variant — the shape of a parameterized prepared
+    statement.  All variants share the template's preparation fingerprint
+    (a constant binding carries the attribute, never the value), so a
+    session's prepared-state cache misses once and hits ``repeats - 1``
+    times; their *plan*-cache keys stay distinct because constants differ.
+    """
+    if not template.joins:
+        raise ValueError(f"template {template.name} has no join attribute to parameterize")
+    target = template.joins[0].left
+    variants: list[QuerySpec] = []
+    for i in range(repeats):
+        variants.append(
+            QuerySpec(
+                catalog=template.catalog,
+                relations=template.relations,
+                joins=template.joins,
+                selections=template.selections
+                + (EqualsConstant(target, f"{value_prefix}-{i}"),),
+                order_by=template.order_by,
+                group_by=template.group_by,
+                name=f"{template.name}-v{i}",
+                join_selectivities=dict(template.join_selectivities),
+            )
+        )
+    return variants
+
+
+def template_workload(
+    n_templates: int = 4,
+    repeats: int = 5,
+    base_config: GeneratorConfig | None = None,
+    seed: int = 0,
+) -> list[QuerySpec]:
+    """A template-repeated workload (the regime the service layer targets).
+
+    ``n_templates`` random join templates (seeds ``seed .. seed+n-1``), each
+    expanded into ``repeats`` constant-varied variants via
+    :func:`template_variants`, in template-major order.  A cold session
+    pass over the result performs exactly ``n_templates`` preparations.
+    """
+    config = base_config or GeneratorConfig()
+    specs: list[QuerySpec] = []
+    for t in range(n_templates):
+        template = random_join_query(
+            replace(
+                config,
+                seed=seed + t,
+                relation_prefix=f"T{t}_{config.relation_prefix}",
+            )
+        )
+        specs.extend(template_variants(template, repeats))
+    return specs

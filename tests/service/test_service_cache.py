@@ -1,0 +1,95 @@
+"""Tests for the LRU cache underlying both session caches."""
+
+import pytest
+
+from repro.service.cache import CacheStats, LRUCache
+
+
+def test_hit_miss_counting():
+    cache = LRUCache(4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("a") == 1
+    stats = cache.stats
+    assert (stats.hits, stats.misses) == (2, 1)
+    assert stats.lookups == 3
+    assert stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_eviction_at_capacity_is_lru():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a": "b" is now least recent
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+
+
+def test_put_existing_key_refreshes_without_evicting():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # overwrite, no eviction
+    assert len(cache) == 2
+    assert cache.stats.evictions == 0
+    cache.put("c", 3)  # now "b" (least recent) goes
+    assert "a" in cache and "b" not in cache
+
+
+def test_zero_capacity_disables_cache():
+    cache = LRUCache(0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+    assert cache.stats.misses == 1
+    assert cache.stats.evictions == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        LRUCache(-1)
+
+
+def test_get_or_create_builds_once():
+    cache = LRUCache(4)
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_create("k", factory) == "value"
+    assert cache.get_or_create("k", factory) == "value"
+    assert len(calls) == 1
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+
+def test_clear_keeps_statistics():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_keys_least_to_most_recent():
+    cache = LRUCache(3)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    cache.get("a")
+    assert list(cache.keys()) == ["b", "c", "a"]
+
+
+def test_stats_describe_mentions_all_counters():
+    stats = CacheStats(hits=3, misses=1, evictions=2)
+    text = stats.describe()
+    assert "3 hit(s)" in text
+    assert "1 miss(es)" in text
+    assert "2 eviction(s)" in text
+    assert "75.0%" in text

@@ -1,0 +1,323 @@
+"""Tests for the session-oriented optimization pipeline.
+
+Covers the acceptance checklist of the service layer: prepared-cache hits
+on structurally-equivalent queries, LRU eviction at capacity, batch-vs-
+one-by-one plan identity, and the statistics counters — plus the cache-key
+canonicalization and the backend injection seams the session relies on.
+"""
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.optimizer import BuilderOptions, OrderOptimizer, preparation_fingerprint
+from repro.core.ordering import Ordering
+from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+from repro.query.analyzer import analyze
+from repro.query.predicates import EqualsConstant, JoinPredicate
+from repro.query.query import QuerySpec, RelationRef, make_query
+from repro.service import OptimizationSession, SessionConfig, canonical_query_key
+from repro.workloads import template_variants, template_workload
+
+
+def demo_catalog() -> Catalog:
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+        .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+    )
+
+
+def demo_query(catalog: Catalog, constant: str | None = None, name: str = "q") -> QuerySpec:
+    selections = ()
+    if constant is not None:
+        selections = (EqualsConstant(Attribute("name", "persons"), constant),)
+    return make_query(
+        catalog,
+        ["persons", "jobs"],
+        joins=[
+            JoinPredicate(Attribute("jobid", "persons"), Attribute("id", "jobs"))
+        ],
+        selections=selections,
+        order_by=Ordering([Attribute("id", "jobs")]),
+        name=name,
+    )
+
+
+# -- preparation fingerprint ---------------------------------------------------
+
+
+def test_fingerprint_equal_for_structurally_equivalent_queries():
+    catalog = demo_catalog()
+    info_a = analyze(demo_query(catalog, "alice"))
+    info_b = analyze(demo_query(catalog, "bob"))
+    fp_a = preparation_fingerprint(info_a.interesting, info_a.fdsets)
+    fp_b = preparation_fingerprint(info_b.interesting, info_b.fdsets)
+    assert fp_a == fp_b
+    assert fp_a.digest() == fp_b.digest()
+
+
+def test_fingerprint_is_order_insensitive():
+    catalog = demo_catalog()
+    info = analyze(demo_query(catalog, "alice"))
+    fp = preparation_fingerprint(info.interesting, info.fdsets)
+    permuted = preparation_fingerprint(
+        info.interesting, tuple(reversed(info.fdsets))
+    )
+    assert fp == permuted
+
+
+def test_fingerprint_differs_without_selection():
+    catalog = demo_catalog()
+    info_a = analyze(demo_query(catalog, "alice"))
+    info_b = analyze(demo_query(catalog, None))
+    assert preparation_fingerprint(
+        info_a.interesting, info_a.fdsets
+    ) != preparation_fingerprint(info_b.interesting, info_b.fdsets)
+
+
+def test_fingerprint_includes_options():
+    catalog = demo_catalog()
+    info = analyze(demo_query(catalog))
+    default = preparation_fingerprint(info.interesting, info.fdsets)
+    unpruned = preparation_fingerprint(
+        info.interesting, info.fdsets, BuilderOptions().without_pruning()
+    )
+    assert default != unpruned
+
+
+def test_prepare_records_its_fingerprint():
+    catalog = demo_catalog()
+    info = analyze(demo_query(catalog))
+    optimizer = OrderOptimizer.prepare(info.interesting, info.fdsets)
+    assert optimizer.fingerprint == preparation_fingerprint(
+        info.interesting, info.fdsets
+    )
+
+
+# -- canonical plan-cache key --------------------------------------------------
+
+
+def test_canonical_key_ignores_clause_order():
+    catalog = demo_catalog()
+    base = demo_query(catalog)
+    reordered = QuerySpec(
+        catalog=catalog,
+        relations=(RelationRef("jobs"), RelationRef("persons")),
+        joins=base.joins,
+        order_by=base.order_by,
+        name="reordered",
+    )
+    assert canonical_query_key(base) == canonical_query_key(reordered)
+
+
+def test_canonical_key_sees_constants_and_order_by():
+    catalog = demo_catalog()
+    assert canonical_query_key(demo_query(catalog, "alice")) != canonical_query_key(
+        demo_query(catalog, "bob")
+    )
+    no_order = demo_query(catalog)
+    no_order.order_by = None
+    assert canonical_query_key(no_order) != canonical_query_key(demo_query(catalog))
+
+
+def test_canonical_key_keeps_duplicate_selections():
+    # The cardinality model applies a predicate's selectivity once per
+    # occurrence, so a repeated predicate is a different (cheaper-looking)
+    # query and must not share a plan-cache entry with the single one.
+    catalog = demo_catalog()
+    join = JoinPredicate(Attribute("jobid", "persons"), Attribute("id", "jobs"))
+    selection = EqualsConstant(Attribute("name", "persons"), "alice")
+    once = make_query(
+        catalog, ["persons", "jobs"], joins=[join], selections=[selection]
+    )
+    twice = make_query(
+        catalog,
+        ["persons", "jobs"],
+        joins=[join],
+        selections=[selection, selection],
+    )
+    assert canonical_query_key(once) != canonical_query_key(twice)
+
+
+def test_canonical_key_distinguishes_catalogs():
+    spec_a = demo_query(demo_catalog())
+    spec_b = demo_query(demo_catalog())
+    assert canonical_query_key(spec_a) != canonical_query_key(spec_b)
+
+
+# -- the session ---------------------------------------------------------------
+
+
+def test_prepared_cache_hits_on_structurally_equivalent_queries():
+    catalog = demo_catalog()
+    session = OptimizationSession(catalog)
+    session.optimize(demo_query(catalog, "alice", name="qa"))
+    session.optimize(demo_query(catalog, "bob", name="qb"))
+    stats = session.statistics()
+    assert stats.queries == 2
+    assert stats.prepared.misses == 1
+    assert stats.prepared.hits == 1
+    assert stats.prepared_entries == 1
+    # Different constants are different *plans*: both were generated.
+    assert stats.plans.hits == 0
+    assert stats.plans.misses == 2
+
+
+def test_plan_cache_returns_cached_result_for_identical_query():
+    catalog = demo_catalog()
+    session = OptimizationSession(catalog)
+    first = session.optimize(demo_query(catalog, "alice"))
+    second = session.optimize(demo_query(catalog, "alice"))
+    assert second is first
+    stats = session.statistics()
+    assert stats.plans.hits == 1
+    assert stats.prepared.misses == 1  # preparation ran exactly once
+
+
+def test_prepared_cache_eviction_at_capacity():
+    config = SessionConfig(prepared_cache_size=1, plan_cache_size=0)
+    session = OptimizationSession(config=config)
+    one, two = template_workload(n_templates=2, repeats=1)
+    session.optimize(one)
+    session.optimize(two)  # evicts one's prepared state
+    session.optimize(one)  # cold again
+    stats = session.statistics()
+    assert stats.prepared.misses == 3
+    assert stats.prepared.hits == 0
+    assert stats.prepared.evictions == 2
+    assert stats.prepared_entries == 1
+
+
+def test_batch_returns_plans_identical_to_one_by_one():
+    specs = template_workload(n_templates=2, repeats=3)
+    batched = OptimizationSession().optimize_batch(specs)
+    singly = [OptimizationSession().optimize(spec) for spec in specs]
+    assert len(batched) == len(singly) == 6
+    for via_batch, via_single in zip(batched, singly):
+        assert via_batch.best_plan.cost == via_single.best_plan.cost
+        assert via_batch.best_plan.explain() == via_single.best_plan.explain()
+
+
+def test_cached_preparation_and_cold_preparation_agree_on_plans():
+    specs = template_workload(n_templates=1, repeats=3)
+    cached = OptimizationSession().optimize_batch(specs)
+    uncached_session = OptimizationSession(
+        config=SessionConfig(prepared_cache_size=0, plan_cache_size=0)
+    )
+    uncached = uncached_session.optimize_batch(specs)
+    assert uncached_session.statistics().prepared.hits == 0
+    for a, b in zip(cached, uncached):
+        assert a.best_plan.cost == b.best_plan.cost
+        assert a.best_plan.explain() == b.best_plan.explain()
+
+
+def test_template_variants_share_one_preparation():
+    session = OptimizationSession()
+    specs = template_workload(n_templates=3, repeats=4)
+    session.optimize_batch(specs)
+    stats = session.statistics()
+    assert stats.prepared.misses == 3  # one per template
+    assert stats.prepared.hits == 9  # every repeat
+    assert stats.plans.hits == 0  # constants differ: no plan reuse
+
+
+def test_statistics_are_snapshots():
+    catalog = demo_catalog()
+    session = OptimizationSession(catalog)
+    before = session.statistics()
+    session.optimize(demo_query(catalog))
+    assert before.queries == 0
+    assert before.prepared.misses == 0
+    assert session.statistics().prepared.misses == 1
+
+
+def test_clear_caches_makes_next_query_cold():
+    catalog = demo_catalog()
+    session = OptimizationSession(catalog)
+    session.optimize(demo_query(catalog))
+    session.clear_caches()
+    session.optimize(demo_query(catalog))
+    stats = session.statistics()
+    assert stats.plans.hits == 0
+    assert stats.prepared.misses == 2
+
+
+def test_session_rejects_foreign_catalog():
+    session = OptimizationSession(demo_catalog())
+    with pytest.raises(ValueError, match="different catalog"):
+        session.optimize(demo_query(demo_catalog()))
+
+
+def test_fsm_backend_factory_gets_session_preparer():
+    catalog = demo_catalog()
+    session = OptimizationSession(
+        catalog, backend_factory=lambda: FsmBackend(use_dominance=False)
+    )
+    session.optimize(demo_query(catalog, "alice"))
+    session.optimize(demo_query(catalog, "bob"))
+    assert session.statistics().prepared.hits == 1
+
+
+def test_simmen_backend_bypasses_prepared_cache():
+    catalog = demo_catalog()
+    session = OptimizationSession(catalog, backend_factory=SimmenBackend)
+    session.optimize(demo_query(catalog, "alice"))
+    session.optimize(demo_query(catalog, "bob"))
+    stats = session.statistics()
+    assert stats.prepared.lookups == 0
+    assert stats.queries == 2
+
+
+# -- the injection seams the session is built on -------------------------------
+
+
+def test_fsm_backend_uses_injected_preparer():
+    catalog = demo_catalog()
+    spec = demo_query(catalog)
+    info = analyze(spec)
+    prepared = OrderOptimizer.prepare(info.interesting, info.fdsets)
+    calls = []
+
+    def preparer(got_info):
+        calls.append(got_info)
+        return prepared
+
+    backend = FsmBackend(preparer=preparer)
+    result = PlanGenerator(spec, backend).run()
+    assert backend.optimizer is prepared
+    assert calls and calls[0] is result.info
+
+
+def test_dominance_relation_is_memoized_on_cached_component():
+    catalog = demo_catalog()
+    session = OptimizationSession(
+        catalog, backend_factory=lambda: FsmBackend(use_dominance=True)
+    )
+    session.optimize(demo_query(catalog, "alice"))
+    info = analyze(demo_query(catalog, "bob"))
+    cached = session._cached_prepare(info, session.config.builder_options)
+    first = cached.simulation_dominance_relation()
+    assert cached.simulation_dominance_relation() is first
+    session.optimize(demo_query(catalog, "bob"))
+    assert session.statistics().prepared.hits >= 1
+
+
+def test_plan_generator_uses_injected_info():
+    catalog = demo_catalog()
+    spec = demo_query(catalog)
+    info = analyze(spec)
+    result = PlanGenerator(spec, FsmBackend(), info=info).run()
+    assert result.info is info
+    baseline = PlanGenerator(spec, FsmBackend()).run()
+    assert result.best_plan.cost == baseline.best_plan.cost
+
+
+def test_template_variants_only_differ_in_constants():
+    specs = template_variants(template_workload(1, 1)[0], 3, value_prefix="x")
+    values = set()
+    for spec in specs:
+        assert spec.joins == specs[0].joins
+        assert spec.relations == specs[0].relations
+        values.add(spec.selections[-1].value)
+    assert len(values) == 3

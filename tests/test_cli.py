@@ -64,3 +64,42 @@ def test_q8(capsys):
     out = capsys.readouterr().out
     assert "with pruning" in out
     assert "fsm" in out
+
+
+def test_batch_random_two_passes(capsys):
+    assert main(["batch", "--templates", "2", "--repeats", "3", "--passes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "6 query(ies)" in out
+    assert "prepared cache" in out
+    # 2 preparations, 4 template-repeat hits on the cold pass; the warm pass
+    # serves all 6 queries from the plan cache.
+    assert "4 hit(s), 2 miss(es)" in out
+    assert "6 hit(s), 6 miss(es)" in out
+
+
+def test_batch_tpch_no_cache(capsys):
+    assert main(["batch", "--workload", "tpch", "--passes", "1", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "4 query(ies)" in out
+    assert "0 hit(s)" in out
+
+
+def test_serve_reports_cache_sources(capsys, monkeypatch):
+    import io
+
+    lines = (
+        "select * from persons, jobs where persons.jobid = jobs.id "
+        "and persons.name = 'alice' order by jobs.id\n"
+        "select * from persons, jobs where persons.jobid = jobs.id "
+        "and persons.name = 'bob' order by jobs.id\n"
+        "\\stats\n"
+        "select nothing valid here\n"
+        "\\quit\n"
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    assert main(["serve"]) == 0
+    out = capsys.readouterr().out
+    assert "[cold]" in out
+    assert "[prepared cache]" in out  # same template, different constant
+    assert "error:" in out  # a bad query must not kill the loop
+    assert "queries optimized : 2" in out
