@@ -1,0 +1,132 @@
+"""Experiment: single-shard vs. sharded batch throughput.
+
+The serving north star needs the optimizer to scale *out*, not just
+amortize.  This experiment runs the same template-repeated workload
+through
+
+* one plain ``OptimizationSession`` (the PR-1 baseline),
+* a ``SessionPool`` with 1 shard (facade overhead, no parallelism),
+* a ``SessionPool`` with 4 shards (thread path: correctness + isolation;
+  the GIL caps CPU parallelism for pure-python plan generation),
+* ``process_batch`` with 4 workers (the CPU-bound path: real cores).
+
+and records queries/second for each.  Expected shape: the thread pool
+tracks the single session (its win is concurrency isolation, not speed);
+the process pool multiplies throughput with the available cores — the ≥2×
+acceptance bar is *asserted* only on paper-scale runs (``REPRO_BENCH_FULL=1``)
+with ≥4 CPUs; every run records the measured numbers, and on capped
+hardware the report documents the cap (a 1-CPU container cannot 2× a
+CPU-bound batch, no matter the architecture; a shared CI vCPU must not
+fail the build on a noisy neighbour).
+"""
+
+import os
+
+from repro.bench import bench_full, format_table, report, timed
+from repro.service import OptimizationSession, SessionPool, process_batch
+from repro.workloads import GeneratorConfig, template_workload
+
+N_TEMPLATES = 16 if bench_full() else 8
+REPEATS = 2
+N_RELATIONS = 6 if bench_full() else 5
+WORKERS = 4
+
+
+def workload():
+    # Preparation-heavy: many distinct templates, few repeats — the regime
+    # where extra cores can actually buy back cold-batch work.
+    return template_workload(
+        n_templates=N_TEMPLATES,
+        repeats=REPEATS,
+        base_config=GeneratorConfig(n_relations=N_RELATIONS),
+    )
+
+
+def test_pool_scaling(benchmark):
+    specs = workload()
+    cpus = os.cpu_count() or 1
+
+    def sweep():
+        with timed() as t_single:
+            single = OptimizationSession().optimize_batch(specs)
+        with SessionPool(n_shards=1) as one_shard:
+            with timed() as t_one:
+                pooled_one = one_shard.optimize_batch(specs)
+        with SessionPool(n_shards=WORKERS) as sharded:
+            with timed() as t_sharded:
+                pooled = sharded.optimize_batch(specs)
+        with timed() as t_proc:
+            processed, _ = process_batch(specs, workers=WORKERS)
+        return (
+            (t_single.ms, t_one.ms, t_sharded.ms, t_proc.ms),
+            (single, pooled_one, pooled, processed),
+        )
+
+    times, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t_single, t_one, t_sharded, t_proc = times
+    single, pooled_one, pooled, processed = results
+
+    # Sharding must never change the answer — only where it is computed.
+    reference = [r.best_plan.cost for r in single]
+    for contender in (pooled_one, pooled, processed):
+        assert [r.best_plan.cost for r in contender] == reference
+
+    def row(label, ms):
+        qps = len(specs) / (ms / 1000.0) if ms else float("inf")
+        return (label, f"{ms:.1f}", f"{qps:,.0f}", f"{t_single / ms:.2f}x")
+
+    rows = [
+        row("single session", t_single),
+        row("pool, 1 shard", t_one),
+        row(f"pool, {WORKERS} shards (threads)", t_sharded),
+        row(f"process pool, {WORKERS} workers", t_proc),
+    ]
+    speedup = t_single / t_proc if t_proc else float("inf")
+    # Timing *assertions* only run on paper-scale, dedicated-machine runs:
+    # tier-1 CI collects this file too, and a noisy shared vCPU must be
+    # able to record a slow number without failing the build.
+    enforce_timings = bench_full() and cpus >= WORKERS
+    if cpus >= WORKERS:
+        verdict = (
+            f"{cpus} CPUs available: process path "
+            f"{'must clear' if enforce_timings else 'is measured against'} "
+            f"the 2x bar (measured {speedup:.2f}x)"
+        )
+    else:
+        verdict = (
+            f"hardware caps scaling: only {cpus} CPU(s) visible to this "
+            f"run, so a CPU-bound batch cannot scale past 1x regardless "
+            f"of worker count (measured {speedup:.2f}x with {WORKERS} "
+            "workers); rerun on >=4 cores for the 2x acceptance bar"
+        )
+    text = report(
+        "pool_scaling",
+        f"Batch throughput, {N_TEMPLATES} templates x {REPEATS} constants, "
+        f"{WORKERS} workers, {cpus} CPU(s)",
+        format_table(("configuration", "ms", "queries/s", "speedup"), rows)
+        + "\n\n"
+        + verdict,
+    )
+    print("\n" + text)
+
+    if enforce_timings:
+        assert speedup >= 2.0, verdict
+        # The thread facade must stay in the same league as the bare
+        # session — its job is safe concurrency, not batch speed (GIL).
+        # Generous bound: guards pathological dispatch overhead only.
+        assert t_sharded < t_single * 3.0
+
+
+def test_sharded_pool_preserves_amortization(benchmark):
+    """Sharding must not fragment the prepared-state cache: exactly one
+    preparation per template, wherever the template landed."""
+
+    def run():
+        with SessionPool(n_shards=WORKERS) as pool:
+            pool.optimize_batch(workload())
+            return pool.statistics()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.prepared.misses == N_TEMPLATES
+    assert stats.prepared.hits == N_TEMPLATES * (REPEATS - 1)
+    assert stats.plans.misses == N_TEMPLATES * REPEATS

@@ -10,9 +10,9 @@ The most common entry points are re-exported here:
   >>> from repro import ordering, FDSet, Equation, InterestingOrders, OrderOptimizer
 
 * the service layer (optimize many queries with shared-preparation
-  caching) —
+  caching; shard across workers for concurrent serving) —
 
-  >>> from repro import OptimizationSession
+  >>> from repro import OptimizationSession, SessionPool
 """
 
 from .core import (
@@ -36,9 +36,14 @@ from .core import (
     ordering,
     preparation_fingerprint,
 )
-from .service import OptimizationSession, SessionConfig, SessionStatistics
+from .service import (
+    OptimizationSession,
+    SessionConfig,
+    SessionPool,
+    SessionStatistics,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
@@ -62,6 +67,7 @@ __all__ = [
     "omega",
     "OptimizationSession",
     "SessionConfig",
+    "SessionPool",
     "SessionStatistics",
     "__version__",
 ]

@@ -10,12 +10,17 @@ Commands:
                          — show the preparation phase for a query: interesting
                            orders, FD sets, NFSM/DFSM sizes;
 * ``sweep [--max-n N]``  — a miniature Figure 13 sweep;
-* ``batch``              — optimize a whole workload through an
-                           :class:`OptimizationSession` and report cache
+* ``batch``              — optimize a whole workload and report cache
                            statistics (cold/warm passes via ``--passes``);
-* ``serve``              — line-oriented serving loop: read SQL from stdin,
-                           answer with plans, keep caches warm across queries
-                           (``\\stats`` prints counters, ``\\quit`` exits).
+                           ``--workers N`` shards it across a
+                           :class:`SessionPool`, ``--mode process`` runs the
+                           cold batch on a process pool;
+* ``serve``              — serve plans with warm caches.  Without ``--port``:
+                           a line-oriented stdin loop (``\\stats`` prints
+                           counters, ``\\quit`` exits).  With ``--port P``:
+                           an asyncio line-protocol server answering
+                           concurrent clients, sharded over ``--workers N``
+                           sessions.
 """
 
 from __future__ import annotations
@@ -30,7 +35,13 @@ from .core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
 from .plangen import FsmBackend, PlanGenerator, SimmenBackend
 from .query.analyzer import analyze
 from .query.sql import sql_to_query
-from .service import OptimizationSession, SessionConfig
+from .service import (
+    OptimizationSession,
+    SessionConfig,
+    SessionPool,
+    process_batch,
+    run_server,
+)
 from .workloads import (
     ALL_TPCH_QUERIES,
     GeneratorConfig,
@@ -155,23 +166,72 @@ def _batch_workload(args: argparse.Namespace) -> list:
     )
 
 
+def _cmd_batch_processes(args: argparse.Namespace, specs: list, config) -> int:
+    """The ``--mode process`` path: every pass is a cold process-pool batch."""
+    from .service import SessionStatistics
+
+    totals = SessionStatistics()
+    rows = []
+    for pass_no in range(1, args.passes + 1):
+        with timed() as sw:
+            results, stats = process_batch(
+                specs, workers=args.workers, config=config
+            )
+        totals = totals.add(stats)
+        generated = sum(r.stats.plans_created for r in results)
+        rows.append(
+            (
+                pass_no,
+                len(results),
+                f"{sw.ms:.1f}",
+                stats.prepared.hits,
+                stats.prepared.misses,
+                stats.plans.hits,
+                f"{generated:,}",
+            )
+        )
+    print(
+        f"workload: {len(specs)} query(ies) ({args.workload}), "
+        f"{args.passes} pass(es), {args.workers} worker process(es) "
+        "(workers are ephemeral: every pass is cold)"
+    )
+    print(
+        format_table(
+            ("pass", "queries", "ms", "prep hits", "prep miss", "plan hits", "#plans"),
+            rows,
+        )
+    )
+    print()
+    print(totals.describe())
+    return 0
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     specs = _batch_workload(args)
     config = SessionConfig(
         prepared_cache_size=0 if args.no_cache else 128,
         plan_cache_size=0 if args.no_cache else 512,
     )
-    session = OptimizationSession(config=config)
+    if args.mode == "process":
+        # Even with one worker: process mode means ephemeral cold sessions,
+        # not the warm thread path (process_batch handles workers=1 itself).
+        return _cmd_batch_processes(args, specs, config)
+    # Thread path: a SessionPool behaves exactly like a session (that is the
+    # point); with one worker, use the session itself.
+    if args.workers > 1:
+        engine = SessionPool(n_shards=args.workers, config=config)
+    else:
+        engine = OptimizationSession(config=config)
     rows = []
     # Results seen in earlier passes came from the plan cache; count a
     # result's plans_created only the first time we meet it.  Keyed by id
     # with the object pinned as the value so ids cannot be recycled.
     served: dict[int, object] = {}
     for pass_no in range(1, args.passes + 1):
-        before = session.statistics()
+        before = engine.statistics()
         with timed() as sw:
-            results = session.optimize_batch(specs)
-        after = session.statistics()
+            results = engine.optimize_batch(specs)
+        after = engine.statistics()
         generated = sum(
             r.stats.plans_created for r in results if id(r) not in served
         )
@@ -187,7 +247,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 f"{generated:,}",
             )
         )
-    print(f"workload: {len(specs)} query(ies) ({args.workload}), {args.passes} pass(es)")
+    workers = f", {args.workers} shard(s)" if args.workers > 1 else ""
+    print(
+        f"workload: {len(specs)} query(ies) ({args.workload}), "
+        f"{args.passes} pass(es){workers}"
+    )
     print(
         format_table(
             ("pass", "queries", "ms", "prep hits", "prep miss", "plan hits", "#plans"),
@@ -195,16 +259,25 @@ def cmd_batch(args: argparse.Namespace) -> int:
         )
     )
     print()
-    print(session.statistics().describe())
+    print(engine.statistics().describe())
+    if isinstance(engine, SessionPool):
+        engine.close()
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     catalog = _resolve_catalog(args.catalog)
-    session = OptimizationSession(catalog)
+    if args.port is not None:
+        pool = run_server(
+            catalog, host=args.host, port=args.port, n_shards=args.workers
+        )
+        print(pool.shard_statistics(drain=False).describe())
+        return 0
+    pool = SessionPool(catalog, n_shards=args.workers)
     print(
-        f"serving catalog {args.catalog!r} — one SQL statement per line, "
-        "\\stats for cache counters, \\quit (or EOF) to exit"
+        f"serving catalog {args.catalog!r} with {args.workers} shard(s) — "
+        "one SQL statement per line, \\stats for cache counters, "
+        "\\quit (or EOF) to exit"
     )
     for line in sys.stdin:
         line = line.strip().rstrip(";")
@@ -213,16 +286,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if line in ("\\quit", "\\q"):
             break
         if line == "\\stats":
-            print(session.statistics().describe())
+            print(pool.statistics().describe())
             continue
-        before = session.statistics()
+        before = pool.statistics()
         try:
             with timed() as sw:
-                result = session.optimize(sql_to_query(line, catalog))
+                result = pool.optimize(sql_to_query(line, catalog))
         except Exception as error:  # serving must survive a bad query
             print(f"error: {error}")
             continue
-        after = session.statistics()
+        after = pool.statistics()
         if after.plans.hits > before.plans.hits:
             source = "plan cache"
         elif after.prepared.hits > before.prepared.hits:
@@ -234,7 +307,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"-- cost {result.best_plan.cost:,.0f}, "
             f"{result.stats.plans_created} plans, {sw.ms:.1f} ms [{source}]"
         )
-    print(session.statistics().describe())
+    print(pool.statistics().describe())
+    pool.close()
     return 0
 
 
@@ -283,12 +357,33 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--no-cache", action="store_true", help="disable both caches (baseline)"
     )
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the workload across N sessions (thread mode) or N "
+        "worker processes (process mode)",
+    )
+    batch.add_argument(
+        "--mode", default="thread", choices=("thread", "process"),
+        help="thread: SessionPool shards with warm caches; process: "
+        "ProcessPoolExecutor for CPU-bound cold batches",
+    )
     batch.set_defaults(fn=cmd_batch)
 
     serve = sub.add_parser(
-        "serve", help="read SQL from stdin, serve plans with warm caches"
+        "serve",
+        help="serve plans with warm caches (stdin loop, or a network "
+        "server with --port)",
     )
     serve.add_argument("--catalog", default="demo", help="demo | tpch")
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="number of session shards serving the traffic",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve an asyncio line protocol on this port instead of stdin",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
     serve.set_defaults(fn=cmd_serve)
 
     return parser

@@ -9,9 +9,14 @@ NFSM/DFSM build) and a plan cache (keyed by the canonicalized query spec).
 See :mod:`repro.service.session` for the exact cache-key semantics and
 :class:`repro.service.cache.LRUCache` for the eviction policy/statistics.
 
-This is the seam future scaling work (sharding, async serving,
-multi-backend routing) plugs into: everything above it sees only
-``optimize`` / ``optimize_batch``.
+Concurrent serving is layered on top without touching the session:
+:class:`repro.service.pool.SessionPool` shards query traffic across N
+single-owner sessions by preparation fingerprint (each prepared DFSM lives
+in exactly one shard; caches stay lock-free), offers a thread-safe
+``optimize``/``optimize_batch``/``submit`` facade with aggregated
+statistics, and a :func:`repro.service.pool.process_batch` path for
+CPU-bound cold batches.  :class:`repro.service.server.PlanServer` serves
+the pool to concurrent network clients over an asyncio line protocol.
 
 Quickstart::
 
@@ -29,10 +34,13 @@ Quickstart::
 """
 
 from .cache import CacheStats, LRUCache
+from .pool import SessionPool, process_batch
+from .server import PlanServer, run_server
 from .session import (
     OptimizationSession,
     SessionConfig,
     SessionStatistics,
+    analyze_for_config,
     canonical_query_key,
 )
 
@@ -40,7 +48,12 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "OptimizationSession",
+    "PlanServer",
     "SessionConfig",
+    "SessionPool",
     "SessionStatistics",
+    "analyze_for_config",
     "canonical_query_key",
+    "process_batch",
+    "run_server",
 ]

@@ -6,10 +6,17 @@ cache sound is its *key* (see :mod:`repro.service.session` for the key
 semantics).  Capacity 0 disables a cache entirely: every lookup is a miss
 and nothing is ever stored, which gives an honest "caching off" baseline
 for the benchmarks without a second code path.
+
+Concurrency: caches are intentionally lock-free and therefore single-owner.
+The supported concurrent path is :class:`repro.service.pool.SessionPool`,
+which shards sessions by preparation fingerprint so each cache is only ever
+touched by its shard's worker thread; ``check_owner=True`` asserts that
+ownership discipline at runtime.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Iterator, TypeVar
@@ -24,6 +31,14 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+
+    def add(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum (aggregating per-shard counters)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
 
     @property
     def lookups(self) -> int:
@@ -48,19 +63,48 @@ class LRUCache(Generic[V]):
 
     ``get`` counts a hit or a miss and refreshes recency; ``put`` inserts
     (or refreshes) and evicts the least recently used entry when the
-    capacity is exceeded.  Not thread-safe — a session is a single-threaded
-    object; concurrent serving should shard sessions (see ROADMAP).
+    capacity is exceeded.  Not thread-safe, deliberately: a session is a
+    single-owner object, and the concurrent path is
+    :class:`repro.service.pool.SessionPool`, which shards whole sessions
+    (one dedicated worker thread per shard) so every cache stays
+    single-threaded and lock-free.
+
+    ``check_owner=True`` turns the convention into an enforced invariant:
+    the first mutating access (``get``/``put``/``clear``) binds the cache to
+    the calling thread and any later mutating access from a different
+    thread raises ``RuntimeError``.  The pool enables this on its shard
+    sessions; direct :class:`~repro.service.session.OptimizationSession`
+    users can opt in via ``SessionConfig(enforce_single_owner=True)``.
+    Read-only introspection (``len``, ``in``, ``keys``, ``stats``) is not
+    checked — statistics snapshots are taken from the facade thread.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, check_owner: bool = False) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, V] = OrderedDict()
+        self._check_owner = check_owner
+        self._owner: int | None = None
+
+    def _assert_owner(self) -> None:
+        if not self._check_owner:
+            return
+        ident = threading.get_ident()
+        if self._owner is None:
+            self._owner = ident
+        elif self._owner != ident:
+            raise RuntimeError(
+                "LRUCache is single-owner (bound to the thread of its first "
+                "access); route concurrent traffic through "
+                "repro.service.pool.SessionPool instead of sharing a session "
+                "across threads"
+            )
 
     def get(self, key: Hashable) -> V | None:
         """Look up ``key``, counting a hit or miss; hits become most recent."""
+        self._assert_owner()
         try:
             value = self._entries[key]
         except KeyError:
@@ -72,6 +116,7 @@ class LRUCache(Generic[V]):
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert ``key``; evicts the LRU entry beyond capacity."""
+        self._assert_owner()
         if self.capacity == 0:
             return
         if key in self._entries:
@@ -91,6 +136,7 @@ class LRUCache(Generic[V]):
 
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""
+        self._assert_owner()
         self._entries.clear()
 
     def __len__(self) -> int:

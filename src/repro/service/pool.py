@@ -1,0 +1,289 @@
+"""Sharded concurrent serving: a pool of single-owner optimization sessions.
+
+:class:`repro.service.session.OptimizationSession` is deliberately
+single-threaded — its LRU caches are lock-free.  This module scales it out
+without adding a single lock to the hot path:
+
+**Shard-by-fingerprint.**  A :class:`SessionPool` owns ``n_shards``
+sessions, each bound to a dedicated worker thread (a one-thread executor).
+A query is routed by hashing the canonical
+:class:`~repro.core.optimizer.PreparationFingerprint` of its preparation
+input: every structurally equivalent query — the same template with
+different constants — lands on the same shard, so each prepared DFSM is
+built exactly once, lives in exactly one shard, and is only ever touched by
+that shard's thread.  The caches therefore need no locks (the shard
+sessions are created with ``enforce_single_owner=True``, which *asserts*
+that discipline rather than assuming it).  Routing requires the query
+analysis, which the pool performs in the calling thread and hands to the
+session, so no work is repeated.
+
+**Thread facade.**  ``optimize`` / ``optimize_batch`` are safe to call from
+any number of client threads: they submit to the shard executors and block
+on the future.  ``submit`` exposes the future itself for async callers (the
+line-protocol server awaits it via ``asyncio.wrap_future``).  Statistics
+are aggregated over shards; per-shard counters are only mutated by the
+owning shard thread, so sums taken at quiescence are exact (no lost
+updates).
+
+**Process path.**  For CPU-bound *cold* batches the GIL makes threads a
+correctness-only device; :func:`process_batch` partitions a workload over a
+``ProcessPoolExecutor`` with the same fingerprint routing (template
+variants stay together, preserving the amortization inside each worker).
+It requires query specs, prepared optimizer state, and plan results to be
+picklable — guarded by ``tests/service/test_pool.py``.  Worker processes
+cannot receive a live ``backend_factory`` closure, so the process path
+names its backend (``"fsm"`` / ``"simmen"``) and each worker builds a fresh
+session around it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+from ..catalog.schema import Catalog
+from ..core.optimizer import preparation_fingerprint
+from ..plangen.backends import FsmBackend, OrderingBackend, SimmenBackend
+from ..plangen.cost import DEFAULT_COST_MODEL, CostModel
+from ..plangen.dp import PlanGenResult
+from ..query.analyzer import QueryOrderInfo
+from ..query.query import QuerySpec
+from .session import (
+    OptimizationSession,
+    SessionConfig,
+    SessionStatistics,
+    analyze_for_config,
+)
+
+
+class SessionPool:
+    """Shard query traffic across N single-owner optimization sessions.
+
+    >>> from repro.workloads import template_workload
+    >>> pool = SessionPool(n_shards=2)
+    >>> results = pool.optimize_batch(template_workload(2, 2))
+    >>> pool.statistics().queries
+    4
+    >>> pool.close()
+
+    The pool is a context manager (``with SessionPool() as pool: ...``);
+    ``close`` drains the shard executors.  Plans are identical to a
+    single-threaded session run — sharding changes *where* a query is
+    answered, never the answer (guarded by the concurrency stress test).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        *,
+        n_shards: int = 4,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        backend_factory: Callable[[], OrderingBackend] | None = None,
+        config: SessionConfig = SessionConfig(),
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self.config = replace(config, enforce_single_owner=True)
+        self._sessions = [
+            OptimizationSession(
+                catalog,
+                cost_model=cost_model,
+                backend_factory=backend_factory,
+                config=self.config,
+            )
+            for _ in range(n_shards)
+        ]
+        self._executors = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shard-{i}")
+            for i in range(n_shards)
+        ]
+        self._closed = False
+
+    # -- routing --------------------------------------------------------------
+
+    def shard_of(self, info: QueryOrderInfo) -> int:
+        """Shard index of an analyzed query: hash of its fingerprint.
+
+        The fingerprint digest is a stable hex string (sha256 prefix), so
+        routing is deterministic across runs and across processes — the
+        process path reuses it to partition batches.
+        """
+        fingerprint = preparation_fingerprint(
+            info.interesting, info.fdsets, self.config.builder_options
+        )
+        return int(fingerprint.digest(), 16) % self.n_shards
+
+    # -- the service API ------------------------------------------------------
+
+    def submit(self, spec: QuerySpec) -> "Future[PlanGenResult]":
+        """Route one query to its shard; returns the shard's future.
+
+        Analysis (cheap, stateless) runs in the calling thread; everything
+        that touches a cache runs on the shard's own thread.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        info = analyze_for_config(spec, self.config)
+        shard = self.shard_of(info)
+        return self._executors[shard].submit(
+            self._sessions[shard].optimize, spec, info=info
+        )
+
+    def optimize(self, spec: QuerySpec) -> PlanGenResult:
+        """Optimize one query (blocking thread-safe facade)."""
+        return self.submit(spec).result()
+
+    def optimize_batch(self, specs: Iterable[QuerySpec]) -> list[PlanGenResult]:
+        """Optimize a workload, fanning out across shards.
+
+        Results come back in input order; distinct templates proceed in
+        parallel on their shards while same-template queries are serialized
+        behind their shard's thread (which is what keeps caches lock-free).
+        """
+        return [future.result() for future in [self.submit(s) for s in specs]]
+
+    # -- introspection / lifecycle --------------------------------------------
+
+    def statistics(self) -> SessionStatistics:
+        """Aggregated counters over all shards."""
+        return self.shard_statistics(drain=True)
+
+    def shard_statistics(self, *, drain: bool = True) -> SessionStatistics:
+        """Aggregated counters, optionally drained behind in-flight work.
+
+        With ``drain=True`` (default) each snapshot is taken *on* its shard
+        thread, queued behind any in-flight queries, so the sums are exact:
+        counters are only ever mutated by the owning shard thread, which
+        makes the aggregation free of lost updates by construction.
+        ``drain=False`` reads concurrently — a cheap, possibly mid-query
+        glimpse for monitoring.
+        """
+        if drain and not self._closed:
+            snapshots = [
+                executor.submit(session.statistics).result()
+                for executor, session in zip(self._executors, self._sessions)
+            ]
+        else:
+            snapshots = [session.statistics() for session in self._sessions]
+        total = SessionStatistics()
+        for snapshot in snapshots:
+            total = total.add(snapshot)
+        return total
+
+    def clear_caches(self) -> None:
+        """Drop all cached state on every shard (on the shard threads)."""
+        for future in [
+            executor.submit(session.clear_caches)
+            for executor, session in zip(self._executors, self._sessions)
+        ]:
+            future.result()
+
+    def close(self) -> None:
+        """Drain and shut down the shard executors (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the process path ----------------------------------------------------------
+
+#: Backends the process path can name across a pickle boundary.  ``None``
+#: (the default) is the session's own default: a cache-wired FsmBackend.
+PROCESS_BACKENDS: dict[str, Callable[[], OrderingBackend]] = {
+    "fsm": FsmBackend,
+    "simmen": SimmenBackend,
+}
+
+
+def _optimize_chunk(
+    payload: tuple[
+        list[tuple[QuerySpec, QueryOrderInfo]], SessionConfig, str | None
+    ]
+) -> tuple[list[PlanGenResult], SessionStatistics]:
+    """Worker entry: one fresh session optimizes one fingerprint-chunk.
+
+    Top-level (picklable) by necessity.  The chunk arrives as one object
+    graph, so specs sharing a catalog or template pickle it once; each spec
+    travels with the analysis the parent already ran for routing, so
+    workers never repeat it.
+    """
+    analyzed, config, backend_name = payload
+    factory = PROCESS_BACKENDS[backend_name] if backend_name else None
+    session = OptimizationSession(config=config, backend_factory=factory)
+    results = [session.optimize(spec, info=info) for spec, info in analyzed]
+    return results, session.statistics()
+
+
+def process_batch(
+    specs: Sequence[QuerySpec],
+    *,
+    workers: int | None = None,
+    config: SessionConfig = SessionConfig(),
+    backend: str | None = None,
+) -> tuple[list[PlanGenResult], SessionStatistics]:
+    """Optimize a cold batch on a process pool; returns (results, stats).
+
+    Queries are partitioned by preparation-fingerprint hash — the same
+    routing the thread pool uses — so all variants of a template land in
+    one worker and are served from that worker's prepared-state cache.
+    Results are returned in input order; statistics are the sum over
+    workers.  Unlike :class:`SessionPool` the workers are ephemeral:
+    nothing stays warm after the call, which is why this path targets
+    *cold* CPU-bound batches (then the preparation work itself is what the
+    extra cores buy back).
+    """
+    specs = list(specs)
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    if backend is not None and backend not in PROCESS_BACKENDS:
+        raise ValueError(
+            f"unknown process backend {backend!r}; "
+            f"available: {', '.join(sorted(PROCESS_BACKENDS))}"
+        )
+
+    analyzed = [(spec, analyze_for_config(spec, config)) for spec in specs]
+    chunks: list[list[int]] = [[] for _ in range(workers)]
+    for index, (_, info) in enumerate(analyzed):
+        fingerprint = preparation_fingerprint(
+            info.interesting, info.fdsets, config.builder_options
+        )
+        chunks[int(fingerprint.digest(), 16) % workers].append(index)
+    occupied = [chunk for chunk in chunks if chunk]
+
+    if len(occupied) <= 1 or workers == 1:
+        # Nothing to parallelize — skip the fork entirely.
+        results, stats = _optimize_chunk((analyzed, config, backend))
+        return results, stats
+
+    ordered: list[PlanGenResult | None] = [None] * len(specs)
+    totals = SessionStatistics()
+    with ProcessPoolExecutor(max_workers=min(workers, len(occupied))) as pool:
+        futures = [
+            (
+                chunk,
+                pool.submit(
+                    _optimize_chunk,
+                    ([analyzed[i] for i in chunk], config, backend),
+                ),
+            )
+            for chunk in occupied
+        ]
+        for chunk, future in futures:
+            results, stats = future.result()
+            totals = totals.add(stats)
+            for index, result in zip(chunk, results):
+                ordered[index] = result
+    return [r for r in ordered if r is not None], totals

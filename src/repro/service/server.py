@@ -1,0 +1,186 @@
+"""Asyncio line-protocol plan server over a sharded session pool.
+
+Replaces the blocking stdin ``serve`` loop for network traffic: an
+:class:`asyncio` server accepts any number of concurrent client
+connections; each line is one request, each response is a newline-framed
+block terminated by a single blank line, so clients can stream requests
+without knowing response lengths up front.
+
+Protocol (text, one request per line):
+
+* ``<SQL statement>``  — answered with the plan tree followed by a
+  ``-- cost ..., N plans, M ms`` trailer;
+* ``\\stats``          — aggregated pool statistics;
+* ``\\quit`` / ``\\q`` — close this connection (EOF does the same);
+* anything that fails to parse/bind/optimize is answered with a single
+  ``error: ...`` line — a bad query must never take the server down.
+
+Every response, including errors, ends with one empty line (the frame
+terminator).  The event loop never runs optimizer work: parsing, analysis,
+and plan generation happen on the pool's threads via ``run_in_executor``,
+so a slow query only occupies its shard, not the accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable
+
+from ..bench import timed
+from ..catalog.schema import Catalog
+from ..query.sql import sql_to_query
+from .pool import SessionPool
+
+#: Frame terminator: responses end with exactly one empty line.
+END_OF_RESPONSE = "\n\n"
+
+
+class PlanServer:
+    """Serve plans to concurrent line-protocol clients from one pool.
+
+    >>> # inside a running event loop:
+    >>> # server = PlanServer(pool, catalog)
+    >>> # await server.start(); ...; await server.stop()
+
+    ``port=0`` binds an ephemeral port; the chosen one is in ``.port``
+    after :meth:`start` (which is how the tests avoid collisions).
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool,
+        catalog: Catalog,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.pool = pool
+        self.catalog = catalog
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.connections_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- per-connection loop ---------------------------------------------------
+
+    def _answer(self, line: str) -> str:
+        """Parse, route, optimize, render — runs on an executor thread."""
+        try:
+            with timed() as sw:
+                result = self.pool.optimize(sql_to_query(line, self.catalog))
+        except Exception as error:  # serving must survive a bad query
+            return f"error: {error}"
+        return (
+            f"{result.best_plan.explain()}\n"
+            f"-- cost {result.best_plan.cost:,.0f}, "
+            f"{result.stats.plans_created} plans, {sw.ms:.1f} ms"
+        )
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:  # EOF
+                    break
+                line = raw.decode("utf-8", errors="replace").strip().rstrip(";")
+                if not line:
+                    continue
+                if line in ("\\quit", "\\q"):
+                    break
+                if line == "\\stats":
+                    # The drained snapshot queues behind in-flight queries
+                    # on every shard — keep that wait off the event loop
+                    # too, or one heavy query would freeze all clients.
+                    response = await loop.run_in_executor(
+                        None, lambda: self.pool.statistics().describe()
+                    )
+                else:
+                    # The blocking part (parse + shard round-trip) runs off
+                    # the event loop; concurrent clients interleave freely.
+                    response = await loop.run_in_executor(
+                        None, self._answer, line
+                    )
+                writer.write(response.encode() + END_OF_RESPONSE.encode())
+                await writer.drain()
+        except asyncio.CancelledError:
+            # Loop shutdown while idle in readline(): close quietly; a
+            # connection handler has nobody upstream to propagate to.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+
+def run_server(
+    catalog: Catalog,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 7777,
+    n_shards: int = 4,
+    started: "Callable[[PlanServer], None] | None" = None,
+    shutdown: "threading.Event | None" = None,
+) -> SessionPool:
+    """Blocking entry point for the CLI: serve until interrupted.
+
+    ``started`` is called with the live server once the port is bound
+    (embedders and tests use it to learn an ephemeral port); setting the
+    ``shutdown`` event from any thread stops the server cooperatively —
+    without one, only ``KeyboardInterrupt`` ends the loop.  Returns the
+    (closed) pool so the caller can print final statistics.
+    """
+    pool = SessionPool(catalog, n_shards=n_shards)
+
+    async def main() -> None:
+        server = PlanServer(pool, catalog, host=host, port=port)
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} with {n_shards} "
+            "shard(s) — one SQL statement per line, responses are "
+            "blank-line terminated; \\stats, \\quit"
+        )
+        if started is not None:
+            started(server)
+        try:
+            if shutdown is None:  # pragma: no cover - interactive only
+                await server.serve_forever()
+            else:
+                while not shutdown.is_set():
+                    await asyncio.sleep(0.02)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        pool.close()
+    return pool

@@ -86,13 +86,31 @@ class SessionConfig:
     """Cache sizing and optimizer configuration of one session.
 
     A capacity of 0 disables the corresponding cache (honest baseline for
-    the cold-vs-warm benchmark).
+    the cold-vs-warm benchmark).  ``enforce_single_owner`` makes both
+    caches assert that every mutating access comes from one thread — the
+    discipline :class:`repro.service.pool.SessionPool` relies on (it turns
+    this on for its shard sessions).
     """
 
     prepared_cache_size: int = 128
     plan_cache_size: int = 512
     builder_options: BuilderOptions = BuilderOptions()
     plangen: PlanGenConfig = PlanGenConfig()
+    enforce_single_owner: bool = False
+
+
+def analyze_for_config(spec: QuerySpec, config: SessionConfig) -> QueryOrderInfo:
+    """Run query analysis with exactly the flags ``config`` implies.
+
+    Factored out so the sharded pool can analyze (and fingerprint) a query
+    for routing *before* it reaches a session, and hand the session the
+    finished analysis instead of repeating it.
+    """
+    return analyze(
+        spec,
+        include_tested_selections=config.plangen.include_tested_selections,
+        include_groupings=config.plangen.enable_aggregation,
+    )
 
 
 @dataclass
@@ -104,6 +122,16 @@ class SessionStatistics:
     plans: CacheStats = field(default_factory=CacheStats)
     prepared_entries: int = 0
     plan_entries: int = 0
+
+    def add(self, other: "SessionStatistics") -> "SessionStatistics":
+        """Element-wise sum, for aggregating per-shard statistics."""
+        return SessionStatistics(
+            queries=self.queries + other.queries,
+            prepared=self.prepared.add(other.prepared),
+            plans=self.plans.add(other.plans),
+            prepared_entries=self.prepared_entries + other.prepared_entries,
+            plan_entries=self.plan_entries + other.plan_entries,
+        )
 
     def describe(self) -> str:
         return "\n".join(
@@ -150,12 +178,12 @@ class OptimizationSession:
         self.config = config
         self._backend_factory = backend_factory
         self._prepared: LRUCache[OrderOptimizer] = LRUCache(
-            config.prepared_cache_size
+            config.prepared_cache_size, check_owner=config.enforce_single_owner
         )
         # Plan-cache values keep the spec alive so the id(catalog) component
         # of the key cannot be recycled while the entry is cached.
         self._plans: LRUCache[tuple[QuerySpec, PlanGenResult]] = LRUCache(
-            config.plan_cache_size
+            config.plan_cache_size, check_owner=config.enforce_single_owner
         )
         self._queries = 0
 
@@ -185,8 +213,16 @@ class OptimizationSession:
 
     # -- the service API ------------------------------------------------------
 
-    def optimize(self, spec: QuerySpec) -> PlanGenResult:
-        """Optimize one query, consulting both caches."""
+    def optimize(
+        self, spec: QuerySpec, *, info: QueryOrderInfo | None = None
+    ) -> PlanGenResult:
+        """Optimize one query, consulting both caches.
+
+        ``info`` injects an already-computed analysis (it must come from
+        :func:`analyze_for_config` with this session's config — the sharded
+        pool analyzes once for routing and passes it along); when ``None``
+        the session analyzes on a plan-cache miss, as before.
+        """
         if self.catalog is not None and spec.catalog is not self.catalog:
             raise ValueError(
                 f"query {spec.name} was bound against a different catalog "
@@ -197,11 +233,8 @@ class OptimizationSession:
         hit = self._plans.get(key)
         if hit is not None:
             return hit[1]
-        info = analyze(
-            spec,
-            include_tested_selections=self.config.plangen.include_tested_selections,
-            include_groupings=self.config.plangen.enable_aggregation,
-        )
+        if info is None:
+            info = analyze_for_config(spec, self.config)
         result = PlanGenerator(
             spec,
             self._make_backend(),

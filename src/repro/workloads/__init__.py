@@ -4,6 +4,7 @@ from .generator import (
     GeneratorConfig,
     query_family,
     random_join_query,
+    skewed_client_streams,
     template_variants,
     template_workload,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "GeneratorConfig",
     "random_join_query",
     "query_family",
+    "skewed_client_streams",
     "template_variants",
     "template_workload",
     "q3_query",

@@ -171,6 +171,64 @@ def template_variants(
     return variants
 
 
+def skewed_client_streams(
+    n_clients: int = 8,
+    queries_per_client: int = 25,
+    *,
+    n_templates: int = 4,
+    skew: float = 1.0,
+    repeats: int = 8,
+    base_config: GeneratorConfig | None = None,
+    seed: int = 0,
+) -> list[list[QuerySpec]]:
+    """Per-client query streams with Zipf-skewed template popularity.
+
+    The load shape of real serving traffic: ``n_clients`` independent
+    streams, each drawing ``queries_per_client`` queries whose *template*
+    follows a Zipf(``skew``) distribution (template 0 is hottest;
+    ``skew=0`` is uniform) and whose constant is one of ``repeats``
+    parameter values.  Hot templates are exactly what rewards the sharded
+    pool: every variant of a template routes to one shard and reuses its
+    prepared DFSM.
+
+    Deterministic given ``seed``: the same call produces the same streams,
+    and the flattened concatenation is a valid single-threaded reference
+    workload (the concurrency stress test replays both and compares plans).
+    """
+    if n_clients < 1 or queries_per_client < 0 or n_templates < 1:
+        raise ValueError("need >=1 client, >=0 queries, >=1 template")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    config = base_config or GeneratorConfig()
+    variants_by_template = [
+        template_variants(
+            random_join_query(
+                replace(
+                    config,
+                    seed=seed + t,
+                    relation_prefix=f"T{t}_{config.relation_prefix}",
+                )
+            ),
+            repeats,
+        )
+        for t in range(n_templates)
+    ]
+    # Zipf weights 1/rank^skew, template 0 hottest.
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n_templates)]
+    streams: list[list[QuerySpec]] = []
+    for client in range(n_clients):
+        # Integer-only seed: tuple seeding goes through hash(), which is
+        # randomized across processes and would break determinism.
+        rng = random.Random(seed * 1_000_003 + client)
+        stream = []
+        for _ in range(queries_per_client):
+            template = rng.choices(range(n_templates), weights=weights)[0]
+            variants = variants_by_template[template]
+            stream.append(variants[rng.randrange(len(variants))])
+        streams.append(stream)
+    return streams
+
+
 def template_workload(
     n_templates: int = 4,
     repeats: int = 5,

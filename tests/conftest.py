@@ -1,0 +1,34 @@
+"""Shared test configuration: golden-plan updating, hypothesis profiles.
+
+``--update-golden`` rewrites the plan snapshots under ``tests/golden/``
+instead of comparing against them (see
+``tests/workloads/test_golden_plans.py``).
+
+Hypothesis profiles: ``ci`` is fully deterministic (derandomized, no
+deadline) so the CI property/differential job cannot flake on example
+choice; select it with ``HYPOTHESIS_PROFILE=ci``.  The default profile
+keeps hypothesis's usual randomized exploration for local runs.
+"""
+
+import os
+
+import pytest
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden plan snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,263 @@
+"""Tests for the sharded session pool: routing, concurrency, process path.
+
+The headline test hammers one pool from many client threads with a skewed
+template workload and asserts the answers are bit-identical to a
+single-threaded session replay, and that the aggregated statistics balance
+exactly (single-owner shards make lost updates structurally impossible —
+this test is the regression guard on that construction).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+from repro.service import (
+    LRUCache,
+    OptimizationSession,
+    SessionConfig,
+    SessionPool,
+    analyze_for_config,
+    canonical_query_key,
+    process_batch,
+)
+from repro.workloads import (
+    GeneratorConfig,
+    skewed_client_streams,
+    template_workload,
+)
+
+
+def small_streams(n_clients=8, queries_per_client=12):
+    return skewed_client_streams(
+        n_clients,
+        queries_per_client,
+        n_templates=4,
+        skew=1.0,
+        repeats=5,
+        base_config=GeneratorConfig(n_relations=4),
+    )
+
+
+# -- routing -------------------------------------------------------------------
+
+
+def test_routing_is_deterministic_and_template_stable():
+    specs = template_workload(n_templates=3, repeats=4)
+    with SessionPool(n_shards=4) as pool:
+        shards = [pool.shard_of(analyze_for_config(s, pool.config)) for s in specs]
+        # Same template (4 consecutive variants) -> same shard, always.
+        for t in range(3):
+            assert len(set(shards[t * 4 : (t + 1) * 4])) == 1
+        # And re-routing gives the same answer.
+        assert shards == [
+            pool.shard_of(analyze_for_config(s, pool.config)) for s in specs
+        ]
+
+
+def test_each_prepared_dfsm_lives_in_exactly_one_shard():
+    specs = template_workload(n_templates=6, repeats=3)
+    with SessionPool(n_shards=4) as pool:
+        pool.optimize_batch(specs)
+        per_shard_entries = [len(s._prepared) for s in pool._sessions]
+        stats = pool.statistics()
+    # 6 templates total, however they spread: entries sum to the number of
+    # preparations — no template was prepared in two shards.
+    assert sum(per_shard_entries) == 6
+    assert stats.prepared.misses == 6
+    assert stats.prepared.hits == 6 * 2
+
+
+def test_pool_rejects_zero_shards():
+    with pytest.raises(ValueError, match="at least one shard"):
+        SessionPool(n_shards=0)
+
+
+# -- the concurrency stress test (satellite acceptance) ------------------------
+
+
+def test_concurrent_clients_get_bit_identical_plans_and_exact_stats():
+    streams = small_streams(n_clients=8, queries_per_client=12)
+    flat = [spec for stream in streams for spec in stream]
+
+    # Reference: one single-threaded session over the same multiset of
+    # queries (order differs between runs, but plans are per-query).
+    reference = {
+        canonical_query_key(spec): result
+        for spec, result in zip(
+            flat, OptimizationSession().optimize_batch(flat)
+        )
+    }
+
+    with SessionPool(n_shards=4) as pool:
+        barrier = threading.Barrier(len(streams))
+        answers: list[list] = [None] * len(streams)
+
+        def client(index: int) -> None:
+            barrier.wait()  # maximize interleaving
+            answers[index] = [pool.optimize(spec) for spec in streams[index]]
+
+        with ThreadPoolExecutor(max_workers=len(streams)) as clients:
+            list(clients.map(client, range(len(streams))))
+        stats = pool.statistics()
+
+    distinct_keys = {canonical_query_key(s) for s in flat}
+    fingerprints = {
+        analyze_for_config(s, SessionConfig()).interesting for s in flat
+    }
+    # Bit-identical answers: cost and the rendered operator tree.
+    for stream, results in zip(streams, answers):
+        for spec, result in zip(stream, results):
+            expected = reference[canonical_query_key(spec)]
+            assert result.best_plan.cost == expected.best_plan.cost
+            assert result.best_plan.explain() == expected.best_plan.explain()
+    # Exact counter balance: no lost updates anywhere.
+    assert stats.queries == len(flat)
+    assert stats.plans.lookups == len(flat)
+    assert stats.plans.misses == len(distinct_keys)
+    assert stats.plans.hits == len(flat) - len(distinct_keys)
+    # Each distinct plan was generated exactly once -> one prepared-cache
+    # lookup per plan-cache miss, one miss per template.
+    assert stats.prepared.lookups == len(distinct_keys)
+    assert stats.prepared.misses == 4
+    assert stats.prepared.evictions == 0
+    assert len(fingerprints) == 4
+
+
+def test_submit_exposes_futures():
+    specs = template_workload(n_templates=2, repeats=2)
+    with SessionPool(n_shards=2) as pool:
+        futures = [pool.submit(spec) for spec in specs]
+        costs = [f.result().best_plan.cost for f in futures]
+    assert costs == [
+        r.best_plan.cost for r in OptimizationSession().optimize_batch(specs)
+    ]
+
+
+def test_closed_pool_refuses_work():
+    pool = SessionPool(n_shards=2)
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.optimize(template_workload(1, 1)[0])
+
+
+def test_clear_caches_runs_on_shard_threads():
+    specs = template_workload(n_templates=2, repeats=2)
+    with SessionPool(n_shards=2) as pool:
+        pool.optimize_batch(specs)
+        pool.clear_caches()
+        pool.optimize_batch(specs)
+        stats = pool.statistics()
+    assert stats.prepared.misses == 4  # cold again after the clear
+
+
+# -- single-owner enforcement (the service/cache satellite) --------------------
+
+
+def test_lru_cache_owner_assertion_fires_on_cross_thread_mutation():
+    cache: LRUCache[int] = LRUCache(4, check_owner=True)
+    cache.put("k", 1)  # binds this thread as owner
+    seen: list[BaseException] = []
+
+    def intruder() -> None:
+        try:
+            cache.get("k")
+        except BaseException as error:  # noqa: BLE001 - asserting the type
+            seen.append(error)
+
+    thread = threading.Thread(target=intruder)
+    thread.start()
+    thread.join()
+    assert len(seen) == 1
+    assert isinstance(seen[0], RuntimeError)
+    assert "SessionPool" in str(seen[0])
+    # The owner itself keeps working, and read-only introspection is free.
+    assert cache.get("k") == 1
+    assert len(cache) == 1
+
+
+def test_unchecked_cache_has_no_owner():
+    cache: LRUCache[int] = LRUCache(4)
+    cache.put("k", 1)
+    result = []
+    thread = threading.Thread(target=lambda: result.append(cache.get("k")))
+    thread.start()
+    thread.join()
+    assert result == [1]
+
+
+def test_shared_session_across_threads_is_rejected_when_enforced():
+    specs = template_workload(n_templates=1, repeats=2)
+    session = OptimizationSession(
+        config=SessionConfig(enforce_single_owner=True)
+    )
+    session.optimize(specs[0])
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(session.optimize, specs[1])
+        with pytest.raises(RuntimeError, match="single-owner"):
+            future.result()
+
+
+# -- the process path ----------------------------------------------------------
+
+
+def test_process_batch_matches_single_threaded_session():
+    specs = template_workload(n_templates=4, repeats=3)
+    single = OptimizationSession().optimize_batch(specs)
+    results, stats = process_batch(specs, workers=2)
+    assert len(results) == len(specs)
+    for pooled, expected in zip(results, single):
+        assert pooled.best_plan.cost == expected.best_plan.cost
+        assert pooled.best_plan.explain() == expected.best_plan.explain()
+    # Fingerprint chunking keeps template variants together: one
+    # preparation per template even across process boundaries.
+    assert stats.prepared.misses == 4
+    assert stats.prepared.hits == 8
+
+
+def test_process_batch_single_worker_short_circuits():
+    specs = template_workload(n_templates=2, repeats=2)
+    results, stats = process_batch(specs, workers=1)
+    assert stats.queries == 4
+    assert [r.best_plan.cost for r in results] == [
+        r.best_plan.cost for r in OptimizationSession().optimize_batch(specs)
+    ]
+
+
+def test_process_batch_named_backend_and_validation():
+    specs = template_workload(n_templates=1, repeats=2)
+    fsm_results, _ = process_batch(specs, workers=1, backend="fsm")
+    simmen_results, _ = process_batch(specs, workers=1, backend="simmen")
+    for a, b in zip(fsm_results, simmen_results):
+        assert a.best_plan.cost == b.best_plan.cost  # the differential claim
+    with pytest.raises(ValueError, match="unknown process backend"):
+        process_batch(specs, workers=2, backend="oracle-from-mars")
+    with pytest.raises(ValueError, match="at least one worker"):
+        process_batch(specs, workers=0)
+
+
+def test_everything_the_process_path_ships_is_picklable():
+    """The contract behind process_batch, pinned explicitly."""
+    from repro.core.optimizer import OrderOptimizer
+    from repro.query.analyzer import analyze
+
+    spec = template_workload(n_templates=1, repeats=1)[0]
+    spec2 = pickle.loads(pickle.dumps(spec))
+    assert canonical_query_key(spec2) is not None
+
+    info = analyze(spec)
+    prepared = OrderOptimizer.prepare(info.interesting, info.fdsets)
+    prepared2 = pickle.loads(pickle.dumps(prepared))
+    assert prepared2.stats.dfsm_states == prepared.stats.dfsm_states
+    assert prepared2.fingerprint == prepared.fingerprint
+
+    for backend in (FsmBackend(), SimmenBackend()):
+        result = PlanGenerator(spec, backend).run()
+        result2 = pickle.loads(pickle.dumps(result))
+        assert result2.best_plan.cost == result.best_plan.cost
+        assert result2.best_plan.explain() == result.best_plan.explain()

@@ -1,0 +1,183 @@
+"""Tests for the asyncio line-protocol plan server.
+
+Each test drives a real server on an ephemeral port through real socket
+connections (``asyncio.open_connection``) — the protocol framing (one
+request per line, blank-line-terminated responses) is the contract under
+test, not the internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.service import OptimizationSession, PlanServer, SessionPool
+from repro.query.sql import sql_to_query
+
+SQL_A = (
+    "select * from persons, jobs where persons.jobid = jobs.id "
+    "and persons.name = 'alice' order by jobs.id"
+)
+SQL_B = SQL_A.replace("alice", "bob")
+
+
+def demo_catalog() -> Catalog:
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+        .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+    )
+
+
+class Client:
+    """A tiny framed-protocol client: send a line, read to the blank line."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, server: PlanServer) -> "Client":
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        return cls(reader, writer)
+
+    async def ask(self, line: str) -> str:
+        self.writer.write((line + "\n").encode())
+        await self.writer.drain()
+        block = []
+        while True:
+            raw = await self.reader.readline()
+            assert raw, "connection closed mid-response"
+            decoded = raw.decode().rstrip("\n")
+            if decoded == "":
+                return "\n".join(block)
+            block.append(decoded)
+
+    async def close(self) -> None:
+        self.writer.write(b"\\quit\n")
+        await self.writer.drain()
+        assert await self.reader.readline() == b""  # server closes on \quit
+        self.writer.close()
+
+
+def run_with_server(scenario) -> None:
+    """Start a pool+server, run the async scenario, tear everything down."""
+
+    async def main():
+        catalog = demo_catalog()
+        pool = SessionPool(catalog, n_shards=4)  # the acceptance config
+        server = PlanServer(pool, catalog)
+        await server.start()
+        try:
+            await scenario(server, pool, catalog)
+        finally:
+            await server.stop()
+            pool.close()
+
+    asyncio.run(main())
+
+
+def test_serves_plans_with_cost_trailer_and_framing():
+    async def scenario(server, pool, catalog):
+        client = await Client.connect(server)
+        response = await client.ask(SQL_A)
+        assert "join" in response
+        assert response.splitlines()[-1].startswith("-- cost ")
+        # Same query again: answered from the plan cache, same plan text.
+        again = await client.ask(SQL_A)
+        assert again.splitlines()[:-1] == response.splitlines()[:-1]
+        await client.close()
+
+    run_with_server(scenario)
+
+
+def test_bad_queries_answer_an_error_and_keep_serving():
+    async def scenario(server, pool, catalog):
+        client = await Client.connect(server)
+        assert (await client.ask("select broken")).startswith("error: ")
+        assert "-- cost" in await client.ask(SQL_A)  # still alive
+        stats = await client.ask("\\stats")
+        assert "queries optimized : 1" in stats
+        await client.close()
+
+    run_with_server(scenario)
+
+
+def test_concurrent_clients_get_the_single_session_answers():
+    """Acceptance: concurrent network clients == single-threaded session."""
+    catalog = demo_catalog()
+    expected = {
+        sql: OptimizationSession(catalog)
+        .optimize(sql_to_query(sql, catalog))
+        .best_plan.explain()
+        for sql in (SQL_A, SQL_B)
+    }
+
+    async def scenario(server, pool, catalog):
+        clients = await asyncio.gather(
+            *[Client.connect(server) for _ in range(6)]
+        )
+        queries = [SQL_A if i % 2 else SQL_B for i in range(len(clients))]
+        responses = await asyncio.gather(
+            *[client.ask(sql) for client, sql in zip(clients, queries)]
+        )
+        for sql, response in zip(queries, responses):
+            plan_text = "\n".join(response.splitlines()[:-1])
+            assert plan_text == expected[sql]
+        stats = pool.statistics()
+        assert stats.queries == len(clients)
+        assert server.connections_served == len(clients)
+        await asyncio.gather(*[client.close() for client in clients])
+
+    run_with_server(scenario)
+
+
+def test_run_server_blocking_entry_point(capsys):
+    """The CLI entry: binds, announces, serves, stops on the shutdown event."""
+    import socket
+    import threading
+
+    from repro.service.server import run_server
+
+    started: list[PlanServer] = []
+    ready = threading.Event()
+    shutdown = threading.Event()
+
+    def capture(server: PlanServer) -> None:
+        started.append(server)
+        ready.set()
+
+    catalog = demo_catalog()
+    runner = threading.Thread(
+        target=run_server,
+        args=(catalog,),
+        kwargs={"port": 0, "n_shards": 2, "started": capture, "shutdown": shutdown},
+    )
+    runner.start()
+    try:
+        assert ready.wait(timeout=10.0)
+        server = started[0]
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            sock.sendall(SQL_A.encode() + b"\n")
+            buffer = b""
+            while b"\n\n" not in buffer:
+                buffer += sock.recv(4096)
+        assert b"-- cost" in buffer
+    finally:
+        shutdown.set()
+        runner.join(timeout=10.0)
+    assert not runner.is_alive()
+
+
+def test_quit_and_eof_both_close_cleanly():
+    async def scenario(server, pool, catalog):
+        quitter = await Client.connect(server)
+        await quitter.close()  # \quit path
+        dropper = await Client.connect(server)
+        dropper.writer.close()  # EOF path
+        # The server is still accepting after both.
+        survivor = await Client.connect(server)
+        assert "-- cost" in await survivor.ask(SQL_A)
+        await survivor.close()
+
+    run_with_server(scenario)

@@ -1,0 +1,79 @@
+"""Golden-plan regression snapshots for the TPC-H/R workload.
+
+Every query in ``workloads/tpch_queries.py`` has its chosen plan (operator
+tree + exact cost) serialized under ``tests/golden/``.  Any change that
+moves a plan — a cost-model tweak, a pruning bug, a backend change — fails
+here with a diff, so plan drift is always an explicit, reviewed decision:
+
+    PYTHONPATH=src python -m pytest tests/workloads/test_golden_plans.py \
+        --update-golden
+
+rewrites the snapshots; the updated files land in the diff of the change
+that moved the plans, which is the whole point.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
+from repro.workloads import ALL_TPCH_QUERIES
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def render_snapshot(spec, result) -> str:
+    """Serialize a chosen plan: exact cost (repr — every bit), then tree."""
+    return (
+        f"# golden plan for {spec.name}\n"
+        f"# regenerate: PYTHONPATH=src python -m pytest "
+        f"tests/workloads/test_golden_plans.py --update-golden\n"
+        f"cost {result.best_plan.cost!r}\n"
+        f"{result.best_plan.explain()}\n"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_golden_plan(name: str, update_golden: bool):
+    spec = ALL_TPCH_QUERIES[name]()
+    result = PlanGenerator(spec, FsmBackend()).run()
+    snapshot = render_snapshot(spec, result)
+    path = GOLDEN_DIR / f"{name}.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(snapshot)
+        return
+    assert path.exists(), (
+        f"no golden snapshot for {name}; create it with --update-golden"
+    )
+    golden = path.read_text()
+    if snapshot != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                snapshot.splitlines(),
+                fromfile=f"golden/{name}.txt",
+                tofile="freshly planned",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"plan drift for {name} — if intended, rerun with "
+            f"--update-golden and commit the change:\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_simmen_matches_the_golden_cost(name: str):
+    """The snapshots double as a differential anchor: the baseline backend
+    must reproduce the golden cost exactly (plan *shape* may differ when
+    costs tie, so only the cost line is compared)."""
+    path = GOLDEN_DIR / f"{name}.txt"
+    assert path.exists(), f"no golden snapshot for {name}"
+    golden_cost = float(path.read_text().splitlines()[2].removeprefix("cost "))
+    spec = ALL_TPCH_QUERIES[name]()
+    result = PlanGenerator(spec, SimmenBackend()).run()
+    assert result.best_plan.cost == pytest.approx(golden_cost, rel=1e-9)
