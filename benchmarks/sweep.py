@@ -1,18 +1,26 @@
-"""Shared sweep driver for the Figure 13 / Figure 14 experiments.
+"""Shared sweep drivers for the join-graph experiments.
 
-Runs the random join-graph workload (chain plus extra edges) through the
-plan generator under both ordering backends and aggregates the paper's
-measures.  Results are memoized per process so the two benchmark files can
-share one sweep.
+:func:`run_sweep` is the Figure 13 / Figure 14 workload (chain plus random
+extra edges, Simmen vs FSM backends).  :func:`run_enumerator_sweep` is the
+enumeration-layer scaling grid: explicit topologies crossed with the
+DPsub / DPccp / Greedy strategies, n up to 16-20 on the sparse shapes that
+only DPccp can reach.  Results are memoized per process so benchmark files
+can share one sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.bench import bench_full
-from repro.plangen import FsmBackend, PlanGenerator, SimmenBackend
-from repro.workloads import GeneratorConfig, random_join_query
+from repro.plangen import (
+    DPSUB_MAX_N,
+    FsmBackend,
+    PlanGenConfig,
+    PlanGenerator,
+    SimmenBackend,
+)
+from repro.workloads import GeneratorConfig, random_join_query, topology_query
 
 
 @dataclass
@@ -84,3 +92,91 @@ def run_sweep() -> list[SweepPoint]:
             points.append(point)
     _CACHE[grid] = points
     return points
+
+
+# -- the enumeration-layer sweep -----------------------------------------------
+
+
+@dataclass
+class EnumPoint:
+    """One (topology, n, enumerator) measurement of the scaling grid."""
+
+    topology: str
+    n: int
+    enumerator: str
+    time_ms: float
+    plans: int
+    pairs_visited: int
+    cost: float
+
+
+def enumerator_grid() -> tuple[tuple[str, tuple[int, ...], tuple[str, ...]], ...]:
+    """(topology, sizes, enumerators) rows of the sweep.
+
+    DPsub is confined to n <= 10 — its O(3^n) submask scan is the very
+    bottleneck DPccp removes, and past that horizon it need not terminate
+    in benchmark-friendly time.  The sparse shapes (chain, cycle, grid) run
+    DPccp to n = 16-20; the inherently-exponential shapes (star, clique)
+    stop where exact DP stops and hand over to greedy.
+    """
+    if bench_full():
+        return (
+            ("chain", (8, 10, 16, 20), ("dpsub", "dpccp", "greedy")),
+            ("cycle", (8, 10, 16), ("dpsub", "dpccp", "greedy")),
+            ("grid", (9, 12, 16), ("dpsub", "dpccp", "greedy")),
+            ("star", (8, 10), ("dpsub", "dpccp", "greedy")),
+            ("clique", (6, 8), ("dpsub", "dpccp", "greedy")),
+        )
+    return (
+        ("chain", (8, 16), ("dpsub", "dpccp", "greedy")),
+        ("cycle", (8,), ("dpsub", "dpccp", "greedy")),
+        ("grid", (9,), ("dpsub", "dpccp")),
+        ("star", (8,), ("dpsub", "dpccp")),
+        ("clique", (6,), ("dpsub", "dpccp", "greedy")),
+    )
+
+
+_ENUM_CACHE: dict[tuple, list[EnumPoint]] = {}
+
+
+def run_enumerator_sweep() -> list[EnumPoint]:
+    """Run (or fetch) the topology x size x enumerator grid."""
+    grid = enumerator_grid()
+    cached = _ENUM_CACHE.get(grid)
+    if cached is not None:
+        return cached
+
+    points: list[EnumPoint] = []
+    for topology, sizes, enumerators in grid:
+        for n in sizes:
+            spec = topology_query(topology, n, seed=0)
+            for enumerator in enumerators:
+                if enumerator == "dpsub" and n > DPSUB_MAX_N:
+                    continue
+                result = PlanGenerator(
+                    spec,
+                    FsmBackend(),
+                    config=PlanGenConfig(enumerator=enumerator),
+                ).run()
+                points.append(
+                    EnumPoint(
+                        topology=topology,
+                        n=n,
+                        enumerator=enumerator,
+                        time_ms=result.stats.time_ms,
+                        plans=result.stats.plans_created,
+                        pairs_visited=result.stats.pairs_visited,
+                        cost=result.best_plan.cost,
+                    )
+                )
+    _ENUM_CACHE[grid] = points
+    return points
+
+
+def enumerator_points_payload(points: list[EnumPoint]) -> dict:
+    """The machine-readable BENCH_join_graphs.json payload."""
+    return {
+        "grid": "full" if bench_full() else "small",
+        "backend": "fsm",
+        "points": [asdict(p) for p in points],
+    }

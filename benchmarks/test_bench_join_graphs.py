@@ -1,21 +1,28 @@
-"""Experiment: Figure 13 — plan generation across join-graph families.
+"""Experiments on join-graph families.
 
-Paper: random queries with n = 5..10 relations and n-1 / n / n+1 join
-edges, averaged over up to 100 queries.  Reported per configuration:
-total plan-generation time, number of generated subplans, and time per
-subplan for Simmen's algorithm and the FSM algorithm, plus the improvement
-factors (% t, % #Plans, % t/plan).
+**Figure 13** — plan generation across random join-graph families.  Paper:
+random queries with n = 5..10 relations and n-1 / n / n+1 join edges,
+averaged over up to 100 queries.  Reported per configuration: total
+plan-generation time, number of generated subplans, and time per subplan
+for Simmen's algorithm and the FSM algorithm, plus the improvement factors
+(% t, % #Plans, % t/plan).  Paper improvement factors range from 2.0x
+(n=5, chain) to 67x (n=10, n+1 edges) for total time and from 1.2x to 2.5x
+for #Plans.  Expected shape here: every improvement factor > 1, growing
+with query size, with identical optimal plan costs throughout.  The
+default grid stops at n = 8 for runtime reasons (REPRO_BENCH_FULL=1 for
+the paper grid).
 
-Paper improvement factors range from 2.0x (n=5, chain) to 67x (n=10, n+1
-edges) for total time and from 1.2x to 2.5x for #Plans.
-
-Expected shape here: every improvement factor > 1, growing with query size,
-with identical optimal plan costs throughout.  The default grid stops at
-n = 8 for runtime reasons (REPRO_BENCH_FULL=1 for the paper grid).
+**Enumeration layer** — explicit topologies crossed with the DPsub / DPccp
+/ Greedy strategies, recording time, #plans, and enumerator-visited pairs.
+The DPccp scaling claim is asserted here: a chain at n=16 plans in under
+5 seconds (the DPsub oracle need not terminate there, and is not run).
+Alongside the human-readable table, the grid is persisted as
+machine-readable ``BENCH_join_graphs.json`` at the repository root — CI's
+bench-smoke job uploads it as an artifact.
 """
 
-from repro.bench import format_table, report
-from sweep import run_sweep
+from repro.bench import format_table, report, save_json
+from sweep import enumerator_points_payload, run_enumerator_sweep, run_sweep
 
 # Figure 13, improvement-factor columns (% t, % #Plans, % t/plan) from the
 # paper, keyed by (n, extra_edges), for side-by-side display.
@@ -112,3 +119,68 @@ def test_figure13_join_graph_sweep(benchmark):
         largest_dense.simmen_plans / largest_dense.fsm_plans
         > smallest_chain.simmen_plans / smallest_chain.fsm_plans
     )
+
+
+def test_enumerator_topology_sweep(benchmark):
+    points = benchmark.pedantic(run_enumerator_sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            p.topology,
+            p.n,
+            p.enumerator,
+            f"{p.time_ms:.1f}",
+            p.plans,
+            p.pairs_visited,
+            f"{p.cost:,.0f}",
+        )
+        for p in points
+    ]
+    text = report(
+        "enumerator_topologies",
+        "Enumeration layer: topology x n x strategy (FSM backend)",
+        format_table(
+            ("topology", "n", "enumerator", "ms", "#plans", "#pairs", "cost"),
+            rows,
+        ),
+    )
+    print("\n" + text)
+    json_path = save_json(
+        "BENCH_join_graphs", enumerator_points_payload(points)
+    )
+    print(f"machine-readable grid: {json_path}")
+
+    by_key = {(p.topology, p.n, p.enumerator): p for p in points}
+
+    # The exact strategies must agree: same optimal cost, and DPccp never
+    # visits more pairs than the DPsub oracle emits valid partitions.
+    for p in points:
+        if p.enumerator != "dpccp":
+            continue
+        oracle = by_key.get((p.topology, p.n, "dpsub"))
+        if oracle is None:
+            continue
+        assert abs(p.cost - oracle.cost) < 1e-6, (
+            f"{p.topology} n={p.n}: DPccp cost diverged from DPsub"
+        )
+        assert p.pairs_visited <= oracle.pairs_visited
+        assert p.plans == oracle.plans
+
+    # Greedy is a heuristic: never better than exact, vastly fewer pairs.
+    for p in points:
+        if p.enumerator != "greedy":
+            continue
+        exact = by_key.get((p.topology, p.n, "dpccp"))
+        if exact is None:
+            continue
+        assert p.cost >= exact.cost - 1e-6
+        assert p.pairs_visited == p.n - 1
+        assert p.pairs_visited <= exact.pairs_visited
+
+    # The scaling claim: a 16-relation chain is comfortably inside DPccp's
+    # reach (DPsub's 3^16 submask scan is not attempted at all).
+    chain16 = by_key[("chain", 16, "dpccp")]
+    assert chain16.time_ms < 5_000, (
+        f"chain n=16 took {chain16.time_ms:.0f} ms under DPccp"
+    )
+    assert ("chain", 16, "dpsub") not in by_key

@@ -32,7 +32,14 @@ from .bench import format_table, timed
 from .catalog.schema import Catalog, simple_table
 from .catalog.tpch import tpch_catalog
 from .core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
-from .plangen import FsmBackend, PlanGenerator, SimmenBackend
+from .plangen import (
+    DPSUB_MAX_N,
+    ENUMERATORS,
+    FsmBackend,
+    PlanGenConfig,
+    PlanGenerator,
+    SimmenBackend,
+)
 from .query.analyzer import analyze
 from .query.sql import sql_to_query
 from .service import (
@@ -100,13 +107,19 @@ def cmd_q8(_: argparse.Namespace) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     catalog = _resolve_catalog(args.catalog)
     spec = sql_to_query(args.sql, catalog)
-    result = PlanGenerator(spec, FsmBackend()).run()
+    config = PlanGenConfig(
+        enumerator=args.enumerator,
+        enable_cross_products=args.cross_products,
+    )
+    result = PlanGenerator(spec, FsmBackend(), config=config).run()
     print(spec.describe())
     print()
     print(result.best_plan.explain())
     print(
         f"\n{result.stats.plans_created} plans generated in "
-        f"{result.stats.time_ms:.1f} ms"
+        f"{result.stats.time_ms:.1f} ms "
+        f"({result.stats.enumerator} enumeration, "
+        f"{result.stats.pairs_visited} pair(s) visited)"
     )
     return 0
 
@@ -133,7 +146,48 @@ def cmd_prepare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_topologies(args: argparse.Namespace) -> int:
+    """Topology × size × enumerator sweep (the DPccp scaling story)."""
+    from .workloads import topology_query
+
+    topologies = [t.strip() for t in args.topologies.split(",") if t.strip()]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    enumerators = [e.strip() for e in args.enumerators.split(",") if e.strip()]
+    print(
+        f"{'topology':>8} {'n':>3} {'enumerator':>10} {'ms':>9} "
+        f"{'#plans':>8} {'#pairs':>8} {'cost':>14}"
+    )
+    for topology in topologies:
+        for n in sizes:
+            if topology == "cycle" and n < 3:
+                continue
+            spec = topology_query(topology, n, seed=args.seed)
+            for enumerator in enumerators:
+                if enumerator == "dpsub" and n > DPSUB_MAX_N:
+                    print(
+                        f"{topology:>8} {n:>3} {enumerator:>10} "
+                        f"{'(skipped: n > %d)' % DPSUB_MAX_N:>42}"
+                    )
+                    continue
+                result = PlanGenerator(
+                    spec,
+                    FsmBackend(),
+                    config=PlanGenConfig(enumerator=enumerator),
+                ).run()
+                stats = result.stats
+                # stats.enumerator is the *resolved* name: "auto" rows show
+                # which strategy actually ran at this size.
+                print(
+                    f"{topology:>8} {n:>3} {stats.enumerator:>10} "
+                    f"{stats.time_ms:>9.1f} {stats.plans_created:>8} "
+                    f"{stats.pairs_visited:>8} {result.best_plan.cost:>14,.0f}"
+                )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.topologies:
+        return _sweep_topologies(args)
     print(f"{'n':>3} {'edges':>6} {'simmen ms':>10} {'fsm ms':>8} {'%t':>6} {'%plans':>7}")
     for extra, label in ((0, "n-1"), (1, "n+0"), (2, "n+1")):
         for n in range(5, args.max_n + 1):
@@ -324,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
     plan = sub.add_parser("plan", help="optimize a SQL query and print the plan")
     plan.add_argument("sql")
     plan.add_argument("--catalog", default="demo", help="demo | tpch")
+    plan.add_argument(
+        "--enumerator", default="auto", choices=("auto", *sorted(ENUMERATORS)),
+        help="join-enumeration strategy (auto: DPccp, or greedy past the "
+        "size threshold)",
+    )
+    plan.add_argument(
+        "--cross-products", action="store_true",
+        help="plan disconnected join graphs with cross-product joins "
+        "instead of rejecting them",
+    )
     plan.set_defaults(fn=cmd_plan)
 
     prepare = sub.add_parser("prepare", help="show the preparation phase for a SQL query")
@@ -331,9 +395,36 @@ def build_parser() -> argparse.ArgumentParser:
     prepare.add_argument("--catalog", default="demo", help="demo | tpch")
     prepare.set_defaults(fn=cmd_prepare)
 
-    sweep = sub.add_parser("sweep", help="miniature Figure 13 sweep")
-    sweep.add_argument("--max-n", type=int, default=7)
-    sweep.add_argument("--seeds", type=int, default=3)
+    sweep = sub.add_parser(
+        "sweep",
+        help="miniature Figure 13 sweep, or (with --topologies) a "
+        "topology x enumerator sweep",
+    )
+    sweep.add_argument(
+        "--max-n", type=int, default=7, help="Figure 13 mode: largest n"
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=3,
+        help="Figure 13 mode: queries averaged per configuration",
+    )
+    sweep.add_argument(
+        "--topologies", default=None,
+        help="comma-separated explicit shapes (chain,star,cycle,clique,"
+        "grid): sweep topology x size x enumerator instead of Figure 13",
+    )
+    sweep.add_argument(
+        "--sizes", default="4,8,12",
+        help="topology mode: comma-separated relation counts",
+    )
+    sweep.add_argument(
+        "--enumerators", default="dpsub,dpccp,greedy",
+        help="topology mode: comma-separated strategies "
+        f"(dpsub is skipped past n={DPSUB_MAX_N})",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="topology mode: statistics seed of the generated queries",
+    )
     sweep.set_defaults(fn=cmd_sweep)
 
     batch = sub.add_parser(

@@ -4,8 +4,10 @@ from .harness import (
     Stopwatch,
     bench_full,
     format_table,
+    repo_root,
     report,
     results_dir,
+    save_json,
     save_result,
     timed,
 )
@@ -14,8 +16,10 @@ __all__ = [
     "Stopwatch",
     "bench_full",
     "format_table",
+    "repo_root",
     "report",
     "results_dir",
+    "save_json",
     "save_result",
     "timed",
 ]

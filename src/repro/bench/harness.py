@@ -11,6 +11,7 @@ in minutes on a laptop; set ``REPRO_BENCH_FULL=1`` for paper-scale sweeps
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from contextlib import contextmanager
@@ -54,12 +55,24 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def repo_root() -> Path:
+    """The repository root (this file lives at src/repro/bench/)."""
+    return Path(__file__).resolve().parents[3]
+
+
 def results_dir() -> Path:
     """benchmarks/results/ at the repository root."""
-    root = Path(__file__).resolve().parents[3]
-    directory = root / "benchmarks" / "results"
+    directory = repo_root() / "benchmarks" / "results"
     directory.mkdir(parents=True, exist_ok=True)
     return directory
+
+
+def save_json(name: str, payload: object) -> Path:
+    """Persist machine-readable benchmark data as ``<name>.json`` at the
+    repository root (where CI picks it up as an artifact); returns the path."""
+    path = repo_root() / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def save_result(name: str, text: str) -> Path:

@@ -98,6 +98,12 @@ class PreparationFingerprint:
     groupings_tested: frozenset
     fdsets: frozenset[FDSet]
     options: BuilderOptions
+    enumerator: str = ""
+    """Resolved join-enumeration strategy the preparation will serve, or
+    ``""`` when the caller does not discriminate by strategy.  Prepared
+    state itself is enumerator-independent; the service layer still records
+    the strategy here so cache entries (and their statistics) are
+    attributable to the enumeration context that created them."""
 
     def digest(self) -> str:
         """Short stable hex digest, for logs and cache-stats reporting."""
@@ -109,6 +115,7 @@ class PreparationFingerprint:
                 ",".join(sorted(repr(g) for g in self.groupings_tested)),
                 ",".join(sorted(str(f) for f in self.fdsets)),
                 repr(self.options),
+                self.enumerator,
             )
         )
         return hashlib.sha256(parts.encode()).hexdigest()[:16]
@@ -118,6 +125,8 @@ def preparation_fingerprint(
     interesting: InterestingOrders,
     fdsets: Iterable[FDSet],
     options: BuilderOptions | None = None,
+    *,
+    enumerator: str = "",
 ) -> PreparationFingerprint:
     """Fingerprint the preparation inputs without running preparation.
 
@@ -131,6 +140,7 @@ def preparation_fingerprint(
         groupings_tested=frozenset(interesting.groupings_tested),
         fdsets=frozenset(fdsets),
         options=options or BuilderOptions(),
+        enumerator=enumerator,
     )
 
 

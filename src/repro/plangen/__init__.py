@@ -3,6 +3,16 @@
 from .backends import FsmBackend, OracleBackend, OrderingBackend, SimmenBackend
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .dp import PlanGenConfig, PlanGenerator, PlanGenResult, PlanGenStats, generate_plan
+from .enumerate import (
+    DPSUB_MAX_N,
+    ENUMERATORS,
+    DPccp,
+    DPsub,
+    EnumerationStrategy,
+    Greedy,
+    make_strategy,
+    resolve_enumerator,
+)
 from .plan import (
     HASH_JOIN,
     INDEX_SCAN,
@@ -19,6 +29,14 @@ __all__ = [
     "FsmBackend",
     "SimmenBackend",
     "OracleBackend",
+    "EnumerationStrategy",
+    "DPsub",
+    "DPccp",
+    "Greedy",
+    "ENUMERATORS",
+    "DPSUB_MAX_N",
+    "make_strategy",
+    "resolve_enumerator",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "PlanGenerator",

@@ -4,12 +4,16 @@ System-R/Starburst shape, as the paper assumes (Section 2, [3]):
 
 1. **base plans** — per relation: table scan (plus index scans), with the
    relation's equality-selection FD set applied;
-2. **joins** — enumerate connected subgraph / connected complement pairs of
-   the join graph in increasing size; for each pair of sub-plans emit nested
-   loop, hash, and sort-merge joins.  Merge joins require both inputs sorted
-   on the join attributes (``contains``); when an input is not, a *sort
-   enforcer* is inserted.  Every join applies the FD sets of the predicates
-   it evaluates (``inferNewLogicalOrderings``);
+2. **joins** — a pluggable enumeration strategy
+   (``repro.plangen.enumerate``) yields connected subgraph / connected
+   complement pairs of the join graph in a DP-valid order; for each pair of
+   sub-plans emit nested loop, hash, and sort-merge joins.  Merge joins
+   require both inputs sorted on the join attributes (``contains``); when
+   an input is not, a *sort enforcer* is inserted.  Every join applies the
+   FD sets of the predicates it evaluates (``inferNewLogicalOrderings``).
+   A pair without predicates (synthetic cross-product edge, see
+   ``PlanGenConfig.enable_cross_products``) becomes a predicate-free
+   nested-loop cross join;
 3. **pruning** — within a relation subset, plans are comparable when the
    ordering backend says their states are (FSM: equal DFSM state; Simmen:
    equal physical ordering and FD set).  Comparable plans keep only the
@@ -19,7 +23,8 @@ System-R/Starburst shape, as the paper assumes (Section 2, [3]):
    already does.
 
 Instrumentation counts every constructed operator (the paper's ``#Plans``),
-retained table entries, and the bytes of order annotations (Figure 14).
+retained table entries, the (left, right) pairs the enumerator visited,
+and the bytes of order annotations (Figure 14).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from ..query.predicates import JoinPredicate
 from ..query.query import QuerySpec
 from .backends import OrderingBackend
 from .cost import DEFAULT_COST_MODEL, CostModel
+from .enumerate import AUTO, make_strategy, resolve_enumerator
 from .plan import (
     HASH_JOIN,
     INDEX_SCAN,
@@ -68,6 +74,24 @@ class PlanGenConfig:
     aggregate.  Off by default so the Simmen-comparison experiments match
     the paper's operator repertoire."""
 
+    enumerator: str = AUTO
+    """Join-enumeration strategy (``repro.plangen.enumerate``): ``"auto"``
+    resolves per query by relation count (DPccp up to ``greedy_threshold``
+    relations, Greedy beyond); ``"dpsub"`` / ``"dpccp"`` / ``"greedy"`` pin
+    a strategy regardless of size."""
+
+    greedy_threshold: int = 12
+    """Largest relation count ``"auto"`` still plans exactly (DPccp).
+    Beyond it, exact DP can be infeasible on dense shapes, so auto falls
+    back to greedy construction."""
+
+    enable_cross_products: bool = False
+    """Plan disconnected join graphs by synthesizing predicate-free edges
+    between the components (see ``JoinGraph.cross_edges``).  A pair linked
+    only by a synthetic edge becomes a nested-loop cross join with
+    product-of-inputs cardinality.  Off by default: a disconnected graph
+    raises, as the paper's workloads assume connectivity."""
+
 
 @dataclass
 class PlanGenStats:
@@ -75,6 +99,11 @@ class PlanGenStats:
 
     plans_created: int = 0
     plans_retained: int = 0
+    pairs_visited: int = 0
+    """(left, right) subset pairs the enumeration strategy yielded — the
+    paper-follow-up's csg-cmp-pair count, comparable across strategies."""
+    enumerator: str = ""
+    """Resolved strategy name that generated this plan."""
     time_ms: float = 0.0
     prepare_ms: float = 0.0
     state_bytes: int = 0
@@ -100,7 +129,9 @@ class PlanGenResult:
 
 
 class PlanGenerator:
-    """Bottom-up DP over connected subgraphs with order-aware pruning."""
+    """Bottom-up plan construction with order-aware pruning, over whatever
+    (left, right) subset pairs the configured enumeration strategy yields
+    (``repro.plangen.enumerate``)."""
 
     def __init__(
         self,
@@ -115,7 +146,7 @@ class PlanGenerator:
         self.backend = backend
         self.cost = cost_model
         self.config = config
-        self.graph = JoinGraph(spec)
+        self.graph = JoinGraph(spec, cross_products=config.enable_cross_products)
         self.stats = PlanGenStats()
         self._injected_info = info
         self._card_cache: dict[int, float] = {}
@@ -282,6 +313,29 @@ class PlanGenerator:
     ) -> None:
         """All join alternatives for one (left, right) plan pair."""
         cost = self.cost
+
+        if not predicates:
+            # The pair is linked only by a synthetic cross-product edge.
+            # Nested loops is the one implementation of a cross join (there
+            # is no key to hash or merge on), so it ignores enable_nl_join.
+            self._emit(
+                table,
+                self._make(
+                    NL_JOIN,
+                    mask,
+                    state=self._join_state(left.state, right.relations, ()),
+                    cost=cost.nested_loop_join(
+                        left.cost, right.cost, left.cardinality, right.cardinality
+                    ),
+                    cardinality=out_card,
+                    left=left,
+                    right=right,
+                    detail="cross product",
+                    predicates=(),
+                ),
+            )
+            return
+
         detail = " and ".join(str(p) for p in predicates)
 
         if self.config.enable_nl_join:
@@ -375,28 +429,44 @@ class PlanGenerator:
 
         if not self.graph.connected(self.graph.all_mask):
             raise ValueError(
-                f"query {self.spec.name} has a disconnected join graph"
+                f"query {self.spec.name} has a disconnected join graph "
+                "(set PlanGenConfig.enable_cross_products to plan it with "
+                "cross-product joins)"
             )
+
+        name = resolve_enumerator(
+            self.config.enumerator, self.graph.n, self.config.greedy_threshold
+        )
+        strategy = make_strategy(name)
+        self.stats.enumerator = name
 
         tables: dict[int, dict] = {}
         for i in range(self.graph.n):
             tables[1 << i] = self._base_plans(i)
 
-        for mask in self.graph.connected_subsets():
-            if mask.bit_count() < 2:
-                continue
+        # Plan construction is strategy-agnostic: whatever (left, right)
+        # pairs the enumerator yields — in DP-valid order, each side's
+        # table complete by the time the pair arrives — get every operator
+        # alternative, in both orientations, pruned per backend state.
+        for s1, s2 in strategy.pairs(self.graph, self._cardinality):
+            self.stats.pairs_visited += 1
+            mask = s1 | s2
             table = tables.setdefault(mask, {})
             out_card = self._cardinality(mask)
-            for s1, s2 in self.graph.partitions(mask):
-                predicates = self.graph.edges_between(s1, s2)
-                for left_mask, right_mask in ((s1, s2), (s2, s1)):
-                    for left in list(tables[left_mask].values()):
-                        for right in list(tables[right_mask].values()):
-                            self._emit_joins(
-                                table, mask, left, right, predicates, out_card
-                            )
+            predicates = self.graph.edges_between(s1, s2)
+            for left_mask, right_mask in ((s1, s2), (s2, s1)):
+                for left in list(tables[left_mask].values()):
+                    for right in list(tables[right_mask].values()):
+                        self._emit_joins(
+                            table, mask, left, right, predicates, out_card
+                        )
 
-        final_table = tables[self.graph.all_mask]
+        final_table = tables.get(self.graph.all_mask)
+        if not final_table:
+            raise RuntimeError(
+                f"enumerator {name!r} produced no plan covering all "
+                f"relations of query {self.spec.name}"
+            )
         best = self._finalize(final_table)
 
         self.stats.time_ms = (time.perf_counter() - started) * 1000.0

@@ -1,0 +1,206 @@
+"""Pluggable join-enumeration strategies for the plan generator.
+
+The DP plan generator (``repro.plangen.dp``) is plan *construction* —
+building and pruning join alternatives for (left, right) subset pairs.
+Which pairs are worth visiting, and in what order, is a separate concern
+with very different asymptotics per query shape; this module makes it a
+first-class, pluggable layer behind :class:`EnumerationStrategy`:
+
+* :class:`DPsub` — the naive submask scan (visit every connected subset,
+  test every submask split): O(3^n) work even on chain queries.  Kept as
+  the executable reference oracle;
+* :class:`DPccp` — csg-cmp-pair enumeration via recursive neighborhood
+  expansion (Moerkotte & Neumann, VLDB 2006).  Work is proportional to the
+  number of *valid* csg-cmp pairs, which is polynomial on sparse shapes
+  (chains: Θ(n³)), so chain/cycle/grid queries scale far past the DPsub
+  horizon.  The default;
+* :class:`Greedy` — greedy operator ordering (GOO): repeatedly merge the
+  pair of components with the smallest estimated join cardinality.  Yields
+  exactly n-1 pairs — one join tree — for graphs past the size where exact
+  DP is infeasible.  The plan generator still considers every operator
+  alternative and ordering for each greedy pair, so only the join *shape*
+  is heuristic.
+
+The contract of :meth:`EnumerationStrategy.pairs`:
+
+* each yielded ``(left, right)`` is a disjoint pair of non-empty relation
+  masks with both sides connected and at least one edge (possibly a
+  synthetic cross-product edge) between them;
+* each unordered pair is yielded at most once — the plan generator tries
+  both orientations itself;
+* **DP-valid order**: by the time a pair is yielded, every pair whose
+  union equals ``left`` (or ``right``) has been yielded already, so the
+  DP tables of both sides are complete.
+
+Strategy selection is threaded through
+:class:`~repro.plangen.dp.PlanGenConfig` (``enumerator="auto"`` picks
+DPccp up to ``greedy_threshold`` relations, Greedy beyond), the service
+layer (recorded in session statistics and the preparation fingerprint) and
+the CLI (``plan --enumerator``, ``sweep --topologies``).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+from ..query.joingraph import (
+    JoinGraph,
+    iter_bits_desc,
+    min_index,
+    prefix_mask,
+)
+
+#: Estimated output cardinality of the plans covering a mask; supplied by
+#: the plan generator (memoized there) so strategies never re-derive stats.
+CardinalityFn = Callable[[int], float]
+
+#: The sentinel configuration value resolved per query by relation count.
+AUTO = "auto"
+
+#: The DPsub oracle horizon: largest relation count at which the naive
+#: O(3^n) submask scan is still benchmark-friendly.  Sweeps and benchmarks
+#: skip DPsub past it (it need not terminate in reasonable time there —
+#: removing that wall is DPccp's whole point).
+DPSUB_MAX_N = 10
+
+
+class EnumerationStrategy(ABC):
+    """One way of walking the join graph's (left, right) subset pairs."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def pairs(
+        self, graph: JoinGraph, cardinality: CardinalityFn
+    ) -> Iterator[tuple[int, int]]:
+        """Yield (left, right) mask pairs in a DP-valid order (see module
+        docstring).  ``cardinality`` estimates a mask's output size; exact
+        strategies ignore it, heuristic ones steer by it."""
+
+
+class DPsub(EnumerationStrategy):
+    """The reference oracle: naive submask-scan enumeration.
+
+    Visits every connected subset (in DP-valid order) and tests *every*
+    submask split of it for validity — the seed system's behavior, O(3^n)
+    summed over the masks regardless of graph shape.  Exhaustive and
+    obviously correct, which is why DPccp is differentially tested against
+    it.
+    """
+
+    name = "dpsub"
+
+    def pairs(
+        self, graph: JoinGraph, cardinality: CardinalityFn
+    ) -> Iterator[tuple[int, int]]:
+        for mask in graph.connected_subsets():
+            if mask.bit_count() < 2:
+                continue
+            yield from graph.partitions(mask)
+
+
+class DPccp(EnumerationStrategy):
+    """Csg-cmp-pair enumeration (Moerkotte & Neumann, VLDB 2006).
+
+    ``EnumerateCsg`` grows every connected subgraph (csg) exactly once from
+    its lowest vertex; for each csg, ``EnumerateCmp`` grows every connected
+    complement (cmp) that is disjoint, adjacent, and rooted at a higher
+    vertex — so each unordered pair is emitted exactly once, and only valid
+    pairs are ever touched.  Emission order is DP-valid: csgs are emitted
+    subsets-before-supersets per root and roots descend, hence both sides
+    of a pair are complete when it appears (the property the differential
+    oracle in ``tests/plangen/test_enumerate.py`` checks explicitly).
+    """
+
+    name = "dpccp"
+
+    def pairs(
+        self, graph: JoinGraph, cardinality: CardinalityFn
+    ) -> Iterator[tuple[int, int]]:
+        for i in range(graph.n - 1, -1, -1):
+            root = 1 << i
+            yield from self._complements(graph, root)
+            for csg in graph.expand_connected(root, prefix_mask(i)):
+                yield from self._complements(graph, csg)
+
+    def _complements(
+        self, graph: JoinGraph, subgraph: int
+    ) -> Iterator[tuple[int, int]]:
+        """All csg-cmp pairs ``(subgraph, cmp)`` for one csg."""
+        exclude = prefix_mask(min_index(subgraph)) | subgraph
+        neighborhood = graph.neighbors(subgraph) & ~exclude
+        for v in iter_bits_desc(neighborhood):
+            seed = 1 << v
+            yield subgraph, seed
+            # Lower-indexed neighborhood vertices are excluded from the
+            # expansion: a complement containing one is rooted there and
+            # will be emitted from that seed instead (no duplicates).
+            restricted = exclude | (prefix_mask(v) & neighborhood)
+            for cmp_ in graph.expand_connected(seed, restricted):
+                yield subgraph, cmp_
+
+
+class Greedy(EnumerationStrategy):
+    """Greedy operator ordering (GOO) for graphs too large for exact DP.
+
+    Starts from singleton components and repeatedly merges the adjacent
+    pair whose join output has the smallest estimated cardinality (ties
+    broken deterministically by scan order).  Yields exactly n-1 pairs and
+    never revisits a shape, so plan generation is polynomial; the price is
+    that only one join tree is explored.
+    """
+
+    name = "greedy"
+
+    def pairs(
+        self, graph: JoinGraph, cardinality: CardinalityFn
+    ) -> Iterator[tuple[int, int]]:
+        components = [1 << i for i in range(graph.n)]
+        while len(components) > 1:
+            best_i = best_j = -1
+            best_card = math.inf
+            for i in range(len(components)):
+                for j in range(i + 1, len(components)):
+                    if not graph.connects(components[i], components[j]):
+                        continue
+                    card = cardinality(components[i] | components[j])
+                    if card < best_card:
+                        best_card, best_i, best_j = card, i, j
+            if best_i < 0:  # pragma: no cover - run() pre-checks connectivity
+                raise ValueError("join graph is disconnected")
+            left, right = components[best_i], components[best_j]
+            yield left, right
+            components[best_i] = left | right
+            del components[best_j]
+
+
+ENUMERATORS: dict[str, type[EnumerationStrategy]] = {
+    DPsub.name: DPsub,
+    DPccp.name: DPccp,
+    Greedy.name: Greedy,
+}
+
+
+def resolve_enumerator(name: str, n_relations: int, greedy_threshold: int) -> str:
+    """Resolve a configured enumerator name for a concrete query.
+
+    ``"auto"`` selects by relation count: DPccp while exact DP is feasible,
+    Greedy beyond ``greedy_threshold`` relations.  Explicit names pass
+    through (after validation) — benchmarks and the differential oracle
+    pin their enumerator regardless of size.
+    """
+    if name == AUTO:
+        return Greedy.name if n_relations > greedy_threshold else DPccp.name
+    if name not in ENUMERATORS:
+        raise ValueError(
+            f"unknown enumerator {name!r}; "
+            f"available: {AUTO}, {', '.join(sorted(ENUMERATORS))}"
+        )
+    return name
+
+
+def make_strategy(name: str) -> EnumerationStrategy:
+    """Instantiate a (resolved, non-``auto``) strategy by name."""
+    return ENUMERATORS[name]()

@@ -1,15 +1,34 @@
-"""The join graph, bitmask-indexed for the dynamic-programming enumerator.
+"""The join graph, bitmask-indexed for the join enumerators.
 
 Relations are numbered in query order; a subset of relations is an ``int``
-bitmask.  The DP plan generator (``repro.plangen.dp``) relies on
-connectivity tests and on listing the join predicates crossing a partition,
-both provided here with memoization.
+bitmask.  The enumeration strategies (``repro.plangen.enumerate``) rely on
+the machinery here:
+
+* **connectivity tests** (:meth:`JoinGraph.connected`), memoized in a plain
+  per-instance dict (bounded by the graph's lifetime — no reference cycles,
+  unlike a per-instance ``lru_cache``);
+* **ordered neighborhoods** (:meth:`JoinGraph.neighbors`, :func:`iter_bits`,
+  :func:`iter_bits_desc`) and **min-prefix masks** (:func:`prefix_mask`,
+  :func:`min_index`), the ingredients of DPccp's ``EnumerateCsg`` /
+  ``EnumerateCmp``;
+* **non-materializing connected-subset iteration**
+  (:meth:`JoinGraph.connected_subsets`, :meth:`JoinGraph.expand_connected`)
+  — a generator visiting each connected subset exactly once, never touching
+  the 2^n mask space of disconnected subsets;
+* the reference **partition enumeration** (:meth:`JoinGraph.partitions`),
+  the naive O(3^n) submask scan kept as the DPsub oracle;
+* optional **cross-product edges**: with ``cross_products=True`` a
+  disconnected join graph is stitched together with synthesized
+  predicate-free edges (one chain over the component representatives), so
+  every query plans instead of raising.  Synthetic edges appear in the
+  adjacency (connectivity, :meth:`connects`) but never in
+  :meth:`edges_between` / :meth:`edges_within` — a pair joined only by a
+  synthetic edge is a cross product and carries no predicate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from .predicates import JoinPredicate
@@ -17,18 +36,56 @@ from .query import QuerySpec
 
 
 def iter_bits(mask: int) -> Iterator[int]:
-    """Yield the set bit positions of ``mask``."""
+    """Yield the set bit positions of ``mask``, lowest first."""
     while mask:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
 
 
+def iter_bits_desc(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask``, highest first."""
+    while mask:
+        high = mask.bit_length() - 1
+        yield high
+        mask ^= 1 << high
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """Yield the non-empty submasks of ``mask`` in increasing numeric order.
+
+    Increasing order implies every submask is yielded before any of its
+    strict supersets — the property DPccp's emission order (and therefore
+    DP validity) rests on.
+    """
+    sub = (-mask) & mask
+    while sub:
+        yield sub
+        sub = (sub - mask) & mask
+
+
+def min_index(mask: int) -> int:
+    """Index of the lowest set bit (the DPccp root of a subset)."""
+    return (mask & -mask).bit_length() - 1
+
+
+def prefix_mask(i: int) -> int:
+    """DPccp's ``B_i``: the mask of all vertices with index <= ``i``."""
+    return (1 << (i + 1)) - 1
+
+
 @dataclass
 class JoinGraph:
-    """Join graph over the relations of one query."""
+    """Join graph over the relations of one query.
+
+    ``cross_products=True`` synthesizes predicate-free edges between the
+    connected components (see the module docstring), making the graph — and
+    therefore plan enumeration — total over disconnected queries.
+    """
 
     spec: QuerySpec
+    cross_products: bool = False
+    cross_edges: tuple[tuple[int, int], ...] = field(init=False, default=())
 
     def __post_init__(self) -> None:
         self.aliases = self.spec.aliases
@@ -46,7 +103,17 @@ class JoinGraph:
         for a, b, _ in self.edges:
             self.adjacency[a] |= 1 << b
             self.adjacency[b] |= 1 << a
-        self._connected = lru_cache(maxsize=None)(self._connected_uncached)
+        self._connected_cache: dict[int, bool] = {}
+        if self.cross_products:
+            self.cross_edges = self._synthesize_cross_edges()
+            for a, b in self.cross_edges:
+                self.adjacency[a] |= 1 << b
+                self.adjacency[b] |= 1 << a
+
+    def _synthesize_cross_edges(self) -> tuple[tuple[int, int], ...]:
+        """Chain the components' lowest-index representatives together."""
+        representatives = [min_index(comp) for comp in self.components()]
+        return tuple(zip(representatives, representatives[1:]))
 
     @property
     def all_mask(self) -> int:
@@ -70,26 +137,55 @@ class JoinGraph:
             result |= self.adjacency[i]
         return result & ~mask
 
-    def _connected_uncached(self, mask: int) -> bool:
-        if mask == 0:
-            return False
-        start = 1 << next(iter_bits(mask))
-        frontier = start
-        seen = start
+    def _reachable(self, start: int, within: int) -> int:
+        """All vertices of ``within`` reachable from ``start`` (⊆ within)."""
+        frontier = seen = start
         while frontier:
             expand = 0
             for i in iter_bits(frontier):
                 expand |= self.adjacency[i]
-            frontier = expand & mask & ~seen
+            frontier = expand & within & ~seen
             seen |= frontier
-        return seen == mask
+        return seen
 
     def connected(self, mask: int) -> bool:
         """Is the induced subgraph on ``mask`` connected?"""
-        return self._connected(mask)
+        cached = self._connected_cache.get(mask)
+        if cached is None:
+            if mask == 0:
+                cached = False
+            else:
+                cached = self._reachable(mask & -mask, mask) == mask
+            self._connected_cache[mask] = cached
+        return cached
+
+    def connects(self, left: int, right: int) -> bool:
+        """Is there any edge — join predicate or synthetic cross-product
+        edge — between ``left`` and ``right``?"""
+        return bool(self.neighbors(left) & right)
+
+    def components(self) -> list[int]:
+        """The connected-component masks, ordered by lowest member index.
+
+        Computed over the current adjacency: with ``cross_products`` the
+        synthesized edges make this a single component by construction (they
+        are added *after* the components are taken of the raw graph).
+        """
+        remaining = self.all_mask
+        result = []
+        while remaining:
+            component = self._reachable(remaining & -remaining, remaining)
+            result.append(component)
+            remaining &= ~component
+        return result
 
     def edges_between(self, left: int, right: int) -> tuple[JoinPredicate, ...]:
-        """Join predicates with one side in ``left`` and the other in ``right``."""
+        """Join predicates with one side in ``left`` and the other in ``right``.
+
+        Empty for a pair linked only by a synthetic cross-product edge —
+        the plan generator turns such a pair into a predicate-free cross
+        join.
+        """
         result = []
         for a, b, join in self.edges:
             if (left >> a & 1 and right >> b & 1) or (left >> b & 1 and right >> a & 1):
@@ -104,21 +200,46 @@ class JoinGraph:
             if mask >> a & 1 and mask >> b & 1
         )
 
+    def expand_connected(self, subgraph: int, exclude: int) -> Iterator[int]:
+        """DPccp's ``EnumerateCsgRec``: every connected strict superset of
+        ``subgraph`` reachable without touching ``exclude``, exactly once.
+
+        Each yielded set appears after all of its yielded subsets (level
+        emissions use :func:`iter_submasks`'s increasing order; recursion
+        only ever adds vertices outside the current neighborhood), which is
+        what makes the stream consumable by bottom-up DP.
+        """
+        neighborhood = self.neighbors(subgraph) & ~exclude
+        if not neighborhood:
+            return
+        for grow in iter_submasks(neighborhood):
+            yield subgraph | grow
+        for grow in iter_submasks(neighborhood):
+            yield from self.expand_connected(subgraph | grow, exclude | neighborhood)
+
     def connected_subsets(self) -> Iterator[int]:
-        """All connected relation subsets, in increasing size order."""
-        masks = [
-            mask
-            for mask in range(1, self.all_mask + 1)
-            if self.connected(mask)
-        ]
-        masks.sort(key=lambda m: (m.bit_count(), m))
-        return iter(masks)
+        """Every connected relation subset exactly once, as a true generator.
+
+        DPccp's ``EnumerateCsg``: each subset is rooted at its lowest
+        vertex and grown only toward higher indices, so nothing close to
+        the 2^n mask space is ever materialized (or even visited) on sparse
+        graphs.  Order guarantee — weaker than the old sorted-by-size list
+        but exactly what DP needs: every connected subset is yielded after
+        all of its connected proper subsets.
+        """
+        for i in range(self.n - 1, -1, -1):
+            yield 1 << i
+            yield from self.expand_connected(1 << i, prefix_mask(i))
 
     def partitions(self, mask: int) -> Iterator[tuple[int, int]]:
         """Unordered partitions (S1, S2) of a connected ``mask`` such that
-        S1 and S2 are connected and joined by at least one edge.
+        S1 and S2 are connected and joined by at least one edge (possibly a
+        synthetic cross-product edge).
 
         Each unordered pair is yielded once (S1 contains the lowest bit).
+        This is the naive DPsub scan — every submask of ``mask`` is visited,
+        O(3^n) summed over all masks — kept as the reference oracle for the
+        DPccp enumerator.
         """
         lowest = mask & -mask
         rest = mask ^ lowest
@@ -127,9 +248,13 @@ class JoinGraph:
         while True:
             left = lowest | sub
             right = mask ^ left
-            if right and self.connected(left) and self.connected(right):
-                if self.edges_between(left, right):
-                    yield left, right
+            if (
+                right
+                and self.connected(left)
+                and self.connected(right)
+                and self.connects(left, right)
+            ):
+                yield left, right
             if sub == 0:
                 break
             sub = (sub - 1) & rest

@@ -109,7 +109,12 @@ class SessionPool:
 
         The fingerprint digest is a stable hex string (sha256 prefix), so
         routing is deterministic across runs and across processes — the
-        process path reuses it to partition batches.
+        process path reuses it to partition batches.  Routing uses the
+        *base* fingerprint (no enumerator component): the sessions record
+        the resolved enumeration strategy in their own prepared-cache keys,
+        and since resolution is a pure function of the query's relation
+        count, every variant of a template still lands on one shard with
+        one strategy.
         """
         fingerprint = preparation_fingerprint(
             info.interesting, info.fdsets, self.config.builder_options

@@ -40,6 +40,7 @@ from ..core.optimizer import BuilderOptions, OrderOptimizer, preparation_fingerp
 from ..plangen.backends import FsmBackend, OrderingBackend
 from ..plangen.cost import DEFAULT_COST_MODEL, CostModel
 from ..plangen.dp import PlanGenConfig, PlanGenerator, PlanGenResult
+from ..plangen.enumerate import resolve_enumerator
 from ..query.analyzer import QueryOrderInfo, analyze
 from ..query.predicates import EqualsConstant, RangePredicate
 from ..query.query import QuerySpec
@@ -122,18 +123,34 @@ class SessionStatistics:
     plans: CacheStats = field(default_factory=CacheStats)
     prepared_entries: int = 0
     plan_entries: int = 0
+    enumerators: dict[str, int] = field(default_factory=dict)
+    """Queries served per resolved join-enumeration strategy (``auto``
+    resolves per query by relation count, so a mixed workload shows e.g.
+    ``{"dpccp": 40, "greedy": 2}``).  Plan-cache hits count too: the
+    strategy answered the query, whether freshly or from cache."""
 
     def add(self, other: "SessionStatistics") -> "SessionStatistics":
         """Element-wise sum, for aggregating per-shard statistics."""
+        merged = dict(self.enumerators)
+        for name, count in other.enumerators.items():
+            merged[name] = merged.get(name, 0) + count
         return SessionStatistics(
             queries=self.queries + other.queries,
             prepared=self.prepared.add(other.prepared),
             plans=self.plans.add(other.plans),
             prepared_entries=self.prepared_entries + other.prepared_entries,
             plan_entries=self.plan_entries + other.plan_entries,
+            enumerators=merged,
         )
 
     def describe(self) -> str:
+        by_strategy = (
+            ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.enumerators.items())
+            )
+            or "none"
+        )
         return "\n".join(
             (
                 f"queries optimized : {self.queries}",
@@ -141,6 +158,7 @@ class SessionStatistics:
                 f"{self.prepared_entries} entry(ies)",
                 f"plan cache        : {self.plans.describe()}, "
                 f"{self.plan_entries} entry(ies)",
+                f"enumerators       : {by_strategy}",
             )
         )
 
@@ -186,29 +204,52 @@ class OptimizationSession:
             config.plan_cache_size, check_owner=config.enforce_single_owner
         )
         self._queries = 0
+        self._enumerator_counts: dict[str, int] = {}
 
     # -- prepared-state cache -------------------------------------------------
 
     def _cached_prepare(
-        self, info: QueryOrderInfo, options: BuilderOptions
+        self, info: QueryOrderInfo, options: BuilderOptions, enumerator: str
     ) -> OrderOptimizer:
-        """Serve a prepared component from the cache, building it on a miss."""
-        key = preparation_fingerprint(info.interesting, info.fdsets, options)
+        """Serve a prepared component from the cache, building it on a miss.
+
+        The cache key records the resolved enumeration strategy alongside
+        the preparation inputs.  Prepared state is enumerator-independent,
+        and within one session a template always resolves to the same
+        strategy (resolution depends only on relation count), so this never
+        costs an extra miss — it just keeps every fingerprint attributable
+        to the enumeration context it served.
+        """
+        key = preparation_fingerprint(
+            info.interesting, info.fdsets, options, enumerator=enumerator
+        )
         return self._prepared.get_or_create(
             key,
             lambda: OrderOptimizer.prepare(info.interesting, info.fdsets, options),
         )
 
-    def _make_backend(self) -> OrderingBackend:
+    def resolve_enumerator_for(self, spec: QuerySpec) -> str:
+        """The enumeration strategy this session's config picks for ``spec``."""
+        plangen = self.config.plangen
+        return resolve_enumerator(
+            plangen.enumerator, len(spec.relations), plangen.greedy_threshold
+        )
+
+    def _make_backend(self, enumerator: str) -> OrderingBackend:
         if self._backend_factory is None:
             options = self.config.builder_options
             return FsmBackend(
-                options, preparer=lambda info: self._cached_prepare(info, options)
+                options,
+                preparer=lambda info: self._cached_prepare(
+                    info, options, enumerator
+                ),
             )
         backend = self._backend_factory()
         if isinstance(backend, FsmBackend) and backend.preparer is None:
             options = backend.options
-            backend.preparer = lambda info: self._cached_prepare(info, options)
+            backend.preparer = lambda info: self._cached_prepare(
+                info, options, enumerator
+            )
         return backend
 
     # -- the service API ------------------------------------------------------
@@ -229,6 +270,10 @@ class OptimizationSession:
                 "than this session's"
             )
         self._queries += 1
+        enumerator = self.resolve_enumerator_for(spec)
+        self._enumerator_counts[enumerator] = (
+            self._enumerator_counts.get(enumerator, 0) + 1
+        )
         key = canonical_query_key(spec)
         hit = self._plans.get(key)
         if hit is not None:
@@ -237,7 +282,7 @@ class OptimizationSession:
             info = analyze_for_config(spec, self.config)
         result = PlanGenerator(
             spec,
-            self._make_backend(),
+            self._make_backend(enumerator),
             self.cost_model,
             self.config.plangen,
             info=info,
@@ -264,6 +309,7 @@ class OptimizationSession:
             plans=replace(self._plans.stats),
             prepared_entries=len(self._prepared),
             plan_entries=len(self._plans),
+            enumerators=dict(self._enumerator_counts),
         )
 
     def clear_caches(self) -> None:

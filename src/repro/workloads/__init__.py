@@ -1,12 +1,15 @@
 """Workloads: random join graphs (Figures 13/14), template repetition, TPC-R Q8."""
 
 from .generator import (
+    TOPOLOGIES,
     GeneratorConfig,
     query_family,
     random_join_query,
     skewed_client_streams,
     template_variants,
     template_workload,
+    topology_edges,
+    topology_query,
 )
 from .tpch_queries import (
     ALL_TPCH_QUERIES,
@@ -20,6 +23,9 @@ from .tpch_queries import (
 
 __all__ = [
     "GeneratorConfig",
+    "TOPOLOGIES",
+    "topology_edges",
+    "topology_query",
     "random_join_query",
     "query_family",
     "skewed_client_streams",

@@ -17,6 +17,7 @@ Generation is fully deterministic given a seed:
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, replace
 from typing import Iterator
@@ -25,6 +26,43 @@ from ..catalog.schema import Catalog, Column, Index, Table
 from ..core.attributes import Attribute
 from ..query.predicates import EqualsConstant, JoinPredicate
 from ..query.query import QuerySpec, RelationRef
+
+
+#: Explicit join-graph topologies: the shapes whose enumeration asymptotics
+#: differ (chains/cycles/grids are polynomial for DPccp, stars/cliques are
+#: inherently exponential for exact DP).
+TOPOLOGIES = ("chain", "star", "cycle", "clique", "grid")
+
+
+def topology_edges(topology: str, n: int) -> list[tuple[int, int]]:
+    """Edge list (i, j) with i < j of an explicit ``n``-relation topology.
+
+    ``grid`` lays the relations out row-major on a near-square lattice
+    (``ceil(sqrt(n))`` columns) with horizontal and vertical adjacency.
+    ``cycle`` needs n >= 3 (at n == 2 it would duplicate the chain edge).
+    """
+    if topology == "chain":
+        return [(i, i + 1) for i in range(n - 1)]
+    if topology == "star":
+        return [(0, i) for i in range(1, n)]
+    if topology == "cycle":
+        if n < 3:
+            raise ValueError(f"a cycle needs at least 3 relations, got {n}")
+        return [(i, i + 1) for i in range(n - 1)] + [(0, n - 1)]
+    if topology == "clique":
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if topology == "grid":
+        columns = math.isqrt(n - 1) + 1
+        edges = []
+        for cell in range(n):
+            if (cell + 1) % columns and cell + 1 < n:
+                edges.append((cell, cell + 1))
+            if cell + columns < n:
+                edges.append((cell, cell + columns))
+        return edges
+    raise ValueError(
+        f"unknown topology {topology!r}; available: {', '.join(TOPOLOGIES)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -44,6 +82,12 @@ class GeneratorConfig:
     :func:`template_workload` keeps its templates from sharing one
     preparation fingerprint."""
 
+    topology: str | None = None
+    """Explicit join-graph shape (one of :data:`TOPOLOGIES`) instead of the
+    paper's chain-plus-random-edges default.  Cardinalities and indexes
+    stay seed-randomized; only the edge structure is pinned.  Mutually
+    exclusive with ``n_edges``."""
+
     def resolved_edges(self) -> int:
         if self.n_edges is None:
             return self.n_relations - 1
@@ -56,25 +100,31 @@ class GeneratorConfig:
 
 
 def random_join_query(config: GeneratorConfig) -> QuerySpec:
-    """Generate one random query: a chain plus random extra edges."""
+    """Generate one random query: an explicit topology when
+    ``config.topology`` is set, otherwise a chain plus random extra edges."""
     rng = random.Random(config.seed)
     n = config.n_relations
     prefix = config.relation_prefix
     if n < 2:
         raise ValueError("need at least two relations")
 
-    # Pick edges: chain first, then random non-duplicate pairs.
-    edges: list[tuple[int, int]] = [(i, i + 1) for i in range(n - 1)]
-    existing = set(edges)
-    candidates = [
-        (i, j)
-        for i in range(n)
-        for j in range(i + 1, n)
-        if (i, j) not in existing
-    ]
-    rng.shuffle(candidates)
-    extra = config.resolved_edges() - len(edges)
-    edges.extend(candidates[:extra])
+    if config.topology is not None:
+        if config.n_edges is not None:
+            raise ValueError("topology and n_edges are mutually exclusive")
+        edges = topology_edges(config.topology, n)
+    else:
+        # Pick edges: chain first, then random non-duplicate pairs.
+        edges = [(i, i + 1) for i in range(n - 1)]
+        existing = set(edges)
+        candidates = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (i, j) not in existing
+        ]
+        rng.shuffle(candidates)
+        extra = config.resolved_edges() - len(edges)
+        edges.extend(candidates[:extra])
 
     # Column layout: one fresh column per edge endpoint.
     columns: dict[int, list[Column]] = {i: [] for i in range(n)}
@@ -118,7 +168,31 @@ def random_join_query(config: GeneratorConfig) -> QuerySpec:
         catalog=catalog,
         relations=tuple(RelationRef(f"{prefix}{i}") for i in range(n)),
         joins=tuple(joins),
-        name=f"rand-n{n}-e{len(edges)}-s{config.seed}",
+        name=f"{config.topology or 'rand'}-n{n}-e{len(edges)}-s{config.seed}",
+    )
+
+
+def topology_query(
+    topology: str,
+    n_relations: int,
+    *,
+    seed: int = 0,
+    base_config: GeneratorConfig | None = None,
+) -> QuerySpec:
+    """One query with an explicit join-graph shape (see :data:`TOPOLOGIES`).
+
+    The workload of the enumerator benchmarks: shape pinned, statistics
+    (cardinalities, clustered indexes) seed-randomized as usual.
+    """
+    config = base_config or GeneratorConfig()
+    return random_join_query(
+        replace(
+            config,
+            n_relations=n_relations,
+            n_edges=None,
+            topology=topology,
+            seed=seed,
+        )
     )
 
 

@@ -14,7 +14,7 @@ from repro.plangen import (
     SimmenBackend,
     generate_plan,
 )
-from repro.plangen.plan import INDEX_SCAN, MERGE_JOIN, SCAN, SORT
+from repro.plangen.plan import INDEX_SCAN, MERGE_JOIN, NL_JOIN, SCAN, SORT
 from repro.query.predicates import EqualsConstant, JoinPredicate
 from repro.query.query import make_query
 from repro.workloads.generator import GeneratorConfig, random_join_query
@@ -126,6 +126,77 @@ class TestJoins:
         costs = {b.name: generate_plan(spec, b).best_plan.cost
                  for b in (FsmBackend(), SimmenBackend(), OracleBackend())}
         assert len(set(costs.values())) == 1, costs
+
+
+class TestCrossProducts:
+    def test_disconnected_plans_with_cross_products(self):
+        catalog = two_table_catalog(card_t=1000, card_u=50)
+        spec = make_query(catalog, ["t", "u"])  # no join predicate
+        config = PlanGenConfig(enable_cross_products=True)
+        result = generate_plan(spec, FsmBackend(), config=config)
+        assert result.best_plan.op == NL_JOIN
+        assert result.best_plan.detail == "cross product"
+        assert result.best_plan.predicates == ()
+        assert result.best_plan.cardinality == pytest.approx(1000 * 50)
+
+    @pytest.mark.parametrize("enumerator", ["dpsub", "dpccp", "greedy"])
+    def test_partially_connected_all_enumerators_agree(self, enumerator):
+        """Two joined relations plus an island: every strategy plans it,
+        the exact ones at the exact optimum."""
+        catalog = (
+            two_table_catalog()
+            .add(simple_table("v", ["c"], 30))
+        )
+        spec = make_query(
+            catalog,
+            ["t", "u", "v"],
+            [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+        )
+        config = PlanGenConfig(
+            enable_cross_products=True, enumerator=enumerator
+        )
+        result = generate_plan(spec, FsmBackend(), config=config)
+        assert result.best_plan.relations == 0b111
+        exact = generate_plan(
+            spec,
+            FsmBackend(),
+            config=PlanGenConfig(enable_cross_products=True, enumerator="dpsub"),
+        )
+        if enumerator != "greedy":
+            assert result.best_plan.cost == pytest.approx(exact.best_plan.cost)
+        else:
+            assert result.best_plan.cost >= exact.best_plan.cost - 1e-6
+
+    def test_cross_product_survives_nl_join_disabled(self):
+        """Nested loops is the only cross-join implementation, so the
+        synthetic pair ignores the operator toggle instead of dead-ending."""
+        catalog = two_table_catalog()
+        spec = make_query(catalog, ["t", "u"])
+        config = PlanGenConfig(enable_cross_products=True, enable_nl_join=False)
+        result = generate_plan(spec, FsmBackend(), config=config)
+        assert result.best_plan.op == NL_JOIN
+
+
+class TestEnumeratorConfig:
+    def test_stats_record_resolved_enumerator_and_pairs(self):
+        spec = two_table_query(two_table_catalog())
+        result = generate_plan(spec, FsmBackend())
+        assert result.stats.enumerator == "dpccp"  # auto at n=2
+        assert result.stats.pairs_visited == 1
+
+    def test_auto_threshold_switches_to_greedy(self):
+        spec = random_join_query(GeneratorConfig(n_relations=5, seed=0))
+        config = PlanGenConfig(greedy_threshold=4)
+        result = generate_plan(spec, FsmBackend(), config=config)
+        assert result.stats.enumerator == "greedy"
+        assert result.stats.pairs_visited == 4
+
+    def test_unknown_enumerator_raises(self):
+        spec = two_table_query(two_table_catalog())
+        with pytest.raises(ValueError, match="unknown enumerator"):
+            generate_plan(
+                spec, FsmBackend(), config=PlanGenConfig(enumerator="bushy")
+            )
 
 
 class TestBackendAgreement:

@@ -1,0 +1,237 @@
+"""Unit + differential tests for the pluggable enumeration layer.
+
+The heart of this module is the differential oracle demanded by the DPccp
+refactor: on hundreds of seeded random graphs across every topology, the
+DPccp enumerator must be *indistinguishable* from the naive DPsub oracle —
+identical optimal costs under both ordering backends, identical pair sets,
+and never more visited pairs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimizer import OrderOptimizer, preparation_fingerprint
+from repro.plangen import (
+    ENUMERATORS,
+    DPccp,
+    DPsub,
+    FsmBackend,
+    Greedy,
+    PlanGenConfig,
+    SimmenBackend,
+    generate_plan,
+    make_strategy,
+    resolve_enumerator,
+)
+from repro.query.joingraph import JoinGraph
+from repro.workloads.generator import (
+    TOPOLOGIES,
+    GeneratorConfig,
+    random_join_query,
+    topology_query,
+)
+
+
+def graph_of(spec, **kwargs):
+    return JoinGraph(spec, **kwargs)
+
+
+def pair_list(strategy_name, graph):
+    cardinality = lambda mask: float(mask)  # only greedy consults it
+    return list(make_strategy(strategy_name).pairs(graph, cardinality))
+
+
+class TestResolution:
+    def test_auto_resolves_by_relation_count(self):
+        assert resolve_enumerator("auto", 5, 12) == "dpccp"
+        assert resolve_enumerator("auto", 12, 12) == "dpccp"
+        assert resolve_enumerator("auto", 13, 12) == "greedy"
+
+    def test_explicit_names_pass_through(self):
+        for name in ENUMERATORS:
+            assert resolve_enumerator(name, 100, 2) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown enumerator"):
+            resolve_enumerator("bushy", 5, 12)
+
+    def test_registry_names(self):
+        assert set(ENUMERATORS) == {"dpsub", "dpccp", "greedy"}
+        assert isinstance(make_strategy("dpccp"), DPccp)
+        assert isinstance(make_strategy("dpsub"), DPsub)
+        assert isinstance(make_strategy("greedy"), Greedy)
+
+
+class TestPairContracts:
+    """Structural contract of pairs(): validity, uniqueness, DP-valid order."""
+
+    def graphs(self):
+        for topology in TOPOLOGIES:
+            n = 6 if topology != "clique" else 5
+            yield graph_of(topology_query(topology, n, seed=1))
+        yield graph_of(
+            random_join_query(GeneratorConfig(n_relations=6, n_edges=8, seed=3))
+        )
+
+    def test_pairs_are_valid_and_unique(self):
+        for graph in self.graphs():
+            for name in ("dpsub", "dpccp"):
+                seen = set()
+                for left, right in pair_list(name, graph):
+                    assert left and right and left & right == 0
+                    assert graph.connected(left) and graph.connected(right)
+                    assert graph.connects(left, right)
+                    key = frozenset((left, right))
+                    assert key not in seen, f"{name} duplicated {left:b}|{right:b}"
+                    seen.add(key)
+
+    def test_dpccp_pair_set_equals_dpsub(self):
+        for graph in self.graphs():
+            dpsub = {frozenset(p) for p in pair_list("dpsub", graph)}
+            dpccp = {frozenset(p) for p in pair_list("dpccp", graph)}
+            assert dpccp == dpsub
+
+    def test_dp_valid_emission_order(self):
+        """When a pair arrives, both sides' DP tables must be complete:
+        every pair whose union equals a side has already been emitted."""
+        for graph in self.graphs():
+            for name in ("dpsub", "dpccp"):
+                pairs = pair_list(name, graph)
+                last_pair_of_union = {}
+                for index, (left, right) in enumerate(pairs):
+                    last_pair_of_union[left | right] = index
+                for index, (left, right) in enumerate(pairs):
+                    for side in (left, right):
+                        if side.bit_count() < 2:
+                            continue
+                        assert last_pair_of_union[side] < index, (
+                            f"{name}: pair #{index} uses incomplete side "
+                            f"{side:b}"
+                        )
+
+    def test_chain_ccp_count_is_cubic(self):
+        # chains have exactly (n^3 - n) / 6 csg-cmp pairs
+        for n in (4, 8, 12):
+            graph = graph_of(topology_query("chain", n))
+            assert len(pair_list("dpccp", graph)) == (n**3 - n) // 6
+
+    def test_greedy_yields_one_join_tree(self):
+        for graph in self.graphs():
+            pairs = pair_list("greedy", graph)
+            assert len(pairs) == graph.n - 1
+            covered = set()
+            for left, right in pairs:
+                assert left & right == 0
+                assert graph.connects(left, right)
+                covered.add(left | right)
+            assert graph.all_mask in covered
+
+    def test_greedy_prefers_smallest_join(self):
+        graph = graph_of(topology_query("star", 5, seed=0))
+        cards = {}
+
+        def cardinality(mask):
+            cards.setdefault(mask, float(mask.bit_count() * 100 - mask))
+            return cards[mask]
+
+        first = next(iter(Greedy().pairs(graph, cardinality)))
+        best = min(
+            (1 | (1 << i) for i in range(1, 5)),
+            key=cardinality,
+        )
+        assert first[0] | first[1] == best
+
+
+def _random_topology_spec(seed):
+    """Deterministic spec #seed: cycles through every topology, n <= 10.
+
+    Size caps per topology keep the four-run differential affordable: the
+    sparse shapes (DPccp's target) go up to n=10, while dense shapes stop
+    where the DPsub oracle's exhaustive scan is still cheap.
+    """
+    rng = random.Random(10_000 + seed)
+    kinds = ("chain", "star", "cycle", "clique", "grid", "random")
+    kind = kinds[seed % len(kinds)]
+    if kind == "clique":
+        return topology_query("clique", rng.randint(3, 5), seed=seed)
+    if kind == "grid":
+        return topology_query("grid", rng.randint(4, 7), seed=seed)
+    if kind == "star":
+        return topology_query("star", rng.randint(3, 7), seed=seed)
+    if kind == "random":
+        n = rng.randint(3, 8)
+        extra = rng.randint(0, min(3, n * (n - 1) // 2 - (n - 1)))
+        return random_join_query(
+            GeneratorConfig(n_relations=n, n_edges=n - 1 + extra, seed=seed)
+        )
+    if kind == "cycle":
+        return topology_query("cycle", rng.randint(3, 8), seed=seed)
+    return topology_query("chain", rng.randint(2, 10), seed=seed)
+
+
+class TestDifferentialOracle:
+    """DPccp vs the DPsub oracle on >= 200 seeded graphs, both backends."""
+
+    N_GRAPHS = 200
+
+    @pytest.mark.parametrize("batch", range(8))
+    def test_dpccp_matches_dpsub_costs_and_pairs(self, batch):
+        batch_size = self.N_GRAPHS // 8
+        for seed in range(batch * batch_size, (batch + 1) * batch_size):
+            spec = _random_topology_spec(seed)
+
+            # One prepared FSM component per spec, shared by both
+            # enumerator runs: preparation is enumerator-independent.
+            prepared = {}
+
+            def preparer(info):
+                key = preparation_fingerprint(info.interesting, info.fdsets)
+                if key not in prepared:
+                    prepared[key] = OrderOptimizer.prepare(
+                        info.interesting, info.fdsets
+                    )
+                return prepared[key]
+
+            results = {}
+            for backend_name, backend_factory in (
+                ("fsm", lambda: FsmBackend(preparer=preparer)),
+                ("simmen", SimmenBackend),
+            ):
+                for enumerator in ("dpsub", "dpccp"):
+                    results[backend_name, enumerator] = generate_plan(
+                        spec,
+                        backend_factory(),
+                        config=PlanGenConfig(enumerator=enumerator),
+                    )
+
+            for backend_name in ("fsm", "simmen"):
+                sub = results[backend_name, "dpsub"]
+                ccp = results[backend_name, "dpccp"]
+                assert ccp.best_plan.cost == pytest.approx(
+                    sub.best_plan.cost
+                ), f"{spec.name}: {backend_name} costs diverged"
+                assert ccp.stats.pairs_visited <= sub.stats.pairs_visited, (
+                    f"{spec.name}: DPccp visited more pairs than DPsub"
+                )
+                assert ccp.stats.plans_created == sub.stats.plans_created, (
+                    f"{spec.name}: {backend_name} search spaces diverged"
+                )
+
+
+class TestGreedyQuality:
+    """Greedy is a heuristic: valid plans, never better than exact DP."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_greedy_cost_bounded_below_by_exact(self, seed):
+        spec = _random_topology_spec(seed)
+        exact = generate_plan(
+            spec, FsmBackend(), config=PlanGenConfig(enumerator="dpccp")
+        )
+        greedy = generate_plan(
+            spec, FsmBackend(), config=PlanGenConfig(enumerator="greedy")
+        )
+        assert greedy.best_plan.cost >= exact.best_plan.cost - 1e-6
+        assert greedy.best_plan.relations == exact.best_plan.relations
+        assert greedy.stats.pairs_visited == len(spec.relations) - 1
+        assert greedy.stats.enumerator == "greedy"

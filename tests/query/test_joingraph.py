@@ -2,8 +2,19 @@
 
 import pytest
 
-from repro.query.joingraph import JoinGraph, iter_bits
-from repro.workloads.generator import GeneratorConfig, random_join_query
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.query.joingraph import (
+    JoinGraph,
+    iter_bits,
+    iter_bits_desc,
+    iter_submasks,
+    min_index,
+    prefix_mask,
+)
+from repro.query.predicates import JoinPredicate
+from repro.query.query import make_query
+from repro.workloads.generator import GeneratorConfig, random_join_query, topology_query
 
 
 def chain(n, seed=0):
@@ -18,9 +29,39 @@ def cyclic(n, extra, seed=0):
     )
 
 
+def brute_force_connected_subsets(graph):
+    return {
+        mask
+        for mask in range(1, graph.all_mask + 1)
+        if graph.connected(mask)
+    }
+
+
 def test_iter_bits():
     assert list(iter_bits(0b10110)) == [1, 2, 4]
     assert list(iter_bits(0)) == []
+
+
+def test_iter_bits_desc():
+    assert list(iter_bits_desc(0b10110)) == [4, 2, 1]
+    assert list(iter_bits_desc(0)) == []
+
+
+def test_iter_submasks_increasing():
+    assert list(iter_submasks(0b101)) == [0b001, 0b100, 0b101]
+    assert list(iter_submasks(0)) == []
+    # increasing numeric order implies subsets-before-supersets
+    seen = []
+    for sub in iter_submasks(0b1011):
+        assert all(prior < sub for prior in seen)
+        seen.append(sub)
+    assert len(seen) == 7
+
+
+def test_mask_helpers():
+    assert min_index(0b10100) == 2
+    assert prefix_mask(0) == 0b1
+    assert prefix_mask(3) == 0b1111
 
 
 class TestJoinGraph:
@@ -37,6 +78,17 @@ class TestJoinGraph:
         assert graph.connected(0b1111)
         assert not graph.connected(0b0101)  # R0 and R2 not adjacent
         assert not graph.connected(0)
+
+    def test_connectivity_memoized_in_plain_dict(self):
+        graph = chain(4)
+        assert not graph._connected_cache
+        assert graph.connected(0b0011)
+        assert graph._connected_cache == {0b0011: True}
+        # served from the dict, including negatives
+        assert not graph.connected(0b0101)
+        assert graph._connected_cache[0b0101] is False
+        # no per-instance lru_cache (the seed's reference cycle) remains
+        assert not hasattr(graph, "_connected")
 
     def test_neighbors(self):
         graph = chain(4)
@@ -59,8 +111,34 @@ class TestJoinGraph:
     def test_connected_subsets_chain(self):
         graph = chain(3)
         subsets = list(graph.connected_subsets())
-        # chain R0-R1-R2: singletons, two pairs, one triple
-        assert subsets == [0b001, 0b010, 0b100, 0b011, 0b110, 0b111]
+        # chain R0-R1-R2: singletons, two pairs, one triple — exactly once each
+        assert sorted(subsets) == [0b001, 0b010, 0b011, 0b100, 0b110, 0b111]
+        assert len(subsets) == len(set(subsets))
+
+    def test_connected_subsets_is_lazy_generator(self):
+        graph = chain(3)
+        subsets = graph.connected_subsets()
+        assert not isinstance(subsets, (list, tuple))
+        assert next(iter(subsets)) == 0b100  # highest-rooted singleton first
+
+    def test_connected_subsets_dp_valid_order(self):
+        """Every connected subset appears after all its connected subsets."""
+        for graph in (chain(5), cyclic(5, 2, seed=1), cyclic(6, 3, seed=4)):
+            ordered = list(graph.connected_subsets())
+            position = {mask: i for i, mask in enumerate(ordered)}
+            for mask in ordered:
+                for other in ordered:
+                    if other != mask and other & mask == other:
+                        assert position[other] < position[mask], (
+                            f"{other:b} must precede its superset {mask:b}"
+                        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_connected_subsets_match_brute_force(self, seed):
+        graph = cyclic(6, 1 + seed % 3, seed=seed)
+        subsets = list(graph.connected_subsets())
+        assert len(subsets) == len(set(subsets))
+        assert set(subsets) == brute_force_connected_subsets(graph)
 
     def test_connected_subsets_count_for_cycle(self):
         graph = cyclic(3, 1)  # triangle
@@ -88,3 +166,123 @@ class TestJoinGraph:
         graph = chain(4)
         # chain of 4: the full set splits at each of the 3 edges
         assert len(list(graph.partitions(0b1111))) == 3
+
+    def test_expand_connected_roots_only_upward(self):
+        graph = chain(4)
+        # rooted at R1, excluding R0's side: grows only toward R2, R3
+        grown = list(graph.expand_connected(0b0010, 0b0011))
+        assert grown == [0b0110, 0b1110]
+
+
+class TestAdversarialShapes:
+    """Edge machinery on degenerate and dense graphs."""
+
+    def test_single_relation(self):
+        catalog = Catalog().add(simple_table("t", ["a"], 100))
+        graph = JoinGraph(make_query(catalog, ["t"]))
+        assert graph.n == 1
+        assert graph.all_mask == 0b1
+        assert graph.connected(0b1)
+        assert graph.neighbors(0b1) == 0
+        assert graph.edges_between(0b1, 0) == ()
+        assert graph.edges_within(0b1) == ()
+        assert list(graph.connected_subsets()) == [0b1]
+        assert graph.components() == [0b1]
+
+    def test_duplicate_predicates_between_same_pair(self):
+        catalog = (
+            Catalog()
+            .add(simple_table("t", ["a", "x"], 100))
+            .add(simple_table("u", ["b", "y"], 100))
+        )
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            [
+                JoinPredicate(Attribute("a", "t"), Attribute("b", "u")),
+                JoinPredicate(Attribute("x", "t"), Attribute("y", "u")),
+            ],
+        )
+        graph = JoinGraph(spec)
+        assert len(graph.edges_between(0b01, 0b10)) == 2
+        assert len(graph.edges_within(0b11)) == 2
+        # parallel edges must not duplicate the partition
+        assert list(graph.partitions(0b11)) == [(0b01, 0b10)]
+        assert list(graph.connected_subsets()) == [0b10, 0b01, 0b11]
+
+    def test_cycle_edges(self):
+        graph = JoinGraph(topology_query("cycle", 4))
+        assert graph.neighbors(0b0001) == 0b1010  # R0 touches R1 and R3
+        assert len(graph.edges_within(graph.all_mask)) == 4
+        # splitting the cycle cuts exactly two edges
+        assert len(graph.edges_between(0b0011, 0b1100)) == 2
+        # every submask of a cycle's relations is connected or a split chain
+        assert set(graph.connected_subsets()) == brute_force_connected_subsets(
+            graph
+        )
+
+    def test_clique_partitions(self):
+        graph = JoinGraph(topology_query("clique", 4))
+        # every non-empty subset is connected
+        assert len(list(graph.connected_subsets())) == 15
+        # the full mask splits every way: 2^(n-1) - 1 unordered partitions
+        assert len(list(graph.partitions(graph.all_mask))) == 7
+
+
+class TestCrossProducts:
+    def disconnected_spec(self, n=3):
+        catalog = Catalog()
+        for i in range(n):
+            catalog.add(simple_table(f"t{i}", ["a"], 10 * (i + 1)))
+        return make_query(catalog, [f"t{i}" for i in range(n)])
+
+    def test_disconnected_without_flag(self):
+        graph = JoinGraph(self.disconnected_spec())
+        assert not graph.connected(graph.all_mask)
+        assert graph.cross_edges == ()
+        assert graph.components() == [0b001, 0b010, 0b100]
+
+    def test_cross_edges_connect_components(self):
+        graph = JoinGraph(self.disconnected_spec(), cross_products=True)
+        assert graph.connected(graph.all_mask)
+        assert graph.cross_edges == ((0, 1), (1, 2))
+        assert graph.components() == [0b111]
+        # synthetic edges are adjacency-only: no predicates anywhere
+        assert graph.connects(0b001, 0b010)
+        assert graph.edges_between(0b001, 0b010) == ()
+        assert graph.edges_within(graph.all_mask) == ()
+
+    def test_cross_edges_bridge_real_components(self):
+        """Two joined pairs, no edge between the pairs."""
+        catalog = (
+            Catalog()
+            .add(simple_table("a", ["x"], 10))
+            .add(simple_table("b", ["x"], 10))
+            .add(simple_table("c", ["x"], 10))
+            .add(simple_table("d", ["x"], 10))
+        )
+        spec = make_query(
+            catalog,
+            ["a", "b", "c", "d"],
+            [
+                JoinPredicate(Attribute("x", "a"), Attribute("x", "b")),
+                JoinPredicate(Attribute("x", "c"), Attribute("x", "d")),
+            ],
+        )
+        graph = JoinGraph(spec, cross_products=True)
+        assert graph.cross_edges == ((0, 2),)  # component representatives
+        assert graph.connected(graph.all_mask)
+        # real predicates still found, synthetic pair yields none
+        assert len(graph.edges_between(0b0011, 0b1100)) == 0
+        assert graph.connects(0b0011, 0b1100)
+        assert len(graph.edges_between(0b0001, 0b0010)) == 1
+        # partitions of the full mask exist despite the predicate gap
+        partitions = list(graph.partitions(graph.all_mask))
+        assert partitions
+        for left, right in partitions:
+            assert graph.connected(left) and graph.connected(right)
+            assert graph.connects(left, right)
+
+    def test_connected_graph_gets_no_cross_edges(self):
+        graph = JoinGraph(topology_query("chain", 4), cross_products=True)
+        assert graph.cross_edges == ()

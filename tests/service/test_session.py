@@ -295,12 +295,59 @@ def test_dominance_relation_is_memoized_on_cached_component():
         catalog, backend_factory=lambda: FsmBackend(use_dominance=True)
     )
     session.optimize(demo_query(catalog, "alice"))
-    info = analyze(demo_query(catalog, "bob"))
-    cached = session._cached_prepare(info, session.config.builder_options)
+    spec = demo_query(catalog, "bob")
+    info = analyze(spec)
+    cached = session._cached_prepare(
+        info,
+        session.config.builder_options,
+        session.resolve_enumerator_for(spec),
+    )
     first = cached.simulation_dominance_relation()
     assert cached.simulation_dominance_relation() is first
     session.optimize(demo_query(catalog, "bob"))
     assert session.statistics().prepared.hits >= 1
+
+
+def test_statistics_record_resolved_enumerators():
+    """auto resolves per query by relation count; hits count too."""
+    from repro.plangen import PlanGenConfig
+    from repro.workloads import topology_query
+
+    config = SessionConfig(plangen=PlanGenConfig(greedy_threshold=4))
+    session = OptimizationSession(config=config)
+    small = topology_query("chain", 3, seed=1)  # 3 <= 4 -> dpccp
+    large = topology_query("chain", 6, seed=2)  # 6 > 4 -> greedy
+    session.optimize(small)
+    session.optimize(large)
+    session.optimize(small)  # plan-cache hit, still served by dpccp
+    stats = session.statistics()
+    assert stats.enumerators == {"dpccp": 2, "greedy": 1}
+    assert "enumerators" in stats.describe()
+    assert "dpccp=2" in stats.describe()
+
+
+def test_statistics_add_merges_enumerator_counts():
+    from repro.service import SessionStatistics
+
+    a = SessionStatistics(queries=1, enumerators={"dpccp": 1})
+    b = SessionStatistics(queries=2, enumerators={"dpccp": 1, "greedy": 2})
+    merged = a.add(b)
+    assert merged.enumerators == {"dpccp": 2, "greedy": 2}
+    # inputs untouched
+    assert a.enumerators == {"dpccp": 1}
+
+
+def test_fingerprint_discriminates_enumerator_when_asked():
+    catalog = demo_catalog()
+    info = analyze(demo_query(catalog))
+    base = preparation_fingerprint(info.interesting, info.fdsets)
+    tagged = preparation_fingerprint(
+        info.interesting, info.fdsets, enumerator="dpccp"
+    )
+    assert base != tagged
+    assert base.digest() != tagged.digest()
+    assert base.enumerator == ""
+    assert tagged.enumerator == "dpccp"
 
 
 def test_plan_generator_uses_injected_info():

@@ -59,6 +59,44 @@ def test_sweep_tiny(capsys):
     assert "%t" in out
 
 
+def test_plan_enumerator_flag(capsys):
+    sql = "select * from persons, jobs where persons.jobid = jobs.id"
+    assert main(["plan", "--enumerator", "greedy", sql]) == 0
+    out = capsys.readouterr().out
+    assert "greedy enumeration" in out
+    assert "pair(s) visited" in out
+
+
+def test_plan_cross_products_flag(capsys):
+    sql = "select * from persons, jobs"  # no join predicate
+    with pytest.raises(ValueError, match="disconnected"):
+        main(["plan", sql])
+    capsys.readouterr()
+    assert main(["plan", "--cross-products", sql]) == 0
+    out = capsys.readouterr().out
+    assert "cross product" in out
+
+
+def test_sweep_topologies(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--topologies", "chain,cycle",
+                "--sizes", "4,11",
+                "--enumerators", "dpsub,dpccp",
+            ]
+        )
+        == 0
+    )
+    from repro.plangen import DPSUB_MAX_N
+
+    out = capsys.readouterr().out
+    assert "dpccp" in out
+    # dpsub guard past the oracle horizon
+    assert f"(skipped: n > {DPSUB_MAX_N})" in out
+
+
 def test_q8(capsys):
     assert main(["q8"]) == 0
     out = capsys.readouterr().out
