@@ -43,7 +43,7 @@ from .service import (
     SessionStatistics,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Attribute",

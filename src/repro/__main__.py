@@ -104,6 +104,13 @@ def cmd_q8(_: argparse.Namespace) -> int:
     return 0
 
 
+def _materialization_note(stats) -> str:
+    """Human-readable states-materialized summary of a plan-gen run."""
+    if stats.states_total is not None:
+        return f"{stats.states_materialized}/{stats.states_total} DFSM state(s)"
+    return f"{stats.states_materialized} DFSM state(s) materialized on demand"
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     catalog = _resolve_catalog(args.catalog)
     spec = sql_to_query(args.sql, catalog)
@@ -111,7 +118,11 @@ def cmd_plan(args: argparse.Namespace) -> int:
         enumerator=args.enumerator,
         enable_cross_products=args.cross_products,
     )
-    result = PlanGenerator(spec, FsmBackend(), config=config).run()
+    backend = FsmBackend(prepare_mode=args.prepare)
+    result = PlanGenerator(spec, backend, config=config).run()
+    # Report the mode that actually built the component — a state-cap
+    # fallback can turn a requested eager preparation into a lazy one.
+    built_mode = backend.optimizer.stats.mode if backend.optimizer else args.prepare
     print(spec.describe())
     print()
     print(result.best_plan.explain())
@@ -119,7 +130,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
         f"\n{result.stats.plans_created} plans generated in "
         f"{result.stats.time_ms:.1f} ms "
         f"({result.stats.enumerator} enumeration, "
-        f"{result.stats.pairs_visited} pair(s) visited)"
+        f"{result.stats.pairs_visited} pair(s) visited, "
+        f"{built_mode} preparation: {_materialization_note(result.stats)})"
     )
     return 0
 
@@ -136,13 +148,20 @@ def cmd_prepare(args: argparse.Namespace) -> int:
     print("FD sets:")
     for fdset in info.fdsets:
         print(f"  {fdset}")
-    optimizer = OrderOptimizer.prepare(info.interesting, info.fdsets)
+    optimizer = OrderOptimizer.prepare(
+        info.interesting, info.fdsets, mode=args.prepare
+    )
     stats = optimizer.stats
     print(
-        f"\nNFSM {stats.nfsm_nodes} nodes -> DFSM {stats.dfsm_states} states, "
+        f"\nNFSM {stats.nfsm_nodes} nodes -> DFSM {stats.dfsm_states} states "
+        f"({stats.mode} mode), "
         f"{stats.preparation_ms:.2f} ms, {stats.precomputed_bytes} bytes, "
         f"{stats.pruned_fd_items} FD item(s) pruned"
     )
+    stages = ", ".join(
+        f"{name} {ms:.2f}" for name, ms in stats.stage_ms.items()
+    )
+    print(f"stage timings (ms): {stages}")
     return 0
 
 
@@ -388,11 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan disconnected join graphs with cross-product joins "
         "instead of rejecting them",
     )
+    plan.add_argument(
+        "--prepare", default="eager", choices=("eager", "lazy"),
+        help="preparation mode: eager precomputes the full DFSM (the "
+        "paper), lazy materializes states on demand during plan generation",
+    )
     plan.set_defaults(fn=cmd_plan)
 
     prepare = sub.add_parser("prepare", help="show the preparation phase for a SQL query")
     prepare.add_argument("sql")
     prepare.add_argument("--catalog", default="demo", help="demo | tpch")
+    prepare.add_argument(
+        "--prepare", default="eager", choices=("eager", "lazy"),
+        help="preparation mode to run and report (lazy reports only the "
+        "states materialized by preparation itself — the start state)",
+    )
     prepare.set_defaults(fn=cmd_prepare)
 
     sweep = sub.add_parser(

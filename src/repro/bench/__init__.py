@@ -2,11 +2,13 @@
 
 from .harness import (
     Stopwatch,
+    bench_environment,
     bench_full,
     format_table,
     repo_root,
     report,
     results_dir,
+    round_floats,
     save_json,
     save_result,
     timed,
@@ -14,11 +16,13 @@ from .harness import (
 
 __all__ = [
     "Stopwatch",
+    "bench_environment",
     "bench_full",
     "format_table",
     "repo_root",
     "report",
     "results_dir",
+    "round_floats",
     "save_json",
     "save_result",
     "timed",

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -67,11 +69,67 @@ def results_dir() -> Path:
     return directory
 
 
-def save_json(name: str, payload: object) -> Path:
+def round_floats(payload: object, digits: int = 2) -> object:
+    """Recursively round every float in a JSON-shaped payload.
+
+    Benchmark timings carry microsecond noise that is pure diff churn in a
+    committed artifact; two significant decimals keep the trend readable
+    while making re-runs on the same machine mostly byte-stable.
+    """
+    if isinstance(payload, float):
+        return round(payload, digits)
+    if isinstance(payload, dict):
+        return {key: round_floats(value, digits) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [round_floats(value, digits) for value in payload]
+    return payload
+
+
+def _git_commit() -> str:
+    """The repository HEAD commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        # No git, no repo, or a hung hook past the timeout: provenance
+        # degrades to "unknown" — a benchmark run must never die here.
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def bench_environment() -> dict:
+    """Provenance fields embedded in every machine-readable artifact."""
+    return {
+        "commit": _git_commit(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+    }
+
+
+def save_json(name: str, payload: object, *, round_digits: int = 2) -> Path:
     """Persist machine-readable benchmark data as ``<name>.json`` at the
-    repository root (where CI picks it up as an artifact); returns the path."""
+    repository root (where CI picks it up as an artifact); returns the path.
+
+    The output is diff-friendly: keys are sorted, floats rounded to
+    ``round_digits`` decimals (see :func:`round_floats`), and an
+    ``environment`` block records commit hash and machine fields so a diff
+    between two artifacts says *which code on which box*.  Counts, states,
+    and ratios are exact and byte-stable across re-runs; timing fields
+    still jitter at the rounded precision (they are measurements) — read a
+    timing diff as noise unless it moves by more than the usual spread.
+    """
+    document = {
+        "environment": bench_environment(),
+        "payload": round_floats(payload, round_digits),
+    }
     path = repo_root() / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -13,7 +13,7 @@ Public surface:
 """
 
 from .attributes import Attribute, attr, attrs
-from .dfsm import DFSM, subset_construction
+from .dfsm import DFSM, LazyDFSM, StateCapExceeded, fd_successor, subset_construction
 from .equivalence import EquivalenceClasses
 from .fd import (
     ConstantBinding,
@@ -29,14 +29,22 @@ from .interesting import InterestingOrders
 from .nfsm import NFSM, START
 from .optimizer import (
     NO_PRUNING,
+    PREPARATION_MODES,
     BuilderOptions,
+    EagerPreparation,
+    LazyPreparation,
     OrderOptimizer,
     PreparationFingerprint,
+    PreparationMode,
+    PreparationPlan,
+    PreparationStage,
+    PreparationStatistics,
     PreparationStats,
     preparation_fingerprint,
+    resolve_preparation_mode,
 )
 from .ordering import EMPTY_ORDERING, Ordering, ordering
-from .tables import PreparedTables, build_tables
+from .tables import LazyTables, PreparedTables, build_tables
 from .trie import PrefixTrie
 
 __all__ = [
@@ -66,13 +74,25 @@ __all__ = [
     "NFSM",
     "START",
     "DFSM",
+    "LazyDFSM",
+    "StateCapExceeded",
+    "fd_successor",
     "subset_construction",
     "PreparedTables",
+    "LazyTables",
     "build_tables",
     "OrderOptimizer",
     "BuilderOptions",
     "NO_PRUNING",
     "PreparationStats",
+    "PreparationStatistics",
+    "PreparationMode",
+    "EagerPreparation",
+    "LazyPreparation",
+    "PreparationPlan",
+    "PreparationStage",
+    "PREPARATION_MODES",
+    "resolve_preparation_mode",
     "PreparationFingerprint",
     "preparation_fingerprint",
 ]

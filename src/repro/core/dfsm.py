@@ -8,14 +8,61 @@ edges, which is what makes the O(1) ADT constructor possible.
 Because every NFSM node is among its own FD targets (closure edges), FD
 transitions are monotone: the represented set of logical orderings only
 grows, mirroring the semantics of ``inferNewLogicalOrderings``.
+
+Two determinization strategies share one kernel (:func:`fd_successor` /
+:func:`entry_closure`):
+
+* :func:`subset_construction` — the **eager** path: breadth-first expansion
+  to the full reachable power set, producing the immutable :class:`DFSM`.
+  An optional ``state_cap`` aborts oversized expansions with
+  :exc:`StateCapExceeded` so callers can fall back to the lazy path;
+* :class:`LazyDFSM` — the **on-demand** path: states are interned the first
+  time a producer entry or an FD transition reaches them, transition rows
+  fill cell by cell, and a plan-generation run that touches a fraction of
+  the power set only ever pays for that fraction.
+
+Both intern states by their ε-closed NFSM node *set*, so equal subsets get
+equal (mode-local) ids in either mode: the lazy machine's reachable part is
+a bijective relabeling of the eager machine, and every ``contains``/
+``infer`` answer is identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List
 
 from .nfsm import NFSM, START
 from .ordering import Ordering
+
+
+class StateCapExceeded(RuntimeError):
+    """Raised when eager determinization exceeds its state budget."""
+
+    def __init__(self, cap: int) -> None:
+        super().__init__(
+            f"power-set construction exceeded the eager state cap of {cap} "
+            "states; retry with the lazy preparation mode"
+        )
+        self.cap = cap
+
+
+def fd_successor(nfsm: NFSM, nodes: frozenset[int], symbol: int) -> frozenset[int]:
+    """The subset-construction kernel: successor node set under one FD symbol.
+
+    ε-closes every target, and carries the artificial start node through
+    unchanged (FD symbols are self-transitions on ``q0``).  Shared by the
+    eager breadth-first expansion and the lazy per-cell fills, so both modes
+    compute bit-identical state sets by construction.
+    """
+    targets: set[int] = set()
+    for node in nodes:
+        if node == START:
+            targets.add(node)
+            continue
+        for target in nfsm.targets(node, symbol):
+            targets.update(nfsm.eps_closure(target))
+    return frozenset(targets)
 
 
 @dataclass
@@ -70,15 +117,20 @@ class DFSM:
         return "\n".join(lines)
 
 
-def subset_construction(nfsm: NFSM) -> DFSM:
+def subset_construction(nfsm: NFSM, *, state_cap: int | None = None) -> DFSM:
     """Convert the NFSM into a DFSM by the power-set construction.
 
     Producer symbols are only expanded from the start state (the ADT
     constructor is the only caller); from every other state a produced-order
     symbol is a self-transition and cannot create new states.
+
+    ``state_cap`` bounds the expansion: interning a state beyond the cap
+    raises :exc:`StateCapExceeded` instead of completing, which is how
+    :meth:`repro.core.optimizer.OrderOptimizer.prepare` guards the eager
+    mode against pathological power sets and falls back to :class:`LazyDFSM`.
     """
     symbol_count = len(nfsm.fd_symbols)
-    node_ids = {o: i for i, o in enumerate(nfsm.orderings) if o is not None}
+    node_ids = nfsm.node_of
 
     start_set = frozenset((START,))
     state_ids: dict[frozenset[int], int] = {start_set: 0}
@@ -88,6 +140,8 @@ def subset_construction(nfsm: NFSM) -> DFSM:
     def intern(nodes: frozenset[int]) -> int:
         state = state_ids.get(nodes)
         if state is None:
+            if state_cap is not None and len(states) >= state_cap:
+                raise StateCapExceeded(state_cap)
             state = len(states)
             state_ids[nodes] = state
             states.append(nodes)
@@ -102,17 +156,11 @@ def subset_construction(nfsm: NFSM) -> DFSM:
     explored = 0
     while explored < len(states):
         nodes = states[explored]
-        row: list[int] = []
-        for symbol in range(symbol_count):
-            targets: set[int] = set()
-            for node in nodes:
-                if node == START:
-                    targets.add(node)
-                    continue
-                for target in nfsm.targets(node, symbol):
-                    targets.update(nfsm.eps_closure(target))
-            row.append(intern(frozenset(targets)))
-        fd_rows.append(tuple(row))
+        row = tuple(
+            intern(fd_successor(nfsm, nodes, symbol))
+            for symbol in range(symbol_count)
+        )
+        fd_rows.append(row)
         explored += 1
 
     return DFSM(
@@ -122,3 +170,108 @@ def subset_construction(nfsm: NFSM) -> DFSM:
         producer_transitions=producer_transitions,
         start=0,
     )
+
+
+class LazyDFSM:
+    """On-demand determinization: the DFSM materialized one state at a time.
+
+    Structurally a growable mirror of :class:`DFSM`: ``states[i]`` is the
+    ε-closed NFSM node set of state ``i``, but states exist only once an
+    operation reaches them — the constructor interns just the start state.
+    Producer entries are followed (and their ε-closures interned) on the
+    first :meth:`producer_transition` for that ordering; FD transition rows
+    fill cell by cell in :meth:`fd_transition`, caching the successor so the
+    second lookup is the same O(1) array read the eager tables do.
+
+    Determinism: interning is keyed by the node set, and the successor sets
+    come from the shared :func:`fd_successor` kernel, so the reachable part
+    of this machine is always a relabeling of the eager DFSM — lazy state
+    ids are discovery-ordered, eager ids are BFS-ordered, and the bijection
+    preserves every observable answer.
+    """
+
+    def __init__(self, nfsm: NFSM) -> None:
+        self.nfsm = nfsm
+        self.start = 0
+        start_set = frozenset((START,))
+        self._state_ids: Dict[frozenset[int], int] = {start_set: 0}
+        self.states: List[frozenset[int]] = [start_set]
+        self._fd_rows: List[List[int | None]] = [self._empty_row()]
+        self.producer_transitions: Dict[Ordering, int] = {}
+        self._node_ids = nfsm.node_of
+
+    def _empty_row(self) -> List[int | None]:
+        return [None] * len(self.nfsm.fd_symbols)
+
+    def _intern(self, nodes: frozenset[int]) -> int:
+        state = self._state_ids.get(nodes)
+        if state is None:
+            state = len(self.states)
+            self._state_ids[nodes] = state
+            self.states.append(nodes)
+            self._fd_rows.append(self._empty_row())
+        return state
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """States materialized *so far* (grows as the machine is driven)."""
+        return len(self.states)
+
+    @property
+    def transitions_filled(self) -> int:
+        """FD transition cells computed so far (plus producer entries)."""
+        filled = sum(
+            1 for row in self._fd_rows for cell in row if cell is not None
+        )
+        return filled + len(self.producer_transitions)
+
+    @property
+    def transition_count(self) -> int:
+        """Interface parity with :class:`DFSM`: transitions that *exist*,
+        which for a lazy machine is exactly the filled ones."""
+        return self.transitions_filled
+
+    def state_orderings(self, state: int) -> frozenset[Ordering]:
+        """The explicit set of logical orderings a materialized state holds."""
+        orderings = self.nfsm.orderings
+        return frozenset(
+            orderings[node]  # type: ignore[misc]
+            for node in self.states[state]
+            if node != START and orderings[node] is not None
+        )
+
+    # -- the on-demand transition functions ----------------------------------
+
+    def producer_transition(self, order: Ordering) -> int:
+        """Entry edge from the start state, materializing its target once."""
+        target = self.producer_transitions.get(order)
+        if target is None:
+            entry = self._node_ids[order]
+            target = self._intern(self.nfsm.eps_closure(entry))
+            self.producer_transitions[order] = target
+        return target
+
+    def fd_transition(self, state: int, symbol: int) -> int:
+        """FD successor of a materialized state, computed and cached on first
+        use (the per-state lazily-filled transition row)."""
+        row = self._fd_rows[state]
+        target = row[symbol]
+        if target is None:
+            target = self._intern(fd_successor(self.nfsm, self.states[state], symbol))
+            row[symbol] = target
+        return target
+
+    def materialize_all(self) -> int:
+        """Force the full reachable power set (used by consumers that need a
+        complete machine: dominance fixpoints, table minimization, debugging
+        dumps).  Returns the final state count; idempotent."""
+        for order in self.nfsm.producer_orders:
+            self.producer_transition(order)
+        explored = 0
+        while explored < len(self.states):
+            for symbol in range(len(self.nfsm.fd_symbols)):
+                self.fd_transition(explored, symbol)
+            explored += 1
+        return len(self.states)

@@ -1,13 +1,31 @@
 """The order-optimization component: preparation pipeline plus O(1) ADT.
 
 :class:`OrderOptimizer.prepare` runs the four preparation steps of the
-paper's Figure 3:
+paper's Figure 3 as an explicit staged :class:`PreparationPlan`:
 
-1. determine the input (interesting orders, FD sets — supplied by the
-   caller, typically :mod:`repro.query.analyzer`),
-2. construct the NFSM (nodes, FD filtering, edges, node pruning, start node),
-3. convert the NFSM into a DFSM (power-set construction),
-4. precompute the contains matrix and the transition table.
+1. **inputs** — determine the input (interesting orders, FD sets — supplied
+   by the caller, typically :mod:`repro.query.analyzer`), dedupe and filter
+   the FD symbols;
+2. **nfsm** — construct the NFSM (nodes, edges, start node), then **prune**
+   it (node merging/deletion, its own stage for timing);
+3. **determinize** — convert the NFSM into a DFSM;
+4. **tables** — expose the contains matrix and the transition table.
+
+Stages 3–4 are pluggable through :class:`PreparationMode`:
+
+* ``"eager"`` (:class:`EagerPreparation`, the default and the reference
+  oracle) runs the full power-set construction and precomputes dense
+  tables — the paper, verbatim.  A state cap
+  (:attr:`BuilderOptions.eager_state_cap`) guards against pathological
+  power sets by falling back to the lazy mode mid-preparation;
+* ``"lazy"`` (:class:`LazyPreparation`) defers determinization entirely:
+  DFSM states materialize the first time ``apply`` / ``state_after_sort`` /
+  the ADT constructor reaches them, so preparation cost is proportional to
+  the states a plan-generation run actually touches.
+
+Both modes answer every ADT question identically (the lazy machine is a
+reachability-restricted relabeling of the eager one); per-stage wall-clock
+lands in :attr:`PreparationStats.stage_ms`.
 
 Afterwards the ADT ``LogicalOrderings`` of the paper is available: a plan
 node's state is one ``int``; ``contains`` and ``infer_new_logical_orderings``
@@ -20,10 +38,11 @@ from __future__ import annotations
 
 import hashlib
 import time
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
-from .dfsm import DFSM, subset_construction
+from .dfsm import DFSM, LazyDFSM, StateCapExceeded, subset_construction
 from .fd import FDSet
 from .inference import Bounds
 from .interesting import InterestingOrders
@@ -37,7 +56,7 @@ from .nfsm import (
 )
 from .ordering import EMPTY_ORDERING, Ordering
 from .prune import FDPruneMode, prune_fd_items, prune_nodes
-from .tables import PreparedTables, build_tables
+from .tables import LazyTables, PreparedTables, build_tables
 
 
 @dataclass(frozen=True)
@@ -60,7 +79,18 @@ class BuilderOptions:
 
     Observable behaviour is unchanged; ``OrderOptimizer.dfsm`` keeps the
     unminimized machine for introspection (state ids differ from table
-    state ids when minimization merged anything)."""
+    state ids when minimization merged anything).  Minimization needs the
+    complete machine, so under the lazy preparation mode it forces full
+    materialization (the lazy mode then buys nothing; prefer one or the
+    other)."""
+
+    eager_state_cap: int | None = 50_000
+    """Guard for the eager mode: abort the power-set construction past this
+    many DFSM states and fall back to lazy determinization
+    (:attr:`PreparationStats.eager_fallback` records the switch).  ``None``
+    disables the guard.  The cap never fires on paper-scale inputs — the
+    largest unpruned Q8 machine has 80 states — it exists for adversarial
+    FD/order combinations whose power set explodes."""
 
     def without_pruning(self) -> "BuilderOptions":
         return replace(
@@ -105,6 +135,13 @@ class PreparationFingerprint:
     the strategy here so cache entries (and their statistics) are
     attributable to the enumeration context that created them."""
 
+    mode: str = "eager"
+    """Requested :class:`PreparationMode` name.  Part of the identity
+    because the cached artifacts differ materially (dense precomputed
+    tables vs. an incrementally growing machine) even though every lookup
+    answer agrees; keying on the mode lets one session serve both without
+    one mode's entries shadowing the other's."""
+
     def digest(self) -> str:
         """Short stable hex digest, for logs and cache-stats reporting."""
         parts = "|".join(
@@ -116,6 +153,7 @@ class PreparationFingerprint:
                 ",".join(sorted(str(f) for f in self.fdsets)),
                 repr(self.options),
                 self.enumerator,
+                self.mode,
             )
         )
         return hashlib.sha256(parts.encode()).hexdigest()[:16]
@@ -127,11 +165,14 @@ def preparation_fingerprint(
     options: BuilderOptions | None = None,
     *,
     enumerator: str = "",
+    mode: str = "eager",
 ) -> PreparationFingerprint:
     """Fingerprint the preparation inputs without running preparation.
 
     Cheap (a handful of frozensets) compared to :meth:`OrderOptimizer.prepare`,
     which makes it usable as a cache-lookup key on every query of a workload.
+    ``mode`` is the *requested* preparation mode — a cap-triggered eager→lazy
+    fallback changes the built artifact, never the key.
     """
     return PreparationFingerprint(
         produced=frozenset(interesting.produced),
@@ -141,12 +182,20 @@ def preparation_fingerprint(
         fdsets=frozenset(fdsets),
         options=options or BuilderOptions(),
         enumerator=enumerator,
+        mode=mode,
     )
 
 
 @dataclass
 class PreparationStats:
-    """Measurements reported by the Section 6.2 experiment."""
+    """Measurements reported by the Section 6.2 experiment.
+
+    ``dfsm_states`` / ``dfsm_transitions`` / ``precomputed_bytes`` count the
+    states *built by preparation itself*: the full machine under the eager
+    mode, only the start state under the lazy mode (the whole point — the
+    rest materializes on demand during plan generation; live counts are on
+    the component's tables: ``tables.states_materialized``).
+    """
 
     nfsm_nodes_initial: int = 0
     nfsm_nodes: int = 0
@@ -160,6 +209,277 @@ class PreparationStats:
     precomputed_bytes: int = 0
     interesting_order_count: int = 0
     fd_symbol_count: int = 0
+    mode: str = "eager"
+    """Preparation mode that actually built the component (after any
+    cap-triggered fallback)."""
+    eager_fallback: bool = False
+    """True when the eager state cap fired and determinization fell back to
+    the lazy mode."""
+    stage_ms: dict[str, float] = field(default_factory=dict)
+    """Per-stage wall-clock of the :class:`PreparationPlan` (keys are the
+    stage names: inputs, nfsm, prune, determinize, tables)."""
+
+
+#: The ISSUE-facing name; kept as an alias so both spellings resolve.
+PreparationStatistics = PreparationStats
+
+
+# -- the staged preparation pipeline -------------------------------------------
+
+
+@dataclass
+class PreparationContext:
+    """Mutable state threaded through the stages of a :class:`PreparationPlan`."""
+
+    interesting: InterestingOrders
+    fdsets: tuple[FDSet, ...]
+    options: BuilderOptions
+    mode: "PreparationMode"
+    stats: PreparationStats
+
+    # products, filled in stage order
+    filtered_symbols: tuple[FDSet, ...] = ()
+    fdset_aliases: dict[FDSet, int] = field(default_factory=dict)
+    bounds: Bounds | None = None
+    gbounds: object | None = None
+    nfsm: NFSM | None = None
+    dfsm: DFSM | LazyDFSM | None = None
+    tables: PreparedTables | LazyTables | None = None
+
+
+class PreparationMode(ABC):
+    """Pluggable determinize/tables strategy of the preparation pipeline.
+
+    The first three stages (inputs, NFSM, pruning) are mode-independent;
+    a mode decides how the NFSM becomes a DFSM and what table representation
+    backs the O(1) ADT.  Registered instances live in
+    :data:`PREPARATION_MODES`; resolve a name with
+    :func:`resolve_preparation_mode`.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def determinize(self, nfsm: NFSM, options: BuilderOptions) -> DFSM | LazyDFSM:
+        """Turn the pruned NFSM into a (possibly virtual) DFSM."""
+
+    @abstractmethod
+    def build_tables(
+        self, dfsm: DFSM | LazyDFSM, options: BuilderOptions
+    ) -> PreparedTables | LazyTables:
+        """Expose the contains/transition lookup surface over the DFSM."""
+
+
+class EagerPreparation(PreparationMode):
+    """The paper's one-time preparation: full power set, dense tables.
+
+    Kept as the reference oracle the lazy mode is differentially tested
+    against.  :attr:`BuilderOptions.eager_state_cap` bounds the expansion;
+    the pipeline catches :exc:`StateCapExceeded` and re-runs determinization
+    lazily."""
+
+    name = "eager"
+
+    def determinize(self, nfsm: NFSM, options: BuilderOptions) -> DFSM:
+        return subset_construction(nfsm, state_cap=options.eager_state_cap)
+
+    def build_tables(
+        self, dfsm: DFSM | LazyDFSM, options: BuilderOptions
+    ) -> PreparedTables:
+        assert isinstance(dfsm, DFSM)
+        tables = build_tables(dfsm)
+        if options.minimize_dfsm:
+            from .tables import minimize_tables
+
+            tables = minimize_tables(tables)
+        return tables
+
+
+class LazyPreparation(PreparationMode):
+    """On-demand determinization: preparation builds only the start state.
+
+    Every later state is interned the first time the ADT reaches it, so a
+    query whose DP run touches 5 of 80 power-set states pays for 5.  With
+    ``minimize_dfsm`` the machine must be forced anyway (minimization is a
+    whole-machine fixpoint), so the tables are frozen dense first."""
+
+    name = "lazy"
+
+    def determinize(self, nfsm: NFSM, options: BuilderOptions) -> LazyDFSM:
+        return LazyDFSM(nfsm)
+
+    def build_tables(
+        self, dfsm: DFSM | LazyDFSM, options: BuilderOptions
+    ) -> PreparedTables | LazyTables:
+        assert isinstance(dfsm, LazyDFSM)
+        tables = LazyTables(dfsm)
+        if options.minimize_dfsm:
+            from .tables import minimize_tables
+
+            return minimize_tables(tables.freeze())
+        return tables
+
+
+PREPARATION_MODES: dict[str, PreparationMode] = {
+    mode.name: mode for mode in (EagerPreparation(), LazyPreparation())
+}
+
+
+def resolve_preparation_mode(mode: "str | PreparationMode") -> PreparationMode:
+    """Look up a mode by name (or pass a custom instance through)."""
+    if isinstance(mode, PreparationMode):
+        return mode
+    try:
+        return PREPARATION_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown preparation mode {mode!r}; "
+            f"available: {', '.join(sorted(PREPARATION_MODES))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PreparationStage:
+    """One named, individually-timed step of the preparation pipeline."""
+
+    name: str
+    run: Callable[[PreparationContext], None]
+
+
+class PreparationPlan:
+    """An ordered list of preparation stages with per-stage timing.
+
+    :meth:`standard` is Figure 3 split along its natural seams; custom plans
+    (e.g. skipping pruning, inserting a validation stage) are just different
+    stage lists.  ``execute`` records each stage's wall-clock in
+    ``stats.stage_ms`` under the stage name.
+    """
+
+    def __init__(self, stages: Sequence[PreparationStage]) -> None:
+        self.stages = tuple(stages)
+
+    @classmethod
+    def standard(cls) -> "PreparationPlan":
+        return cls(
+            (
+                PreparationStage("inputs", _stage_inputs),
+                PreparationStage("nfsm", _stage_nfsm),
+                PreparationStage("prune", _stage_prune),
+                PreparationStage("determinize", _stage_determinize),
+                PreparationStage("tables", _stage_tables),
+            )
+        )
+
+    def execute(self, context: PreparationContext) -> PreparationContext:
+        for stage in self.stages:
+            started = time.perf_counter()
+            stage.run(context)
+            context.stats.stage_ms[stage.name] = (
+                time.perf_counter() - started
+            ) * 1000.0
+        return context
+
+
+def _stage_inputs(ctx: PreparationContext) -> None:
+    """Figure 3 step 1: dedupe, bound, and filter the FD symbols."""
+    from .equivalence import EquivalenceClasses
+    from .grouping import GroupingBounds
+
+    options = ctx.options
+    interesting = ctx.interesting
+    symbols = dedupe_fdsets(ctx.fdsets)
+    classes = EquivalenceClasses.from_fdsets(symbols)
+    if options.use_prefix_bound or options.use_length_bound:
+        ctx.bounds = Bounds(
+            interesting.all_orders,
+            classes,
+            use_prefix_bound=options.use_prefix_bound,
+            use_length_bound=options.use_length_bound,
+        )
+    if options.use_prefix_bound and interesting.all_groupings:
+        ctx.gbounds = GroupingBounds(interesting.all_groupings, classes)
+
+    filtered_aligned, pruned_items = prune_fd_items(
+        symbols, interesting, options.fd_prune_mode, ctx.bounds
+    )
+
+    # Canonicalize: distinct originals may filter to the same content
+    # (e.g. both become empty); they then share one DFSM symbol.
+    filtered_symbols_list: list[FDSet] = []
+    canonical_index: dict[FDSet, int] = {}
+    for original, filtered in zip(symbols, filtered_aligned):
+        index = canonical_index.get(filtered)
+        if index is None:
+            index = len(filtered_symbols_list)
+            filtered_symbols_list.append(filtered)
+            canonical_index[filtered] = index
+        ctx.fdset_aliases[original] = index
+    ctx.filtered_symbols = tuple(filtered_symbols_list)
+
+    ctx.stats.pruned_fd_items = len(pruned_items)
+    ctx.stats.interesting_order_count = len(interesting)
+    ctx.stats.fd_symbol_count = len(ctx.filtered_symbols)
+
+
+def _stage_nfsm(ctx: PreparationContext) -> None:
+    """Figure 3 step 2: the ordering/grouping universe and its edges."""
+    options = ctx.options
+    universe = build_universe(
+        ctx.interesting,
+        ctx.filtered_symbols,
+        ctx.bounds,
+        include_empty=options.include_empty_ordering,
+    )
+    grouping_universe = build_grouping_universe(
+        ctx.interesting, ctx.filtered_symbols, universe, ctx.gbounds
+    )
+    fd_targets, eps = build_edges(
+        universe, ctx.filtered_symbols, ctx.bounds, grouping_universe, ctx.gbounds
+    )
+    ctx.nfsm = assemble(
+        ctx.interesting,
+        ctx.filtered_symbols,
+        universe,
+        fd_targets,
+        eps,
+        include_empty=options.include_empty_ordering,
+        grouping_universe=grouping_universe,
+    )
+    ctx.stats.nfsm_nodes_initial = ctx.nfsm.node_count
+
+
+def _stage_prune(ctx: PreparationContext) -> None:
+    """Section 5.7 node reductions (merge/delete, iterated to fixpoint)."""
+    options = ctx.options
+    assert ctx.nfsm is not None
+    if options.delete_eps_nodes or options.merge_nodes:
+        result = _prune_with_options(ctx.nfsm, options)
+        ctx.nfsm = result.nfsm
+        ctx.stats.deleted_nodes = result.deleted
+        ctx.stats.merged_nodes = result.merged
+    ctx.stats.nfsm_nodes = ctx.nfsm.node_count
+    ctx.stats.nfsm_edges = ctx.nfsm.edge_count
+
+
+def _stage_determinize(ctx: PreparationContext) -> None:
+    """Figure 3 step 3, through the mode — with the eager→lazy cap fallback."""
+    assert ctx.nfsm is not None
+    try:
+        ctx.dfsm = ctx.mode.determinize(ctx.nfsm, ctx.options)
+    except StateCapExceeded:
+        ctx.mode = PREPARATION_MODES["lazy"]
+        ctx.stats.eager_fallback = True
+        ctx.dfsm = ctx.mode.determinize(ctx.nfsm, ctx.options)
+    ctx.stats.mode = ctx.mode.name
+
+
+def _stage_tables(ctx: PreparationContext) -> None:
+    """Figure 3 step 4, through the mode."""
+    assert ctx.dfsm is not None
+    ctx.tables = ctx.mode.build_tables(ctx.dfsm, ctx.options)
+    ctx.stats.dfsm_states = ctx.tables.state_count
+    ctx.stats.dfsm_transitions = ctx.dfsm.transition_count
+    ctx.stats.precomputed_bytes = ctx.tables.total_bytes
 
 
 class OrderOptimizer:
@@ -169,12 +489,13 @@ class OrderOptimizer:
         self,
         interesting: InterestingOrders,
         nfsm: NFSM,
-        dfsm: DFSM,
-        tables: PreparedTables,
+        dfsm: DFSM | LazyDFSM,
+        tables: PreparedTables | LazyTables,
         stats: PreparationStats,
         options: BuilderOptions,
         fdset_aliases: dict[FDSet, int] | None = None,
         fingerprint: PreparationFingerprint | None = None,
+        mode: str = "eager",
     ) -> None:
         self.interesting = interesting
         self.nfsm = nfsm
@@ -183,6 +504,7 @@ class OrderOptimizer:
         self.stats = stats
         self.options = options
         self.fingerprint = fingerprint
+        self.mode = mode
         self._dominance_relation: tuple[frozenset[int], ...] | None = None
         self._order_handles = {
             order: i for i, order in enumerate(tables.testable_orders)
@@ -206,108 +528,50 @@ class OrderOptimizer:
         interesting: InterestingOrders,
         fdsets: Iterable[FDSet],
         options: BuilderOptions | None = None,
+        *,
+        mode: "str | PreparationMode" = "eager",
+        plan: PreparationPlan | None = None,
     ) -> "OrderOptimizer":
-        """Run the full preparation phase (Figure 3) and return the component."""
+        """Run the staged preparation pipeline (Figure 3) and return the
+        component.
+
+        ``mode`` selects the determinization strategy (``"eager"`` — the
+        paper's full power set, the default — or ``"lazy"`` — on-demand
+        states); ``plan`` substitutes a custom stage list for
+        :meth:`PreparationPlan.standard`.
+        """
         options = options or BuilderOptions()
+        mode_obj = resolve_preparation_mode(mode)
         started = time.perf_counter()
 
-        from .equivalence import EquivalenceClasses
-        from .grouping import GroupingBounds
-
         fdset_tuple = tuple(fdsets)
-        fingerprint = preparation_fingerprint(interesting, fdset_tuple, options)
-        symbols = dedupe_fdsets(fdset_tuple)
-        classes = EquivalenceClasses.from_fdsets(symbols)
-        bounds: Bounds | None = None
-        if options.use_prefix_bound or options.use_length_bound:
-            bounds = Bounds(
-                interesting.all_orders,
-                classes,
-                use_prefix_bound=options.use_prefix_bound,
-                use_length_bound=options.use_length_bound,
-            )
-        gbounds: GroupingBounds | None = None
-        if options.use_prefix_bound and interesting.all_groupings:
-            gbounds = GroupingBounds(interesting.all_groupings, classes)
-
-        filtered_aligned, pruned_items = prune_fd_items(
-            symbols, interesting, options.fd_prune_mode, bounds
+        fingerprint = preparation_fingerprint(
+            interesting, fdset_tuple, options, mode=mode_obj.name
         )
-
-        # Canonicalize: distinct originals may filter to the same content
-        # (e.g. both become empty); they then share one DFSM symbol.
-        filtered_symbols_list: list[FDSet] = []
-        canonical_index: dict[FDSet, int] = {}
-        fdset_aliases: dict[FDSet, int] = {}
-        for original, filtered in zip(symbols, filtered_aligned):
-            index = canonical_index.get(filtered)
-            if index is None:
-                index = len(filtered_symbols_list)
-                filtered_symbols_list.append(filtered)
-                canonical_index[filtered] = index
-            fdset_aliases[original] = index
-        filtered_symbols = tuple(filtered_symbols_list)
-
-        universe = build_universe(
-            interesting,
-            filtered_symbols,
-            bounds,
-            include_empty=options.include_empty_ordering,
+        context = PreparationContext(
+            interesting=interesting,
+            fdsets=fdset_tuple,
+            options=options,
+            mode=mode_obj,
+            stats=PreparationStats(mode=mode_obj.name),
         )
-        grouping_universe = build_grouping_universe(
-            interesting, filtered_symbols, universe, gbounds
-        )
-        fd_targets, eps = build_edges(
-            universe, filtered_symbols, bounds, grouping_universe, gbounds
-        )
-        nfsm = assemble(
-            interesting,
-            filtered_symbols,
-            universe,
-            fd_targets,
-            eps,
-            include_empty=options.include_empty_ordering,
-            grouping_universe=grouping_universe,
-        )
-
-        stats = PreparationStats(
-            nfsm_nodes_initial=nfsm.node_count,
-            pruned_fd_items=len(pruned_items),
-            interesting_order_count=len(interesting),
-            fd_symbol_count=len(filtered_symbols),
-        )
-
-        if options.delete_eps_nodes or options.merge_nodes:
-            # The two heuristics are iterated together; disabling one simply
-            # skips its pass inside prune_nodes via the options below.
-            result = _prune_with_options(nfsm, options)
-            nfsm = result.nfsm
-            stats.deleted_nodes = result.deleted
-            stats.merged_nodes = result.merged
-
-        dfsm = subset_construction(nfsm)
-        tables = build_tables(dfsm)
-        if options.minimize_dfsm:
-            from .tables import minimize_tables
-
-            tables = minimize_tables(tables)
-
-        stats.nfsm_nodes = nfsm.node_count
-        stats.nfsm_edges = nfsm.edge_count
-        stats.dfsm_states = tables.state_count
-        stats.dfsm_transitions = dfsm.transition_count
+        (plan or PreparationPlan.standard()).execute(context)
+        stats = context.stats
         stats.preparation_ms = (time.perf_counter() - started) * 1000.0
-        stats.precomputed_bytes = tables.total_bytes
 
+        assert context.nfsm is not None
+        assert context.dfsm is not None
+        assert context.tables is not None
         return cls(
             interesting,
-            nfsm,
-            dfsm,
-            tables,
+            context.nfsm,
+            context.dfsm,
+            context.tables,
             stats,
             options,
-            fdset_aliases,
+            context.fdset_aliases,
             fingerprint=fingerprint,
+            mode=stats.mode,
         )
 
     # -- handle lookups (done once per operator during plan-generation setup) -----
@@ -406,7 +670,13 @@ class OrderOptimizer:
         if cached is None:
             from .dominance import simulation_dominance
 
-            cached = simulation_dominance(self.tables)
+            tables = self.tables
+            if isinstance(tables, LazyTables):
+                # The simulation fixpoint is a whole-machine computation;
+                # force the power set (state ids are preserved, so the
+                # relation indexes the live lazy tables' states correctly).
+                tables = tables.freeze()
+            cached = simulation_dominance(tables)
             self._dominance_relation = cached
         return cached
 

@@ -14,6 +14,21 @@ Two matrices are derived from the DFSM:
 
 With these tables, both ADT operations are single array lookups — the O(1)
 claim of the paper.
+
+Two variants share that interface:
+
+* :class:`PreparedTables` — the eager, dense precomputation over a complete
+  :class:`~repro.core.dfsm.DFSM` (the paper's Figures 9/10, verbatim);
+* :class:`LazyTables` — a growable, array-backed mirror over a
+  :class:`~repro.core.dfsm.LazyDFSM`: rows appear as states materialize,
+  cells fill on first lookup (``-1`` sentinel), and contains bitmasks are
+  computed per materialized state.  Warm lookups are the same single array
+  read; cold lookups additionally run one step of the subset construction.
+
+Consumers (the optimizer ADT, the FSM backend, dominance, benchmarks) are
+written against the shared surface: ``contains`` / ``transition`` /
+``state_count`` / ``symbol_count`` / the byte accounting /
+``states_materialized`` vs ``states_total``.
 """
 
 from __future__ import annotations
@@ -21,10 +36,23 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 
-from .dfsm import DFSM
+from .dfsm import DFSM, LazyDFSM
 from .fd import FDSet
 from .nfsm import START
 from .ordering import Ordering
+
+
+def contains_matrix_bytes(order_count: int, state_count: int) -> int:
+    """Contains-matrix size: one bit per (state, testable order), rounded up
+    to whole bytes per state (the paper's compact bit vector)."""
+    return ((order_count + 7) // 8) * state_count
+
+
+def transition_table_bytes(symbol_count: int, state_count: int) -> int:
+    """Transition-table size: two bytes per entry suffice for any realistic
+    DFSM (the paper's largest unpruned machine has 80 states).  Shared by
+    the eager and lazy variants so their byte accounting never diverges."""
+    return 2 * symbol_count * state_count
 
 
 @dataclass
@@ -64,18 +92,27 @@ class PreparedTables:
 
     @property
     def contains_bytes(self) -> int:
-        row_bytes = (len(self.testable_orders) + 7) // 8
-        return row_bytes * self.state_count
+        return contains_matrix_bytes(len(self.testable_orders), self.state_count)
 
     @property
     def transition_bytes(self) -> int:
-        # Two bytes per entry suffice for any realistic DFSM (the paper's
-        # largest unpruned DFSM has 80 states).
-        return 2 * self.symbol_count * self.state_count
+        return transition_table_bytes(self.symbol_count, self.state_count)
 
     @property
     def total_bytes(self) -> int:
         return self.contains_bytes + self.transition_bytes
+
+    # -- materialization accounting (shared with LazyTables) --------------------
+
+    @property
+    def states_materialized(self) -> int:
+        """Eager tables are fully materialized by construction."""
+        return self.state_count
+
+    @property
+    def states_total(self) -> int:
+        """Total reachable DFSM states (known exactly for eager tables)."""
+        return self.state_count
 
     # -- debugging / examples ----------------------------------------------------
 
@@ -126,6 +163,149 @@ def build_tables(dfsm: DFSM) -> PreparedTables:
         contains_rows=tuple(contains_rows),
         transitions=tuple(transitions),
     )
+
+
+class LazyTables:
+    """Growable, incrementally-filled tables over a :class:`LazyDFSM`.
+
+    Presents exactly the :class:`PreparedTables` lookup surface, but nothing
+    is precomputed: transition rows are ``array('l')`` rows filled with a
+    ``-1`` sentinel and grown as states materialize, and contains bitmasks
+    are computed once per materialized state on the first ``contains``.  A
+    DP run that reaches 5 of 80 power-set states allocates 5 rows.
+
+    The instance is long-lived on purpose: the service layer's prepared-state
+    cache keeps it (inside its :class:`~repro.core.optimizer.OrderOptimizer`)
+    across queries, so repeated templates keep amortizing — every state any
+    earlier query materialized is a warm O(1) lookup for the next one.
+    """
+
+    def __init__(self, dfsm: LazyDFSM) -> None:
+        nfsm = dfsm.nfsm
+        self._dfsm = dfsm
+        self.start_state = dfsm.start
+        self.testable_orders = nfsm.testable
+        self.fd_symbols = nfsm.fd_symbols
+        self.producer_orders = nfsm.producer_orders
+        self._fd_count = len(self.fd_symbols)
+        # Bit layout of a contains row, resolved to NFSM node ids once.
+        node_of = nfsm.node_of
+        self._contains_bits = tuple(
+            (i, node_of.get(order)) for i, order in enumerate(self.testable_orders)
+        )
+        self._rows: list[array] = []
+        self._contains_rows: list[int] = []
+        self._sync()
+
+    def _sync(self) -> None:
+        """Grow the row storage to cover every state the DFSM has interned."""
+        symbol_count = self.symbol_count
+        dfsm = self._dfsm
+        while len(self._rows) < dfsm.state_count:
+            self._rows.append(array("l", [-1]) * symbol_count)
+            self._contains_rows.append(-1)
+
+    # -- the shared table interface ----------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """Materialized states (the lazy analogue of the eager state count)."""
+        return self._dfsm.state_count
+
+    @property
+    def symbol_count(self) -> int:
+        return self._fd_count + len(self.producer_orders)
+
+    def contains(self, state: int, order_handle: int) -> bool:
+        """O(1) after the state's bitmask is computed (once per state)."""
+        row = self._contains_rows[state]
+        if row < 0:
+            row = 0
+            nodes = self._dfsm.states[state]
+            for bit, node in self._contains_bits:
+                if node is not None and node in nodes:
+                    row |= 1 << bit
+            self._contains_rows[state] = row
+        return bool(row >> order_handle & 1)
+
+    def transition(self, state: int, symbol: int) -> int:
+        """O(1) when warm; one subset-construction step when cold."""
+        row = self._rows[state]
+        target = row[symbol]
+        if target >= 0:
+            return target
+        if symbol < self._fd_count:
+            target = self._dfsm.fd_transition(state, symbol)
+        elif state == self._dfsm.start:
+            order = self.producer_orders[symbol - self._fd_count]
+            target = self._dfsm.producer_transition(order)
+        else:
+            target = state  # producer symbols self-transition off the start
+        self._sync()
+        self._rows[state][symbol] = target
+        return target
+
+    # -- size accounting (materialized rows only) --------------------------------
+
+    @property
+    def contains_bytes(self) -> int:
+        return contains_matrix_bytes(len(self.testable_orders), self.state_count)
+
+    @property
+    def transition_bytes(self) -> int:
+        return transition_table_bytes(self.symbol_count, self.state_count)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.contains_bytes + self.transition_bytes
+
+    # -- materialization accounting ------------------------------------------------
+
+    @property
+    def states_materialized(self) -> int:
+        return self._dfsm.state_count
+
+    @property
+    def states_total(self) -> int | None:
+        """Unknown until the machine is forced (that is the point of lazy)."""
+        return None
+
+    # -- escape hatches ------------------------------------------------------------
+
+    def materialize_all(self) -> int:
+        """Force the full power set (dominance / minimization / debugging)."""
+        count = self._dfsm.materialize_all()
+        self._sync()
+        return count
+
+    def freeze(self) -> PreparedTables:
+        """Materialize everything and return dense eager tables.
+
+        The returned tables carry the *lazy* machine's state numbering
+        (discovery order), which is a relabeling of the eager BFS order —
+        every lookup answer is identical.
+        """
+        self.materialize_all()
+        for state in range(self.state_count):
+            self.contains(state, 0)
+            for symbol in range(self.symbol_count):
+                self.transition(state, symbol)
+        return PreparedTables(
+            start_state=self.start_state,
+            testable_orders=self.testable_orders,
+            fd_symbols=self.fd_symbols,
+            producer_orders=self.producer_orders,
+            contains_rows=tuple(self._contains_rows),
+            transitions=tuple(self._rows),
+        )
+
+    def contains_table(self) -> list[list[int]]:
+        """Debugging dump; forces full materialization first."""
+        return self.freeze().contains_table()
+
+    def transition_table(self) -> list[list[int]]:
+        """Debugging dump; forces full materialization first."""
+        return self.freeze().transition_table()
 
 
 def state_for_node_set(dfsm: DFSM, node: int) -> frozenset[int]:

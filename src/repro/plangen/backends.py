@@ -73,6 +73,13 @@ class OrderingBackend(ABC):
         relation answer False (only equal keys are comparable)."""
         return False
 
+    def materialization(self) -> tuple[int, int | None]:
+        """(states materialized, total reachable states) of the prepared
+        component.  Backends without a state machine report ``(0, None)``;
+        the FSM backend reports its table counters — under lazy preparation
+        the total is ``None`` (unknown without forcing the power set)."""
+        return (0, None)
+
     def satisfies_grouping(self, state: State, grouping) -> bool:
         """Groupings extension: is the stream grouped on these attributes?
         Backends without grouping support answer False (they fall back to
@@ -95,6 +102,12 @@ class FsmBackend(OrderingBackend):
     orders, FD sets, and builder options (equal fingerprints guarantee
     this).  When ``preparer`` is ``None`` the backend builds its own
     component with ``self.options``, exactly as before.
+
+    ``prepare_mode`` selects the preparation pipeline's determinization
+    strategy (``"eager"`` — the full power set up front — or ``"lazy"`` —
+    states materialize as plan generation reaches them).  The backend is
+    written against the shared table interface, so the mode changes cost
+    profile and :meth:`materialization` counters, never a plan.
     """
 
     name = "fsm"
@@ -105,10 +118,12 @@ class FsmBackend(OrderingBackend):
         *,
         use_dominance: bool = False,
         preparer: Callable[[QueryOrderInfo], OrderOptimizer] | None = None,
+        prepare_mode: str = "eager",
     ) -> None:
         self.options = options or BuilderOptions()
         self.use_dominance = use_dominance
         self.preparer = preparer
+        self.prepare_mode = prepare_mode
         self.optimizer: OrderOptimizer | None = None
         self._dominance: tuple[frozenset[int], ...] | None = None
 
@@ -117,7 +132,7 @@ class FsmBackend(OrderingBackend):
             self.optimizer = self.preparer(info)
         else:
             self.optimizer = OrderOptimizer.prepare(
-                info.interesting, info.fdsets, self.options
+                info.interesting, info.fdsets, self.options, mode=self.prepare_mode
             )
         self._fd_handles: dict[FDSet, int] = {}
         self._producer_handles: dict[Ordering, int] = {}
@@ -190,7 +205,14 @@ class FsmBackend(OrderingBackend):
         return 4  # the paper's O(1): one 4-byte integer per plan node
 
     def shared_bytes(self) -> int:
-        return self._opt().stats.precomputed_bytes
+        # Live table bytes, not the prepare-time snapshot: under lazy
+        # preparation the tables grow with use, and the honest memory
+        # number is what is resident *now*.
+        return self._opt().tables.total_bytes
+
+    def materialization(self) -> tuple[int, int | None]:
+        tables = self._opt().tables
+        return (tables.states_materialized, tables.states_total)
 
 
 class SimmenBackend(OrderingBackend):

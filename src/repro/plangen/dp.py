@@ -108,6 +108,13 @@ class PlanGenStats:
     prepare_ms: float = 0.0
     state_bytes: int = 0
     shared_bytes: int = 0
+    states_materialized: int = 0
+    """DFSM states the backend's prepared component holds after this run —
+    under lazy preparation, the states plan generation actually touched."""
+    states_total: int | None = None
+    """Total reachable DFSM states, when the backend knows it (eager
+    preparation); ``None`` for lazy components (computing it would defeat
+    laziness) and for backends without a state machine."""
 
     @property
     def total_order_bytes(self) -> int:
@@ -477,6 +484,9 @@ class PlanGenerator:
             for plan in t.values()
         )
         self.stats.shared_bytes = self.backend.shared_bytes()
+        self.stats.states_materialized, self.stats.states_total = (
+            self.backend.materialization()
+        )
         return PlanGenResult(
             best_plan=best, stats=self.stats, info=self.info, tables=tables
         )

@@ -42,6 +42,7 @@ from .session import (
     SessionStatistics,
     analyze_for_config,
     canonical_query_key,
+    default_prepare_mode,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "SessionStatistics",
     "analyze_for_config",
     "canonical_query_key",
+    "default_prepare_mode",
     "process_batch",
     "run_server",
 ]

@@ -148,3 +148,19 @@ class LRUCache(Generic[V]):
     def keys(self) -> Iterator[Hashable]:
         """Keys from least to most recently used."""
         return iter(self._entries.keys())
+
+    def values(self) -> list[V]:
+        """A snapshot of the values, least to most recently used.
+
+        Read-only introspection: does not count lookups, refresh recency, or
+        check ownership — the session uses it to aggregate statistics over
+        live entries.  Returns a materialized list (not a live iterator) and
+        retries the copy if the owner thread mutates the dict mid-copy, so
+        the pool's ``drain=False`` monitoring glimpse stays safe: it may see
+        a slightly stale snapshot, never an iteration error."""
+        for _ in range(4):
+            try:
+                return list(self._entries.values())
+            except RuntimeError:  # pragma: no cover - needs a mid-copy race
+                continue
+        return []  # pragma: no cover - persistent contention; glimpse empty

@@ -81,12 +81,14 @@ class SessionPool:
         n_shards: int = 4,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend_factory: Callable[[], OrderingBackend] | None = None,
-        config: SessionConfig = SessionConfig(),
+        config: SessionConfig | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
         self.n_shards = n_shards
-        self.config = replace(config, enforce_single_owner=True)
+        # `config or SessionConfig()` at call time: the default reads
+        # REPRO_PREPARE_MODE, which must track the live environment.
+        self.config = replace(config or SessionConfig(), enforce_single_owner=True)
         self._sessions = [
             OptimizationSession(
                 catalog,
@@ -234,7 +236,7 @@ def process_batch(
     specs: Sequence[QuerySpec],
     *,
     workers: int | None = None,
-    config: SessionConfig = SessionConfig(),
+    config: SessionConfig | None = None,
     backend: str | None = None,
 ) -> tuple[list[PlanGenResult], SessionStatistics]:
     """Optimize a cold batch on a process pool; returns (results, stats).
@@ -249,6 +251,8 @@ def process_batch(
     extra cores buy back).
     """
     specs = list(specs)
+    if config is None:
+        config = SessionConfig()
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
     if workers < 1:

@@ -32,11 +32,17 @@ Both caches are LRU with hit/miss/eviction statistics
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Hashable, Iterable
 
 from ..catalog.schema import Catalog
-from ..core.optimizer import BuilderOptions, OrderOptimizer, preparation_fingerprint
+from ..core.optimizer import (
+    BuilderOptions,
+    OrderOptimizer,
+    preparation_fingerprint,
+    resolve_preparation_mode,
+)
 from ..plangen.backends import FsmBackend, OrderingBackend
 from ..plangen.cost import DEFAULT_COST_MODEL, CostModel
 from ..plangen.dp import PlanGenConfig, PlanGenerator, PlanGenResult
@@ -82,6 +88,20 @@ def canonical_query_key(spec: QuerySpec) -> Hashable:
     )
 
 
+def default_prepare_mode() -> str:
+    """The environment-configured preparation mode (``REPRO_PREPARE_MODE``).
+
+    Read per :class:`SessionConfig` construction, so a test or a CI matrix
+    leg can flip the whole service stack to lazy preparation without
+    touching call sites.  Unset or empty means eager — the paper's default.
+    A typo'd value raises here, at config construction, not per-query deep
+    inside a shard thread.
+    """
+    mode = os.environ.get("REPRO_PREPARE_MODE", "") or "eager"
+    resolve_preparation_mode(mode)  # fail fast on unknown names
+    return mode
+
+
 @dataclass(frozen=True)
 class SessionConfig:
     """Cache sizing and optimizer configuration of one session.
@@ -98,6 +118,13 @@ class SessionConfig:
     builder_options: BuilderOptions = BuilderOptions()
     plangen: PlanGenConfig = PlanGenConfig()
     enforce_single_owner: bool = False
+    prepare_mode: str = field(default_factory=default_prepare_mode)
+    """Preparation mode for cache-built components (``"eager"`` / ``"lazy"``,
+    see :data:`repro.core.optimizer.PREPARATION_MODES`).  Defaults to the
+    ``REPRO_PREPARE_MODE`` environment variable, falling back to eager.
+    Lazy keeps prepared-cache entries *warm in a stronger sense*: the LRU
+    holds the growing machine, so every state one query materializes is a
+    free O(1) lookup for every later query of the same template."""
 
 
 def analyze_for_config(spec: QuerySpec, config: SessionConfig) -> QueryOrderInfo:
@@ -129,11 +156,32 @@ class SessionStatistics:
     ``{"dpccp": 40, "greedy": 2}``).  Plan-cache hits count too: the
     strategy answered the query, whether freshly or from cache."""
 
+    prepare_modes: dict[str, int] = field(default_factory=dict)
+    """Queries served per preparation mode: the config's mode for the
+    default backend, an injected FsmBackend's own ``prepare_mode`` for a
+    factory session, nothing for backends without a preparation phase
+    (Simmen).  A cap-triggered eager→lazy fallback still counts under the
+    requested mode, matching the cache key."""
+
+    states_materialized: int = 0
+    """DFSM states currently materialized across the session's *live*
+    prepared-cache entries — a snapshot, like ``prepared_entries``.  Under
+    eager preparation this equals the summed full machine sizes; under lazy
+    it is the working set the served queries actually reached."""
+
+    states_total_known: int = 0
+    """Summed full machine sizes over the live entries whose total is known
+    (eager entries; lazy entries don't know theirs without forcing the
+    power set, which is the point)."""
+
     def add(self, other: "SessionStatistics") -> "SessionStatistics":
         """Element-wise sum, for aggregating per-shard statistics."""
         merged = dict(self.enumerators)
         for name, count in other.enumerators.items():
             merged[name] = merged.get(name, 0) + count
+        merged_modes = dict(self.prepare_modes)
+        for name, count in other.prepare_modes.items():
+            merged_modes[name] = merged_modes.get(name, 0) + count
         return SessionStatistics(
             queries=self.queries + other.queries,
             prepared=self.prepared.add(other.prepared),
@@ -141,6 +189,10 @@ class SessionStatistics:
             prepared_entries=self.prepared_entries + other.prepared_entries,
             plan_entries=self.plan_entries + other.plan_entries,
             enumerators=merged,
+            prepare_modes=merged_modes,
+            states_materialized=self.states_materialized
+            + other.states_materialized,
+            states_total_known=self.states_total_known + other.states_total_known,
         )
 
     def describe(self) -> str:
@@ -148,6 +200,13 @@ class SessionStatistics:
             ", ".join(
                 f"{name}={count}"
                 for name, count in sorted(self.enumerators.items())
+            )
+            or "none"
+        )
+        by_mode = (
+            ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.prepare_modes.items())
             )
             or "none"
         )
@@ -159,6 +218,9 @@ class SessionStatistics:
                 f"plan cache        : {self.plans.describe()}, "
                 f"{self.plan_entries} entry(ies)",
                 f"enumerators       : {by_strategy}",
+                f"preparation       : {by_mode}; "
+                f"{self.states_materialized} DFSM state(s) materialized "
+                f"({self.states_total_known} known-total)",
             )
         )
 
@@ -189,11 +251,16 @@ class OptimizationSession:
         *,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend_factory: Callable[[], OrderingBackend] | None = None,
-        config: SessionConfig = SessionConfig(),
+        config: SessionConfig | None = None,
     ) -> None:
+        # Built per call, not as an import-time default argument: the config
+        # default reads REPRO_PREPARE_MODE, which must reflect the
+        # environment at session construction (and an invalid value must
+        # fail the constructor, never `import repro`).
         self.catalog = catalog
         self.cost_model = cost_model
-        self.config = config
+        self.config = config or SessionConfig()
+        config = self.config
         self._backend_factory = backend_factory
         self._prepared: LRUCache[OrderOptimizer] = LRUCache(
             config.prepared_cache_size, check_owner=config.enforce_single_owner
@@ -205,27 +272,50 @@ class OptimizationSession:
         )
         self._queries = 0
         self._enumerator_counts: dict[str, int] = {}
+        self._mode_counts: dict[str, int] = {}
+        # The preparation mode queries will actually be served under: the
+        # config's for the default backend, the factory backend's own for an
+        # injected FsmBackend, and none at all for backends without a
+        # preparation phase (Simmen) — their sessions report no modes.
+        if backend_factory is None:
+            self._served_mode: str | None = self.config.prepare_mode
+        else:
+            probe = backend_factory()
+            self._served_mode = (
+                probe.prepare_mode if isinstance(probe, FsmBackend) else None
+            )
 
     # -- prepared-state cache -------------------------------------------------
 
     def _cached_prepare(
-        self, info: QueryOrderInfo, options: BuilderOptions, enumerator: str
+        self,
+        info: QueryOrderInfo,
+        options: BuilderOptions,
+        enumerator: str,
+        mode: str,
     ) -> OrderOptimizer:
         """Serve a prepared component from the cache, building it on a miss.
 
-        The cache key records the resolved enumeration strategy alongside
-        the preparation inputs.  Prepared state is enumerator-independent,
-        and within one session a template always resolves to the same
-        strategy (resolution depends only on relation count), so this never
-        costs an extra miss — it just keeps every fingerprint attributable
-        to the enumeration context it served.
+        The cache key records the resolved enumeration strategy and the
+        preparation mode alongside the preparation inputs.  Prepared state
+        is enumerator-independent, and within one session a template always
+        resolves to the same strategy (resolution depends only on relation
+        count), so this never costs an extra miss — it just keeps every
+        fingerprint attributable to the enumeration context it served.
+
+        A cached *lazy* entry is where the laziness pays twice: the entry
+        holds the incrementally-growing machine, so the determinization work
+        one query performs is permanently banked for every later query of
+        the same template (until eviction).
         """
         key = preparation_fingerprint(
-            info.interesting, info.fdsets, options, enumerator=enumerator
+            info.interesting, info.fdsets, options, enumerator=enumerator, mode=mode
         )
         return self._prepared.get_or_create(
             key,
-            lambda: OrderOptimizer.prepare(info.interesting, info.fdsets, options),
+            lambda: OrderOptimizer.prepare(
+                info.interesting, info.fdsets, options, mode=mode
+            ),
         )
 
     def resolve_enumerator_for(self, spec: QuerySpec) -> str:
@@ -238,17 +328,20 @@ class OptimizationSession:
     def _make_backend(self, enumerator: str) -> OrderingBackend:
         if self._backend_factory is None:
             options = self.config.builder_options
+            mode = self.config.prepare_mode
             return FsmBackend(
                 options,
+                prepare_mode=mode,
                 preparer=lambda info: self._cached_prepare(
-                    info, options, enumerator
+                    info, options, enumerator, mode
                 ),
             )
         backend = self._backend_factory()
         if isinstance(backend, FsmBackend) and backend.preparer is None:
             options = backend.options
+            mode = backend.prepare_mode
             backend.preparer = lambda info: self._cached_prepare(
-                info, options, enumerator
+                info, options, enumerator, mode
             )
         return backend
 
@@ -274,6 +367,10 @@ class OptimizationSession:
         self._enumerator_counts[enumerator] = (
             self._enumerator_counts.get(enumerator, 0) + 1
         )
+        if self._served_mode is not None:
+            self._mode_counts[self._served_mode] = (
+                self._mode_counts.get(self._served_mode, 0) + 1
+            )
         key = canonical_query_key(spec)
         hit = self._plans.get(key)
         if hit is not None:
@@ -303,6 +400,14 @@ class OptimizationSession:
 
     def statistics(self) -> SessionStatistics:
         """Snapshot of the session's cumulative cache counters."""
+        states_materialized = 0
+        states_total_known = 0
+        for optimizer in self._prepared.values():
+            tables = optimizer.tables
+            states_materialized += tables.states_materialized
+            total = tables.states_total
+            if total is not None:
+                states_total_known += total
         return SessionStatistics(
             queries=self._queries,
             prepared=replace(self._prepared.stats),
@@ -310,6 +415,9 @@ class OptimizationSession:
             prepared_entries=len(self._prepared),
             plan_entries=len(self._plans),
             enumerators=dict(self._enumerator_counts),
+            prepare_modes=dict(self._mode_counts),
+            states_materialized=states_materialized,
+            states_total_known=states_total_known,
         )
 
     def clear_caches(self) -> None:

@@ -1,0 +1,260 @@
+"""Unit tests: lazy determinization, growable tables, staged preparation.
+
+The property suites (``tests/property/test_props_lazy_prepare.py``,
+``tests/property/test_props_differential.py``) establish observational
+equivalence statistically; this file pins the mechanics — what materializes
+when, the state-cap fallback, stage timing, and the mode registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.dfsm import LazyDFSM, StateCapExceeded, subset_construction
+from repro.core.fd import Equation, FDSet
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import (
+    PREPARATION_MODES,
+    BuilderOptions,
+    OrderOptimizer,
+    PreparationPlan,
+    PreparationStage,
+    PreparationStatistics,
+    PreparationStats,
+    preparation_fingerprint,
+    resolve_preparation_mode,
+)
+from repro.core.ordering import Ordering
+from repro.core.tables import LazyTables
+
+
+def small_instance():
+    """(a,b) produced plus an a=c equation: a 4-state pruned machine."""
+    a, b, c = attrs("a", "b", "c")
+    interesting = InterestingOrders.of(
+        [Ordering([a, b])], [Ordering([c, b])]
+    )
+    fdsets = (FDSet(frozenset({Equation(a, c)})),)
+    return interesting, fdsets
+
+
+class TestLazyDFSM:
+    def test_construction_materializes_only_the_start_state(self):
+        opt = OrderOptimizer.prepare(*small_instance(), mode="lazy")
+        assert isinstance(opt.dfsm, LazyDFSM)
+        assert opt.dfsm.state_count == 1
+        assert opt.tables.states_materialized == 1
+        assert opt.stats.dfsm_states == 1
+
+    def test_producer_transitions_memoize(self):
+        interesting, fdsets = small_instance()
+        opt = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        order = interesting.produced[0]
+        first = opt.dfsm.producer_transition(order)
+        count = opt.dfsm.state_count
+        assert opt.dfsm.producer_transition(order) == first
+        assert opt.dfsm.state_count == count  # no re-interning
+
+    def test_transition_cells_fill_once(self):
+        interesting, fdsets = small_instance()
+        opt = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        state = opt.state_for_produced(opt.producer_handle(interesting.produced[0]))
+        filled = opt.dfsm.transitions_filled
+        target = opt.infer(state, opt.fdset_handle(fdsets[0]))
+        assert opt.dfsm.transitions_filled > filled
+        filled = opt.dfsm.transitions_filled
+        assert opt.infer(state, opt.fdset_handle(fdsets[0])) == target
+        assert opt.dfsm.transitions_filled == filled  # cached, not recomputed
+
+    def test_materialize_all_reaches_the_eager_power_set(self):
+        interesting, fdsets = small_instance()
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        assert lazy.tables.materialize_all() == eager.tables.states_total
+        # and the materialized state sets are exactly the eager ones
+        assert set(lazy.dfsm.states) == set(eager.dfsm.states)
+
+    def test_state_orderings_match_eager(self):
+        interesting, fdsets = small_instance()
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        order = interesting.produced[0]
+        se = eager.state_for_produced(eager.producer_handle(order))
+        sl = lazy.state_for_produced(lazy.producer_handle(order))
+        assert eager.dfsm.state_orderings(se) == lazy.dfsm.state_orderings(sl)
+
+
+class TestStateCap:
+    def test_subset_construction_raises_past_the_cap(self):
+        interesting, fdsets = small_instance()
+        opt = OrderOptimizer.prepare(interesting, fdsets)
+        full = opt.tables.states_total
+        with pytest.raises(StateCapExceeded) as err:
+            subset_construction(opt.nfsm, state_cap=full - 1)
+        assert err.value.cap == full - 1
+        # at the exact size the construction completes
+        assert subset_construction(opt.nfsm, state_cap=full).state_count == full
+
+    def test_prepare_falls_back_to_lazy(self):
+        interesting, fdsets = small_instance()
+        opt = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions(eager_state_cap=2)
+        )
+        assert opt.stats.eager_fallback
+        assert opt.stats.mode == "lazy"
+        assert opt.mode == "lazy"
+        assert isinstance(opt.tables, LazyTables)
+        # the fingerprint keys the *requested* mode: cache lookups must not
+        # depend on whether the build happened to fall back
+        assert opt.fingerprint.mode == "eager"
+
+    def test_no_fallback_within_the_cap(self):
+        interesting, fdsets = small_instance()
+        opt = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions(eager_state_cap=1000)
+        )
+        assert not opt.stats.eager_fallback
+        assert opt.mode == "eager"
+
+
+class TestLazyTables:
+    def test_lookup_parity_with_eager_tables(self):
+        interesting, fdsets = small_instance()
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        frozen = lazy.tables.freeze()
+        # freeze preserves the lazy numbering, so the dense tables must
+        # agree with the live lazy tables cell by cell
+        for state in range(frozen.state_count):
+            for symbol in range(frozen.symbol_count):
+                assert frozen.transition(state, symbol) == lazy.tables.transition(
+                    state, symbol
+                )
+            for handle in range(len(frozen.testable_orders)):
+                assert frozen.contains(state, handle) == lazy.tables.contains(
+                    state, handle
+                )
+        assert frozen.state_count == eager.tables.state_count
+
+    def test_producer_symbols_self_transition_off_the_start(self):
+        interesting, fdsets = small_instance()
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        handle = lazy.producer_handle(interesting.produced[0])
+        state = lazy.state_for_produced(handle)
+        assert state != lazy.start_state
+        assert lazy.tables.transition(state, handle) == state
+
+    def test_byte_accounting_grows_with_materialization(self):
+        interesting, fdsets = small_instance()
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        before = lazy.tables.total_bytes
+        lazy.state_for_produced(lazy.producer_handle(interesting.produced[0]))
+        assert lazy.tables.total_bytes > before
+
+    def test_states_total_is_unknown_until_forced(self):
+        lazy = OrderOptimizer.prepare(*small_instance(), mode="lazy")
+        assert lazy.tables.states_total is None
+        lazy.tables.materialize_all()
+        assert lazy.tables.states_total is None  # lazily honest forever
+        assert lazy.tables.states_materialized >= 2
+
+    def test_debug_dumps_force_materialization(self):
+        interesting, fdsets = small_instance()
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        assert len(lazy.tables.contains_table()) == eager.tables.state_count
+        assert len(lazy.tables.transition_table()) == eager.tables.state_count
+
+    def test_fresh_tables_over_a_driven_machine(self):
+        """LazyTables syncs to whatever the machine already materialized."""
+        lazy = OrderOptimizer.prepare(*small_instance(), mode="lazy")
+        lazy.state_for_produced(lazy.producer_handle(lazy.interesting.produced[0]))
+        rebuilt = LazyTables(lazy.dfsm)
+        assert rebuilt.state_count == lazy.tables.state_count >= 2
+
+
+class TestLazyExtensions:
+    def test_minimize_under_lazy_freezes_dense_tables(self):
+        interesting, fdsets = small_instance()
+        opt = OrderOptimizer.prepare(
+            interesting, fdsets, BuilderOptions(minimize_dfsm=True), mode="lazy"
+        )
+        # minimization is whole-machine, so the lazy mode hands back dense
+        # (and known-total) tables
+        assert opt.tables.states_total == opt.tables.state_count
+
+    def test_dominance_forces_the_lazy_machine(self):
+        interesting, fdsets = small_instance()
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        relation = lazy.simulation_dominance_relation()
+        assert lazy.tables.states_materialized == eager.tables.states_total
+        assert len(relation) == eager.tables.states_total
+        assert lazy.simulation_dominance_relation() is relation  # memoized
+
+
+class TestPreparationPlan:
+    def test_standard_stages_are_timed(self):
+        opt = OrderOptimizer.prepare(*small_instance())
+        assert list(opt.stats.stage_ms) == [
+            "inputs",
+            "nfsm",
+            "prune",
+            "determinize",
+            "tables",
+        ]
+        assert all(ms >= 0.0 for ms in opt.stats.stage_ms.values())
+        assert sum(opt.stats.stage_ms.values()) <= opt.stats.preparation_ms
+
+    def test_custom_plan_with_an_extra_stage(self):
+        seen = []
+        standard = PreparationPlan.standard()
+        plan = PreparationPlan(
+            (*standard.stages, PreparationStage("audit", lambda ctx: seen.append(ctx.tables)))
+        )
+        opt = OrderOptimizer.prepare(*small_instance(), plan=plan)
+        assert seen == [opt.tables]
+        assert "audit" in opt.stats.stage_ms
+
+    def test_statistics_alias(self):
+        assert PreparationStatistics is PreparationStats
+
+
+class TestModeRegistry:
+    def test_registry_contents(self):
+        assert set(PREPARATION_MODES) == {"eager", "lazy"}
+
+    def test_resolve_by_name_and_instance(self):
+        eager = resolve_preparation_mode("eager")
+        assert resolve_preparation_mode(eager) is eager
+        with pytest.raises(ValueError, match="unknown preparation mode"):
+            resolve_preparation_mode("sloppy")
+
+    def test_unknown_mode_rejected_by_prepare(self):
+        with pytest.raises(ValueError, match="unknown preparation mode"):
+            OrderOptimizer.prepare(*small_instance(), mode="sloppy")
+
+    def test_fingerprint_discriminates_modes(self):
+        interesting, fdsets = small_instance()
+        eager_fp = preparation_fingerprint(interesting, fdsets)
+        lazy_fp = preparation_fingerprint(interesting, fdsets, mode="lazy")
+        assert eager_fp != lazy_fp
+        assert eager_fp.digest() != lazy_fp.digest()
+
+
+class TestEagerUnchanged:
+    def test_eager_tables_report_full_materialization(self):
+        opt = OrderOptimizer.prepare(*small_instance())
+        tables = opt.tables
+        assert tables.states_materialized == tables.state_count
+        assert tables.states_total == tables.state_count
+        assert opt.mode == "eager"
+
+    def test_eager_and_lazy_build_the_same_nfsm(self):
+        interesting, fdsets = small_instance()
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        assert eager.nfsm.orderings == lazy.nfsm.orderings
+        assert eager.nfsm.fd_symbols == lazy.nfsm.fd_symbols
+        assert eager.nfsm.fd_targets == lazy.nfsm.fd_targets

@@ -209,3 +209,32 @@ def test_fsm_search_space_is_never_larger_on_the_grid():
         fsm = PlanGenerator(spec, FsmBackend()).run()
         simmen = PlanGenerator(spec, SimmenBackend()).run()
         assert fsm.stats.plans_created <= simmen.stats.plans_created
+
+
+def test_lazy_fsm_matches_simmen_and_eager_fsm_on_the_full_grid():
+    """The lazy preparation path through the same oracle, full grid.
+
+    Three-way check per seeded query: the lazily-prepared FSM backend must
+    (a) match Simmen's optimal cost — the cost oracle now covers the new
+    path end-to-end — and (b) produce a *bit-identical plan tree* to the
+    eagerly-prepared FSM backend (same operators, same shapes, same costs:
+    the lazy machine is a relabeling, so DP pruning decisions cannot
+    differ).  It must also never materialize more DFSM states than the
+    eager machine holds in total.
+    """
+    mismatches = []
+    for spec in differential_cases():
+        eager = PlanGenerator(spec, FsmBackend()).run()
+        lazy = PlanGenerator(spec, FsmBackend(prepare_mode="lazy")).run()
+        simmen = PlanGenerator(spec, SimmenBackend()).run()
+        if round(lazy.best_plan.cost, 6) != round(simmen.best_plan.cost, 6):
+            mismatches.append(("simmen", spec.name))
+        if lazy.best_plan.explain() != eager.best_plan.explain():
+            mismatches.append(("eager", spec.name))
+        assert eager.stats.states_total is not None
+        assert lazy.stats.states_total is None  # lazy never forces the count
+        assert lazy.stats.states_materialized <= eager.stats.states_total
+    assert mismatches == [], (
+        f"{len(mismatches)} divergence(s) out of {len(SEED_GRID)} queries: "
+        f"{mismatches[:5]}"
+    )

@@ -1,0 +1,85 @@
+"""Property: lazy preparation is observationally identical to eager.
+
+The lazy machine is, by construction, a reachability-restricted relabeling
+of the eager power-set DFSM (both intern states by their ε-closed NFSM node
+set and compute successors with the shared ``fd_successor`` kernel).  These
+properties pin that argument down over randomized instances:
+
+* along arbitrary operation sequences — constructor, ``infer`` walks,
+  mid-plan sort entries — both modes give identical ``contains`` answers
+  for every testable order, and the underlying state *sets* coincide
+  exactly (the strongest form of "identical infer answers": not just the
+  same observable bits, the same represented set of logical orderings);
+* the lazy machine never materializes more states than the eager total —
+  laziness can only shrink the bill, never inflate it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.optimizer import OrderOptimizer
+
+from .strategies import instances
+
+
+def _walk_states(optimizer: OrderOptimizer, interesting, fdsets, walk):
+    """Drive one component through every entry point and the symbol walk,
+    yielding (label, state) at each step for comparison."""
+    fd_handles = [optimizer.fdset_handle(f) for f in fdsets]
+    entries = [("scan", optimizer.scan_state())]
+    for order in interesting.produced:
+        handle = optimizer.producer_handle(order)
+        entries.append((f"produced:{order!r}", optimizer.state_for_produced(handle)))
+        entries.append(
+            (
+                f"sort:{order!r}",
+                optimizer.state_after_sort(handle, fd_handles[:2]),
+            )
+        )
+    for label, state in entries:
+        yield label, state
+        for step, symbol in enumerate(walk):
+            state = optimizer.infer(state, fd_handles[symbol])
+            yield f"{label}+{step}", state
+
+
+def _observations(optimizer: OrderOptimizer, interesting, fdsets, walk):
+    """(label, represented node set, contains row) per step of the drive."""
+    testable = range(len(optimizer.tables.testable_orders))
+    out = []
+    for label, state in _walk_states(optimizer, interesting, fdsets, walk):
+        nodes = optimizer.dfsm.states[state]
+        answers = tuple(optimizer.contains(state, h) for h in testable)
+        out.append((label, nodes, answers))
+    return out
+
+
+@given(instances())
+@settings(max_examples=60, deadline=None)
+def test_lazy_equals_eager_along_random_operation_sequences(instance):
+    interesting, fdsets, walk = instance
+    eager = OrderOptimizer.prepare(interesting, fdsets)
+    lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+
+    # Same testable-order layout (handles are positional).
+    assert eager.tables.testable_orders == lazy.tables.testable_orders
+
+    eager_obs = _observations(eager, interesting, fdsets, walk)
+    lazy_obs = _observations(lazy, interesting, fdsets, walk)
+    assert eager_obs == lazy_obs
+
+
+@given(instances())
+@settings(max_examples=60, deadline=None)
+def test_lazy_never_materializes_more_than_eager_total(instance):
+    interesting, fdsets, walk = instance
+    eager = OrderOptimizer.prepare(interesting, fdsets)
+    lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+
+    for _ in _walk_states(lazy, interesting, fdsets, walk):
+        pass
+    assert lazy.tables.states_materialized <= eager.tables.states_total
+
+    # Forcing the lazy machine reaches exactly the eager power set.
+    assert lazy.tables.materialize_all() == eager.tables.states_total

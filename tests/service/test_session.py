@@ -301,6 +301,7 @@ def test_dominance_relation_is_memoized_on_cached_component():
         info,
         session.config.builder_options,
         session.resolve_enumerator_for(spec),
+        session.config.prepare_mode,
     )
     first = cached.simulation_dominance_relation()
     assert cached.simulation_dominance_relation() is first
@@ -368,3 +369,116 @@ def test_template_variants_only_differ_in_constants():
         assert spec.relations == specs[0].relations
         values.add(spec.selections[-1].value)
     assert len(values) == 3
+
+
+# -- preparation modes ---------------------------------------------------------
+
+
+def test_prepare_mode_env_default(monkeypatch):
+    from repro.service import default_prepare_mode
+
+    monkeypatch.delenv("REPRO_PREPARE_MODE", raising=False)
+    assert default_prepare_mode() == "eager"
+    assert SessionConfig().prepare_mode == "eager"
+    monkeypatch.setenv("REPRO_PREPARE_MODE", "lazy")
+    assert default_prepare_mode() == "lazy"
+    assert SessionConfig().prepare_mode == "lazy"
+    # explicit wins over the environment
+    assert SessionConfig(prepare_mode="eager").prepare_mode == "eager"
+    # a typo fails fast at config construction, not per-query in a shard
+    monkeypatch.setenv("REPRO_PREPARE_MODE", "Lazy")
+    with pytest.raises(ValueError, match="unknown preparation mode"):
+        SessionConfig()
+
+
+def test_lazy_session_serves_identical_plans():
+    catalog = demo_catalog()
+    # modes pinned explicitly: this test must hold under any
+    # REPRO_PREPARE_MODE (the prepare-smoke CI leg sets it to lazy)
+    eager = OptimizationSession(
+        catalog, config=SessionConfig(prepare_mode="eager")
+    )
+    lazy = OptimizationSession(
+        catalog, config=SessionConfig(prepare_mode="lazy")
+    )
+    for constant in ("alice", "bob"):
+        spec = demo_query(catalog, constant)
+        a = eager.optimize(spec)
+        b = lazy.optimize(spec)
+        assert a.best_plan.cost == b.best_plan.cost
+        assert a.best_plan.explain() == b.best_plan.explain()
+    stats = lazy.statistics()
+    assert stats.prepare_modes == {"lazy": 2}
+    assert stats.states_materialized > 0
+    assert stats.states_total_known == 0  # no lazy entry knows its total
+    assert "preparation" in stats.describe()
+
+
+def test_eager_session_reports_known_totals():
+    catalog = demo_catalog()
+    session = OptimizationSession(
+        catalog, config=SessionConfig(prepare_mode="eager")
+    )
+    session.optimize(demo_query(catalog, "alice"))
+    stats = session.statistics()
+    assert stats.prepare_modes == {"eager": 1}
+    assert stats.states_total_known == stats.states_materialized > 0
+
+
+def test_lazy_cache_entries_stay_warm_across_variants():
+    """The second constant-variant reuses states the first materialized."""
+    catalog = demo_catalog()
+    session = OptimizationSession(
+        catalog, config=SessionConfig(prepare_mode="lazy")
+    )
+    session.optimize(demo_query(catalog, "alice"))
+    after_first = session.statistics().states_materialized
+    session.optimize(demo_query(catalog, "bob"))
+    after_second = session.statistics().states_materialized
+    # same template → prepared-cache hit → the same growing machine; the
+    # second query adds no (or few) states beyond the first's working set
+    assert session.statistics().prepared.hits == 1
+    assert after_second == after_first
+
+
+def test_statistics_add_merges_prepare_mode_counts():
+    from repro.service import SessionStatistics
+
+    a = SessionStatistics(prepare_modes={"eager": 2}, states_materialized=10)
+    b = SessionStatistics(
+        prepare_modes={"eager": 1, "lazy": 3},
+        states_materialized=5,
+        states_total_known=7,
+    )
+    merged = a.add(b)
+    assert merged.prepare_modes == {"eager": 3, "lazy": 3}
+    assert merged.states_materialized == 15
+    assert merged.states_total_known == 7
+    assert a.prepare_modes == {"eager": 2}  # inputs untouched
+
+
+def test_prepare_modes_track_the_serving_backend():
+    """A factory FsmBackend's own mode is what the counters report; a
+    backend without a preparation phase contributes no mode at all."""
+    catalog = demo_catalog()
+    lazy_factory = OptimizationSession(
+        catalog,
+        backend_factory=lambda: FsmBackend(prepare_mode="lazy"),
+        config=SessionConfig(prepare_mode="eager"),
+    )
+    lazy_factory.optimize(demo_query(catalog, "alice"))
+    assert lazy_factory.statistics().prepare_modes == {"lazy": 1}
+
+    simmen = OptimizationSession(catalog, backend_factory=SimmenBackend)
+    simmen.optimize(demo_query(catalog, "alice"))
+    assert simmen.statistics().prepare_modes == {}
+
+
+def test_fingerprint_discriminates_prepare_mode():
+    catalog = demo_catalog()
+    info = analyze(demo_query(catalog))
+    eager_fp = preparation_fingerprint(info.interesting, info.fdsets)
+    lazy_fp = preparation_fingerprint(info.interesting, info.fdsets, mode="lazy")
+    assert eager_fp != lazy_fp
+    assert eager_fp.mode == "eager"
+    assert lazy_fp.mode == "lazy"

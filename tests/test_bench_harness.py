@@ -1,8 +1,17 @@
 """Unit tests for the benchmark harness helpers."""
 
+import json
 import os
 
-from repro.bench import bench_full, format_table, report, results_dir, save_result
+from repro.bench import (
+    bench_environment,
+    bench_full,
+    format_table,
+    report,
+    results_dir,
+    round_floats,
+    save_result,
+)
 
 
 class TestFormatTable:
@@ -35,6 +44,36 @@ class TestPersistence:
         directory = results_dir()
         assert directory.is_dir()
         assert directory.name == "results"
+
+
+class TestSaveJson:
+    def test_rounds_floats_recursively(self):
+        payload = {"a": 1.23456, "b": [2.71828, {"c": 3.14159}], "d": "x", "e": 7}
+        assert round_floats(payload) == {
+            "a": 1.23,
+            "b": [2.72, {"c": 3.14}],
+            "d": "x",
+            "e": 7,
+        }
+
+    def test_environment_fields(self):
+        env = bench_environment()
+        assert set(env) == {"commit", "machine", "system", "python"}
+        assert all(isinstance(v, str) and v for v in env.values())
+
+    def test_save_json_is_deterministic(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "repo_root", lambda: tmp_path)
+        payload = {"points": [{"ms": 1.23456789, "n": 4}], "grid": "small"}
+        first = harness.save_json("unit_bench", payload).read_text()
+        second = harness.save_json("unit_bench", payload).read_text()
+        assert first == second  # byte-identical on re-run with equal inputs
+        document = json.loads(first)
+        assert set(document) == {"environment", "payload"}
+        assert document["payload"]["points"][0]["ms"] == 1.23
+        # keys are sorted so diffs are positionally stable
+        assert first.index('"environment"') < first.index('"payload"')
 
 
 class TestScale:

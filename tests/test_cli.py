@@ -97,6 +97,32 @@ def test_sweep_topologies(capsys):
     assert f"(skipped: n > {DPSUB_MAX_N})" in out
 
 
+def test_plan_prepare_mode_flag(capsys):
+    sql = "select * from persons, jobs where persons.jobid = jobs.id"
+    assert main(["plan", "--prepare", "lazy", sql]) == 0
+    lazy_out = capsys.readouterr().out
+    assert "lazy preparation" in lazy_out
+    assert "materialized on demand" in lazy_out
+    assert main(["plan", "--prepare", "eager", sql]) == 0
+    eager_out = capsys.readouterr().out
+    assert "eager preparation" in eager_out
+    # bit-identical plans: everything above the summary line must agree
+    strip = lambda out: out.rsplit("\n\n", 1)[0]
+    assert strip(lazy_out) == strip(eager_out)
+
+
+def test_prepare_reports_stage_timings_and_mode(capsys):
+    sql = (
+        "select * from persons, jobs where persons.jobid = jobs.id "
+        "order by jobs.id"
+    )
+    assert main(["prepare", "--prepare", "lazy", sql]) == 0
+    out = capsys.readouterr().out
+    assert "(lazy mode)" in out
+    assert "stage timings (ms):" in out
+    assert "determinize" in out
+
+
 def test_q8(capsys):
     assert main(["q8"]) == 0
     out = capsys.readouterr().out
