@@ -13,6 +13,12 @@ The most common entry points are re-exported here:
   caching; shard across workers for concurrent serving) —
 
   >>> from repro import OptimizationSession, SessionPool
+
+* the execution engines (run a chosen plan over synthetic tuples:
+  ``session.execute(...)`` / ``session.explain_analyze(...)``, or the
+  engines directly) —
+
+  >>> from repro import RowEngine, VectorEngine, generate_dataset
 """
 
 from .core import (
@@ -36,6 +42,15 @@ from .core import (
     ordering,
     preparation_fingerprint,
 )
+from .exec import (
+    ExecutionConfig,
+    ExecutionEngine,
+    ExecutionResult,
+    RowEngine,
+    VectorEngine,
+    generate_dataset,
+    make_engine,
+)
 from .service import (
     OptimizationSession,
     SessionConfig,
@@ -43,7 +58,7 @@ from .service import (
     SessionStatistics,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Attribute",
@@ -65,6 +80,13 @@ __all__ = [
     "PreparationFingerprint",
     "preparation_fingerprint",
     "omega",
+    "ExecutionConfig",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "RowEngine",
+    "VectorEngine",
+    "generate_dataset",
+    "make_engine",
     "OptimizationSession",
     "SessionConfig",
     "SessionPool",

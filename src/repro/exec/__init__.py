@@ -1,9 +1,40 @@
-"""Execution substrate: synthetic data, iterator operators, plan execution,
-and the Section 2 order-verification predicates."""
+"""Execution substrate: synthetic data, two execution engines (row-dict
+reference oracle and vectorized streaming), and the Section 2
+order-verification predicates.
 
-from .data import generate_query_data, most_common_value
+The engines share one contract (:class:`ExecutionEngine`): interpret a
+:class:`~repro.plangen.plan.PlanNode` tree over a :class:`Dataset` and
+return an :class:`ExecutionResult` with per-operator row/batch/sort
+counters.  See :mod:`repro.exec.engine` for the contract,
+:mod:`repro.exec.vectorized` for the batch operators, and
+``docs/ARCHITECTURE.md`` ("Execution engine") for the data-flow story.
+"""
+
+from .batch import Batch, batches_to_rows, concat_batches, rows_to_batches
+from .data import (
+    Dataset,
+    as_dataset,
+    generate_dataset,
+    generate_query_data,
+    most_common_value,
+)
+from .engine import (
+    ENGINES,
+    ExecutionConfig,
+    ExecutionEngine,
+    ExecutionResult,
+    ExecutionStats,
+    NodeCounters,
+    RowEngine,
+    VectorEngine,
+    default_engine_name,
+    forced_sort_variant,
+    make_engine,
+    render_analyze,
+)
 from .executor import Executor, execute_plan
 from .iterators import (
+    MergeInputNotSortedError,
     hash_join,
     merge_join,
     nested_loop_join,
@@ -18,17 +49,37 @@ from .verify import (
 )
 
 __all__ = [
-    "generate_query_data",
-    "most_common_value",
+    "Batch",
+    "Dataset",
+    "ENGINES",
+    "ExecutionConfig",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "ExecutionStats",
     "Executor",
+    "MergeInputNotSortedError",
+    "NodeCounters",
+    "RowEngine",
+    "VectorEngine",
+    "as_dataset",
+    "batches_to_rows",
+    "concat_batches",
+    "default_engine_name",
     "execute_plan",
-    "sort_rows",
-    "select_rows",
-    "merge_join",
+    "forced_sort_variant",
+    "generate_dataset",
+    "generate_query_data",
     "hash_join",
+    "make_engine",
+    "merge_join",
+    "most_common_value",
     "nested_loop_join",
-    "satisfies_ordering",
-    "satisfies_ordering_formal",
+    "render_analyze",
+    "rows_to_batches",
     "satisfied_orderings",
     "satisfies_grouping",
+    "satisfies_ordering",
+    "satisfies_ordering_formal",
+    "select_rows",
+    "sort_rows",
 ]

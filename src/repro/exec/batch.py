@@ -1,0 +1,148 @@
+"""The columnar batch: the unit of data flow of the vectorized engine.
+
+A :class:`Batch` holds ``length`` tuples as *parallel column lists* keyed by
+alias-qualified :class:`~repro.core.attributes.Attribute`.  Every column list
+has exactly ``length`` elements; row ``i`` of the batch is the ``i``-th
+element of every column.  This is the classic vectorized layout: operators
+touch whole columns with list-level operations (slice, gather, extend)
+instead of building one ``dict`` per tuple, which is where the row engine
+spends most of its time.
+
+Batches are value containers, not streams — streaming is the job of the
+generator operators in :mod:`repro.exec.vectorized`, which pass batches
+along a pipeline.  A batch never mutates a column list it received; gather
+and slice build fresh lists (the source may be a shared base table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+from ..core.attributes import Attribute
+from .data import Row
+
+Columns = Dict[Attribute, list]
+
+
+class Batch:
+    """A fixed set of columns, all of the same length."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Columns, length: int | None = None) -> None:
+        if length is None:
+            length = len(next(iter(columns.values()))) if columns else 0
+        for attribute, values in columns.items():
+            if len(values) != length:
+                raise ValueError(
+                    f"column {attribute} has {len(values)} values, "
+                    f"expected {length}"
+                )
+        self.columns = columns
+        self.length = length
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row]) -> "Batch":
+        """Transpose a row list into columns (empty input yields no columns)."""
+        if not rows:
+            return cls({}, 0)
+        columns: Columns = {attribute: [] for attribute in rows[0]}
+        for row in rows:
+            for attribute, values in columns.items():
+                values.append(row[attribute])
+        return cls(columns, len(rows))
+
+    # -- conversion -----------------------------------------------------------
+
+    def to_rows(self) -> List[Row]:
+        """Transpose back into the row engine's dict-per-tuple form."""
+        attributes = tuple(self.columns)
+        columns = tuple(self.columns[a] for a in attributes)
+        return [
+            dict(zip(attributes, values)) for values in zip(*columns)
+        ] if attributes else []
+
+    def iter_rows(self) -> Iterator[Row]:
+        attributes = tuple(self.columns)
+        for i in range(self.length):
+            yield {a: self.columns[a][i] for a in attributes}
+
+    # -- columnar operations --------------------------------------------------
+
+    def column(self, attribute: Attribute) -> list:
+        try:
+            return self.columns[attribute]
+        except KeyError:
+            raise KeyError(f"batch has no column {attribute}") from None
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """Gather rows by position (the vectorized filter/sort primitive)."""
+        return Batch(
+            {
+                attribute: [values[i] for i in indices]
+                for attribute, values in self.columns.items()
+            },
+            len(indices),
+        )
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        """Contiguous row range ``[start, stop)`` as a new batch."""
+        start = max(0, start)
+        stop = min(self.length, stop)
+        return Batch(
+            {a: values[start:stop] for a, values in self.columns.items()},
+            max(0, stop - start),
+        )
+
+    def key_tuples(self, attributes: Sequence[Attribute]) -> list[tuple]:
+        """Per-row key tuples over the given attributes (sort/verify keys)."""
+        columns = [self.column(a) for a in attributes]
+        return list(zip(*columns)) if columns else [()] * self.length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"Batch({self.length} rows x {len(self.columns)} cols)"
+
+
+def concat_batches(batches: Sequence[Batch]) -> Batch:
+    """Materialize a batch sequence into one batch (the sort enforcer's and
+    hash build's primitive).  All batches must share a column set; empty
+    zero-column batches (from empty inputs) are skipped."""
+    live = [b for b in batches if b.columns]
+    if not live:
+        return Batch({}, 0)
+    first = live[0]
+    columns: Columns = {a: list(values) for a, values in first.columns.items()}
+    for batch in live[1:]:
+        if batch.columns.keys() != columns.keys():
+            raise ValueError("cannot concatenate batches with different columns")
+        for attribute, values in batch.columns.items():
+            columns[attribute].extend(values)
+    return Batch(columns)
+
+
+def batches_to_rows(batches: Sequence[Batch]) -> List[Row]:
+    """Flatten a batch sequence into the row representation, in order."""
+    rows: List[Row] = []
+    for batch in batches:
+        rows.extend(batch.to_rows())
+    return rows
+
+
+def rows_to_batches(
+    rows: Sequence[Row], batch_size: int
+) -> Iterator[Batch]:
+    """Chunk a row list into batches of at most ``batch_size``."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    for start in range(0, len(rows), batch_size):
+        yield Batch.from_rows(rows[start : start + batch_size])
+
+
+def empty_like(columns: Mapping[Attribute, list]) -> Columns:
+    """Fresh empty output columns with the same attribute set."""
+    return {attribute: [] for attribute in columns}

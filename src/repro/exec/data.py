@@ -10,10 +10,15 @@ under ties).
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+import zlib
+from typing import TYPE_CHECKING, Dict, List
 
 from ..core.attributes import Attribute
+from ..query.predicates import EqualsConstant, RangePredicate
 from ..query.query import QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (batch.py imports Row)
+    from .batch import Batch
 
 Row = Dict[Attribute, object]
 
@@ -44,6 +49,223 @@ def generate_query_data(
             rows.append(row)
         data[ref.alias] = rows
     return data
+
+
+class Dataset:
+    """Per-alias base tables in columnar form, with a cached row view.
+
+    The canonical storage is one :class:`~repro.exec.batch.Batch` per
+    relation alias — the vectorized engine scans it directly.  The row
+    engine (the reference oracle) asks for :meth:`rows`, which transposes
+    on first use and caches the result, so the two engines always execute
+    over *identical* data.
+    """
+
+    def __init__(self, tables: dict[str, "Batch"]) -> None:
+        self.tables = tables
+        self._rows: dict[str, List[Row]] | None = None
+
+    @classmethod
+    def from_rows(cls, data: dict[str, List[Row]]) -> "Dataset":
+        from .batch import Batch
+
+        dataset = cls({alias: Batch.from_rows(rows) for alias, rows in data.items()})
+        dataset._rows = {alias: list(rows) for alias, rows in data.items()}
+        return dataset
+
+    def batch(self, alias: str) -> "Batch":
+        try:
+            return self.tables[alias]
+        except KeyError:
+            raise KeyError(f"dataset has no relation {alias}") from None
+
+    def rows(self) -> dict[str, List[Row]]:
+        if self._rows is None:
+            self._rows = {
+                alias: batch.to_rows() for alias, batch in self.tables.items()
+            }
+        return self._rows
+
+    def row_count(self) -> int:
+        return sum(batch.length for batch in self.tables.values())
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.row_count()} rows, {len(self.tables)} relations)"
+
+
+def as_dataset(data: "Dataset | dict[str, List[Row]]") -> Dataset:
+    """Coerce either data representation into a :class:`Dataset`."""
+    if isinstance(data, Dataset):
+        return data
+    return Dataset.from_rows(data)
+
+
+def _column_seed(seed: int, alias: str, column: str) -> int:
+    """A stable per-column RNG seed.  ``hash()`` is randomized per process,
+    so determinism needs an explicit digest; crc32 is plenty."""
+    return zlib.crc32(f"{seed}:{alias}:{column}".encode()) ^ (seed << 16)
+
+
+def _join_components(spec: QuerySpec) -> dict[Attribute, frozenset[Attribute]]:
+    """Connected components of attributes under the query's join predicates.
+
+    Every attribute of a component must draw values from one shared pool,
+    or equi-joins between them could never match (worse: a string pool on
+    one side of a merge join against integers on the other would not even
+    compare).  Selection constants therefore taint their whole component.
+    """
+    parent: dict[Attribute, Attribute] = {}
+
+    def find(a: Attribute) -> Attribute:
+        parent.setdefault(a, a)
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for join in spec.joins:
+        ra, rb = find(join.left), find(join.right)
+        if ra != rb:
+            parent[ra] = rb
+    components: dict[Attribute, set[Attribute]] = {}
+    for attribute in parent:
+        components.setdefault(find(attribute), set()).add(attribute)
+    frozen = {root: frozenset(members) for root, members in components.items()}
+    return {a: frozen[find(a)] for a in parent}
+
+
+def _selection_constants(spec: QuerySpec) -> dict[Attribute, list[object]]:
+    constants: dict[Attribute, list[object]] = {}
+    for selection in spec.selections:
+        if isinstance(selection, EqualsConstant):
+            constants.setdefault(selection.attribute, []).append(selection.value)
+        elif isinstance(selection, RangePredicate):
+            values = [selection.value]
+            if selection.upper_value is not None:
+                values.append(selection.upper_value)
+            constants.setdefault(selection.attribute, []).extend(values)
+    return constants
+
+
+def _string_pool(constants: list[str]) -> list[str]:
+    """A value pool around string selection constants.
+
+    The constants themselves (so equality predicates hit), one value
+    sorting strictly before the smallest and one strictly after the largest
+    (``"!"`` < digits/letters < ``"~"`` in ASCII), so range predicates see
+    rows on both sides of their bounds.
+    """
+    ordered = sorted(set(constants))
+    return [f"!{ordered[0]}", *ordered, f"~{ordered[-1]}"]
+
+
+def generate_dataset(
+    spec: QuerySpec,
+    *,
+    rows_per_table: int | None = None,
+    scale: float | None = None,
+    max_rows: int = 1_000_000,
+    default_domain: int | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Catalog-driven columnar data for every relation of a query.
+
+    Per-relation row counts come from the catalog's statistics: each alias
+    gets ``table.cardinality * scale`` rows (capped at ``max_rows``), or a
+    uniform ``rows_per_table`` when given.  With neither, ``scale`` defaults
+    so the *largest* relation lands on 1000 rows — small enough to execute
+    any catalog out of the box, faithful to the relative sizes.
+
+    Value domains are statistics- and predicate-aware:
+
+    * a column with a known distinct count draws integers from
+      ``[0, min(distinct, rows))`` — keys stay key-like at any scale, low-
+      cardinality columns keep their duplicates; a column *without* distinct
+      statistics defaults to a row-count-sized domain (key-like), or to
+      ``default_domain`` when given (small domains make joins dense — the
+      interesting regime for order verification under ties);
+    * join-connected columns share one domain (the minimum over the
+      component), so equi-joins actually match;
+    * a column (or join component) carrying *string* selection constants
+      draws from a pool of the constants plus values sorting strictly
+      below and above them, so equality and range predicates select real,
+      non-trivial subsets.
+
+    Generation is deterministic per ``(seed, alias, column)`` — adding a
+    relation or reordering columns never changes another column's data.
+    """
+    from .batch import Batch
+
+    if rows_per_table is not None and scale is not None:
+        raise ValueError(
+            "rows_per_table and scale are mutually exclusive "
+            "(uniform row count vs. catalog-proportional sizing)"
+        )
+    if rows_per_table is not None and rows_per_table < 0:
+        raise ValueError(f"rows_per_table must be >= 0, got {rows_per_table}")
+    if scale is not None and scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    cardinalities = {
+        ref.alias: spec.cardinality(ref.alias) for ref in spec.relations
+    }
+    if rows_per_table is None and scale is None:
+        scale = 1000.0 / max(cardinalities.values())
+
+    def rows_for(alias: str) -> int:
+        if rows_per_table is not None:
+            return min(rows_per_table, max_rows)
+        assert scale is not None
+        return max(1, min(int(cardinalities[alias] * scale), max_rows))
+
+    components = _join_components(spec)
+    constants = _selection_constants(spec)
+
+    def pool_for(attribute: Attribute, n_rows: int) -> list | int:
+        """The shared value pool of an attribute: a string pool when string
+        constants taint its join component, else an integer domain size.
+
+        The integer domain is computed over the whole component — the
+        minimum of every member column's distinct count (or its relation's
+        *generated* row count when unknown) — so all join-connected columns
+        draw from one identical range and equi-joins actually match, even
+        when the joined relations are generated at very different sizes.
+        """
+        member_set = components.get(attribute, frozenset({attribute}))
+        strings = [
+            c
+            for member in member_set
+            for c in constants.get(member, [])
+            if isinstance(c, str)
+        ]
+        if strings:
+            return _string_pool(strings)
+        domain = n_rows if default_domain is None else min(n_rows, default_domain)
+        for member in member_set:
+            table = spec.table_of(member.relation)
+            column = table.column(member.name)
+            member_rows = (
+                n_rows if member is attribute else rows_for(member.relation)
+            )
+            if column.distinct_values is not None:
+                member_rows = min(member_rows, column.distinct_values)
+            domain = min(domain, member_rows)
+        return max(2, domain)
+
+    tables: dict[str, Batch] = {}
+    for ref in spec.relations:
+        n_rows = rows_for(ref.alias)
+        table = spec.catalog.table(ref.table)
+        columns: dict[Attribute, list] = {}
+        for column in table.columns:
+            attribute = Attribute(column.name, ref.alias)
+            rng = random.Random(_column_seed(seed, ref.alias, column.name))
+            pool = pool_for(attribute, n_rows)
+            if isinstance(pool, list):
+                columns[attribute] = rng.choices(pool, k=n_rows)
+            else:
+                columns[attribute] = [rng.randrange(pool) for _ in range(n_rows)]
+        tables[ref.alias] = Batch(columns, n_rows)
+    return Dataset(tables)
 
 
 def apply_constant(rows: List[Row], attribute: Attribute, value: object) -> List[Row]:

@@ -1,0 +1,411 @@
+"""Execution engines: one plan-tree interpreter contract, two engines.
+
+:class:`RowEngine` wraps the original row-dict interpreter
+(:mod:`repro.exec.executor`) — slow, obviously correct, the *reference
+oracle*.  :class:`VectorEngine` runs the same plan over columnar batches
+through the generator pipeline of :mod:`repro.exec.vectorized`.  Both
+answer every query with the same result multiset, in the same documented
+order-propagation semantics; the differential property suite and the
+topology × enumerator × prepare-mode grid hold them to it bit-identically.
+
+Every execution returns an :class:`ExecutionResult` carrying per-operator
+counters (:class:`NodeCounters`: rows out, batches out, physical sorts) so
+``explain_analyze`` can print what the plan *did*, not just what the cost
+model predicted.  A physical sort is counted where one actually runs: at
+``sort`` enforcers and at ``index_scan`` leaves (the in-memory stand-in for
+an ordered index read is a sort).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..core.ordering import Ordering
+from ..plangen.plan import INDEX_SCAN, SCAN, SORT, PlanNode
+from ..query.query import QuerySpec
+from .batch import Batch, batches_to_rows
+from .data import Dataset, Row, as_dataset
+from .executor import Executor, oriented_keys
+from .vectorized import (
+    DEFAULT_BATCH_SIZE,
+    hash_join_batches,
+    index_scan_batches,
+    merge_join_batches,
+    nl_join_batches,
+    scan_batches,
+    sort_batches,
+)
+
+ENGINES = ("row", "vector")
+
+
+def default_engine_name() -> str:
+    """The environment-configured engine (``REPRO_EXEC_ENGINE``).
+
+    Unset or empty means ``vector`` — the production engine; ``row`` flips
+    the whole stack onto the reference oracle (the CI exec-smoke leg runs
+    the suites under an explicit ``vector`` the same way).  A typo'd value
+    raises here, at configuration time.
+    """
+    name = os.environ.get("REPRO_EXEC_ENGINE", "") or "vector"
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown execution engine {name!r}; available: {', '.join(ENGINES)}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Engine knobs shared by both implementations."""
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    """Target rows per batch of the vectorized pipeline (the row engine
+    reports every operator as a single batch)."""
+
+    check_merge_inputs: bool = False
+    """Debug guard: verify merge-join inputs are actually sorted on their
+    keys (cheap adjacent-pair scan) and raise
+    :class:`~repro.exec.iterators.MergeInputNotSortedError` instead of
+    silently producing a wrong join result.  The differential suites turn
+    this on; serving paths leave it off."""
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass
+class NodeCounters:
+    """What one operator actually did during one execution."""
+
+    op: str
+    rows: int = 0
+    batches: int = 0
+    sorts: int = 0
+
+
+@dataclass
+class ExecutionStats:
+    """Per-node and aggregate counters of one plan execution."""
+
+    engine: str
+    nodes: dict[int, NodeCounters] = field(default_factory=dict)
+
+    def counters_for(self, node: PlanNode) -> NodeCounters:
+        counters = self.nodes.get(id(node))
+        if counters is None:
+            counters = NodeCounters(op=node.op)
+            self.nodes[id(node)] = counters
+        return counters
+
+    @property
+    def total_rows(self) -> int:
+        return sum(c.rows for c in self.nodes.values())
+
+    @property
+    def total_batches(self) -> int:
+        return sum(c.batches for c in self.nodes.values())
+
+    @property
+    def sorts(self) -> int:
+        return sum(c.sorts for c in self.nodes.values())
+
+    def by_operator(self) -> dict[str, dict[str, int]]:
+        """Aggregate counters per operator type (the session's view)."""
+        totals: dict[str, dict[str, int]] = {}
+        for counters in self.nodes.values():
+            entry = totals.setdefault(
+                counters.op, {"rows": 0, "batches": 0, "sorts": 0}
+            )
+            entry["rows"] += counters.rows
+            entry["batches"] += counters.batches
+            entry["sorts"] += counters.sorts
+        return totals
+
+
+class ExecutionResult:
+    """The outcome of executing one plan: the stream plus its statistics.
+
+    The result keeps the engine's native representation (row list or batch
+    list) and converts lazily — benchmarks read :attr:`row_count` without
+    paying for a 100k-dict transpose, differential tests call
+    :meth:`rows` / :meth:`multiset` when they need tuples.
+    """
+
+    def __init__(
+        self,
+        plan: PlanNode,
+        stats: ExecutionStats,
+        *,
+        rows: List[Row] | None = None,
+        batches: List[Batch] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.stats = stats
+        self._rows = rows
+        self._batches = batches
+
+    @property
+    def engine(self) -> str:
+        return self.stats.engine
+
+    @property
+    def row_count(self) -> int:
+        if self._rows is not None:
+            return len(self._rows)
+        return sum(batch.length for batch in self._batches or ())
+
+    def rows(self) -> List[Row]:
+        """The result stream as rows, in emission order."""
+        if self._rows is None:
+            self._rows = batches_to_rows(self._batches or ())
+        return self._rows
+
+    def multiset(self) -> list:
+        """Canonical order-insensitive form for differential comparison.
+
+        Values are keyed by ``repr``, which sorts heterogeneous types
+        without collapsing them — ``1`` and ``"1"`` must *not* compare
+        equal, or a type-coercion bug would slip through the oracle.
+        """
+        return sorted(
+            tuple(sorted((str(k), repr(v)) for k, v in row.items()))
+            for row in self.rows()
+        )
+
+
+# -- engines ------------------------------------------------------------------
+
+
+class ExecutionEngine:
+    """The contract: interpret a plan tree over a dataset."""
+
+    name: str = "abstract"
+
+    def __init__(self, config: ExecutionConfig | None = None) -> None:
+        self.config = config or ExecutionConfig()
+
+    def execute(
+        self,
+        plan: PlanNode,
+        spec: QuerySpec,
+        data: Dataset | dict[str, List[Row]],
+    ) -> ExecutionResult:
+        raise NotImplementedError
+
+
+class _CountingExecutor(Executor):
+    """The row executor with per-node accounting layered on ``run``."""
+
+    def __init__(self, spec, data, stats: ExecutionStats, *, check_merge_inputs):
+        super().__init__(spec, data, check_merge_inputs=check_merge_inputs)
+        self._stats = stats
+
+    def run(self, plan: PlanNode) -> List[Row]:
+        rows = super().run(plan)
+        counters = self._stats.counters_for(plan)
+        counters.rows += len(rows)
+        counters.batches += 1  # the row engine's "batch" is the whole list
+        if plan.op in (SORT, INDEX_SCAN):
+            counters.sorts += 1
+        return rows
+
+
+class RowEngine(ExecutionEngine):
+    """The materialized row-list interpreter — the reference oracle."""
+
+    name = "row"
+
+    def execute(self, plan, spec, data) -> ExecutionResult:
+        dataset = as_dataset(data)
+        stats = ExecutionStats(engine=self.name)
+        executor = _CountingExecutor(
+            spec,
+            dataset.rows(),
+            stats,
+            check_merge_inputs=self.config.check_merge_inputs,
+        )
+        return ExecutionResult(plan, stats, rows=executor.run(plan))
+
+
+class VectorEngine(ExecutionEngine):
+    """The vectorized streaming engine: generator pipelines over batches."""
+
+    name = "vector"
+
+    def execute(self, plan, spec, data) -> ExecutionResult:
+        dataset = as_dataset(data)
+        stats = ExecutionStats(engine=self.name)
+        batches = list(self._compile(plan, spec, dataset, stats))
+        return ExecutionResult(plan, stats, batches=batches)
+
+    # -- pipeline construction ------------------------------------------------
+
+    def _compile(
+        self, node: PlanNode, spec: QuerySpec, dataset: Dataset, stats: ExecutionStats
+    ) -> Iterator[Batch]:
+        method = getattr(self, f"_compile_{node.op}", None)
+        if method is None:
+            raise ValueError(f"cannot execute operator {node.op}")
+        return self._counted(node, method(node, spec, dataset, stats), stats)
+
+    def _counted(
+        self, node: PlanNode, batches: Iterator[Batch], stats: ExecutionStats
+    ) -> Iterator[Batch]:
+        counters = stats.counters_for(node)
+        for batch in batches:
+            counters.rows += batch.length
+            counters.batches += 1
+            yield batch
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _compile_scan(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        return scan_batches(
+            dataset.batch(node.alias),
+            spec.selections_for(node.alias),
+            self.config.batch_size,
+        )
+
+    def _sorting(
+        self, node: PlanNode, batches: Iterator[Batch], stats: ExecutionStats
+    ) -> Iterator[Batch]:
+        """Count the physical sort when the pipeline is first pulled — an
+        operator left unpulled (e.g. below a join whose other side came up
+        empty) never sorts, and must not claim one in ``explain analyze``."""
+        stats.counters_for(node).sorts += 1
+        yield from batches
+
+    def _compile_index_scan(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        if node.ordering is None:
+            raise ValueError("index scan without ordering")
+        return self._sorting(
+            node,
+            index_scan_batches(
+                dataset.batch(node.alias),
+                node.ordering,
+                spec.selections_for(node.alias),
+                self.config.batch_size,
+            ),
+            stats,
+        )
+
+    # -- unary ----------------------------------------------------------------
+
+    def _compile_sort(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        if node.ordering is None or node.left is None:
+            raise ValueError("malformed sort node")
+        return self._sorting(
+            node,
+            sort_batches(
+                self._compile(node.left, spec, dataset, stats),
+                node.ordering,
+                self.config.batch_size,
+            ),
+            stats,
+        )
+
+    # -- joins ----------------------------------------------------------------
+
+    def _compile_merge_join(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        left_key, right_key = oriented_keys(node)
+        return merge_join_batches(
+            self._compile(node.left, spec, dataset, stats),
+            self._compile(node.right, spec, dataset, stats),
+            left_key,
+            right_key,
+            node.predicates[1:],
+            self.config.batch_size,
+            check_sorted=self.config.check_merge_inputs,
+        )
+
+    def _compile_hash_join(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        left_key, right_key = oriented_keys(node)
+        return hash_join_batches(
+            self._compile(node.left, spec, dataset, stats),
+            self._compile(node.right, spec, dataset, stats),
+            left_key,
+            right_key,
+            node.predicates[1:],
+            self.config.batch_size,
+        )
+
+    def _compile_nl_join(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        return nl_join_batches(
+            self._compile(node.left, spec, dataset, stats),
+            self._compile(node.right, spec, dataset, stats),
+            node.predicates,
+            self.config.batch_size,
+        )
+
+
+_ENGINE_TYPES: dict[str, type[ExecutionEngine]] = {
+    RowEngine.name: RowEngine,
+    VectorEngine.name: VectorEngine,
+}
+
+
+def make_engine(
+    name: str | None = None, config: ExecutionConfig | None = None
+) -> ExecutionEngine:
+    """Build an engine by name (``None``: the environment default)."""
+    resolved = name or default_engine_name()
+    try:
+        engine_type = _ENGINE_TYPES[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution engine {resolved!r}; "
+            f"available: {', '.join(ENGINES)}"
+        ) from None
+    return engine_type(config)
+
+
+def forced_sort_variant(plan: PlanNode, ordering: Ordering) -> PlanNode:
+    """The same plan with an unconditional full sort on top.
+
+    The differential oracle's second witness: a forced physical sort may
+    never *change* the result multiset, and its output must satisfy the
+    ordering on both engines regardless of what the optimizer claimed.
+    """
+    return PlanNode(
+        SORT,
+        plan.relations,
+        state=plan.state,
+        cost=plan.cost,
+        cardinality=plan.cardinality,
+        left=plan,
+        ordering=ordering,
+    )
+
+
+def render_analyze(result: ExecutionResult, *, header: str = "") -> str:
+    """``explain analyze``: the plan tree with per-operator actuals.
+
+    Each operator line gains ``(actual: rows=N batches=B sort|no-sort)`` —
+    the sort marker says whether this operator physically sorted tuples
+    during the run, which is the paper's central claim made observable.
+    """
+    stats = result.stats
+
+    def annotate(node: PlanNode) -> str:
+        counters = stats.nodes.get(id(node))
+        if counters is None:
+            return "(actual: not executed)"
+        marker = "sort" if counters.sorts else "no-sort"
+        return (
+            f"(actual: rows={counters.rows} batches={counters.batches} {marker})"
+        )
+
+    lines = []
+    if header:
+        lines.append(header)
+    lines.append(result.plan.explain(annotate=annotate))
+    lines.append(
+        f"engine={result.engine}: {result.row_count} row(s) out, "
+        f"{stats.sorts} physical sort(s), {stats.total_batches} batch(es) "
+        f"across {len(stats.nodes)} operator(s)"
+    )
+    return "\n".join(lines)

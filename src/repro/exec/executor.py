@@ -40,6 +40,20 @@ from .iterators import (
 )
 
 
+def oriented_keys(plan: PlanNode) -> tuple[Attribute, Attribute]:
+    """The first join predicate's keys oriented as (left input, right input).
+
+    Shared by both engines — the reference interpreter and the vectorized
+    engine must orient merge/hash keys identically or they would answer
+    differently by construction.
+    """
+    join: JoinPredicate = plan.predicates[0]
+    left_aliases = {node.alias for node in plan.left.operators() if node.alias}
+    if join.left.relation in left_aliases:
+        return join.left, join.right
+    return join.right, join.left
+
+
 def _selection_predicate(selection: SelectionPredicate):
     attribute = selection.attribute
     if isinstance(selection, EqualsConstant):
@@ -61,11 +75,22 @@ def _selection_predicate(selection: SelectionPredicate):
 
 
 class Executor:
-    """Interprets plan trees over per-alias row lists."""
+    """Interprets plan trees over per-alias row lists.
 
-    def __init__(self, spec: QuerySpec, data: dict[str, List[Row]]) -> None:
+    ``check_merge_inputs`` enables the adjacent-pair sortedness guard on
+    every merge join (see :class:`repro.exec.iterators.MergeInputNotSortedError`).
+    """
+
+    def __init__(
+        self,
+        spec: QuerySpec,
+        data: dict[str, List[Row]],
+        *,
+        check_merge_inputs: bool = False,
+    ) -> None:
         self.spec = spec
         self.data = data
+        self.check_merge_inputs = check_merge_inputs
 
     def run(self, plan: PlanNode) -> List[Row]:
         method = getattr(self, f"_run_{plan.op}", None)
@@ -99,12 +124,7 @@ class Executor:
     # -- joins ------------------------------------------------------------------
 
     def _oriented_keys(self, plan: PlanNode) -> tuple[Attribute, Attribute]:
-        """First predicate's keys oriented as (left input, right input)."""
-        join: JoinPredicate = plan.predicates[0]
-        left_aliases = {node.alias for node in plan.left.operators() if node.alias}
-        if join.left.relation in left_aliases:
-            return join.left, join.right
-        return join.right, join.left
+        return oriented_keys(plan)
 
     def _residual(self, plan: PlanNode):
         rest: tuple[JoinPredicate, ...] = plan.predicates[1:]
@@ -121,7 +141,12 @@ class Executor:
     def _run_merge_join(self, plan: PlanNode) -> List[Row]:
         lk, rk = self._oriented_keys(plan)
         return merge_join(
-            self.run(plan.left), self.run(plan.right), lk, rk, self._residual(plan)
+            self.run(plan.left),
+            self.run(plan.right),
+            lk,
+            rk,
+            self._residual(plan),
+            check_sorted=self.check_merge_inputs,
         )
 
     def _run_hash_join(self, plan: PlanNode) -> List[Row]:

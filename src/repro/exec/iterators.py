@@ -24,6 +24,33 @@ from ..core.ordering import Ordering
 from .data import Row
 
 
+class MergeInputNotSortedError(RuntimeError):
+    """A merge-join input violated its sortedness precondition.
+
+    A merge join over an unsorted input does not fail — it silently drops
+    (or duplicates) matches, which is the worst failure mode a differential
+    oracle can meet.  The guard turns the silent wrong answer into a loud
+    one; it is opt-in (``check_sorted=``) because the adjacent-pair scan,
+    while linear and cheap, is pure overhead on trusted plans.
+    """
+
+
+def check_sorted_run(
+    values: list, key: Attribute, previous: object, side: str
+) -> object:
+    """Adjacent-pair guard: assert ``values`` is non-decreasing, continuing
+    from ``previous`` (the last key of the preceding chunk, or ``None`` at
+    the start of the stream).  Returns the new last key."""
+    for value in values:
+        if previous is not None and value < previous:  # type: ignore[operator]
+            raise MergeInputNotSortedError(
+                f"{side} merge-join input is not sorted on {key}: "
+                f"{value!r} follows {previous!r}"
+            )
+        previous = value
+    return previous
+
+
 def sort_rows(rows: List[Row], order: Ordering) -> List[Row]:
     """Stable sort by the ordering's attributes."""
     return sorted(rows, key=lambda row: tuple(row[a] for a in order))  # type: ignore[type-var]
@@ -76,8 +103,20 @@ def merge_join(
     left_key: Attribute,
     right_key: Attribute,
     residual: Callable[[Row, Row], bool] | None = None,
+    *,
+    check_sorted: bool = False,
 ) -> List[Row]:
-    """Sort-merge join; inputs must be sorted on their keys."""
+    """Sort-merge join; inputs must be sorted on their keys.
+
+    ``check_sorted=True`` runs the adjacent-pair guard over both inputs and
+    raises :class:`MergeInputNotSortedError` instead of silently producing
+    a wrong result when the precondition is violated.
+    """
+    if check_sorted:
+        check_sorted_run([row[left_key] for row in left], left_key, None, "left")
+        check_sorted_run(
+            [row[right_key] for row in right], right_key, None, "right"
+        )
     result: List[Row] = []
     i = j = 0
     n, m = len(left), len(right)

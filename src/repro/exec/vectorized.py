@@ -1,0 +1,531 @@
+"""Vectorized streaming operators: generators over columnar batches.
+
+Each operator consumes ``Iterator[Batch]`` inputs and yields output batches,
+so a pipeline holds at most a handful of batches at a time.  The only
+materialization points are exactly the ones the cost model charges for:
+
+* :func:`sort_batches` — the sort enforcer buffers *its own input* (and
+  nothing upstream of a pipeline breaker below it), argsorts once, and
+  re-emits batches;
+* :func:`hash_join_batches` — the build side (right) is drained into one
+  columnar store plus a bucket index; the probe side (left) streams;
+* :func:`nl_join_batches` — the inner side (right) is materialized, the
+  outer streams.
+
+:func:`merge_join_batches` is fully streaming on both sides (duplicate key
+groups are buffered, spanning batch boundaries when they must).
+
+Order-propagation semantics match the row engine and the plan generator's
+documented contract: merge, hash, and nested-loop joins all emit in the
+**left** input's order; scans preserve base-table order; sorts establish
+their ordering.  Join outputs concatenate the two column sets (attribute
+sets are disjoint because attributes are alias-qualified).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from ..core.attributes import Attribute
+from ..core.ordering import Ordering
+from ..query.predicates import JoinPredicate
+from .batch import Batch, Columns, concat_batches, empty_like
+from .iterators import check_sorted_run
+
+DEFAULT_BATCH_SIZE = 1024
+
+#: A compiled selection: column values in, kept positions out.
+VectorPredicate = Callable[[list], list[int]]
+
+
+class _OutputBuffer:
+    """Accumulates output columns and emits batches of ~``batch_size`` rows."""
+
+    def __init__(self, attributes: Sequence[Attribute], batch_size: int) -> None:
+        self.columns: Columns = {a: [] for a in attributes}
+        self.batch_size = batch_size
+        self._length = 0
+
+    def append_length(self, added: int) -> None:
+        self._length += added
+
+    @property
+    def full(self) -> bool:
+        return self._length >= self.batch_size
+
+    def drain(self) -> Batch:
+        batch = Batch(self.columns, self._length)
+        self.columns = empty_like(self.columns)
+        self._length = 0
+        return batch
+
+
+# -- scans --------------------------------------------------------------------
+
+
+def compile_selection(selection) -> VectorPredicate:
+    """Compile a selection predicate into a column-level filter."""
+    from ..query.predicates import EqualsConstant, RangePredicate
+
+    if isinstance(selection, EqualsConstant):
+        value = selection.value
+        return lambda column: [i for i, v in enumerate(column) if v == value]
+    if isinstance(selection, RangePredicate):
+        op, lo, hi = selection.operator, selection.value, selection.upper_value
+        if op == "between":
+            return lambda column: [
+                i for i, v in enumerate(column) if lo <= v <= hi  # type: ignore[operator]
+            ]
+        ops: dict[str, VectorPredicate] = {
+            "<": lambda column: [i for i, v in enumerate(column) if v < lo],  # type: ignore[operator]
+            "<=": lambda column: [i for i, v in enumerate(column) if v <= lo],  # type: ignore[operator]
+            ">": lambda column: [i for i, v in enumerate(column) if v > lo],  # type: ignore[operator]
+            ">=": lambda column: [i for i, v in enumerate(column) if v >= lo],  # type: ignore[operator]
+            "<>": lambda column: [i for i, v in enumerate(column) if v != lo],
+        }
+        return ops[op]
+    raise TypeError(f"unknown selection {selection!r}")  # pragma: no cover
+
+
+def filter_indices(table: Batch, selections: Sequence) -> list[int] | None:
+    """Row positions surviving all selections; ``None`` means *all rows*
+    (no selection — scans then slice instead of gathering)."""
+    indices: list[int] | None = None
+    for selection in selections:
+        column = table.column(selection.attribute)
+        if indices is not None:
+            column = [column[i] for i in indices]
+        kept = compile_selection(selection)(column)
+        indices = kept if indices is None else [indices[i] for i in kept]
+    return indices
+
+
+def scan_batches(
+    table: Batch,
+    selections: Sequence,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Batched scan with pushed-down selections, preserving table order."""
+    indices = filter_indices(table, selections)
+    if indices is None:
+        for start in range(0, table.length, batch_size):
+            yield table.slice(start, start + batch_size)
+        return
+    for start in range(0, len(indices), batch_size):
+        yield table.take(indices[start : start + batch_size])
+
+
+def index_scan_batches(
+    table: Batch,
+    ordering: Ordering,
+    selections: Sequence,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Scan in index order: filter, stable-argsort the survivors, emit.
+
+    Equivalent to the row engine's sort-then-filter (a stable filter
+    preserves sortedness), but gathers only the surviving rows.
+    """
+    indices = filter_indices(table, selections)
+    if indices is None:
+        indices = list(range(table.length))
+    # Key tuples are built per *survivor*, not per table row — a selective
+    # pushed-down predicate must not pay for the whole base table.
+    key_columns = [table.column(a) for a in ordering.attributes]
+    indices.sort(key=lambda i: tuple(column[i] for column in key_columns))
+    for start in range(0, len(indices), batch_size):
+        yield table.take(indices[start : start + batch_size])
+
+
+# -- sort enforcer ------------------------------------------------------------
+
+
+def sort_batches(
+    batches: Iterator[Batch],
+    ordering: Ordering,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Materialize the input, stable-sort it, re-emit in batches."""
+    table = concat_batches(list(batches))
+    if not table.columns:
+        return
+    keys = table.key_tuples(ordering.attributes)
+    indices = sorted(range(table.length), key=lambda i: keys[i])
+    for start in range(0, len(indices), batch_size):
+        yield table.take(indices[start : start + batch_size])
+
+
+# -- join plumbing ------------------------------------------------------------
+
+
+def _orient_predicate(
+    predicate: JoinPredicate, left_columns: Columns
+) -> tuple[Attribute, Attribute]:
+    """(left attribute, right attribute) of a predicate, by column membership."""
+    if predicate.left in left_columns:
+        return predicate.left, predicate.right
+    return predicate.right, predicate.left
+
+
+def _pair_passes(
+    oriented: Sequence[tuple[Attribute, Attribute]],
+    left_columns: Columns,
+    right_columns: Columns,
+) -> Callable[[int, int], bool]:
+    """Residual test over (left row, right row) position pairs."""
+    pairs = [
+        (left_columns[la], right_columns[ra]) for la, ra in oriented
+    ]
+
+    def passes(i: int, j: int) -> bool:
+        return all(lcol[i] == rcol[j] for lcol, rcol in pairs)
+
+    return passes
+
+
+def _emit_pairs(
+    out: _OutputBuffer,
+    left_columns: Columns,
+    right_columns: Columns,
+    left_positions: Sequence[int],
+    right_positions: Sequence[int],
+) -> None:
+    """Gather matched (left, right) row pairs into the output columns."""
+    for attribute, values in left_columns.items():
+        out.columns[attribute].extend([values[i] for i in left_positions])
+    for attribute, values in right_columns.items():
+        out.columns[attribute].extend([values[j] for j in right_positions])
+    out.append_length(len(left_positions))
+
+
+# -- hash join ----------------------------------------------------------------
+
+
+def hash_join_batches(
+    left: Iterator[Batch],
+    right: Iterator[Batch],
+    left_key: Attribute,
+    right_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Build on the right, probe with streaming left batches.
+
+    Probe order — and bucket insertion order — preserve input order, so the
+    output carries the left ordering exactly like the row engine.
+    """
+    build = concat_batches(list(right))
+    if build.length == 0:
+        # An empty build side joins to nothing; the probe side is not even
+        # consumed (and its columns are unknowable from here, so emitting
+        # empty batches would be wrong anyway).
+        return
+    buckets: dict[object, list[int]] = {}
+    for j, value in enumerate(build.column(right_key)):
+        buckets.setdefault(value, []).append(j)
+
+    out: _OutputBuffer | None = None
+    for probe in left:
+        if out is None:
+            out = _OutputBuffer([*probe.columns, *build.columns], batch_size)
+        left_positions: list[int] = []
+        right_positions: list[int] = []
+        keys = probe.column(left_key)
+        buckets_get = buckets.get
+        if residuals:
+            oriented = [_orient_predicate(p, probe.columns) for p in residuals]
+            passes = _pair_passes(oriented, probe.columns, build.columns)
+            for i, key in enumerate(keys):
+                for j in buckets_get(key, ()):
+                    if passes(i, j):
+                        left_positions.append(i)
+                        right_positions.append(j)
+                if len(left_positions) >= batch_size:
+                    # Bound the position buffers: a skewed key must not
+                    # accumulate a whole batch's matches before draining.
+                    _emit_pairs(
+                        out, probe.columns, build.columns,
+                        left_positions, right_positions,
+                    )
+                    left_positions, right_positions = [], []
+                    if out.full:
+                        yield out.drain()
+        else:
+            for i, key in enumerate(keys):
+                matches = buckets_get(key)
+                if matches is not None:
+                    if len(matches) == 1:
+                        left_positions.append(i)
+                    else:
+                        left_positions.extend([i] * len(matches))
+                    right_positions.extend(matches)
+                if len(left_positions) >= batch_size:
+                    _emit_pairs(
+                        out, probe.columns, build.columns,
+                        left_positions, right_positions,
+                    )
+                    left_positions, right_positions = [], []
+                    if out.full:
+                        yield out.drain()
+        _emit_pairs(out, probe.columns, build.columns, left_positions, right_positions)
+        if out.full:
+            yield out.drain()
+    if out is not None and out._length:
+        yield out.drain()
+
+
+# -- nested-loop join ---------------------------------------------------------
+
+
+def nl_join_batches(
+    left: Iterator[Batch],
+    right: Iterator[Batch],
+    predicates: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Stream the outer (left), materialize the inner (right).
+
+    With no predicates this is the cross join the planner emits for
+    synthetic cross-product edges.
+    """
+    inner = concat_batches(list(right))
+    if inner.length == 0:
+        return
+    out: _OutputBuffer | None = None
+    all_inner = list(range(inner.length))
+    for outer in left:
+        if out is None:
+            out = _OutputBuffer([*outer.columns, *inner.columns], batch_size)
+        oriented = [_orient_predicate(p, outer.columns) for p in predicates]
+        passes = _pair_passes(oriented, outer.columns, inner.columns)
+        left_positions: list[int] = []
+        right_positions: list[int] = []
+        for i in range(outer.length):
+            if predicates:
+                for j in range(inner.length):
+                    if passes(i, j):
+                        left_positions.append(i)
+                        right_positions.append(j)
+                    if len(left_positions) >= batch_size:
+                        _emit_pairs(
+                            out, outer.columns, inner.columns,
+                            left_positions, right_positions,
+                        )
+                        left_positions, right_positions = [], []
+                        if out.full:
+                            yield out.drain()
+            else:
+                # Cross product, chunked per inner range so one outer row
+                # against a huge inner never buffers the whole product.
+                for start in range(0, inner.length, batch_size):
+                    chunk = all_inner[start : start + batch_size]
+                    left_positions.extend([i] * len(chunk))
+                    right_positions.extend(chunk)
+                    _emit_pairs(
+                        out, outer.columns, inner.columns,
+                        left_positions, right_positions,
+                    )
+                    left_positions, right_positions = [], []
+                    if out.full:
+                        yield out.drain()
+        _emit_pairs(out, outer.columns, inner.columns, left_positions, right_positions)
+        if out.full:
+            yield out.drain()
+    if out is not None and out._length:
+        yield out.drain()
+
+
+# -- merge join ---------------------------------------------------------------
+
+
+class _MergeCursor:
+    """Streaming cursor over one sorted merge input.
+
+    Tracks a (batch, position) pair, refilling from the batch iterator on
+    demand; knows how to collect the *duplicate group* of a key value even
+    when it spans batch boundaries.  With ``check_key`` set it runs the
+    adjacent-pair sortedness guard as batches are consumed — including
+    across batch boundaries — and raises instead of merging garbage.
+    """
+
+    def __init__(
+        self,
+        batches: Iterator[Batch],
+        key: Attribute,
+        *,
+        check_sorted: bool = False,
+        side: str = "input",
+    ) -> None:
+        self._batches = iter(batches)
+        self.key = key
+        self.check_sorted = check_sorted
+        self.side = side
+        self.batch: Batch | None = None
+        self.keys: list = []
+        self.pos = 0
+        self.exhausted = False
+        self._last_key: object = None
+        self._refill()
+
+    def _refill(self) -> None:
+        while True:
+            batch = next(self._batches, None)
+            if batch is None:
+                self.batch = None
+                self.exhausted = True
+                return
+            if batch.length == 0:
+                continue
+            keys = batch.column(self.key)
+            if self.check_sorted:
+                self._last_key = check_sorted_run(
+                    keys, self.key, self._last_key, self.side
+                )
+            self.batch = batch
+            self.keys = keys
+            self.pos = 0
+            return
+
+    def current(self) -> object:
+        return self.keys[self.pos]
+
+    def advance(self) -> None:
+        self.pos += 1
+        if self.pos >= len(self.keys):
+            self._refill()
+
+    def take_group(self, value: object) -> Columns:
+        """Collect (and consume) all rows whose key equals ``value``."""
+        assert self.batch is not None
+        keys, pos = self.keys, self.pos
+        n = len(keys)
+        stop = pos
+        while stop < n and keys[stop] == value:
+            stop += 1
+        if stop < n:
+            # Fast path: the whole duplicate group sits inside the current
+            # batch (the dominant case) — one slice per column, no churn.
+            group = {
+                a: values[pos:stop] for a, values in self.batch.columns.items()
+            }
+            self.pos = stop
+            return group
+        # The group may continue into following batches.
+        group = {
+            a: list(values[pos:stop]) for a, values in self.batch.columns.items()
+        }
+        self.pos = stop
+        self._refill()
+        while not self.exhausted:
+            batch, keys = self.batch, self.keys
+            start = self.pos
+            stop = start
+            while stop < len(keys) and keys[stop] == value:
+                stop += 1
+            if stop > start:
+                for attribute, values in batch.columns.items():  # type: ignore[union-attr]
+                    group[attribute].extend(values[start:stop])
+            self.pos = stop
+            if stop < len(keys):
+                break
+            self._refill()
+        return group
+
+
+def merge_join_batches(
+    left: Iterator[Batch],
+    right: Iterator[Batch],
+    left_key: Attribute,
+    right_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    *,
+    check_sorted: bool = False,
+) -> Iterator[Batch]:
+    """Streaming sort-merge join; both inputs must be sorted on their keys.
+
+    Classic two-pointer merge with right-side duplicate-group buffering;
+    the left side is swept run-by-run, so the output is in left order and
+    neither input is ever materialized beyond one duplicate group.
+    """
+    lcur = _MergeCursor(left, left_key, check_sorted=check_sorted, side="left")
+    rcur = _MergeCursor(right, right_key, check_sorted=check_sorted, side="right")
+    out: _OutputBuffer | None = None
+    oriented: list[tuple[Attribute, Attribute]] | None = None
+
+    while not lcur.exhausted and not rcur.exhausted:
+        lv, rv = lcur.current(), rcur.current()
+        if lv < rv:  # type: ignore[operator]
+            lcur.advance()
+            continue
+        if rv < lv:  # type: ignore[operator]
+            rcur.advance()
+            continue
+        assert lcur.batch is not None
+        group = rcur.take_group(lv)
+        group_length = len(next(iter(group.values()))) if group else 0
+        if out is None:
+            out = _OutputBuffer([*lcur.batch.columns, *group], batch_size)
+        if oriented is None:
+            oriented = [_orient_predicate(p, lcur.batch.columns) for p in residuals]
+        # Sweep the left duplicate group run by run (it may span batches).
+        while not lcur.exhausted and lcur.current() == lv:
+            batch, keys = lcur.batch, lcur.keys
+            start = lcur.pos
+            stop = start
+            while stop < len(keys) and keys[stop] == lv:
+                stop += 1
+            run_length = stop - start
+            columns = batch.columns  # type: ignore[union-attr]
+            if residuals:
+                passes = _pair_passes(oriented, columns, group)
+                left_positions = []
+                right_positions = []
+                for i in range(start, stop):
+                    for j in range(group_length):
+                        if passes(i, j):
+                            left_positions.append(i)
+                            right_positions.append(j)
+                    if len(left_positions) >= batch_size:
+                        _emit_pairs(out, columns, group, left_positions, right_positions)
+                        left_positions, right_positions = [], []
+                        if out.full:
+                            yield out.drain()
+                _emit_pairs(out, columns, group, left_positions, right_positions)
+            elif group_length == 1:
+                # The common key-to-key case: no repetition needed at all.
+                # (out.columns is read at use time, never cached across a
+                # drain — drain() swaps in a fresh column dict.)
+                for attribute, values in columns.items():
+                    out.columns[attribute].extend(values[start:stop])
+                for attribute, values in group.items():
+                    out.columns[attribute].extend(values * run_length)
+                out.append_length(run_length)
+            else:
+                # Left-major cross product of the run and the group, fully
+                # columnar: each left value repeats per group row, the
+                # group's columns tile once per left row.  Emitted in left
+                # segments of ~batch_size output rows, so a skewed key (a
+                # huge run x a huge group) never buffers its whole product.
+                segment = max(1, batch_size // group_length)
+                for seg_start in range(start, stop, segment):
+                    seg_stop = min(stop, seg_start + segment)
+                    for attribute, values in columns.items():
+                        run = values[seg_start:seg_stop]
+                        out.columns[attribute].extend(
+                            [v for v in run for _ in range(group_length)]
+                        )
+                    for attribute, values in group.items():
+                        out.columns[attribute].extend(
+                            values * (seg_stop - seg_start)
+                        )
+                    out.append_length((seg_stop - seg_start) * group_length)
+                    if out.full:
+                        yield out.drain()
+            lcur.pos = stop
+            if stop >= len(keys):
+                lcur._refill()
+            if out.full:
+                yield out.drain()
+    if out is not None and out._length:
+        yield out.drain()

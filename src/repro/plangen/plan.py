@@ -9,7 +9,7 @@ paper's O(1)-space claim.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..core.ordering import Ordering
 
@@ -86,8 +86,18 @@ class PlanNode:
         """The join operators of the plan, outermost first."""
         return [node.op for node in self.operators() if node.op in JOIN_OPS]
 
-    def explain(self, indent: int = 0) -> str:
-        """Human-readable plan tree."""
+    def explain(
+        self,
+        indent: int = 0,
+        annotate: "Callable[[PlanNode], str] | None" = None,
+    ) -> str:
+        """Human-readable plan tree.
+
+        ``annotate`` appends per-operator text to each node line — the
+        execution layer uses it to print *actual* row/batch/sort counters
+        next to the estimates (``explain analyze``).  An empty annotation
+        leaves the line untouched.
+        """
         pad = "  " * indent
         parts = [f"{pad}{self.op}"]
         if self.ordering is not None and len(self.ordering):
@@ -96,11 +106,15 @@ class PlanNode:
             parts.append(f"[{self.detail}]")
         parts.append(f"cost={self.cost:.1f}")
         parts.append(f"rows={self.cardinality:.0f}")
+        if annotate is not None:
+            extra = annotate(self)
+            if extra:
+                parts.append(extra)
         lines = [" ".join(parts)]
         if self.left is not None:
-            lines.append(self.left.explain(indent + 1))
+            lines.append(self.left.explain(indent + 1, annotate))
         if self.right is not None:
-            lines.append(self.right.explain(indent + 1))
+            lines.append(self.right.explain(indent + 1, annotate))
         return "\n".join(lines)
 
     def __repr__(self) -> str:

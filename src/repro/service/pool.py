@@ -143,6 +143,26 @@ class SessionPool:
         """Optimize one query (blocking thread-safe facade)."""
         return self.submit(spec).result()
 
+    def submit_execute(self, spec: QuerySpec, **kwargs) -> Future:
+        """Route one query to its shard, optimize it there, and *execute*
+        the chosen plan on that shard's thread (single-owner discipline
+        covers the execution counters too).  Keyword arguments are those of
+        :meth:`OptimizationSession.execute`."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        info = analyze_for_config(spec, self.config)
+        shard = self.shard_of(info)
+
+        def run() -> object:
+            return self._sessions[shard].execute(spec, **kwargs)
+
+        return self._executors[shard].submit(run)
+
+    def execute(self, spec: QuerySpec, **kwargs):
+        """Optimize and execute one query (blocking thread-safe facade);
+        returns the :class:`~repro.exec.engine.ExecutionResult`."""
+        return self.submit_execute(spec, **kwargs).result()
+
     def optimize_batch(self, specs: Iterable[QuerySpec]) -> list[PlanGenResult]:
         """Optimize a workload, fanning out across shards.
 

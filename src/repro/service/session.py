@@ -43,6 +43,14 @@ from ..core.optimizer import (
     preparation_fingerprint,
     resolve_preparation_mode,
 )
+from ..exec.data import Dataset, generate_dataset
+from ..exec.engine import (
+    ExecutionConfig,
+    ExecutionResult,
+    default_engine_name,
+    make_engine,
+    render_analyze,
+)
 from ..plangen.backends import FsmBackend, OrderingBackend
 from ..plangen.cost import DEFAULT_COST_MODEL, CostModel
 from ..plangen.dp import PlanGenConfig, PlanGenerator, PlanGenResult
@@ -126,6 +134,15 @@ class SessionConfig:
     holds the growing machine, so every state one query materializes is a
     free O(1) lookup for every later query of the same template."""
 
+    engine: str = field(default_factory=default_engine_name)
+    """Execution engine ``execute``/``explain_analyze`` run plans on
+    (``"row"`` — the materializing reference oracle — or ``"vector"`` — the
+    streaming columnar engine).  Defaults to the ``REPRO_EXEC_ENGINE``
+    environment variable, falling back to vector."""
+
+    batch_size: int = 1024
+    """Target rows per batch of the vectorized execution pipeline."""
+
 
 def analyze_for_config(spec: QuerySpec, config: SessionConfig) -> QueryOrderInfo:
     """Run query analysis with exactly the flags ``config`` implies.
@@ -174,25 +191,59 @@ class SessionStatistics:
     (eager entries; lazy entries don't know theirs without forcing the
     power set, which is the point)."""
 
+    executions: int = 0
+    """Plans physically executed through ``execute``/``explain_analyze``."""
+
+    exec_rows: int = 0
+    """Result rows those executions emitted (root operator output)."""
+
+    exec_engines: dict[str, int] = field(default_factory=dict)
+    """Executions served per engine, e.g. ``{"vector": 40, "row": 2}``."""
+
+    exec_operators: dict[str, dict[str, int]] = field(default_factory=dict)
+    """Cumulative per-operator execution counters: operator name →
+    ``{"rows": ..., "batches": ..., "sorts": ...}`` summed over every
+    executed plan.  The ``sort``/``index_scan`` entries carry the physical
+    sort count — the number the paper's framework exists to minimize."""
+
+    @property
+    def exec_sorts(self) -> int:
+        """Physical sorts performed across all executions."""
+        return sum(entry.get("sorts", 0) for entry in self.exec_operators.values())
+
+    @staticmethod
+    def _merge_counts(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+        merged = dict(a)
+        for name, count in b.items():
+            merged[name] = merged.get(name, 0) + count
+        return merged
+
     def add(self, other: "SessionStatistics") -> "SessionStatistics":
         """Element-wise sum, for aggregating per-shard statistics."""
-        merged = dict(self.enumerators)
-        for name, count in other.enumerators.items():
-            merged[name] = merged.get(name, 0) + count
-        merged_modes = dict(self.prepare_modes)
-        for name, count in other.prepare_modes.items():
-            merged_modes[name] = merged_modes.get(name, 0) + count
+        merged_operators = {
+            op: dict(entry) for op, entry in self.exec_operators.items()
+        }
+        for op, entry in other.exec_operators.items():
+            merged_operators[op] = self._merge_counts(
+                merged_operators.get(op, {}), entry
+            )
         return SessionStatistics(
             queries=self.queries + other.queries,
             prepared=self.prepared.add(other.prepared),
             plans=self.plans.add(other.plans),
             prepared_entries=self.prepared_entries + other.prepared_entries,
             plan_entries=self.plan_entries + other.plan_entries,
-            enumerators=merged,
-            prepare_modes=merged_modes,
+            enumerators=self._merge_counts(self.enumerators, other.enumerators),
+            prepare_modes=self._merge_counts(
+                self.prepare_modes, other.prepare_modes
+            ),
             states_materialized=self.states_materialized
             + other.states_materialized,
             states_total_known=self.states_total_known + other.states_total_known,
+            executions=self.executions + other.executions,
+            exec_rows=self.exec_rows + other.exec_rows,
+            exec_engines=self._merge_counts(self.exec_engines, other.exec_engines),
+            exec_operators=merged_operators,
         )
 
     def describe(self) -> str:
@@ -210,6 +261,13 @@ class SessionStatistics:
             )
             or "none"
         )
+        by_engine = (
+            ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.exec_engines.items())
+            )
+            or "none"
+        )
         return "\n".join(
             (
                 f"queries optimized : {self.queries}",
@@ -221,6 +279,9 @@ class SessionStatistics:
                 f"preparation       : {by_mode}; "
                 f"{self.states_materialized} DFSM state(s) materialized "
                 f"({self.states_total_known} known-total)",
+                f"executions        : {self.executions} run(s) ({by_engine}); "
+                f"{self.exec_rows} result row(s), "
+                f"{self.exec_sorts} physical sort(s)",
             )
         )
 
@@ -273,6 +334,10 @@ class OptimizationSession:
         self._queries = 0
         self._enumerator_counts: dict[str, int] = {}
         self._mode_counts: dict[str, int] = {}
+        self._executions = 0
+        self._exec_rows = 0
+        self._exec_engines: dict[str, int] = {}
+        self._exec_operators: dict[str, dict[str, int]] = {}
         # The preparation mode queries will actually be served under: the
         # config's for the default backend, the factory backend's own for an
         # injected FsmBackend, and none at all for backends without a
@@ -396,6 +461,87 @@ class OptimizationSession:
         """
         return [self.optimize(spec) for spec in specs]
 
+    # -- execution ------------------------------------------------------------
+
+    def _execution_config(
+        self, batch_size: int | None, check_merge_inputs: bool
+    ) -> ExecutionConfig:
+        return ExecutionConfig(
+            batch_size=batch_size or self.config.batch_size,
+            check_merge_inputs=check_merge_inputs,
+        )
+
+    def execute(
+        self,
+        spec: QuerySpec,
+        *,
+        data: Dataset | dict | None = None,
+        engine: str | None = None,
+        batch_size: int | None = None,
+        check_merge_inputs: bool = False,
+        rows_per_table: int | None = None,
+        scale: float | None = None,
+        seed: int = 0,
+    ) -> ExecutionResult:
+        """Optimize a query (through both caches) and *run* the chosen plan.
+
+        ``data`` supplies the tuples (a :class:`~repro.exec.data.Dataset`
+        or a per-alias row-list dict); with ``None`` a catalog-driven
+        synthetic dataset is generated — ``rows_per_table`` / ``scale`` /
+        ``seed`` are forwarded to
+        :func:`~repro.exec.data.generate_dataset`.  ``engine`` overrides
+        the session's configured engine for this call.  Per-operator
+        row/batch/sort counters are folded into the session statistics.
+        """
+        result = self.optimize(spec)
+        if data is None:
+            data = generate_dataset(
+                spec, rows_per_table=rows_per_table, scale=scale, seed=seed
+            )
+        runner = make_engine(
+            engine or self.config.engine,
+            self._execution_config(batch_size, check_merge_inputs),
+        )
+        execution = runner.execute(result.best_plan, spec, data)
+        self._executions += 1
+        self._exec_rows += execution.row_count
+        self._exec_engines[runner.name] = self._exec_engines.get(runner.name, 0) + 1
+        for op, entry in execution.stats.by_operator().items():
+            totals = self._exec_operators.setdefault(
+                op, {"rows": 0, "batches": 0, "sorts": 0}
+            )
+            for key, value in entry.items():
+                totals[key] += value
+        return execution
+
+    def explain_analyze(
+        self,
+        spec: QuerySpec,
+        *,
+        data: Dataset | dict | None = None,
+        engine: str | None = None,
+        batch_size: int | None = None,
+        check_merge_inputs: bool = False,
+        rows_per_table: int | None = None,
+        scale: float | None = None,
+        seed: int = 0,
+    ) -> str:
+        """Execute the chosen plan and render the operator tree with the
+        *actual* per-operator row/batch counts and sort/no-sort markers."""
+        execution = self.execute(
+            spec,
+            data=data,
+            engine=engine,
+            batch_size=batch_size,
+            check_merge_inputs=check_merge_inputs,
+            rows_per_table=rows_per_table,
+            scale=scale,
+            seed=seed,
+        )
+        return render_analyze(
+            execution, header=f"explain analyze {spec.name}:"
+        )
+
     # -- introspection --------------------------------------------------------
 
     def statistics(self) -> SessionStatistics:
@@ -418,6 +564,12 @@ class OptimizationSession:
             prepare_modes=dict(self._mode_counts),
             states_materialized=states_materialized,
             states_total_known=states_total_known,
+            executions=self._executions,
+            exec_rows=self._exec_rows,
+            exec_engines=dict(self._exec_engines),
+            exec_operators={
+                op: dict(entry) for op, entry in self._exec_operators.items()
+            },
         )
 
     def clear_caches(self) -> None:

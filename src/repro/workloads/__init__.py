@@ -3,6 +3,7 @@
 from .generator import (
     TOPOLOGIES,
     GeneratorConfig,
+    execution_workload,
     query_family,
     random_join_query,
     skewed_client_streams,
@@ -24,6 +25,7 @@ from .tpch_queries import (
 __all__ = [
     "GeneratorConfig",
     "TOPOLOGIES",
+    "execution_workload",
     "topology_edges",
     "topology_query",
     "random_join_query",

@@ -196,6 +196,47 @@ def topology_query(
     )
 
 
+def execution_workload(
+    n_relations: int = 4,
+    rows_per_table: int = 1000,
+    *,
+    topology: str = "chain",
+    match_factor: int = 4,
+    index_probability: float = 0.5,
+    seed: int = 0,
+) -> tuple[QuerySpec, dict]:
+    """A query whose catalog statistics *match the data that will be run*.
+
+    Returns ``(spec, datagen_kwargs)``: the spec's catalog pins every
+    relation's cardinality to ``rows_per_table`` (so the optimizer's
+    estimates are about the tuples the engines will actually stream), and
+    the kwargs — ``rows_per_table``, ``default_domain``, ``seed`` — feed
+    :func:`repro.exec.data.generate_dataset` so join columns draw from a
+    ``rows_per_table / match_factor``-sized domain: every join key matches
+    ``match_factor`` partners on average, the dense regime where the
+    vectorized engine's columnar inner loops pay off (and where orderings
+    must survive ties).
+    """
+    if match_factor < 1:
+        raise ValueError(f"match_factor must be >= 1, got {match_factor}")
+    spec = random_join_query(
+        GeneratorConfig(
+            n_relations=n_relations,
+            min_cardinality=rows_per_table,
+            max_cardinality=rows_per_table,
+            index_probability=index_probability,
+            topology=topology,
+            seed=seed,
+        )
+    )
+    datagen = {
+        "rows_per_table": rows_per_table,
+        "default_domain": max(2, rows_per_table // match_factor),
+        "seed": seed,
+    }
+    return spec, datagen
+
+
 def query_family(
     n_relations: int,
     extra_edges: int,

@@ -1,0 +1,91 @@
+"""Unit tests for the columnar Batch container."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.exec.batch import (
+    Batch,
+    batches_to_rows,
+    concat_batches,
+    rows_to_batches,
+)
+
+A, B = Attribute("a", "t"), Attribute("b", "t")
+
+
+def rows_of(values):
+    return [{A: v, B: -v} for v in values]
+
+
+class TestBatchBasics:
+    def test_from_rows_roundtrip(self):
+        rows = rows_of([1, 2, 3])
+        batch = Batch.from_rows(rows)
+        assert batch.length == len(batch) == 3
+        assert batch.column(A) == [1, 2, 3]
+        assert batch.column(B) == [-1, -2, -3]
+        assert batch.to_rows() == rows
+        assert list(batch.iter_rows()) == rows
+
+    def test_empty(self):
+        batch = Batch.from_rows([])
+        assert batch.length == 0
+        assert batch.to_rows() == []
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            Batch({A: [1, 2], B: [1]})
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError, match="no column"):
+            Batch.from_rows(rows_of([1])).column(Attribute("zz", "t"))
+
+    def test_take_gathers_by_position(self):
+        batch = Batch.from_rows(rows_of([10, 20, 30, 40]))
+        taken = batch.take([3, 0, 0])
+        assert taken.column(A) == [40, 10, 10]
+        assert taken.length == 3
+
+    def test_take_does_not_alias_source_lists(self):
+        batch = Batch.from_rows(rows_of([1, 2]))
+        taken = batch.take([0, 1])
+        taken.columns[A][0] = 99
+        assert batch.column(A) == [1, 2]
+
+    def test_slice_clamps(self):
+        batch = Batch.from_rows(rows_of([1, 2, 3]))
+        assert batch.slice(1, 99).column(A) == [2, 3]
+        assert batch.slice(-5, 1).column(A) == [1]
+        assert batch.slice(3, 5).length == 0
+
+    def test_key_tuples(self):
+        batch = Batch.from_rows(rows_of([1, 2]))
+        assert batch.key_tuples([A, B]) == [(1, -1), (2, -2)]
+        assert batch.key_tuples([]) == [(), ()]
+
+
+class TestBatchHelpers:
+    def test_concat(self):
+        a = Batch.from_rows(rows_of([1, 2]))
+        b = Batch.from_rows(rows_of([3]))
+        merged = concat_batches([a, Batch.from_rows([]), b])
+        assert merged.column(A) == [1, 2, 3]
+
+    def test_concat_empty(self):
+        assert concat_batches([]).length == 0
+
+    def test_concat_mismatched_columns_rejected(self):
+        a = Batch.from_rows(rows_of([1]))
+        b = Batch.from_rows([{A: 1}])
+        with pytest.raises(ValueError, match="different columns"):
+            concat_batches([a, b])
+
+    def test_rows_to_batches_chunks(self):
+        rows = rows_of(range(7))
+        chunks = list(rows_to_batches(rows, 3))
+        assert [c.length for c in chunks] == [3, 3, 1]
+        assert batches_to_rows(chunks) == rows
+
+    def test_rows_to_batches_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(rows_to_batches(rows_of([1]), 0))

@@ -1,0 +1,251 @@
+"""Engine-contract tests: both engines answer every query identically.
+
+The centerpiece is the **differential grid**: every join-graph topology ×
+every enumeration strategy × both preparation modes, each plan executed by
+the row-dict reference oracle and the vectorized streaming engine, with
+bit-identical result multisets required throughout.
+"""
+
+import os
+
+import pytest
+
+from repro.core.ordering import Ordering
+from repro.exec import (
+    ExecutionConfig,
+    RowEngine,
+    VectorEngine,
+    default_engine_name,
+    forced_sort_variant,
+    generate_dataset,
+    make_engine,
+    render_analyze,
+    satisfies_ordering,
+)
+from repro.exec.data import Dataset, as_dataset, generate_query_data
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator, SimmenBackend
+from repro.plangen.plan import PlanNode, SCAN
+from repro.workloads import TOPOLOGIES, GeneratorConfig, random_join_query, topology_query
+
+
+def plan_for(spec, backend=None, config=PlanGenConfig()):
+    return PlanGenerator(spec, backend or FsmBackend(), config=config).run().best_plan
+
+
+def both_engines(batch_size=16):
+    config = ExecutionConfig(batch_size=batch_size, check_merge_inputs=True)
+    return RowEngine(config), VectorEngine(config)
+
+
+class TestEngineContract:
+    def test_engines_agree_on_a_random_query(self):
+        spec = random_join_query(GeneratorConfig(n_relations=4, n_edges=4, seed=1))
+        dataset = generate_dataset(spec, rows_per_table=30, default_domain=6, seed=1)
+        plan = plan_for(spec)
+        row_engine, vector_engine = both_engines()
+        row = row_engine.execute(plan, spec, dataset)
+        vector = vector_engine.execute(plan, spec, dataset)
+        assert row.multiset() == vector.multiset()
+        assert row.row_count == vector.row_count
+        assert vector.stats.sorts <= row.stats.sorts
+
+    def test_row_data_dict_is_accepted(self):
+        """The legacy dict-of-row-lists data representation still works."""
+        spec = random_join_query(GeneratorConfig(n_relations=3, seed=2))
+        data = generate_query_data(spec, rows_per_table=12, domain=4, seed=2)
+        plan = plan_for(spec)
+        row_engine, vector_engine = both_engines()
+        assert (
+            row_engine.execute(plan, spec, data).multiset()
+            == vector_engine.execute(plan, spec, data).multiset()
+        )
+
+    def test_unknown_operator_rejected_by_both(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=0))
+        dataset = generate_dataset(spec, rows_per_table=5, seed=0)
+        bogus = PlanNode("teleport", 1, state=None, cost=0.0, cardinality=0.0)
+        for engine in both_engines():
+            with pytest.raises(ValueError, match="cannot execute"):
+                engine.execute(bogus, spec, dataset)
+
+    def test_counters_account_every_operator(self):
+        spec = random_join_query(GeneratorConfig(n_relations=3, seed=3))
+        dataset = generate_dataset(spec, rows_per_table=20, default_domain=5, seed=3)
+        plan = plan_for(spec)
+        for engine in both_engines():
+            result = engine.execute(plan, spec, dataset)
+            assert set(result.stats.nodes) == {id(n) for n in plan.operators()}
+            root = result.stats.nodes[id(plan)]
+            assert root.rows == result.row_count
+            by_op = result.stats.by_operator()
+            assert by_op[SCAN]["rows"] >= 0
+            assert result.stats.sorts == sum(
+                e["sorts"] for e in by_op.values()
+            )
+
+    def test_vector_engine_batches_respect_batch_size_roughly(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=4))
+        dataset = generate_dataset(spec, rows_per_table=50, default_domain=5, seed=4)
+        plan = plan_for(spec)
+        result = VectorEngine(ExecutionConfig(batch_size=8)).execute(
+            plan, spec, dataset
+        )
+        scans = [
+            c for c in result.stats.nodes.values() if c.op in ("scan", "index_scan")
+        ]
+        for counters in scans:
+            assert counters.batches >= counters.rows // 8
+
+    def test_render_analyze_mentions_actuals_and_sort_markers(self):
+        spec = random_join_query(GeneratorConfig(n_relations=3, seed=5))
+        spec.order_by = Ordering([spec.joins[0].left])
+        dataset = generate_dataset(spec, rows_per_table=15, default_domain=4, seed=5)
+        plan = plan_for(spec)
+        _, vector_engine = both_engines()
+        text = render_analyze(
+            vector_engine.execute(plan, spec, dataset), header="analyze:"
+        )
+        assert "actual: rows=" in text
+        assert "no-sort" in text
+        assert "physical sort(s)" in text
+
+    def test_make_engine_and_env_default(self, monkeypatch):
+        assert make_engine("row").name == "row"
+        assert make_engine("vector").name == "vector"
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            make_engine("turbo")
+        monkeypatch.delenv("REPRO_EXEC_ENGINE", raising=False)
+        assert default_engine_name() == "vector"
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "row")
+        assert make_engine().name == "row"
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "warp")
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            default_engine_name()
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            ExecutionConfig(batch_size=0)
+
+    def test_generate_dataset_rejects_bad_sizing(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=7))
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            generate_dataset(spec, rows_per_table=10, scale=2.0)
+        with pytest.raises(ValueError, match="scale must be > 0"):
+            generate_dataset(spec, scale=0.0)
+        with pytest.raises(ValueError, match="rows_per_table must be >= 0"):
+            generate_dataset(spec, rows_per_table=-1)
+
+    def test_dataset_coercion(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=6))
+        data = generate_query_data(spec, rows_per_table=4, seed=6)
+        dataset = as_dataset(data)
+        assert isinstance(dataset, Dataset)
+        assert as_dataset(dataset) is dataset
+        assert dataset.rows() == data
+        assert dataset.row_count() == 8
+        with pytest.raises(KeyError, match="no relation"):
+            dataset.batch("nope")
+
+
+class TestEngineEdgeCases:
+    def setup_method(self):
+        self.spec = random_join_query(GeneratorConfig(n_relations=2, seed=9))
+        self.dataset = generate_dataset(self.spec, rows_per_table=5, seed=9)
+
+    def test_abstract_engine_refuses(self):
+        from repro.exec.engine import ExecutionEngine
+
+        with pytest.raises(NotImplementedError):
+            ExecutionEngine().execute(None, self.spec, self.dataset)
+
+    def test_vector_rejects_malformed_sort_and_index_scan(self):
+        sort_node = PlanNode(
+            "sort", 1, state=None, cost=0.0, cardinality=0.0, ordering=None
+        )
+        scan_node = PlanNode(
+            "index_scan",
+            1,
+            state=None,
+            cost=0.0,
+            cardinality=0.0,
+            alias=self.spec.aliases[0],
+        )
+        engine = VectorEngine()
+        with pytest.raises(ValueError, match="malformed sort"):
+            engine.execute(sort_node, self.spec, self.dataset)
+        with pytest.raises(ValueError, match="without ordering"):
+            engine.execute(scan_node, self.spec, self.dataset)
+
+    def test_render_analyze_marks_unexecuted_nodes(self):
+        plan = plan_for(self.spec)
+        engine = VectorEngine()
+        result = engine.execute(plan, self.spec, self.dataset)
+        extra = PlanNode("scan", 1, state=None, cost=0.0, cardinality=0.0)
+        result.plan = forced_sort_variant(extra, Ordering([]))
+        result.plan.left = extra
+        assert "not executed" in render_analyze(result)
+
+    def test_dataset_and_batch_reprs(self):
+        assert "relations" in repr(self.dataset)
+        assert "rows" in repr(self.dataset.batch(self.spec.aliases[0]))
+
+
+class TestDifferentialGrid:
+    """The acceptance grid: all topologies × enumerators × prepare modes.
+
+    One dataset per topology; the FSM plan under every (enumerator,
+    prepare-mode) combination plus the Simmen baseline plan, all executed
+    by both engines — every result multiset must be bit-identical.
+    """
+
+    N = 4
+    ROWS = 18
+    DOMAIN = 5
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_grid(self, topology):
+        spec = topology_query(topology, self.N, seed=11)
+        spec.order_by = Ordering([spec.joins[0].left])
+        dataset = generate_dataset(
+            spec, rows_per_table=self.ROWS, default_domain=self.DOMAIN, seed=11
+        )
+        row_engine, vector_engine = both_engines(batch_size=7)
+        reference = None
+        for enumerator in ("dpsub", "dpccp", "greedy"):
+            for mode in ("eager", "lazy"):
+                plan = plan_for(
+                    spec,
+                    backend=FsmBackend(prepare_mode=mode),
+                    config=PlanGenConfig(enumerator=enumerator),
+                )
+                row = row_engine.execute(plan, spec, dataset)
+                vector = vector_engine.execute(plan, spec, dataset)
+                label = f"{topology}/{enumerator}/{mode}"
+                assert row.multiset() == vector.multiset(), label
+                assert satisfies_ordering(vector.rows(), spec.order_by), label
+                assert vector.stats.sorts <= row.stats.sorts, label
+                if reference is None:
+                    reference = row.multiset()
+                else:
+                    assert row.multiset() == reference, label
+        simmen_plan = plan_for(spec, backend=SimmenBackend())
+        assert (
+            row_engine.execute(simmen_plan, spec, dataset).multiset()
+            == vector_engine.execute(simmen_plan, spec, dataset).multiset()
+            == reference
+        )
+
+    def test_forced_sort_variant_is_result_preserving(self):
+        spec = topology_query("chain", 3, seed=12)
+        dataset = generate_dataset(
+            spec, rows_per_table=self.ROWS, default_domain=self.DOMAIN, seed=12
+        )
+        plan = plan_for(spec)
+        ordering = Ordering([spec.joins[0].left])
+        forced = forced_sort_variant(plan, ordering)
+        row_engine, vector_engine = both_engines()
+        baseline = row_engine.execute(plan, spec, dataset).multiset()
+        for engine in (row_engine, vector_engine):
+            result = engine.execute(forced, spec, dataset)
+            assert result.multiset() == baseline
+            assert satisfies_ordering(result.rows(), ordering)

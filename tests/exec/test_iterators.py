@@ -2,9 +2,12 @@
 
 import random
 
+import pytest
+
 from repro.core.attributes import Attribute, attrs
 from repro.core.ordering import ordering
 from repro.exec.iterators import (
+    MergeInputNotSortedError,
     hash_join,
     merge_join,
     nested_loop_join,
@@ -90,3 +93,32 @@ class TestJoins:
     def test_empty_inputs(self):
         assert merge_join([], u_rows([1]), A, B) == []
         assert hash_join(t_rows([1]), [], A, B) == []
+
+
+class TestMergeJoinSortedGuard:
+    """Regression: an unsorted merge-join input silently produced a wrong
+    result; with ``check_sorted=True`` it raises instead."""
+
+    def test_unsorted_input_silently_drops_matches_without_guard(self):
+        # [2, 1, 2] against [1, 2, 2]: the true result has 5 matches, but the
+        # two-pointer merge skips past key 1 after seeing 2 first.
+        left = t_rows([2, 1, 2])
+        right = u_rows([1, 2, 2])
+        reference = nested_loop_join(left, right, lambda l, r: l[A] == r[B])
+        silent = merge_join(left, right, A, B)
+        assert len(reference) == 5
+        assert len(silent) < len(reference)  # the silent wrong answer
+
+    def test_guard_raises_on_unsorted_left(self):
+        with pytest.raises(MergeInputNotSortedError, match="left.*not sorted"):
+            merge_join(t_rows([2, 1, 2]), u_rows([1, 2]), A, B, check_sorted=True)
+
+    def test_guard_raises_on_unsorted_right(self):
+        with pytest.raises(MergeInputNotSortedError, match="right.*not sorted"):
+            merge_join(t_rows([1, 2]), u_rows([2, 1]), A, B, check_sorted=True)
+
+    def test_guard_passes_sorted_inputs_through(self):
+        left, right = t_rows([1, 2, 2]), u_rows([1, 1, 2])
+        assert merge_join(left, right, A, B, check_sorted=True) == merge_join(
+            left, right, A, B
+        )

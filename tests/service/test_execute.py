@@ -1,0 +1,121 @@
+"""Session- and pool-level execution: optimize *and run* through the
+service stack, with per-operator counters folded into the statistics."""
+
+import pytest
+
+from repro.exec import ExecutionResult, generate_dataset
+from repro.service import OptimizationSession, SessionConfig, SessionPool
+from repro.workloads import GeneratorConfig, execution_workload, random_join_query
+
+
+def workload(seed=0):
+    spec, datagen = execution_workload(
+        n_relations=3, rows_per_table=40, match_factor=4, seed=seed
+    )
+    return spec, generate_dataset(spec, **datagen)
+
+
+class TestSessionExecute:
+    def test_execute_returns_result_and_counts(self):
+        spec, dataset = workload()
+        # Pinned engine: the suite must pass under any REPRO_EXEC_ENGINE.
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(engine="vector")
+        )
+        result = session.execute(spec, data=dataset)
+        assert isinstance(result, ExecutionResult)
+        assert result.engine == "vector"
+        stats = session.statistics()
+        assert stats.queries == 1
+        assert stats.executions == 1
+        assert stats.exec_engines == {"vector": 1}
+        assert stats.exec_rows == result.row_count
+        assert "scan" in stats.exec_operators
+        assert stats.exec_operators["scan"]["rows"] > 0
+        assert stats.exec_sorts == result.stats.sorts
+
+    def test_engine_override_and_differential(self):
+        spec, dataset = workload(seed=1)
+        session = OptimizationSession(spec.catalog)
+        vector = session.execute(spec, data=dataset, engine="vector")
+        row = session.execute(spec, data=dataset, engine="row")
+        assert row.multiset() == vector.multiset()
+        stats = session.statistics()
+        assert stats.exec_engines == {"vector": 1, "row": 1}
+        # the second execute hit the plan cache — one optimization miss only
+        assert stats.plans.hits == 1
+
+    def test_session_config_engine_default(self):
+        spec, dataset = workload(seed=2)
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(engine="row")
+        )
+        assert session.execute(spec, data=dataset).engine == "row"
+
+    def test_env_sets_default_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "row")
+        assert SessionConfig().engine == "row"
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "bogus")
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            SessionConfig()
+
+    def test_generated_dataset_path(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=3))
+        session = OptimizationSession(spec.catalog)
+        result = session.execute(spec, rows_per_table=10, seed=3)
+        assert session.statistics().executions == 1
+        assert result.row_count >= 0
+
+    def test_explain_analyze_text(self):
+        spec, dataset = workload(seed=4)
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(engine="vector")
+        )
+        text = session.explain_analyze(spec, data=dataset)
+        assert text.startswith(f"explain analyze {spec.name}:")
+        assert "actual: rows=" in text
+        assert "engine=vector" in text
+
+    def test_statistics_describe_mentions_executions(self):
+        spec, dataset = workload(seed=5)
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(engine="vector")
+        )
+        session.execute(spec, data=dataset)
+        text = session.statistics().describe()
+        assert "executions" in text
+        assert "1 run(s) (vector=1)" in text
+
+    def test_statistics_add_merges_exec_counters(self):
+        spec, dataset = workload(seed=6)
+        a = OptimizationSession(spec.catalog)
+        b = OptimizationSession(spec.catalog)
+        a.execute(spec, data=dataset, engine="row")
+        b.execute(spec, data=dataset, engine="vector")
+        total = a.statistics().add(b.statistics())
+        assert total.executions == 2
+        assert total.exec_engines == {"row": 1, "vector": 1}
+        assert (
+            total.exec_operators["scan"]["rows"]
+            == a.statistics().exec_operators["scan"]["rows"]
+            + b.statistics().exec_operators["scan"]["rows"]
+        )
+
+
+class TestPoolExecute:
+    def test_pool_execute_routes_and_aggregates(self):
+        spec, dataset = workload(seed=7)
+        with SessionPool(spec.catalog, n_shards=2) as pool:
+            result = pool.execute(spec, data=dataset, engine="vector")
+            reference = pool.execute(spec, data=dataset, engine="row")
+            assert result.multiset() == reference.multiset()
+            stats = pool.statistics()
+            assert stats.executions == 2
+            assert stats.exec_engines == {"vector": 1, "row": 1}
+
+    def test_pool_execute_after_close_raises(self):
+        spec, dataset = workload(seed=8)
+        pool = SessionPool(spec.catalog, n_shards=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.execute(spec, data=dataset)

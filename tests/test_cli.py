@@ -123,6 +123,33 @@ def test_prepare_reports_stage_timings_and_mode(capsys):
     assert "determinize" in out
 
 
+def test_run_executes_a_plan(capsys):
+    sql = (
+        "select * from persons, jobs where persons.jobid = jobs.id "
+        "order by jobs.id"
+    )
+    assert main(["run", "--rows", "50", sql]) == 0
+    out = capsys.readouterr().out
+    assert "dataset: 100 row(s) over 2 relation(s)" in out
+    assert "explain analyze (vector):" in out
+    assert "actual: rows=" in out
+    assert "physical sort(s)" in out
+
+
+def test_run_both_engines_reports_agreement_and_speedup(capsys):
+    sql = (
+        "select * from orders, lineitem "
+        "where orders.o_orderkey = lineitem.l_orderkey"
+    )
+    assert main(["run", "--catalog", "tpch", "--engine", "both",
+                 "--rows", "80", "--batch-size", "32", sql]) == 0
+    out = capsys.readouterr().out
+    assert "explain analyze (row):" in out
+    assert "explain analyze (vector):" in out
+    assert "engines agree" in out
+    assert "speedup" in out
+
+
 def test_q8(capsys):
     assert main(["q8"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Golden ``explain analyze`` snapshots for the TPC-H/R workload.
+
+Each query's chosen plan is *executed* by the vectorized engine over a
+fixed catalog-driven synthetic dataset, and the annotated operator tree —
+estimates, actual row/batch counts, and sort/no-sort markers — is
+snapshotted under ``tests/golden/<name>.analyze.txt``.  Any change that
+moves an execution (an operator rewrite, a data-generation tweak, a
+counter bug) fails with a diff:
+
+    PYTHONPATH=src python -m pytest tests/workloads/test_golden_analyze.py \
+        --update-golden
+
+rewrites the snapshots, landing the drift in the change's own diff.
+
+Determinism: the dataset generator is seeded per (seed, alias, column),
+plan choice is covered by the plan-snapshot suite, and the counters are a
+pure function of plan + data + batch size.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    ExecutionConfig,
+    RowEngine,
+    VectorEngine,
+    generate_dataset,
+    render_analyze,
+)
+from repro.plangen import FsmBackend, PlanGenerator
+from repro.workloads import ALL_TPCH_QUERIES
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+ROWS_PER_TABLE = 60
+SEED = 7
+BATCH_SIZE = 16
+
+
+def analyzed_snapshot(name: str) -> tuple[str, object, object, object]:
+    """(snapshot text, spec, plan, dataset) for one workload query."""
+    spec = ALL_TPCH_QUERIES[name]()
+    plan = PlanGenerator(spec, FsmBackend()).run().best_plan
+    dataset = generate_dataset(spec, rows_per_table=ROWS_PER_TABLE, seed=SEED)
+    engine = VectorEngine(
+        ExecutionConfig(batch_size=BATCH_SIZE, check_merge_inputs=True)
+    )
+    result = engine.execute(plan, spec, dataset)
+    header = (
+        f"# golden explain-analyze for {spec.name}\n"
+        f"# engine=vector rows_per_table={ROWS_PER_TABLE} seed={SEED} "
+        f"batch_size={BATCH_SIZE}\n"
+        f"# regenerate: PYTHONPATH=src python -m pytest "
+        f"tests/workloads/test_golden_analyze.py --update-golden"
+    )
+    text = render_analyze(result, header=header) + "\n"
+    return text, spec, plan, dataset
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_golden_explain_analyze(name: str, update_golden: bool):
+    snapshot, _, _, _ = analyzed_snapshot(name)
+    path = GOLDEN_DIR / f"{name}.analyze.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(snapshot)
+        return
+    assert path.exists(), (
+        f"no golden explain-analyze snapshot for {name}; create it with "
+        "--update-golden"
+    )
+    golden = path.read_text()
+    if snapshot != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                snapshot.splitlines(),
+                fromfile=f"golden/{name}.analyze.txt",
+                tofile="freshly executed",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"explain-analyze drift for {name} — if intended, rerun with "
+            f"--update-golden and commit the change:\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_row_engine_matches_the_golden_execution(name: str):
+    """The snapshots double as a differential anchor: the reference row
+    engine must produce the identical result multiset on the same data."""
+    _, spec, plan, dataset = analyzed_snapshot(name)
+    config = ExecutionConfig(check_merge_inputs=True)
+    row = RowEngine(config).execute(plan, spec, dataset)
+    vector = VectorEngine(config).execute(plan, spec, dataset)
+    assert row.multiset() == vector.multiset()
+    # The row engine executes every node; the streaming engine never pulls
+    # (and so never sorts) a subtree below a join whose other side is empty.
+    assert vector.stats.sorts <= row.stats.sorts
