@@ -14,11 +14,12 @@ Commands:
                          — optimize **and execute** a query on synthetic
                            catalog-driven data: prints the explain-analyze
                            tree (actual rows/batches and sort markers) and
-                           wall time.  ``--engine {row,vector,both}`` picks
-                           the execution engine (``both`` runs the
+                           wall time.  ``--engine {row,vector,numpy,both,all}``
+                           picks the execution engine (``both`` runs the
                            reference row engine and the vectorized engine,
-                           checks the results agree, and reports the
-                           speedup); ``--rows`` / ``--scale`` size the
+                           ``all`` additionally the NumPy backend; either
+                           checks the results agree and reports the
+                           speedups); ``--rows`` / ``--scale`` size the
                            dataset, ``--batch-size`` tunes the pipeline;
 * ``batch``              — optimize a whole workload and report cache
                            statistics (cold/warm passes via ``--passes``);
@@ -176,7 +177,12 @@ def cmd_prepare(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from .exec import generate_dataset, render_analyze
+    from .exec import (
+        generate_dataset,
+        render_analyze,
+        resolve_engine_name,
+        schema_dtype_hints,
+    )
 
     catalog = _resolve_catalog(args.catalog)
     spec = sql_to_query(args.sql, catalog)
@@ -191,12 +197,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print(spec.describe())
     print(f"dataset: {dataset.row_count()} row(s) over {len(dataset.tables)} relation(s)")
-    # Optimize once and warm the dataset's row view up front: every timed
-    # block below hits the plan cache and a ready representation, so the
-    # per-engine timings (and the speedup) measure execution only.
+    if args.engine == "both":
+        engines = ("row", "vector")
+    elif args.engine == "all":
+        # resolve_engine_name applies the NumPy fallback, and dict keys
+        # dedupe it: without NumPy, "all" is just row + vector.
+        engines = tuple(
+            dict.fromkeys(("row", "vector", resolve_engine_name("numpy")))
+        )
+    else:
+        engines = (resolve_engine_name(args.engine),)
+    # Optimize once and warm the dataset's representations up front: every
+    # timed block below hits the plan cache and a ready representation, so
+    # the per-engine timings (and the speedups) measure execution only.
     session.optimize(spec)
     dataset.rows()
-    engines = ("row", "vector") if args.engine == "both" else (args.engine,)
+    if "numpy" in engines:
+        for alias in dataset.tables:
+            dataset.array_batch(alias, hints=schema_dtype_hints(spec, alias))
     timings: dict[str, float] = {}
     results = {}
     for engine in engines:
@@ -207,19 +225,31 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(render_analyze(execution, header=f"explain analyze ({engine}):"))
         print(f"-- {sw.ms:.1f} ms")
-    if args.engine == "both":
-        row, vector = results["row"], results["vector"]
-        agree = row.multiset() == vector.multiset()
-        if timings["vector"] > 0.0:
-            speedup = f"{timings['row'] / timings['vector']:.1f}x"
-        else:
-            speedup = "inf"  # the vector pass was below timer resolution
-        print(
-            f"\nengines {'agree' if agree else 'DISAGREE'} "
-            f"({row.row_count} row(s)); vector speedup {speedup}"
+    if len(engines) > 1:
+        reference = results[engines[0]]
+        diverged = [
+            name
+            for name in engines[1:]
+            if results[name].multiset() != reference.multiset()
+        ]
+        speedups = ", ".join(
+            f"{name} speedup "
+            + (
+                f"{timings[engines[0]] / timings[name]:.1f}x"
+                if timings[name] > 0.0
+                else "inf"  # this engine's pass was below timer resolution
+            )
+            for name in engines[1:]
         )
-        if not agree:  # pragma: no cover - differential guard
+        if diverged:  # pragma: no cover - differential guard
+            print(
+                f"\nengines DISAGREE ({', '.join(diverged)} diverged from "
+                f"{engines[0]}; {reference.row_count} row(s) expected)"
+            )
             return 1
+        print(
+            f"\nengines agree ({reference.row_count} row(s)); {speedups}"
+        )
     return 0
 
 
@@ -489,10 +519,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("sql")
     run.add_argument("--catalog", default="demo", help="demo | tpch")
     run.add_argument(
-        "--engine", default="vector", choices=("row", "vector", "both"),
+        "--engine", default="vector",
+        choices=("row", "vector", "numpy", "both", "all"),
         help="execution engine: the vectorized streaming engine (default), "
-        "the row-dict reference oracle, or both (differential check + "
-        "speedup report)",
+        "the row-dict reference oracle, the NumPy-accelerated backend "
+        "(falls back to vector without the [speed] extra), both "
+        "(row+vector differential check + speedup report), or all "
+        "(three-way differential check)",
     )
     run.add_argument(
         "--rows", type=int, default=None,

@@ -17,10 +17,18 @@ from ..core.ordering import Ordering
 
 @dataclass(frozen=True)
 class Column:
-    """A column definition with an optional distinct-value count."""
+    """A column definition with an optional distinct-value count.
+
+    ``dtype`` optionally declares the column's value type (``"int"`` /
+    ``"str"`` / ``"float"``) for the NumPy execution backend's typed-array
+    conversion (:func:`repro.exec.data.schema_dtype_hints`); ``None`` —
+    the default everywhere in the seed catalogs — leaves the dtype to be
+    inferred from the values.
+    """
 
     name: str
     distinct_values: int | None = None
+    dtype: str | None = None
 
 
 @dataclass(frozen=True)

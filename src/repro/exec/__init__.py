@@ -1,13 +1,16 @@
-"""Execution substrate: synthetic data, two execution engines (row-dict
-reference oracle and vectorized streaming), and the Section 2
-order-verification predicates.
+"""Execution substrate: synthetic data, three execution engines (row-dict
+reference oracle, vectorized streaming, and the optional NumPy-accelerated
+backend), and the Section 2 order-verification predicates.
 
 The engines share one contract (:class:`ExecutionEngine`): interpret a
 :class:`~repro.plangen.plan.PlanNode` tree over a :class:`Dataset` and
 return an :class:`ExecutionResult` with per-operator row/batch/sort
 counters.  See :mod:`repro.exec.engine` for the contract,
-:mod:`repro.exec.vectorized` for the batch operators, and
-``docs/ARCHITECTURE.md`` ("Execution engine") for the data-flow story.
+:mod:`repro.exec.vectorized` for the batch operators,
+:mod:`repro.exec.numpy_kernels` for the array kernels (import-guarded —
+``NUMPY_AVAILABLE`` says whether the ``numpy`` engine is real or falls
+back to ``vector``), and ``docs/ARCHITECTURE.md`` ("Execution engine")
+for the data-flow story.
 """
 
 from .batch import Batch, batches_to_rows, concat_batches, rows_to_batches
@@ -17,20 +20,24 @@ from .data import (
     generate_dataset,
     generate_query_data,
     most_common_value,
+    schema_dtype_hints,
 )
 from .engine import (
     ENGINES,
+    NUMPY_AVAILABLE,
     ExecutionConfig,
     ExecutionEngine,
     ExecutionResult,
     ExecutionStats,
     NodeCounters,
+    NumpyEngine,
     RowEngine,
     VectorEngine,
     default_engine_name,
     forced_sort_variant,
     make_engine,
     render_analyze,
+    resolve_engine_name,
 )
 from .executor import Executor, execute_plan
 from .iterators import (
@@ -58,7 +65,9 @@ __all__ = [
     "ExecutionStats",
     "Executor",
     "MergeInputNotSortedError",
+    "NUMPY_AVAILABLE",
     "NodeCounters",
+    "NumpyEngine",
     "RowEngine",
     "VectorEngine",
     "as_dataset",
@@ -75,8 +84,10 @@ __all__ = [
     "most_common_value",
     "nested_loop_join",
     "render_analyze",
+    "resolve_engine_name",
     "rows_to_batches",
     "satisfied_orderings",
+    "schema_dtype_hints",
     "satisfies_grouping",
     "satisfies_ordering",
     "satisfies_ordering_formal",

@@ -1,0 +1,238 @@
+"""Typed columnar batches backed by NumPy arrays.
+
+An :class:`ArrayBatch` is the NumPy engine's counterpart of
+:class:`~repro.exec.batch.Batch`: the same parallel-columns layout keyed by
+alias-qualified :class:`~repro.core.attributes.Attribute`, but every column
+is an ``np.ndarray`` instead of a Python list, so gathers, sorts, and join
+expansions run as array kernels instead of interpreter loops.
+
+Dtype inference (:func:`infer_array`) maps the reproduction's value world
+onto three array types:
+
+* all-``int`` columns become ``int64`` (values outside the 64-bit range
+  fall back to ``object`` — bit-identity beats speed);
+* all-``str`` columns become fixed-width unicode (``<U``);
+* anything mixed or exotic becomes ``object`` — NumPy then compares with
+  the *Python* operators, so results stay bit-identical with the
+  pure-Python engines by construction.
+
+A catalog :class:`~repro.catalog.schema.Column` may carry an explicit
+``dtype`` hint (``"int"`` / ``"str"`` / ``"float"``); hints take precedence
+over value scanning and give empty columns a real dtype.
+
+Conversion back to the row world always goes through ``ndarray.tolist()``,
+which yields native Python scalars — ``repr``-based differential
+comparison (:meth:`ExecutionResult.multiset`) would otherwise see
+``np.int64(5)`` where the row engine produced ``5``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+from ..core.attributes import Attribute
+from .batch import Batch
+from .data import Row
+
+ArrayColumns = Dict[Attribute, np.ndarray]
+
+#: Catalog dtype hints understood by :func:`infer_array`.
+DTYPE_HINTS = ("int", "str", "float")
+
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+def infer_array(values: Sequence, hint: str | None = None) -> np.ndarray:
+    """A one-dimensional array for a column's values, dtype-inferred.
+
+    ``hint`` pins the dtype from the catalog schema; without one the values
+    are scanned.  ``object`` is the safe harbor: NumPy falls back to Python
+    comparisons there, so no inference miss can change an answer.
+    """
+    if hint is not None:
+        if hint == "int":
+            return np.asarray(values, dtype=np.int64)
+        if hint == "str":
+            return np.asarray(values, dtype=np.str_)
+        if hint == "float":
+            return np.asarray(values, dtype=np.float64)
+        raise ValueError(
+            f"unknown dtype hint {hint!r}; available: {', '.join(DTYPE_HINTS)}"
+        )
+    if values is not None and len(values):
+        # `type(v) is ...`, not isinstance: bool is an int subclass, and a
+        # bool column silently becoming int64 would change its repr.
+        if all(
+            type(v) is int and _INT64_MIN <= v <= _INT64_MAX for v in values
+        ):
+            return np.asarray(values, dtype=np.int64)
+        if all(type(v) is str for v in values):
+            return np.asarray(values, dtype=np.str_)
+    array = np.empty(len(values) if values is not None else 0, dtype=object)
+    if len(array):
+        array[:] = values
+    return array
+
+
+def _as_python_scalars(column: np.ndarray) -> list:
+    """Native Python values of a column (``tolist`` demotes NumPy scalars)."""
+    return column.tolist()
+
+
+class ArrayBatch:
+    """A fixed set of NumPy columns, all of the same length.
+
+    Mirrors the :class:`~repro.exec.batch.Batch` surface the engines rely
+    on (``length`` / ``to_rows`` / ``take`` / ``slice`` / ``key_tuples``),
+    so :class:`~repro.exec.engine.ExecutionResult` and
+    :func:`~repro.exec.batch.batches_to_rows` accept either kind.
+    Columns are treated as immutable; ``slice`` returns views, ``take``
+    fresh arrays.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: ArrayColumns, length: int | None = None) -> None:
+        if length is None:
+            length = len(next(iter(columns.values()))) if columns else 0
+        for attribute, values in columns.items():
+            if values.ndim != 1:
+                raise ValueError(f"column {attribute} must be one-dimensional")
+            if len(values) != length:
+                raise ValueError(
+                    f"column {attribute} has {len(values)} values, "
+                    f"expected {length}"
+                )
+        self.columns = columns
+        self.length = length
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Row],
+        hints: Mapping[Attribute, str | None] | None = None,
+    ) -> "ArrayBatch":
+        """Transpose a row list into typed columns (empty input: no columns)."""
+        return cls.from_batch(Batch.from_rows(rows), hints)
+
+    @classmethod
+    def from_batch(
+        cls,
+        batch: Batch,
+        hints: Mapping[Attribute, str | None] | None = None,
+    ) -> "ArrayBatch":
+        """Convert a list-columned batch, inferring (or hinting) dtypes."""
+        hints = hints or {}
+        return cls(
+            {
+                attribute: infer_array(values, hints.get(attribute))
+                for attribute, values in batch.columns.items()
+            },
+            batch.length,
+        )
+
+    # -- conversion -----------------------------------------------------------
+
+    def to_batch(self) -> Batch:
+        """Back to list columns (native Python scalars throughout)."""
+        return Batch(
+            {a: _as_python_scalars(v) for a, v in self.columns.items()},
+            self.length,
+        )
+
+    def to_rows(self) -> List[Row]:
+        """Transpose into the row engine's dict-per-tuple form."""
+        return self.to_batch().to_rows()
+
+    def iter_rows(self) -> Iterator[Row]:
+        return iter(self.to_rows())
+
+    # -- columnar operations --------------------------------------------------
+
+    def column(self, attribute: Attribute) -> np.ndarray:
+        try:
+            return self.columns[attribute]
+        except KeyError:
+            raise KeyError(f"batch has no column {attribute}") from None
+
+    def take(self, indices) -> "ArrayBatch":
+        """Gather rows by position (fancy indexing, one kernel per column)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return ArrayBatch(
+            {a: values[indices] for a, values in self.columns.items()},
+            len(indices),
+        )
+
+    def slice(self, start: int, stop: int) -> "ArrayBatch":
+        """Contiguous row range ``[start, stop)`` as views, zero-copy."""
+        start = max(0, start)
+        stop = min(self.length, stop)
+        stop = max(start, stop)
+        return ArrayBatch(
+            {a: values[start:stop] for a, values in self.columns.items()},
+            stop - start,
+        )
+
+    def key_tuples(self, attributes: Sequence[Attribute]) -> list[tuple]:
+        """Per-row key tuples as native Python values (verify/sort keys)."""
+        columns = [_as_python_scalars(self.column(a)) for a in attributes]
+        return list(zip(*columns)) if columns else [()] * self.length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"ArrayBatch({self.length} rows x {len(self.columns)} cols)"
+
+
+def concat_array_batches(batches: Sequence[ArrayBatch]) -> ArrayBatch:
+    """Materialize a batch sequence into one batch.
+
+    Mirrors :func:`~repro.exec.batch.concat_batches`: all batches must share
+    a column set, zero-column empties are skipped, and a single live batch
+    is returned as-is (the dominant case once an operator has concatenated
+    its input — no copy).
+    """
+    live = [b for b in batches if b.columns]
+    if not live:
+        return ArrayBatch({}, 0)
+    if len(live) == 1:
+        return live[0]
+    first = live[0]
+    for batch in live[1:]:
+        if batch.columns.keys() != first.columns.keys():
+            raise ValueError("cannot concatenate batches with different columns")
+    return ArrayBatch(
+        {
+            a: np.concatenate([b.columns[a] for b in live])
+            for a in first.columns
+        },
+        sum(b.length for b in live),
+    )
+
+
+def emit_chunks(batch: ArrayBatch, batch_size: int) -> Iterator[ArrayBatch]:
+    """Re-emit one materialized result in ~``batch_size`` row views."""
+    if batch.length == 0 or not batch.columns:
+        return
+    for start in range(0, batch.length, batch_size):
+        yield batch.slice(start, start + batch_size)
+
+
+def stable_order(key_columns: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """Stable lexicographic argsort over multiple key columns.
+
+    Composed from per-key stable argsorts, least-significant key first —
+    the classic radix-style composition.  Works uniformly for ``int64``,
+    unicode, and ``object`` columns (``np.lexsort`` rejects some object
+    cases), and an empty key list degenerates to the identity permutation,
+    matching the row engine's stable no-op sort.
+    """
+    indices = np.arange(length, dtype=np.intp)
+    for column in reversed(key_columns):
+        indices = indices[np.argsort(column[indices], kind="stable")]
+    return indices

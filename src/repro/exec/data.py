@@ -18,9 +18,27 @@ from ..query.predicates import EqualsConstant, RangePredicate
 from ..query.query import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (batch.py imports Row)
+    from .arraybatch import ArrayBatch
     from .batch import Batch
 
 Row = Dict[Attribute, object]
+
+
+def schema_dtype_hints(spec: QuerySpec, alias: str) -> dict[Attribute, str]:
+    """Catalog-declared dtype hints for one relation's attributes.
+
+    A :class:`~repro.catalog.schema.Column` may pin its array dtype
+    (``"int"`` / ``"str"`` / ``"float"``); columns without a declaration are
+    omitted, and :func:`~repro.exec.arraybatch.infer_array` falls back to
+    scanning the values.  Hints matter most for *empty* tables, where value
+    scanning has nothing to look at and would produce ``object`` columns.
+    """
+    table = spec.table_of(alias)
+    return {
+        Attribute(column.name, alias): column.dtype
+        for column in table.columns
+        if column.dtype is not None
+    }
 
 
 def generate_query_data(
@@ -57,13 +75,15 @@ class Dataset:
     The canonical storage is one :class:`~repro.exec.batch.Batch` per
     relation alias — the vectorized engine scans it directly.  The row
     engine (the reference oracle) asks for :meth:`rows`, which transposes
-    on first use and caches the result, so the two engines always execute
-    over *identical* data.
+    on first use and caches the result; the NumPy engine asks for
+    :meth:`array_batch`, which converts to typed arrays on first use and
+    caches likewise — so all engines always execute over *identical* data.
     """
 
     def __init__(self, tables: dict[str, "Batch"]) -> None:
         self.tables = tables
         self._rows: dict[str, List[Row]] | None = None
+        self._arrays: dict[str, "ArrayBatch"] = {}
 
     @classmethod
     def from_rows(cls, data: dict[str, List[Row]]) -> "Dataset":
@@ -78,6 +98,26 @@ class Dataset:
             return self.tables[alias]
         except KeyError:
             raise KeyError(f"dataset has no relation {alias}") from None
+
+    def array_batch(
+        self, alias: str, hints: dict[Attribute, str] | None = None
+    ) -> "ArrayBatch":
+        """The typed NumPy view of one relation, converted once and cached.
+
+        The NumPy engine scans this directly, so dataset→array conversion
+        is paid once per relation, not per execution — the three engines
+        then run over one identical dataset in three representations
+        (arrays here, list columns via :meth:`batch`, dicts via
+        :meth:`rows`).  ``hints`` are catalog dtype declarations
+        (:func:`schema_dtype_hints`); the first conversion wins the cache.
+        """
+        cached = self._arrays.get(alias)
+        if cached is None:
+            from .arraybatch import ArrayBatch
+
+            cached = ArrayBatch.from_batch(self.batch(alias), hints)
+            self._arrays[alias] = cached
+        return cached
 
     def rows(self) -> dict[str, List[Row]]:
         if self._rows is None:

@@ -1,12 +1,19 @@
-"""Execution engines: one plan-tree interpreter contract, two engines.
+"""Execution engines: one plan-tree interpreter contract, three engines.
 
 :class:`RowEngine` wraps the original row-dict interpreter
 (:mod:`repro.exec.executor`) — slow, obviously correct, the *reference
 oracle*.  :class:`VectorEngine` runs the same plan over columnar batches
-through the generator pipeline of :mod:`repro.exec.vectorized`.  Both
-answer every query with the same result multiset, in the same documented
-order-propagation semantics; the differential property suite and the
-topology × enumerator × prepare-mode grid hold them to it bit-identically.
+through the generator pipeline of :mod:`repro.exec.vectorized`.
+:class:`NumpyEngine` runs it over typed :class:`~repro.exec.arraybatch`
+columns through the whole-column kernels of
+:mod:`repro.exec.numpy_kernels`; it is optional — when NumPy is not
+installed, ``numpy`` resolves to the vector engine with a warning
+(:func:`resolve_engine_name`), so configuration never breaks on a missing
+``[speed]`` extra.  All engines answer every query with the same result
+multiset, in the same documented order-propagation semantics; the
+differential property suite and the topology × enumerator × prepare-mode
+grid hold them to it bit-identically, with the two pure-Python engines
+serving as executable oracles for the NumPy backend.
 
 Every execution returns an :class:`ExecutionResult` carrying per-operator
 counters (:class:`NodeCounters`: rows out, batches out, physical sorts) so
@@ -19,6 +26,7 @@ an ordered index read is a sort).
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, List
 
@@ -26,7 +34,7 @@ from ..core.ordering import Ordering
 from ..plangen.plan import INDEX_SCAN, SCAN, SORT, PlanNode
 from ..query.query import QuerySpec
 from .batch import Batch, batches_to_rows
-from .data import Dataset, Row, as_dataset
+from .data import Dataset, Row, as_dataset, schema_dtype_hints
 from .executor import Executor, oriented_keys
 from .vectorized import (
     DEFAULT_BATCH_SIZE,
@@ -38,7 +46,45 @@ from .vectorized import (
     sort_batches,
 )
 
-ENGINES = ("row", "vector")
+try:  # The NumPy backend is optional — the ``[speed]`` extra.
+    from .numpy_kernels import (
+        hash_join_array_batches,
+        index_scan_array_batches,
+        merge_join_array_batches,
+        nl_join_array_batches,
+        scan_array_batches,
+        sort_array_batches,
+    )
+
+    NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised only without numpy
+    NUMPY_AVAILABLE = False
+
+ENGINES = ("row", "vector", "numpy")
+
+
+def resolve_engine_name(name: str) -> str:
+    """Validate an engine name and apply the NumPy fallback contract.
+
+    An unknown name raises — at configuration time, not per-query.  The
+    ``numpy`` engine degrades gracefully: without NumPy installed it
+    resolves to ``vector`` (same answers, pure Python) with a one-line
+    warning, so a config or ``REPRO_EXEC_ENGINE`` pin never breaks an
+    environment that lacks the ``[speed]`` extra.
+    """
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown execution engine {name!r}; available: {', '.join(ENGINES)}"
+        )
+    if name == "numpy" and not NUMPY_AVAILABLE:  # pragma: no cover - no-numpy env
+        warnings.warn(
+            "NumPy is not installed; the numpy engine falls back to the "
+            "vector engine (pip install 'repro-order-optimization[speed]')",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "vector"
+    return name
 
 
 def default_engine_name() -> str:
@@ -46,15 +92,12 @@ def default_engine_name() -> str:
 
     Unset or empty means ``vector`` — the production engine; ``row`` flips
     the whole stack onto the reference oracle (the CI exec-smoke leg runs
-    the suites under an explicit ``vector`` the same way).  A typo'd value
-    raises here, at configuration time.
+    the suites under an explicit ``vector`` the same way, and the
+    numpy-smoke leg under ``numpy``).  A typo'd value raises here, at
+    configuration time; ``numpy`` without NumPy installed falls back to
+    ``vector`` (see :func:`resolve_engine_name`).
     """
-    name = os.environ.get("REPRO_EXEC_ENGINE", "") or "vector"
-    if name not in ENGINES:
-        raise ValueError(
-            f"unknown execution engine {name!r}; available: {', '.join(ENGINES)}"
-        )
-    return name
+    return resolve_engine_name(os.environ.get("REPRO_EXEC_ENGINE", "") or "vector")
 
 
 @dataclass(frozen=True)
@@ -342,25 +385,115 @@ class VectorEngine(ExecutionEngine):
         )
 
 
+class NumpyEngine(VectorEngine):
+    """The NumPy-accelerated engine: whole-column kernels over typed arrays.
+
+    Same plan dispatch, counters, and pull-time sort accounting as the
+    vector engine (it *is* one, structurally); the leaves scan the
+    dataset's cached :class:`~repro.exec.arraybatch.ArrayBatch` view (dtype
+    hints from the catalog schema, see
+    :func:`~repro.exec.data.schema_dtype_hints`) and every operator
+    delegates to :mod:`repro.exec.numpy_kernels`.  Emission order is
+    bit-identical to the pure-Python engines by construction — the
+    kernels reproduce left-major join order and stable sorts exactly.
+    """
+
+    name = "numpy"
+
+    def __init__(self, config: ExecutionConfig | None = None) -> None:
+        if not NUMPY_AVAILABLE:  # pragma: no cover - no-numpy env
+            raise RuntimeError(
+                "NumpyEngine requires NumPy; install the [speed] extra or "
+                "use make_engine('numpy') for the graceful vector fallback"
+            )
+        super().__init__(config)
+
+    def _table(self, spec: QuerySpec, dataset: Dataset, alias: str):
+        return dataset.array_batch(alias, hints=schema_dtype_hints(spec, alias))
+
+    def _compile_scan(self, node, spec, dataset, stats):
+        return scan_array_batches(
+            self._table(spec, dataset, node.alias),
+            spec.selections_for(node.alias),
+            self.config.batch_size,
+        )
+
+    def _compile_index_scan(self, node, spec, dataset, stats):
+        if node.ordering is None:
+            raise ValueError("index scan without ordering")
+        return self._sorting(
+            node,
+            index_scan_array_batches(
+                self._table(spec, dataset, node.alias),
+                node.ordering,
+                spec.selections_for(node.alias),
+                self.config.batch_size,
+            ),
+            stats,
+        )
+
+    def _compile_sort(self, node, spec, dataset, stats):
+        if node.ordering is None or node.left is None:
+            raise ValueError("malformed sort node")
+        return self._sorting(
+            node,
+            sort_array_batches(
+                self._compile(node.left, spec, dataset, stats),
+                node.ordering,
+                self.config.batch_size,
+            ),
+            stats,
+        )
+
+    def _compile_merge_join(self, node, spec, dataset, stats):
+        left_key, right_key = oriented_keys(node)
+        return merge_join_array_batches(
+            self._compile(node.left, spec, dataset, stats),
+            self._compile(node.right, spec, dataset, stats),
+            left_key,
+            right_key,
+            node.predicates[1:],
+            self.config.batch_size,
+            check_sorted=self.config.check_merge_inputs,
+        )
+
+    def _compile_hash_join(self, node, spec, dataset, stats):
+        left_key, right_key = oriented_keys(node)
+        return hash_join_array_batches(
+            self._compile(node.left, spec, dataset, stats),
+            self._compile(node.right, spec, dataset, stats),
+            left_key,
+            right_key,
+            node.predicates[1:],
+            self.config.batch_size,
+        )
+
+    def _compile_nl_join(self, node, spec, dataset, stats):
+        return nl_join_array_batches(
+            self._compile(node.left, spec, dataset, stats),
+            self._compile(node.right, spec, dataset, stats),
+            node.predicates,
+            self.config.batch_size,
+        )
+
+
 _ENGINE_TYPES: dict[str, type[ExecutionEngine]] = {
     RowEngine.name: RowEngine,
     VectorEngine.name: VectorEngine,
+    NumpyEngine.name: NumpyEngine,
 }
 
 
 def make_engine(
     name: str | None = None, config: ExecutionConfig | None = None
 ) -> ExecutionEngine:
-    """Build an engine by name (``None``: the environment default)."""
-    resolved = name or default_engine_name()
-    try:
-        engine_type = _ENGINE_TYPES[resolved]
-    except KeyError:
-        raise ValueError(
-            f"unknown execution engine {resolved!r}; "
-            f"available: {', '.join(ENGINES)}"
-        ) from None
-    return engine_type(config)
+    """Build an engine by name (``None``: the environment default).
+
+    Names go through :func:`resolve_engine_name`, so ``numpy`` in an
+    environment without NumPy builds the vector engine instead of failing.
+    """
+    resolved = resolve_engine_name(name) if name else default_engine_name()
+    return _ENGINE_TYPES[resolved](config)
 
 
 def forced_sort_variant(plan: PlanNode, ordering: Ordering) -> PlanNode:

@@ -1,0 +1,390 @@
+"""NumPy execution kernels: whole-column operators over :class:`ArrayBatch`.
+
+The third engine's operator set.  Where the vectorized engine streams
+Python-list batches through generator pipelines, these kernels trade
+streaming for array math: each operator materializes its input (a handful
+of ``np.concatenate`` calls), computes the whole result with vectorized
+expressions, and re-emits it in ``batch_size``-row *views* — so the
+per-row interpreter cost the ROADMAP calls out disappears entirely.
+
+Correctness stance: every kernel reproduces the pure-Python engines'
+emission semantics exactly —
+
+* scans and index scans preserve (filtered, stably sorted) table order;
+* all joins emit in **left-input-major** order, matches within one left
+  row in right-input order — bit-identical to both oracles, not merely
+  multiset-equal;
+* sort enforcers are stable (:func:`~repro.exec.arraybatch.stable_order`).
+
+Join expansion uses the ``searchsorted`` group trick: stably sort the
+build/right side by key (a partition of the rows into contiguous key
+groups), binary-search every probe key's group boundaries, then expand
+``(probe row, group member)`` pairs with ``repeat``/``cumsum`` arithmetic
+— no Python-level loop touches a row.  Keys of different kinds (e.g. an
+``object`` column against ``int64``) are harmonized to ``object`` first so
+comparisons degrade to Python semantics instead of raising.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.attributes import Attribute
+from ..core.ordering import Ordering
+from ..query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from .arraybatch import (
+    ArrayBatch,
+    ArrayColumns,
+    concat_array_batches,
+    emit_chunks,
+    stable_order,
+)
+from .iterators import MergeInputNotSortedError
+from .vectorized import DEFAULT_BATCH_SIZE, _orient_predicate
+
+#: Outer-chunk budget of the nested-loop pair-mask matrix (cells).
+NL_MASK_CELLS = 1 << 16
+
+
+# -- selections ---------------------------------------------------------------
+
+
+def selection_mask(selection, column: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask of one pushed-down selection over one column."""
+    if isinstance(selection, EqualsConstant):
+        return column == selection.value
+    if isinstance(selection, RangePredicate):
+        op, lo, hi = selection.operator, selection.value, selection.upper_value
+        if op == "between":
+            return (column >= lo) & (column <= hi)
+        if op == "<":
+            return column < lo
+        if op == "<=":
+            return column <= lo
+        if op == ">":
+            return column > lo
+        if op == ">=":
+            return column >= lo
+        if op == "<>":
+            return column != lo
+    raise TypeError(f"unknown selection {selection!r}")  # pragma: no cover
+
+
+def filter_positions(
+    table: ArrayBatch, selections: Sequence
+) -> np.ndarray | None:
+    """Row positions surviving all selections; ``None`` means *all rows*."""
+    mask: np.ndarray | None = None
+    for selection in selections:
+        keep = np.asarray(
+            selection_mask(selection, table.column(selection.attribute)),
+            dtype=bool,
+        )
+        mask = keep if mask is None else mask & keep
+    if mask is None:
+        return None
+    return np.nonzero(mask)[0]
+
+
+# -- scans and the sort enforcer ----------------------------------------------
+
+
+def scan_array_batches(
+    table: ArrayBatch,
+    selections: Sequence,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Batched scan with pushed-down selections, preserving table order."""
+    positions = filter_positions(table, selections)
+    if positions is None:
+        yield from emit_chunks(table, batch_size)
+        return
+    yield from emit_chunks(table.take(positions), batch_size)
+
+
+def index_scan_array_batches(
+    table: ArrayBatch,
+    ordering: Ordering,
+    selections: Sequence,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Scan in index order: filter, stable-argsort survivors, gather once."""
+    positions = filter_positions(table, selections)
+    if positions is None:
+        positions = np.arange(table.length, dtype=np.intp)
+    keys = [table.column(a)[positions] for a in ordering.attributes]
+    order = stable_order(keys, len(positions))
+    yield from emit_chunks(table.take(positions[order]), batch_size)
+
+
+def sort_array_batches(
+    batches: Iterator[ArrayBatch],
+    ordering: Ordering,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Materialize the input, stable-sort it, re-emit in batches."""
+    table = concat_array_batches(list(batches))
+    if not table.columns:
+        return
+    keys = [table.column(a) for a in ordering.attributes]
+    yield from emit_chunks(table.take(stable_order(keys, table.length)), batch_size)
+
+
+# -- join plumbing ------------------------------------------------------------
+
+
+def _harmonized(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Key columns made ``searchsorted``-compatible.
+
+    Same-kind arrays (both integer, both unicode of any width) compare
+    natively; anything else is demoted to ``object`` so NumPy uses the
+    Python comparison operators — exactly what the pure-Python engines do.
+    """
+    lk, rk = left.dtype.kind, right.dtype.kind
+    if lk == rk and lk != "O":
+        return left, right
+    return left.astype(object), right.astype(object)
+
+
+def _check_sorted(keys: np.ndarray, attribute: Attribute, side: str) -> None:
+    """The merge-join sortedness guard, vectorized (adjacent-pair scan)."""
+    if len(keys) > 1 and not bool(np.all(keys[:-1] <= keys[1:])):
+        bad = int(np.nonzero(keys[:-1] > keys[1:])[0][0])
+        before, after = keys[bad : bad + 2].tolist()  # native-scalar reprs
+        raise MergeInputNotSortedError(
+            f"{side} merge-join input is not sorted on {attribute}: "
+            f"{after!r} follows {before!r}"
+        )
+
+
+def _group_expand(
+    lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe-row group ranges into (probe, offset) pair arrays.
+
+    Given each probe row's ``[lo, hi)`` slice of a contiguous key group,
+    produce ``left_positions`` (each probe row repeated by its match count,
+    in probe order) and the matching absolute offsets into the group-sorted
+    build side — the ``repeat``/``cumsum`` expansion, no Python loop.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    left_positions = np.repeat(np.arange(len(counts), dtype=np.intp), counts)
+    starts = np.repeat(lo, counts)
+    run_offsets = np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    within = np.arange(total, dtype=np.intp) - run_offsets
+    return left_positions, starts + within
+
+
+def _residual_mask(
+    oriented: Sequence[tuple[Attribute, Attribute]],
+    left_columns: ArrayColumns,
+    right_columns: ArrayColumns,
+    left_positions: np.ndarray,
+    right_positions: np.ndarray,
+) -> np.ndarray:
+    """Keep-mask of the residual equi-predicates over candidate pairs."""
+    mask = np.ones(len(left_positions), dtype=bool)
+    for la, ra in oriented:
+        lvals, rvals = _harmonized(left_columns[la], right_columns[ra])
+        mask &= lvals[left_positions] == rvals[right_positions]
+    return mask
+
+
+def _dict_grouped_positions(
+    pkeys: np.ndarray, bkeys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join pair positions via dict grouping — the unorderable-key path.
+
+    ``searchsorted`` grouping needs a total order on the key values; a
+    heterogeneous ``object`` column (say ``int`` probe keys against ``str``
+    build keys) has none.  The streaming engines' hash join only needs
+    *equality* (a dict), so this fallback groups exactly the way they do:
+    probe-major output, build insertion order within a key group.
+    """
+    groups: dict = {}
+    for position, key in enumerate(bkeys.tolist()):
+        groups.setdefault(key, []).append(position)
+    left_positions: list[int] = []
+    right_positions: list[int] = []
+    for position, key in enumerate(pkeys.tolist()):
+        matches = groups.get(key)
+        if matches:
+            left_positions.extend([position] * len(matches))
+            right_positions.extend(matches)
+    return (
+        np.asarray(left_positions, dtype=np.intp),
+        np.asarray(right_positions, dtype=np.intp),
+    )
+
+
+def _joined(
+    left: ArrayBatch,
+    right: ArrayBatch,
+    left_positions: np.ndarray,
+    right_positions: np.ndarray,
+) -> ArrayBatch:
+    """Gather matched pairs into the concatenated output column set."""
+    columns: ArrayColumns = {
+        a: values[left_positions] for a, values in left.columns.items()
+    }
+    for a, values in right.columns.items():
+        columns[a] = values[right_positions]
+    return ArrayBatch(columns, len(left_positions))
+
+
+# -- merge join ---------------------------------------------------------------
+
+
+def merge_join_array_batches(
+    left: Iterator[ArrayBatch],
+    right: Iterator[ArrayBatch],
+    left_key: Attribute,
+    right_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    *,
+    check_sorted: bool = False,
+) -> Iterator[ArrayBatch]:
+    """Merge join via ``searchsorted`` duplicate-group slicing.
+
+    Both inputs arrive sorted on their keys, so the right side *is* its own
+    key partition: each left key's duplicate group is the ``[lo, hi)``
+    range two binary searches return.  Output is in left order with group
+    members in right order — the streaming merge's emission order exactly.
+    The right side is consumed first; an empty side short-circuits without
+    pulling the other (so an unpulled subtree never claims a sort).
+    """
+    build = concat_array_batches(list(right))
+    if build.length == 0:
+        return
+    probe = concat_array_batches(list(left))
+    if probe.length == 0:
+        return
+    lkeys, rkeys = _harmonized(probe.column(left_key), build.column(right_key))
+    if check_sorted:
+        _check_sorted(lkeys, left_key, "left")
+        _check_sorted(rkeys, right_key, "right")
+    lo = np.searchsorted(rkeys, lkeys, side="left")
+    hi = np.searchsorted(rkeys, lkeys, side="right")
+    left_positions, right_positions = _group_expand(lo, hi)
+    if residuals:
+        oriented = [_orient_predicate(p, probe.columns) for p in residuals]
+        keep = _residual_mask(
+            oriented, probe.columns, build.columns, left_positions, right_positions
+        )
+        left_positions = left_positions[keep]
+        right_positions = right_positions[keep]
+    yield from emit_chunks(
+        _joined(probe, build, left_positions, right_positions), batch_size
+    )
+
+
+# -- hash join ----------------------------------------------------------------
+
+
+def hash_join_array_batches(
+    left: Iterator[ArrayBatch],
+    right: Iterator[ArrayBatch],
+    left_key: Attribute,
+    right_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Partitioned build/probe equi-join.
+
+    The build (right) side is partitioned into contiguous key groups by one
+    stable argsort — the array-world analogue of hash buckets, with bucket
+    *insertion order* preserved by stability.  Probes binary-search their
+    group and expand, so the output is in probe (left) order with matches
+    in build input order — the streaming hash join's emission order
+    exactly.  An empty build side returns without consuming the probe.
+    """
+    build = concat_array_batches(list(right))
+    if build.length == 0:
+        return
+    probe = concat_array_batches(list(left))
+    if probe.length == 0:
+        return
+    bkeys_raw = build.column(right_key)
+    pkeys_raw = probe.column(left_key)
+    try:
+        partition = stable_order([bkeys_raw], build.length)
+        pkeys, bkeys = _harmonized(pkeys_raw, bkeys_raw[partition])
+        lo = np.searchsorted(bkeys, pkeys, side="left")
+        hi = np.searchsorted(bkeys, pkeys, side="right")
+        left_positions, group_offsets = _group_expand(lo, hi)
+        right_positions = partition[group_offsets]
+    except TypeError:
+        # Unorderable key values — equality-only grouping, like the
+        # streaming hash join's dict build.
+        left_positions, right_positions = _dict_grouped_positions(
+            pkeys_raw, bkeys_raw
+        )
+    if residuals:
+        oriented = [_orient_predicate(p, probe.columns) for p in residuals]
+        keep = _residual_mask(
+            oriented, probe.columns, build.columns, left_positions, right_positions
+        )
+        left_positions = left_positions[keep]
+        right_positions = right_positions[keep]
+    yield from emit_chunks(
+        _joined(probe, build, left_positions, right_positions), batch_size
+    )
+
+
+# -- nested-loop join ---------------------------------------------------------
+
+
+def nl_join_array_batches(
+    left: Iterator[ArrayBatch],
+    right: Iterator[ArrayBatch],
+    predicates: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Nested-loop (or cross) join via broadcast pair masks.
+
+    Outer chunks are sized so the ``chunk × inner`` boolean matrix stays
+    within :data:`NL_MASK_CELLS`; ``np.nonzero`` reads the matrix out
+    row-major, which *is* the left-major emission order of the streaming
+    engines.  The inner (right) side is consumed first; an empty inner
+    returns without pulling the outer.
+    """
+    inner = concat_array_batches(list(right))
+    if inner.length == 0:
+        return
+    outer = concat_array_batches(list(left))
+    if outer.length == 0:
+        return
+    oriented = [_orient_predicate(p, outer.columns) for p in predicates]
+    if not predicates:
+        # Cross product: pure repeat/tile index arithmetic.
+        left_positions = np.repeat(
+            np.arange(outer.length, dtype=np.intp), inner.length
+        )
+        right_positions = np.tile(
+            np.arange(inner.length, dtype=np.intp), outer.length
+        )
+        yield from emit_chunks(
+            _joined(outer, inner, left_positions, right_positions), batch_size
+        )
+        return
+    pairs = [
+        _harmonized(outer.columns[la], inner.columns[ra]) for la, ra in oriented
+    ]
+    chunk = max(1, NL_MASK_CELLS // max(1, inner.length))
+    for start in range(0, outer.length, chunk):
+        stop = min(outer.length, start + chunk)
+        mask = np.ones((stop - start, inner.length), dtype=bool)
+        for lvals, rvals in pairs:
+            mask &= lvals[start:stop, None] == rvals[None, :]
+        li, right_positions = np.nonzero(mask)
+        if not len(li):
+            continue
+        yield from emit_chunks(
+            _joined(outer, inner, li + start, right_positions), batch_size
+        )

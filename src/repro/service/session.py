@@ -135,10 +135,12 @@ class SessionConfig:
     free O(1) lookup for every later query of the same template."""
 
     engine: str = field(default_factory=default_engine_name)
-    """Execution engine ``execute``/``explain_analyze`` run plans on
-    (``"row"`` — the materializing reference oracle — or ``"vector"`` — the
-    streaming columnar engine).  Defaults to the ``REPRO_EXEC_ENGINE``
-    environment variable, falling back to vector."""
+    """Execution engine ``execute``/``explain_analyze`` run plans on:
+    ``"row"`` — the materializing reference oracle, ``"vector"`` — the
+    streaming columnar engine, or ``"numpy"`` — the NumPy-accelerated
+    columnar backend (requires the ``[speed]`` extra; without NumPy it
+    falls back to the vector engine with a warning).  Defaults to the
+    ``REPRO_EXEC_ENGINE`` environment variable, falling back to vector."""
 
     batch_size: int = 1024
     """Target rows per batch of the vectorized execution pipeline."""
@@ -527,7 +529,12 @@ class OptimizationSession:
         seed: int = 0,
     ) -> str:
         """Execute the chosen plan and render the operator tree with the
-        *actual* per-operator row/batch counts and sort/no-sort markers."""
+        *actual* per-operator row/batch counts and sort/no-sort markers.
+
+        The header names the engine that actually ran (after any NumPy
+        fallback), so a differential failure pasted from a CI log
+        identifies which backend diverged without further digging.
+        """
         execution = self.execute(
             spec,
             data=data,
@@ -539,7 +546,8 @@ class OptimizationSession:
             seed=seed,
         )
         return render_analyze(
-            execution, header=f"explain analyze {spec.name}:"
+            execution,
+            header=f"explain analyze {spec.name} (engine={execution.engine}):",
         )
 
     # -- introspection --------------------------------------------------------

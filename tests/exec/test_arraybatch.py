@@ -1,0 +1,452 @@
+"""Edge-case tests for the NumPy typed-array substrate.
+
+The differential grid proves whole plans agree across engines; these tests
+pin the *pieces* — `ArrayBatch` construction/conversion, dtype inference,
+and the array kernels — on the inputs most likely to break them: empty
+batches, single-row batches (batch_size=1), selections that filter every
+row, duplicate-heavy merge keys straddling batch boundaries, and int/str
+round-trips that must come back as native Python scalars, never NumPy
+ones (the `repr`-keyed multiset oracle would flag `np.int64(5)` vs `5`).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.attributes import Attribute  # noqa: E402
+from repro.core.ordering import Ordering  # noqa: E402
+from repro.exec import MergeInputNotSortedError  # noqa: E402
+from repro.exec.arraybatch import (  # noqa: E402
+    ArrayBatch,
+    concat_array_batches,
+    emit_chunks,
+    infer_array,
+    stable_order,
+)
+from repro.exec.numpy_kernels import (  # noqa: E402
+    _check_sorted,
+    filter_positions,
+    hash_join_array_batches,
+    index_scan_array_batches,
+    merge_join_array_batches,
+    nl_join_array_batches,
+    scan_array_batches,
+    sort_array_batches,
+)
+from repro.query.predicates import (  # noqa: E402
+    EqualsConstant,
+    JoinPredicate,
+    RangePredicate,
+)
+
+A, B = Attribute("a", "t"), Attribute("b", "t")
+X, Y = Attribute("x", "u"), Attribute("y", "u")
+
+
+def rows_of(values):
+    return [{A: v, B: -v} for v in values]
+
+
+def batch_of(values):
+    return ArrayBatch.from_rows(rows_of(values))
+
+
+def drain(batches):
+    rows = []
+    for batch in batches:
+        rows.extend(batch.to_rows())
+    return rows
+
+
+class TestInferArray:
+    def test_all_int_becomes_int64(self):
+        array = infer_array([1, 2, 3])
+        assert array.dtype == np.int64
+        assert array.tolist() == [1, 2, 3]
+
+    def test_all_str_becomes_unicode(self):
+        array = infer_array(["aa", "b", "ccc"])
+        assert array.dtype.kind == "U"
+        assert array.tolist() == ["aa", "b", "ccc"]
+
+    def test_int64_overflow_falls_back_to_object(self):
+        big = 2**63  # one past int64
+        array = infer_array([1, big])
+        assert array.dtype == object
+        assert array.tolist() == [1, big]
+
+    def test_mixed_types_fall_back_to_object(self):
+        array = infer_array([1, "one"])
+        assert array.dtype == object
+        assert array.tolist() == [1, "one"]
+
+    def test_bool_is_not_an_int_column(self):
+        # bool is an int subclass; a bool column must stay object so its
+        # values round-trip as True/False, not 1/0.
+        array = infer_array([True, False])
+        assert array.dtype == object
+        assert array.tolist() == [True, False]
+
+    def test_empty_without_hint_is_object(self):
+        array = infer_array([])
+        assert array.dtype == object
+        assert len(array) == 0
+
+    def test_hints_pin_dtypes(self):
+        assert infer_array([], hint="int").dtype == np.int64
+        assert infer_array(["z"], hint="str").dtype.kind == "U"
+        assert infer_array([1], hint="float").dtype == np.float64
+
+    def test_unknown_hint_rejected(self):
+        with pytest.raises(ValueError, match="unknown dtype hint"):
+            infer_array([1], hint="decimal")
+
+
+class TestArrayBatchBasics:
+    def test_int_round_trip_yields_native_scalars(self):
+        rows = rows_of([1, 2, 3])
+        batch = ArrayBatch.from_rows(rows)
+        back = batch.to_rows()
+        assert back == rows
+        for row in back:
+            for value in row.values():
+                assert type(value) is int
+
+    def test_str_round_trip_yields_native_scalars(self):
+        rows = [{A: s, B: s * 2} for s in ("x", "yy", "zzz")]
+        back = ArrayBatch.from_rows(rows).to_rows()
+        assert back == rows
+        for row in back:
+            for value in row.values():
+                assert type(value) is str
+
+    def test_empty_batch(self):
+        batch = ArrayBatch.from_rows([])
+        assert batch.length == len(batch) == 0
+        assert batch.to_rows() == []
+        assert list(batch.iter_rows()) == []
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            ArrayBatch({A: np.arange(2), B: np.arange(1)})
+
+    def test_multidimensional_column_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            ArrayBatch({A: np.zeros((2, 2))})
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError, match="no column"):
+            batch_of([1]).column(Attribute("zz", "t"))
+
+    def test_take_gathers_and_copies(self):
+        batch = batch_of([10, 20, 30, 40])
+        taken = batch.take([3, 0, 0])
+        assert taken.column(A).tolist() == [40, 10, 10]
+        taken.columns[A][0] = 99
+        assert batch.column(A).tolist() == [10, 20, 30, 40]
+
+    def test_take_empty_indices(self):
+        taken = batch_of([1, 2]).take([])
+        assert taken.length == 0
+        assert taken.to_rows() == []
+
+    def test_slice_clamps(self):
+        batch = batch_of([1, 2, 3])
+        assert batch.slice(1, 99).column(A).tolist() == [2, 3]
+        assert batch.slice(-5, 1).column(A).tolist() == [1]
+        assert batch.slice(3, 5).length == 0
+
+    def test_key_tuples_native(self):
+        batch = batch_of([1, 2])
+        tuples = batch.key_tuples([A, B])
+        assert tuples == [(1, -1), (2, -2)]
+        assert all(type(v) is int for t in tuples for v in t)
+        assert batch.key_tuples([]) == [(), ()]
+
+    def test_dtype_hints_applied_by_from_rows(self):
+        batch = ArrayBatch.from_rows(rows_of([1, 2]), hints={A: "float"})
+        assert batch.column(A).dtype == np.float64
+        assert batch.column(B).dtype == np.int64
+
+    def test_repr(self):
+        assert "2 rows x 2 cols" in repr(batch_of([1, 2]))
+
+
+class TestConcatAndChunks:
+    def test_concat(self):
+        merged = concat_array_batches(
+            [batch_of([1, 2]), ArrayBatch.from_rows([]), batch_of([3])]
+        )
+        assert merged.column(A).tolist() == [1, 2, 3]
+
+    def test_concat_empty(self):
+        assert concat_array_batches([]).length == 0
+
+    def test_concat_single_live_batch_is_identity(self):
+        batch = batch_of([1, 2])
+        assert concat_array_batches([ArrayBatch.from_rows([]), batch]) is batch
+
+    def test_concat_mismatched_columns_rejected(self):
+        other = ArrayBatch({A: np.arange(1)})
+        with pytest.raises(ValueError, match="different columns"):
+            concat_array_batches([batch_of([1]), other])
+
+    def test_emit_chunks_batch_size_one(self):
+        chunks = list(emit_chunks(batch_of([1, 2, 3]), 1))
+        assert [c.length for c in chunks] == [1, 1, 1]
+        assert drain(iter(chunks)) == rows_of([1, 2, 3])
+
+    def test_emit_chunks_empty_is_silent(self):
+        assert list(emit_chunks(ArrayBatch.from_rows([]), 4)) == []
+
+
+class TestStableOrder:
+    def test_empty_key_list_is_identity(self):
+        assert stable_order([], 4).tolist() == [0, 1, 2, 3]
+
+    def test_stability_preserves_input_order_of_ties(self):
+        keys = np.asarray([2, 1, 2, 1, 1])
+        assert stable_order([keys], 5).tolist() == [1, 3, 4, 0, 2]
+
+    def test_multi_key_lexicographic(self):
+        first = np.asarray([1, 0, 1, 0])
+        second = np.asarray([9, 8, 7, 6])
+        assert stable_order([first, second], 4).tolist() == [3, 1, 2, 0]
+
+    def test_object_dtype_keys(self):
+        keys = np.empty(3, dtype=object)
+        keys[:] = [(2, "b"), (1, "a"), (1, "b")]
+        assert stable_order([keys], 3).tolist() == [1, 2, 0]
+
+
+class TestScanKernels:
+    def test_all_rows_filtered_out(self):
+        table = batch_of([1, 2, 3])
+        out = list(scan_array_batches(table, [EqualsConstant(A, 99)], 2))
+        assert drain(iter(out)) == []
+
+    def test_filter_positions_none_means_all(self):
+        assert filter_positions(batch_of([1, 2]), []) is None
+
+    def test_range_selections(self):
+        table = batch_of([1, 2, 3, 4, 5])
+        cases = [
+            (RangePredicate(A, "between", 2, 4), [2, 3, 4]),
+            (RangePredicate(A, "<", 3), [1, 2]),
+            (RangePredicate(A, "<=", 3), [1, 2, 3]),
+            (RangePredicate(A, ">", 3), [4, 5]),
+            (RangePredicate(A, ">=", 3), [3, 4, 5]),
+            (RangePredicate(A, "<>", 3), [1, 2, 4, 5]),
+        ]
+        for predicate, expected in cases:
+            rows = drain(scan_array_batches(table, [predicate], 2))
+            assert [r[A] for r in rows] == expected, predicate.operator
+
+    def test_conjunction_of_selections(self):
+        table = batch_of([1, 2, 3, 4])
+        rows = drain(
+            scan_array_batches(
+                table,
+                [RangePredicate(A, ">=", 2), RangePredicate(A, "<", 4)],
+                1,
+            )
+        )
+        assert [r[A] for r in rows] == [2, 3]
+
+    def test_index_scan_sorts_survivors_stably(self):
+        rows = [{A: v, B: i} for i, v in enumerate([3, 1, 3, 1])]
+        table = ArrayBatch.from_rows(rows)
+        out = drain(
+            index_scan_array_batches(table, Ordering([A]), [], batch_size=1)
+        )
+        assert [(r[A], r[B]) for r in out] == [(1, 1), (1, 3), (3, 0), (3, 2)]
+
+    def test_sort_kernel_empty_input(self):
+        assert list(sort_array_batches(iter([]), Ordering([A]), 4)) == []
+
+    def test_sort_kernel_batch_size_one(self):
+        chunks = [batch_of([3, 1]), batch_of([2])]
+        out = list(sort_array_batches(iter(chunks), Ordering([A]), 1))
+        assert [c.length for c in out] == [1, 1, 1]
+        assert [r[A] for r in drain(iter(out))] == [1, 2, 3]
+
+
+def left_rows(values):
+    return [{A: v, B: -v} for v in values]
+
+
+def right_rows(values):
+    return [{X: v, Y: v * 10} for v in values]
+
+
+def chunked(rows, size):
+    return iter(
+        [ArrayBatch.from_rows(rows[i : i + size]) for i in range(0, len(rows), size)]
+    )
+
+
+class TestJoinKernels:
+    def test_merge_join_duplicates_straddling_batch_boundaries(self):
+        # Key runs of 1/2/3 duplicates on both sides, chunked so every run
+        # crosses a batch boundary; expected pairs = per-key products in
+        # left-major, right-input order.
+        lvals = [1, 2, 2, 3, 3, 3]
+        rvals = [1, 1, 2, 3, 3, 4]
+        out = drain(
+            merge_join_array_batches(
+                chunked(left_rows(lvals), 2),
+                chunked(right_rows(rvals), 2),
+                A,
+                X,
+                batch_size=1,
+            )
+        )
+        expected = [
+            {**lr, **rr}
+            for lr in left_rows(lvals)
+            for rr in right_rows(rvals)
+            if lr[A] == rr[X]
+        ]
+        assert out == expected
+
+    def test_merge_join_empty_sides(self):
+        assert (
+            drain(
+                merge_join_array_batches(chunked([], 2), chunked([], 2), A, X)
+            )
+            == []
+        )
+        assert (
+            drain(
+                merge_join_array_batches(
+                    chunked(left_rows([1]), 2), chunked([], 2), A, X
+                )
+            )
+            == []
+        )
+
+    def test_merge_join_detects_unsorted_input(self):
+        with pytest.raises(
+            MergeInputNotSortedError, match="left merge-join input"
+        ):
+            drain(
+                merge_join_array_batches(
+                    chunked(left_rows([2, 1]), 2),
+                    chunked(right_rows([1, 2]), 2),
+                    A,
+                    X,
+                    check_sorted=True,
+                )
+            )
+
+    def test_check_sorted_message_uses_native_reprs(self):
+        keys = np.asarray([1, 3, 2], dtype=np.int64)
+        with pytest.raises(MergeInputNotSortedError, match=r"2 follows 3"):
+            _check_sorted(keys, A, "right")
+
+    def test_merge_join_residual_predicate(self):
+        lvals, rvals = [1, 1, 2], [1, 2]
+        extra = JoinPredicate(B, Y)
+        # B = -v on the left, Y = 10*v on the right: only v = 0 would match,
+        # so the residual filters every candidate pair out.
+        out = drain(
+            merge_join_array_batches(
+                chunked(left_rows(lvals), 2),
+                chunked(right_rows(rvals), 2),
+                A,
+                X,
+                residuals=[extra],
+            )
+        )
+        assert out == []
+
+    def test_hash_join_matches_merge_join_on_unsorted_build(self):
+        lvals = [3, 1, 2, 1]
+        rvals = [2, 1, 3, 1, 9]
+        out = drain(
+            hash_join_array_batches(
+                chunked(left_rows(lvals), 3),
+                chunked(right_rows(rvals), 2),
+                A,
+                X,
+                batch_size=1,
+            )
+        )
+        expected = [
+            {**lr, **rr}
+            for lr in left_rows(lvals)
+            for rr in right_rows(rvals)
+            if lr[A] == rr[X]
+        ]
+        assert out == expected
+
+    def test_hash_join_mixed_dtype_keys_never_match(self):
+        # int64 probe against str build: harmonized to object, Python
+        # semantics say int != str, so the join is empty — not an error.
+        out = drain(
+            hash_join_array_batches(
+                chunked(left_rows([1, 2]), 2),
+                chunked(right_rows(["1", "2"]), 2),
+                A,
+                X,
+            )
+        )
+        assert out == []
+
+    def test_hash_join_heterogeneous_object_keys_match_by_equality(self):
+        # A build column mixing int and str has no total order, so the
+        # searchsorted partition fails; the dict-grouping fallback must
+        # still find the int matches, in probe-major/build-insertion order.
+        out = drain(
+            hash_join_array_batches(
+                chunked(left_rows([2, 1]), 2),
+                chunked(right_rows(["2", 1, 2, 1]), 2),
+                A,
+                X,
+            )
+        )
+        assert [(r[A], r[X], r[Y]) for r in out] == [
+            (2, 2, 20),
+            (1, 1, 10),
+            (1, 1, 10),
+        ]
+
+    def test_nl_join_cross_product_order(self):
+        out = drain(
+            nl_join_array_batches(
+                chunked(left_rows([1, 2]), 1),
+                chunked(right_rows([7, 8]), 1),
+                predicates=[],
+                batch_size=1,
+            )
+        )
+        assert [(r[A], r[X]) for r in out] == [
+            (1, 7),
+            (1, 8),
+            (2, 7),
+            (2, 8),
+        ]
+
+    def test_nl_join_with_predicate(self):
+        out = drain(
+            nl_join_array_batches(
+                chunked(left_rows([1, 2, 3]), 2),
+                chunked(right_rows([2, 3, 3]), 2),
+                predicates=[JoinPredicate(A, X)],
+            )
+        )
+        assert [(r[A], r[X]) for r in out] == [(2, 2), (3, 3), (3, 3)]
+
+    def test_nl_join_empty_inner_short_circuits(self):
+        def exploding():
+            raise AssertionError("outer side must not be pulled")
+            yield  # pragma: no cover
+
+        assert (
+            drain(
+                nl_join_array_batches(
+                    exploding(), chunked([], 2), predicates=[]
+                )
+            )
+            == []
+        )

@@ -89,3 +89,13 @@ class TestBatchHelpers:
     def test_rows_to_batches_rejects_bad_size(self):
         with pytest.raises(ValueError, match="batch_size"):
             list(rows_to_batches(rows_of([1]), 0))
+
+    def test_rows_to_batches_empty_input_yields_nothing(self):
+        assert list(rows_to_batches([], 4)) == []
+        assert batches_to_rows([]) == []
+
+    def test_rows_to_batches_size_one(self):
+        rows = rows_of([5, 6, 7])
+        chunks = list(rows_to_batches(rows, 1))
+        assert [c.length for c in chunks] == [1, 1, 1]
+        assert batches_to_rows(chunks) == rows

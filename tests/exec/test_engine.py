@@ -1,9 +1,10 @@
-"""Engine-contract tests: both engines answer every query identically.
+"""Engine-contract tests: every engine answers every query identically.
 
 The centerpiece is the **differential grid**: every join-graph topology ×
 every enumeration strategy × both preparation modes, each plan executed by
-the row-dict reference oracle and the vectorized streaming engine, with
-bit-identical result multisets required throughout.
+the row-dict reference oracle, the vectorized streaming engine, and (when
+NumPy is installed) the array-kernel engine, with bit-identical result
+multisets required throughout.
 """
 
 import os
@@ -12,7 +13,9 @@ import pytest
 
 from repro.core.ordering import Ordering
 from repro.exec import (
+    NUMPY_AVAILABLE,
     ExecutionConfig,
+    NumpyEngine,
     RowEngine,
     VectorEngine,
     default_engine_name,
@@ -35,6 +38,16 @@ def plan_for(spec, backend=None, config=PlanGenConfig()):
 def both_engines(batch_size=16):
     config = ExecutionConfig(batch_size=batch_size, check_merge_inputs=True)
     return RowEngine(config), VectorEngine(config)
+
+
+def all_engines(batch_size=16):
+    """Named (name, engine) pairs: the row reference first, then every
+    other engine available in this environment."""
+    config = ExecutionConfig(batch_size=batch_size, check_merge_inputs=True)
+    engines = [("row", RowEngine(config)), ("vector", VectorEngine(config))]
+    if NUMPY_AVAILABLE:
+        engines.append(("numpy", NumpyEngine(config)))
+    return engines
 
 
 class TestEngineContract:
@@ -122,6 +135,17 @@ class TestEngineContract:
         with pytest.raises(ValueError, match="unknown execution engine"):
             default_engine_name()
 
+    def test_make_engine_numpy_resolution(self, monkeypatch):
+        # "numpy" is always a *valid* name; without NumPy it degrades to
+        # the vectorized engine with a warning instead of failing.
+        if NUMPY_AVAILABLE:
+            assert make_engine("numpy").name == "numpy"
+            monkeypatch.setenv("REPRO_EXEC_ENGINE", "numpy")
+            assert default_engine_name() == "numpy"
+        else:
+            with pytest.warns(RuntimeWarning, match="falls back"):
+                assert make_engine("numpy").name == "vector"
+
     def test_bad_batch_size_rejected(self):
         with pytest.raises(ValueError, match="batch_size"):
             ExecutionConfig(batch_size=0)
@@ -195,7 +219,9 @@ class TestDifferentialGrid:
 
     One dataset per topology; the FSM plan under every (enumerator,
     prepare-mode) combination plus the Simmen baseline plan, all executed
-    by both engines — every result multiset must be bit-identical.
+    by every available engine (row reference, vectorized, NumPy) — every
+    result multiset must be bit-identical, and the batch engines must
+    additionally agree on emission *order*.
     """
 
     N = 4
@@ -209,7 +235,7 @@ class TestDifferentialGrid:
         dataset = generate_dataset(
             spec, rows_per_table=self.ROWS, default_domain=self.DOMAIN, seed=11
         )
-        row_engine, vector_engine = both_engines(batch_size=7)
+        engines = all_engines(batch_size=7)
         reference = None
         for enumerator in ("dpsub", "dpccp", "greedy"):
             for mode in ("eager", "lazy"):
@@ -218,22 +244,36 @@ class TestDifferentialGrid:
                     backend=FsmBackend(prepare_mode=mode),
                     config=PlanGenConfig(enumerator=enumerator),
                 )
-                row = row_engine.execute(plan, spec, dataset)
-                vector = vector_engine.execute(plan, spec, dataset)
                 label = f"{topology}/{enumerator}/{mode}"
-                assert row.multiset() == vector.multiset(), label
-                assert satisfies_ordering(vector.rows(), spec.order_by), label
-                assert vector.stats.sorts <= row.stats.sorts, label
+                results = {
+                    name: engine.execute(plan, spec, dataset)
+                    for name, engine in engines
+                }
+                row = results["row"]
+                for name, result in results.items():
+                    assert result.multiset() == row.multiset(), f"{label}:{name}"
+                    assert satisfies_ordering(result.rows(), spec.order_by), (
+                        f"{label}:{name}"
+                    )
+                    if name != "row":
+                        assert result.stats.sorts <= row.stats.sorts, (
+                            f"{label}:{name}"
+                        )
+                if "numpy" in results:
+                    # The array kernels mirror the streaming operators
+                    # tuple-for-tuple, not just as multisets.
+                    assert results["numpy"].rows() == results["vector"].rows(), (
+                        label
+                    )
                 if reference is None:
                     reference = row.multiset()
                 else:
                     assert row.multiset() == reference, label
         simmen_plan = plan_for(spec, backend=SimmenBackend())
-        assert (
-            row_engine.execute(simmen_plan, spec, dataset).multiset()
-            == vector_engine.execute(simmen_plan, spec, dataset).multiset()
-            == reference
-        )
+        for name, engine in engines:
+            assert (
+                engine.execute(simmen_plan, spec, dataset).multiset() == reference
+            ), f"{topology}/simmen:{name}"
 
     def test_forced_sort_variant_is_result_preserving(self):
         spec = topology_query("chain", 3, seed=12)
@@ -243,9 +283,9 @@ class TestDifferentialGrid:
         plan = plan_for(spec)
         ordering = Ordering([spec.joins[0].left])
         forced = forced_sort_variant(plan, ordering)
-        row_engine, vector_engine = both_engines()
-        baseline = row_engine.execute(plan, spec, dataset).multiset()
-        for engine in (row_engine, vector_engine):
+        engines = all_engines()
+        baseline = engines[0][1].execute(plan, spec, dataset).multiset()
+        for name, engine in engines:
             result = engine.execute(forced, spec, dataset)
-            assert result.multiset() == baseline
-            assert satisfies_ordering(result.rows(), ordering)
+            assert result.multiset() == baseline, name
+            assert satisfies_ordering(result.rows(), ordering), name

@@ -1,5 +1,5 @@
 """Property tests for execution-level soundness of the inference rules,
-and the execution-backed differential oracle of the two engines.
+and the execution-backed differential oracle across the engines.
 
 Two layers:
 
@@ -8,10 +8,12 @@ Two layers:
   ``Ω({o}, items)`` must hold on the restricted stream;
 * the engine oracle — for random datasets and random queries, the chosen
   plan, a forced-full-sort variant of it, and the Simmen-baseline plan must
-  all produce identical result multisets on the row-dict reference engine
-  and the vectorized streaming engine; every ordering the ADT claims must
-  hold on the actual tuple stream; and the vectorized engine must never
-  sort more often than the reference.
+  all produce identical result multisets on **every** engine (the row-dict
+  reference, the vectorized streaming engine, and — when NumPy is
+  installed — the array-kernel engine); every ordering the ADT claims must
+  hold on each engine's actual tuple stream; and neither batch engine may
+  sort more often than the reference.  Assertion messages name the engine
+  so a CI differential failure identifies the diverging backend directly.
 """
 
 import random
@@ -24,7 +26,9 @@ from repro.core.fd import ConstantBinding, Equation, FunctionalDependency
 from repro.core.inference import omega
 from repro.core.ordering import Ordering
 from repro.exec import (
+    NUMPY_AVAILABLE,
     ExecutionConfig,
+    NumpyEngine,
     RowEngine,
     VectorEngine,
     forced_sort_variant,
@@ -144,45 +148,71 @@ def exec_cases(draw):
     return spec, dataset, batch_size
 
 
+def _oracle_engines(config):
+    """The reference engine first, then every other available engine."""
+    engines = [("row", RowEngine(config)), ("vector", VectorEngine(config))]
+    if NUMPY_AVAILABLE:
+        engines.append(("numpy", NumpyEngine(config)))
+    return engines
+
+
 class TestEngineDifferentialOracle:
-    """Row vs. vectorized engine on the chosen plan, its forced-full-sort
-    variant, and the Simmen-baseline plan."""
+    """All engines (row reference, vectorized, NumPy when available) on the
+    chosen plan, its forced-full-sort variant, and the Simmen-baseline
+    plan."""
 
     @given(exec_cases())
     @settings(max_examples=40, deadline=None)
     def test_engines_agree_and_claims_hold(self, case):
         spec, dataset, batch_size = case
         config = ExecutionConfig(batch_size=batch_size, check_merge_inputs=True)
-        row_engine, vector_engine = RowEngine(config), VectorEngine(config)
+        engines = _oracle_engines(config)
 
         backend = FsmBackend()
         plan = PlanGenerator(spec, backend).run().best_plan
-        row = row_engine.execute(plan, spec, dataset)
-        vector = vector_engine.execute(plan, spec, dataset)
-        assert row.multiset() == vector.multiset()
-        assert vector.stats.sorts <= row.stats.sorts
+        results = {
+            name: engine.execute(plan, spec, dataset) for name, engine in engines
+        }
+        row = results["row"]
+        reference = row.multiset()
+        for name, result in results.items():
+            assert result.multiset() == reference, (
+                f"{name} engine diverged from the row reference"
+            )
+            if name != "row":
+                assert result.stats.sorts <= row.stats.sorts, (
+                    f"{name} engine sorted more than the row reference"
+                )
 
         # Every ordering the ADT claims for the root must hold on the
-        # physical stream — on both engines.
+        # physical stream — on every engine.
         optimizer = backend.optimizer
         for claimed in optimizer.satisfied_orders(plan.state):
-            assert satisfies_ordering(row.rows(), claimed), claimed
-            assert satisfies_ordering(vector.rows(), claimed), claimed
+            for name, result in results.items():
+                assert satisfies_ordering(result.rows(), claimed), (
+                    f"{name} engine violated claimed ordering {claimed!r}"
+                )
         if spec.order_by is not None:
-            assert satisfies_ordering(vector.rows(), spec.order_by)
+            for name, result in results.items():
+                assert satisfies_ordering(result.rows(), spec.order_by), (
+                    f"{name} engine violated the requested ORDER BY"
+                )
 
         # A forced full sort may reorder, never change, the result.
         ordering = spec.order_by or Ordering([spec.joins[0].left])
         forced = forced_sort_variant(plan, ordering)
-        for engine in (row_engine, vector_engine):
+        for name, engine in engines:
             result = engine.execute(forced, spec, dataset)
-            assert result.multiset() == row.multiset()
-            assert satisfies_ordering(result.rows(), ordering)
+            assert result.multiset() == reference, (
+                f"{name} engine changed the result under a forced sort"
+            )
+            assert satisfies_ordering(result.rows(), ordering), (
+                f"{name} engine ignored the forced sort ordering"
+            )
 
-        # The baseline backend's plan answers the same query.
+        # The baseline backend's plan answers the same query on all engines.
         simmen_plan = PlanGenerator(spec, SimmenBackend()).run().best_plan
-        assert (
-            row_engine.execute(simmen_plan, spec, dataset).multiset()
-            == vector_engine.execute(simmen_plan, spec, dataset).multiset()
-            == row.multiset()
-        )
+        for name, engine in engines:
+            assert (
+                engine.execute(simmen_plan, spec, dataset).multiset() == reference
+            ), f"{name} engine diverged on the Simmen-baseline plan"

@@ -3,7 +3,7 @@ service stack, with per-operator counters folded into the statistics."""
 
 import pytest
 
-from repro.exec import ExecutionResult, generate_dataset
+from repro.exec import NUMPY_AVAILABLE, ExecutionResult, generate_dataset
 from repro.service import OptimizationSession, SessionConfig, SessionPool
 from repro.workloads import GeneratorConfig, execution_workload, random_join_query
 
@@ -45,6 +45,18 @@ class TestSessionExecute:
         # the second execute hit the plan cache — one optimization miss only
         assert stats.plans.hits == 1
 
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy not installed")
+    def test_numpy_engine_through_the_service_stack(self):
+        spec, dataset = workload(seed=1)
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(engine="numpy")
+        )
+        result = session.execute(spec, data=dataset)
+        assert result.engine == "numpy"
+        reference = session.execute(spec, data=dataset, engine="row")
+        assert result.multiset() == reference.multiset()
+        assert session.statistics().exec_engines == {"numpy": 1, "row": 1}
+
     def test_session_config_engine_default(self):
         spec, dataset = workload(seed=2)
         session = OptimizationSession(
@@ -72,9 +84,17 @@ class TestSessionExecute:
             spec.catalog, config=SessionConfig(engine="vector")
         )
         text = session.explain_analyze(spec, data=dataset)
-        assert text.startswith(f"explain analyze {spec.name}:")
+        # The header names the engine so a CI differential failure
+        # identifies the diverging backend from the log alone.
+        assert text.startswith(f"explain analyze {spec.name} (engine=vector):")
         assert "actual: rows=" in text
         assert "engine=vector" in text
+
+    def test_explain_analyze_header_tracks_engine_override(self):
+        spec, dataset = workload(seed=4)
+        session = OptimizationSession(spec.catalog)
+        text = session.explain_analyze(spec, data=dataset, engine="row")
+        assert text.startswith(f"explain analyze {spec.name} (engine=row):")
 
     def test_statistics_describe_mentions_executions(self):
         spec, dataset = workload(seed=5)

@@ -150,6 +150,28 @@ def test_run_both_engines_reports_agreement_and_speedup(capsys):
     assert "speedup" in out
 
 
+def test_run_all_engines_three_way_differential(capsys):
+    from repro.exec import NUMPY_AVAILABLE
+
+    sql = (
+        "select * from orders, lineitem "
+        "where orders.o_orderkey = lineitem.l_orderkey "
+        "order by orders.o_orderkey"
+    )
+    assert main(["run", "--catalog", "tpch", "--engine", "all",
+                 "--rows", "80", sql]) == 0
+    out = capsys.readouterr().out
+    assert "explain analyze (row):" in out
+    assert "explain analyze (vector):" in out
+    assert "engines agree" in out
+    if NUMPY_AVAILABLE:
+        assert "explain analyze (numpy):" in out
+        assert "numpy speedup" in out
+    else:
+        # without NumPy, "all" degrades to the two pure-Python engines
+        assert "numpy" not in out
+
+
 def test_q8(capsys):
     assert main(["q8"]) == 0
     out = capsys.readouterr().out

@@ -1,11 +1,13 @@
 """Golden ``explain analyze`` snapshots for the TPC-H/R workload.
 
-Each query's chosen plan is *executed* by the vectorized engine over a
-fixed catalog-driven synthetic dataset, and the annotated operator tree —
+Each query's chosen plan is *executed* by the vectorized engine — and,
+when NumPy is installed, the array-kernel engine — over a fixed
+catalog-driven synthetic dataset, and the annotated operator tree —
 estimates, actual row/batch counts, and sort/no-sort markers — is
-snapshotted under ``tests/golden/<name>.analyze.txt``.  Any change that
-moves an execution (an operator rewrite, a data-generation tweak, a
-counter bug) fails with a diff:
+snapshotted under ``tests/golden/<name>.analyze.txt`` (vector) and
+``tests/golden/<name>.numpy.analyze.txt``.  Any change that moves an
+execution (an operator rewrite, a data-generation tweak, a counter bug)
+fails with a diff:
 
     PYTHONPATH=src python -m pytest tests/workloads/test_golden_analyze.py \
         --update-golden
@@ -25,10 +27,11 @@ from pathlib import Path
 import pytest
 
 from repro.exec import (
+    NUMPY_AVAILABLE,
     ExecutionConfig,
     RowEngine,
-    VectorEngine,
     generate_dataset,
+    make_engine,
     render_analyze,
 )
 from repro.plangen import FsmBackend, PlanGenerator
@@ -40,38 +43,50 @@ ROWS_PER_TABLE = 60
 SEED = 7
 BATCH_SIZE = 16
 
+SNAPSHOT_ENGINES = ("vector", "numpy") if NUMPY_AVAILABLE else ("vector",)
 
-def analyzed_snapshot(name: str) -> tuple[str, object, object, object]:
-    """(snapshot text, spec, plan, dataset) for one workload query."""
+
+def golden_path(name: str, engine_name: str) -> Path:
+    """Vector snapshots keep their historical name; other engines tag it."""
+    suffix = "" if engine_name == "vector" else f".{engine_name}"
+    return GOLDEN_DIR / f"{name}{suffix}.analyze.txt"
+
+
+def analyzed_snapshot(
+    name: str, engine_name: str = "vector"
+) -> tuple[str, object, object, object, object]:
+    """(snapshot text, spec, plan, dataset, result) for one workload query."""
     spec = ALL_TPCH_QUERIES[name]()
     plan = PlanGenerator(spec, FsmBackend()).run().best_plan
     dataset = generate_dataset(spec, rows_per_table=ROWS_PER_TABLE, seed=SEED)
-    engine = VectorEngine(
-        ExecutionConfig(batch_size=BATCH_SIZE, check_merge_inputs=True)
+    engine = make_engine(
+        engine_name,
+        ExecutionConfig(batch_size=BATCH_SIZE, check_merge_inputs=True),
     )
     result = engine.execute(plan, spec, dataset)
     header = (
         f"# golden explain-analyze for {spec.name}\n"
-        f"# engine=vector rows_per_table={ROWS_PER_TABLE} seed={SEED} "
+        f"# engine={engine_name} rows_per_table={ROWS_PER_TABLE} seed={SEED} "
         f"batch_size={BATCH_SIZE}\n"
         f"# regenerate: PYTHONPATH=src python -m pytest "
         f"tests/workloads/test_golden_analyze.py --update-golden"
     )
     text = render_analyze(result, header=header) + "\n"
-    return text, spec, plan, dataset
+    return text, spec, plan, dataset, result
 
 
+@pytest.mark.parametrize("engine_name", SNAPSHOT_ENGINES)
 @pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
-def test_golden_explain_analyze(name: str, update_golden: bool):
-    snapshot, _, _, _ = analyzed_snapshot(name)
-    path = GOLDEN_DIR / f"{name}.analyze.txt"
+def test_golden_explain_analyze(name: str, engine_name: str, update_golden: bool):
+    snapshot, _, _, _, _ = analyzed_snapshot(name, engine_name)
+    path = golden_path(name, engine_name)
     if update_golden:
         GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
         path.write_text(snapshot)
         return
     assert path.exists(), (
-        f"no golden explain-analyze snapshot for {name}; create it with "
-        "--update-golden"
+        f"no golden explain-analyze snapshot for {name} ({engine_name}); "
+        "create it with --update-golden"
     )
     golden = path.read_text()
     if snapshot != golden:
@@ -79,25 +94,38 @@ def test_golden_explain_analyze(name: str, update_golden: bool):
             difflib.unified_diff(
                 golden.splitlines(),
                 snapshot.splitlines(),
-                fromfile=f"golden/{name}.analyze.txt",
+                fromfile=f"golden/{path.name}",
                 tofile="freshly executed",
                 lineterm="",
             )
         )
         pytest.fail(
-            f"explain-analyze drift for {name} — if intended, rerun with "
-            f"--update-golden and commit the change:\n{diff}"
+            f"explain-analyze drift for {name} ({engine_name}) — if "
+            f"intended, rerun with --update-golden and commit the change:\n"
+            f"{diff}"
         )
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy not installed")
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_numpy_engine_matches_and_never_sorts_more(name: str):
+    """The array engine must answer each workload query identically to the
+    vectorized engine and perform no more physical sorts (its join kernels
+    consume the build side first, so an empty side short-circuits before
+    the other subtree — and its sorts — are ever pulled)."""
+    _, spec, plan, dataset, vector = analyzed_snapshot(name, "vector")
+    _, _, _, _, numpy_result = analyzed_snapshot(name, "numpy")
+    assert numpy_result.multiset() == vector.multiset()
+    assert numpy_result.stats.sorts <= vector.stats.sorts
 
 
 @pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
 def test_row_engine_matches_the_golden_execution(name: str):
     """The snapshots double as a differential anchor: the reference row
     engine must produce the identical result multiset on the same data."""
-    _, spec, plan, dataset = analyzed_snapshot(name)
+    _, spec, plan, dataset, vector = analyzed_snapshot(name)
     config = ExecutionConfig(check_merge_inputs=True)
     row = RowEngine(config).execute(plan, spec, dataset)
-    vector = VectorEngine(config).execute(plan, spec, dataset)
     assert row.multiset() == vector.multiset()
     # The row engine executes every node; the streaming engine never pulls
     # (and so never sorts) a subtree below a join whose other side is empty.
