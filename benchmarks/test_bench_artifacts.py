@@ -1,0 +1,155 @@
+"""Experiment: cold preparation vs. warm artifact load.
+
+The artifact store's pitch is that the paper's one-time preparation cost
+really is paid *once* — not once per process.  This benchmark measures
+that claim directly: for each workload it times the cold path (NFSM →
+DFSM determinization + tables) against the warm path (deserialize the
+finished machine from a ``.ropt`` artifact), drives both components
+through the identical ADT operation sequence, and requires bit-identical
+``contains`` answers throughout — a warm start must change *when* the
+work happens, never *what* the optimizer answers.
+
+The grid reuses the prepare-sweep workloads (Q8 pruned/unpruned plus the
+synthetic order/FD scales), so the two machine-readable artifacts line
+up row-for-row.  Results are persisted as ``BENCH_artifacts.json`` at
+the repository root; CI's artifact-smoke job uploads it.
+
+Acceptance shape (asserted): summed over the grid, warm loads are at
+least **5×** faster than cold preparations, and every row round-trips
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.bench import format_table, report, save_json, timed
+from repro.core.optimizer import OrderOptimizer
+from repro.service import ArtifactStore
+
+from test_bench_prepare import drive, sweep_grid
+
+
+@dataclass
+class ArtifactPoint:
+    """One workload row: cold build vs. warm load of the same machine."""
+
+    workload: str
+    drive: str
+    cold_prepare_ms: float
+    save_ms: float
+    warm_load_ms: float
+    artifact_bytes: int
+    dfsm_states: int
+
+    @property
+    def speedup(self) -> float:
+        if self.warm_load_ms <= 0.0:  # below timer resolution
+            return float("inf")
+        return self.cold_prepare_ms / self.warm_load_ms
+
+
+def run_artifact_sweep() -> list[ArtifactPoint]:
+    points: list[ArtifactPoint] = []
+    with tempfile.TemporaryDirectory(prefix="bench-artifacts-") as directory:
+        store = ArtifactStore(directory)
+        for name, interesting, fdsets, options, drive_name in sweep_grid():
+            apply_fds = drive_name == "pipeline"
+            with timed() as cold_sw:
+                cold = OrderOptimizer.prepare(interesting, fdsets, options)
+            with timed() as save_sw:
+                path = store.save(cold)
+            assert path is not None, f"{name}: save failed"
+            # Best-of-3 load: a single read can eat a page-cache hiccup.
+            warm = None
+            load_ms = float("inf")
+            for _ in range(3):
+                with timed() as load_sw:
+                    candidate = store.load(cold.fingerprint)
+                assert candidate is not None, f"{name}: load invalidated"
+                if load_sw.ms < load_ms:
+                    load_ms, warm = load_sw.ms, candidate
+            # Differential: the warm component answers exactly like the
+            # cold one along the same operation sequence.
+            assert drive(warm, interesting, fdsets, apply_fds=apply_fds) == drive(
+                cold, interesting, fdsets, apply_fds=apply_fds
+            ), f"{name}/{drive_name}: warm and cold answers diverged"
+            points.append(
+                ArtifactPoint(
+                    workload=name,
+                    drive=drive_name,
+                    cold_prepare_ms=cold_sw.ms,
+                    save_ms=save_sw.ms,
+                    warm_load_ms=load_ms,
+                    artifact_bytes=path.stat().st_size,
+                    dfsm_states=cold.stats.dfsm_states,
+                )
+            )
+        assert store.stats.invalidations == {}, store.stats.invalidations
+    return points
+
+
+def test_artifact_warm_start_sweep(benchmark):
+    points = benchmark.pedantic(run_artifact_sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            p.workload,
+            p.drive,
+            f"{p.cold_prepare_ms:.2f}",
+            f"{p.save_ms:.2f}",
+            f"{p.warm_load_ms:.3f}",
+            f"{p.artifact_bytes:,}",
+            p.dfsm_states,
+            f"{p.speedup:.0f}x",
+        )
+        for p in points
+    ]
+    text = report(
+        "artifact_warm_start",
+        "Preparation artifacts: cold build vs warm on-disk load",
+        format_table(
+            (
+                "workload",
+                "drive",
+                "cold ms",
+                "save ms",
+                "warm ms",
+                "bytes",
+                "states",
+                "speedup",
+            ),
+            rows,
+        ),
+    )
+    print("\n" + text)
+
+    total_cold = sum(p.cold_prepare_ms for p in points)
+    total_warm = sum(p.warm_load_ms for p in points)
+    payload = {
+        "points": [
+            {
+                **asdict(p),
+                "speedup": None if p.warm_load_ms <= 0.0 else p.speedup,
+            }
+            for p in points
+        ],
+        "summary": {
+            "cold_prepare_ms_total": total_cold,
+            "warm_load_ms_total": total_warm,
+            "speedup_total": total_cold / total_warm,
+            "artifact_bytes_total": sum(p.artifact_bytes for p in points),
+        },
+    }
+    json_path = save_json("BENCH_artifacts", payload)
+    print(f"machine-readable grid: {json_path}")
+
+    # The acceptance shape: a warm start skips determinization entirely,
+    # so summed over the grid the load path must beat the build path by
+    # at least 5x (in practice it is far more on the unpruned rows).
+    assert total_cold > 5.0 * total_warm, (
+        f"warm loads took {total_warm:.2f} ms against {total_cold:.2f} ms "
+        "cold — expected at least a 5x win across the sweep"
+    )

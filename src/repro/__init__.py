@@ -21,6 +21,10 @@ The most common entry points are re-exported here:
   >>> from repro import RowEngine, VectorEngine, generate_dataset
 """
 
+# Defined before the subpackage imports: repro.service.artifacts bakes the
+# version into artifact schema keys at import time.
+__version__ = "1.7.0"
+
 from .core import (
     EMPTY_ORDERING,
     NO_PRUNING,
@@ -58,7 +62,6 @@ from .service import (
     SessionStatistics,
 )
 
-__version__ = "1.5.0"
 
 __all__ = [
     "Attribute",

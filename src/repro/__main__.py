@@ -8,7 +8,13 @@ Commands:
                          — parse, bind, optimize, and explain a query;
 * ``prepare --catalog tpch "SELECT ..."``
                          — show the preparation phase for a query: interesting
-                           orders, FD sets, NFSM/DFSM sizes;
+                           orders, FD sets, NFSM/DFSM sizes; ``--store DIR``
+                           additionally persists the prepared machine as an
+                           on-disk artifact for later warm starts;
+* ``warm --artifacts DIR``
+                         — pre-build the preparation artifacts for a whole
+                           workload into a store directory, so later
+                           ``batch``/``serve`` runs (any process) start warm;
 * ``sweep [--max-n N]``  — a miniature Figure 13 sweep;
 * ``run --catalog tpch "SELECT ..."``
                          — optimize **and execute** a query on synthetic
@@ -25,7 +31,8 @@ Commands:
                            statistics (cold/warm passes via ``--passes``);
                            ``--workers N`` shards it across a
                            :class:`SessionPool`, ``--mode process`` runs the
-                           cold batch on a process pool;
+                           cold batch on a process pool; ``--artifacts DIR``
+                           reads/writes the persistent preparation store;
 * ``serve``              — serve plans with warm caches.  Without ``--port``:
                            a line-oriented stdin loop (``\\stats`` prints
                            counters, ``\\quit`` exits).  With ``--port P``:
@@ -173,6 +180,40 @@ def cmd_prepare(args: argparse.Namespace) -> int:
         f"{name} {ms:.2f}" for name, ms in stats.stage_ms.items()
     )
     print(f"stage timings (ms): {stages}")
+    if args.store:
+        from .service import ArtifactStore
+
+        store = ArtifactStore(args.store)
+        path = store.save(optimizer)
+        if path is None:  # pragma: no cover - needs an unwritable store
+            print(f"artifact: save into {store.directory} FAILED")
+            return 1
+        print(f"artifact: stored {path.name} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def cmd_warm(args: argparse.Namespace) -> int:
+    """Pre-pay the one-time preparation cost for a workload, on disk.
+
+    Optimizes every workload query through a session wired to the artifact
+    store, so each distinct preparation fingerprint ends up persisted.  A
+    later ``batch``/``serve`` (any process) pointed at the same directory
+    warm-loads the finished machines instead of determinizing.
+    """
+    specs = _batch_workload(args)
+    session = OptimizationSession(config=SessionConfig(artifact_dir=args.artifacts))
+    with timed() as sw:
+        session.optimize_batch(specs)
+    stats = session.statistics()
+    store = session.artifact_store
+    print(
+        f"warmed {len(specs)} query(ies) ({args.workload}) into "
+        f"{store.directory} in {sw.ms:.1f} ms"
+    )
+    print(
+        f"artifacts: {stats.artifact_saves} stored, "
+        f"{stats.artifact_hits} already warm; {len(store)} on disk"
+    )
     return 0
 
 
@@ -372,6 +413,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     config = SessionConfig(
         prepared_cache_size=0 if args.no_cache else 128,
         plan_cache_size=0 if args.no_cache else 512,
+        **({"artifact_dir": args.artifacts} if args.artifacts else {}),
     )
     if args.mode == "process":
         # Even with one worker: process mode means ephemeral cold sessions,
@@ -428,13 +470,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     catalog = _resolve_catalog(args.catalog)
+    config = SessionConfig(
+        **({"artifact_dir": args.artifacts} if args.artifacts else {})
+    )
     if args.port is not None:
         pool = run_server(
-            catalog, host=args.host, port=args.port, n_shards=args.workers
+            catalog,
+            host=args.host,
+            port=args.port,
+            n_shards=args.workers,
+            config=config,
         )
         print(pool.shard_statistics(drain=False).describe())
         return 0
-    pool = SessionPool(catalog, n_shards=args.workers)
+    pool = SessionPool(catalog, n_shards=args.workers, config=config)
     print(
         f"serving catalog {args.catalog!r} with {args.workers} shard(s) — "
         "one SQL statement per line, \\stats for cache counters, "
@@ -510,7 +559,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="preparation mode to run and report (lazy reports only the "
         "states materialized by preparation itself — the start state)",
     )
+    prepare.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist the prepared machine into this artifact-store "
+        "directory (later sessions pointed at it warm-start)",
+    )
     prepare.set_defaults(fn=cmd_prepare)
+
+    warm = sub.add_parser(
+        "warm",
+        help="pre-build the preparation artifacts for a workload into a "
+        "store directory",
+    )
+    warm.add_argument(
+        "--artifacts", required=True, metavar="DIR",
+        help="artifact-store directory to populate",
+    )
+    warm.add_argument(
+        "--workload", default="random", choices=("random", "tpch"),
+        help="random: template-repeated join queries; tpch: the TPC-H suite",
+    )
+    warm.add_argument("--templates", type=int, default=4, help="random: #templates")
+    warm.add_argument(
+        "--repeats", type=int, default=1,
+        help="random: constant-variants per template (1 is enough — "
+        "variants share one artifact)",
+    )
+    warm.add_argument(
+        "--relations", type=int, default=5, help="random: relations per template"
+    )
+    warm.add_argument("--seed", type=int, default=0)
+    warm.set_defaults(fn=cmd_warm)
 
     run = sub.add_parser(
         "run",
@@ -606,6 +685,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread: SessionPool shards with warm caches; process: "
         "ProcessPoolExecutor for CPU-bound cold batches",
     )
+    batch.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="persistent preparation-artifact store: warm-load prepared "
+        "machines from here and save cold builds back (see `warm`)",
+    )
     batch.set_defaults(fn=cmd_batch)
 
     serve = sub.add_parser(
@@ -623,6 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve an asyncio line protocol on this port instead of stdin",
     )
     serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="persistent preparation-artifact store shared by the shards "
+        "(restarts warm-load instead of re-preparing; see `warm`)",
+    )
     serve.set_defaults(fn=cmd_serve)
 
     return parser

@@ -12,6 +12,7 @@ in minutes on a laptop; set ``REPRO_BENCH_FULL=1`` for paper-scale sweeps
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
@@ -75,9 +76,22 @@ def round_floats(payload: object, digits: int = 2) -> object:
     Benchmark timings carry microsecond noise that is pure diff churn in a
     committed artifact; two significant decimals keep the trend readable
     while making re-runs on the same machine mostly byte-stable.
+
+    Values whose magnitude is below the decimal cutoff (e.g. a 0.004 ms
+    warm-load timing against the 2-decimal default) are rounded to
+    ``digits`` *significant figures* instead of being collapsed to ``0.0``
+    — a sub-0.01 ms series in a committed artifact must stay a readable
+    trend, not a column of zeros.  Exact zeros and non-finite values pass
+    through unchanged, and the output is byte-stable: equal inputs always
+    produce the identical rounded float.
     """
     if isinstance(payload, float):
-        return round(payload, digits)
+        rounded = round(payload, digits)
+        if rounded != 0.0 or payload == 0.0 or not math.isfinite(payload):
+            return rounded
+        # Small magnitude: keep `digits` significant figures.
+        exponent = math.floor(math.log10(abs(payload)))
+        return round(payload, digits - 1 - exponent)
     if isinstance(payload, dict):
         return {key: round_floats(value, digits) for key, value in payload.items()}
     if isinstance(payload, (list, tuple)):

@@ -69,6 +69,21 @@ class Ordering:
     def __hash__(self) -> int:
         return self._hash
 
+    # -- pickling -----------------------------------------------------------------
+
+    def __getstate__(self) -> tuple[Attribute, ...]:
+        # The cached hash must NOT travel: it is derived from string hashes,
+        # which are salted per process (PYTHONHASHSEED), so a pickled value
+        # would be inconsistent with __eq__ in any other process — silently
+        # breaking every set/dict an unpickled ordering lands in (worker
+        # pools, on-disk preparation artifacts).  Ship the attributes alone
+        # and rehash on arrival.
+        return self._attrs
+
+    def __setstate__(self, state: tuple[Attribute, ...]) -> None:
+        self._attrs = state
+        self._hash = hash(state)
+
     def __repr__(self) -> str:
         inner = ", ".join(str(a) for a in self._attrs)
         return f"({inner})"

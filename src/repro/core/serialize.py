@@ -1,0 +1,278 @@
+"""Binary codec for prepared order-optimization state (tables + DFSM).
+
+The artifact store (:mod:`repro.service.artifacts`) persists a prepared
+:class:`~repro.core.optimizer.OrderOptimizer` as one on-disk blob.  This
+module owns the *numeric* half of that format: the dense lookup tables of
+:class:`~repro.core.tables.PreparedTables` are encoded as two raw sections
+that load back with one ``array.frombytes`` each — no per-cell Python loop
+on the warm path:
+
+* the **contains matrix** — ``state_count`` fixed-width little-endian
+  integers (each row is the per-state bitmask, width sized to the widest
+  row of this machine);
+* the **transition table** — ``state_count × symbol_count`` signed 64-bit
+  little-endian cells, flattened state-major.  Loading is a single
+  ``frombytes`` into one flat ``array('q')`` plus per-state slices (C-level
+  memcpy, no Python-int materialization).
+
+Everything *symbolic* — orderings, FD sets, the NFSM, the fingerprint —
+rides in a pickle section next to the numeric blob; see
+:func:`encode_optimizer` / :func:`decode_optimizer`.  The symbolic section
+is intentionally pickle: those objects are plain frozen dataclasses whose
+pickled layout is tied to the source tree, and the artifact header's
+commit/schema keys (checked by the store *before* unpickling) are what
+keep a stale layout from ever being deserialized.
+
+A lazy-prepared component is **frozen dense** before encoding
+(:meth:`~repro.core.tables.LazyTables.freeze` — state numbering preserved,
+every lookup answer identical), so an artifact always holds the complete
+machine: a warm load replaces the whole build cost, which is the point.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from array import array
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from .dfsm import DFSM, LazyDFSM
+from .tables import LazyTables, PreparedTables
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .optimizer import OrderOptimizer
+
+
+class SerializationError(ValueError):
+    """A blob that cannot be decoded (corrupt, truncated, or foreign)."""
+
+
+#: Bump when the numeric layout below changes shape.  The artifact store
+#: carries this in its header and refuses (→ cold build) on mismatch.
+TABLE_CODEC_VERSION = 1
+
+_CELL = "q"  # signed 64-bit transition cells, platform-independent width
+_CELL_BYTES = 8
+
+
+def _native_is_little() -> bool:
+    return sys.byteorder == "little"
+
+
+def encode_tables(tables: PreparedTables) -> tuple[dict, bytes]:
+    """Encode dense tables as ``(meta, blob)``.
+
+    ``meta`` is JSON-shaped (ints only) and belongs in the artifact header;
+    ``blob`` is the contains section followed by the transition section.
+    """
+    state_count = tables.state_count
+    symbol_count = tables.symbol_count
+    widest = max(tables.contains_rows, default=0)
+    contains_width = max(1, (int(widest).bit_length() + 7) // 8)
+
+    contains = bytearray()
+    for row in tables.contains_rows:
+        contains += int(row).to_bytes(contains_width, "little")
+
+    flat = array(_CELL)
+    for row in tables.transitions:
+        # Rows are array('l') in memory ('q' after a decode); same-width
+        # rows append as one memcpy, anything else goes element-wise
+        # (extend refuses arrays of a different typecode outright).
+        if isinstance(row, array) and row.itemsize == _CELL_BYTES:
+            flat.frombytes(row.tobytes())
+        else:
+            flat.extend(int(cell) for cell in row)
+    if not _native_is_little():  # pragma: no cover - big-endian host
+        flat.byteswap()
+
+    meta = {
+        "codec": TABLE_CODEC_VERSION,
+        "start_state": tables.start_state,
+        "state_count": state_count,
+        "symbol_count": symbol_count,
+        "contains_width": contains_width,
+    }
+    return meta, bytes(contains) + flat.tobytes()
+
+
+def decode_tables(
+    meta: dict,
+    blob: bytes,
+    *,
+    testable_orders: tuple,
+    fd_symbols: tuple,
+    producer_orders: tuple,
+) -> PreparedTables:
+    """Rebuild :class:`PreparedTables` from :func:`encode_tables` output.
+
+    The numeric load is near zero-copy: one ``frombytes`` for the whole
+    transition table, then per-state ``array`` slices.  Raises
+    :class:`SerializationError` on any shape mismatch.
+    """
+    if meta.get("codec") != TABLE_CODEC_VERSION:
+        raise SerializationError(
+            f"table codec {meta.get('codec')!r} != {TABLE_CODEC_VERSION}"
+        )
+    state_count = meta["state_count"]
+    symbol_count = meta["symbol_count"]
+    contains_width = meta["contains_width"]
+    contains_bytes = state_count * contains_width
+    transition_bytes = state_count * symbol_count * _CELL_BYTES
+    if len(blob) != contains_bytes + transition_bytes:
+        raise SerializationError(
+            f"table blob is {len(blob)} byte(s), expected "
+            f"{contains_bytes + transition_bytes}"
+        )
+    if symbol_count != len(fd_symbols) + len(producer_orders):
+        raise SerializationError("symbolic sections disagree with table shape")
+
+    contains_rows = tuple(
+        int.from_bytes(
+            blob[i * contains_width : (i + 1) * contains_width], "little"
+        )
+        for i in range(state_count)
+    )
+
+    flat = array(_CELL)
+    flat.frombytes(blob[contains_bytes:])
+    if not _native_is_little():  # pragma: no cover - big-endian host
+        flat.byteswap()
+    transitions = tuple(
+        flat[i * symbol_count : (i + 1) * symbol_count]
+        for i in range(state_count)
+    )
+
+    return PreparedTables(
+        start_state=meta["start_state"],
+        testable_orders=testable_orders,
+        fd_symbols=fd_symbols,
+        producer_orders=producer_orders,
+        contains_rows=contains_rows,
+        transitions=transitions,
+    )
+
+
+# -- whole-optimizer encode/decode ---------------------------------------------
+
+
+def encode_optimizer(optimizer: "OrderOptimizer") -> tuple[dict, bytes, bytes]:
+    """Encode a prepared component as ``(table_meta, pickle_blob, table_blob)``.
+
+    Lazy components are frozen dense first (forcing full materialization of
+    the power set — the artifact must hold the complete machine).  When the
+    component's tables were Moore-minimized, the unminimized DFSM cannot be
+    reconstructed from them, so the whole machine object is pickled instead
+    of just its state sets.
+    """
+    tables = optimizer.tables
+    dfsm = optimizer.dfsm
+    if isinstance(tables, LazyTables):
+        tables = tables.freeze()
+    states = tuple(dfsm.states)
+    if tables.state_count == len(states):
+        dfsm_payload: tuple = ("states", states)
+    else:  # minimized tables: keep the unminimized machine verbatim
+        dfsm_payload = ("machine", dfsm)
+
+    table_meta, table_blob = encode_tables(tables)
+    symbolic = {
+        "interesting": optimizer.interesting,
+        "nfsm": optimizer.nfsm,
+        "options": optimizer.options,
+        "fingerprint": optimizer.fingerprint,
+        "stats": optimizer.stats,
+        "mode": optimizer.mode,
+        "fdset_aliases": dict(optimizer._fd_handles),
+        "testable_orders": tables.testable_orders,
+        "fd_symbols": tables.fd_symbols,
+        "producer_orders": tables.producer_orders,
+        "dfsm": dfsm_payload,
+    }
+    return table_meta, pickle.dumps(symbolic, protocol=4), table_blob
+
+
+def decode_optimizer(
+    table_meta: dict, pickle_blob: bytes, table_blob: bytes
+) -> "OrderOptimizer":
+    """Rebuild an :class:`OrderOptimizer` from :func:`encode_optimizer` output.
+
+    Raises :class:`SerializationError` on anything malformed; never returns
+    a half-built component.
+    """
+    from .optimizer import OrderOptimizer  # cycle: optimizer is a consumer
+
+    try:
+        symbolic = pickle.loads(pickle_blob)
+    except Exception as error:
+        raise SerializationError(f"symbolic section unreadable: {error}") from error
+    if not isinstance(symbolic, dict) or "dfsm" not in symbolic:
+        raise SerializationError("symbolic section has an unexpected shape")
+
+    tables = decode_tables(
+        table_meta,
+        table_blob,
+        testable_orders=symbolic["testable_orders"],
+        fd_symbols=symbolic["fd_symbols"],
+        producer_orders=symbolic["producer_orders"],
+    )
+    nfsm = symbolic["nfsm"]
+    kind, payload = symbolic["dfsm"]
+    if kind == "machine":
+        dfsm = payload
+    elif kind == "states":
+        dfsm = _rebuild_dfsm(nfsm, payload, tables)
+    else:
+        raise SerializationError(f"unknown DFSM payload kind {kind!r}")
+
+    stats = symbolic["stats"]
+    return OrderOptimizer(
+        symbolic["interesting"],
+        nfsm,
+        dfsm,
+        tables,
+        replace(stats, stage_ms=dict(stats.stage_ms)),
+        symbolic["options"],
+        fdset_aliases=symbolic["fdset_aliases"],
+        fingerprint=symbolic["fingerprint"],
+        mode=symbolic["mode"],
+    )
+
+
+def _rebuild_dfsm(nfsm, states: tuple, tables: PreparedTables) -> DFSM:
+    """Reconstruct the introspection DFSM from the loaded tables.
+
+    The transition table *contains* the machine: the FD columns are its FD
+    rows, and the start-state's producer columns are the entry edges.  Only
+    the ε-closed state sets travel separately (they are not derivable from
+    the numeric tables).
+    """
+    if len(states) != tables.state_count:
+        raise SerializationError(
+            f"{len(states)} DFSM state set(s) for {tables.state_count} table row(s)"
+        )
+    fd_count = len(tables.fd_symbols)
+    start_row = tables.transitions[tables.start_state]
+    return DFSM(
+        nfsm=nfsm,
+        states=states,
+        fd_transitions=tuple(
+            tuple(row[:fd_count]) for row in tables.transitions
+        ),
+        producer_transitions={
+            order: start_row[fd_count + i]
+            for i, order in enumerate(tables.producer_orders)
+        },
+        start=tables.start_state,
+    )
+
+
+__all__ = [
+    "SerializationError",
+    "TABLE_CODEC_VERSION",
+    "decode_optimizer",
+    "decode_tables",
+    "encode_optimizer",
+    "encode_tables",
+]

@@ -62,6 +62,26 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 
 ENGINES = ("row", "vector", "numpy")
 
+# One fallback warning per process: every session construction, pool shard,
+# and CLI invocation resolves the engine name, and a no-NumPy environment
+# would otherwise re-warn on each of them (a sharded `batch` run printed
+# dozens of identical lines).  The condition cannot un-happen within a
+# process, so one line says everything.
+_numpy_fallback_warned = False
+
+
+def _warn_numpy_fallback() -> None:
+    global _numpy_fallback_warned
+    if _numpy_fallback_warned:
+        return
+    _numpy_fallback_warned = True
+    warnings.warn(
+        "NumPy is not installed; the numpy engine falls back to the "
+        "vector engine (pip install 'repro-order-optimization[speed]')",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 def resolve_engine_name(name: str) -> str:
     """Validate an engine name and apply the NumPy fallback contract.
@@ -69,20 +89,16 @@ def resolve_engine_name(name: str) -> str:
     An unknown name raises — at configuration time, not per-query.  The
     ``numpy`` engine degrades gracefully: without NumPy installed it
     resolves to ``vector`` (same answers, pure Python) with a one-line
-    warning, so a config or ``REPRO_EXEC_ENGINE`` pin never breaks an
-    environment that lacks the ``[speed]`` extra.
+    warning — emitted once per process, not per resolution — so a config
+    or ``REPRO_EXEC_ENGINE`` pin never breaks (or spams) an environment
+    that lacks the ``[speed]`` extra.
     """
     if name not in ENGINES:
         raise ValueError(
             f"unknown execution engine {name!r}; available: {', '.join(ENGINES)}"
         )
-    if name == "numpy" and not NUMPY_AVAILABLE:  # pragma: no cover - no-numpy env
-        warnings.warn(
-            "NumPy is not installed; the numpy engine falls back to the "
-            "vector engine (pip install 'repro-order-optimization[speed]')",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+    if name == "numpy" and not NUMPY_AVAILABLE:
+        _warn_numpy_fallback()
         return "vector"
     return name
 

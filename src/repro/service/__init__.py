@@ -18,6 +18,14 @@ statistics, and a :func:`repro.service.pool.process_batch` path for
 CPU-bound cold batches.  :class:`repro.service.server.PlanServer` serves
 the pool to concurrent network clients over an asyncio line protocol.
 
+The amortization even survives the process: an
+:class:`repro.service.artifacts.ArtifactStore` persists prepared machines
+as versioned on-disk artifacts keyed by canonical fingerprint, so a server
+restart (or a fresh batch worker) warm-loads the finished DFSM + tables
+instead of re-paying determinization.  Point ``SessionConfig(artifact_dir=
+...)`` (or ``REPRO_ARTIFACT_DIR``) at a directory and every session and
+pool shard checks the store before cold-building.
+
 Quickstart::
 
     from repro.catalog.tpch import tpch_catalog
@@ -33,6 +41,7 @@ Quickstart::
     print(session.statistics().describe())
 """
 
+from .artifacts import ArtifactStats, ArtifactStore, canonical_fingerprint
 from .cache import CacheStats, LRUCache
 from .pool import SessionPool, process_batch
 from .server import PlanServer, run_server
@@ -42,10 +51,13 @@ from .session import (
     SessionStatistics,
     analyze_for_config,
     canonical_query_key,
+    default_artifact_dir,
     default_prepare_mode,
 )
 
 __all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
     "CacheStats",
     "LRUCache",
     "OptimizationSession",
@@ -54,7 +66,9 @@ __all__ = [
     "SessionPool",
     "SessionStatistics",
     "analyze_for_config",
+    "canonical_fingerprint",
     "canonical_query_key",
+    "default_artifact_dir",
     "default_prepare_mode",
     "process_batch",
     "run_server",

@@ -1,0 +1,357 @@
+"""Persistent preparation artifacts: the one-time cost, amortized across
+process restarts.
+
+The paper's central trade is a one-time preparation cost (NFSM → DFSM
+determinization + order tables) amortized over many plan-generation
+calls.  The in-memory prepared-state cache amortizes it *within* a
+process; this module amortizes it *across* processes: a prepared
+:class:`~repro.core.optimizer.OrderOptimizer` is serialized once into a
+versioned on-disk artifact keyed by its canonical
+:class:`~repro.core.optimizer.PreparationFingerprint`, and every later
+process (server restart, batch worker, CI leg) loads the finished machine
+back instead of re-paying determinization.
+
+**File format** (``<canonical digest>.ropt``)::
+
+    magic   b"ROPT"
+    u16 LE  format version
+    u32 LE  header length
+    JSON    header: format/codec versions, fingerprint digest,
+            schema key, commit key, section lengths, body crc32
+    bytes   pickle section  (symbolic state — see repro.core.serialize)
+    bytes   table section   (numeric state — one frombytes on load)
+
+**Self-invalidation, never a wrong plan.**  :meth:`ArtifactStore.load`
+*never raises*: anything unexpected — a missing file, a truncated or
+bit-flipped body, a foreign format version, an artifact written by a
+different schema/commit, even a digest collision — is recorded under an
+invalidation reason in :class:`ArtifactStats` and answered with ``None``,
+which the caller treats as a plain cache miss (cold build).  The
+commit/schema keys are checked *before* the pickle section is touched, so
+a stale on-disk layout is rejected by its header, not by an unpickling
+crash.  Degrading to a cold build is always correct because the artifact
+is a pure cache: the cold path recomputes exactly the same machine.
+
+**Concurrency.**  Saves write to a temporary file in the store directory
+and publish with :func:`os.replace`, so a concurrent reader sees either
+the previous artifact or the complete new one — never a torn write.  Two
+processes racing to save the same fingerprint both succeed (identical
+content; last replace wins).  Within one process the counters are
+lock-protected, so a :class:`~repro.service.pool.SessionPool` can hand a
+single store to every shard thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import subprocess
+import tempfile
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from .. import __version__
+from ..core.optimizer import OrderOptimizer, PreparationFingerprint
+from ..core.serialize import (
+    TABLE_CODEC_VERSION,
+    SerializationError,
+    decode_optimizer,
+    encode_optimizer,
+)
+
+MAGIC = b"ROPT"
+FORMAT_VERSION = 1
+ARTIFACT_SUFFIX = ".ropt"
+
+_HEAD = struct.Struct("<4sHI")  # magic, format version, header length
+
+
+def canonical_fingerprint(
+    fingerprint: PreparationFingerprint,
+) -> PreparationFingerprint:
+    """The store key of a fingerprint: enumerator/mode stripped.
+
+    Prepared state is independent of both the enumeration strategy and the
+    preparation mode (a frozen lazy machine answers identically to an eager
+    one), so the session cache's ``enumerator``/``mode`` key components
+    would only fragment the store and re-pay determinization per mode.
+    One artifact serves them all.
+    """
+    return replace(fingerprint, enumerator="", mode="eager")
+
+
+def default_schema_key() -> str:
+    """Layout key baked into every artifact header.
+
+    Combines the package version with the table-codec version: either
+    moving means the pickled dataclasses or the numeric sections may have
+    changed shape, and artifacts from the other layout must cold-build.
+    """
+    return f"repro-{__version__}/tables-{TABLE_CODEC_VERSION}"
+
+
+def default_commit_key() -> str:
+    """The repository HEAD commit, or the schema key outside a checkout.
+
+    Deployments that run from an installed package (no git) still get a
+    meaningful key — the package version — rather than an always-equal
+    constant.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - no git
+        return default_schema_key()
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else default_schema_key()
+
+
+@dataclass
+class ArtifactStats:
+    """Counters of one store (mirrored per-session into
+    :class:`~repro.service.session.SessionStatistics`)."""
+
+    hits: int = 0
+    misses: int = 0
+    saves: int = 0
+    save_failures: int = 0
+    invalidations: dict[str, int] = field(default_factory=dict)
+    """Rejected loads by reason: ``corrupt`` (bad magic/header/crc/decode),
+    ``truncated`` (body shorter than the header claims), ``version``
+    (foreign format or table-codec version), ``schema`` / ``commit``
+    (written by a different layout or source tree), ``fingerprint``
+    (digest filename collision).  Every one degrades to a cold build."""
+
+    @property
+    def loads(self) -> int:
+        return self.hits + self.misses
+
+    def add(self, other: "ArtifactStats") -> "ArtifactStats":
+        """Element-wise sum (aggregating per-worker stores)."""
+        invalidations = dict(self.invalidations)
+        for reason, count in other.invalidations.items():
+            invalidations[reason] = invalidations.get(reason, 0) + count
+        return ArtifactStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            saves=self.saves + other.saves,
+            save_failures=self.save_failures + other.save_failures,
+            invalidations=invalidations,
+        )
+
+    def describe(self) -> str:
+        by_reason = (
+            ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.invalidations.items())
+            )
+            or "none"
+        )
+        return (
+            f"{self.hits} warm load(s), {self.misses} miss(es), "
+            f"{self.saves} save(s), invalidations: {by_reason}"
+        )
+
+
+class ArtifactStore:
+    """A directory of preparation artifacts keyed by canonical fingerprint.
+
+    >>> store = ArtifactStore(tmp_path)
+    >>> store.save(optimizer)          # after a cold prepare
+    >>> warm = store.load(fingerprint) # next process: finished machine
+    >>> warm is None                   # ... or None — plain cache miss
+    False
+
+    ``schema_key``/``commit`` default to the current source tree's keys;
+    tests inject foreign values to exercise the self-invalidation paths.
+    ``check_commit=False`` accepts artifacts across commits that share a
+    schema key (an explicit opt-in for long-lived fleets; the default is
+    the conservative one).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        schema_key: str | None = None,
+        commit: str | None = None,
+        check_commit: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.schema_key = schema_key if schema_key is not None else default_schema_key()
+        self.commit = commit if commit is not None else default_commit_key()
+        self.check_commit = check_commit
+        self.stats = ArtifactStats()
+        self._lock = threading.Lock()
+
+    def path_for(self, fingerprint: PreparationFingerprint) -> Path:
+        """Where the artifact for ``fingerprint`` lives (existing or not)."""
+        return self.directory / (
+            canonical_fingerprint(fingerprint).digest() + ARTIFACT_SUFFIX
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*" + ARTIFACT_SUFFIX))
+
+    # -- save -----------------------------------------------------------------
+
+    def save(self, optimizer: OrderOptimizer) -> Path | None:
+        """Persist a prepared component; returns the path, or ``None``.
+
+        ``None`` means the component is unsaveable (no fingerprint — only
+        hand-rolled constructions lack one) or the write failed; a failed
+        save is counted, not raised — artifact persistence is an
+        optimization and must never take down the serving path.  A lazy
+        component is frozen dense first (forcing full materialization:
+        the artifact holds the complete machine, so a warm load replaces
+        the *whole* build cost).
+        """
+        fingerprint = optimizer.fingerprint
+        if fingerprint is None:
+            with self._lock:
+                self.stats.save_failures += 1
+            return None
+        path = self.path_for(fingerprint)
+        try:
+            table_meta, pickle_blob, table_blob = encode_optimizer(optimizer)
+            header = json.dumps(
+                {
+                    "format": FORMAT_VERSION,
+                    "tables": table_meta,
+                    "digest": canonical_fingerprint(fingerprint).digest(),
+                    "schema": self.schema_key,
+                    "commit": self.commit,
+                    "pickle_len": len(pickle_blob),
+                    "table_len": len(table_blob),
+                    "crc": zlib.crc32(pickle_blob + table_blob),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            payload = (
+                _HEAD.pack(MAGIC, FORMAT_VERSION, len(header))
+                + header
+                + pickle_blob
+                + table_blob
+            )
+            # Atomic publish: a concurrent reader sees the old artifact or
+            # the whole new one, never a partial write.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=ARTIFACT_SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            with self._lock:
+                self.stats.save_failures += 1
+            return None
+        with self._lock:
+            self.stats.saves += 1
+        return path
+
+    # -- load -----------------------------------------------------------------
+
+    def load(self, fingerprint: PreparationFingerprint) -> OrderOptimizer | None:
+        """The stored prepared component for ``fingerprint``, or ``None``.
+
+        Never raises.  ``None`` covers both a plain miss (no artifact) and
+        every invalidation (see :class:`ArtifactStats.invalidations`) — the
+        caller cold-builds either way, which is always correct because the
+        artifact is a pure cache of a deterministic computation.
+        """
+        started = time.perf_counter()
+        path = self.path_for(fingerprint)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        reason = "corrupt"
+        try:
+            if len(raw) < _HEAD.size:
+                raise SerializationError("shorter than the fixed head")
+            magic, version, header_len = _HEAD.unpack_from(raw)
+            if magic != MAGIC:
+                raise SerializationError(f"bad magic {magic!r}")
+            if version != FORMAT_VERSION:
+                reason = "version"
+                raise SerializationError(f"format version {version}")
+            body_at = _HEAD.size + header_len
+            header = json.loads(raw[_HEAD.size : body_at].decode("utf-8"))
+            if header.get("format") != FORMAT_VERSION:
+                reason = "version"
+                raise SerializationError("header format disagrees with head")
+            if header.get("schema") != self.schema_key:
+                reason = "schema"
+                raise SerializationError(f"schema {header.get('schema')!r}")
+            if self.check_commit and header.get("commit") != self.commit:
+                reason = "commit"
+                raise SerializationError(f"commit {header.get('commit')!r}")
+            wanted = canonical_fingerprint(fingerprint)
+            if header.get("digest") != wanted.digest():
+                reason = "fingerprint"
+                raise SerializationError("digest names a different preparation")
+            pickle_len = int(header["pickle_len"])
+            table_len = int(header["table_len"])
+            body = raw[body_at:]
+            if len(body) != pickle_len + table_len:
+                reason = "truncated"
+                raise SerializationError(
+                    f"body is {len(body)} byte(s), "
+                    f"header claims {pickle_len + table_len}"
+                )
+            if zlib.crc32(body) != header.get("crc"):
+                raise SerializationError("body crc mismatch")
+            optimizer = decode_optimizer(
+                header["tables"], body[:pickle_len], body[pickle_len:]
+            )
+            loaded = optimizer.fingerprint
+            if loaded is None or canonical_fingerprint(loaded) != wanted:
+                # The digest matched but the full fingerprint does not: a
+                # 64-bit collision (or a hand-edited file).  Serving it
+                # would be a wrong plan; a cold build never is.
+                reason = "fingerprint"
+                raise SerializationError("fingerprint collision")
+        except Exception:
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.invalidations[reason] = (
+                    self.stats.invalidations.get(reason, 0) + 1
+                )
+            return None
+        optimizer.stats.stage_ms["artifact_load"] = (
+            time.perf_counter() - started
+        ) * 1000.0
+        with self._lock:
+            self.stats.hits += 1
+        return optimizer
+
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "ArtifactStats",
+    "ArtifactStore",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "canonical_fingerprint",
+    "default_commit_key",
+    "default_schema_key",
+]

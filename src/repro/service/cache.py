@@ -77,15 +77,30 @@ class LRUCache(Generic[V]):
     users can opt in via ``SessionConfig(enforce_single_owner=True)``.
     Read-only introspection (``len``, ``in``, ``keys``, ``stats``) is not
     checked — statistics snapshots are taken from the facade thread.
+
+    ``on_evict`` is called with ``(key, value)`` for every entry that
+    leaves the cache — LRU eviction in ``put`` and ``clear`` — *never*
+    for a ``put`` that refreshes an existing key.  The session uses it to
+    bank per-entry counters (materialized DFSM states) before the entry
+    disappears, keeping cumulative statistics monotone across evictions.
+    The hook runs on the owner thread and must not touch the cache
+    reentrantly.
     """
 
-    def __init__(self, capacity: int, *, check_owner: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        check_owner: bool = False,
+        on_evict: Callable[[Hashable, V], None] | None = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, V] = OrderedDict()
         self._check_owner = check_owner
+        self._on_evict = on_evict
         self._owner: int | None = None
 
     def _assert_owner(self) -> None:
@@ -123,8 +138,10 @@ class LRUCache(Generic[V]):
             self._entries.move_to_end(key)
         self._entries[key] = value
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_key, evicted_value = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, evicted_value)
 
     def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
         """Return the cached value, building and storing it on a miss."""
@@ -135,8 +152,11 @@ class LRUCache(Generic[V]):
         return value
 
     def clear(self) -> None:
-        """Drop all entries (statistics are kept)."""
+        """Drop all entries (statistics are kept; ``on_evict`` sees each)."""
         self._assert_owner()
+        if self._on_evict is not None:
+            for key, value in self._entries.items():
+                self._on_evict(key, value)
         self._entries.clear()
 
     def __len__(self) -> int:

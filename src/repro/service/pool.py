@@ -50,6 +50,7 @@ from ..plangen.cost import DEFAULT_COST_MODEL, CostModel
 from ..plangen.dp import PlanGenResult
 from ..query.analyzer import QueryOrderInfo
 from ..query.query import QuerySpec
+from .artifacts import ArtifactStore
 from .session import (
     OptimizationSession,
     SessionConfig,
@@ -89,12 +90,23 @@ class SessionPool:
         # `config or SessionConfig()` at call time: the default reads
         # REPRO_PREPARE_MODE, which must track the live environment.
         self.config = replace(config or SessionConfig(), enforce_single_owner=True)
+        # One persistent artifact store shared by every shard: its counters
+        # are lock-protected and the files publish atomically, so shard
+        # threads need no further coordination.  (The process path shares
+        # through the filesystem instead — the directory travels in the
+        # pickled config and every worker opens its own store over it.)
+        self._artifact_store = (
+            ArtifactStore(self.config.artifact_dir)
+            if self.config.artifact_dir
+            else None
+        )
         self._sessions = [
             OptimizationSession(
                 catalog,
                 cost_model=cost_model,
                 backend_factory=backend_factory,
                 config=self.config,
+                artifact_store=self._artifact_store,
             )
             for _ in range(n_shards)
         ]
@@ -103,6 +115,11 @@ class SessionPool:
             for i in range(n_shards)
         ]
         self._closed = False
+
+    @property
+    def artifact_store(self) -> ArtifactStore | None:
+        """The store every shard session shares, if one is configured."""
+        return self._artifact_store
 
     # -- routing --------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from ..bench import timed
 from ..catalog.schema import Catalog
 from ..query.sql import sql_to_query
 from .pool import SessionPool
+from .session import SessionConfig
 
 #: Frame terminator: responses end with exactly one empty line.
 END_OF_RESPONSE = "\n\n"
@@ -61,6 +62,11 @@ class PlanServer:
         self.port = port
         self._server: asyncio.base_events.Server | None = None
         self.connections_served = 0
+        self.connections_reset = 0
+        """Connections that ended abruptly (client reset / broken pipe
+        mid-frame) instead of via EOF or ``\\quit``.  Handled, counted, and
+        otherwise identical to a clean close — an rude client must neither
+        crash its handler task nor leak the connection accounting."""
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -129,6 +135,13 @@ class PlanServer:
             # Loop shutdown while idle in readline(): close quietly; a
             # connection handler has nobody upstream to propagate to.
             pass
+        except ConnectionError:
+            # The client vanished mid-conversation: readline() raises
+            # ConnectionResetError on an RST, write()/drain() raise
+            # BrokenPipeError once the peer is gone.  Nobody is left to
+            # answer, so treat it as a disconnect — never let it escape as
+            # an unhandled task exception.
+            self.connections_reset += 1
         finally:
             writer.close()
             try:
@@ -143,6 +156,7 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 7777,
     n_shards: int = 4,
+    config: "SessionConfig | None" = None,
     started: "Callable[[PlanServer], None] | None" = None,
     shutdown: "threading.Event | None" = None,
 ) -> SessionPool:
@@ -151,10 +165,12 @@ def run_server(
     ``started`` is called with the live server once the port is bound
     (embedders and tests use it to learn an ephemeral port); setting the
     ``shutdown`` event from any thread stops the server cooperatively —
-    without one, only ``KeyboardInterrupt`` ends the loop.  Returns the
-    (closed) pool so the caller can print final statistics.
+    without one, only ``KeyboardInterrupt`` ends the loop.  ``config``
+    configures the shard sessions (notably ``artifact_dir`` for a
+    warm-started fleet).  Returns the (closed) pool so the caller can
+    print final statistics.
     """
-    pool = SessionPool(catalog, n_shards=n_shards)
+    pool = SessionPool(catalog, n_shards=n_shards, config=config)
 
     async def main() -> None:
         server = PlanServer(pool, catalog, host=host, port=port)

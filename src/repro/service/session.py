@@ -40,6 +40,7 @@ from ..catalog.schema import Catalog
 from ..core.optimizer import (
     BuilderOptions,
     OrderOptimizer,
+    PreparationFingerprint,
     preparation_fingerprint,
     resolve_preparation_mode,
 )
@@ -58,6 +59,7 @@ from ..plangen.enumerate import resolve_enumerator
 from ..query.analyzer import QueryOrderInfo, analyze
 from ..query.predicates import EqualsConstant, RangePredicate
 from ..query.query import QuerySpec
+from .artifacts import ArtifactStore
 from .cache import CacheStats, LRUCache
 
 
@@ -110,6 +112,17 @@ def default_prepare_mode() -> str:
     return mode
 
 
+def default_artifact_dir() -> str:
+    """The environment-configured artifact directory (``REPRO_ARTIFACT_DIR``).
+
+    Read per :class:`SessionConfig` construction, like the preparation
+    mode: a deployment or CI leg points the whole service stack at a
+    persistent store without touching call sites.  Unset or empty means no
+    store — sessions cold-build exactly as before.
+    """
+    return os.environ.get("REPRO_ARTIFACT_DIR", "")
+
+
 @dataclass(frozen=True)
 class SessionConfig:
     """Cache sizing and optimizer configuration of one session.
@@ -144,6 +157,16 @@ class SessionConfig:
 
     batch_size: int = 1024
     """Target rows per batch of the vectorized execution pipeline."""
+
+    artifact_dir: str = field(default_factory=default_artifact_dir)
+    """Directory of the persistent preparation-artifact store
+    (:class:`repro.service.artifacts.ArtifactStore`), or ``""`` for none.
+    With a store, a prepared-cache miss first tries to *load* the finished
+    machine from disk (warm start — the one-time cost was paid by an
+    earlier process) and saves what it cold-builds for the next one.
+    Defaults to the ``REPRO_ARTIFACT_DIR`` environment variable.  A plain
+    string so the config pickles to ``process_batch`` workers unchanged —
+    every worker opens its own store over the shared directory."""
 
 
 def analyze_for_config(spec: QuerySpec, config: SessionConfig) -> QueryOrderInfo:
@@ -183,15 +206,34 @@ class SessionStatistics:
     requested mode, matching the cache key."""
 
     states_materialized: int = 0
-    """DFSM states currently materialized across the session's *live*
-    prepared-cache entries — a snapshot, like ``prepared_entries``.  Under
-    eager preparation this equals the summed full machine sizes; under lazy
-    it is the working set the served queries actually reached."""
+    """DFSM states materialized across the session's prepared-cache
+    entries: the live entries' current counts *plus* the counts banked from
+    every evicted entry (via the cache's eviction hook), so the counter is
+    monotone across snapshots — an eviction between two reads can no longer
+    make it go backwards.  Under eager preparation this tracks the summed
+    full machine sizes; under lazy it is the working set the served queries
+    actually reached."""
 
     states_total_known: int = 0
-    """Summed full machine sizes over the live entries whose total is known
+    """Summed full machine sizes over the entries whose total is known
     (eager entries; lazy entries don't know theirs without forcing the
-    power set, which is the point)."""
+    power set, which is the point).  Like ``states_materialized``, evicted
+    entries stay counted — the metric is cumulative, not a live snapshot."""
+
+    artifact_hits: int = 0
+    """Prepared-cache misses served by a *warm load* from the persistent
+    artifact store instead of a cold build.  Counted per session (each
+    session counts its own loads), so per-shard statistics sum correctly
+    even when every shard shares one store."""
+
+    artifact_misses: int = 0
+    """Prepared-cache misses the store could not serve (no artifact, or a
+    stale/corrupt one that self-invalidated) — each one cold-built.  Zero
+    on sessions without a configured store."""
+
+    artifact_saves: int = 0
+    """Cold-built components persisted to the artifact store for the next
+    process to warm-load."""
 
     executions: int = 0
     """Plans physically executed through ``execute``/``explain_analyze``."""
@@ -242,6 +284,9 @@ class SessionStatistics:
             states_materialized=self.states_materialized
             + other.states_materialized,
             states_total_known=self.states_total_known + other.states_total_known,
+            artifact_hits=self.artifact_hits + other.artifact_hits,
+            artifact_misses=self.artifact_misses + other.artifact_misses,
+            artifact_saves=self.artifact_saves + other.artifact_saves,
             executions=self.executions + other.executions,
             exec_rows=self.exec_rows + other.exec_rows,
             exec_engines=self._merge_counts(self.exec_engines, other.exec_engines),
@@ -281,6 +326,9 @@ class SessionStatistics:
                 f"preparation       : {by_mode}; "
                 f"{self.states_materialized} DFSM state(s) materialized "
                 f"({self.states_total_known} known-total)",
+                f"artifacts         : {self.artifact_hits} warm load(s), "
+                f"{self.artifact_misses} cold build(s), "
+                f"{self.artifact_saves} save(s)",
                 f"executions        : {self.executions} run(s) ({by_engine}); "
                 f"{self.exec_rows} result row(s), "
                 f"{self.exec_sorts} physical sort(s)",
@@ -315,6 +363,7 @@ class OptimizationSession:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         backend_factory: Callable[[], OrderingBackend] | None = None,
         config: SessionConfig | None = None,
+        artifact_store: ArtifactStore | None = None,
     ) -> None:
         # Built per call, not as an import-time default argument: the config
         # default reads REPRO_PREPARE_MODE, which must reflect the
@@ -325,8 +374,27 @@ class OptimizationSession:
         self.config = config or SessionConfig()
         config = self.config
         self._backend_factory = backend_factory
+        # The persistent preparation-artifact store: an injected instance
+        # wins (the pool shares one across all shards); otherwise the
+        # config's directory, if any, gets a private store.
+        if artifact_store is not None:
+            self._artifacts: ArtifactStore | None = artifact_store
+        elif config.artifact_dir:
+            self._artifacts = ArtifactStore(config.artifact_dir)
+        else:
+            self._artifacts = None
+        self._artifact_hits = 0
+        self._artifact_misses = 0
+        self._artifact_saves = 0
+        # Counts banked from evicted entries keep the states-materialized
+        # statistics monotone: an eviction moves an entry's contribution
+        # from the live sum into these totals instead of dropping it.
+        self._states_retired = 0
+        self._states_total_retired = 0
         self._prepared: LRUCache[OrderOptimizer] = LRUCache(
-            config.prepared_cache_size, check_owner=config.enforce_single_owner
+            config.prepared_cache_size,
+            check_owner=config.enforce_single_owner,
+            on_evict=self._retire_prepared,
         )
         # Plan-cache values keep the spec alive so the id(catalog) component
         # of the key cannot be recycled while the entry is cached.
@@ -354,6 +422,20 @@ class OptimizationSession:
 
     # -- prepared-state cache -------------------------------------------------
 
+    def _retire_prepared(self, key: object, optimizer: OrderOptimizer) -> None:
+        """Bank an evicted entry's materialization counts.
+
+        Installed as the prepared cache's eviction hook so
+        ``states_materialized`` / ``states_total_known`` stay monotone: the
+        entry's contribution moves from the live sum into the retired
+        totals the moment it leaves the cache, instead of silently
+        vanishing between two ``statistics()`` snapshots."""
+        tables = optimizer.tables
+        self._states_retired += tables.states_materialized
+        total = tables.states_total
+        if total is not None:
+            self._states_total_retired += total
+
     def _cached_prepare(
         self,
         info: QueryOrderInfo,
@@ -378,12 +460,32 @@ class OptimizationSession:
         key = preparation_fingerprint(
             info.interesting, info.fdsets, options, enumerator=enumerator, mode=mode
         )
-        return self._prepared.get_or_create(
-            key,
-            lambda: OrderOptimizer.prepare(
-                info.interesting, info.fdsets, options, mode=mode
-            ),
+        return self._prepared.get_or_create(key, lambda: self._prepare(key, info, mode))
+
+    def _prepare(
+        self, key: PreparationFingerprint, info: QueryOrderInfo, mode: str
+    ) -> OrderOptimizer:
+        """Produce a prepared component on a cache miss.
+
+        With an artifact store, a warm load comes first: an earlier process
+        already paid determinization for this fingerprint, so the finished
+        machine streams back from disk.  Anything the store cannot serve
+        (miss, stale, corrupt — it never raises) is cold-built here and
+        saved for the next process.
+        """
+        options = key.options
+        if self._artifacts is not None:
+            loaded = self._artifacts.load(key)
+            if loaded is not None:
+                self._artifact_hits += 1
+                return loaded
+            self._artifact_misses += 1
+        built = OrderOptimizer.prepare(
+            info.interesting, info.fdsets, options, mode=mode
         )
+        if self._artifacts is not None and self._artifacts.save(built) is not None:
+            self._artifact_saves += 1
+        return built
 
     def resolve_enumerator_for(self, spec: QuerySpec) -> str:
         """The enumeration strategy this session's config picks for ``spec``."""
@@ -552,10 +654,18 @@ class OptimizationSession:
 
     # -- introspection --------------------------------------------------------
 
+    @property
+    def artifact_store(self) -> ArtifactStore | None:
+        """The session's persistent artifact store, if one is configured."""
+        return self._artifacts
+
     def statistics(self) -> SessionStatistics:
         """Snapshot of the session's cumulative cache counters."""
-        states_materialized = 0
-        states_total_known = 0
+        # Live entries plus the counts banked by the eviction hook: the
+        # materialization counters are cumulative, so an eviction between
+        # two snapshots can never make them go backwards.
+        states_materialized = self._states_retired
+        states_total_known = self._states_total_retired
         for optimizer in self._prepared.values():
             tables = optimizer.tables
             states_materialized += tables.states_materialized
@@ -572,6 +682,9 @@ class OptimizationSession:
             prepare_modes=dict(self._mode_counts),
             states_materialized=states_materialized,
             states_total_known=states_total_known,
+            artifact_hits=self._artifact_hits,
+            artifact_misses=self._artifact_misses,
+            artifact_saves=self._artifact_saves,
             executions=self._executions,
             exec_rows=self._exec_rows,
             exec_engines=dict(self._exec_engines),

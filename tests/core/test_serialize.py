@@ -1,0 +1,218 @@
+"""Unit tests: the binary codec for prepared tables and optimizers.
+
+The artifact-level behavior (headers, self-invalidation, sessions) lives in
+``tests/service/test_artifacts.py``; this file pins the codec mechanics —
+what a round trip preserves, which malformed blobs are rejected, and the
+eager/lazy/minimized encoding variants.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.core.attributes import attrs
+from repro.core.dfsm import DFSM, LazyDFSM
+from repro.core.fd import Equation, FDSet
+from repro.core.interesting import InterestingOrders
+from repro.core.optimizer import BuilderOptions, OrderOptimizer
+from repro.core.ordering import Ordering
+from repro.core.serialize import (
+    SerializationError,
+    decode_optimizer,
+    decode_tables,
+    encode_optimizer,
+    encode_tables,
+)
+from repro.core.tables import LazyTables, PreparedTables
+
+
+def small_instance():
+    a, b, c = attrs("a", "b", "c")
+    interesting = InterestingOrders.of([Ordering([a, b])], [Ordering([c, b])])
+    fdsets = (FDSet(frozenset({Equation(a, c)})),)
+    return interesting, fdsets
+
+
+def assert_tables_identical(left: PreparedTables, right: PreparedTables) -> None:
+    """Bit-identical lookup behavior: every row, every cell, every symbol."""
+    assert left.start_state == right.start_state
+    assert left.testable_orders == right.testable_orders
+    assert left.fd_symbols == right.fd_symbols
+    assert left.producer_orders == right.producer_orders
+    assert tuple(left.contains_rows) == tuple(right.contains_rows)
+    assert [list(row) for row in left.transitions] == [
+        list(row) for row in right.transitions
+    ]
+
+
+class TestTableCodec:
+    def test_round_trip_is_bit_identical(self):
+        opt = OrderOptimizer.prepare(*small_instance())
+        meta, blob = encode_tables(opt.tables)
+        decoded = decode_tables(
+            meta,
+            blob,
+            testable_orders=opt.tables.testable_orders,
+            fd_symbols=opt.tables.fd_symbols,
+            producer_orders=opt.tables.producer_orders,
+        )
+        assert_tables_identical(opt.tables, decoded)
+
+    def test_decoded_rows_are_arrays_not_python_lists(self):
+        # The warm path must land in the same array-backed representation
+        # the cold path builds — per-state rows sliced off one flat blob.
+        opt = OrderOptimizer.prepare(*small_instance())
+        meta, blob = encode_tables(opt.tables)
+        decoded = decode_tables(
+            meta,
+            blob,
+            testable_orders=opt.tables.testable_orders,
+            fd_symbols=opt.tables.fd_symbols,
+            producer_orders=opt.tables.producer_orders,
+        )
+        assert all(isinstance(row, array) for row in decoded.transitions)
+
+    def test_reencoding_a_decoded_table_is_stable(self):
+        # decode -> encode must reproduce the identical blob ('q' rows take
+        # the element-wise path only when widths differ; here they memcpy).
+        opt = OrderOptimizer.prepare(*small_instance())
+        meta, blob = encode_tables(opt.tables)
+        decoded = decode_tables(
+            meta,
+            blob,
+            testable_orders=opt.tables.testable_orders,
+            fd_symbols=opt.tables.fd_symbols,
+            producer_orders=opt.tables.producer_orders,
+        )
+        meta2, blob2 = encode_tables(decoded)
+        assert meta2 == meta
+        assert blob2 == blob
+
+    def test_codec_version_mismatch_rejected(self):
+        opt = OrderOptimizer.prepare(*small_instance())
+        meta, blob = encode_tables(opt.tables)
+        with pytest.raises(SerializationError, match="codec"):
+            decode_tables(
+                {**meta, "codec": 999},
+                blob,
+                testable_orders=opt.tables.testable_orders,
+                fd_symbols=opt.tables.fd_symbols,
+                producer_orders=opt.tables.producer_orders,
+            )
+
+    def test_truncated_blob_rejected(self):
+        opt = OrderOptimizer.prepare(*small_instance())
+        meta, blob = encode_tables(opt.tables)
+        with pytest.raises(SerializationError, match="byte"):
+            decode_tables(
+                meta,
+                blob[:-1],
+                testable_orders=opt.tables.testable_orders,
+                fd_symbols=opt.tables.fd_symbols,
+                producer_orders=opt.tables.producer_orders,
+            )
+
+    def test_symbol_shape_mismatch_rejected(self):
+        opt = OrderOptimizer.prepare(*small_instance())
+        meta, blob = encode_tables(opt.tables)
+        with pytest.raises(SerializationError, match="symbolic"):
+            decode_tables(
+                meta,
+                blob,
+                testable_orders=opt.tables.testable_orders,
+                fd_symbols=(),
+                producer_orders=opt.tables.producer_orders,
+            )
+
+
+def drive_everywhere(optimizer: OrderOptimizer, interesting, fdsets):
+    """Exhaustively observe a component: every entry state, every testable
+    order, every FD transition from every reachable state."""
+    fd_handles = [optimizer.fdset_handle(f) for f in fdsets]
+    testable = range(len(optimizer.tables.testable_orders))
+    seen = {}
+    frontier = [optimizer.scan_state()]
+    for order in interesting.produced:
+        frontier.append(
+            optimizer.state_for_produced(optimizer.producer_handle(order))
+        )
+    while frontier:
+        state = frontier.pop()
+        if state in seen:
+            continue
+        answers = tuple(optimizer.contains(state, h) for h in testable)
+        successors = tuple(optimizer.infer(state, h) for h in fd_handles)
+        seen[state] = (answers, successors)
+        frontier.extend(successors)
+    return seen
+
+
+class TestOptimizerCodec:
+    @pytest.mark.parametrize("mode", ["eager", "lazy"])
+    def test_round_trip_answers_identically(self, mode):
+        interesting, fdsets = small_instance()
+        original = OrderOptimizer.prepare(interesting, fdsets, mode=mode)
+        # Drive the original BEFORE encoding (a lazy machine grows) and
+        # freeze-encode afterwards: answers must agree regardless.
+        before = drive_everywhere(original, interesting, fdsets)
+        decoded = decode_optimizer(*encode_optimizer(original))
+        assert drive_everywhere(decoded, interesting, fdsets) == before
+        assert drive_everywhere(original, interesting, fdsets) == before
+
+    def test_lazy_component_is_frozen_dense_on_encode(self):
+        interesting, fdsets = small_instance()
+        lazy = OrderOptimizer.prepare(interesting, fdsets, mode="lazy")
+        decoded = decode_optimizer(*encode_optimizer(lazy))
+        assert isinstance(decoded.tables, PreparedTables)
+        assert not isinstance(decoded.tables, LazyTables)
+        # The artifact holds the complete machine, not the visited subset.
+        eager = OrderOptimizer.prepare(interesting, fdsets)
+        assert decoded.tables.state_count == eager.tables.states_total
+
+    def test_round_trip_preserves_metadata(self):
+        interesting, fdsets = small_instance()
+        original = OrderOptimizer.prepare(interesting, fdsets)
+        decoded = decode_optimizer(*encode_optimizer(original))
+        assert decoded.fingerprint == original.fingerprint
+        assert decoded.options == original.options
+        assert decoded.mode == original.mode
+        assert decoded.stats.dfsm_states == original.stats.dfsm_states
+        assert tuple(decoded.dfsm.states) == tuple(original.dfsm.states)
+        assert decoded.dfsm.fd_transitions == original.dfsm.fd_transitions
+        assert decoded.dfsm.producer_transitions == original.dfsm.producer_transitions
+
+    def test_decoded_stats_are_independent(self):
+        # The store stamps stage_ms["artifact_load"] on loaded components;
+        # that must never leak into the encoded blob's source object.
+        original = OrderOptimizer.prepare(*small_instance())
+        decoded = decode_optimizer(*encode_optimizer(original))
+        decoded.stats.stage_ms["artifact_load"] = 1.0
+        assert "artifact_load" not in original.stats.stage_ms
+
+    def test_minimized_tables_round_trip(self):
+        interesting, fdsets = small_instance()
+        options = BuilderOptions(minimize_dfsm=True)
+        original = OrderOptimizer.prepare(interesting, fdsets, options)
+        # Minimization can shrink the tables below the unminimized machine;
+        # the codec must keep both views consistent either way.
+        decoded = decode_optimizer(*encode_optimizer(original))
+        assert drive_everywhere(
+            decoded, interesting, fdsets
+        ) == drive_everywhere(original, interesting, fdsets)
+        assert tuple(decoded.dfsm.states) == tuple(original.dfsm.states)
+
+    def test_garbage_pickle_section_rejected(self):
+        original = OrderOptimizer.prepare(*small_instance())
+        meta, _, table_blob = encode_optimizer(original)
+        with pytest.raises(SerializationError, match="symbolic"):
+            decode_optimizer(meta, b"not a pickle", table_blob)
+
+    def test_wrong_shaped_pickle_section_rejected(self):
+        import pickle
+
+        original = OrderOptimizer.prepare(*small_instance())
+        meta, _, table_blob = encode_optimizer(original)
+        with pytest.raises(SerializationError, match="shape"):
+            decode_optimizer(meta, pickle.dumps(["wrong"]), table_blob)

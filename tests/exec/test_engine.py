@@ -171,6 +171,53 @@ class TestEngineContract:
             dataset.batch("nope")
 
 
+class TestNumpyFallbackWarning:
+    """The numpy→vector fallback warns once per process, not per resolution."""
+
+    @pytest.fixture(autouse=True)
+    def no_numpy(self, monkeypatch):
+        from repro.exec import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "NUMPY_AVAILABLE", False)
+        monkeypatch.setattr(engine_module, "_numpy_fallback_warned", False)
+
+    def test_fallback_resolves_to_vector_with_a_warning(self):
+        from repro.exec.engine import resolve_engine_name
+
+        with pytest.warns(RuntimeWarning, match="falls back"):
+            assert resolve_engine_name("numpy") == "vector"
+
+    def test_warning_fires_once_across_repeated_resolutions(self, recwarn):
+        from repro.exec.engine import resolve_engine_name
+
+        for _ in range(5):
+            assert resolve_engine_name("numpy") == "vector"
+        fallback = [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(fallback) == 1
+
+    def test_make_engine_shares_the_once_latch(self, recwarn, monkeypatch):
+        # Both entry points (explicit name, env default) funnel through the
+        # same per-process latch: a batch run resolving per shard must not
+        # print a warning per shard.
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "numpy")
+        assert make_engine("numpy").name == "vector"
+        assert default_engine_name() == "vector"
+        assert make_engine().name == "vector"
+        fallback = [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(fallback) == 1
+
+    def test_other_engines_never_warn(self, recwarn):
+        from repro.exec.engine import resolve_engine_name
+
+        assert resolve_engine_name("vector") == "vector"
+        assert resolve_engine_name("row") == "row"
+        assert not recwarn.list
+
+
 class TestEngineEdgeCases:
     def setup_method(self):
         self.spec = random_join_query(GeneratorConfig(n_relations=2, seed=9))

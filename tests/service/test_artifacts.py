@@ -1,0 +1,465 @@
+"""Tests for the persistent preparation-artifact store.
+
+The contract under test: a stored artifact makes a *later process* start
+warm (bit-identical machine, no determinization), and **anything** wrong
+with an artifact — corruption, truncation, a foreign format/schema/commit,
+a digest collision, a concurrent writer — degrades to a cold build with a
+recorded invalidation stat.  Never a crash, never a wrong plan.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.optimizer import OrderOptimizer, preparation_fingerprint
+from repro.core.ordering import Ordering
+from repro.query.analyzer import analyze
+from repro.query.predicates import EqualsConstant, JoinPredicate
+from repro.query.query import QuerySpec, make_query
+from repro.service import (
+    ArtifactStore,
+    OptimizationSession,
+    SessionConfig,
+    SessionPool,
+    canonical_fingerprint,
+    process_batch,
+)
+from repro.service.artifacts import (
+    ARTIFACT_SUFFIX,
+    FORMAT_VERSION,
+    default_commit_key,
+    default_schema_key,
+)
+from repro.workloads import template_workload
+
+
+def demo_catalog() -> Catalog:
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+        .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+    )
+
+
+def demo_query(catalog: Catalog, constant: str | None = None, name: str = "q") -> QuerySpec:
+    selections = ()
+    if constant is not None:
+        selections = (EqualsConstant(Attribute("name", "persons"), constant),)
+    return make_query(
+        catalog,
+        ["persons", "jobs"],
+        joins=[
+            JoinPredicate(Attribute("jobid", "persons"), Attribute("id", "jobs"))
+        ],
+        selections=selections,
+        order_by=Ordering([Attribute("id", "jobs")]),
+        name=name,
+    )
+
+
+def prepared_component(mode: str = "eager") -> OrderOptimizer:
+    info = analyze(demo_query(demo_catalog(), "alice"))
+    return OrderOptimizer.prepare(info.interesting, info.fdsets, mode=mode)
+
+
+# -- store mechanics -----------------------------------------------------------
+
+
+class TestStoreMechanics:
+    def test_save_then_load_round_trips(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        optimizer = prepared_component()
+        path = store.save(optimizer)
+        assert path is not None and path.exists()
+        assert path.suffix == ARTIFACT_SUFFIX
+        loaded = store.load(optimizer.fingerprint)
+        assert loaded is not None
+        assert loaded.fingerprint == optimizer.fingerprint
+        assert tuple(loaded.tables.contains_rows) == tuple(
+            optimizer.tables.contains_rows
+        )
+        assert store.stats.hits == 1 and store.stats.saves == 1
+        assert "artifact_load" in loaded.stats.stage_ms
+
+    def test_missing_artifact_is_a_plain_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load(prepared_component().fingerprint) is None
+        assert store.stats.misses == 1
+        assert store.stats.invalidations == {}
+
+    def test_canonical_key_strips_enumerator_and_mode(self, tmp_path):
+        info = analyze(demo_query(demo_catalog(), "alice"))
+        base = preparation_fingerprint(info.interesting, info.fdsets)
+        variant = preparation_fingerprint(
+            info.interesting, info.fdsets, enumerator="dpccp", mode="lazy"
+        )
+        assert canonical_fingerprint(variant) == canonical_fingerprint(base)
+        store = ArtifactStore(tmp_path)
+        assert store.path_for(variant) == store.path_for(base)
+
+    def test_one_artifact_serves_both_preparation_modes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(prepared_component("eager"))
+        assert len(store) == 1
+        lazy = prepared_component("lazy")
+        assert store.path_for(lazy.fingerprint).exists()
+        loaded = store.load(lazy.fingerprint)
+        assert loaded is not None
+        eager = prepared_component("eager")
+        assert tuple(loaded.tables.contains_rows) == tuple(
+            eager.tables.contains_rows
+        )
+
+    def test_save_without_fingerprint_fails_softly(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        optimizer = prepared_component()
+        bare = OrderOptimizer(
+            optimizer.interesting,
+            optimizer.nfsm,
+            optimizer.dfsm,
+            optimizer.tables,
+            optimizer.stats,
+            optimizer.options,
+        )
+        assert bare.fingerprint is None
+        assert store.save(bare) is None
+        assert store.stats.save_failures == 1
+        assert len(store) == 0
+
+    def test_save_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        optimizer = prepared_component()
+        first = store.save(optimizer)
+        second = store.save(optimizer)
+        assert first == second
+        assert len(store) == 1
+        assert store.load(optimizer.fingerprint) is not None
+
+    def test_stats_add_merges_invalidations(self):
+        from repro.service import ArtifactStats
+
+        a = ArtifactStats(hits=1, invalidations={"corrupt": 1})
+        b = ArtifactStats(misses=2, invalidations={"corrupt": 2, "schema": 1})
+        merged = a.add(b)
+        assert merged.hits == 1 and merged.misses == 2
+        assert merged.loads == 3
+        assert merged.invalidations == {"corrupt": 3, "schema": 1}
+        assert "corrupt=3" in merged.describe()
+
+
+# -- self-invalidation: every broken-artifact path degrades to a cold build ----
+
+
+def _mangle(path: Path, mutate) -> None:
+    raw = bytearray(path.read_bytes())
+    mutate(raw)
+    path.write_bytes(bytes(raw))
+
+
+class TestSelfInvalidation:
+    @pytest.fixture()
+    def stored(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        optimizer = prepared_component()
+        path = store.save(optimizer)
+        return store, optimizer.fingerprint, path
+
+    def assert_invalidated(self, store, fingerprint, reason):
+        assert store.load(fingerprint) is None
+        assert store.stats.invalidations.get(reason, 0) >= 1, (
+            reason,
+            store.stats.invalidations,
+        )
+
+    def test_bad_magic_is_corrupt(self, stored):
+        store, fingerprint, path = stored
+        _mangle(path, lambda raw: raw.__setitem__(slice(0, 4), b"JUNK"))
+        self.assert_invalidated(store, fingerprint, "corrupt")
+
+    def test_bit_flip_in_body_is_corrupt(self, stored):
+        store, fingerprint, path = stored
+        _mangle(path, lambda raw: raw.__setitem__(-10, raw[-10] ^ 0xFF))
+        self.assert_invalidated(store, fingerprint, "corrupt")
+
+    def test_truncated_file_is_rejected(self, stored):
+        store, fingerprint, path = stored
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        self.assert_invalidated(store, fingerprint, "truncated")
+
+    def test_truncated_below_the_fixed_head_is_corrupt(self, stored):
+        store, fingerprint, path = stored
+        path.write_bytes(b"RO")
+        self.assert_invalidated(store, fingerprint, "corrupt")
+
+    def test_foreign_format_version_is_rejected(self, stored):
+        store, fingerprint, path = stored
+
+        def bump_version(raw):
+            struct.pack_into("<H", raw, 4, FORMAT_VERSION + 1)
+
+        _mangle(path, bump_version)
+        self.assert_invalidated(store, fingerprint, "version")
+
+    def test_schema_mismatch_is_rejected(self, stored):
+        store, fingerprint, path = stored
+        foreign = ArtifactStore(store.directory, schema_key="repro-0.0.0/tables-0")
+        foreign.load(fingerprint)
+        assert foreign.stats.invalidations == {"schema": 1}
+
+    def test_commit_mismatch_is_rejected(self, stored):
+        store, fingerprint, path = stored
+        foreign = ArtifactStore(store.directory, commit="0000000")
+        foreign.load(fingerprint)
+        assert foreign.stats.invalidations == {"commit": 1}
+
+    def test_commit_check_can_be_waived(self, stored):
+        store, fingerprint, path = stored
+        lenient = ArtifactStore(
+            store.directory, commit="0000000", check_commit=False
+        )
+        assert lenient.load(fingerprint) is not None
+
+    def test_digest_collision_is_rejected(self, stored):
+        # An artifact whose header digest matches but whose full pickled
+        # fingerprint names a DIFFERENT preparation must not be served.
+        store, fingerprint, path = stored
+        info = analyze(demo_query(demo_catalog(), None))
+        collided = OrderOptimizer.prepare(info.interesting, info.fdsets)
+        assert collided.fingerprint != fingerprint
+        saved = store.save(collided)
+        # Simulate the collision: put the foreign artifact at our digest.
+        saved.replace(path)
+        self.assert_invalidated(store, fingerprint, "fingerprint")
+
+    def test_load_never_raises_even_on_unreadable_header_json(self, stored):
+        store, fingerprint, path = stored
+        head = path.read_bytes()[: struct.calcsize("<4sHI")]
+        path.write_bytes(head + b"\xff" * 64)
+        self.assert_invalidated(store, fingerprint, "corrupt")
+
+    def test_default_keys_are_nonempty_and_stable(self):
+        assert default_schema_key() == default_schema_key()
+        assert "tables-" in default_schema_key()
+        assert default_commit_key() == default_commit_key()
+        assert default_commit_key()
+
+
+# -- session and pool integration ---------------------------------------------
+
+
+class TestSessionIntegration:
+    def test_second_session_warm_loads(self, tmp_path):
+        catalog = demo_catalog()
+        config = SessionConfig(artifact_dir=str(tmp_path))
+        cold = OptimizationSession(catalog, config=config)
+        cold_result = cold.optimize(demo_query(catalog, "alice"))
+        cold_stats = cold.statistics()
+        assert cold_stats.artifact_misses == 1
+        assert cold_stats.artifact_saves == 1
+        assert cold_stats.artifact_hits == 0
+
+        warm = OptimizationSession(catalog, config=config)
+        warm_result = warm.optimize(demo_query(catalog, "bob"))
+        warm_stats = warm.statistics()
+        assert warm_stats.artifact_hits == 1
+        assert warm_stats.artifact_misses == 0
+        assert warm_result.best_plan.explain() == cold_result.best_plan.explain()
+        assert warm_result.best_plan.cost == cold_result.best_plan.cost
+
+    def test_plans_identical_with_and_without_store(self, tmp_path):
+        catalog = demo_catalog()
+        specs = template_workload(n_templates=3, repeats=2, seed=7)
+        baseline = OptimizationSession(config=SessionConfig())
+        expected = [
+            r.best_plan.explain() for r in baseline.optimize_batch(specs)
+        ]
+        config = SessionConfig(artifact_dir=str(tmp_path))
+        OptimizationSession(config=config).optimize_batch(specs)  # populate
+        warm = OptimizationSession(config=config)
+        got = [r.best_plan.explain() for r in warm.optimize_batch(specs)]
+        assert got == expected
+        assert warm.statistics().artifact_hits > 0
+
+    def test_lazy_session_served_by_eager_artifact(self, tmp_path):
+        catalog = demo_catalog()
+        eager_config = SessionConfig(
+            artifact_dir=str(tmp_path), prepare_mode="eager"
+        )
+        lazy_config = SessionConfig(
+            artifact_dir=str(tmp_path), prepare_mode="lazy"
+        )
+        eager_result = OptimizationSession(catalog, config=eager_config).optimize(
+            demo_query(catalog, "alice")
+        )
+        lazy_session = OptimizationSession(catalog, config=lazy_config)
+        lazy_result = lazy_session.optimize(demo_query(catalog, "bob"))
+        assert lazy_session.statistics().artifact_hits == 1
+        assert (
+            lazy_result.best_plan.explain() == eager_result.best_plan.explain()
+        )
+
+    def test_no_store_by_default(self):
+        session = OptimizationSession(config=SessionConfig())
+        assert session.artifact_store is None
+        stats = session.statistics()
+        assert stats.artifact_hits == stats.artifact_misses == 0
+
+    def test_env_var_configures_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        session = OptimizationSession(config=SessionConfig())
+        assert session.artifact_store is not None
+        assert session.artifact_store.directory == tmp_path
+
+    def test_statistics_describe_names_artifacts(self, tmp_path):
+        catalog = demo_catalog()
+        config = SessionConfig(artifact_dir=str(tmp_path))
+        session = OptimizationSession(catalog, config=config)
+        session.optimize(demo_query(catalog, "alice"))
+        assert "1 save(s)" in session.statistics().describe()
+
+    def test_broken_artifact_degrades_to_cold_build(self, tmp_path):
+        catalog = demo_catalog()
+        config = SessionConfig(artifact_dir=str(tmp_path))
+        baseline = OptimizationSession(catalog, config=config)
+        expected = baseline.optimize(demo_query(catalog, "alice"))
+        for artifact in Path(tmp_path).glob("*" + ARTIFACT_SUFFIX):
+            artifact.write_bytes(b"garbage")
+        session = OptimizationSession(catalog, config=config)
+        result = session.optimize(demo_query(catalog, "bob"))
+        stats = session.statistics()
+        assert stats.artifact_misses == 1  # invalidated, then cold-built
+        assert result.best_plan.explain() == expected.best_plan.explain()
+        assert session.artifact_store.stats.invalidations.get("corrupt") == 1
+
+    def test_pool_shares_one_store_across_shards(self, tmp_path):
+        config = SessionConfig(artifact_dir=str(tmp_path))
+        specs = template_workload(n_templates=4, repeats=2, seed=3)
+        with SessionPool(n_shards=3, config=config) as pool:
+            results = pool.optimize_batch(specs)
+            stats = pool.statistics()
+            store = pool.artifact_store
+            assert store is not None
+            # Every shard session reports into the same store object.
+            assert all(
+                s.artifact_store is store for s in pool._sessions
+            )
+            assert stats.artifact_saves == len(store)
+            assert len(store) > 0
+        baseline = OptimizationSession(config=SessionConfig())
+        expected = baseline.optimize_batch(specs)
+        assert [r.best_plan.explain() for r in results] == [
+            r.best_plan.explain() for r in expected
+        ]
+
+    def test_process_batch_workers_share_the_directory(self, tmp_path):
+        config = SessionConfig(artifact_dir=str(tmp_path))
+        specs = template_workload(n_templates=2, repeats=2, seed=5)
+        results, stats = process_batch(specs, workers=2, config=config)
+        assert len(results) == len(specs)
+        assert len(ArtifactStore(tmp_path)) > 0
+        # A later in-process session warm-loads what the workers stored.
+        warm = OptimizationSession(config=config)
+        warm.optimize_batch(specs)
+        assert warm.statistics().artifact_hits > 0
+
+
+# -- cross-process warm start --------------------------------------------------
+
+
+_SUBPROCESS_DRIVER = """
+from repro.catalog.schema import Catalog, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import Ordering
+from repro.query.predicates import EqualsConstant, JoinPredicate
+from repro.query.query import make_query
+from repro.service import OptimizationSession, SessionConfig
+
+catalog = (
+    Catalog()
+    .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+    .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+)
+spec = make_query(
+    catalog,
+    ["persons", "jobs"],
+    joins=[JoinPredicate(Attribute("jobid", "persons"), Attribute("id", "jobs"))],
+    selections=(EqualsConstant(Attribute("name", "persons"), "carol"),),
+    order_by=Ordering([Attribute("id", "jobs")]),
+    name="q",
+)
+config = SessionConfig(artifact_dir={artifact_dir!r})
+session = OptimizationSession(catalog, config=config)
+result = session.optimize(spec)
+stats = session.statistics()
+print(stats.artifact_hits, stats.artifact_misses, stats.artifact_saves)
+print(repr(result.best_plan.explain()))
+"""
+
+
+def _driver_env(hash_seed: str | None = None) -> dict[str, str]:
+    repo_root = Path(__file__).resolve().parents[2]
+    env = {**os.environ, "PYTHONPATH": str(repo_root / "src")}
+    if hash_seed is not None:
+        env["PYTHONHASHSEED"] = hash_seed
+    return env
+
+
+def _run_driver(tmp_path, hash_seed: str) -> tuple[tuple[int, int, int], str]:
+    code = _SUBPROCESS_DRIVER.format(artifact_dir=str(tmp_path))
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=_driver_env(hash_seed),
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    counts_line, plan_line = proc.stdout.strip().splitlines()
+    hits, misses, saves = (int(x) for x in counts_line.split())
+    return (hits, misses, saves), plan_line
+
+
+class TestCrossProcess:
+    def test_fresh_process_warm_loads_with_identical_plan(self, tmp_path):
+        # Different PYTHONHASHSEED per process: the artifact must be
+        # portable across hash-randomized interpreters, not just across
+        # forks of this one.
+        (hits, misses, saves), cold_plan = _run_driver(tmp_path, "101")
+        assert (hits, misses, saves) == (0, 1, 1)
+        (hits, misses, saves), warm_plan = _run_driver(tmp_path, "202")
+        assert (hits, misses, saves) == (1, 0, 0)
+        assert warm_plan == cold_plan
+
+    def test_two_processes_racing_on_an_empty_store_both_succeed(self, tmp_path):
+        # Worst-case duplicate work, never an error: both cold-build, both
+        # save (atomic replace; identical content), and a third run is warm.
+        procs = []
+        code = _SUBPROCESS_DRIVER.format(artifact_dir=str(tmp_path))
+        for _ in range(2):
+            procs.append(
+                subprocess.Popen(
+                    [sys.executable, "-c", code],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=_driver_env(),
+                )
+            )
+        outputs = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            outputs.append(out.strip().splitlines())
+        plans = {lines[1] for lines in outputs}
+        assert len(plans) == 1  # concurrent starts agree on the plan
+        (hits, misses, saves), _ = _run_driver(tmp_path, "7")
+        assert hits == 1 and misses == 0

@@ -169,6 +169,41 @@ def test_run_server_blocking_entry_point(capsys):
     assert not runner.is_alive()
 
 
+def test_abrupt_disconnect_mid_frame_is_counted_not_fatal():
+    """A client that dies mid-conversation (RST, not EOF) must not take its
+    handler task down — the server keeps serving and counts the reset."""
+
+    import socket
+    import struct
+
+    async def scenario(server, pool, catalog):
+        rude = await Client.connect(server)
+        # Pipeline a request, read one response byte, then close with
+        # SO_LINGER(0): the kernel sends an RST instead of a FIN, so the
+        # server's next readline()/drain() on this connection raises
+        # ConnectionResetError/BrokenPipeError instead of seeing EOF.
+        rude.writer.write((SQL_A + "\n").encode())
+        await rude.writer.drain()
+        await rude.reader.readexactly(1)
+        sock = rude.writer.get_extra_info("socket")
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        rude.writer.transport.abort()
+        for _ in range(500):
+            if server.connections_reset:
+                break
+            await asyncio.sleep(0.01)
+        assert server.connections_reset == 1
+        # Still accepting, still answering.
+        survivor = await Client.connect(server)
+        assert "-- cost" in await survivor.ask(SQL_A)
+        assert server.connections_served == 2
+        await survivor.close()
+
+    run_with_server(scenario)
+
+
 def test_quit_and_eof_both_close_cleanly():
     async def scenario(server, pool, catalog):
         quitter = await Client.connect(server)

@@ -441,6 +441,37 @@ def test_lazy_cache_entries_stay_warm_across_variants():
     assert after_second == after_first
 
 
+def test_states_materialized_is_monotone_across_evictions():
+    """Evicting a prepared entry banks its counts instead of dropping them:
+    the reported state totals never go backwards between snapshots."""
+    config = SessionConfig(prepared_cache_size=1, plan_cache_size=0)
+    session = OptimizationSession(config=config)
+    specs = template_workload(n_templates=3, repeats=1)
+    snapshots = []
+    for spec in specs + specs:  # each visit evicts the previous template
+        session.optimize(spec)
+        stats = session.statistics()
+        snapshots.append((stats.states_materialized, stats.states_total_known))
+    assert session.statistics().prepared.evictions == 5
+    for (m0, t0), (m1, t1) in zip(snapshots, snapshots[1:]):
+        assert m1 >= m0, snapshots
+        assert t1 >= t0, snapshots
+    assert snapshots[-1][0] > 0
+
+
+def test_clear_caches_keeps_state_counters_monotone():
+    session = OptimizationSession(
+        config=SessionConfig(plan_cache_size=0)
+    )
+    session.optimize_batch(template_workload(n_templates=2, repeats=1))
+    before = session.statistics().states_materialized
+    assert before > 0
+    session.clear_caches()
+    after = session.statistics()
+    assert after.prepared_entries == 0
+    assert after.states_materialized == before  # banked, not dropped
+
+
 def test_statistics_add_merges_prepare_mode_counts():
     from repro.service import SessionStatistics
 

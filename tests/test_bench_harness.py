@@ -56,6 +56,34 @@ class TestSaveJson:
             "e": 7,
         }
 
+    def test_small_magnitudes_keep_significant_figures(self):
+        # Sub-cutoff magnitudes must not collapse to 0.0 — a 0.004 ms
+        # warm-load timing is a real measurement, not zero.
+        assert round_floats(0.004321) == 0.0043
+        assert round_floats(-0.00071) == -0.00071
+        assert round_floats(0.009999) == 0.01
+        assert round_floats([1e-7]) == [1e-7]
+
+    def test_large_magnitudes_still_round_to_decimals(self):
+        assert round_floats(12.3456) == 12.35
+        assert round_floats(-2.718) == -2.72
+        assert round_floats(1234.0) == 1234.0
+
+    def test_zero_and_nonfinite_pass_through(self):
+        import math
+
+        assert round_floats(0.0) == 0.0
+        assert round_floats(float("inf")) == float("inf")
+        assert math.isnan(round_floats(float("nan")))
+
+    def test_rounding_is_byte_stable(self):
+        # Equal inputs → the identical rounded float, so a committed JSON
+        # artifact re-serializes byte-for-byte.
+        for value in (0.004321, 12.3456, -0.00071, 3.0e-5):
+            a = json.dumps(round_floats(value))
+            b = json.dumps(round_floats(float(json.loads(json.dumps(value)))))
+            assert a == b
+
     def test_environment_fields(self):
         env = bench_environment()
         assert set(env) == {"commit", "machine", "system", "python"}

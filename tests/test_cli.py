@@ -197,6 +197,74 @@ def test_batch_tpch_no_cache(capsys):
     assert "0 hit(s)" in out
 
 
+def test_prepare_store_persists_an_artifact(capsys, tmp_path):
+    sql = (
+        "select * from persons, jobs where persons.jobid = jobs.id "
+        "order by jobs.id"
+    )
+    assert main(["prepare", "--store", str(tmp_path), sql]) == 0
+    out = capsys.readouterr().out
+    assert "artifact: stored" in out
+    stored = list(tmp_path.glob("*.ropt"))
+    assert len(stored) == 1
+    assert f"{stored[0].stat().st_size} bytes" in out
+
+
+def test_warm_then_batch_starts_warm(capsys, tmp_path):
+    store = str(tmp_path / "artifacts")
+    args = ["--templates", "2", "--repeats", "1", "--seed", "3"]
+    assert main(["warm", "--artifacts", store] + args) == 0
+    out = capsys.readouterr().out
+    assert "2 stored" in out
+    assert "2 on disk" in out
+    # Warming again finds everything already on disk.
+    assert main(["warm", "--artifacts", store] + args) == 0
+    assert "2 already warm" in capsys.readouterr().out
+    # A batch over the same templates (fresh session) warm-loads.
+    assert main(["batch", "--artifacts", store, "--passes", "1"] + args) == 0
+    out = capsys.readouterr().out
+    assert "2 warm load(s), 0 cold build(s)" in out
+
+
+def test_batch_artifacts_cold_then_saves(capsys, tmp_path):
+    store = str(tmp_path / "artifacts")
+    assert (
+        main(
+            [
+                "batch", "--artifacts", store, "--passes", "1",
+                "--templates", "2", "--repeats", "1", "--seed", "9",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "0 warm load(s), 2 cold build(s), 2 save(s)" in out
+
+
+def test_serve_with_artifacts_stdin_loop(capsys, monkeypatch, tmp_path):
+    import io
+
+    sql = (
+        "select * from persons, jobs where persons.jobid = jobs.id "
+        "and persons.name = 'alice' order by jobs.id\n"
+    )
+    store = str(tmp_path / "artifacts")
+    monkeypatch.setattr("sys.stdin", io.StringIO(sql + "\\quit\n"))
+    assert main(["serve", "--artifacts", store]) == 0
+    first = capsys.readouterr().out
+    assert "0 warm load(s), 1 cold build(s), 1 save(s)" in first
+    # Restarted server: same query answered from the on-disk artifact.
+    monkeypatch.setattr("sys.stdin", io.StringIO(sql + "\\quit\n"))
+    assert main(["serve", "--artifacts", store]) == 0
+    second = capsys.readouterr().out
+    assert "1 warm load(s), 0 cold build(s)" in second
+
+    def plan_lines(out: str) -> list[str]:
+        return [l for l in out.splitlines() if l.startswith(("scan", " ", "sort"))]
+
+    assert plan_lines(first) == plan_lines(second)
+
+
 def test_serve_reports_cache_sources(capsys, monkeypatch):
     import io
 
