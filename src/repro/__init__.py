@@ -23,7 +23,7 @@ The most common entry points are re-exported here:
 
 # Defined before the subpackage imports: repro.service.artifacts bakes the
 # version into artifact schema keys at import time.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from .core import (
     EMPTY_ORDERING,

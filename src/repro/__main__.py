@@ -20,13 +20,14 @@ Commands:
                          — optimize **and execute** a query on synthetic
                            catalog-driven data: prints the explain-analyze
                            tree (actual rows/batches and sort markers) and
-                           wall time.  ``--engine {row,vector,numpy,both,all}``
-                           picks the execution engine (``both`` runs the
-                           reference row engine and the vectorized engine,
-                           ``all`` additionally the NumPy backend; either
+                           wall time.  ``--engine`` picks the execution
+                           engine (``both`` runs the reference row engine
+                           and the vectorized engine, ``all`` every engine
+                           in the registry — serial and parallel; either
                            checks the results agree and reports the
                            speedups); ``--rows`` / ``--scale`` size the
-                           dataset, ``--batch-size`` tunes the pipeline;
+                           dataset, ``--batch-size`` tunes the pipeline,
+                           ``--workers N`` runs morsel-parallel execution;
 * ``batch``              — optimize a whole workload and report cache
                            statistics (cold/warm passes via ``--passes``);
                            ``--workers N`` shards it across a
@@ -48,6 +49,7 @@ import sys
 
 from .bench import format_table, timed
 from .catalog.schema import Catalog, simple_table
+from .exec.engine import ENGINES
 from .catalog.tpch import tpch_catalog
 from .core.optimizer import NO_PRUNING, BuilderOptions, OrderOptimizer
 from .plangen import (
@@ -219,7 +221,9 @@ def cmd_warm(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .exec import (
+        default_worker_count,
         generate_dataset,
+        parallel_engine_name,
         render_analyze,
         resolve_engine_name,
         schema_dtype_hints,
@@ -238,33 +242,49 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print(spec.describe())
     print(f"dataset: {dataset.row_count()} row(s) over {len(dataset.tables)} relation(s)")
+    # --workers left unset defers to REPRO_EXEC_WORKERS (default 1), so
+    # the env knob upgrades the CLI exactly like it does session defaults.
+    run_workers = (
+        args.workers if args.workers is not None else default_worker_count()
+    )
     if args.engine == "both":
         engines = ("row", "vector")
     elif args.engine == "all":
+        # Enumerate the ENGINES registry, not a hard-coded list, so new
+        # engines join the differential check automatically.
         # resolve_engine_name applies the NumPy fallback, and dict keys
-        # dedupe it: without NumPy, "all" is just row + vector.
+        # dedupe it: without NumPy, "all" is row + vector + parallel-vector.
         engines = tuple(
-            dict.fromkeys(("row", "vector", resolve_engine_name("numpy")))
+            dict.fromkeys(resolve_engine_name(name) for name in ENGINES)
         )
     else:
-        engines = (resolve_engine_name(args.engine),)
+        # --workers above 1 upgrades a serial columnar engine to its
+        # morsel-parallel counterpart (row stays the serial oracle).
+        engines = (parallel_engine_name(args.engine, run_workers),)
     # Optimize once and warm the dataset's representations up front: every
     # timed block below hits the plan cache and a ready representation, so
     # the per-engine timings (and the speedups) measure execution only.
     session.optimize(spec)
     dataset.rows()
-    if "numpy" in engines:
+    if any(name.endswith("numpy") for name in engines):
         for alias in dataset.tables:
             dataset.array_batch(alias, hints=schema_dtype_hints(spec, alias))
     timings: dict[str, float] = {}
     results = {}
     for engine in engines:
+        # In the differential modes the serial engines stay pinned at one
+        # worker: the whole point is comparing them against the parallel
+        # engines running with --workers.
+        workers = run_workers if engine.startswith("parallel-") else 1
+        label = engine if workers <= 1 else f"{engine} workers={workers}"
         with timed() as sw:
-            execution = session.execute(spec, data=dataset, engine=engine)
+            execution = session.execute(
+                spec, data=dataset, engine=engine, workers=workers
+            )
         timings[engine] = sw.ms
         results[engine] = execution
         print()
-        print(render_analyze(execution, header=f"explain analyze ({engine}):"))
+        print(render_analyze(execution, header=f"explain analyze ({label}):"))
         print(f"-- {sw.ms:.1f} ms")
     if len(engines) > 1:
         reference = results[engines[0]]
@@ -599,12 +619,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--catalog", default="demo", help="demo | tpch")
     run.add_argument(
         "--engine", default="vector",
-        choices=("row", "vector", "numpy", "both", "all"),
+        choices=(*ENGINES, "both", "all"),
         help="execution engine: the vectorized streaming engine (default), "
         "the row-dict reference oracle, the NumPy-accelerated backend "
-        "(falls back to vector without the [speed] extra), both "
-        "(row+vector differential check + speedup report), or all "
-        "(three-way differential check)",
+        "(falls back to vector without the [speed] extra), their "
+        "morsel-parallel counterparts (parallel-*), both (row+vector "
+        "differential check + speedup report), or all (differential check "
+        "across every registered engine)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="morsel workers for plan execution (default: REPRO_EXEC_WORKERS "
+        "or 1): above 1 a serial columnar --engine upgrades to its parallel "
+        "counterpart; in --engine both/all only the parallel engines use "
+        "them",
     )
     run.add_argument(
         "--rows", type=int, default=None,

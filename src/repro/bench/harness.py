@@ -123,6 +123,9 @@ def bench_environment() -> dict:
         "machine": platform.machine(),
         "system": platform.system(),
         "python": platform.python_version(),
+        # Scaling numbers (parallel speedups especially) are meaningless
+        # without knowing how many cores the runner had.
+        "cpu_count": os.cpu_count(),
     }
 
 

@@ -9,8 +9,9 @@ counters.  See :mod:`repro.exec.engine` for the contract,
 :mod:`repro.exec.vectorized` for the batch operators,
 :mod:`repro.exec.numpy_kernels` for the array kernels (import-guarded —
 ``NUMPY_AVAILABLE`` says whether the ``numpy`` engine is real or falls
-back to ``vector``), and ``docs/ARCHITECTURE.md`` ("Execution engine")
-for the data-flow story.
+back to ``vector``), :mod:`repro.exec.morsel` / :mod:`repro.exec.parallel`
+for the morsel-driven parallel engines, and ``docs/ARCHITECTURE.md``
+("Execution engine", "Parallel execution") for the data-flow story.
 """
 
 from .batch import Batch, batches_to_rows, concat_batches, rows_to_batches
@@ -34,12 +35,16 @@ from .engine import (
     RowEngine,
     VectorEngine,
     default_engine_name,
+    default_worker_count,
     forced_sort_variant,
     make_engine,
+    parallel_engine_name,
     render_analyze,
     resolve_engine_name,
 )
 from .executor import Executor, execute_plan
+from .morsel import DEFAULT_MORSEL_SIZE
+from .parallel import ParallelNumpyEngine, ParallelVectorEngine, shutdown_pools
 from .iterators import (
     MergeInputNotSortedError,
     hash_join,
@@ -57,6 +62,7 @@ from .verify import (
 
 __all__ = [
     "Batch",
+    "DEFAULT_MORSEL_SIZE",
     "Dataset",
     "ENGINES",
     "ExecutionConfig",
@@ -68,12 +74,15 @@ __all__ = [
     "NUMPY_AVAILABLE",
     "NodeCounters",
     "NumpyEngine",
+    "ParallelNumpyEngine",
+    "ParallelVectorEngine",
     "RowEngine",
     "VectorEngine",
     "as_dataset",
     "batches_to_rows",
     "concat_batches",
     "default_engine_name",
+    "default_worker_count",
     "execute_plan",
     "forced_sort_variant",
     "generate_dataset",
@@ -83,10 +92,12 @@ __all__ = [
     "merge_join",
     "most_common_value",
     "nested_loop_join",
+    "parallel_engine_name",
     "render_analyze",
     "resolve_engine_name",
     "rows_to_batches",
     "satisfied_orderings",
+    "shutdown_pools",
     "schema_dtype_hints",
     "satisfies_grouping",
     "satisfies_ordering",

@@ -10,6 +10,7 @@ under ties).
 from __future__ import annotations
 
 import random
+import threading
 import zlib
 from typing import TYPE_CHECKING, Dict, List
 
@@ -84,6 +85,16 @@ class Dataset:
         self.tables = tables
         self._rows: dict[str, List[Row]] | None = None
         self._arrays: dict[str, "ArrayBatch"] = {}
+        self._convert_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; drop the lock (and the caches — cheaper to
+        # re-derive in the receiving process than to ship twice) so a
+        # dataset can cross a process-pool boundary.
+        return {"tables": self.tables}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["tables"])
 
     @classmethod
     def from_rows(cls, data: dict[str, List[Row]]) -> "Dataset":
@@ -110,13 +121,22 @@ class Dataset:
         (arrays here, list columns via :meth:`batch`, dicts via
         :meth:`rows`).  ``hints`` are catalog dtype declarations
         (:func:`schema_dtype_hints`); the first conversion wins the cache.
+
+        Safe under concurrent first-touch: two pool-shard threads asking
+        for the same alias at once serialize on a per-dataset lock, so the
+        conversion runs once and both get the same object (an unguarded
+        check-then-set double-converted — wasted work, and two engines
+        could end up scanning two distinct array copies of one relation).
         """
         cached = self._arrays.get(alias)
         if cached is None:
-            from .arraybatch import ArrayBatch
+            with self._convert_lock:
+                cached = self._arrays.get(alias)
+                if cached is None:
+                    from .arraybatch import ArrayBatch
 
-            cached = ArrayBatch.from_batch(self.batch(alias), hints)
-            self._arrays[alias] = cached
+                    cached = ArrayBatch.from_batch(self.batch(alias), hints)
+                    self._arrays[alias] = cached
         return cached
 
     def rows(self) -> dict[str, List[Row]]:

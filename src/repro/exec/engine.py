@@ -36,6 +36,7 @@ from ..query.query import QuerySpec
 from .batch import Batch, batches_to_rows
 from .data import Dataset, Row, as_dataset, schema_dtype_hints
 from .executor import Executor, oriented_keys
+from .morsel import DEFAULT_MORSEL_SIZE
 from .vectorized import (
     DEFAULT_BATCH_SIZE,
     hash_join_batches,
@@ -60,7 +61,11 @@ try:  # The NumPy backend is optional — the ``[speed]`` extra.
 except ImportError:  # pragma: no cover - exercised only without numpy
     NUMPY_AVAILABLE = False
 
-ENGINES = ("row", "vector", "numpy")
+ENGINES = ("row", "vector", "numpy", "parallel-vector", "parallel-numpy")
+
+#: Serial engine -> its morsel-parallel counterpart (the row engine is the
+#: reference oracle and deliberately has none).
+_PARALLEL_UPGRADES = {"vector": "parallel-vector", "numpy": "parallel-numpy"}
 
 # One fallback warning per process: every session construction, pool shard,
 # and CLI invocation resolves the engine name, and a no-NumPy environment
@@ -97,10 +102,47 @@ def resolve_engine_name(name: str) -> str:
         raise ValueError(
             f"unknown execution engine {name!r}; available: {', '.join(ENGINES)}"
         )
-    if name == "numpy" and not NUMPY_AVAILABLE:
+    if name in ("numpy", "parallel-numpy") and not NUMPY_AVAILABLE:
         _warn_numpy_fallback()
-        return "vector"
+        return "vector" if name == "numpy" else "parallel-vector"
     return name
+
+
+def default_worker_count() -> int:
+    """The environment-configured worker count (``REPRO_EXEC_WORKERS``).
+
+    Unset or empty means 1 — the exact pre-existing serial path, byte for
+    byte.  Values above 1 flip the serial default engines onto their
+    morsel-parallel counterparts (see :func:`default_engine_name`).  A
+    malformed value raises here, at configuration time, like a typo'd
+    engine name does.
+    """
+    raw = os.environ.get("REPRO_EXEC_WORKERS", "") or "1"
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_EXEC_WORKERS must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"REPRO_EXEC_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
+def parallel_engine_name(name: str, workers: int) -> str:
+    """Upgrade a serial engine name to its parallel twin when ``workers > 1``.
+
+    ``row`` never upgrades (it is the reference oracle), and already
+    parallel names pass through; at ``workers <= 1`` the name is only
+    resolved.  This is the *single* seam where a worker count changes which
+    engine runs: code that asks for ``vector`` explicitly (golden snapshot
+    tests, the differential oracle's serial witnesses) keeps getting the
+    serial engine no matter what the environment says.
+    """
+    resolved = resolve_engine_name(name)
+    if workers > 1:
+        return _PARALLEL_UPGRADES.get(resolved, resolved)
+    return resolved
 
 
 def default_engine_name() -> str:
@@ -111,9 +153,13 @@ def default_engine_name() -> str:
     the suites under an explicit ``vector`` the same way, and the
     numpy-smoke leg under ``numpy``).  A typo'd value raises here, at
     configuration time; ``numpy`` without NumPy installed falls back to
-    ``vector`` (see :func:`resolve_engine_name`).
+    ``vector`` (see :func:`resolve_engine_name`).  When
+    ``REPRO_EXEC_WORKERS`` asks for more than one worker, the serial
+    default upgrades to its morsel-parallel counterpart
+    (:func:`parallel_engine_name`).
     """
-    return resolve_engine_name(os.environ.get("REPRO_EXEC_ENGINE", "") or "vector")
+    name = resolve_engine_name(os.environ.get("REPRO_EXEC_ENGINE", "") or "vector")
+    return parallel_engine_name(name, default_worker_count())
 
 
 @dataclass(frozen=True)
@@ -131,9 +177,34 @@ class ExecutionConfig:
     silently producing a wrong join result.  The differential suites turn
     this on; serving paths leave it off."""
 
+    workers: int = field(default_factory=default_worker_count)
+    """Morsel workers (``REPRO_EXEC_WORKERS``; 1 = serial).  The serial
+    engines carry but ignore this — only the parallel engines act on it,
+    and only the engine *name* decides which class runs (see
+    :func:`parallel_engine_name`), so an environment-wide worker count
+    never changes what an explicit ``make_engine("vector")`` builds."""
+
+    morsel_size: int = DEFAULT_MORSEL_SIZE
+    """Rows per morsel of the parallel scheduler's scan partitioning."""
+
+    parallel_mode: str = "auto"
+    """Morsel dispatch: ``process`` (real cores for pure-Python kernels),
+    ``thread`` (NumPy kernels release the GIL; also the deterministic
+    in-process mode for tests and Windows), or ``auto`` to pick by
+    engine flavor."""
+
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.morsel_size < 1:
+            raise ValueError(f"morsel_size must be >= 1, got {self.morsel_size}")
+        if self.parallel_mode not in ("auto", "thread", "process"):
+            raise ValueError(
+                "parallel_mode must be one of 'auto', 'thread', 'process'; "
+                f"got {self.parallel_mode!r}"
+            )
 
 
 @dataclass
@@ -152,6 +223,10 @@ class ExecutionStats:
 
     engine: str
     nodes: dict[int, NodeCounters] = field(default_factory=dict)
+    workers: int = 1
+    """Worker count the execution ran with (1: serial; the parallel
+    engines stamp their configured count so ``explain analyze`` can name
+    it next to the engine)."""
 
     def counters_for(self, node: PlanNode) -> NodeCounters:
         counters = self.nodes.get(id(node))
@@ -509,7 +584,15 @@ def make_engine(
     environment without NumPy builds the vector engine instead of failing.
     """
     resolved = resolve_engine_name(name) if name else default_engine_name()
-    return _ENGINE_TYPES[resolved](config)
+    engine_type = _ENGINE_TYPES.get(resolved)
+    if engine_type is None:
+        # The parallel engines live in their own module, imported lazily so
+        # the serial import graph (and any environment that never asks for
+        # parallelism) stays untouched.
+        from .parallel import PARALLEL_ENGINE_TYPES
+
+        engine_type = PARALLEL_ENGINE_TYPES[resolved]
+    return engine_type(config)
 
 
 def forced_sort_variant(plan: PlanNode, ordering: Ordering) -> PlanNode:
@@ -552,8 +635,13 @@ def render_analyze(result: ExecutionResult, *, header: str = "") -> str:
     if header:
         lines.append(header)
     lines.append(result.plan.explain(annotate=annotate))
+    engine_label = result.engine
+    if stats.workers > 1:
+        # Name the worker count only when one was actually in play, so the
+        # serial engines' golden snapshots stay byte-identical.
+        engine_label = f"{engine_label} workers={stats.workers}"
     lines.append(
-        f"engine={result.engine}: {result.row_count} row(s) out, "
+        f"engine={engine_label}: {result.row_count} row(s) out, "
         f"{stats.sorts} physical sort(s), {stats.total_batches} batch(es) "
         f"across {len(stats.nodes)} operator(s)"
     )

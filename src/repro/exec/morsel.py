@@ -1,0 +1,333 @@
+"""Morsel-driven pipeline fragments: the worker-side half of parallel execution.
+
+A *fragment* is the largest plan region the morsel scheduler can run
+data-parallel: a spine of joins followed left-downward from a node until the
+first non-join operator (the fragment's *source*).  Joins qualify because
+every engine emits them in **left-input-major** order — so executing the
+probe side morsel by morsel and concatenating the per-morsel outputs in
+morsel-index order reproduces the serial emission order bit-for-bit.
+Everything else (sort enforcers, index scans, the source itself when it is
+not a plain base-relation scan) is inherently order-dependent or a pipeline
+breaker and stays serial in the parent.
+
+The module is deliberately engine-agnostic and plan-free on the worker
+side: the scheduler (:mod:`repro.exec.parallel`) compiles a fragment into a
+:class:`FragmentPayload` — the materialized source, the per-morsel
+selections, and one prebuilt join *build* per spine node — and workers only
+ever see that payload plus a ``[start, stop)`` row span.  Payloads contain
+no :class:`~repro.plangen.plan.PlanNode` objects, so they pickle cheaply to
+process workers; counters travel back keyed by stable fragment-node
+indexes (spine position, top-down) instead of object identity.
+
+Build sides are shared across morsels, not rebuilt per morsel:
+
+* vector hash joins get a :class:`VectorHashBuild` — the bucket index
+  partitioned by key-hash into ``n_partitions`` dicts (one probe hashes
+  its key, picks the partition, and reads the bucket);
+* NumPy hash joins reuse :class:`~repro.exec.numpy_kernels.ArrayHashBuild`
+  — one stable argsort partitions the build into contiguous key groups;
+* merge and nested-loop joins share the materialized build batch itself —
+  each contiguous probe morsel merged against the full (sorted) build
+  reproduces the streaming merge's output for exactly those probe rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.attributes import Attribute
+from ..plangen.plan import HASH_JOIN, MERGE_JOIN, NL_JOIN, PlanNode
+from .batch import Batch
+from .executor import oriented_keys
+from .vectorized import (
+    DEFAULT_BATCH_SIZE,
+    filter_indices,
+    merge_join_batches,
+    nl_join_batches,
+    probe_hash_batches,
+)
+
+try:  # The NumPy flavor is optional, like the engine it serves.
+    from .numpy_kernels import (
+        ArrayHashBuild,
+        concat_array_batches,
+        filter_positions,
+        merge_join_array_batches,
+        nl_join_array_batches,
+        probe_hash_array_batches,
+    )
+
+    NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised only without numpy
+    NUMPY_AVAILABLE = False
+
+#: Default rows per morsel.  Large enough that per-morsel dispatch and
+#: result shipping amortize, small enough that a 100k-row scan still fans
+#: out across a handful of workers.
+DEFAULT_MORSEL_SIZE = 8192
+
+#: Operators a fragment spine may contain: all joins emit left-input-major,
+#: so per-morsel execution over the left (probe) side is order-preserving.
+PARALLEL_JOIN_OPS = frozenset({HASH_JOIN, MERGE_JOIN, NL_JOIN})
+
+#: Per-morsel counter records: (fragment-node index, rows out, batches out).
+MorselCounters = List[Tuple[int, int, int]]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A parallelizable plan region: a join spine over one source."""
+
+    spine: tuple[PlanNode, ...]
+    """The joins, top-down: ``spine[0]`` is the fragment root, each
+    ``spine[i + 1]`` is ``spine[i].left``."""
+
+    source: PlanNode
+    """The first non-join node below the spine — the morsel source."""
+
+    @property
+    def source_index(self) -> int:
+        """The source's stable counter index (spine nodes take 0..n-1)."""
+        return len(self.spine)
+
+    def nodes(self) -> tuple[PlanNode, ...]:
+        """Fragment nodes by stable index: the spine, then the source."""
+        return (*self.spine, self.source)
+
+
+def extract_fragment(node: PlanNode) -> Fragment | None:
+    """The join spine rooted at ``node``, or ``None`` for non-join roots.
+
+    Follows left children only: the left side of every join is the probe
+    side — the one whose order the output carries, hence the one that can
+    be cut into contiguous morsels.  Build (right) sides are materialized
+    serially by the scheduler, however deep their own subtrees are (a
+    nested join spine on a build side becomes its own fragment when the
+    scheduler compiles that subtree).
+    """
+    spine: list[PlanNode] = []
+    current = node
+    while current.op in PARALLEL_JOIN_OPS:
+        spine.append(current)
+        assert current.left is not None
+        current = current.left
+    if not spine:
+        return None
+    return Fragment(tuple(spine), current)
+
+
+class VectorHashBuild:
+    """A hash-join build partitioned by key-hash into shared partitions.
+
+    ``n_partitions`` dicts, bucket ``hash(key) % n_partitions``; inside a
+    bucket, positions keep build input order (insertion order), so probes
+    emit bit-identically to the serial join's single-dict index.  The
+    partitions are built once in the parent and shared read-only by every
+    morsel — in process mode each worker receives them exactly once via
+    the payload broadcast.
+    """
+
+    __slots__ = ("batch", "partitions", "n_partitions")
+
+    def __init__(self, batch: Batch, right_key: Attribute, n_partitions: int = 1) -> None:
+        self.batch = batch
+        self.n_partitions = max(1, n_partitions)
+        partitions: list[dict[object, list[int]]] = [
+            {} for _ in range(self.n_partitions)
+        ]
+        for j, value in enumerate(batch.column(right_key)):
+            partitions[hash(value) % self.n_partitions].setdefault(value, []).append(j)
+        self.partitions = partitions
+
+    def lookup(self, key: object) -> list[int] | None:
+        """Build-row positions matching ``key`` (``None``: no match)."""
+        return self.partitions[hash(key) % self.n_partitions].get(key)
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One spine join, compiled for per-morsel execution."""
+
+    op: str
+    index: int
+    """Stable fragment-node index (spine position, top-down) — the key the
+    parent uses to map worker counters back onto plan nodes."""
+
+    left_key: Attribute | None
+    right_key: Attribute | None
+    residuals: tuple
+    predicates: tuple
+    """All predicates, nested-loop joins only (equi-joins split theirs into
+    the oriented key pair plus ``residuals``)."""
+
+    build: object
+    """The shared build: :class:`VectorHashBuild` /
+    :class:`~repro.exec.numpy_kernels.ArrayHashBuild` for hash joins, the
+    materialized build batch for merge and nested-loop joins."""
+
+
+@dataclass(frozen=True)
+class FragmentPayload:
+    """Everything a worker needs to run any morsel of one fragment."""
+
+    flavor: str
+    """``"vector"`` (list-column batches) or ``"numpy"`` (array batches)."""
+
+    source: object
+    """The morsel source: the base table (scan sources — selections are
+    applied per morsel) or the serially materialized source output."""
+
+    selections: tuple
+    """Pushed-down selections of a scan source (empty otherwise — a
+    materialized source is already filtered)."""
+
+    source_index: int | None
+    """Counter index workers report scan-source output under, or ``None``
+    when the parent already counted the source while materializing it."""
+
+    steps: tuple[JoinStep, ...]
+    """The spine joins bottom-up — per-morsel execution order."""
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    check_merge_inputs: bool = False
+
+
+def fragment_steps(
+    fragment: Fragment,
+    builds: Sequence[object],
+    flavor: str,
+    n_partitions: int = 1,
+) -> tuple[JoinStep, ...]:
+    """Compile a fragment's spine into bottom-up :class:`JoinStep`\\ s.
+
+    ``builds`` are the materialized build batches aligned with
+    ``fragment.spine`` (top-down).  Hash-join builds are indexed here, once,
+    into the flavor's shared-build form.
+    """
+    steps: list[JoinStep] = []
+    for position in reversed(range(len(fragment.spine))):
+        node = fragment.spine[position]
+        build = builds[position]
+        if node.op == NL_JOIN:
+            steps.append(
+                JoinStep(
+                    op=node.op,
+                    index=position,
+                    left_key=None,
+                    right_key=None,
+                    residuals=(),
+                    predicates=tuple(node.predicates),
+                    build=build,
+                )
+            )
+            continue
+        left_key, right_key = oriented_keys(node)
+        if node.op == HASH_JOIN:
+            if flavor == "numpy":
+                build = ArrayHashBuild(build, right_key)
+            else:
+                build = VectorHashBuild(build, right_key, n_partitions)
+        steps.append(
+            JoinStep(
+                op=node.op,
+                index=position,
+                left_key=left_key,
+                right_key=right_key,
+                residuals=tuple(node.predicates[1:]),
+                predicates=(),
+                build=build,
+            )
+        )
+    return tuple(steps)
+
+
+def _filtered_morsel(flavor: str, morsel, selections: Sequence):
+    """Apply scan selections to one morsel, preserving row order."""
+    if flavor == "numpy":
+        positions = filter_positions(morsel, selections)
+        return morsel if positions is None else morsel.take(positions)
+    indices = filter_indices(morsel, selections)
+    return morsel if indices is None else morsel.take(indices)
+
+
+def _run_vector_step(step: JoinStep, batches: Iterable[Batch], payload: FragmentPayload):
+    if step.op == HASH_JOIN:
+        build: VectorHashBuild = step.build  # type: ignore[assignment]
+        return probe_hash_batches(
+            iter(batches),
+            build.batch,
+            build.lookup,
+            step.left_key,
+            step.residuals,
+            payload.batch_size,
+        )
+    if step.op == MERGE_JOIN:
+        # A contiguous morsel of a sorted probe stream is itself sorted, so
+        # merging it against the full build reproduces the streaming merge
+        # for exactly these probe rows.  The sortedness guard, when on,
+        # checks within the morsel; cross-morsel boundaries are sorted by
+        # construction (contiguous slices of one sorted source).
+        return merge_join_batches(
+            iter(batches),
+            iter([step.build]),
+            step.left_key,
+            step.right_key,
+            step.residuals,
+            payload.batch_size,
+            check_sorted=payload.check_merge_inputs,
+        )
+    return nl_join_batches(
+        iter(batches), iter([step.build]), step.predicates, payload.batch_size
+    )
+
+
+def _run_numpy_step(step: JoinStep, batches: Iterable, payload: FragmentPayload):
+    if step.op == HASH_JOIN:
+        return probe_hash_array_batches(
+            concat_array_batches(list(batches)),
+            step.build,
+            step.left_key,
+            step.residuals,
+            payload.batch_size,
+        )
+    if step.op == MERGE_JOIN:
+        return merge_join_array_batches(
+            iter(batches),
+            iter([step.build]),
+            step.left_key,
+            step.right_key,
+            step.residuals,
+            payload.batch_size,
+            check_sorted=payload.check_merge_inputs,
+        )
+    return nl_join_array_batches(
+        iter(batches), iter([step.build]), step.predicates, payload.batch_size
+    )
+
+
+def run_morsel(
+    payload: FragmentPayload, start: int, stop: int
+) -> tuple[list, MorselCounters]:
+    """Execute one ``[start, stop)`` morsel through the fragment pipeline.
+
+    Returns the output batches (in emission order — the caller re-sequences
+    whole morsels by morsel index) and the per-node counter records.  Runs
+    identically inline, on a pool thread, or in a worker process; it only
+    reads the payload, so one payload serves any number of concurrent
+    morsels.
+    """
+    run_step = _run_numpy_step if payload.flavor == "numpy" else _run_vector_step
+    morsel = payload.source.slice(start, stop)
+    if payload.selections:
+        morsel = _filtered_morsel(payload.flavor, morsel, payload.selections)
+    counters: MorselCounters = []
+    batches = [morsel] if morsel.length else []
+    if payload.source_index is not None:
+        counters.append((payload.source_index, morsel.length, len(batches)))
+    for step in payload.steps:
+        batches = list(run_step(step, batches, payload))
+        counters.append(
+            (step.index, sum(batch.length for batch in batches), len(batches))
+        )
+    return batches, counters

@@ -195,20 +195,26 @@ def _residual_mask(
     return mask
 
 
-def _dict_grouped_positions(
-    pkeys: np.ndarray, bkeys: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Equi-join pair positions via dict grouping — the unorderable-key path.
+def _grouped_build_positions(bkeys: np.ndarray) -> dict:
+    """Build-key groups as a plain dict — the unorderable-key path.
 
     ``searchsorted`` grouping needs a total order on the key values; a
     heterogeneous ``object`` column (say ``int`` probe keys against ``str``
     build keys) has none.  The streaming engines' hash join only needs
     *equality* (a dict), so this fallback groups exactly the way they do:
-    probe-major output, build insertion order within a key group.
+    build insertion order within a key group.
     """
     groups: dict = {}
     for position, key in enumerate(bkeys.tolist()):
         groups.setdefault(key, []).append(position)
+    return groups
+
+
+def _pairs_from_groups(
+    pkeys: np.ndarray, groups: dict
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join pair positions from dict groups, probe-major like the
+    streaming hash join."""
     left_positions: list[int] = []
     right_positions: list[int] = []
     for position, key in enumerate(pkeys.tolist()):
@@ -287,6 +293,87 @@ def merge_join_array_batches(
 # -- hash join ----------------------------------------------------------------
 
 
+class ArrayHashBuild:
+    """A reusable hash-join build over one materialized build side.
+
+    The build rows are partitioned into contiguous key groups by one stable
+    argsort — the array-world analogue of key-hash bucket partitions, with
+    bucket *insertion order* preserved by stability.  Unorderable key
+    values (no total order, so no ``searchsorted``) degrade to the
+    streaming engines' dict grouping, precomputed once.  Built once per
+    join and probed by every morsel, so parallel workers share one
+    partitioned build instead of re-sorting it per morsel.
+    """
+
+    __slots__ = ("batch", "right_key", "partition", "sorted_keys", "groups")
+
+    def __init__(self, batch: ArrayBatch, right_key: Attribute) -> None:
+        self.batch = batch
+        self.right_key = right_key
+        keys = batch.column(right_key)
+        self.partition: np.ndarray | None
+        self.sorted_keys: np.ndarray | None
+        self.groups: dict | None
+        try:
+            self.partition = stable_order([keys], batch.length)
+            self.sorted_keys = keys[self.partition]
+            self.groups = None
+        except TypeError:
+            self.partition = None
+            self.sorted_keys = None
+            self.groups = _grouped_build_positions(keys)
+
+    def pair_positions(
+        self, pkeys_raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(probe, build) row-position pairs for a probe key column, in
+        probe-major order with build input order inside each key group."""
+        if self.sorted_keys is None:
+            assert self.groups is not None
+            return _pairs_from_groups(pkeys_raw, self.groups)
+        try:
+            pkeys, bkeys = _harmonized(pkeys_raw, self.sorted_keys)
+            lo = np.searchsorted(bkeys, pkeys, side="left")
+            hi = np.searchsorted(bkeys, pkeys, side="right")
+        except TypeError:
+            # Orderable build keys, but the probe column is incomparable
+            # with them (e.g. ints probing strings): equality-only grouping.
+            return _pairs_from_groups(
+                pkeys_raw, _grouped_build_positions(self.batch.column(self.right_key))
+            )
+        left_positions, group_offsets = _group_expand(lo, hi)
+        assert self.partition is not None
+        return left_positions, self.partition[group_offsets]
+
+
+def probe_hash_array_batches(
+    probe: ArrayBatch,
+    build: ArrayHashBuild,
+    left_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Probe one materialized probe side against a prebuilt
+    :class:`ArrayHashBuild` (the morsel scheduler's per-morsel path)."""
+    if probe.length == 0 or build.batch.length == 0:
+        return
+    left_positions, right_positions = build.pair_positions(probe.column(left_key))
+    if residuals:
+        oriented = [_orient_predicate(p, probe.columns) for p in residuals]
+        keep = _residual_mask(
+            oriented,
+            probe.columns,
+            build.batch.columns,
+            left_positions,
+            right_positions,
+        )
+        left_positions = left_positions[keep]
+        right_positions = right_positions[keep]
+    yield from emit_chunks(
+        _joined(probe, build.batch, left_positions, right_positions), batch_size
+    )
+
+
 def hash_join_array_batches(
     left: Iterator[ArrayBatch],
     right: Iterator[ArrayBatch],
@@ -310,21 +397,9 @@ def hash_join_array_batches(
     probe = concat_array_batches(list(left))
     if probe.length == 0:
         return
-    bkeys_raw = build.column(right_key)
-    pkeys_raw = probe.column(left_key)
-    try:
-        partition = stable_order([bkeys_raw], build.length)
-        pkeys, bkeys = _harmonized(pkeys_raw, bkeys_raw[partition])
-        lo = np.searchsorted(bkeys, pkeys, side="left")
-        hi = np.searchsorted(bkeys, pkeys, side="right")
-        left_positions, group_offsets = _group_expand(lo, hi)
-        right_positions = partition[group_offsets]
-    except TypeError:
-        # Unorderable key values — equality-only grouping, like the
-        # streaming hash join's dict build.
-        left_positions, right_positions = _dict_grouped_positions(
-            pkeys_raw, bkeys_raw
-        )
+    left_positions, right_positions = ArrayHashBuild(
+        build, right_key
+    ).pair_positions(probe.column(left_key))
     if residuals:
         oriented = [_orient_predicate(p, probe.columns) for p in residuals]
         keep = _residual_mask(

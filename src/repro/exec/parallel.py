@@ -1,0 +1,304 @@
+"""Morsel scheduler: parallel engines over the serial kernels.
+
+:class:`ParallelVectorEngine` and :class:`ParallelNumpyEngine` subclass
+their serial counterparts and intercept exactly one seam — ``_compile`` —
+so everything else (plan dispatch, counters, sort accounting, the
+``workers=1`` path) *is* the serial engine, not a reimplementation of it.
+When ``config.workers > 1`` and the node roots a parallelizable fragment
+(a join spine over one source, :func:`~repro.exec.morsel.extract_fragment`),
+the scheduler takes over:
+
+1. **Build phase (serial, top-down).**  Each spine join's build (right)
+   side is compiled through the ordinary serial ``_compile`` — counters
+   and physical-sort accounting included — and materialized.  An empty
+   build short-circuits the whole fragment exactly like the serial hash
+   join does: the join emits nothing and nothing below it is pulled (its
+   subtree stays ``not executed`` in ``explain analyze``).  Build subtrees
+   may themselves contain join spines; those recurse into the scheduler,
+   so bushy plans parallelize on both sides (one side at a time — only
+   the driving thread dispatches).
+2. **Morsel phase (parallel).**  The fragment source is cut into
+   fixed-size morsels: a plain base-relation scan is sliced directly
+   (zero-copy for array batches) with its selections applied per-morsel
+   inside the workers; any other source (sort enforcers, index scans —
+   the inherently order-dependent fragments) is materialized serially
+   first and only the join pipeline above it fans out.  Workers run
+   :func:`~repro.exec.morsel.run_morsel` over a shared
+   :class:`~repro.exec.morsel.FragmentPayload`.
+3. **Order-preserving merge.**  Futures are consumed strictly in
+   submission order, so the concatenated output is the serial emission
+   order bit-for-bit — no re-sort, no epilogue pass — and per-worker
+   counters come back keyed by stable fragment-node indexes and are
+   aggregated into the parent's :class:`~repro.exec.engine.ExecutionStats`.
+
+Two dispatch modes share persistent pools (keyed by mode × worker count,
+shut down atexit): ``thread`` for NumPy kernels that release the GIL and
+for deterministic in-process testing, ``process`` for pure-Python vector
+kernels that need real cores.  ``auto`` picks by flavor.  Process mode
+ships each payload once per query as a pickled temp file — workers load
+and cache it by path (mirroring ``service/pool.py``'s ship-once
+``process_batch`` plumbing), so per-morsel submissions carry only the
+``[start, stop)`` span instead of re-pickling the dataset per morsel.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import tempfile
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterator, Sequence
+
+from ..plangen.plan import SCAN, PlanNode
+from .batch import Batch, concat_batches
+from .engine import ExecutionResult, ExecutionStats, NumpyEngine, VectorEngine
+from .morsel import (
+    Fragment,
+    FragmentPayload,
+    extract_fragment,
+    fragment_steps,
+    run_morsel,
+)
+
+PARALLEL_MODES = ("auto", "thread", "process")
+
+
+def resolve_parallel_mode(mode: str, flavor: str) -> str:
+    """``auto`` → ``thread`` for NumPy kernels (they release the GIL in
+    the hot loops), ``process`` for the pure-Python vector kernels (real
+    cores or nothing)."""
+    if mode == "auto":
+        return "thread" if flavor == "numpy" else "process"
+    return mode
+
+
+# -- persistent pools ---------------------------------------------------------
+
+_POOLS: dict[tuple[str, int], ThreadPoolExecutor | ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _pool(mode: str, workers: int):
+    """The shared pool for (mode, workers) — created once, reused across
+    queries so process workers keep their payload caches warm."""
+    key = (mode, workers)
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            if mode == "process":
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-morsel"
+                )
+            _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared morsel pool (idempotent; re-created on use)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pools)
+
+
+# -- process-mode payload shipping -------------------------------------------
+
+#: Worker-side payload cache, keyed by broadcast-file path.  Bounded: a
+#: long-lived pool would otherwise accumulate one dataset-sized payload
+#: per query ever run through it.
+_WORKER_PAYLOADS: dict[str, FragmentPayload] = {}
+_WORKER_PAYLOAD_CACHE_SIZE = 4
+
+
+def _run_morsel_from_file(path: str, start: int, stop: int):
+    """Process-pool entry point: load-and-cache the payload, run the morsel."""
+    payload = _WORKER_PAYLOADS.get(path)
+    if payload is None:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        while len(_WORKER_PAYLOADS) >= _WORKER_PAYLOAD_CACHE_SIZE:
+            _WORKER_PAYLOADS.pop(next(iter(_WORKER_PAYLOADS)))
+        _WORKER_PAYLOADS[path] = payload
+    return run_morsel(payload, start, stop)
+
+
+def _broadcast_payload(payload: FragmentPayload) -> str:
+    handle = tempfile.NamedTemporaryFile(
+        prefix="repro-morsel-", suffix=".pkl", delete=False
+    )
+    with handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return handle.name
+
+
+def _morsel_spans(length: int, size: int) -> list[tuple[int, int]]:
+    return [(start, min(start + size, length)) for start in range(0, length, size)]
+
+
+# -- the scheduler mixin ------------------------------------------------------
+
+
+class _MorselMixin:
+    """The scheduler, layered over a serial engine's ``_compile`` seam."""
+
+    flavor = "vector"
+
+    def execute(self, plan, spec, data) -> ExecutionResult:
+        result = super().execute(plan, spec, data)
+        result.stats.workers = self.config.workers
+        return result
+
+    def _compile(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        if self.config.workers > 1:
+            fragment = extract_fragment(node)
+            if fragment is not None:
+                return self._run_fragment(fragment, spec, dataset, stats)
+        return super()._compile(node, spec, dataset, stats)
+
+    # -- fragment compilation (parent side, serial) ---------------------------
+
+    def _materialize(self, node, spec, dataset, stats):
+        """One subtree, drained through the counted compile (which may
+        itself recurse into the scheduler for nested join spines)."""
+        return self._concat(list(self._compile(node, spec, dataset, stats)))
+
+    def _concat(self, batches):
+        return concat_batches(batches)
+
+    def _source_table(self, spec, dataset, alias):
+        return dataset.batch(alias)
+
+    def _run_fragment(
+        self, fragment: Fragment, spec, dataset, stats: ExecutionStats
+    ) -> Iterator[Batch]:
+        # Build phase: drain build sides top-down.  Touching counters first
+        # mirrors the serial engine, where pulling a join's output creates
+        # its counter entry before the build side is consumed; an empty
+        # build stops right here — lower spine nodes and the source are
+        # never pulled and stay "not executed", exactly like the serial
+        # hash join's empty-build short-circuit.
+        builds = []
+        for node in fragment.spine:
+            stats.counters_for(node)
+            build = self._materialize(node.right, spec, dataset, stats)
+            if build.length == 0:
+                return
+            builds.append(build)
+
+        source_node = fragment.source
+        if source_node.op == SCAN:
+            # Scan sources are morselized in place: workers slice the base
+            # table and apply the pushed-down selections per morsel.
+            table = self._source_table(spec, dataset, source_node.alias)
+            selections = tuple(spec.selections_for(source_node.alias))
+            source_index = fragment.source_index
+            stats.counters_for(source_node)
+        else:
+            # Order-dependent sources (sort enforcers, index scans) run
+            # serially — counted and sort-accounted by the serial compile —
+            # and only the join pipeline above them fans out.
+            table = self._materialize(source_node, spec, dataset, stats)
+            selections = ()
+            source_index = None
+
+        payload = FragmentPayload(
+            flavor=self.flavor,
+            source=table,
+            selections=selections,
+            source_index=source_index,
+            steps=fragment_steps(
+                fragment, builds, self.flavor, n_partitions=self.config.workers
+            ),
+            batch_size=self.config.batch_size,
+            check_merge_inputs=self.config.check_merge_inputs,
+        )
+        spans = _morsel_spans(table.length, self.config.morsel_size)
+        node_by_index = fragment.nodes()
+        for batches, counter_records in self._dispatch(payload, spans):
+            for index, rows, batch_count in counter_records:
+                counters = stats.counters_for(node_by_index[index])
+                counters.rows += rows
+                counters.batches += batch_count
+            yield from batches
+
+    # -- morsel dispatch ------------------------------------------------------
+
+    def _dispatch(self, payload: FragmentPayload, spans: Sequence[tuple[int, int]]):
+        """Run every morsel; yield (batches, counters) in morsel order.
+
+        Consuming futures strictly in submission order is the whole
+        order-preservation story: morsel outputs concatenate back into the
+        serial emission order, whatever order workers finished in.
+        """
+        if len(spans) <= 1:
+            for start, stop in spans:
+                yield run_morsel(payload, start, stop)
+            return
+        mode = resolve_parallel_mode(self.config.parallel_mode, self.flavor)
+        if mode == "thread":
+            pool = _pool("thread", self.config.workers)
+            futures = [
+                pool.submit(run_morsel, payload, start, stop)
+                for start, stop in spans
+            ]
+            yield from _drain_in_order(futures)
+            return
+        path = _broadcast_payload(payload)
+        try:
+            pool = _pool("process", self.config.workers)
+            futures = [
+                pool.submit(_run_morsel_from_file, path, start, stop)
+                for start, stop in spans
+            ]
+            yield from _drain_in_order(futures)
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+def _drain_in_order(futures: list[Future]):
+    try:
+        for future in futures:
+            yield future.result()
+    finally:
+        for future in futures:
+            future.cancel()
+
+
+class ParallelVectorEngine(_MorselMixin, VectorEngine):
+    """Morsel-parallel vector engine (process pool by default)."""
+
+    name = "parallel-vector"
+    flavor = "vector"
+
+
+class ParallelNumpyEngine(_MorselMixin, NumpyEngine):
+    """Morsel-parallel NumPy engine (thread pool by default — the array
+    kernels spend their time in NumPy ufuncs, which release the GIL)."""
+
+    name = "parallel-numpy"
+    flavor = "numpy"
+
+    def _concat(self, batches):
+        from .numpy_kernels import concat_array_batches
+
+        return concat_array_batches(batches)
+
+    def _source_table(self, spec, dataset, alias):
+        return self._table(spec, dataset, alias)
+
+
+PARALLEL_ENGINE_TYPES = {
+    ParallelVectorEngine.name: ParallelVectorEngine,
+    ParallelNumpyEngine.name: ParallelNumpyEngine,
+}

@@ -201,29 +201,33 @@ def _emit_pairs(
 # -- hash join ----------------------------------------------------------------
 
 
-def hash_join_batches(
-    left: Iterator[Batch],
-    right: Iterator[Batch],
-    left_key: Attribute,
-    right_key: Attribute,
-    residuals: Sequence[JoinPredicate] = (),
-    batch_size: int = DEFAULT_BATCH_SIZE,
-) -> Iterator[Batch]:
-    """Build on the right, probe with streaming left batches.
+def build_hash_index(build: Batch, right_key: Attribute) -> dict[object, list[int]]:
+    """The hash-join build index: key value → build-row positions.
 
-    Probe order — and bucket insertion order — preserve input order, so the
-    output carries the left ordering exactly like the row engine.
+    Bucket *insertion order* is build input order, which is what keeps the
+    join's emission order bit-identical to the row engine's.
     """
-    build = concat_batches(list(right))
-    if build.length == 0:
-        # An empty build side joins to nothing; the probe side is not even
-        # consumed (and its columns are unknowable from here, so emitting
-        # empty batches would be wrong anyway).
-        return
     buckets: dict[object, list[int]] = {}
     for j, value in enumerate(build.column(right_key)):
         buckets.setdefault(value, []).append(j)
+    return buckets
 
+
+def probe_hash_batches(
+    left: Iterator[Batch],
+    build: Batch,
+    lookup: Callable[[object], Sequence[int] | None],
+    left_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Probe a prebuilt build side with streaming left batches.
+
+    ``lookup`` maps a probe key to its build-row positions (or ``None``) —
+    a plain ``dict.get`` for the serial join, a key-hash partition lookup
+    for the morsel scheduler's shared builds.  Factored out of
+    :func:`hash_join_batches` so parallel morsels can share one build.
+    """
     out: _OutputBuffer | None = None
     for probe in left:
         if out is None:
@@ -231,12 +235,12 @@ def hash_join_batches(
         left_positions: list[int] = []
         right_positions: list[int] = []
         keys = probe.column(left_key)
-        buckets_get = buckets.get
+        buckets_get = lookup
         if residuals:
             oriented = [_orient_predicate(p, probe.columns) for p in residuals]
             passes = _pair_passes(oriented, probe.columns, build.columns)
             for i, key in enumerate(keys):
-                for j in buckets_get(key, ()):
+                for j in buckets_get(key) or ():
                     if passes(i, j):
                         left_positions.append(i)
                         right_positions.append(j)
@@ -272,6 +276,31 @@ def hash_join_batches(
             yield out.drain()
     if out is not None and out._length:
         yield out.drain()
+
+
+def hash_join_batches(
+    left: Iterator[Batch],
+    right: Iterator[Batch],
+    left_key: Attribute,
+    right_key: Attribute,
+    residuals: Sequence[JoinPredicate] = (),
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Build on the right, probe with streaming left batches.
+
+    Probe order — and bucket insertion order — preserve input order, so the
+    output carries the left ordering exactly like the row engine.
+    """
+    build = concat_batches(list(right))
+    if build.length == 0:
+        # An empty build side joins to nothing; the probe side is not even
+        # consumed (and its columns are unknowable from here, so emitting
+        # empty batches would be wrong anyway).
+        return
+    lookup = build_hash_index(build, right_key).get
+    yield from probe_hash_batches(
+        left, build, lookup, left_key, residuals, batch_size
+    )
 
 
 # -- nested-loop join ---------------------------------------------------------

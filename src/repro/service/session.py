@@ -49,7 +49,9 @@ from ..exec.engine import (
     ExecutionConfig,
     ExecutionResult,
     default_engine_name,
+    default_worker_count,
     make_engine,
+    parallel_engine_name,
     render_analyze,
 )
 from ..plangen.backends import FsmBackend, OrderingBackend
@@ -157,6 +159,13 @@ class SessionConfig:
 
     batch_size: int = 1024
     """Target rows per batch of the vectorized execution pipeline."""
+
+    workers: int = field(default_factory=default_worker_count)
+    """Morsel workers for plan execution (``REPRO_EXEC_WORKERS``; 1 =
+    serial).  Above 1, ``execute``/``explain_analyze`` upgrade the
+    configured ``vector``/``numpy`` engine to its morsel-parallel
+    counterpart (:func:`~repro.exec.engine.parallel_engine_name`); the
+    ``row`` reference oracle always stays serial."""
 
     artifact_dir: str = field(default_factory=default_artifact_dir)
     """Directory of the persistent preparation-artifact store
@@ -568,11 +577,12 @@ class OptimizationSession:
     # -- execution ------------------------------------------------------------
 
     def _execution_config(
-        self, batch_size: int | None, check_merge_inputs: bool
+        self, batch_size: int | None, check_merge_inputs: bool, workers: int | None
     ) -> ExecutionConfig:
         return ExecutionConfig(
             batch_size=batch_size or self.config.batch_size,
             check_merge_inputs=check_merge_inputs,
+            workers=workers or self.config.workers,
         )
 
     def execute(
@@ -586,6 +596,7 @@ class OptimizationSession:
         rows_per_table: int | None = None,
         scale: float | None = None,
         seed: int = 0,
+        workers: int | None = None,
     ) -> ExecutionResult:
         """Optimize a query (through both caches) and *run* the chosen plan.
 
@@ -594,17 +605,20 @@ class OptimizationSession:
         synthetic dataset is generated — ``rows_per_table`` / ``scale`` /
         ``seed`` are forwarded to
         :func:`~repro.exec.data.generate_dataset`.  ``engine`` overrides
-        the session's configured engine for this call.  Per-operator
-        row/batch/sort counters are folded into the session statistics.
+        the session's configured engine for this call, ``workers`` its
+        morsel worker count (above 1 the serial columnar engines upgrade
+        to their parallel counterparts).  Per-operator row/batch/sort
+        counters are folded into the session statistics.
         """
         result = self.optimize(spec)
         if data is None:
             data = generate_dataset(
                 spec, rows_per_table=rows_per_table, scale=scale, seed=seed
             )
+        exec_config = self._execution_config(batch_size, check_merge_inputs, workers)
         runner = make_engine(
-            engine or self.config.engine,
-            self._execution_config(batch_size, check_merge_inputs),
+            parallel_engine_name(engine or self.config.engine, exec_config.workers),
+            exec_config,
         )
         execution = runner.execute(result.best_plan, spec, data)
         self._executions += 1
@@ -629,13 +643,15 @@ class OptimizationSession:
         rows_per_table: int | None = None,
         scale: float | None = None,
         seed: int = 0,
+        workers: int | None = None,
     ) -> str:
         """Execute the chosen plan and render the operator tree with the
         *actual* per-operator row/batch counts and sort/no-sort markers.
 
         The header names the engine that actually ran (after any NumPy
-        fallback), so a differential failure pasted from a CI log
-        identifies which backend diverged without further digging.
+        fallback) and, for parallel runs, its worker count — so a
+        differential failure pasted from a CI log identifies which backend
+        diverged without further digging.
         """
         execution = self.execute(
             spec,
@@ -646,10 +662,14 @@ class OptimizationSession:
             rows_per_table=rows_per_table,
             scale=scale,
             seed=seed,
+            workers=workers,
         )
+        engine_label = execution.engine
+        if execution.stats.workers > 1:
+            engine_label = f"{engine_label} workers={execution.stats.workers}"
         return render_analyze(
             execution,
-            header=f"explain analyze {spec.name} (engine={execution.engine}):",
+            header=f"explain analyze {spec.name} (engine={engine_label}):",
         )
 
     # -- introspection --------------------------------------------------------

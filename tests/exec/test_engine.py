@@ -16,6 +16,8 @@ from repro.exec import (
     NUMPY_AVAILABLE,
     ExecutionConfig,
     NumpyEngine,
+    ParallelNumpyEngine,
+    ParallelVectorEngine,
     RowEngine,
     VectorEngine,
     default_engine_name,
@@ -42,11 +44,28 @@ def both_engines(batch_size=16):
 
 def all_engines(batch_size=16):
     """Named (name, engine) pairs: the row reference first, then every
-    other engine available in this environment."""
+    other engine available in this environment.
+
+    The parallel engines run in thread mode with a tiny morsel size so the
+    differential grid exercises real multi-morsel scheduling (boundaries
+    inside batches, inside duplicate key groups) deterministically and
+    in-process."""
     config = ExecutionConfig(batch_size=batch_size, check_merge_inputs=True)
-    engines = [("row", RowEngine(config)), ("vector", VectorEngine(config))]
+    parallel_config = ExecutionConfig(
+        batch_size=batch_size,
+        check_merge_inputs=True,
+        workers=2,
+        morsel_size=5,
+        parallel_mode="thread",
+    )
+    engines = [
+        ("row", RowEngine(config)),
+        ("vector", VectorEngine(config)),
+        ("parallel-vector", ParallelVectorEngine(parallel_config)),
+    ]
     if NUMPY_AVAILABLE:
         engines.append(("numpy", NumpyEngine(config)))
+        engines.append(("parallel-numpy", ParallelNumpyEngine(parallel_config)))
     return engines
 
 
@@ -128,6 +147,7 @@ class TestEngineContract:
         with pytest.raises(ValueError, match="unknown execution engine"):
             make_engine("turbo")
         monkeypatch.delenv("REPRO_EXEC_ENGINE", raising=False)
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
         assert default_engine_name() == "vector"
         monkeypatch.setenv("REPRO_EXEC_ENGINE", "row")
         assert make_engine().name == "row"
@@ -138,6 +158,7 @@ class TestEngineContract:
     def test_make_engine_numpy_resolution(self, monkeypatch):
         # "numpy" is always a *valid* name; without NumPy it degrades to
         # the vectorized engine with a warning instead of failing.
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
         if NUMPY_AVAILABLE:
             assert make_engine("numpy").name == "numpy"
             monkeypatch.setenv("REPRO_EXEC_ENGINE", "numpy")
@@ -202,6 +223,7 @@ class TestNumpyFallbackWarning:
         # same per-process latch: a batch run resolving per shard must not
         # print a warning per shard.
         monkeypatch.setenv("REPRO_EXEC_ENGINE", "numpy")
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
         assert make_engine("numpy").name == "vector"
         assert default_engine_name() == "vector"
         assert make_engine().name == "vector"
@@ -312,6 +334,15 @@ class TestDifferentialGrid:
                     assert results["numpy"].rows() == results["vector"].rows(), (
                         label
                     )
+                # The morsel scheduler re-sequences per-morsel outputs, so
+                # parallel emission order is the serial order bit-for-bit.
+                assert (
+                    results["parallel-vector"].rows() == results["vector"].rows()
+                ), label
+                if "parallel-numpy" in results:
+                    assert (
+                        results["parallel-numpy"].rows() == results["numpy"].rows()
+                    ), label
                 if reference is None:
                     reference = row.multiset()
                 else:

@@ -1,0 +1,434 @@
+"""Morsel-parallel execution: scheduler semantics, config plumbing, and
+the concurrency fixes that ride along.
+
+The differential guarantees (parallel ≡ serial, bit for bit) live in the
+engine grid (``test_engine.py``) and the property oracle
+(``test_props_exec.py``); this module pins the machinery itself — fragment
+extraction, the partitioned hash build, worker-side counter aggregation,
+the empty-build short-circuit, the process-mode payload shipping, the
+engine-name upgrade rules, and the ``Dataset.array_batch`` first-touch
+lock.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.exec import (
+    ENGINES,
+    NUMPY_AVAILABLE,
+    ExecutionConfig,
+    ParallelVectorEngine,
+    RowEngine,
+    VectorEngine,
+    default_engine_name,
+    default_worker_count,
+    generate_dataset,
+    make_engine,
+    parallel_engine_name,
+    render_analyze,
+)
+from repro.exec.data import Dataset
+from repro.exec.morsel import (
+    VectorHashBuild,
+    extract_fragment,
+    run_morsel,
+)
+from repro.exec.parallel import (
+    _broadcast_payload,
+    _morsel_spans,
+    _run_morsel_from_file,
+    resolve_parallel_mode,
+)
+from repro.exec.vectorized import build_hash_index
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+from repro.plangen.plan import SCAN, SORT
+from repro.workloads import GeneratorConfig, random_join_query, topology_query
+
+if NUMPY_AVAILABLE:
+    from repro.exec import ParallelNumpyEngine
+
+
+def plan_for(spec):
+    return PlanGenerator(spec, FsmBackend(), config=PlanGenConfig()).run().best_plan
+
+
+def parallel_config(**overrides):
+    defaults = dict(
+        batch_size=16,
+        check_merge_inputs=True,
+        workers=2,
+        morsel_size=5,
+        parallel_mode="thread",
+    )
+    defaults.update(overrides)
+    return ExecutionConfig(**defaults)
+
+
+class TestFragmentExtraction:
+    def test_join_spine_over_a_scan(self):
+        spec = topology_query("chain", 4, seed=3)
+        plan = plan_for(spec)
+        fragment = extract_fragment(plan)
+        if fragment is None:  # a pure-sort root would have no spine
+            pytest.skip("plan has no join spine at the root")
+        # The spine is the chain of left children, each a join, and the
+        # source is the first non-join below it.
+        for i, node in enumerate(fragment.spine):
+            assert node.op.endswith("join")
+            if i + 1 < len(fragment.spine):
+                assert node.left is fragment.spine[i + 1]
+        assert fragment.spine[-1].left is fragment.source
+        assert not fragment.source.op.endswith("join")
+        assert fragment.nodes() == (*fragment.spine, fragment.source)
+        assert fragment.source_index == len(fragment.spine)
+
+    def test_non_join_root_has_no_fragment(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=1))
+        plan = plan_for(spec)
+        for node in plan.operators():
+            if node.op in (SCAN, SORT, "index_scan"):
+                assert extract_fragment(node) is None
+
+    def test_morsel_spans_cover_exactly(self):
+        assert _morsel_spans(0, 5) == []
+        assert _morsel_spans(5, 5) == [(0, 5)]
+        assert _morsel_spans(12, 5) == [(0, 5), (5, 10), (10, 12)]
+        assert _morsel_spans(3, 1000) == [(0, 3)]
+
+
+class TestVectorHashBuild:
+    def test_partitioned_lookup_matches_single_dict_index(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=5))
+        dataset = generate_dataset(spec, rows_per_table=40, default_domain=6, seed=5)
+        alias = spec.aliases[0]
+        batch = dataset.batch(alias)
+        key = next(iter(batch.columns))
+        flat = build_hash_index(batch, key)
+        for n_partitions in (1, 2, 4, 7):
+            build = VectorHashBuild(batch, key, n_partitions)
+            assert build.batch is batch
+            for value in set(batch.column(key)) | {"missing"}:
+                assert build.lookup(value) == flat.get(value), (
+                    value,
+                    n_partitions,
+                )
+
+    def test_zero_partitions_clamps_to_one(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=5))
+        dataset = generate_dataset(spec, rows_per_table=4, seed=5)
+        batch = dataset.batch(spec.aliases[0])
+        key = next(iter(batch.columns))
+        assert VectorHashBuild(batch, key, 0).n_partitions == 1
+
+
+class TestSchedulerSemantics:
+    def _case(self, seed=7, rows=40):
+        spec = topology_query("chain", 3, seed=seed)
+        dataset = generate_dataset(spec, rows_per_table=rows, default_domain=5, seed=seed)
+        return spec, dataset, plan_for(spec)
+
+    def test_workers_one_is_the_serial_path(self, monkeypatch):
+        """At workers=1 the parallel engine never consults the scheduler:
+        the fragment extractor is not even called."""
+        import repro.exec.parallel as parallel_module
+
+        spec, dataset, plan = self._case()
+
+        def boom(node):  # pragma: no cover - the assertion is that it never runs
+            raise AssertionError("extract_fragment called at workers=1")
+
+        monkeypatch.setattr(parallel_module, "extract_fragment", boom)
+        engine = ParallelVectorEngine(parallel_config(workers=1))
+        serial = VectorEngine(ExecutionConfig(batch_size=16, check_merge_inputs=True))
+        assert (
+            engine.execute(plan, spec, dataset).rows()
+            == serial.execute(plan, spec, dataset).rows()
+        )
+
+    def test_counters_cover_every_node_and_match_output(self):
+        spec, dataset, plan = self._case()
+        engine = ParallelVectorEngine(parallel_config())
+        result = engine.execute(plan, spec, dataset)
+        row = RowEngine(ExecutionConfig()).execute(plan, spec, dataset)
+        assert result.multiset() == row.multiset()
+        assert set(result.stats.nodes) == {id(n) for n in plan.operators()}
+        assert result.stats.nodes[id(plan)].rows == result.row_count
+        assert result.stats.workers == 2
+
+    def test_empty_build_short_circuits_like_the_serial_engine(self):
+        """A join whose build side comes up empty emits nothing, and the
+        probe subtree below it must stay un-executed — same contract as the
+        serial hash join, observable through explain-analyze."""
+        spec, dataset, plan = self._case()
+        # Empty every table: any build side the spine drains is empty.
+        empty = Dataset(
+            {alias: batch.slice(0, 0) for alias, batch in dataset.tables.items()}
+        )
+        engine = ParallelVectorEngine(parallel_config())
+        result = engine.execute(plan, spec, empty)
+        assert result.row_count == 0
+        assert "not executed" in render_analyze(result)
+
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="needs numpy")
+    def test_numpy_scheduler_agrees_with_vector_scheduler(self):
+        spec, dataset, plan = self._case(seed=9)
+        vector = ParallelVectorEngine(parallel_config()).execute(plan, spec, dataset)
+        numpy = ParallelNumpyEngine(parallel_config()).execute(plan, spec, dataset)
+        assert numpy.rows() == vector.rows()
+
+    def test_single_morsel_runs_inline(self):
+        """A source smaller than one morsel must not touch any pool."""
+        import repro.exec.parallel as parallel_module
+
+        spec, dataset, plan = self._case(rows=4)
+        engine = ParallelVectorEngine(parallel_config(morsel_size=10_000))
+        before = dict(parallel_module._POOLS)
+        result = engine.execute(plan, spec, dataset)
+        row = RowEngine(ExecutionConfig()).execute(plan, spec, dataset)
+        assert result.multiset() == row.multiset()
+        assert parallel_module._POOLS == before
+
+    def test_process_mode_end_to_end(self):
+        """The real ProcessPoolExecutor path, payload broadcast included."""
+        spec, dataset, plan = self._case()
+        engine = ParallelVectorEngine(
+            parallel_config(parallel_mode="process", morsel_size=7)
+        )
+        serial = VectorEngine(ExecutionConfig(batch_size=16, check_merge_inputs=True))
+        assert (
+            engine.execute(plan, spec, dataset).rows()
+            == serial.execute(plan, spec, dataset).rows()
+        )
+
+
+class TestPayloadShipping:
+    def _payload(self):
+        """A real fragment payload, captured from the scheduler."""
+        spec = topology_query("chain", 3, seed=13)
+        dataset = generate_dataset(spec, rows_per_table=30, default_domain=5, seed=13)
+        plan = plan_for(spec)
+        fragment = extract_fragment(plan)
+        assert fragment is not None
+        engine = ParallelVectorEngine(parallel_config())
+        captured = {}
+
+        original = engine._dispatch
+
+        def capture(payload, spans):
+            captured["payload"] = payload
+            captured["spans"] = spans
+            return original(payload, spans)
+
+        engine._dispatch = capture
+        engine.execute(plan, spec, dataset)
+        return captured["payload"], captured["spans"]
+
+    def test_payload_pickles_and_file_roundtrip_runs(self, monkeypatch):
+        import repro.exec.parallel as parallel_module
+
+        payload, spans = self._payload()
+        assert pickle.loads(pickle.dumps(payload)).flavor == payload.flavor
+        monkeypatch.setattr(parallel_module, "_WORKER_PAYLOADS", {})
+        path = _broadcast_payload(payload)
+        try:
+            start, stop = spans[0]
+            direct = run_morsel(payload, start, stop)
+            via_file = _run_morsel_from_file(path, start, stop)
+            assert [b.to_rows() for b in direct[0]] == [
+                b.to_rows() for b in via_file[0]
+            ]
+            assert direct[1] == via_file[1]
+            # Second call hits the worker-side cache: the payload object is
+            # reused, not re-read from disk.
+            cached = parallel_module._WORKER_PAYLOADS[path]
+            assert _run_morsel_from_file(path, start, stop)[1] == direct[1]
+            assert parallel_module._WORKER_PAYLOADS[path] is cached
+        finally:
+            import os
+
+            os.unlink(path)
+
+    def test_worker_payload_cache_is_bounded(self, monkeypatch):
+        import repro.exec.parallel as parallel_module
+
+        payload, spans = self._payload()
+        monkeypatch.setattr(parallel_module, "_WORKER_PAYLOADS", {})
+        paths = [_broadcast_payload(payload) for _ in range(6)]
+        try:
+            for path in paths:
+                _run_morsel_from_file(path, *spans[0])
+            assert (
+                len(parallel_module._WORKER_PAYLOADS)
+                <= parallel_module._WORKER_PAYLOAD_CACHE_SIZE
+            )
+        finally:
+            import os
+
+            for path in paths:
+                os.unlink(path)
+
+
+class TestEngineNameResolution:
+    def test_registry_contains_the_parallel_engines(self):
+        assert "parallel-vector" in ENGINES
+        assert "parallel-numpy" in ENGINES
+
+    def test_make_engine_builds_parallel_engines(self):
+        engine = make_engine("parallel-vector", parallel_config())
+        assert isinstance(engine, ParallelVectorEngine)
+        assert engine.name == "parallel-vector"
+        if NUMPY_AVAILABLE:
+            assert make_engine("parallel-numpy").name == "parallel-numpy"
+
+    def test_parallel_upgrade_rules(self):
+        assert parallel_engine_name("vector", 1) == "vector"
+        assert parallel_engine_name("vector", 2) == "parallel-vector"
+        assert parallel_engine_name("row", 4) == "row"  # the oracle stays serial
+        assert parallel_engine_name("parallel-vector", 4) == "parallel-vector"
+        assert parallel_engine_name("parallel-vector", 1) == "parallel-vector"
+        if NUMPY_AVAILABLE:
+            assert parallel_engine_name("numpy", 2) == "parallel-numpy"
+
+    def test_env_worker_count_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
+        assert default_worker_count() == 1
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+        assert default_worker_count() == 3
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "zoom")
+        with pytest.raises(ValueError, match="positive integer"):
+            default_worker_count()
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            default_worker_count()
+
+    def test_env_workers_upgrade_the_default_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_ENGINE", raising=False)
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        assert default_engine_name() == "parallel-vector"
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "1")
+        assert default_engine_name() == "vector"
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        monkeypatch.setenv("REPRO_EXEC_ENGINE", "row")
+        assert default_engine_name() == "row"
+        if NUMPY_AVAILABLE:
+            monkeypatch.setenv("REPRO_EXEC_ENGINE", "numpy")
+            assert default_engine_name() == "parallel-numpy"
+
+    def test_parallel_numpy_falls_back_to_parallel_vector(self, monkeypatch):
+        from repro.exec import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "NUMPY_AVAILABLE", False)
+        monkeypatch.setattr(engine_module, "_numpy_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="falls back"):
+            assert (
+                engine_module.resolve_engine_name("parallel-numpy")
+                == "parallel-vector"
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError, match="morsel_size"):
+            ExecutionConfig(morsel_size=0)
+        with pytest.raises(ValueError, match="parallel_mode"):
+            ExecutionConfig(parallel_mode="fiber")
+
+    def test_mode_resolution(self):
+        assert resolve_parallel_mode("auto", "vector") == "process"
+        assert resolve_parallel_mode("auto", "numpy") == "thread"
+        assert resolve_parallel_mode("thread", "vector") == "thread"
+        assert resolve_parallel_mode("process", "numpy") == "process"
+
+
+class TestSessionIntegration:
+    def _session_case(self):
+        from repro.service import OptimizationSession, SessionConfig
+
+        spec = topology_query("star", 3, seed=21)
+        # workers pinned to 1: these tests exercise the per-call override,
+        # so the session default must not float with REPRO_EXEC_WORKERS
+        # (the parallel-smoke CI leg exports it).
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(batch_size=16, workers=1)
+        )
+        dataset = generate_dataset(spec, rows_per_table=30, default_domain=5, seed=21)
+        return session, spec, dataset
+
+    def test_execute_workers_upgrades_and_counts_the_parallel_engine(self):
+        session, spec, dataset = self._session_case()
+        serial = session.execute(spec, data=dataset, engine="vector")
+        result = session.execute(spec, data=dataset, engine="vector", workers=2)
+        assert result.engine == "parallel-vector"
+        assert result.stats.workers == 2
+        assert result.rows() == serial.rows()
+        stats = session.statistics()
+        assert stats.exec_engines.get("parallel-vector") == 1
+        assert stats.exec_engines.get("vector") == 1
+
+    def test_explain_analyze_names_engine_and_worker_count(self):
+        session, spec, dataset = self._session_case()
+        text = session.explain_analyze(spec, data=dataset, engine="vector", workers=2)
+        assert "engine=parallel-vector workers=2" in text
+        serial_text = session.explain_analyze(spec, data=dataset, engine="vector")
+        assert "workers=" not in serial_text
+
+    def test_session_config_workers_flow_to_execution(self):
+        from repro.service import OptimizationSession, SessionConfig
+
+        spec = topology_query("chain", 3, seed=22)
+        dataset = generate_dataset(spec, rows_per_table=20, default_domain=5, seed=22)
+        session = OptimizationSession(
+            spec.catalog, config=SessionConfig(batch_size=16, workers=2)
+        )
+        result = session.execute(spec, data=dataset)
+        assert result.engine.startswith("parallel-")
+        assert result.stats.workers == 2
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="needs numpy")
+class TestDatasetConversionLock:
+    def test_concurrent_first_touch_converts_once(self, monkeypatch):
+        import repro.exec.arraybatch as arraybatch_module
+
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=31))
+        dataset = generate_dataset(spec, rows_per_table=50, seed=31)
+        alias = spec.aliases[0]
+
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        calls = []
+        original = arraybatch_module.ArrayBatch.from_batch.__func__
+
+        def counting(cls, batch, hints=None):
+            calls.append(threading.get_ident())
+            return original(cls, batch, hints)
+
+        monkeypatch.setattr(
+            arraybatch_module.ArrayBatch, "from_batch", classmethod(counting)
+        )
+        results = []
+
+        def touch():
+            barrier.wait()
+            results.append(dataset.array_batch(alias))
+
+        threads = [threading.Thread(target=touch) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # One conversion, and everyone got the same cached object.
+        assert len(calls) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_dataset_pickles_without_the_lock(self):
+        spec = random_join_query(GeneratorConfig(n_relations=2, seed=32))
+        dataset = generate_dataset(spec, rows_per_table=10, seed=32)
+        dataset.array_batch(spec.aliases[0])
+        clone = pickle.loads(pickle.dumps(dataset))
+        assert clone.row_count() == dataset.row_count()
+        # The clone has a working lock of its own and a cold cache.
+        assert clone.array_batch(spec.aliases[0]).length == 10

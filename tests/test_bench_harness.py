@@ -86,7 +86,9 @@ class TestSaveJson:
 
     def test_environment_fields(self):
         env = bench_environment()
-        assert set(env) == {"commit", "machine", "system", "python"}
+        assert set(env) == {"commit", "machine", "system", "python", "cpu_count"}
+        cpu_count = env.pop("cpu_count")
+        assert isinstance(cpu_count, int) and cpu_count >= 1
         assert all(isinstance(v, str) and v for v in env.values())
 
     def test_save_json_is_deterministic(self, tmp_path, monkeypatch):
