@@ -39,7 +39,17 @@ Commands:
                            counters, ``\\quit`` exits).  With ``--port P``:
                            an asyncio line-protocol server answering
                            concurrent clients, sharded over ``--workers N``
-                           sessions.
+                           sessions — and with ``--procs N`` routed across N
+                           worker *processes* (consistent-hash by template
+                           fingerprint).  ``--max-pending`` / ``--quota-*``
+                           bound the offered load with structured
+                           ``REJECTED(reason)`` replies; SIGINT/SIGTERM
+                           drain gracefully;
+* ``loadtest``           — drive a serving frontend with Zipf-skewed
+                           per-client SQL streams, report p50/p99 latency
+                           and plans/sec, journal every request/response
+                           as JSONL (``--journal``), and optionally replay
+                           the journal bit-for-bit (``--replay-check``).
 """
 
 from __future__ import annotations
@@ -63,9 +73,12 @@ from .plangen import (
 from .query.analyzer import analyze
 from .query.sql import sql_to_query
 from .service import (
+    AdmissionController,
     OptimizationSession,
+    Quota,
     SessionConfig,
     SessionPool,
+    make_frontend,
     process_batch,
     run_server,
 )
@@ -75,6 +88,9 @@ from .workloads import (
     q8_order_info,
     q8_query,
     random_join_query,
+    replay_journal,
+    run_load,
+    skewed_sql_streams,
     template_workload,
 )
 
@@ -488,20 +504,35 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _admission_from_args(args: argparse.Namespace) -> "AdmissionController | None":
+    """Admission control from CLI flags, or None when nothing was bounded."""
+    if args.max_pending is None and args.quota_burst is None:
+        return None
+    quota = None
+    if args.quota_burst is not None:
+        quota = Quota(burst=args.quota_burst, per_second=args.quota_rate)
+    return AdmissionController(
+        max_pending=args.max_pending if args.max_pending is not None else 256,
+        quota=quota,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     catalog = _resolve_catalog(args.catalog)
     config = SessionConfig(
         **({"artifact_dir": args.artifacts} if args.artifacts else {})
     )
     if args.port is not None:
-        pool = run_server(
+        frontend = run_server(
             catalog,
             host=args.host,
             port=args.port,
             n_shards=args.workers,
+            procs=args.procs,
             config=config,
+            admission=_admission_from_args(args),
         )
-        print(pool.shard_statistics(drain=False).describe())
+        print(frontend.describe())
         return 0
     pool = SessionPool(catalog, n_shards=args.workers, config=config)
     print(
@@ -540,6 +571,83 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(pool.statistics().describe())
     pool.close()
     return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a frontend with skewed client streams; journal and report."""
+    import json as json_module
+    from pathlib import Path
+
+    catalog, streams = skewed_sql_streams(
+        args.clients,
+        args.queries,
+        n_templates=args.templates,
+        skew=args.skew,
+        repeats=args.repeats,
+        base_config=GeneratorConfig(n_relations=args.relations),
+        seed=args.seed,
+    )
+    config = SessionConfig(
+        **({"artifact_dir": args.artifacts} if args.artifacts else {})
+    )
+    frontend = make_frontend(
+        catalog,
+        procs=args.procs,
+        n_shards=args.workers,
+        config=config,
+        admission=_admission_from_args(args),
+    )
+    try:
+        report = run_load(frontend, streams, journal_path=args.journal)
+    finally:
+        frontend.close()
+    print(
+        f"loadtest: {args.clients} client(s) x {args.queries} request(s), "
+        f"{args.procs} process(es) x {args.workers} shard(s)"
+    )
+    print(report.describe())
+    print()
+    print(frontend.describe())
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    offered = args.clients * args.queries
+    if report.requests != offered:  # pragma: no cover - the zero-dropped guard
+        print(f"DROPPED {offered - report.requests} request(s) without a reply")
+        return 1
+    if args.replay_check:
+        if not args.journal:
+            raise SystemExit("--replay-check needs --journal")
+        # Replay against a fresh single-process, admission-free frontend:
+        # the recorded ok/error responses must reproduce bit-for-bit.
+        with make_frontend(
+            catalog, procs=1, n_shards=args.workers, config=config
+        ) as replayer:
+            replay = replay_journal(replayer, args.journal)
+        print(f"replay: {replay.describe()}")
+        if not replay.exact:
+            for mismatch in replay.mismatches:
+                print(f"  {mismatch}")
+            return 1
+    return 0
+
+
+def _add_admission_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--max-pending", type=int, default=None,
+        help="bound on globally queued requests (beyond it: "
+        "REJECTED(queue_full))",
+    )
+    command.add_argument(
+        "--quota-burst", type=int, default=None,
+        help="per-client token-bucket burst (beyond it: REJECTED(quota))",
+    )
+    command.add_argument(
+        "--quota-rate", type=float, default=64.0,
+        help="per-client token refill rate per second (with --quota-burst)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -740,7 +848,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent preparation-artifact store shared by the shards "
         "(restarts warm-load instead of re-preparing; see `warm`)",
     )
+    serve.add_argument(
+        "--procs", type=int, default=1,
+        help="worker processes behind the network server (>1 routes by "
+        "preparation fingerprint over a consistent-hash ring; --port only)",
+    )
+    _add_admission_flags(serve)
     serve.set_defaults(fn=cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a serving frontend with Zipf-skewed client streams; "
+        "optionally journal to JSONL and replay-check determinism",
+    )
+    loadtest.add_argument(
+        "--procs", type=int, default=1,
+        help="worker processes (1 = in-process pool, >1 = ShardRouter)",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=2,
+        help="session shards per process",
+    )
+    loadtest.add_argument("--clients", type=int, default=4, help="#client streams")
+    loadtest.add_argument(
+        "--queries", type=int, default=25, help="requests per client"
+    )
+    loadtest.add_argument("--templates", type=int, default=4, help="#templates")
+    loadtest.add_argument(
+        "--repeats", type=int, default=8,
+        help="constant-variants per template (cache-hit rate knob)",
+    )
+    loadtest.add_argument(
+        "--relations", type=int, default=5, help="relations per template"
+    )
+    loadtest.add_argument(
+        "--skew", type=float, default=1.0, help="Zipf template-popularity skew"
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write every request/response as a JSONL journal record",
+    )
+    loadtest.add_argument(
+        "--replay-check", action="store_true",
+        help="re-drive the journal against a fresh 1-proc frontend and "
+        "require bit-for-bit identical replies (needs --journal)",
+    )
+    loadtest.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the load report (latency percentiles, throughput) as JSON",
+    )
+    loadtest.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="shared preparation-artifact store for warm starts",
+    )
+    _add_admission_flags(loadtest)
+    loadtest.set_defaults(fn=cmd_loadtest)
 
     return parser
 

@@ -18,6 +18,16 @@ statistics, and a :func:`repro.service.pool.process_batch` path for
 CPU-bound cold batches.  :class:`repro.service.server.PlanServer` serves
 the pool to concurrent network clients over an asyncio line protocol.
 
+Serving at scale stacks three more layers (:mod:`repro.service.router`,
+:mod:`repro.service.coalesce`, :mod:`repro.service.admission`): a
+:class:`ShardRouter` consistent-hash-routes request lines by preparation
+fingerprint across N worker *processes* (each hosting its own pool, all
+sharing one artifact store for warm starts), a :class:`SingleFlight` map
+collapses concurrent identical requests onto one computation, and an
+:class:`AdmissionController` sheds overload with structured
+``REJECTED(reason)`` replies — bounded queue globally, token-bucket
+quotas per client.
+
 The amortization even survives the process: an
 :class:`repro.service.artifacts.ArtifactStore` persists prepared machines
 as versioned on-disk artifacts keyed by canonical fingerprint, so a server
@@ -41,10 +51,27 @@ Quickstart::
     print(session.statistics().describe())
 """
 
+from .admission import (
+    AdmissionController,
+    AdmissionStats,
+    Quota,
+    Rejection,
+    TokenBucket,
+)
 from .artifacts import ArtifactStats, ArtifactStore, canonical_fingerprint
 from .cache import CacheStats, LRUCache
+from .coalesce import CoalesceStats, SingleFlight
 from .pool import SessionPool, process_batch
-from .server import PlanServer, run_server
+from .router import (
+    HashRing,
+    PoolFrontend,
+    Reply,
+    ServingFrontend,
+    ShardRouter,
+    render_plan,
+    template_signature,
+)
+from .server import PlanServer, make_frontend, run_server
 from .session import (
     OptimizationSession,
     SessionConfig,
@@ -56,20 +83,35 @@ from .session import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
     "ArtifactStats",
     "ArtifactStore",
     "CacheStats",
+    "CoalesceStats",
+    "HashRing",
     "LRUCache",
     "OptimizationSession",
     "PlanServer",
+    "PoolFrontend",
+    "Quota",
+    "Rejection",
+    "Reply",
+    "ServingFrontend",
     "SessionConfig",
     "SessionPool",
     "SessionStatistics",
+    "ShardRouter",
+    "SingleFlight",
+    "TokenBucket",
     "analyze_for_config",
     "canonical_fingerprint",
     "canonical_query_key",
     "default_artifact_dir",
     "default_prepare_mode",
+    "make_frontend",
     "process_batch",
+    "render_plan",
     "run_server",
+    "template_signature",
 ]

@@ -1,0 +1,247 @@
+"""Admission control: bounded pending work plus per-client token buckets.
+
+A serving tier that accepts every request degrades for *everyone* when
+offered load exceeds capacity: queues grow without bound, every client's
+latency climbs together, and the process eventually dies of memory instead
+of answering anybody.  The admission controller sheds load at the door
+instead:
+
+* a **bounded global queue** — at most ``max_pending`` admitted requests
+  may be in flight (queued or executing) at once; request number
+  ``max_pending + 1`` is turned away immediately with
+  ``REJECTED(queue_full)``;
+* **per-client token buckets** — each client identity holds a bucket of
+  ``Quota.burst`` tokens refilled at ``Quota.per_second``; a request with
+  an empty bucket is turned away with ``REJECTED(quota)`` while every
+  other client's traffic proceeds untouched.
+
+Rejections are *structured replies*, not dropped connections: the client
+always learns why (:class:`Rejection` renders the ``REJECTED(reason)``
+protocol line), and the controller counts every decision so saturation is
+observable before it becomes latency.
+
+Time is injectable (``clock``) so quota behavior is deterministic under
+test: a fake clock makes "one second passed, the bucket refilled" an exact
+statement instead of a sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Rejection reasons the serving tier can reply with.
+REASON_QUEUE_FULL = "queue_full"
+REASON_QUOTA = "quota"
+REASON_DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A structured shed-load decision (never an exception)."""
+
+    reason: str
+    client: str | None = None
+
+    def reply_line(self) -> str:
+        """The protocol reply — deterministic, so journals replay exactly."""
+        return f"REJECTED({self.reason})"
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-client token-bucket parameters.
+
+    ``burst`` tokens may be spent instantly; sustained throughput refills
+    at ``per_second``.  ``per_second=0`` never refills — the bucket is a
+    hard per-client request budget (useful for deterministic tests).
+    """
+
+    burst: int = 32
+    per_second: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.burst < 1:
+            raise ValueError(f"quota burst must be >= 1, got {self.burst}")
+        if self.per_second < 0:
+            raise ValueError(
+                f"quota refill rate must be >= 0, got {self.per_second}"
+            )
+
+
+class TokenBucket:
+    """One client's bucket: lazy refill on each acquire, no timer thread."""
+
+    def __init__(
+        self, quota: Quota, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._quota = quota
+        self._clock = clock
+        self._tokens = float(quota.burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        """Spend one token if available; refills for the time since the
+        last call first (so a long-idle client regains its full burst)."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._stamp)
+            self._stamp = now
+            self._tokens = min(
+                float(self._quota.burst),
+                self._tokens + elapsed * self._quota.per_second,
+            )
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (monitoring only; not refilled first)."""
+        return self._tokens
+
+
+class AdmissionTicket:
+    """Proof of admission; release it when the request finishes.
+
+    Releasing is idempotent — the done-callback path and an error path may
+    both fire without double-freeing the pending slot.
+    """
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass
+class AdmissionStats:
+    """Decision counters (rendered into the serving statistics)."""
+
+    admitted: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    depth: int = 0
+    high_water: int = 0
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def describe(self) -> str:
+        by_reason = (
+            ", ".join(
+                f"{reason}={count}" for reason, count in sorted(self.rejected.items())
+            )
+            or "none"
+        )
+        return (
+            f"admission         : {self.admitted} admitted, "
+            f"{self.rejected_total} rejected ({by_reason}); "
+            f"depth {self.depth} (high-water {self.high_water})"
+        )
+
+
+class AdmissionController:
+    """Admit or shed each request before any parsing or routing happens.
+
+    >>> control = AdmissionController(max_pending=2)
+    >>> ticket = control.admit("alice")
+    >>> isinstance(ticket, AdmissionTicket)
+    True
+    >>> ticket.release()
+
+    The quota check runs first: an over-quota client is told ``quota`` even
+    when the queue has room (its rejection is *its own fault*, and the slot
+    stays free for in-quota traffic).  ``quota=None`` disables per-client
+    limiting; ``max_pending`` always applies.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 256,
+        quota: Quota | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.quota = quota
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._admitted = 0
+        self._rejected: dict[str, int] = {}
+        self._high_water = 0
+
+    # -- decisions ------------------------------------------------------------
+
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            # Racy double-create is harmless (one bucket wins, one token
+            # check is generous once); a lock here would serialize admits.
+            bucket = self._buckets.setdefault(
+                client, TokenBucket(self.quota, self._clock)
+            )
+        return bucket
+
+    def admit(self, client: str | None = None) -> AdmissionTicket | Rejection:
+        """One decision: a ticket (release it when done) or a rejection."""
+        if self.quota is not None and client is not None:
+            if not self._bucket(client).try_acquire():
+                return self._reject(REASON_QUOTA, client)
+        with self._lock:
+            if self._pending >= self.max_pending:
+                pass  # fall through to reject outside the lock
+            else:
+                self._pending += 1
+                self._admitted += 1
+                self._high_water = max(self._high_water, self._pending)
+                return AdmissionTicket(self)
+        return self._reject(REASON_QUEUE_FULL, client)
+
+    def _reject(self, reason: str, client: str | None) -> Rejection:
+        with self._lock:
+            self._rejected[reason] = self._rejected.get(reason, 0) + 1
+        return Rejection(reason, client)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._pending -= 1
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Admitted requests currently in flight (queued or executing)."""
+        return self._pending
+
+    def statistics(self) -> AdmissionStats:
+        with self._lock:
+            return AdmissionStats(
+                admitted=self._admitted,
+                rejected=dict(self._rejected),
+                depth=self._pending,
+                high_water=self._high_water,
+            )
+
+    def describe(self) -> str:
+        return self.statistics().describe()

@@ -1,0 +1,136 @@
+"""Single-flight request coalescing.
+
+Under template-skewed serving traffic the same request often arrives many
+times *concurrently* — a burst of clients all asking for the hot template
+while its preparation is still cold.  Without coalescing every one of them
+queues its own optimization behind the shard thread; the answers are
+identical, so all but the first are pure waste.  :class:`SingleFlight`
+collapses the burst: the first arrival for a key becomes the **leader** and
+actually performs the work, every concurrently-arriving duplicate becomes a
+**follower** that waits on the leader's future and shares its result.  The
+acceptance property (pinned by ``tests/service/test_coalesce.py``): K
+concurrent identical cold requests perform exactly one preparation.
+
+The map holds only *in-flight* work — an entry is removed the moment its
+future resolves, so coalescing never caches results (that is the plan
+cache's job) and never serves a stale answer.  Failures propagate to every
+follower: if the leader's work raises, all coalesced waiters see the same
+exception, exactly as if each had run the work itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+V = TypeVar("V")
+
+
+@dataclass
+class CoalesceStats:
+    """Counters of one single-flight map (surfaced via pool statistics)."""
+
+    leads: int = 0
+    """Keys that dispatched real work (the cache-miss analogue)."""
+
+    joins: int = 0
+    """Requests that piggybacked on an already-in-flight identical key —
+    each one is a whole optimization (or preparation) that never ran."""
+
+    def add(self, other: "CoalesceStats") -> "CoalesceStats":
+        return CoalesceStats(
+            leads=self.leads + other.leads, joins=self.joins + other.joins
+        )
+
+    def describe(self) -> str:
+        return f"{self.leads} led, {self.joins} joined"
+
+
+class SingleFlight:
+    """Coalesce concurrent work for identical keys onto one future.
+
+    ``lead_or_join(key)`` returns ``(future, leader)``: the leader must
+    eventually call :meth:`finish` (or :meth:`abandon` on a dispatch
+    failure) with that key and future; followers just wait on the shared
+    future.  ``run(key, supplier)`` is the blocking convenience wrapper for
+    callers that do the work inline.
+
+    Thread-safe; the lock only guards the in-flight map, never the work.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._in_flight: dict[Hashable, Future] = {}
+        self.stats = CoalesceStats()
+
+    def lead_or_join(self, key: Hashable) -> "tuple[Future, bool]":
+        """Join the in-flight future for ``key``, or lead a new one."""
+        with self._lock:
+            future = self._in_flight.get(key)
+            if future is not None:
+                self.stats.joins += 1
+                return future, False
+            future = Future()
+            self._in_flight[key] = future
+            self.stats.leads += 1
+            return future, True
+
+    def _forget(self, key: Hashable, future: Future) -> None:
+        with self._lock:
+            if self._in_flight.get(key) is future:
+                del self._in_flight[key]
+
+    def finish(self, key: Hashable, future: Future, result: object) -> None:
+        """Leader-side completion: publish ``result`` to every waiter.
+
+        The entry leaves the map *before* the future resolves, so a request
+        arriving after completion leads a fresh flight instead of being
+        handed a stale answer.
+        """
+        self._forget(key, future)
+        future.set_result(result)
+
+    def fail(self, key: Hashable, future: Future, error: BaseException) -> None:
+        """Leader-side failure: every coalesced waiter sees ``error``."""
+        self._forget(key, future)
+        future.set_exception(error)
+
+    def resolve_with(self, key: Hashable, future: Future, source: Future) -> None:
+        """Chain the flight's future to ``source`` (an async leader's real
+        work): result or exception is copied over when ``source`` resolves,
+        and the in-flight entry is dropped at that moment."""
+
+        def copy(done: Future) -> None:
+            self._forget(key, future)
+            error = done.exception()
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(done.result())
+
+        source.add_done_callback(copy)
+
+    def run(self, key: Hashable, supplier: Callable[[], V]) -> "tuple[V, bool]":
+        """Blocking convenience: do (or await) the work for ``key``.
+
+        Returns ``(value, led)`` — ``led`` is True when this call actually
+        ran ``supplier``.  Exceptions propagate to the leader *and* every
+        follower alike.
+        """
+        future, leader = self.lead_or_join(key)
+        if not leader:
+            return future.result(), False
+        try:
+            value = supplier()
+        except BaseException as error:
+            self.fail(key, future, error)
+            raise
+        self.finish(key, future, value)
+        return value, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being worked on."""
+        with self._lock:
+            return len(self._in_flight)

@@ -39,6 +39,7 @@ session around it.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, Iterable, Sequence
@@ -51,11 +52,13 @@ from ..plangen.dp import PlanGenResult
 from ..query.analyzer import QueryOrderInfo
 from ..query.query import QuerySpec
 from .artifacts import ArtifactStore
+from .coalesce import CoalesceStats, SingleFlight
 from .session import (
     OptimizationSession,
     SessionConfig,
     SessionStatistics,
     analyze_for_config,
+    canonical_query_key,
 )
 
 
@@ -114,6 +117,17 @@ class SessionPool:
             ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shard-{i}")
             for i in range(n_shards)
         ]
+        # Single-flight coalescing over the *whole pool*: concurrently
+        # arriving identical requests (same canonical query key) dispatch
+        # exactly one shard task; followers share the leader's future.  The
+        # map only ever holds in-flight work, so results are never served
+        # stale — re-asking after completion goes through the caches.
+        self._single_flight = SingleFlight()
+        # Per-shard pending counts (submitted, not yet completed).  Guarded
+        # by one lock: depth bookkeeping is two integer ops per request,
+        # nowhere near the contention that would justify per-shard locks.
+        self._depths = [0] * n_shards
+        self._depth_lock = threading.Lock()
         self._closed = False
 
     @property
@@ -143,18 +157,41 @@ class SessionPool:
     # -- the service API ------------------------------------------------------
 
     def submit(self, spec: QuerySpec) -> "Future[PlanGenResult]":
-        """Route one query to its shard; returns the shard's future.
+        """Route one query to its shard; returns a future for its result.
 
         Analysis (cheap, stateless) runs in the calling thread; everything
-        that touches a cache runs on the shard's own thread.
+        that touches a cache runs on the shard's own thread.  Concurrent
+        submissions of the *same* canonical query coalesce: only the first
+        dispatches a shard task, the rest receive the same future (counted
+        in ``statistics().coalesce``).  A failure anywhere — analysis in
+        this thread, optimization on the shard — resolves the shared future
+        with that exception for leader and followers alike.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
-        info = analyze_for_config(spec, self.config)
-        shard = self.shard_of(info)
-        return self._executors[shard].submit(
-            self._sessions[shard].optimize, spec, info=info
-        )
+        key = canonical_query_key(spec)
+        flight, leader = self._single_flight.lead_or_join(key)
+        if not leader:
+            return flight
+        try:
+            info = analyze_for_config(spec, self.config)
+            shard = self.shard_of(info)
+            with self._depth_lock:
+                self._depths[shard] += 1
+            inner = self._executors[shard].submit(
+                self._sessions[shard].optimize, spec, info=info
+            )
+        except BaseException as error:
+            self._single_flight.fail(key, flight, error)
+            raise
+
+        def drop_depth(_: Future, shard: int = shard) -> None:
+            with self._depth_lock:
+                self._depths[shard] -= 1
+
+        inner.add_done_callback(drop_depth)
+        self._single_flight.resolve_with(key, flight, inner)
+        return flight
 
     def optimize(self, spec: QuerySpec) -> PlanGenResult:
         """Optimize one query (blocking thread-safe facade)."""
@@ -215,6 +252,13 @@ class SessionPool:
         total = SessionStatistics()
         for snapshot in snapshots:
             total = total.add(snapshot)
+        # Pool-level observability: the sessions know nothing about the
+        # traffic that never reached them (coalesced joins) or about queue
+        # pressure — both live here, in the routing layer.
+        flight = self._single_flight.stats
+        total.coalesce = CoalesceStats(leads=flight.leads, joins=flight.joins)
+        with self._depth_lock:
+            total.shard_depths = tuple(self._depths)
         return total
 
     def clear_caches(self) -> None:

@@ -1,0 +1,713 @@
+"""Multi-process serving: consistent-hash shard routing with coalescing
+and admission control in front.
+
+The sharded :class:`~repro.service.pool.SessionPool` scales the paper's
+prepared-state reuse across *threads*, but the GIL caps one process at
+roughly one core of plan generation.  Serving a million-query stream needs
+processes.  This module is that tier, assembled from three pieces:
+
+**Serving frontends.**  :class:`ServingFrontend` is the request pipeline
+every deployment shape shares: *admit* (shed load at the door with a
+structured ``REJECTED(reason)`` reply — never an exception, never a
+dropped request), *coalesce* (concurrent identical request lines collapse
+onto one in-flight computation), *dispatch* (subclass-specific).
+``submit(line)`` returns a future that always resolves to a
+:class:`Reply`; ``ask`` is the blocking facade.  Two dispatch strategies:
+
+* :class:`PoolFrontend` — in-process, over one :class:`SessionPool`
+  (what a single-process ``serve`` uses);
+* :class:`ShardRouter` — the tentpole: N **worker processes**, each
+  hosting its own ``SessionPool``, fed over per-worker request queues and
+  one shared response queue.
+
+**Consistent-hash routing.**  The router places workers on a
+:class:`HashRing` (sha256 points, ``replicas`` virtual nodes each) and
+routes every request by the digest of its canonical *preparation
+fingerprint* — the same template-stable key the pool's shards use.  All
+variants of a template therefore land in one worker, whose prepared-state
+cache amortizes the paper's one-time preparation exactly as in a single
+process; and because the ring is consistent, resizing the fleet from N to
+N+1 workers remaps only ~1/(N+1) of the templates instead of reshuffling
+everything (pinned by ``tests/service/test_router.py``).  Routing needs
+the fingerprint, which needs a parse — the parent caches the route per
+*constant-masked* request line (:func:`template_signature`), so the
+steady-state routing cost is one regex and one dict hit, with parsing
+left to the workers where it parallelizes.
+
+**Shared warm starts.**  Workers receive the same
+:class:`~repro.service.session.SessionConfig`; when it names an
+``artifact_dir``, every worker opens the same on-disk
+:class:`~repro.service.artifacts.ArtifactStore`, so a preparation paid by
+one process warm-starts the whole fleet.
+
+Worker processes use the ``spawn`` start method (the parent runs threads;
+forking a threaded process is a latent deadlock) and are daemons, so an
+abandoned router can never orphan a worker past parent exit.  Graceful
+shutdown is explicit: :meth:`ServingFrontend.drain` refuses new requests
+with ``REJECTED(draining)`` and waits for in-flight replies, then
+``close`` sends each worker a sentinel, collects its final statistics,
+and joins it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import queue as queue_module
+import re
+import threading
+import time
+from bisect import bisect_right
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..catalog.schema import Catalog
+from ..core.optimizer import preparation_fingerprint
+from ..plangen.dp import PlanGenResult
+from ..query.sql import sql_to_query
+from .admission import REASON_DRAINING, AdmissionController, Rejection
+from .cache import LRUCache
+from .coalesce import CoalesceStats, SingleFlight
+from .pool import SessionPool
+from .session import SessionConfig, SessionStatistics, analyze_for_config
+
+#: Reply statuses.  ``rejected`` replies carry the structured
+#: ``REJECTED(reason)`` line from admission control.
+OK = "ok"
+ERROR = "error"
+REJECTED = "rejected"
+
+#: Parsed-spec cache capacity (per worker / per frontend): request lines
+#: repeat heavily under template skew, so parsing is worth memoizing, but
+#: the cache must not grow with the constant-space of the workload.
+_SPEC_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One serving answer: status, deterministic body, measured latency.
+
+    The body is a pure function of the request (plan text and cost for
+    ``ok``, the error line for ``error``, ``REJECTED(reason)`` for
+    ``rejected``) — *no timing inside the body* — which is what makes a
+    recorded journal replayable bit-for-bit.  ``elapsed_ms`` is stamped by
+    the frontend (submit-to-reply, queueing included) and carried
+    alongside; coalesced followers share their leader's measurement.
+    """
+
+    status: str
+    body: str
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def render_plan(result: PlanGenResult) -> str:
+    """The deterministic ``ok`` body: operator tree plus a cost trailer."""
+    return (
+        f"{result.best_plan.explain()}\n"
+        f"-- cost {result.best_plan.cost:,.0f}, "
+        f"{result.stats.plans_created} plans"
+    )
+
+
+def _reply_from_future(done: "Future[PlanGenResult]") -> Reply:
+    error = done.exception()
+    if error is not None:
+        return Reply(ERROR, f"error: {error}")
+    return Reply(OK, render_plan(done.result()))
+
+
+def _resolved(reply: Reply) -> "Future[Reply]":
+    future: "Future[Reply]" = Future()
+    future.set_result(reply)
+    return future
+
+
+#: SQL constants: a quoted string or a bare number.  Replacing them with
+#: ``?`` turns every variant of a template into one signature.
+_CONSTANTS = re.compile(r"'[^']*'|\b\d+(?:\.\d+)?\b")
+
+
+def template_signature(line: str) -> str:
+    """Mask the constants out of a request line.
+
+    ``SELECT ... WHERE a = 3`` and ``... WHERE a = 7`` share a signature —
+    and, by construction of the preparation fingerprint (constants never
+    enter it), the same route.  This is a *lexical* approximation of the
+    fingerprint used purely as a route-cache key: a miss falls back to the
+    real parse-analyze-fingerprint pipeline, so a query the mask treats as
+    novel is merely routed the slow way, never routed wrong.
+    """
+    return _CONSTANTS.sub("?", line)
+
+
+class HashRing:
+    """Consistent hashing over ``slots`` targets with virtual nodes.
+
+    Each slot contributes ``replicas`` sha256 points on a ring; a key is
+    owned by the first point at or after its own hash.  Keys spread evenly
+    (the virtual nodes smooth the gaps), and growing the ring from N to
+    N+1 slots moves only the keys falling into the new slot's arcs —
+    ~1/(N+1) of them — which is what lets a fleet resize without
+    invalidating every worker's warm prepared-state cache.
+    """
+
+    def __init__(self, slots: int, *, replicas: int = 64) -> None:
+        if slots < 1:
+            raise ValueError(f"need at least one slot, got {slots}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.slots = slots
+        self.replicas = replicas
+        points = []
+        for slot in range(slots):
+            for replica in range(replicas):
+                token = hashlib.sha256(f"slot-{slot}/{replica}".encode()).hexdigest()
+                points.append((int(token[:16], 16), slot))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [slot for _, slot in points]
+
+    def route(self, key: str) -> int:
+        """The slot owning ``key`` (stable across processes and runs)."""
+        point = int(hashlib.sha256(key.encode()).hexdigest()[:16], 16)
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap: the ring is circular
+        return self._owners[index]
+
+
+# -- the serving pipeline ------------------------------------------------------
+
+
+class ServingFrontend:
+    """Admit -> coalesce -> dispatch; the pipeline every deployment shares.
+
+    ``submit`` never raises and its future never carries an exception:
+    every outcome — answer, optimizer error, shed load — is a
+    :class:`Reply`, so a load harness can account for all offered requests
+    ("zero dropped") by construction.  Subclasses implement ``_dispatch``
+    (called on the single dispatcher thread; must eventually invoke the
+    ``finish`` callback exactly once) and ``_collect`` (statistics).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.admission = admission
+        self._flight = SingleFlight()
+        # One dispatcher thread: route caches need no locks, and dispatch
+        # itself is microseconds (the heavy work happens elsewhere).
+        self._dispatcher = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="dispatch"
+        )
+        self._draining = False
+        self._closed = False
+        self._reject_lock = threading.Lock()
+        self._draining_rejected = 0
+
+    # -- the request path ------------------------------------------------------
+
+    def submit(self, line: str, *, client: str | None = None) -> "Future[Reply]":
+        """Serve one request line; the future always resolves to a Reply."""
+        line = line.strip().rstrip(";")
+        if self._draining or self._closed:
+            with self._reject_lock:
+                self._draining_rejected += 1
+            return _resolved(
+                Reply(REJECTED, Rejection(REASON_DRAINING, client).reply_line())
+            )
+        ticket = None
+        if self.admission is not None:
+            decision = self.admission.admit(client)
+            if isinstance(decision, Rejection):
+                return _resolved(Reply(REJECTED, decision.reply_line()))
+            ticket = decision
+        flight, leader = self._flight.lead_or_join(line)
+        if not leader:
+            # The follower frees its pending slot immediately — exactly one
+            # unit of queued work exists for the key.  Its quota token stays
+            # spent: the client did make a request.
+            if ticket is not None:
+                ticket.release()
+            return flight
+        started = time.monotonic()
+
+        def finish(reply: Reply) -> None:
+            stamped = replace(
+                reply, elapsed_ms=(time.monotonic() - started) * 1000.0
+            )
+            if ticket is not None:
+                ticket.release()
+            self._flight.finish(line, flight, stamped)
+
+        try:
+            self._dispatcher.submit(self._dispatch, line, finish)
+        except RuntimeError as error:  # shutdown raced the submit
+            finish(Reply(ERROR, f"error: {error}"))
+        return flight
+
+    def ask(self, line: str, *, client: str | None = None) -> Reply:
+        """Blocking facade over :meth:`submit`."""
+        return self.submit(line, client=client).result()
+
+    def _dispatch(self, line: str, finish: Callable[[Reply], None]) -> None:
+        raise NotImplementedError
+
+    # -- introspection ---------------------------------------------------------
+
+    def _collect(self) -> SessionStatistics:
+        raise NotImplementedError
+
+    def statistics(self) -> SessionStatistics:
+        """Aggregated serving statistics (sessions + coalescing layers).
+
+        Frontend-level *joins* (identical lines collapsed before dispatch)
+        are folded into the coalescing counters; frontend leads are not —
+        every led request reaches the session layer below, which already
+        counts it.  The exact balance ``queries + coalesce.joins ==
+        requests admitted`` therefore holds across both layers.
+        """
+        stats = self._collect()
+        stats.coalesce = CoalesceStats(
+            leads=stats.coalesce.leads,
+            joins=stats.coalesce.joins + self._flight.stats.joins,
+        )
+        return stats
+
+    def _describe_extra(self) -> str:
+        return ""
+
+    def describe(self) -> str:
+        """The ``\\stats`` rendering: sessions, admission, frontend."""
+        parts = [self.statistics().describe()]
+        if self.admission is not None:
+            parts.append(self.admission.describe())
+        extra = self._describe_extra()
+        if extra:
+            parts.append(extra)
+        return "\n".join(parts)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Refuse new requests and wait for in-flight replies.
+
+        Every request submitted after this point resolves immediately with
+        ``REJECTED(draining)``; every request already in flight completes
+        normally.  Returns True when the tier went quiet in time.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while self._flight.in_flight():
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+        return True
+
+    def _shutdown(self) -> None:
+        raise NotImplementedError
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain, then release every resource (idempotent)."""
+        if self._closed:
+            return
+        self.drain(timeout)
+        self._closed = True
+        self._dispatcher.shutdown(wait=True)
+        self._shutdown()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PoolFrontend(ServingFrontend):
+    """The in-process deployment shape: one shared :class:`SessionPool`.
+
+    >>> from repro.catalog.tpch import tpch_catalog
+    >>> with PoolFrontend(tpch_catalog(), n_shards=2) as frontend:
+    ...     reply = frontend.ask(
+    ...         "SELECT * FROM orders, lineitem "
+    ...         "WHERE orders.o_orderkey = lineitem.l_orderkey"
+    ...     )
+    >>> reply.status
+    'ok'
+
+    An existing pool can be injected (``pool=``) — the frontend then
+    leaves closing it to its owner, which is how :class:`PlanServer`
+    wraps the pool it is handed.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        pool: SessionPool | None = None,
+        n_shards: int = 4,
+        config: SessionConfig | None = None,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        super().__init__(catalog, admission=admission)
+        self._owns_pool = pool is None
+        self.pool = (
+            pool
+            if pool is not None
+            else SessionPool(catalog, n_shards=n_shards, config=config)
+        )
+        self.config = self.pool.config
+        self._specs: LRUCache = LRUCache(_SPEC_CACHE_SIZE)
+
+    def _dispatch(self, line: str, finish: Callable[[Reply], None]) -> None:
+        try:
+            spec = self._specs.get(line)
+            if spec is None:
+                spec = sql_to_query(line, self.catalog)
+                self._specs.put(line, spec)
+            inner = self.pool.submit(spec)
+        except Exception as error:  # serving must survive a bad query
+            finish(Reply(ERROR, f"error: {error}"))
+            return
+        inner.add_done_callback(lambda done: finish(_reply_from_future(done)))
+
+    def _collect(self) -> SessionStatistics:
+        return self.pool.statistics()
+
+    def _shutdown(self) -> None:
+        if self._owns_pool:
+            self.pool.close()
+
+
+# -- the multi-process router --------------------------------------------------
+
+
+def _worker_serve(  # pragma: no cover - runs inside the spawned worker
+    pool: SessionPool,
+    catalog: Catalog,
+    line: str,
+    specs: LRUCache,
+    responses,
+    worker_id: int,
+    request_id: int,
+) -> None:
+    """Serve one routed line inside a worker: parse, submit, reply async.
+
+    The worker's main thread only parses (memoized) and submits; the
+    shard's done-callback posts the reply, so a worker with several shards
+    keeps them all busy instead of serializing behind one optimization.
+    """
+    try:
+        spec = specs.get(line)
+        if spec is None:
+            spec = sql_to_query(line, catalog)
+            specs.put(line, spec)
+        inner = pool.submit(spec)
+    except Exception as error:  # a bad query must never kill a worker
+        responses.put(("reply", worker_id, request_id, Reply(ERROR, f"error: {error}")))
+        return
+    inner.add_done_callback(
+        lambda done: responses.put(
+            ("reply", worker_id, request_id, _reply_from_future(done))
+        )
+    )
+
+
+def _worker_main(  # pragma: no cover - runs inside the spawned worker
+    worker_id: int,
+    catalog: Catalog,
+    config: SessionConfig,
+    n_shards: int,
+    requests,
+    responses,
+) -> None:
+    """Worker-process entry: one SessionPool served off a request queue.
+
+    Top-level (picklable) by necessity under the spawn start method.
+    Lifecycle: announce ``ready``, answer ``req``/``stats`` messages until
+    the ``None`` sentinel, then drain, report final statistics (``bye``),
+    and exit.  The final snapshot is taken with the drained-statistics
+    path, which queues behind every in-flight optimization on its shard
+    thread — and shard done-callbacks run before that snapshot task does,
+    so every reply is flushed to the queue before the ``bye``.
+    """
+    pool = SessionPool(catalog, n_shards=n_shards, config=config)
+    specs: LRUCache = LRUCache(_SPEC_CACHE_SIZE)
+    responses.put(("ready", worker_id))
+    try:
+        while True:
+            message = requests.get()
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "req":
+                _, request_id, line = message
+                _worker_serve(
+                    pool, catalog, line, specs, responses, worker_id, request_id
+                )
+            elif kind == "stats":
+                responses.put(("stats", worker_id, pool.statistics()))
+    finally:
+        final = pool.statistics()  # drains: flushes in-flight replies first
+        pool.close()
+        responses.put(("bye", worker_id, final))
+
+
+class ShardRouter(ServingFrontend):
+    """Route request lines across N worker processes by template.
+
+    The parent holds no optimizer state at all: it masks each line's
+    constants (:func:`template_signature`), looks the signature up in an
+    LRU route cache, and on a miss runs the real
+    parse -> analyze -> fingerprint pipeline once to place the template on
+    the :class:`HashRing`.  Workers do everything else — so plan
+    generation, the CPU that matters, scales with processes while the
+    parent's per-request cost stays at a regex plus two queue hops.
+
+    Replies come back over one shared response queue serviced by a reader
+    thread that resolves the submit futures; a worker that dies with
+    requests outstanding fails exactly those requests with ``error``
+    replies instead of hanging them.
+    """
+
+    #: How long `close` waits for worker byes / joins.
+    _CLOSE_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        procs: int = 2,
+        shards_per_proc: int = 2,
+        config: SessionConfig | None = None,
+        admission: AdmissionController | None = None,
+        replicas: int = 64,
+        start_method: str = "spawn",
+        route_cache_size: int = 4096,
+        ready_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(catalog, admission=admission)
+        if procs < 1:
+            raise ValueError(f"need at least one worker process, got {procs}")
+        self.procs = procs
+        self.config = config or SessionConfig()
+        self._ring = HashRing(procs, replicas=replicas)
+        self._routes: LRUCache = LRUCache(route_cache_size)
+        context = multiprocessing.get_context(start_method)
+        self._requests = [context.Queue() for _ in range(procs)]
+        self._responses = context.Queue()
+        self._pending: dict[int, tuple[Callable[[Reply], None], int]] = {}
+        self._pending_lock = threading.Lock()
+        self._request_ids = itertools.count()
+        self._outstanding = [0] * procs
+        self._worker_stats: dict[int, SessionStatistics] = {}
+        self._final_stats: dict[int, SessionStatistics] = {}
+        self._stats_cond = threading.Condition()
+        self._collect_lock = threading.Lock()
+        self._stop_reader = False
+        self._workers = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    catalog,
+                    self.config,
+                    shards_per_proc,
+                    self._requests[index],
+                    self._responses,
+                ),
+                daemon=True,  # backstop: never orphan a worker past parent exit
+                name=f"plan-worker-{index}",
+            )
+            for index in range(procs)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._await_ready(ready_timeout)
+        self._reader = threading.Thread(
+            target=self._read_responses, daemon=True, name="router-reader"
+        )
+        self._reader.start()
+
+    # -- startup ---------------------------------------------------------------
+
+    def _await_ready(self, timeout: float) -> None:
+        """Block until every worker announced readiness (or fail loudly)."""
+        deadline = time.monotonic() + timeout
+        ready: set[int] = set()
+        while len(ready) < self.procs:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._abort_startup()
+                raise RuntimeError(
+                    f"worker processes failed to start within {timeout:.0f}s"
+                )
+            try:
+                message = self._responses.get(timeout=min(remaining, 0.5))
+            except queue_module.Empty:
+                if any(not worker.is_alive() for worker in self._workers):
+                    self._abort_startup()
+                    raise RuntimeError("a worker process died during startup")
+                continue
+            if message[0] == "ready":
+                ready.add(message[1])
+
+    def _abort_startup(self) -> None:
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+            worker.join(timeout=5.0)
+        self._closed = True
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _route(self, line: str) -> int:
+        signature = template_signature(line)
+        cached = self._routes.get(signature)
+        if cached is not None:
+            return cached
+        spec = sql_to_query(line, self.catalog)
+        info = analyze_for_config(spec, self.config)
+        digest = preparation_fingerprint(
+            info.interesting, info.fdsets, self.config.builder_options
+        ).digest()
+        worker_id = self._ring.route(digest)
+        self._routes.put(signature, worker_id)
+        return worker_id
+
+    def _dispatch(self, line: str, finish: Callable[[Reply], None]) -> None:
+        try:
+            worker_id = self._route(line)
+        except Exception as error:  # unparseable: answered by the parent
+            finish(Reply(ERROR, f"error: {error}"))
+            return
+        request_id = next(self._request_ids)
+        with self._pending_lock:
+            self._pending[request_id] = (finish, worker_id)
+            self._outstanding[worker_id] += 1
+        self._requests[worker_id].put(("req", request_id, line))
+
+    # -- the response reader ---------------------------------------------------
+
+    def _read_responses(self) -> None:
+        while True:
+            try:
+                message = self._responses.get(timeout=0.25)
+            except queue_module.Empty:
+                if self._stop_reader:
+                    return
+                self._fail_pending_of_dead_workers()
+                continue
+            kind = message[0]
+            if kind == "reply":
+                _, worker_id, request_id, reply = message
+                with self._pending_lock:
+                    entry = self._pending.pop(request_id, None)
+                    if entry is not None:
+                        self._outstanding[worker_id] -= 1
+                if entry is not None:
+                    entry[0](reply)
+            elif kind == "stats":
+                _, worker_id, stats = message
+                with self._stats_cond:
+                    self._worker_stats[worker_id] = stats
+                    self._stats_cond.notify_all()
+            elif kind == "bye":
+                _, worker_id, stats = message
+                with self._stats_cond:
+                    self._final_stats[worker_id] = stats
+                    self._stats_cond.notify_all()
+
+    def _fail_pending_of_dead_workers(self) -> None:
+        """Requests routed to a crashed worker get error replies, not hangs."""
+        if self._closed:
+            return
+        dead = {
+            index
+            for index, worker in enumerate(self._workers)
+            if not worker.is_alive()
+        }
+        if not dead:
+            return
+        victims: list[tuple[Callable[[Reply], None], int]] = []
+        with self._pending_lock:
+            for request_id, (finish, worker_id) in list(self._pending.items()):
+                if worker_id in dead:
+                    del self._pending[request_id]
+                    self._outstanding[worker_id] -= 1
+                    victims.append((finish, worker_id))
+        for finish, worker_id in victims:
+            finish(Reply(ERROR, f"error: worker process {worker_id} died"))
+
+    # -- introspection ---------------------------------------------------------
+
+    def queue_depths(self) -> tuple[int, ...]:
+        """Requests outstanding per worker (dispatched, reply not yet in)."""
+        with self._pending_lock:
+            return tuple(self._outstanding)
+
+    def _collect(self) -> SessionStatistics:
+        with self._collect_lock:
+            if self._closed:
+                snapshots = list(self._final_stats.values())
+            else:
+                with self._stats_cond:
+                    self._worker_stats.clear()
+                for requests in self._requests:
+                    requests.put(("stats",))
+                with self._stats_cond:
+                    self._stats_cond.wait_for(
+                        lambda: len(self._worker_stats) + len(self._final_stats)
+                        >= self.procs,
+                        timeout=self._CLOSE_TIMEOUT,
+                    )
+                    snapshots = list(self._worker_stats.values()) + list(
+                        self._final_stats.values()
+                    )
+        total = SessionStatistics()
+        for snapshot in snapshots:
+            total = total.add(snapshot)
+        return total
+
+    def _describe_extra(self) -> str:
+        depths = ", ".join(str(depth) for depth in self.queue_depths())
+        with self._reject_lock:
+            draining = self._draining_rejected
+        return (
+            f"router            : {self.procs} worker process(es); "
+            f"[{depths}] outstanding; {draining} draining rejection(s)"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _shutdown(self) -> None:
+        for requests in self._requests:
+            requests.put(None)
+        with self._stats_cond:
+            self._stats_cond.wait_for(
+                lambda: len(self._final_stats) >= self.procs,
+                timeout=self._CLOSE_TIMEOUT,
+            )
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - crash-only path
+                worker.terminate()
+                worker.join(timeout=5.0)
+        self._stop_reader = True
+        self._reader.join(timeout=5.0)
+        for channel in [*self._requests, self._responses]:
+            channel.close()

@@ -1,4 +1,4 @@
-"""Asyncio line-protocol plan server over a sharded session pool.
+"""Asyncio line-protocol plan server over a serving frontend.
 
 Replaces the blocking stdin ``serve`` loop for network traffic: an
 :class:`asyncio` server accepts any number of concurrent client
@@ -8,64 +8,91 @@ without knowing response lengths up front.
 
 Protocol (text, one request per line):
 
-* ``<SQL statement>``  — answered with the plan tree followed by a
-  ``-- cost ..., N plans, M ms`` trailer;
-* ``\\stats``          — aggregated pool statistics;
-* ``\\quit`` / ``\\q`` — close this connection (EOF does the same);
+* ``<SQL statement>``   — answered with the plan tree followed by a
+  ``-- cost ..., N plans`` trailer, or a structured
+  ``REJECTED(reason)`` line when admission control sheds the request;
+* ``\\client <name>``   — bind this connection's client identity (the
+  per-client quota key; default ``conn-<n>``);
+* ``\\stats``           — aggregated serving statistics;
+* ``\\quit`` / ``\\q``  — close this connection (EOF does the same);
 * anything that fails to parse/bind/optimize is answered with a single
   ``error: ...`` line — a bad query must never take the server down.
 
-Every response, including errors, ends with one empty line (the frame
-terminator).  The event loop never runs optimizer work: parsing, analysis,
-and plan generation happen on the pool's threads via ``run_in_executor``,
-so a slow query only occupies its shard, not the accept loop.
+Every response, including errors and rejections, ends with one empty line
+(the frame terminator).  The event loop never runs optimizer work: each
+request is submitted to a :class:`~repro.service.router.ServingFrontend`
+— an in-process :class:`~repro.service.router.PoolFrontend` or the
+multi-process :class:`~repro.service.router.ShardRouter` — and awaited
+via ``asyncio.wrap_future``, so a slow query only occupies its shard (or
+its worker process), never the accept loop.
+
+Shutdown is graceful: :func:`run_server` installs SIGINT/SIGTERM handlers
+that *drain* — the listener closes (no new connections), in-flight
+requests complete and their responses are written, then the frontend is
+closed, which joins every worker process before the function returns.
 """
 
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 from typing import Callable
 
-from ..bench import timed
 from ..catalog.schema import Catalog
-from ..query.sql import sql_to_query
+from .admission import AdmissionController
 from .pool import SessionPool
+from .router import PoolFrontend, ServingFrontend, ShardRouter
 from .session import SessionConfig
 
 #: Frame terminator: responses end with exactly one empty line.
 END_OF_RESPONSE = "\n\n"
 
+#: Signals run_server treats as a graceful-drain request.
+_DRAIN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
 
 class PlanServer:
-    """Serve plans to concurrent line-protocol clients from one pool.
+    """Serve plans to concurrent line-protocol clients from one frontend.
 
     >>> # inside a running event loop:
     >>> # server = PlanServer(pool, catalog)
-    >>> # await server.start(); ...; await server.stop()
+    >>> # await server.start(); ...; await server.drain()
 
-    ``port=0`` binds an ephemeral port; the chosen one is in ``.port``
-    after :meth:`start` (which is how the tests avoid collisions).
+    The first argument is either a :class:`SessionPool` (wrapped in a
+    :class:`PoolFrontend`; closing the pool stays the caller's job — the
+    historical embedding contract) or a ready-made
+    :class:`ServingFrontend` (used as is).  ``port=0`` binds an ephemeral
+    port; the chosen one is in ``.port`` after :meth:`start` (which is
+    how the tests avoid collisions).
     """
 
     def __init__(
         self,
-        pool: SessionPool,
+        backend: "SessionPool | ServingFrontend",
         catalog: Catalog,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
-        self.pool = pool
+        if isinstance(backend, ServingFrontend):
+            self.frontend = backend
+            self.pool = backend.pool if isinstance(backend, PoolFrontend) else None
+        else:
+            self.pool = backend
+            self.frontend = PoolFrontend(catalog, pool=backend)
         self.catalog = catalog
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
+        self._inflight = 0
+        """Requests currently submitted and not yet answered — what
+        :meth:`drain` waits out (touched only on the event loop)."""
         self.connections_served = 0
         self.connections_reset = 0
         """Connections that ended abruptly (client reset / broken pipe
         mid-frame) instead of via EOF or ``\\quit``.  Handled, counted, and
-        otherwise identical to a clean close — an rude client must neither
+        otherwise identical to a clean close — a rude client must neither
         crash its handler task nor leak the connection accounting."""
 
     async def start(self) -> None:
@@ -75,10 +102,24 @@ class PlanServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        """Close the listener immediately (in-flight requests are left to
+        their handlers; use :meth:`drain` for the graceful variant)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new connections, finish in-flight work.
+
+        After this returns every submitted request has written its
+        response; idle connections are still open (their handler tasks die
+        with the loop) and the frontend is still running — the caller
+        closes it once the loop is done.
+        """
+        await self.stop()
+        while self._inflight:
+            await asyncio.sleep(0.01)
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -88,23 +129,11 @@ class PlanServer:
 
     # -- per-connection loop ---------------------------------------------------
 
-    def _answer(self, line: str) -> str:
-        """Parse, route, optimize, render — runs on an executor thread."""
-        try:
-            with timed() as sw:
-                result = self.pool.optimize(sql_to_query(line, self.catalog))
-        except Exception as error:  # serving must survive a bad query
-            return f"error: {error}"
-        return (
-            f"{result.best_plan.explain()}\n"
-            f"-- cost {result.best_plan.cost:,.0f}, "
-            f"{result.stats.plans_created} plans, {sw.ms:.1f} ms"
-        )
-
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_served += 1
+        client_id = f"conn-{self.connections_served}"
         loop = asyncio.get_running_loop()
         try:
             while True:
@@ -116,19 +145,32 @@ class PlanServer:
                     continue
                 if line in ("\\quit", "\\q"):
                     break
-                if line == "\\stats":
+                if line.startswith("\\client"):
+                    name = line[len("\\client") :].strip()
+                    if name:
+                        client_id = name
+                        response = f"ok client {client_id}"
+                    else:
+                        response = "error: \\client needs a name"
+                elif line == "\\stats":
                     # The drained snapshot queues behind in-flight queries
                     # on every shard — keep that wait off the event loop
                     # too, or one heavy query would freeze all clients.
                     response = await loop.run_in_executor(
-                        None, lambda: self.pool.statistics().describe()
+                        None, self.frontend.describe
                     )
                 else:
-                    # The blocking part (parse + shard round-trip) runs off
-                    # the event loop; concurrent clients interleave freely.
-                    response = await loop.run_in_executor(
-                        None, self._answer, line
-                    )
+                    # The frontend pipeline (admission, coalescing, shard
+                    # or worker-process dispatch) runs entirely off the
+                    # event loop; the future always resolves to a Reply.
+                    self._inflight += 1
+                    try:
+                        reply = await asyncio.wrap_future(
+                            self.frontend.submit(line, client=client_id)
+                        )
+                    finally:
+                        self._inflight -= 1
+                    response = reply.body
                 writer.write(response.encode() + END_OF_RESPONSE.encode())
                 await writer.drain()
         except asyncio.CancelledError:
@@ -150,53 +192,104 @@ class PlanServer:
                 pass
 
 
+def make_frontend(
+    catalog: Catalog,
+    *,
+    procs: int = 1,
+    n_shards: int = 4,
+    config: "SessionConfig | None" = None,
+    admission: "AdmissionController | None" = None,
+) -> ServingFrontend:
+    """The deployment-shape switch shared by ``serve`` and ``loadtest``:
+    one process -> :class:`PoolFrontend` over ``n_shards`` shard threads;
+    more -> :class:`ShardRouter` with ``procs`` worker processes of
+    ``n_shards`` shards each."""
+    if procs <= 1:
+        return PoolFrontend(
+            catalog, n_shards=n_shards, config=config, admission=admission
+        )
+    return ShardRouter(
+        catalog,
+        procs=procs,
+        shards_per_proc=n_shards,
+        config=config,
+        admission=admission,
+    )
+
+
 def run_server(
     catalog: Catalog,
     *,
     host: str = "127.0.0.1",
     port: int = 7777,
     n_shards: int = 4,
+    procs: int = 1,
     config: "SessionConfig | None" = None,
+    admission: "AdmissionController | None" = None,
     started: "Callable[[PlanServer], None] | None" = None,
     shutdown: "threading.Event | None" = None,
-) -> SessionPool:
+) -> ServingFrontend:
     """Blocking entry point for the CLI: serve until interrupted.
 
     ``started`` is called with the live server once the port is bound
     (embedders and tests use it to learn an ephemeral port); setting the
-    ``shutdown`` event from any thread stops the server cooperatively —
-    without one, only ``KeyboardInterrupt`` ends the loop.  ``config``
-    configures the shard sessions (notably ``artifact_dir`` for a
-    warm-started fleet).  Returns the (closed) pool so the caller can
+    ``shutdown`` event from any thread stops the server cooperatively, and
+    SIGINT/SIGTERM do the same when the loop runs on the main thread.
+    Every stop is a *graceful drain*: new connections are refused,
+    in-flight requests answer, worker processes are joined.  ``procs > 1``
+    serves through a multi-process :class:`ShardRouter` (``n_shards``
+    shard threads per worker); ``config`` configures the sessions (notably
+    ``artifact_dir`` for a warm-started fleet) and ``admission`` bounds
+    the offered load.  Returns the (closed) frontend so the caller can
     print final statistics.
     """
-    pool = SessionPool(catalog, n_shards=n_shards, config=config)
+    frontend = make_frontend(
+        catalog,
+        procs=procs,
+        n_shards=n_shards,
+        config=config,
+        admission=admission,
+    )
 
     async def main() -> None:
-        server = PlanServer(pool, catalog, host=host, port=port)
+        server = PlanServer(frontend, catalog, host=host, port=port)
         await server.start()
+        workers = (
+            f"{procs} worker process(es) x {n_shards} shard(s)"
+            if procs > 1
+            else f"{n_shards} shard(s)"
+        )
         print(
-            f"serving on {server.host}:{server.port} with {n_shards} "
-            "shard(s) — one SQL statement per line, responses are "
-            "blank-line terminated; \\stats, \\quit"
+            f"serving on {server.host}:{server.port} with {workers} "
+            "— one SQL statement per line, responses are "
+            "blank-line terminated; \\client <name>, \\stats, \\quit"
         )
         if started is not None:
             started(server)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in _DRAIN_SIGNALS:
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (ValueError, OSError, NotImplementedError, RuntimeError):
+                pass  # non-main-thread embedding (tests) or bare platform
         try:
-            if shutdown is None:  # pragma: no cover - interactive only
-                await server.serve_forever()
+            if shutdown is None:
+                await stop.wait()
             else:
-                while not shutdown.is_set():
+                while not shutdown.is_set() and not stop.is_set():
                     await asyncio.sleep(0.02)
-        except asyncio.CancelledError:  # pragma: no cover - shutdown path
-            pass
         finally:
-            await server.stop()
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await server.drain()
 
     try:
         asyncio.run(main())
-    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+    except KeyboardInterrupt:  # pragma: no cover - handler-less platforms
         pass
     finally:
-        pool.close()
-    return pool
+        frontend.close()
+    return frontend

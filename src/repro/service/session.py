@@ -63,6 +63,7 @@ from ..query.predicates import EqualsConstant, RangePredicate
 from ..query.query import QuerySpec
 from .artifacts import ArtifactStore
 from .cache import CacheStats, LRUCache
+from .coalesce import CoalesceStats
 
 
 def canonical_query_key(spec: QuerySpec) -> Hashable:
@@ -244,6 +245,24 @@ class SessionStatistics:
     """Cold-built components persisted to the artifact store for the next
     process to warm-load."""
 
+    coalesce: CoalesceStats = field(default_factory=CoalesceStats)
+    """Single-flight coalescing counters of the serving layer above the
+    sessions: ``leads`` requests dispatched real work, ``joins`` arrived
+    while an identical request was already in flight and shared its result
+    without ever reaching a session.  A plain session reports zeros — the
+    counters are filled in by :class:`~repro.service.pool.SessionPool` (and
+    the multi-process router), whose coalesced requests are exactly the
+    queries *missing* from ``queries``/``plans.lookups``: the exact balance
+    is ``queries + coalesce.joins == requests offered``."""
+
+    shard_depths: tuple[int, ...] = ()
+    """Per-shard pending-request queue depths at snapshot time (submitted
+    but not yet completed, including the one executing).  Empty for a plain
+    session; the pool reports one slot per shard and the multi-process
+    router concatenates worker pools' slots, so ``add`` concatenates rather
+    than sums — depth is observability (is a shard saturating?), not a
+    cumulative counter."""
+
     executions: int = 0
     """Plans physically executed through ``execute``/``explain_analyze``."""
 
@@ -296,6 +315,8 @@ class SessionStatistics:
             artifact_hits=self.artifact_hits + other.artifact_hits,
             artifact_misses=self.artifact_misses + other.artifact_misses,
             artifact_saves=self.artifact_saves + other.artifact_saves,
+            coalesce=self.coalesce.add(other.coalesce),
+            shard_depths=self.shard_depths + other.shard_depths,
             executions=self.executions + other.executions,
             exec_rows=self.exec_rows + other.exec_rows,
             exec_engines=self._merge_counts(self.exec_engines, other.exec_engines),
@@ -324,6 +345,13 @@ class SessionStatistics:
             )
             or "none"
         )
+        if self.shard_depths:
+            depths = (
+                f"[{', '.join(str(d) for d in self.shard_depths)}] pending "
+                f"(max {max(self.shard_depths)})"
+            )
+        else:
+            depths = "none (unsharded)"
         return "\n".join(
             (
                 f"queries optimized : {self.queries}",
@@ -331,6 +359,8 @@ class SessionStatistics:
                 f"{self.prepared_entries} entry(ies)",
                 f"plan cache        : {self.plans.describe()}, "
                 f"{self.plan_entries} entry(ies)",
+                f"coalescing        : {self.coalesce.describe()}",
+                f"shard queues      : {depths}",
                 f"enumerators       : {by_strategy}",
                 f"preparation       : {by_mode}; "
                 f"{self.states_materialized} DFSM state(s) materialized "

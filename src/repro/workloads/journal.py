@@ -1,0 +1,424 @@
+"""Replayable serving workloads: SQL streams, JSONL journals, load reports.
+
+The serving tier's claims — zero dropped requests, deterministic answers,
+bounded latency under shed load — are only as good as the harness that
+checks them.  This module is that harness:
+
+* :func:`spec_to_sql` renders a generated :class:`QuerySpec` back into the
+  server's SQL subset, and :func:`skewed_sql_streams` turns the
+  Zipf-skewed per-client streams of
+  :func:`~repro.workloads.generator.skewed_client_streams` into request
+  *lines* over one merged catalog — the wire-level form of the same
+  deterministic workload;
+* :func:`run_load` drives a :class:`~repro.service.router.ServingFrontend`
+  with one closed-loop thread per client, measures caller-side latency per
+  request, and journals every request/response pair;
+* the **journal** is JSON Lines, one record per request, written in
+  deterministic (client-major) order with sorted keys — so two runs over
+  the same workload produce byte-identical journals wherever the responses
+  are deterministic (``elapsed_ms`` is the one timing field, and it is
+  excluded from every comparison);
+* :func:`replay_journal` re-drives a recorded journal against a frontend
+  and verifies each response **bit-for-bit** — the acceptance check that a
+  recorded run is reproducible.  ``rejected`` records are re-driven but
+  compared only when the replay frontend also sheds (admission decisions
+  depend on arrival timing, which a replay cannot reproduce); ``ok`` and
+  ``error`` records must match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..catalog.schema import Catalog
+from ..query.predicates import EqualsConstant, RangePredicate
+from ..query.query import QuerySpec
+from .generator import GeneratorConfig, skewed_client_streams
+
+#: Journal record statuses (mirroring Reply statuses).
+_STATUSES = ("ok", "error", "rejected")
+
+
+# -- SQL rendering -------------------------------------------------------------
+
+
+def _literal(value: object) -> str:
+    """Render a constant in the server's SQL subset (strings and numbers)."""
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise ValueError(f"cannot render literal {value!r} as SQL")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        if "'" in value:
+            raise ValueError(f"cannot render string with quotes: {value!r}")
+        return f"'{value}'"
+    raise ValueError(f"cannot render literal {value!r} as SQL")
+
+
+def spec_to_sql(spec: QuerySpec) -> str:
+    """Render a query spec as one request line of the server's SQL subset.
+
+    The inverse of :func:`repro.query.sql.sql_to_query` up to clause order:
+    parsing the rendered line against the same catalog binds back to an
+    equivalent spec (same canonical plan-cache key — pinned by the journal
+    tests).  Join-selectivity overrides have no SQL surface and must be
+    empty; everything else round-trips.
+    """
+    if spec.join_selectivities:
+        raise ValueError(
+            f"query {spec.name} has selectivity overrides, which SQL cannot carry"
+        )
+    froms = ", ".join(
+        ref.table if ref.alias == ref.table else f"{ref.table} {ref.alias}"
+        for ref in spec.relations
+    )
+    conditions: list[str] = []
+    for join in spec.joins:
+        conditions.append(f"{join.left} = {join.right}")
+    for selection in spec.selections:
+        if isinstance(selection, EqualsConstant):
+            conditions.append(f"{selection.attribute} = {_literal(selection.value)}")
+        elif isinstance(selection, RangePredicate):
+            if selection.operator == "between":
+                conditions.append(
+                    f"{selection.attribute} BETWEEN {_literal(selection.value)} "
+                    f"AND {_literal(selection.upper_value)}"
+                )
+            else:
+                conditions.append(
+                    f"{selection.attribute} {selection.operator} "
+                    f"{_literal(selection.value)}"
+                )
+        else:  # pragma: no cover - SelectionPredicate is a closed union
+            raise TypeError(f"unknown selection {selection!r}")
+    parts = [f"SELECT * FROM {froms}"]
+    if conditions:
+        parts.append(f"WHERE {' AND '.join(conditions)}")
+    if spec.group_by:
+        parts.append(f"GROUP BY {', '.join(str(a) for a in spec.group_by)}")
+    if spec.order_by is not None:
+        order = ", ".join(str(a) for a in spec.order_by)
+        parts.append(f"ORDER BY {order}")
+    return " ".join(parts)
+
+
+def skewed_sql_streams(
+    n_clients: int = 8,
+    queries_per_client: int = 25,
+    *,
+    n_templates: int = 4,
+    skew: float = 1.0,
+    repeats: int = 8,
+    base_config: GeneratorConfig | None = None,
+    seed: int = 0,
+) -> tuple[Catalog, list[list[str]]]:
+    """The wire-level form of :func:`skewed_client_streams`.
+
+    Returns ``(catalog, streams)``: one merged catalog covering every
+    template (template tables are prefixed ``T<t>_``, so merging never
+    collides) and per-client lists of SQL request lines, deterministic
+    given ``seed``.  The catalog is what the server binds against; the
+    lines are what the load harness sends.
+    """
+    spec_streams = skewed_client_streams(
+        n_clients,
+        queries_per_client,
+        n_templates=n_templates,
+        skew=skew,
+        repeats=repeats,
+        base_config=base_config,
+        seed=seed,
+    )
+    catalog = Catalog()
+    for stream in spec_streams:
+        for spec in stream:
+            for ref in spec.relations:
+                if ref.table not in catalog:
+                    catalog.add(spec.catalog.table(ref.table))
+    return catalog, [[spec_to_sql(spec) for spec in stream] for stream in spec_streams]
+
+
+# -- the journal ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One request/response pair of a recorded serving run."""
+
+    seq: int
+    client: str
+    request: str
+    status: str
+    response: str
+    elapsed_ms: float
+    """Caller-side latency (submit to reply, queueing included).  The one
+    non-deterministic field — every journal comparison excludes it."""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "client": self.client,
+                "request": self.request,
+                "status": self.status,
+                "response": self.response,
+                "elapsed_ms": round(self.elapsed_ms, 3),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalRecord":
+        raw = json.loads(line)
+        record = cls(
+            seq=raw["seq"],
+            client=raw["client"],
+            request=raw["request"],
+            status=raw["status"],
+            response=raw["response"],
+            elapsed_ms=raw["elapsed_ms"],
+        )
+        if record.status not in _STATUSES:
+            raise ValueError(f"journal record {record.seq} has status {record.status!r}")
+        return record
+
+
+def write_journal(path: str | Path, records: "list[JournalRecord]") -> None:
+    """Write a JSONL journal (one record per line, sorted keys)."""
+    text = "".join(record.to_json() + "\n" for record in records)
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def load_journal(path: str | Path) -> "list[JournalRecord]":
+    """Read a JSONL journal back."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(JournalRecord.from_json(line))
+    return records
+
+
+# -- the load harness ----------------------------------------------------------
+
+
+def _percentile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0 < q <= 1)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * 1000) * len(sorted_values) // 1000))
+    return sorted_values[min(len(sorted_values), rank) - 1]
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` run measured."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    plans_per_sec: float = 0.0
+    """Successful (``ok``) replies per wall-clock second — the serving
+    throughput number ``BENCH_serve.json`` reports."""
+
+    latencies_by_client: dict[str, list[float]] = field(default_factory=dict)
+    records: list[JournalRecord] = field(default_factory=list)
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def client_p99(self, client: str) -> float:
+        return _percentile(sorted(self.latencies_by_client.get(client, [])), 0.99)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "rejected": dict(sorted(self.rejected.items())),
+            "wall_s": self.wall_s,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "plans_per_sec": self.plans_per_sec,
+        }
+
+    def describe(self) -> str:
+        shed = (
+            ", ".join(f"{r}={c}" for r, c in sorted(self.rejected.items())) or "none"
+        )
+        return (
+            f"{self.requests} request(s) in {self.wall_s:.2f}s: "
+            f"{self.ok} ok, {self.errors} error(s), "
+            f"{self.rejected_total} rejected ({shed}); "
+            f"p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms, "
+            f"{self.plans_per_sec:,.0f} plans/s"
+        )
+
+
+_REJECT_PREFIX = "REJECTED("
+
+
+def _rejection_reason(body: str) -> str:
+    if body.startswith(_REJECT_PREFIX) and body.endswith(")"):
+        return body[len(_REJECT_PREFIX) : -1]
+    return "unknown"
+
+
+def run_load(
+    frontend,
+    streams: "list[list[str]]",
+    *,
+    journal_path: "str | Path | None" = None,
+    client_prefix: str = "client",
+) -> LoadReport:
+    """Drive a frontend with one closed-loop thread per client stream.
+
+    Every thread waits on a barrier, then sends its stream one request at
+    a time (closed loop: the next request leaves when the reply arrives),
+    measuring caller-side latency — queueing, coalescing waits, and
+    worker-process round-trips included.  Every offered request produces
+    exactly one journal record with status ``ok``/``error``/``rejected``
+    (the frontend's futures never carry exceptions), which is the "zero
+    dropped requests" property the CI smoke leg asserts.
+
+    Records are journaled in client-major stream order — deterministic
+    regardless of thread interleaving — and written to ``journal_path``
+    (JSONL) when given.
+    """
+    barrier = threading.Barrier(len(streams))
+    per_client: "list[list[JournalRecord]]" = [[] for _ in streams]
+    names = [f"{client_prefix}-{index}" for index in range(len(streams))]
+
+    def drive(index: int) -> None:
+        name = names[index]
+        barrier.wait()
+        for line in streams[index]:
+            started = time.monotonic()
+            reply = frontend.submit(line, client=name).result()
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            per_client[index].append(
+                JournalRecord(
+                    seq=0,  # assigned after the deterministic sort
+                    client=name,
+                    request=line,
+                    status=reply.status,
+                    response=reply.body,
+                    elapsed_ms=elapsed_ms,
+                )
+            )
+
+    threads = [
+        threading.Thread(target=drive, args=(index,), name=names[index])
+        for index in range(len(streams))
+    ]
+    wall_started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.monotonic() - wall_started
+
+    report = LoadReport(wall_s=wall_s)
+    records: "list[JournalRecord]" = []
+    for index, client_records in enumerate(per_client):
+        latencies = []
+        for record in client_records:
+            records.append(
+                JournalRecord(
+                    seq=len(records),
+                    client=record.client,
+                    request=record.request,
+                    status=record.status,
+                    response=record.response,
+                    elapsed_ms=record.elapsed_ms,
+                )
+            )
+            latencies.append(record.elapsed_ms)
+            if record.status == "ok":
+                report.ok += 1
+            elif record.status == "error":
+                report.errors += 1
+            else:
+                reason = _rejection_reason(record.response)
+                report.rejected[reason] = report.rejected.get(reason, 0) + 1
+        report.latencies_by_client[names[index]] = latencies
+    report.requests = len(records)
+    report.records = records
+    everything = sorted(
+        latency for latencies in report.latencies_by_client.values() for latency in latencies
+    )
+    report.p50_ms = _percentile(everything, 0.50)
+    report.p99_ms = _percentile(everything, 0.99)
+    report.plans_per_sec = report.ok / wall_s if wall_s > 0 else 0.0
+    if journal_path is not None:
+        write_journal(journal_path, records)
+    return report
+
+
+# -- replay --------------------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-driving a journal: the bit-for-bit scorecard."""
+
+    replayed: int = 0
+    matched: int = 0
+    skipped_rejected: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def exact(self) -> bool:
+        """True when every replayed record reproduced bit-for-bit."""
+        return not self.mismatches
+
+    def describe(self) -> str:
+        return (
+            f"{self.replayed} record(s) replayed, {self.matched} matched, "
+            f"{self.skipped_rejected} rejection(s) skipped, "
+            f"{len(self.mismatches)} mismatch(es)"
+        )
+
+
+def replay_journal(
+    frontend,
+    journal: "str | Path | list[JournalRecord]",
+    *,
+    max_mismatches: int = 10,
+) -> ReplayReport:
+    """Re-drive a recorded journal and compare responses bit-for-bit.
+
+    ``ok`` and ``error`` records must reproduce their exact status and
+    response body (plan text, cost trailer, error line — none of which may
+    depend on timing).  ``rejected`` records are skipped: an admission
+    decision is a function of arrival timing and quota state, which a
+    sequential replay deliberately does not reproduce — pass a frontend
+    *without* admission control to replay the serving answers themselves.
+    """
+    records = (
+        journal if isinstance(journal, list) else load_journal(journal)
+    )
+    report = ReplayReport()
+    for record in records:
+        if record.status == "rejected":
+            report.skipped_rejected += 1
+            continue
+        report.replayed += 1
+        reply = frontend.submit(record.request, client=record.client).result()
+        if reply.status == record.status and reply.body == record.response:
+            report.matched += 1
+        elif len(report.mismatches) < max_mismatches:
+            report.mismatches.append(
+                f"seq {record.seq} [{record.client}]: recorded "
+                f"{record.status}/{record.response[:60]!r} but replay answered "
+                f"{reply.status}/{reply.body[:60]!r}"
+            )
+    return report

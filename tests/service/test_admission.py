@@ -1,0 +1,168 @@
+"""Admission control: bounded pending queue, per-client quotas, structured
+rejections.  Time is injected everywhere — no sleeps, no flakiness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionController, Quota, Rejection, TokenBucket
+from repro.service.admission import (
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    REASON_QUOTA,
+    AdmissionTicket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- rejections are structured replies ----------------------------------------
+
+
+def test_rejection_renders_the_protocol_line():
+    assert Rejection(REASON_QUEUE_FULL).reply_line() == "REJECTED(queue_full)"
+    assert Rejection(REASON_QUOTA, "alice").reply_line() == "REJECTED(quota)"
+    assert Rejection(REASON_DRAINING).reply_line() == "REJECTED(draining)"
+
+
+def test_quota_validates_its_parameters():
+    with pytest.raises(ValueError, match="burst"):
+        Quota(burst=0)
+    with pytest.raises(ValueError, match="refill"):
+        Quota(per_second=-1.0)
+
+
+# -- the token bucket ----------------------------------------------------------
+
+
+def test_bucket_spends_burst_then_refuses():
+    bucket = TokenBucket(Quota(burst=3, per_second=0.0), clock=FakeClock())
+    assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+    assert bucket.tokens == 0.0
+
+
+def test_bucket_refills_lazily_with_elapsed_time():
+    clock = FakeClock()
+    bucket = TokenBucket(Quota(burst=2, per_second=4.0), clock=clock)
+    assert bucket.try_acquire() and bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.advance(0.25)  # 0.25s * 4/s = exactly one token back
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_never_refills_past_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(Quota(burst=2, per_second=100.0), clock=clock)
+    clock.advance(3600.0)  # a long-idle client regains its burst, not more
+    assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+
+
+# -- the controller ------------------------------------------------------------
+
+
+def test_queue_full_past_max_pending():
+    control = AdmissionController(max_pending=2)
+    first = control.admit("a")
+    second = control.admit("b")
+    assert isinstance(first, AdmissionTicket)
+    assert isinstance(second, AdmissionTicket)
+    third = control.admit("c")
+    assert isinstance(third, Rejection)
+    assert third.reason == REASON_QUEUE_FULL
+    first.release()
+    assert isinstance(control.admit("c"), AdmissionTicket)  # slot freed
+    assert control.depth == 2
+
+
+def test_release_is_idempotent():
+    control = AdmissionController(max_pending=1)
+    ticket = control.admit("a")
+    ticket.release()
+    ticket.release()  # done-callback and error path may both fire
+    assert control.depth == 0
+    with control.admit("a") as _again:  # the context-manager form
+        assert control.depth == 1
+    assert control.depth == 0
+
+
+def test_quota_rejects_one_client_without_touching_others():
+    clock = FakeClock()
+    control = AdmissionController(
+        max_pending=100, quota=Quota(burst=2, per_second=0.0), clock=clock
+    )
+    assert isinstance(control.admit("greedy"), AdmissionTicket)
+    assert isinstance(control.admit("greedy"), AdmissionTicket)
+    over = control.admit("greedy")
+    assert isinstance(over, Rejection)
+    assert over.reason == REASON_QUOTA
+    assert over.client == "greedy"
+    # The other client's bucket is its own; the queue still has room.
+    assert isinstance(control.admit("polite"), AdmissionTicket)
+
+
+def test_quota_refills_with_the_injected_clock():
+    clock = FakeClock()
+    control = AdmissionController(
+        quota=Quota(burst=1, per_second=2.0), clock=clock
+    )
+    assert isinstance(control.admit("c"), AdmissionTicket)
+    assert isinstance(control.admit("c"), Rejection)
+    clock.advance(0.5)  # one token back
+    assert isinstance(control.admit("c"), AdmissionTicket)
+
+
+def test_quota_check_runs_before_the_queue_bound():
+    """An over-quota client is told *quota* even when the queue is full —
+    and its rejection never consumes a pending slot."""
+    control = AdmissionController(
+        max_pending=1, quota=Quota(burst=1, per_second=0.0)
+    )
+    ticket = control.admit("a")
+    assert isinstance(ticket, AdmissionTicket)
+    assert control.admit("a").reason == REASON_QUOTA  # not queue_full
+    assert control.admit("b").reason == REASON_QUEUE_FULL
+    assert control.depth == 1
+    ticket.release()
+
+
+def test_anonymous_clients_skip_the_quota():
+    control = AdmissionController(quota=Quota(burst=1, per_second=0.0))
+    assert isinstance(control.admit(None), AdmissionTicket)
+    assert isinstance(control.admit(None), AdmissionTicket)  # no bucket
+
+
+def test_max_pending_validation():
+    with pytest.raises(ValueError, match="max_pending"):
+        AdmissionController(max_pending=0)
+
+
+def test_statistics_and_describe():
+    control = AdmissionController(
+        max_pending=1, quota=Quota(burst=1, per_second=0.0)
+    )
+    ticket = control.admit("a")
+    control.admit("a")  # quota
+    control.admit("b")  # queue_full
+    stats = control.statistics()
+    assert stats.admitted == 1
+    assert stats.rejected == {REASON_QUOTA: 1, REASON_QUEUE_FULL: 1}
+    assert stats.rejected_total == 2
+    assert stats.depth == 1
+    assert stats.high_water == 1
+    text = control.describe()
+    assert "1 admitted" in text
+    assert "2 rejected" in text
+    assert "queue_full=1" in text and "quota=1" in text
+    ticket.release()
+    assert control.statistics().depth == 0
+    assert control.statistics().high_water == 1  # high-water sticks

@@ -1,0 +1,196 @@
+"""Single-flight coalescing: unit semantics plus the acceptance property.
+
+The acceptance test (``test_k_concurrent_identical_cold_requests_prepare_once``)
+pins the ISSUE's serving claim: K concurrent identical cold requests perform
+exactly **one** preparation — the leader's — and every follower shares the
+same result without queueing its own optimization.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.query.sql import sql_to_query
+from repro.service import SessionPool, SingleFlight
+from repro.service.coalesce import CoalesceStats
+
+SQL = (
+    "select * from persons, jobs where persons.jobid = jobs.id "
+    "and persons.name = 'alice' order by jobs.id"
+)
+
+
+def demo_catalog() -> Catalog:
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+        .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+    )
+
+
+# -- SingleFlight unit semantics ----------------------------------------------
+
+
+def test_leader_then_followers_share_one_future():
+    flight = SingleFlight()
+    future, leader = flight.lead_or_join("k")
+    assert leader
+    joined, second = flight.lead_or_join("k")
+    assert not second
+    assert joined is future
+    assert flight.in_flight() == 1
+    flight.finish("k", future, 42)
+    assert future.result() == 42
+    assert flight.in_flight() == 0
+    assert flight.stats.leads == 1
+    assert flight.stats.joins == 1
+
+
+def test_entry_leaves_the_map_before_the_future_resolves():
+    """A request arriving after completion must lead a *fresh* flight —
+    coalescing never caches results."""
+    flight = SingleFlight()
+    future, _ = flight.lead_or_join("k")
+
+    observed: list[int] = []
+    future.add_done_callback(lambda _: observed.append(flight.in_flight()))
+    flight.finish("k", future, "done")
+    assert observed == [0]  # map already empty when waiters wake
+
+    again, leader = flight.lead_or_join("k")
+    assert leader and again is not future
+    flight.finish("k", again, "fresh")
+
+
+def test_failure_propagates_to_every_follower():
+    flight = SingleFlight()
+    future, _ = flight.lead_or_join("k")
+    follower, joined = flight.lead_or_join("k")
+    assert not joined
+    flight.fail("k", future, ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        follower.result()
+    assert flight.in_flight() == 0
+
+
+def test_resolve_with_chains_result_and_exception():
+    flight = SingleFlight()
+    ok_future, _ = flight.lead_or_join("ok")
+    source = Future()
+    flight.resolve_with("ok", ok_future, source)
+    source.set_result("answer")
+    assert ok_future.result() == "answer"
+    assert flight.in_flight() == 0
+
+    bad_future, _ = flight.lead_or_join("bad")
+    failing = Future()
+    flight.resolve_with("bad", bad_future, failing)
+    failing.set_exception(RuntimeError("shard died"))
+    with pytest.raises(RuntimeError, match="shard died"):
+        bad_future.result()
+
+
+def test_run_convenience_reports_who_led():
+    flight = SingleFlight()
+    gate = threading.Event()
+    release = threading.Event()
+    outcomes: dict[str, tuple[int, bool]] = {}
+
+    def leader_work() -> int:
+        gate.set()  # the follower may join now
+        release.wait(timeout=10)
+        return 7
+
+    def lead():
+        outcomes["leader"] = flight.run("k", leader_work)
+
+    def join():
+        gate.wait(timeout=10)
+        outcomes["follower"] = flight.run("k", lambda: 999)
+
+    threads = [threading.Thread(target=lead), threading.Thread(target=join)]
+    for thread in threads:
+        thread.start()
+    gate.wait(timeout=10)
+    # Give the follower a moment to actually join before releasing.
+    for _ in range(1000):
+        if flight.stats.joins:
+            break
+        threading.Event().wait(0.001)
+    release.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert outcomes["leader"] == (7, True)
+    assert outcomes["follower"] == (7, False)  # never ran the 999 supplier
+
+
+def test_run_propagates_the_leader_exception_to_the_leader():
+    flight = SingleFlight()
+    with pytest.raises(KeyError):
+        flight.run("k", lambda: (_ for _ in ()).throw(KeyError("x")))
+    assert flight.in_flight() == 0
+
+
+def test_stats_add_and_describe():
+    total = CoalesceStats(leads=2, joins=3).add(CoalesceStats(leads=1, joins=4))
+    assert (total.leads, total.joins) == (3, 7)
+    assert total.describe() == "3 led, 7 joined"
+
+
+# -- the acceptance property ---------------------------------------------------
+
+
+def test_k_concurrent_identical_cold_requests_prepare_once():
+    """K concurrent identical cold requests → exactly one preparation.
+
+    Every shard thread is held hostage on an event, so all K submissions
+    arrive while the first is provably still in flight; releasing the event
+    lets the one leader task run.  The prepared-cache and query counters
+    then show a single optimization served K ways.
+    """
+    K = 8
+    catalog = demo_catalog()
+    with SessionPool(catalog, n_shards=4) as pool:
+        spec = sql_to_query(SQL, catalog)
+        hostage = threading.Event()
+        holds = [
+            executor.submit(hostage.wait, 30) for executor in pool._executors
+        ]
+        try:
+            futures = [pool.submit(spec) for _ in range(K)]
+            assert len({id(f) for f in futures}) == 1  # all K share one future
+        finally:
+            hostage.set()
+        for hold in holds:
+            hold.result(timeout=30)
+        results = [future.result(timeout=30) for future in futures]
+        assert len({id(r) for r in results}) == 1
+
+        stats = pool.statistics()
+        assert stats.queries == 1  # one optimization ran...
+        assert stats.prepared.misses == 1  # ...paying one preparation
+        assert stats.coalesce.leads == 1
+        assert stats.coalesce.joins == K - 1  # ...and K-1 rode along
+
+        # After completion the flight is gone: a re-ask is a fresh lead that
+        # hits the plan cache instead of coalescing.
+        pool.optimize(spec)
+        after = pool.statistics()
+        assert after.coalesce.leads == 2
+        assert after.plans.hits == 1
+
+
+def test_distinct_queries_do_not_coalesce():
+    catalog = demo_catalog()
+    with SessionPool(catalog, n_shards=2) as pool:
+        alice = sql_to_query(SQL, catalog)
+        bob = sql_to_query(SQL.replace("alice", "bob"), catalog)
+        results = [f.result() for f in (pool.submit(alice), pool.submit(bob))]
+        assert all(r.best_plan is not None for r in results)
+        stats = pool.statistics()
+        assert stats.queries == 2
+        assert stats.coalesce.joins == 0

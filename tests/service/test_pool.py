@@ -115,11 +115,16 @@ def test_concurrent_clients_get_bit_identical_plans_and_exact_stats():
             expected = reference[canonical_query_key(spec)]
             assert result.best_plan.cost == expected.best_plan.cost
             assert result.best_plan.explain() == expected.best_plan.explain()
-    # Exact counter balance: no lost updates anywhere.
-    assert stats.queries == len(flat)
-    assert stats.plans.lookups == len(flat)
+    # Exact counter balance: no lost updates anywhere.  Concurrent
+    # identical requests coalesce onto one shard task, so the queries the
+    # sessions saw plus the joined (never-dispatched) requests must equal
+    # the offered load exactly — coalescing sheds work, never requests.
+    assert stats.queries + stats.coalesce.joins == len(flat)
+    assert stats.coalesce.leads == stats.queries
+    assert stats.plans.lookups + stats.coalesce.joins == len(flat)
     assert stats.plans.misses == len(distinct_keys)
-    assert stats.plans.hits == len(flat) - len(distinct_keys)
+    assert stats.plans.hits == len(flat) - len(distinct_keys) - stats.coalesce.joins
+    assert stats.shard_depths == (0, 0, 0, 0)  # quiescent at snapshot time
     # Each distinct plan was generated exactly once -> one prepared-cache
     # lookup per plan-cache miss, one miss per template.
     assert stats.prepared.lookups == len(distinct_keys)

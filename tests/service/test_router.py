@@ -1,0 +1,230 @@
+"""The serving frontends: template routing, consistent hashing, and the
+multi-process :class:`ShardRouter`.
+
+The multi-process tests spawn real worker processes (the ``spawn`` start
+method, as in production) — they are kept few and small because each spawn
+pays a fresh interpreter.  The determinism property under test: every
+deployment shape (single session, thread pool, process router) serves the
+byte-identical reply body for the same request line.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.service import (
+    AdmissionController,
+    HashRing,
+    PoolFrontend,
+    Quota,
+    ShardRouter,
+    make_frontend,
+    template_signature,
+)
+
+SQL_A = (
+    "select * from persons, jobs where persons.jobid = jobs.id "
+    "and persons.name = 'alice' order by jobs.id"
+)
+SQL_B = SQL_A.replace("alice", "bob")
+SQL_OTHER = "select * from persons, jobs where persons.jobid = jobs.id"
+
+
+def demo_catalog() -> Catalog:
+    return (
+        Catalog()
+        .add(simple_table("persons", ["pid", "name", "jobid"], 50_000))
+        .add(simple_table("jobs", ["id", "salary"], 1_000, clustered_on="id"))
+    )
+
+
+# -- template signatures -------------------------------------------------------
+
+
+def test_template_signature_masks_constants():
+    assert template_signature(SQL_A) == template_signature(SQL_B)
+    assert template_signature("where a = 3") == template_signature("where a = 77")
+    assert template_signature("where a = 3.5") == template_signature("where a = 9")
+    assert template_signature(SQL_A) != template_signature(SQL_OTHER)
+
+
+# -- the hash ring -------------------------------------------------------------
+
+
+def test_ring_routes_deterministically_in_range():
+    ring = HashRing(4)
+    routes = [ring.route(f"key-{i}") for i in range(100)]
+    assert routes == [ring.route(f"key-{i}") for i in range(100)]
+    assert all(0 <= slot < 4 for slot in routes)
+    assert ring.route("key-0") == HashRing(4).route("key-0")  # across instances
+
+
+def test_ring_spreads_keys_over_every_slot():
+    ring = HashRing(4)
+    counts = [0, 0, 0, 0]
+    for i in range(2000):
+        counts[ring.route(f"template-{i}")] += 1
+    # 64 virtual nodes per slot smooth the arcs; each slot takes a real share.
+    assert min(counts) > 2000 * 0.10
+    assert max(counts) < 2000 * 0.45
+
+
+def test_growing_the_ring_remaps_only_a_fraction():
+    """N -> N+1 slots must move ~1/(N+1) of the keys, not reshuffle all —
+    the property that keeps worker caches warm across fleet resizes."""
+    keys = [f"template-{i}" for i in range(2000)]
+    four, five = HashRing(4), HashRing(5)
+    moved = sum(1 for key in keys if four.route(key) != five.route(key))
+    assert 0 < moved < 2000 * 0.35  # expected ~20%
+
+
+def test_ring_validates_parameters():
+    with pytest.raises(ValueError, match="slot"):
+        HashRing(0)
+    with pytest.raises(ValueError, match="replica"):
+        HashRing(2, replicas=0)
+
+
+# -- the in-process frontend ---------------------------------------------------
+
+
+def test_pool_frontend_serves_deterministic_replies():
+    with PoolFrontend(demo_catalog(), n_shards=2) as frontend:
+        reply = frontend.ask(SQL_A)
+        assert reply.ok
+        assert "join" in reply.body
+        assert reply.body.splitlines()[-1].startswith("-- cost ")
+        assert reply.elapsed_ms > 0.0
+        again = frontend.ask(SQL_A)
+        assert again.body == reply.body  # cache hit, byte-identical body
+        bad = frontend.ask("select broken")
+        assert bad.status == "error"
+        assert bad.body.startswith("error: ")
+        stats = frontend.statistics()
+        assert stats.queries + stats.coalesce.joins == 2  # the 2 ok requests
+        text = frontend.describe()
+        assert "queries optimized" in text
+        assert "coalescing" in text
+
+
+def test_pool_frontend_coalesces_identical_concurrent_lines():
+    catalog = demo_catalog()
+    with PoolFrontend(catalog, n_shards=2) as frontend:
+        hostage = threading.Event()
+        holds = [
+            executor.submit(hostage.wait, 30)
+            for executor in frontend.pool._executors
+        ]
+        try:
+            futures = [frontend.submit(SQL_A) for _ in range(5)]
+            assert len({id(f) for f in futures}) == 1  # one shared flight
+        finally:
+            hostage.set()
+        for hold in holds:
+            hold.result(timeout=30)
+        replies = [future.result(timeout=30) for future in futures]
+        assert len({reply.body for reply in replies}) == 1
+        stats = frontend.statistics()
+        assert stats.queries == 1
+        assert stats.coalesce.joins == 4
+
+
+def test_pool_frontend_quota_sheds_one_client_not_the_other():
+    admission = AdmissionController(
+        max_pending=100, quota=Quota(burst=2, per_second=0.0)
+    )
+    with PoolFrontend(
+        demo_catalog(), n_shards=2, admission=admission
+    ) as frontend:
+        assert frontend.ask(SQL_A, client="greedy").ok
+        assert frontend.ask(SQL_B, client="greedy").ok
+        shed = frontend.ask(SQL_OTHER, client="greedy")
+        assert shed.status == "rejected"
+        assert shed.body == "REJECTED(quota)"
+        assert frontend.ask(SQL_OTHER, client="polite").ok  # untouched
+        assert "admission" in frontend.describe()
+        assert admission.statistics().rejected == {"quota": 1}
+        assert admission.depth == 0  # every ticket released
+
+
+def test_closed_frontend_rejects_with_draining():
+    frontend = PoolFrontend(demo_catalog(), n_shards=2)
+    assert frontend.ask(SQL_A).ok
+    frontend.close()
+    reply = frontend.ask(SQL_B)
+    assert reply.status == "rejected"
+    assert reply.body == "REJECTED(draining)"
+    frontend.close()  # idempotent
+
+
+def test_make_frontend_picks_the_deployment_shape():
+    frontend = make_frontend(demo_catalog(), procs=1, n_shards=2)
+    try:
+        assert isinstance(frontend, PoolFrontend)
+        assert not isinstance(frontend, ShardRouter)
+    finally:
+        frontend.close()
+
+
+# -- the multi-process router --------------------------------------------------
+
+
+def test_shard_router_matches_the_single_process_answers():
+    """Acceptance: the process tier serves byte-identical reply bodies to
+    the in-process frontend — routing changes *where*, never *what*."""
+    catalog = demo_catalog()
+    lines = [SQL_A, SQL_B, SQL_OTHER, "select broken"]
+    with PoolFrontend(catalog, n_shards=2) as single:
+        expected = [single.ask(line) for line in lines]
+
+    router = ShardRouter(catalog, procs=2, shards_per_proc=2)
+    router._CLOSE_TIMEOUT = 10.0
+    try:
+        replies = [router.ask(line) for line in lines]
+        for want, got in zip(expected, replies):
+            assert got.status == want.status
+            assert got.body == want.body
+        # Variants of one template reuse the cached route and the worker's
+        # prepared state: a third variant answers from a warm cache.
+        warm = router.ask(SQL_A.replace("alice", "carol"))
+        assert warm.ok
+        stats = router.statistics()
+        assert stats.queries + stats.coalesce.joins == 4  # the ok requests
+        assert stats.prepared.hits >= 1  # carol reused alice's preparation
+        assert router.queue_depths() == (0, 0)
+        text = router.describe()
+        assert "router            : 2 worker process(es)" in text
+    finally:
+        router.close()
+    # Final statistics survive the close (collected from worker byes) ...
+    assert router.statistics().queries >= 4
+    # ... and a post-close submit is shed, not crashed.
+    assert router.ask(SQL_A).body == "REJECTED(draining)"
+
+
+def test_shard_router_aborts_a_startup_that_never_readies():
+    """A fleet that cannot announce readiness in time is torn down loudly
+    (workers terminated and joined) instead of hanging the constructor."""
+    with pytest.raises(RuntimeError, match="failed to start"):
+        ShardRouter(
+            demo_catalog(), procs=1, shards_per_proc=1, ready_timeout=0.0
+        )
+
+
+def test_shard_router_fails_requests_of_a_dead_worker():
+    router = ShardRouter(demo_catalog(), procs=1, shards_per_proc=1)
+    router._CLOSE_TIMEOUT = 2.0
+    try:
+        assert router.ask(SQL_A).ok
+        worker = router._workers[0]
+        worker.terminate()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        reply = router.submit(SQL_B).result(timeout=10.0)
+        assert reply.status == "error"
+        assert "worker process 0 died" in reply.body
+    finally:
+        router.close()

@@ -284,3 +284,68 @@ def test_serve_reports_cache_sources(capsys, monkeypatch):
     assert "[prepared cache]" in out  # same template, different constant
     assert "error:" in out  # a bad query must not kill the loop
     assert "queries optimized : 2" in out
+
+
+def test_loadtest_journaled_with_replay_check(capsys, tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    report_json = str(tmp_path / "report.json")
+    assert (
+        main(
+            [
+                "loadtest",
+                "--procs", "2",
+                "--workers", "2",
+                "--clients", "3",
+                "--queries", "4",
+                "--journal", journal,
+                "--replay-check",
+                "--json", report_json,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "12 request(s)" in out
+    assert "12 ok" in out
+    assert "plans/s" in out
+    assert "router            : 2 worker process(es)" in out
+    assert "0 mismatch(es)" in out
+    # The journal carries one record per offered request (zero dropped) ...
+    from repro.workloads import load_journal
+
+    records = load_journal(journal)
+    assert len(records) == 12
+    assert all(record.status == "ok" for record in records)
+    # ... and the JSON report carries the headline numbers.
+    import json
+
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["requests"] == 12
+    assert report["ok"] == 12
+
+
+def test_loadtest_quota_sheds_with_structured_rejections(capsys):
+    assert (
+        main(
+            [
+                "loadtest",
+                "--clients", "2",
+                "--queries", "4",
+                "--quota-burst", "2",
+                "--quota-rate", "0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # Every offered request is accounted for: the over-quota half answers
+    # REJECTED(quota), nothing is dropped.
+    assert "8 request(s)" in out
+    assert "4 ok" in out
+    assert "4 rejected (quota=4)" in out
+    assert "admission" in out
+
+
+def test_loadtest_replay_check_requires_a_journal():
+    with pytest.raises(SystemExit, match="journal"):
+        main(["loadtest", "--clients", "1", "--queries", "1", "--replay-check"])

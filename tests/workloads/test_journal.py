@@ -1,0 +1,223 @@
+"""The replayable load harness: SQL round-trips, deterministic streams,
+JSONL journals, closed-loop load runs, and bit-for-bit replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Catalog, simple_table
+from repro.query.query import QuerySpec, RelationRef
+from repro.query.sql import sql_to_query
+from repro.service import PoolFrontend, canonical_query_key, template_signature
+from repro.workloads import (
+    GeneratorConfig,
+    JournalRecord,
+    load_journal,
+    replay_journal,
+    run_load,
+    skewed_client_streams,
+    skewed_sql_streams,
+    spec_to_sql,
+    write_journal,
+)
+
+
+def tiny_streams(clients: int = 3, queries: int = 4):
+    return skewed_sql_streams(
+        clients,
+        queries,
+        n_templates=3,
+        repeats=4,
+        base_config=GeneratorConfig(n_relations=3),
+        seed=7,
+    )
+
+
+# -- SQL round-trip ------------------------------------------------------------
+
+
+def test_spec_to_sql_round_trips_the_canonical_key():
+    """Rendering a generated spec to SQL and parsing it back binds to the
+    same canonical plan-cache key — the property that makes a journaled
+    request line a faithful stand-in for the spec it came from."""
+    streams = skewed_client_streams(
+        2,
+        6,
+        n_templates=3,
+        repeats=3,
+        base_config=GeneratorConfig(n_relations=4),
+        seed=3,
+    )
+    seen = set()
+    for stream in streams:
+        for spec in stream:
+            line = spec_to_sql(spec)
+            if line in seen:
+                continue
+            seen.add(line)
+            rebound = sql_to_query(line, spec.catalog)
+            # Component [0] of the key is the catalog's identity; the rest
+            # (relations, predicates, orderings) must match exactly.
+            assert canonical_query_key(rebound)[1:] == canonical_query_key(spec)[1:]
+    assert len(seen) >= 3  # the sample really covered multiple templates
+
+
+def test_spec_to_sql_rejects_what_sql_cannot_carry():
+    catalog = Catalog().add(simple_table("t", ["a"], 100))
+    spec = QuerySpec(
+        name="q",
+        catalog=catalog,
+        relations=(RelationRef("t"),),
+        joins=(),
+        join_selectivities={("t", "t"): 0.5},
+    )
+    with pytest.raises(ValueError, match="selectivity"):
+        spec_to_sql(spec)
+
+
+# -- stream generation ---------------------------------------------------------
+
+
+def test_skewed_sql_streams_are_deterministic():
+    catalog_a, streams_a = tiny_streams()
+    catalog_b, streams_b = tiny_streams()
+    assert streams_a == streams_b
+    assert sorted(catalog_a.tables) == sorted(catalog_b.tables)
+    _, different = skewed_sql_streams(
+        3,
+        4,
+        n_templates=3,
+        repeats=4,
+        base_config=GeneratorConfig(n_relations=3),
+        seed=8,
+    )
+    assert different != streams_a
+
+
+def test_skewed_streams_follow_the_zipf_head():
+    """With skew=1.0 the Zipf head template carries ~1/H share of the
+    traffic; the top template must clearly dominate a uniform spread."""
+    _, streams = skewed_sql_streams(
+        8,
+        25,
+        n_templates=4,
+        skew=1.0,
+        repeats=8,
+        base_config=GeneratorConfig(n_relations=3),
+        seed=0,
+    )
+    counts: dict[str, int] = {}
+    total = 0
+    for stream in streams:
+        for line in stream:
+            signature = template_signature(line)
+            counts[signature] = counts.get(signature, 0) + 1
+            total += 1
+    assert total == 8 * 25
+    top_share = max(counts.values()) / total
+    assert top_share >= 0.30  # uniform over 4 templates would give 0.25
+    assert len(counts) >= 2  # but the tail is present too
+
+
+def test_streams_parse_against_the_merged_catalog():
+    catalog, streams = tiny_streams()
+    for line in {line for stream in streams for line in stream}:
+        spec = sql_to_query(line, catalog)
+        assert spec.relations
+
+
+# -- the journal ---------------------------------------------------------------
+
+
+def test_journal_round_trips_through_jsonl(tmp_path):
+    records = [
+        JournalRecord(0, "client-0", "select 1", "ok", "plan\n-- cost 5", 1.25),
+        JournalRecord(1, "client-1", "select broken", "error", "error: no", 0.5),
+        JournalRecord(2, "client-1", "select 2", "rejected", "REJECTED(quota)", 0.1),
+    ]
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, records)
+    loaded = load_journal(path)
+    assert [
+        (r.seq, r.client, r.request, r.status, r.response) for r in loaded
+    ] == [(r.seq, r.client, r.request, r.status, r.response) for r in records]
+
+
+def test_journal_rejects_unknown_statuses():
+    line = JournalRecord(0, "c", "q", "ok", "r", 0.0).to_json()
+    with pytest.raises(ValueError, match="status"):
+        JournalRecord.from_json(line.replace('"ok"', '"lost"'))
+
+
+# -- the load harness and replay -----------------------------------------------
+
+
+def test_run_load_accounts_for_every_offered_request(tmp_path):
+    catalog, streams = tiny_streams()
+    path = tmp_path / "run.jsonl"
+    with PoolFrontend(catalog, n_shards=2) as frontend:
+        report = run_load(frontend, streams, journal_path=path)
+    offered = sum(len(stream) for stream in streams)
+    assert report.requests == offered  # zero dropped, by construction
+    assert report.ok == offered
+    assert report.errors == 0 and report.rejected_total == 0
+    assert report.p50_ms > 0.0 and report.p99_ms >= report.p50_ms
+    assert report.plans_per_sec > 0.0
+    assert "ok" in report.describe()
+    assert report.to_dict()["requests"] == offered
+    assert report.client_p99("client-0") > 0.0
+    # Client-major deterministic ordering: seq is dense, clients grouped.
+    records = load_journal(path)
+    assert [record.seq for record in records] == list(range(offered))
+    assert [record.client for record in records] == sorted(
+        (record.client for record in records),
+        key=lambda name: int(name.rsplit("-", 1)[1]),
+    )
+
+
+def test_two_runs_journal_identically_modulo_latency(tmp_path):
+    catalog, streams = tiny_streams()
+
+    def run(tag: str):
+        path = tmp_path / f"{tag}.jsonl"
+        with PoolFrontend(catalog, n_shards=2) as frontend:
+            run_load(frontend, streams, journal_path=path)
+        return [
+            (r.seq, r.client, r.request, r.status, r.response)
+            for r in load_journal(path)
+        ]
+
+    assert run("first") == run("second")
+
+
+def test_replay_reproduces_a_recorded_run_bit_for_bit(tmp_path):
+    catalog, streams = tiny_streams()
+    path = tmp_path / "journal.jsonl"
+    with PoolFrontend(catalog, n_shards=2) as frontend:
+        run_load(frontend, streams, journal_path=path)
+    # A *fresh* frontend (cold caches, different sharding) must answer the
+    # byte-identical bodies.
+    with PoolFrontend(catalog, n_shards=1) as fresh:
+        replay = replay_journal(fresh, path)
+    assert replay.exact
+    assert replay.replayed == sum(len(stream) for stream in streams)
+    assert replay.matched == replay.replayed
+    assert "0 mismatch(es)" in replay.describe()
+
+
+def test_replay_skips_rejections_and_reports_mismatches():
+    catalog, streams = tiny_streams(clients=1, queries=1)
+    with PoolFrontend(catalog, n_shards=1) as frontend:
+        true_reply = frontend.ask(streams[0][0])
+        records = [
+            JournalRecord(0, "c", streams[0][0], "ok", true_reply.body, 1.0),
+            JournalRecord(1, "c", "whatever", "rejected", "REJECTED(quota)", 0.1),
+            JournalRecord(2, "c", streams[0][0], "ok", "the wrong answer", 1.0),
+        ]
+        report = replay_journal(frontend, records)
+    assert report.skipped_rejected == 1
+    assert report.replayed == 2
+    assert report.matched == 1
+    assert not report.exact
+    assert len(report.mismatches) == 1
+    assert "seq 2" in report.mismatches[0]
