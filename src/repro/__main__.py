@@ -153,6 +153,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     config = PlanGenConfig(
         enumerator=args.enumerator,
         enable_cross_products=args.cross_products,
+        enable_aggregation=True,
     )
     backend = FsmBackend(prepare_mode=args.prepare)
     result = PlanGenerator(spec, backend, config=config).run()
@@ -175,12 +176,14 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def cmd_prepare(args: argparse.Namespace) -> int:
     catalog = _resolve_catalog(args.catalog)
     spec = sql_to_query(args.sql, catalog)
-    info = analyze(spec, include_tested_selections=True)
+    info = analyze(spec, include_tested_selections=True, include_groupings=True)
     print("interesting orders:")
     for order in info.interesting.produced:
         print(f"  produced: {order!r}")
     for order in info.interesting.tested:
         print(f"  tested:   {order!r}")
+    for grouping in info.interesting.groupings_tested:
+        print(f"  grouping: {grouping!r}")
     print("FD sets:")
     for fdset in info.fdsets:
         print(f"  {fdset}")

@@ -14,6 +14,11 @@ for the morsel-driven parallel engines, and ``docs/ARCHITECTURE.md``
 ("Execution engine", "Parallel execution") for the data-flow story.
 """
 
+from .aggregate import (
+    hash_aggregate_rows,
+    output_attributes,
+    stream_aggregate_rows,
+)
 from .batch import Batch, batches_to_rows, concat_batches, rows_to_batches
 from .data import (
     Dataset,
@@ -87,7 +92,10 @@ __all__ = [
     "forced_sort_variant",
     "generate_dataset",
     "generate_query_data",
+    "hash_aggregate_rows",
     "hash_join",
+    "output_attributes",
+    "stream_aggregate_rows",
     "make_engine",
     "merge_join",
     "most_common_value",

@@ -1,0 +1,224 @@
+"""Shared aggregation machinery: accumulator states and the row-level
+reference implementations of the two aggregation operators.
+
+Every engine family computes GROUP BY results through the same accumulator
+algebra defined here — the row engine directly, the vectorized and NumPy
+kernels for their non-fast-path aggregates, and the morsel scheduler when
+it merges per-morsel partial aggregates.  One algebra, one answer: the
+differential oracle holds all engines to bit-identical grouped output, and
+that only works if every path adds, compares, and divides the same way.
+
+States are small picklable values (ints, raw column values, pairs), so a
+partial aggregate can cross a process-pool boundary:
+
+* ``count`` — an ``int`` (rows seen; the argument, if any, is ignored —
+  the SQL subset has no NULLs);
+* ``sum`` — the running total, or ``None`` before the first row.  Updates
+  add **in input-row order**; float addition is not associative, so any
+  reordering could change the answer and break the cross-engine oracle;
+* ``min`` / ``max`` — the current extremum, or ``None`` before the first
+  row;
+* ``avg`` — a ``(total, count)`` pair; finalization divides with Python's
+  true division, in every engine.
+
+Output schema: the grouping keys in ``spec.group_by`` order, then one
+column per aggregate (``AggregateSpec.output``, e.g. ``count(*)``).  A
+grouped query without aggregates — the lowered ``SELECT DISTINCT`` —
+emits the keys alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.attributes import Attribute
+from ..query.query import AggregateSpec
+from .data import Row
+
+
+def output_attributes(
+    group_by: Sequence[Attribute], aggregates: Sequence[AggregateSpec]
+) -> tuple[Attribute, ...]:
+    """The aggregated stream's column set: keys first, then aggregates."""
+    return (*group_by, *(a.output for a in aggregates))
+
+
+# -- the accumulator algebra --------------------------------------------------
+
+
+def new_state(function: str):
+    """The identity element of one aggregate function."""
+    if function == "count":
+        return 0
+    if function == "avg":
+        return (None, 0)
+    return None  # sum / min / max: no rows seen yet
+
+
+def update_state(function: str, state, value):
+    """Fold one row's value into a state (value ignored for ``count``)."""
+    if function == "count":
+        return state + 1
+    if function == "sum":
+        return value if state is None else state + value
+    if function == "min":
+        return value if state is None else min(state, value)
+    if function == "max":
+        return value if state is None else max(state, value)
+    total, count = state
+    return (value if total is None else total + value), count + 1
+
+
+def update_state_column(function: str, state, values: Sequence):
+    """Fold a whole value run into a state, preserving input order.
+
+    Equivalent to repeated :func:`update_state` — sums accumulate
+    left-to-right — but lets the columnar kernels fold a run with one call
+    per column slice instead of one per row.
+    """
+    if not len(values):
+        return state
+    if function == "count":
+        return state + len(values)
+    if function == "sum":
+        total = values[0] if state is None else state + values[0]
+        for value in values[1:]:
+            total = total + value
+        return total
+    if function == "min":
+        lowest = min(values)
+        return lowest if state is None else min(state, lowest)
+    if function == "max":
+        highest = max(values)
+        return highest if state is None else max(state, highest)
+    total, count = state
+    run_total = values[0]
+    for value in values[1:]:
+        run_total = run_total + value
+    total = run_total if total is None else total + run_total
+    return total, count + len(values)
+
+
+def merge_state(function: str, left, right):
+    """Combine two partial states (left partition first — order matters
+    for ``sum``/``avg`` exactness gating, see the morsel scheduler)."""
+    if function == "count":
+        return left + right
+    if function == "sum":
+        if left is None:
+            return right
+        return left if right is None else left + right
+    if function == "min":
+        if left is None:
+            return right
+        return left if right is None else min(left, right)
+    if function == "max":
+        if left is None:
+            return right
+        return left if right is None else max(left, right)
+    (ltotal, lcount), (rtotal, rcount) = left, right
+    if ltotal is None:
+        total = rtotal
+    elif rtotal is None:
+        total = ltotal
+    else:
+        total = ltotal + rtotal
+    return total, lcount + rcount
+
+
+def finalize_state(function: str, state):
+    """The output value of a completed group's state."""
+    if function == "avg":
+        total, count = state
+        return total / count
+    return state
+
+
+def new_states(aggregates: Sequence[AggregateSpec]) -> list:
+    return [new_state(a.function) for a in aggregates]
+
+
+def merge_states(
+    aggregates: Sequence[AggregateSpec], left: list, right: list
+) -> list:
+    return [
+        merge_state(a.function, ls, rs)
+        for a, ls, rs in zip(aggregates, left, right)
+    ]
+
+
+def finalize_states(aggregates: Sequence[AggregateSpec], states: list) -> list:
+    return [
+        finalize_state(a.function, state)
+        for a, state in zip(aggregates, states)
+    ]
+
+
+# -- row-level reference operators (the row engine / oracle) ------------------
+
+
+def _update_row(
+    states: list, aggregates: Sequence[AggregateSpec], row: Row
+) -> None:
+    for i, aggregate in enumerate(aggregates):
+        value = None if aggregate.argument is None else row[aggregate.argument]
+        states[i] = update_state(aggregate.function, states[i], value)
+
+
+def _output_row(
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    key: tuple,
+    states: list,
+) -> Row:
+    row: Row = dict(zip(group_by, key))
+    for aggregate, value in zip(
+        aggregates, finalize_states(aggregates, states)
+    ):
+        row[aggregate.output] = value
+    return row
+
+
+def stream_aggregate_rows(
+    rows: Sequence[Row],
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+) -> List[Row]:
+    """Order-exploiting aggregation: the input arrives grouped on the keys
+    (every key's rows contiguous), so one group closes whenever the key
+    tuple changes.  Groups emit in input order; O(1) live state."""
+    out: List[Row] = []
+    current_key: tuple | None = None
+    states: list = []
+    for row in rows:
+        key = tuple(row[a] for a in group_by)
+        if key != current_key:
+            if current_key is not None:
+                out.append(_output_row(group_by, aggregates, current_key, states))
+            current_key = key
+            states = new_states(aggregates)
+        _update_row(states, aggregates, row)
+    if current_key is not None:
+        out.append(_output_row(group_by, aggregates, current_key, states))
+    return out
+
+
+def hash_aggregate_rows(
+    rows: Sequence[Row],
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+) -> List[Row]:
+    """Hash aggregation over arbitrary input order.  Groups emit in
+    first-appearance order (dict insertion order) — the documented contract
+    every engine reproduces."""
+    groups: dict[tuple, list] = {}
+    for row in rows:
+        key = tuple(row[a] for a in group_by)
+        states = groups.get(key)
+        if states is None:
+            states = groups[key] = new_states(aggregates)
+        _update_row(states, aggregates, row)
+    return [
+        _output_row(group_by, aggregates, key, states)
+        for key, states in groups.items()
+    ]

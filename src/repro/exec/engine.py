@@ -39,22 +39,26 @@ from .executor import Executor, oriented_keys
 from .morsel import DEFAULT_MORSEL_SIZE
 from .vectorized import (
     DEFAULT_BATCH_SIZE,
+    hash_aggregate_batches,
     hash_join_batches,
     index_scan_batches,
     merge_join_batches,
     nl_join_batches,
     scan_batches,
     sort_batches,
+    stream_aggregate_batches,
 )
 
 try:  # The NumPy backend is optional — the ``[speed]`` extra.
     from .numpy_kernels import (
+        hash_aggregate_array_batches,
         hash_join_array_batches,
         index_scan_array_batches,
         merge_join_array_batches,
         nl_join_array_batches,
         scan_array_batches,
         sort_array_batches,
+        stream_aggregate_array_batches,
     )
 
     NUMPY_AVAILABLE = True
@@ -442,6 +446,26 @@ class VectorEngine(ExecutionEngine):
             stats,
         )
 
+    def _compile_stream_aggregate(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        if node.left is None:
+            raise ValueError("malformed stream_aggregate node")
+        return stream_aggregate_batches(
+            self._compile(node.left, spec, dataset, stats),
+            spec.group_by,
+            spec.aggregates,
+            self.config.batch_size,
+        )
+
+    def _compile_hash_aggregate(self, node, spec, dataset, stats) -> Iterator[Batch]:
+        if node.left is None:
+            raise ValueError("malformed hash_aggregate node")
+        return hash_aggregate_batches(
+            self._compile(node.left, spec, dataset, stats),
+            spec.group_by,
+            spec.aggregates,
+            self.config.batch_size,
+        )
+
     # -- joins ----------------------------------------------------------------
 
     def _compile_merge_join(self, node, spec, dataset, stats) -> Iterator[Batch]:
@@ -564,6 +588,26 @@ class NumpyEngine(VectorEngine):
             self._compile(node.left, spec, dataset, stats),
             self._compile(node.right, spec, dataset, stats),
             node.predicates,
+            self.config.batch_size,
+        )
+
+    def _compile_stream_aggregate(self, node, spec, dataset, stats):
+        if node.left is None:
+            raise ValueError("malformed stream_aggregate node")
+        return stream_aggregate_array_batches(
+            self._compile(node.left, spec, dataset, stats),
+            spec.group_by,
+            spec.aggregates,
+            self.config.batch_size,
+        )
+
+    def _compile_hash_aggregate(self, node, spec, dataset, stats):
+        if node.left is None:
+            raise ValueError("malformed hash_aggregate node")
+        return hash_aggregate_array_batches(
+            self._compile(node.left, spec, dataset, stats),
+            spec.group_by,
+            spec.aggregates,
             self.config.batch_size,
         )
 

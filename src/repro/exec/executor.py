@@ -30,6 +30,7 @@ from ..plangen.plan import (
     SORT,
     PlanNode,
 )
+from .aggregate import hash_aggregate_rows, stream_aggregate_rows
 from .data import Row
 from .iterators import (
     hash_join,
@@ -120,6 +121,20 @@ class Executor:
         if plan.ordering is None or plan.left is None:
             raise ValueError("malformed sort node")
         return sort_rows(self.run(plan.left), plan.ordering)
+
+    def _run_stream_aggregate(self, plan: PlanNode) -> List[Row]:
+        if plan.left is None:
+            raise ValueError("malformed stream_aggregate node")
+        return stream_aggregate_rows(
+            self.run(plan.left), self.spec.group_by, self.spec.aggregates
+        )
+
+    def _run_hash_aggregate(self, plan: PlanNode) -> List[Row]:
+        if plan.left is None:
+            raise ValueError("malformed hash_aggregate node")
+        return hash_aggregate_rows(
+            self.run(plan.left), self.spec.group_by, self.spec.aggregates
+        )
 
     # -- joins ------------------------------------------------------------------
 

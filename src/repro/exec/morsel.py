@@ -38,6 +38,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 from ..core.attributes import Attribute
 from ..plangen.plan import HASH_JOIN, MERGE_JOIN, NL_JOIN, PlanNode
+from .aggregate import new_states, update_state
 from .batch import Batch
 from .executor import oriented_keys
 from .vectorized import (
@@ -192,6 +193,16 @@ class FragmentPayload:
     batch_size: int = DEFAULT_BATCH_SIZE
     check_merge_inputs: bool = False
 
+    group_by: tuple = ()
+    """Grouping keys of a partial-aggregation fragment (empty otherwise);
+    set only when the scheduler runs morsels through
+    :func:`run_morsel_aggregate`."""
+
+    aggregates: tuple = ()
+    """The :class:`~repro.query.query.AggregateSpec` set matching
+    ``group_by`` — every function must merge exactly across morsel
+    partitions (the scheduler gates on that before choosing this path)."""
+
 
 def fragment_steps(
     fragment: Fragment,
@@ -331,3 +342,53 @@ def run_morsel(
             (step.index, sum(batch.length for batch in batches), len(batches))
         )
     return batches, counters
+
+
+#: Per-morsel partial aggregate: (key tuple, accumulator states), in the
+#: morsel's first-appearance order.
+MorselPartials = List[Tuple[tuple, list]]
+
+
+def run_morsel_aggregate(
+    payload: FragmentPayload, start: int, stop: int
+) -> tuple[MorselPartials, MorselCounters]:
+    """Run one morsel through the fragment pipeline, then pre-aggregate its
+    output into partial accumulator states.
+
+    Partials come back in the morsel's first-appearance order; the parent
+    merges whole morsels in submission order, so a key's global first
+    appearance — and therefore the final emission order — is exactly the
+    serial hash aggregate's dict insertion order.  Array batches are
+    converted to native scalars *before* accumulation: states cross a
+    process boundary and are merged with states from other morsels, so
+    every partial must be built from the same value representation the
+    serial engines fold.
+
+    The aggregate operator's own counters are *not* reported here — the
+    number of groups only exists after the parent's merge.
+    """
+    batches, counters = run_morsel(payload, start, stop)
+    group_by = payload.group_by
+    aggregates = payload.aggregates
+    groups: "dict[tuple, list]" = {}
+    for batch in batches:
+        if payload.flavor == "numpy":
+            batch = batch.to_batch()
+        keys = batch.key_tuples(group_by)
+        argument_columns = {
+            a.argument: batch.column(a.argument)
+            for a in aggregates
+            if a.argument is not None
+        }
+        for i, key in enumerate(keys):
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = new_states(aggregates)
+            for j, aggregate in enumerate(aggregates):
+                value = (
+                    None
+                    if aggregate.argument is None
+                    else argument_columns[aggregate.argument][i]
+                )
+                states[j] = update_state(aggregate.function, states[j], value)
+    return list(groups.items()), counters

@@ -34,15 +34,17 @@ import numpy as np
 from ..core.attributes import Attribute
 from ..core.ordering import Ordering
 from ..query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from ..query.query import AggregateSpec
 from .arraybatch import (
     ArrayBatch,
     ArrayColumns,
     concat_array_batches,
     emit_chunks,
+    infer_array,
     stable_order,
 )
 from .iterators import MergeInputNotSortedError
-from .vectorized import DEFAULT_BATCH_SIZE, _orient_predicate
+from .vectorized import DEFAULT_BATCH_SIZE, _orient_predicate, hash_aggregate_batches
 
 #: Outer-chunk budget of the nested-loop pair-mask matrix (cells).
 NL_MASK_CELLS = 1 << 16
@@ -463,3 +465,167 @@ def nl_join_array_batches(
         yield from emit_chunks(
             _joined(outer, inner, li + start, right_positions), batch_size
         )
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _run_boundaries(keys: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """Start positions of the key runs of already-grouped key columns
+    (adjacent-pair change mask; works for ``object`` columns too — NumPy
+    degrades the ``!=`` to Python semantics there)."""
+    change = np.zeros(length, dtype=bool)
+    change[0] = True
+    for column in keys:
+        change[1:] |= np.asarray(column[1:] != column[:-1], dtype=bool)
+    return np.nonzero(change)[0]
+
+
+def _sequential_fold(function: str, values: list):
+    """Order-preserving Python fold of one segment (left-to-right adds)."""
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    total = values[0]
+    for value in values[1:]:
+        total = total + value
+    if function == "avg":
+        return total / len(values)
+    return total
+
+
+def _segment_reduce(
+    aggregate: AggregateSpec,
+    column: np.ndarray | None,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    counts: np.ndarray,
+    positions_for: "callable",
+) -> np.ndarray:
+    """One aggregate's per-segment output values.
+
+    ``reduceat`` fast paths apply only where array-order reduction provably
+    matches the engines' sequential fold: integer sums (exact, associative)
+    and numeric extrema (order-insensitive).  Everything else — float sums
+    (IEEE addition is not associative), ``avg`` (finalized with *native*
+    Python division so no ``np.float64`` leaks into results), string or
+    ``object`` extrema (no ``reduceat`` support) — folds each segment in
+    original input order through native Python scalars, exactly like the
+    pure-Python engines.  ``positions_for(start, stop)`` yields a segment's
+    row positions in input order (contiguous for the stream aggregate, a
+    sorted gather for the hash aggregate).
+    """
+    function = aggregate.function
+    if function == "count":
+        return counts.astype(np.int64)
+    assert column is not None
+    kind = column.dtype.kind
+    fast = (function == "sum" and kind in ("i", "u")) or (
+        function in ("min", "max") and kind in ("i", "u", "f")
+    )
+    if fast:
+        segmented = column[
+            np.concatenate([positions_for(s, t) for s, t in zip(starts, stops)])
+        ]
+        ufunc = {"sum": np.add, "min": np.minimum, "max": np.maximum}[function]
+        run_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        return ufunc.reduceat(segmented, run_starts)
+    values = column.tolist()
+    out = []
+    for start, stop in zip(starts.tolist(), stops.tolist()):
+        segment = [values[p] for p in positions_for(start, stop)]
+        out.append(_sequential_fold(function, segment))
+    return infer_array(out)
+
+
+def stream_aggregate_array_batches(
+    batches: Iterator[ArrayBatch],
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Order-exploiting aggregation: the input arrives grouped on the keys,
+    so the key runs *are* the groups — one change-mask pass finds every
+    boundary, ``reduceat`` (or the order-preserving fallback) folds each
+    segment, and groups emit in input order."""
+    table = concat_array_batches(list(batches))
+    if table.length == 0 or not table.columns:
+        return
+    key_columns = [table.column(a) for a in group_by]
+    starts = _run_boundaries(key_columns, table.length)
+    stops = np.append(starts[1:], table.length)
+    counts = stops - starts
+
+    def positions_for(start: int, stop: int) -> np.ndarray:
+        return np.arange(start, stop, dtype=np.intp)
+
+    columns: ArrayColumns = {
+        a: column[starts] for a, column in zip(group_by, key_columns)
+    }
+    for aggregate in aggregates:
+        column = (
+            None
+            if aggregate.argument is None
+            else table.column(aggregate.argument)
+        )
+        columns[aggregate.output] = _segment_reduce(
+            aggregate, column, starts, stops, counts, positions_for
+        )
+    yield from emit_chunks(ArrayBatch(columns, len(starts)), batch_size)
+
+
+def hash_aggregate_array_batches(
+    batches: Iterator[ArrayBatch],
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ArrayBatch]:
+    """Hash aggregation via stable-sort segmentation.
+
+    One stable argsort partitions the rows into contiguous key groups (the
+    array-world hash table); each group's earliest original position
+    recovers the streaming engines' **first-appearance** emission order.
+    Order-sensitive aggregates fold each group's rows in original input
+    order, so float sums match the dict-based engines bit for bit.
+    Unorderable key values (no total order, so no argsort) degrade to the
+    vector engine's dict grouping over native rows.
+    """
+    table = concat_array_batches(list(batches))
+    if table.length == 0 or not table.columns:
+        return
+    key_columns = [table.column(a) for a in group_by]
+    try:
+        order = stable_order(key_columns, table.length)
+    except TypeError:
+        for batch in hash_aggregate_batches(
+            iter([table.to_batch()]), group_by, aggregates, batch_size
+        ):
+            yield ArrayBatch.from_batch(batch)
+        return
+    sorted_keys = [column[order] for column in key_columns]
+    starts = _run_boundaries(sorted_keys, table.length)
+    stops = np.append(starts[1:], table.length)
+    counts = stops - starts
+    # Earliest original row position of each group == the moment the
+    # streaming hash aggregate would have inserted its dict entry.
+    first_seen = np.minimum.reduceat(order, starts)
+    emit_order = np.argsort(first_seen, kind="stable")
+
+    def positions_for(start: int, stop: int) -> np.ndarray:
+        return np.sort(order[start:stop])
+
+    columns: ArrayColumns = {
+        a: column[starts][emit_order]
+        for a, column in zip(group_by, sorted_keys)
+    }
+    for aggregate in aggregates:
+        column = (
+            None
+            if aggregate.argument is None
+            else table.column(aggregate.argument)
+        )
+        columns[aggregate.output] = _segment_reduce(
+            aggregate, column, starts, stops, counts, positions_for
+        )[emit_order]
+    yield from emit_chunks(ArrayBatch(columns, len(starts)), batch_size)

@@ -51,8 +51,11 @@ import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterator, Sequence
 
-from ..plangen.plan import SCAN, PlanNode
+from ..plangen.plan import HASH_AGGREGATE, SCAN, PlanNode
+from ..query.query import QuerySpec
+from .aggregate import merge_states
 from .batch import Batch, concat_batches
+from .data import schema_dtype_hints
 from .engine import ExecutionResult, ExecutionStats, NumpyEngine, VectorEngine
 from .morsel import (
     Fragment,
@@ -60,7 +63,9 @@ from .morsel import (
     extract_fragment,
     fragment_steps,
     run_morsel,
+    run_morsel_aggregate,
 )
+from .vectorized import grouped_output_batches
 
 PARALLEL_MODES = ("auto", "thread", "process")
 
@@ -118,8 +123,7 @@ _WORKER_PAYLOADS: dict[str, FragmentPayload] = {}
 _WORKER_PAYLOAD_CACHE_SIZE = 4
 
 
-def _run_morsel_from_file(path: str, start: int, stop: int):
-    """Process-pool entry point: load-and-cache the payload, run the morsel."""
+def _load_payload(path: str) -> FragmentPayload:
     payload = _WORKER_PAYLOADS.get(path)
     if payload is None:
         with open(path, "rb") as handle:
@@ -127,7 +131,38 @@ def _run_morsel_from_file(path: str, start: int, stop: int):
         while len(_WORKER_PAYLOADS) >= _WORKER_PAYLOAD_CACHE_SIZE:
             _WORKER_PAYLOADS.pop(next(iter(_WORKER_PAYLOADS)))
         _WORKER_PAYLOADS[path] = payload
-    return run_morsel(payload, start, stop)
+    return payload
+
+
+def _run_morsel_from_file(path: str, start: int, stop: int):
+    """Process-pool entry point: load-and-cache the payload, run the morsel."""
+    return run_morsel(_load_payload(path), start, stop)
+
+
+def _run_morsel_aggregate_from_file(path: str, start: int, stop: int):
+    """Process-pool entry point of the partial-aggregation path."""
+    return run_morsel_aggregate(_load_payload(path), start, stop)
+
+
+def partial_aggregation_exact(spec: QuerySpec) -> bool:
+    """Whether per-morsel partial aggregation provably matches serial.
+
+    ``count``/``min``/``max`` merge exactly under any partitioning.  ``sum``
+    and ``avg`` reassociate additions across morsel boundaries, which is
+    exact for integers but not for floats (IEEE addition is not
+    associative) — so they qualify only when the catalog *declares* the
+    argument column integer-typed.  Anything else keeps the serial hash
+    aggregate (still running atop a parallelized join spine), preserving
+    the bit-identical cross-engine contract.
+    """
+    for aggregate in spec.aggregates:
+        if aggregate.function in ("sum", "avg"):
+            attribute = aggregate.argument
+            assert attribute is not None  # sum/avg always take a column
+            hints = schema_dtype_hints(spec, attribute.relation)
+            if hints.get(attribute) != "int":
+                return False
+    return True
 
 
 def _broadcast_payload(payload: FragmentPayload) -> str:
@@ -158,6 +193,19 @@ class _MorselMixin:
 
     def _compile(self, node, spec, dataset, stats) -> Iterator[Batch]:
         if self.config.workers > 1:
+            if node.op == HASH_AGGREGATE and node.left is not None:
+                # Partial aggregation: workers pre-aggregate their morsels
+                # and the parent merges states — but only when every
+                # aggregate merges exactly across partitions.  Otherwise
+                # (and for stream aggregates, which fall through to the
+                # serial compile below) the serial operator runs atop the
+                # parallelized join spine: its child compile re-enters
+                # this seam.
+                fragment = extract_fragment(node.left)
+                if fragment is not None and partial_aggregation_exact(spec):
+                    return self._run_aggregate_fragment(
+                        node, fragment, spec, dataset, stats
+                    )
             fragment = extract_fragment(node)
             if fragment is not None:
                 return self._run_fragment(fragment, spec, dataset, stats)
@@ -176,21 +224,31 @@ class _MorselMixin:
     def _source_table(self, spec, dataset, alias):
         return dataset.batch(alias)
 
-    def _run_fragment(
-        self, fragment: Fragment, spec, dataset, stats: ExecutionStats
-    ) -> Iterator[Batch]:
+    def _prepare_fragment(
+        self,
+        fragment: Fragment,
+        spec,
+        dataset,
+        stats: ExecutionStats,
+        group_by: tuple = (),
+        aggregates: tuple = (),
+    ):
+        """The serial prelude of a fragment run: builds, source, payload.
+
+        Returns ``(payload, spans)`` — or ``None`` on an empty build side,
+        the whole-fragment short-circuit (lower spine nodes and the source
+        are never pulled and stay "not executed", exactly like the serial
+        hash join's empty-build short-circuit).
+        """
         # Build phase: drain build sides top-down.  Touching counters first
         # mirrors the serial engine, where pulling a join's output creates
-        # its counter entry before the build side is consumed; an empty
-        # build stops right here — lower spine nodes and the source are
-        # never pulled and stay "not executed", exactly like the serial
-        # hash join's empty-build short-circuit.
+        # its counter entry before the build side is consumed.
         builds = []
         for node in fragment.spine:
             stats.counters_for(node)
             build = self._materialize(node.right, spec, dataset, stats)
             if build.length == 0:
-                return
+                return None
             builds.append(build)
 
         source_node = fragment.source
@@ -219,43 +277,125 @@ class _MorselMixin:
             ),
             batch_size=self.config.batch_size,
             check_merge_inputs=self.config.check_merge_inputs,
+            group_by=group_by,
+            aggregates=aggregates,
         )
-        spans = _morsel_spans(table.length, self.config.morsel_size)
+        return payload, _morsel_spans(table.length, self.config.morsel_size)
+
+    def _apply_counters(self, counter_records, node_by_index, stats) -> None:
+        for index, rows, batch_count in counter_records:
+            counters = stats.counters_for(node_by_index[index])
+            counters.rows += rows
+            counters.batches += batch_count
+
+    def _run_fragment(
+        self, fragment: Fragment, spec, dataset, stats: ExecutionStats
+    ) -> Iterator[Batch]:
+        prepared = self._prepare_fragment(fragment, spec, dataset, stats)
+        if prepared is None:
+            return
+        payload, spans = prepared
         node_by_index = fragment.nodes()
         for batches, counter_records in self._dispatch(payload, spans):
-            for index, rows, batch_count in counter_records:
-                counters = stats.counters_for(node_by_index[index])
-                counters.rows += rows
-                counters.batches += batch_count
+            self._apply_counters(counter_records, node_by_index, stats)
             yield from batches
+
+    def _run_aggregate_fragment(
+        self,
+        node: PlanNode,
+        fragment: Fragment,
+        spec,
+        dataset,
+        stats: ExecutionStats,
+    ) -> Iterator[Batch]:
+        """Partial hash aggregation: morsels pre-aggregate, the parent
+        merges.
+
+        Each worker folds its morsel's join output into per-group partial
+        states (:func:`~repro.exec.morsel.run_morsel_aggregate`); the
+        parent merges whole morsels in submission order, so a group's
+        global first appearance — the serial dict insertion order — is
+        preserved, then finalizes and re-emits in ``batch_size`` chunks
+        exactly like the serial hash aggregate.  Counters for the
+        aggregate node itself are taken here (groups only exist after the
+        merge); fragment counters travel back from the workers as usual.
+        """
+        counters = stats.counters_for(node)
+        prepared = self._prepare_fragment(
+            fragment,
+            spec,
+            dataset,
+            stats,
+            group_by=tuple(spec.group_by),
+            aggregates=tuple(spec.aggregates),
+        )
+        if prepared is None:
+            return
+        payload, spans = prepared
+        node_by_index = fragment.nodes()
+        merged: dict[tuple, list] = {}
+        for partials, counter_records in self._dispatch(
+            payload, spans, aggregate=True
+        ):
+            self._apply_counters(counter_records, node_by_index, stats)
+            for key, states in partials:
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = states
+                else:
+                    merged[key] = merge_states(spec.aggregates, existing, states)
+        for batch in grouped_output_batches(
+            merged, spec.group_by, spec.aggregates, self.config.batch_size
+        ):
+            batch = self._output_batch(batch)
+            counters.rows += batch.length
+            counters.batches += 1
+            yield batch
+
+    def _output_batch(self, batch: Batch):
+        """Flavor hook: merged aggregate output leaves here as the engine's
+        native batch kind (list columns for vector, arrays for NumPy)."""
+        return batch
 
     # -- morsel dispatch ------------------------------------------------------
 
-    def _dispatch(self, payload: FragmentPayload, spans: Sequence[tuple[int, int]]):
+    def _dispatch(
+        self,
+        payload: FragmentPayload,
+        spans: Sequence[tuple[int, int]],
+        *,
+        aggregate: bool = False,
+    ):
         """Run every morsel; yield (batches, counters) in morsel order.
 
         Consuming futures strictly in submission order is the whole
         order-preservation story: morsel outputs concatenate back into the
-        serial emission order, whatever order workers finished in.
+        serial emission order, whatever order workers finished in.  With
+        ``aggregate`` set, morsels run through the partial-aggregation
+        entry point and yield (partials, counters) instead.
         """
+        runner = run_morsel_aggregate if aggregate else run_morsel
         if len(spans) <= 1:
             for start, stop in spans:
-                yield run_morsel(payload, start, stop)
+                yield runner(payload, start, stop)
             return
         mode = resolve_parallel_mode(self.config.parallel_mode, self.flavor)
         if mode == "thread":
             pool = _pool("thread", self.config.workers)
             futures = [
-                pool.submit(run_morsel, payload, start, stop)
+                pool.submit(runner, payload, start, stop)
                 for start, stop in spans
             ]
             yield from _drain_in_order(futures)
             return
+        file_runner = (
+            _run_morsel_aggregate_from_file if aggregate else _run_morsel_from_file
+        )
         path = _broadcast_payload(payload)
         try:
             pool = _pool("process", self.config.workers)
             futures = [
-                pool.submit(_run_morsel_from_file, path, start, stop)
+                pool.submit(file_runner, path, start, stop)
                 for start, stop in spans
             ]
             yield from _drain_in_order(futures)
@@ -296,6 +436,11 @@ class ParallelNumpyEngine(_MorselMixin, NumpyEngine):
 
     def _source_table(self, spec, dataset, alias):
         return self._table(spec, dataset, alias)
+
+    def _output_batch(self, batch: Batch):
+        from .arraybatch import ArrayBatch
+
+        return ArrayBatch.from_batch(batch)
 
 
 PARALLEL_ENGINE_TYPES = {

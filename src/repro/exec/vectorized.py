@@ -29,6 +29,14 @@ from typing import Callable, Iterator, Sequence
 from ..core.attributes import Attribute
 from ..core.ordering import Ordering
 from ..query.predicates import JoinPredicate
+from ..query.query import AggregateSpec
+from .aggregate import (
+    finalize_states,
+    new_states,
+    output_attributes,
+    update_state,
+    update_state_column,
+)
 from .batch import Batch, Columns, concat_batches, empty_like
 from .iterators import check_sorted_run
 
@@ -558,3 +566,144 @@ def merge_join_batches(
                 yield out.drain()
     if out is not None and out._length:
         yield out.drain()
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _append_group(
+    out: _OutputBuffer,
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    key: tuple,
+    states: list,
+) -> None:
+    """Close one group: one output row of key values + finalized aggregates."""
+    for attribute, value in zip(group_by, key):
+        out.columns[attribute].append(value)
+    for aggregate, value in zip(aggregates, finalize_states(aggregates, states)):
+        out.columns[aggregate.output].append(value)
+    out.append_length(1)
+
+
+def _fold_run(
+    states: list,
+    aggregates: Sequence[AggregateSpec],
+    batch: Batch,
+    start: int,
+    stop: int,
+) -> None:
+    """Fold rows ``[start, stop)`` of one batch into the open group's states
+    (column-at-a-time, input order preserved)."""
+    for i, aggregate in enumerate(aggregates):
+        if aggregate.argument is None:  # count(*)
+            states[i] = states[i] + (stop - start)
+        else:
+            states[i] = update_state_column(
+                aggregate.function,
+                states[i],
+                batch.column(aggregate.argument)[start:stop],
+            )
+
+
+def stream_aggregate_batches(
+    batches: Iterator[Batch],
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Order-exploiting aggregation over a key-grouped batch stream.
+
+    The input arrives grouped on the keys (the planner proved it), so a
+    group closes whenever the key tuple changes — including across batch
+    boundaries.  Live state is one open group; output groups emit in input
+    order, buffered to ``batch_size`` rows.
+    """
+    out = _OutputBuffer(output_attributes(group_by, aggregates), batch_size)
+    current_key: tuple | None = None
+    states: list = []
+    for batch in batches:
+        if batch.length == 0:
+            continue
+        keys = batch.key_tuples(group_by)
+        start = 0
+        while start < batch.length:
+            key = keys[start]
+            stop = start
+            while stop < batch.length and keys[stop] == key:
+                stop += 1
+            if key != current_key:
+                if current_key is not None:
+                    _append_group(out, group_by, aggregates, current_key, states)
+                    if out.full:
+                        yield out.drain()
+                current_key = key
+                states = new_states(aggregates)
+            _fold_run(states, aggregates, batch, start, stop)
+            start = stop
+    if current_key is not None:
+        _append_group(out, group_by, aggregates, current_key, states)
+    if out._length:
+        yield out.drain()
+
+
+def hash_aggregate_batches(
+    batches: Iterator[Batch],
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Hash aggregation over arbitrary input order.
+
+    Groups accumulate in a dict and emit in first-appearance (insertion)
+    order once the input is drained — a pipeline breaker, like the cost
+    model says.  The result is materialized whole and re-emitted in
+    ``batch_size`` chunks, so batch counters match the morsel scheduler's
+    merged-partials path exactly.
+    """
+    groups: dict[tuple, list] = {}
+    for batch in batches:
+        if batch.length == 0:
+            continue
+        keys = batch.key_tuples(group_by)
+        argument_columns = {
+            a.argument: batch.column(a.argument)
+            for a in aggregates
+            if a.argument is not None
+        }
+        for i, key in enumerate(keys):
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = new_states(aggregates)
+            for j, aggregate in enumerate(aggregates):
+                value = (
+                    None
+                    if aggregate.argument is None
+                    else argument_columns[aggregate.argument][i]
+                )
+                states[j] = update_state(aggregate.function, states[j], value)
+    yield from grouped_output_batches(groups, group_by, aggregates, batch_size)
+
+
+def grouped_output_batches(
+    groups: dict,
+    group_by: Sequence[Attribute],
+    aggregates: Sequence[AggregateSpec],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[Batch]:
+    """Emit a ``key tuple -> states`` dict as output batches, in the dict's
+    iteration (first-appearance) order.  Shared by the serial hash
+    aggregate and the morsel scheduler's partial-aggregate merge."""
+    if not groups:
+        return
+    columns: Columns = {a: [] for a in output_attributes(group_by, aggregates)}
+    for key, states in groups.items():
+        for attribute, value in zip(group_by, key):
+            columns[attribute].append(value)
+        for aggregate, value in zip(
+            aggregates, finalize_states(aggregates, states)
+        ):
+            columns[aggregate.output].append(value)
+    table = Batch(columns, len(groups))
+    for start in range(0, table.length, batch_size):
+        yield table.slice(start, start + batch_size)

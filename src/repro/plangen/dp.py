@@ -504,10 +504,29 @@ class PlanGenerator:
         keys = Grouping(frozenset(group_by))
         detail = ", ".join(str(a) for a in group_by)
         if self.backend.satisfies_grouping(plan.state, keys):
+            # Streaming preserves the *relative* order of its input, but the
+            # output rows carry only the grouping keys (plus aggregates), so
+            # orderings over non-key attributes no longer hold.  Project the
+            # state onto what provably survives: the query's ORDER BY, when
+            # it mentions only grouping keys and the input already satisfies
+            # it.  Anything else collapses to the unordered scan state —
+            # carrying ``plan.state`` through unchanged would let the
+            # finalizer skip a required sort on an order the aggregate
+            # destroyed.
+            order_by = self.spec.order_by
+            if (
+                order_by is not None
+                and len(order_by)
+                and order_by.attribute_set <= set(group_by)
+                and self.backend.satisfies(plan.state, order_by)
+            ):
+                state = self.backend.produced_state(order_by)
+            else:
+                state = self.backend.scan_state()
             return self._make(
                 STREAM_AGGREGATE,
                 plan.relations,
-                state=plan.state,  # streaming preserves the input order
+                state=state,
                 cost=self.cost.stream_aggregate(plan.cost, plan.cardinality),
                 cardinality=groups,
                 left=plan,
@@ -526,6 +545,17 @@ class PlanGenerator:
     def _finalize(self, final_table: dict) -> PlanNode:
         order_by = self.spec.order_by
         aggregate = self.config.enable_aggregation and bool(self.spec.group_by)
+        if aggregate and order_by is not None and len(order_by):
+            missing = [
+                a for a in order_by if a not in set(self.spec.group_by)
+            ]
+            if missing:
+                names = ", ".join(str(a) for a in missing)
+                raise RuntimeError(
+                    f"query {self.spec.name}: ORDER BY attribute(s) {names} "
+                    "are not GROUP BY keys; the aggregated output no longer "
+                    "carries them, so the ordering cannot be produced"
+                )
         candidates: list[PlanNode] = []
         for plan in final_table.values():
             if aggregate:

@@ -30,6 +30,41 @@ class RelationRef:
             object.__setattr__(self, "alias", self.table)
 
 
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate select item: ``count(*)``, ``sum(t.a)``, ...
+
+    ``argument`` is ``None`` only for ``count(*)``; every other function
+    aggregates a bound column.  The output column of an aggregate is an
+    unqualified :class:`Attribute` named after its rendering — parentheses
+    keep it from colliding with any real column name.
+    """
+
+    function: str
+    argument: Attribute | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise ValueError(
+                f"unknown aggregate function {self.function!r}; "
+                f"expected one of {', '.join(AGGREGATE_FUNCTIONS)}"
+            )
+        if self.argument is None and self.function != "count":
+            raise ValueError(f"{self.function}(*) is not defined; only count(*)")
+
+    @property
+    def output(self) -> Attribute:
+        inner = "*" if self.argument is None else str(self.argument)
+        return Attribute(f"{self.function}({inner})")
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        return f"{self.function}({inner})"
+
+
 @dataclass
 class QuerySpec:
     """A validated select-project-join query over a catalog."""
@@ -42,6 +77,7 @@ class QuerySpec:
     group_by: tuple[Attribute, ...] = ()
     name: str = "query"
     join_selectivities: dict[frozenset[Attribute], float] = field(default_factory=dict)
+    aggregates: tuple[AggregateSpec, ...] = ()
 
     def __post_init__(self) -> None:
         aliases = [r.alias for r in self.relations]
@@ -61,6 +97,16 @@ class QuerySpec:
                 self._check_attribute(attribute, alias_set)
         for attribute in self.group_by:
             self._check_attribute(attribute, alias_set)
+        if self.aggregates and not self.group_by:
+            raise ValueError(
+                f"query {self.name} has aggregates without GROUP BY keys "
+                "(scalar aggregation is not supported)"
+            )
+        for aggregate in self.aggregates:
+            if not isinstance(aggregate, AggregateSpec):
+                raise TypeError(f"expected AggregateSpec, got {aggregate!r}")
+            if aggregate.argument is not None:
+                self._check_attribute(aggregate.argument, alias_set)
 
     def _check_attribute(self, attribute: Attribute, aliases: set[str]) -> None:
         if attribute.relation not in aliases:
@@ -142,6 +188,8 @@ class QuerySpec:
             lines.append(f"  join {join}")
         for selection in self.selections:
             lines.append(f"  where {selection}")
+        if self.aggregates:
+            lines.append(f"  select {', '.join(map(str, self.aggregates))}")
         if self.group_by:
             lines.append(f"  group by {', '.join(map(str, self.group_by))}")
         if self.order_by is not None:
@@ -157,6 +205,7 @@ def make_query(
     order_by: Ordering | None = None,
     group_by: Iterable[Attribute] = (),
     name: str = "query",
+    aggregates: Iterable[AggregateSpec] = (),
 ) -> QuerySpec:
     """Convenience constructor accepting bare table names."""
     refs = tuple(
@@ -170,4 +219,5 @@ def make_query(
         order_by=order_by,
         group_by=tuple(group_by),
         name=name,
+        aggregates=tuple(aggregates),
     )

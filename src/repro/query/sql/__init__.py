@@ -2,6 +2,7 @@
 the paper's example queries."""
 
 from .ast import (
+    AggregateItem,
     Between,
     ColumnRef,
     Comparison,
@@ -12,17 +13,19 @@ from .ast import (
 )
 from .binder import Binder, BindError, sql_to_query
 from .lexer import SqlSyntaxError, Token, tokenize
-from .parser import Parser, parse_sql
+from .parser import ParseError, Parser, parse_sql
 
 __all__ = [
     "tokenize",
     "Token",
     "SqlSyntaxError",
+    "ParseError",
     "parse_sql",
     "Parser",
     "SelectStatement",
     "TableRef",
     "ColumnRef",
+    "AggregateItem",
     "Literal",
     "Comparison",
     "Between",

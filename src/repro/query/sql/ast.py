@@ -69,12 +69,28 @@ class OrderItem:
     descending: bool = False
 
 
+@dataclass(frozen=True)
+class AggregateItem:
+    """``count(*)`` / ``sum(col)`` / ``min``/``max``/``avg`` select item."""
+
+    function: str  # count | sum | min | max | avg
+    argument: ColumnRef | None = None  # None only for count(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        return f"{self.function}({inner})"
+
+
+SelectItem = Union[ColumnRef, AggregateItem]
+
+
 @dataclass
 class SelectStatement:
-    """``SELECT ... FROM ... [WHERE ...] [GROUP BY ...] [ORDER BY ...]``."""
+    """``SELECT [DISTINCT] ... FROM ... [WHERE ...] [GROUP BY ...] [ORDER BY ...]``."""
 
     select_star: bool = False
-    select_items: tuple[ColumnRef, ...] = ()
+    distinct: bool = False
+    select_items: tuple[SelectItem, ...] = ()
     tables: tuple[TableRef, ...] = ()
     conditions: tuple[Condition, ...] = ()
     group_by: tuple[ColumnRef, ...] = ()

@@ -5,6 +5,14 @@ alias; an unqualified column must be unambiguous across the FROM tables.
 Conditions are classified into join predicates (column = column across
 relations), constant equalities, and range selections.  ``ORDER BY ... DESC``
 is rejected — the paper's framework models undirected orderings.
+
+Grouping and projection: ``SELECT DISTINCT items`` lowers to a grouping
+over the projected columns (``DISTINCT *`` groups on every column of every
+FROM relation); aggregate select items (``count(*)``, ``sum(col)``, ...)
+bind to :class:`~repro.query.query.AggregateSpec` entries and require a
+``GROUP BY``.  A grouped query's plain select items must be grouping keys.
+``SELECT *`` with ``GROUP BY`` stays accepted for backward compatibility
+(the projection is ignored; the grouping drives planning).
 """
 
 from __future__ import annotations
@@ -13,8 +21,15 @@ from ...catalog.schema import Catalog
 from ...core.attributes import Attribute
 from ...core.ordering import Ordering
 from ..predicates import EqualsConstant, JoinPredicate, RangePredicate
-from ..query import QuerySpec, RelationRef
-from .ast import Between, ColumnRef, Comparison, Literal, SelectStatement
+from ..query import AggregateSpec, QuerySpec, RelationRef
+from .ast import (
+    AggregateItem,
+    Between,
+    ColumnRef,
+    Comparison,
+    Literal,
+    SelectStatement,
+)
 from .parser import parse_sql
 
 
@@ -86,6 +101,9 @@ class Binder:
             order_by = Ordering(attributes)
 
         group_by = tuple(self.resolve(c) for c in statement.group_by)
+        group_by, aggregates = self._bind_projection(
+            statement, relations, group_by
+        )
 
         return QuerySpec(
             catalog=self.catalog,
@@ -95,7 +113,72 @@ class Binder:
             order_by=order_by,
             group_by=group_by,
             name=name,
+            aggregates=aggregates,
         )
+
+    def _bind_projection(
+        self,
+        statement: SelectStatement,
+        relations: list[RelationRef],
+        group_by: tuple[Attribute, ...],
+    ) -> tuple[tuple[Attribute, ...], tuple[AggregateSpec, ...]]:
+        """Lower DISTINCT / aggregate select items onto the grouping."""
+        aggregate_items = [
+            item
+            for item in statement.select_items
+            if isinstance(item, AggregateItem)
+        ]
+        plain_items = [
+            item
+            for item in statement.select_items
+            if isinstance(item, ColumnRef)
+        ]
+        if statement.distinct:
+            if aggregate_items:
+                raise BindError(
+                    "SELECT DISTINCT with aggregates is not supported"
+                )
+            if group_by:
+                raise BindError(
+                    "SELECT DISTINCT cannot be combined with GROUP BY "
+                    "(DISTINCT lowers to a grouping itself)"
+                )
+            if statement.select_star:
+                # DISTINCT *: group on every column of every FROM relation,
+                # in FROM order then declaration order.
+                keys: list[Attribute] = []
+                for ref in relations:
+                    table = self.catalog.table(ref.table)
+                    keys.extend(
+                        Attribute(column.name, ref.alias)
+                        for column in table.columns
+                    )
+            else:
+                keys = [self.resolve(item) for item in plain_items]
+            deduped = tuple(dict.fromkeys(keys))
+            return deduped, ()
+        if aggregate_items and not group_by:
+            raise BindError(
+                "aggregate select items require a GROUP BY clause "
+                "(scalar aggregation is not supported)"
+            )
+        aggregates = tuple(
+            AggregateSpec(
+                item.function,
+                None if item.argument is None else self.resolve(item.argument),
+            )
+            for item in aggregate_items
+        )
+        if group_by and not statement.select_star:
+            key_set = set(group_by)
+            for item in plain_items:
+                attribute = self.resolve(item)
+                if attribute not in key_set:
+                    raise BindError(
+                        f"select item {attribute} is neither a GROUP BY key "
+                        "nor an aggregate"
+                    )
+        return group_by, aggregates
 
     def resolve(self, ref: ColumnRef) -> Attribute:
         if ref.qualifier is not None:

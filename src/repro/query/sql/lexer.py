@@ -13,6 +13,7 @@ from typing import Iterator
 KEYWORDS = frozenset(
     {
         "select",
+        "distinct",
         "from",
         "where",
         "and",

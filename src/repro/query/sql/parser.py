@@ -3,30 +3,45 @@
 Grammar (conjunctive select-project-join, the shape of every query in the
 paper):
 
-    statement   := SELECT select_list FROM table_list
+    statement   := SELECT [DISTINCT] select_list FROM table_list
                    [WHERE condition (AND condition)*]
                    [GROUP BY column_list] [ORDER BY order_list]
-    select_list := '*' | column (',' column)*
+    select_list := '*' | select_item (',' select_item)*
+    select_item := column | aggregate
+    aggregate   := ('count'|'sum'|'min'|'max'|'avg') '(' ('*' | column) ')'
     table_list  := table [AS? alias] (',' table [AS? alias])*
     condition   := column op (column | literal)
                  | column BETWEEN literal AND literal
     op          := '=' | '<' | '<=' | '>' | '>=' | '<>'
     column      := identifier ['.' identifier]
+
+Clauses are strictly ordered and appear at most once: ``GROUP BY`` must
+precede ``ORDER BY``, and a duplicate of either is a :class:`ParseError`
+(the aliased :class:`SqlSyntaxError`).  Aggregate function names are *not*
+keywords — ``count`` followed by anything but ``(`` stays an ordinary
+column reference.
 """
 
 from __future__ import annotations
 
 from .ast import (
+    AggregateItem,
     Between,
     ColumnRef,
     Comparison,
     Condition,
     Literal,
     OrderItem,
+    SelectItem,
     SelectStatement,
     TableRef,
 )
 from .lexer import SqlSyntaxError, Token, tokenize
+
+#: Parse errors are syntax errors; the alias names the parser-facing side.
+ParseError = SqlSyntaxError
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "min", "max", "avg"})
 
 
 class Parser:
@@ -81,16 +96,17 @@ class Parser:
 
     def statement(self) -> SelectStatement:
         self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
         select_star = False
-        select_items: list[ColumnRef] = []
+        select_items: list[SelectItem] = []
         if self.current.kind == "star":
             self.advance()
             select_star = True
         else:
-            select_items.append(self.column())
+            select_items.append(self.select_item())
             while self.current.kind == "comma":
                 self.advance()
-                select_items.append(self.column())
+                select_items.append(self.select_item())
 
         self.expect_keyword("from")
         tables = [self.table_ref()]
@@ -104,30 +120,74 @@ class Parser:
             while self.accept_keyword("and"):
                 conditions.append(self.condition())
 
+        # Strict clause sequence: one optional GROUP BY, then one optional
+        # ORDER BY.  Anything else — a duplicate, or GROUP BY after ORDER
+        # BY — is rejected here instead of being silently concatenated.
         group_by: list[ColumnRef] = []
-        order_by: list[OrderItem] = []
-        while self.current.kind == "keyword" and self.current.value in ("group", "order"):
-            clause = self.advance().value
+        if self.current.is_keyword("group"):
+            self.advance()
             self.expect_keyword("by")
-            if clause == "group":
+            group_by.append(self.column())
+            while self.current.kind == "comma":
+                self.advance()
                 group_by.append(self.column())
-                while self.current.kind == "comma":
-                    self.advance()
-                    group_by.append(self.column())
-            else:
+        order_by: list[OrderItem] = []
+        if self.current.is_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            order_by.append(self.order_item())
+            while self.current.kind == "comma":
+                self.advance()
                 order_by.append(self.order_item())
-                while self.current.kind == "comma":
-                    self.advance()
-                    order_by.append(self.order_item())
+        if self.current.is_keyword("group"):
+            message = (
+                "duplicate GROUP BY clause"
+                if group_by
+                else "GROUP BY must precede ORDER BY"
+            )
+            raise ParseError(message, self.current.position)
+        if self.current.is_keyword("order"):
+            raise ParseError("duplicate ORDER BY clause", self.current.position)
 
         return SelectStatement(
             select_star=select_star,
+            distinct=distinct,
             select_items=tuple(select_items),
             tables=tuple(tables),
             conditions=tuple(conditions),
             group_by=tuple(group_by),
             order_by=tuple(order_by),
         )
+
+    def select_item(self) -> SelectItem:
+        """A plain column, or an aggregate call ``fn(...)``.
+
+        Aggregate names are contextual: only an identifier immediately
+        followed by ``(`` parses as a call, so columns named ``count`` etc.
+        keep working everywhere else.
+        """
+        token = self.current
+        if (
+            token.kind == "identifier"
+            and token.value.lower() in AGGREGATE_NAMES
+            and self.tokens[self.index + 1].kind == "lparen"
+        ):
+            function = self.advance().value.lower()
+            self.expect_kind("lparen")
+            argument: ColumnRef | None
+            if self.current.kind == "star":
+                if function != "count":
+                    raise ParseError(
+                        f"{function}(*) is not supported; only count(*)",
+                        self.current.position,
+                    )
+                self.advance()
+                argument = None
+            else:
+                argument = self.column()
+            self.expect_kind("rparen")
+            return AggregateItem(function, argument)
+        return self.column()
 
     def table_ref(self) -> TableRef:
         name = self.expect_kind("identifier").value

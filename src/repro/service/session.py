@@ -75,7 +75,9 @@ def canonical_query_key(spec: QuerySpec) -> Hashable:
     ``FROM b, a``; a *repeated* predicate is kept — the cardinality model
     applies its selectivity per occurrence, so it changes the plan), while
     ``ORDER BY`` and ``GROUP BY`` keep their attribute sequence
-    (``ORDER BY a, b`` differs from ``ORDER BY b, a``).  Selection constants
+    (``ORDER BY a, b`` differs from ``ORDER BY b, a``), and the aggregate
+    list keeps its sequence too — it is the output column order.  Selection
+    constants
     are part of the key — unlike the preparation fingerprint, a plan is an
     answer to one concrete query.  Constants are keyed by ``repr`` so
     unhashable values cannot break the cache.
@@ -97,6 +99,7 @@ def canonical_query_key(spec: QuerySpec) -> Hashable:
         tuple(sorted(selections)),
         None if spec.order_by is None else spec.order_by.attributes,
         spec.group_by,
+        spec.aggregates,
         frozenset(spec.join_selectivities.items()),
     )
 
@@ -140,7 +143,12 @@ class SessionConfig:
     prepared_cache_size: int = 128
     plan_cache_size: int = 512
     builder_options: BuilderOptions = BuilderOptions()
-    plangen: PlanGenConfig = PlanGenConfig()
+    plangen: PlanGenConfig = PlanGenConfig(enable_aggregation=True)
+    """Plan-generation options.  The service stack enables aggregation by
+    default — sessions plan GROUP BY / DISTINCT queries with the
+    grouping-aware operators (stream- or hash-aggregate); the low-level
+    :class:`PlanGenConfig` keeps aggregation off so library callers opt in
+    explicitly."""
     enforce_single_owner: bool = False
     prepare_mode: str = field(default_factory=default_prepare_mode)
     """Preparation mode for cache-built components (``"eager"`` / ``"lazy"``,

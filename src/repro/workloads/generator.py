@@ -24,8 +24,9 @@ from typing import Iterator
 
 from ..catalog.schema import Catalog, Column, Index, Table
 from ..core.attributes import Attribute
+from ..core.ordering import Ordering
 from ..query.predicates import EqualsConstant, JoinPredicate
-from ..query.query import QuerySpec, RelationRef
+from ..query.query import AggregateSpec, QuerySpec, RelationRef
 
 
 #: Explicit join-graph topologies: the shapes whose enumeration asymptotics
@@ -237,6 +238,55 @@ def execution_workload(
     return spec, datagen
 
 
+def grouped_execution_workload(
+    n_relations: int = 4,
+    rows_per_table: int = 1000,
+    *,
+    topology: str = "chain",
+    match_factor: int = 4,
+    index_probability: float = 0.5,
+    seed: int = 0,
+    order_grouping: bool = True,
+) -> tuple[QuerySpec, dict]:
+    """An :func:`execution_workload` query with a GROUP BY and aggregates.
+
+    Groups on the first join attribute and computes ``count(*)``,
+    ``sum``/``min``/``max`` over the last join attribute — every aggregate
+    family the engines implement, over columns guaranteed to exist in the
+    generated schema.  With ``order_grouping`` the query also orders by the
+    group key, the shape where an input ordering that covers the grouping
+    lets the planner pick the sort-free stream-aggregate; without it the
+    grouping is order-free and hash aggregation competes on cost alone.
+    """
+    spec, datagen = execution_workload(
+        n_relations,
+        rows_per_table,
+        topology=topology,
+        match_factor=match_factor,
+        index_probability=index_probability,
+        seed=seed,
+    )
+    key = spec.joins[0].left
+    value = spec.joins[-1].right
+    grouped = QuerySpec(
+        catalog=spec.catalog,
+        relations=spec.relations,
+        joins=spec.joins,
+        selections=spec.selections,
+        order_by=Ordering((key,)) if order_grouping else None,
+        group_by=(key,),
+        aggregates=(
+            AggregateSpec("count"),
+            AggregateSpec("sum", value),
+            AggregateSpec("min", value),
+            AggregateSpec("max", value),
+        ),
+        name=f"{spec.name}-grouped",
+        join_selectivities=dict(spec.join_selectivities),
+    )
+    return grouped, datagen
+
+
 def query_family(
     n_relations: int,
     extra_edges: int,
@@ -279,6 +329,7 @@ def template_variants(
                 + (EqualsConstant(target, f"{value_prefix}-{i}"),),
                 order_by=template.order_by,
                 group_by=template.group_by,
+                aggregates=template.aggregates,
                 name=f"{template.name}-v{i}",
                 join_selectivities=dict(template.join_selectivities),
             )

@@ -95,7 +95,21 @@ def spec_to_sql(spec: QuerySpec) -> str:
                 )
         else:  # pragma: no cover - SelectionPredicate is a closed union
             raise TypeError(f"unknown selection {selection!r}")
-    parts = [f"SELECT * FROM {froms}"]
+    if spec.aggregates:
+        # A grouped query with aggregates must spell out its select list:
+        # `SELECT *` would bind to plain projection and drop the aggregate
+        # outputs, so the round-trip property (parse(render(spec)) has the
+        # same plan-cache key) would silently fail.  Group keys come first,
+        # in GROUP BY order, then the aggregates — the spec's own output
+        # column order.
+        items = [str(a) for a in spec.group_by]
+        for aggregate in spec.aggregates:
+            argument = "*" if aggregate.argument is None else str(aggregate.argument)
+            items.append(f"{aggregate.function}({argument})")
+        select_list = ", ".join(items)
+    else:
+        select_list = "*"
+    parts = [f"SELECT {select_list} FROM {froms}"]
     if conditions:
         parts.append(f"WHERE {' AND '.join(conditions)}")
     if spec.group_by:

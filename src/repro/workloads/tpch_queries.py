@@ -19,7 +19,7 @@ from ..core.interesting import InterestingOrders
 from ..core.ordering import Ordering
 from ..query.analyzer import QueryOrderInfo, analyze
 from ..query.predicates import EqualsConstant, JoinPredicate, RangePredicate
-from ..query.query import QuerySpec, RelationRef
+from ..query.query import AggregateSpec, QuerySpec, RelationRef
 
 
 def _a(text: str) -> Attribute:
@@ -59,6 +59,10 @@ def q8_query(scale: float = 0.1) -> QuerySpec:
         ),
         group_by=(_a("orders.o_year"),),
         order_by=Ordering([_a("orders.o_year")]),
+        aggregates=(
+            AggregateSpec("count"),
+            AggregateSpec("sum", _a("lineitem.l_discount")),
+        ),
         name="tpcr-q8",
     )
 
@@ -144,6 +148,7 @@ def q3_query(scale: float = 0.1) -> QuerySpec:
         ),
         group_by=(_a("lineitem.l_orderkey"), _a("orders.o_orderdate")),
         order_by=Ordering([_a("lineitem.l_orderkey")]),
+        aggregates=(AggregateSpec("sum", _a("lineitem.l_discount")),),
         name="tpcr-q3",
     )
 
@@ -179,6 +184,7 @@ def q5_query(scale: float = 0.1) -> QuerySpec:
             ),
         ),
         group_by=(_a("nation.n_name"),),
+        aggregates=(AggregateSpec("sum", _a("lineitem.l_discount")),),
         name="tpcr-q5",
     )
 
@@ -207,6 +213,10 @@ def q10_query(scale: float = 0.1) -> QuerySpec:
         ),
         group_by=(_a("customer.c_custkey"),),
         order_by=Ordering([_a("customer.c_custkey")]),
+        aggregates=(
+            AggregateSpec("count"),
+            AggregateSpec("sum", _a("lineitem.l_discount")),
+        ),
         name="tpcr-q10",
     )
 

@@ -1,0 +1,277 @@
+"""Differential tests for GROUP BY / DISTINCT execution.
+
+Every grouped query must answer bit-identically — tuple for tuple, in
+order — on the row-dict reference oracle, the vectorized engine, the
+NumPy engine, and both morsel-parallel engines.  The grid crosses the
+aggregate operators (stream vs. hash), every aggregate function, and the
+data shapes that historically break aggregation kernels: empty inputs,
+all-duplicate keys, and key runs straddling morsel boundaries.
+"""
+
+import pytest
+
+from repro.catalog.schema import Catalog, Column, Index, Table, simple_table
+from repro.core.attributes import Attribute
+from repro.core.ordering import ordering
+from repro.exec import (
+    NUMPY_AVAILABLE,
+    ExecutionConfig,
+    NumpyEngine,
+    ParallelNumpyEngine,
+    ParallelVectorEngine,
+    RowEngine,
+    VectorEngine,
+    generate_dataset,
+)
+from repro.exec.aggregate import (
+    finalize_state,
+    hash_aggregate_rows,
+    merge_state,
+    new_state,
+    output_attributes,
+    stream_aggregate_rows,
+    update_state,
+)
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+from repro.plangen.plan import HASH_AGGREGATE, SORT, STREAM_AGGREGATE
+from repro.query.predicates import JoinPredicate
+from repro.query.query import AggregateSpec, make_query
+
+AGG_CONFIG = PlanGenConfig(enable_aggregation=True)
+
+
+def plan_for(spec):
+    return PlanGenerator(spec, FsmBackend(), config=AGG_CONFIG).run().best_plan
+
+
+def all_engines(batch_size=16, morsel_size=3):
+    """The row oracle first, then every engine this environment has.
+
+    ``morsel_size=3`` is deliberately smaller than every duplicate-key run
+    the generated datasets contain, so the parallel engines must merge
+    partial aggregation states across morsel boundaries to agree."""
+    config = ExecutionConfig(batch_size=batch_size, check_merge_inputs=True)
+    parallel_config = ExecutionConfig(
+        batch_size=batch_size,
+        check_merge_inputs=True,
+        workers=2,
+        morsel_size=morsel_size,
+        parallel_mode="thread",
+    )
+    engines = [
+        ("row", RowEngine(config)),
+        ("vector", VectorEngine(config)),
+        ("parallel-vector", ParallelVectorEngine(parallel_config)),
+    ]
+    if NUMPY_AVAILABLE:
+        engines.append(("numpy", NumpyEngine(config)))
+        engines.append(("parallel-numpy", ParallelNumpyEngine(parallel_config)))
+    return engines
+
+
+def assert_identical(spec, dataset):
+    plan = plan_for(spec)
+    engines = all_engines()
+    reference = engines[0][1].execute(plan, spec, dataset).rows()
+    for name, engine in engines[1:]:
+        rows = engine.execute(plan, spec, dataset).rows()
+        assert rows == reference, f"{name} diverged from row on {spec.name}"
+    return plan, reference
+
+
+def int_catalog():
+    """Two joinable tables whose columns all declare ``dtype="int"`` — the
+    declaration the parallel engines require before they trust per-morsel
+    partial SUM/AVG states (float addition does not reassociate)."""
+
+    def table(name, cols, clustered):
+        return Table(
+            name=name,
+            columns=tuple(Column(c, dtype="int") for c in cols),
+            cardinality=1000,
+            indexes=(Index(f"idx_{name}", name, (clustered,), clustered=True),),
+        )
+
+    return Catalog().add(table("t", ["a", "k"], "a")).add(table("u", ["b", "k"], "b"))
+
+
+ALL_FUNCTIONS = (
+    AggregateSpec("count"),
+    AggregateSpec("sum", Attribute("k", "t")),
+    AggregateSpec("avg", Attribute("k", "t")),
+    AggregateSpec("min", Attribute("k", "u")),
+    AggregateSpec("max", Attribute("k", "u")),
+)
+
+
+def grouped_spec(catalog, *, order=True, name="grouped"):
+    return make_query(
+        catalog,
+        ["t", "u"],
+        [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+        group_by=(Attribute("a", "t"),),
+        order_by=ordering("t.a") if order else None,
+        aggregates=ALL_FUNCTIONS,
+        name=name,
+    )
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stream_aggregate_all_functions(self, seed):
+        spec = grouped_spec(int_catalog(), name=f"stream-s{seed}")
+        dataset = generate_dataset(spec, rows_per_table=40, seed=seed)
+        plan, rows = assert_identical(spec, dataset)
+        assert any(n.op == STREAM_AGGREGATE for n in plan.operators())
+        assert rows, "expected at least one group"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hash_aggregate_all_functions(self, seed):
+        catalog = int_catalog()
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+            group_by=(Attribute("k", "u"),),
+            aggregates=ALL_FUNCTIONS,
+            name=f"hash-s{seed}",
+        )
+        dataset = generate_dataset(spec, rows_per_table=40, seed=seed)
+        plan, rows = assert_identical(spec, dataset)
+        assert any(n.op == HASH_AGGREGATE for n in plan.operators())
+        assert rows
+
+    def test_distinct_keys_only(self):
+        catalog = int_catalog()
+        spec = make_query(
+            catalog,
+            ["t", "u"],
+            [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+            group_by=(Attribute("k", "t"), Attribute("k", "u")),
+            name="distinct",
+        )
+        dataset = generate_dataset(spec, rows_per_table=40, seed=2)
+        _, rows = assert_identical(spec, dataset)
+        distinct = {tuple(sorted((str(k), v) for k, v in row.items())) for row in rows}
+        assert len(distinct) == len(rows), "DISTINCT emitted a duplicate"
+
+    def test_empty_input(self):
+        spec = grouped_spec(int_catalog(), name="empty")
+        dataset = generate_dataset(spec, rows_per_table=40, seed=0)
+        from repro.exec.data import Dataset
+
+        empty = Dataset(
+            {alias: batch.slice(0, 0) for alias, batch in dataset.tables.items()}
+        )
+        plan = plan_for(spec)
+        for name, engine in all_engines():
+            assert engine.execute(plan, spec, empty).rows() == [], name
+
+    def test_all_duplicate_keys(self):
+        """domain=1 collapses every key into one run longer than any
+        morsel/batch — the worst case for run detection and merging."""
+        spec = grouped_spec(int_catalog(), name="dup")
+        dataset = generate_dataset(
+            spec, rows_per_table=30, default_domain=1, seed=4
+        )
+        _, rows = assert_identical(spec, dataset)
+        assert len(rows) <= 2
+
+    def test_runs_straddle_morsel_and_batch_boundaries(self):
+        """Tiny batches and morsels force every group to span boundaries."""
+        spec = grouped_spec(int_catalog(), name="straddle")
+        dataset = generate_dataset(
+            spec, rows_per_table=50, default_domain=3, seed=5
+        )
+        plan = plan_for(spec)
+        reference = None
+        for batch_size, morsel_size in ((4, 2), (16, 3), (64, 7)):
+            for name, engine in all_engines(batch_size, morsel_size):
+                rows = engine.execute(plan, spec, dataset).rows()
+                if reference is None:
+                    reference = rows
+                assert rows == reference, (name, batch_size, morsel_size)
+
+    def test_float_sums_fall_back_to_serial_order(self):
+        """Without ``dtype="int"`` declarations the parallel engines must
+        not re-associate SUM/AVG — partial aggregation is gated off, and
+        results still match the serial oracle exactly."""
+        catalog = (
+            Catalog()
+            .add(simple_table("t", ["a", "k"], 1000, clustered_on="a"))
+            .add(simple_table("u", ["b", "k"], 1000, clustered_on="b"))
+        )
+        spec = grouped_spec(catalog, order=False, name="nohints")
+        dataset = generate_dataset(spec, rows_per_table=40, seed=6)
+        assert_identical(spec, dataset)
+
+    def test_avg_is_a_python_float_everywhere(self):
+        spec = grouped_spec(int_catalog(), name="avg-type")
+        dataset = generate_dataset(spec, rows_per_table=40, seed=7)
+        plan = plan_for(spec)
+        avg_attr = AggregateSpec("avg", Attribute("k", "t")).output
+        for name, engine in all_engines():
+            for row in engine.execute(plan, spec, dataset).rows():
+                assert type(row[avg_attr]) in (int, float), name
+
+
+class TestAccumulatorAlgebra:
+    """The per-function fold/merge/finalize algebra the kernels share."""
+
+    def test_count_star(self):
+        state = new_state("count")
+        for _ in range(3):
+            state = update_state("count", state, None)
+        assert finalize_state("count", state) == 3
+
+    def test_sum_ignores_no_rows(self):
+        assert finalize_state("sum", new_state("sum")) is None
+
+    def test_avg_true_division(self):
+        state = new_state("avg")
+        for value in (1, 2):
+            state = update_state("avg", state, value)
+        assert finalize_state("avg", state) == 1.5
+
+    def test_merge_associates_with_sequential_fold(self):
+        values = [5, 1, 4, 2, 8]
+        for function in ("count", "sum", "min", "max", "avg"):
+            sequential = new_state(function)
+            for value in values:
+                sequential = update_state(function, sequential, value)
+            left = new_state(function)
+            for value in values[:2]:
+                left = update_state(function, left, value)
+            right = new_state(function)
+            for value in values[2:]:
+                right = update_state(function, right, value)
+            merged = merge_state(function, left, right)
+            assert finalize_state(function, merged) == finalize_state(
+                function, sequential
+            )
+
+    def test_merge_with_empty_side(self):
+        for function in ("count", "sum", "min", "max", "avg"):
+            state = update_state(function, new_state(function), 7)
+            assert merge_state(function, state, new_state(function)) == state
+            assert merge_state(function, new_state(function), state) == state
+
+    def test_output_attributes_order(self):
+        keys = (Attribute("a", "t"),)
+        aggs = (AggregateSpec("count"), AggregateSpec("sum", Attribute("k", "t")))
+        assert output_attributes(keys, aggs) == (
+            Attribute("a", "t"),
+            Attribute("count(*)"),
+            Attribute("sum(t.k)"),
+        )
+
+    def test_row_level_stream_equals_hash_on_sorted_input(self):
+        keys = (Attribute("g"),)
+        aggs = (AggregateSpec("count"), AggregateSpec("sum", Attribute("v")))
+        rows = [
+            {Attribute("g"): g, Attribute("v"): v}
+            for g, v in ((1, 10), (1, 20), (2, 5), (3, 1), (3, 2))
+        ]
+        assert list(stream_aggregate_rows(rows, keys, aggs)) == list(
+            hash_aggregate_rows(rows, keys, aggs)
+        )

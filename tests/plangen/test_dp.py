@@ -292,3 +292,55 @@ class TestStats:
         spec = two_table_query(two_table_catalog())
         result = generate_plan(spec, FsmBackend())
         assert set(result.tables) == {0b01, 0b10, 0b11}
+
+
+class TestAggregatePlanning:
+    """The aggregate operators and the post-aggregate order state."""
+
+    AGG_CONFIG = PlanGenConfig(enable_aggregation=True)
+
+    def test_stream_aggregate_projects_state_to_group_keys(self):
+        """Regression: the stream-aggregate node used to carry its input's
+        order state unchanged, claiming orderings over attributes the
+        aggregated output no longer even contains."""
+        backend = FsmBackend()
+        spec = two_table_query(
+            two_table_catalog(), group_by=(Attribute("b", "u"),)
+        )
+        result = generate_plan(spec, backend, config=self.AGG_CONFIG)
+        top = result.best_plan
+        assert top.op == "stream_aggregate"
+        # Without an ORDER BY the aggregate makes no ordering promise at
+        # all, in particular not the input order it consumed.
+        assert not backend.satisfies(top.state, ordering("t.a"))
+        assert not backend.satisfies(top.state, ordering("u.b"))
+
+    def test_order_covered_by_grouping_needs_no_sort(self):
+        backend = FsmBackend()
+        spec = two_table_query(
+            two_table_catalog(),
+            group_by=(Attribute("a", "t"),),
+            order_by=ordering("t.a"),
+        )
+        result = generate_plan(spec, backend, config=self.AGG_CONFIG)
+        top = result.best_plan
+        assert top.op == "stream_aggregate"
+        assert all(node.op != SORT for node in top.operators())
+        # The projected state still carries the ORDER BY the grouping covers.
+        assert backend.satisfies(top.state, ordering("t.a"))
+
+    def test_order_by_outside_group_keys_rejected(self):
+        spec = two_table_query(
+            two_table_catalog(),
+            group_by=(Attribute("k", "t"),),
+            order_by=ordering("t.a"),
+        )
+        with pytest.raises(RuntimeError, match="GROUP BY"):
+            generate_plan(spec, FsmBackend(), config=self.AGG_CONFIG)
+
+    def test_aggregate_detail_names_the_group_keys(self):
+        spec = two_table_query(
+            two_table_catalog(), group_by=(Attribute("a", "t"),)
+        )
+        result = generate_plan(spec, FsmBackend(), config=self.AGG_CONFIG)
+        assert result.best_plan.detail == "t.a"

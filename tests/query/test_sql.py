@@ -6,7 +6,9 @@ from repro.catalog.schema import Catalog, simple_table
 from repro.core.attributes import Attribute
 from repro.core.ordering import Ordering
 from repro.query.predicates import EqualsConstant, JoinPredicate, RangePredicate
+from repro.query.query import AggregateSpec
 from repro.query.sql import (
+    AggregateItem,
     Between,
     BindError,
     ColumnRef,
@@ -98,13 +100,47 @@ class TestParser:
         assert not stmt.order_by[0].descending
         assert stmt.order_by[1].descending
 
-    def test_order_then_group_any_clause_order(self):
-        stmt = parse_sql("select * from t order by a group by b")
-        assert stmt.order_by and stmt.group_by
+    def test_group_by_after_order_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="GROUP BY must precede ORDER BY"):
+            parse_sql("select * from t order by a group by b")
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate GROUP BY"):
+            parse_sql("select * from t group by a group by b")
+
+    def test_duplicate_order_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate ORDER BY"):
+            parse_sql("select * from t order by a order by b")
 
     def test_string_literal_condition(self):
         stmt = parse_sql("select * from t where name = 'Bob'")
         assert stmt.conditions[0].right == Literal("Bob")
+
+    def test_distinct(self):
+        stmt = parse_sql("select distinct a, b from t")
+        assert stmt.distinct
+        assert stmt.select_items == (ColumnRef("a"), ColumnRef("b"))
+
+    def test_distinct_star(self):
+        stmt = parse_sql("select distinct * from t")
+        assert stmt.distinct and stmt.select_star
+
+    def test_aggregate_items(self):
+        stmt = parse_sql("select a, count(*), sum(t.k) from t group by a")
+        assert stmt.select_items == (
+            ColumnRef("a"),
+            AggregateItem("count", None),
+            AggregateItem("sum", ColumnRef("k", "t")),
+        )
+
+    def test_aggregate_names_stay_contextual(self):
+        """``count`` not followed by ``(`` is an ordinary column name."""
+        stmt = parse_sql("select count from t")
+        assert stmt.select_items == (ColumnRef("count"),)
+
+    def test_star_argument_only_for_count(self):
+        with pytest.raises(SqlSyntaxError, match=r"only count\(\*\)"):
+            parse_sql("select sum(*) from t group by a")
 
     def test_trailing_garbage_rejected(self):
         with pytest.raises(SqlSyntaxError, match="trailing"):
@@ -202,6 +238,54 @@ class TestBinder:
     def test_group_by_binds(self, catalog):
         spec = sql_to_query("select * from jobs group by salary", catalog)
         assert spec.group_by == (Attribute("salary", "jobs"),)
+
+    def test_aggregates_bind(self, catalog):
+        spec = sql_to_query(
+            "select salary, count(*), min(jobs.id) from jobs group by salary",
+            catalog,
+        )
+        assert spec.group_by == (Attribute("salary", "jobs"),)
+        assert spec.aggregates == (
+            AggregateSpec("count"),
+            AggregateSpec("min", Attribute("id", "jobs")),
+        )
+
+    def test_aggregate_without_group_by_rejected(self, catalog):
+        with pytest.raises(BindError, match="GROUP BY"):
+            sql_to_query("select count(*) from jobs", catalog)
+
+    def test_select_item_outside_grouping_rejected(self, catalog):
+        with pytest.raises(BindError, match="neither a GROUP BY key"):
+            sql_to_query(
+                "select id, count(*) from jobs group by salary", catalog
+            )
+
+    def test_distinct_lowers_to_grouping(self, catalog):
+        spec = sql_to_query("select distinct salary, id from jobs", catalog)
+        assert spec.group_by == (
+            Attribute("salary", "jobs"),
+            Attribute("id", "jobs"),
+        )
+        assert spec.aggregates == ()
+
+    def test_distinct_star_groups_on_every_column(self, catalog):
+        spec = sql_to_query("select distinct * from jobs", catalog)
+        assert spec.group_by == (
+            Attribute("id", "jobs"),
+            Attribute("salary", "jobs"),
+        )
+
+    def test_distinct_with_group_by_rejected(self, catalog):
+        with pytest.raises(BindError, match="DISTINCT"):
+            sql_to_query(
+                "select distinct salary from jobs group by salary", catalog
+            )
+
+    def test_distinct_with_aggregates_rejected(self, catalog):
+        with pytest.raises(BindError, match="DISTINCT"):
+            sql_to_query(
+                "select distinct count(*) from jobs group by id", catalog
+            )
 
 
 class TestEndToEndSQL:

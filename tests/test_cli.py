@@ -172,6 +172,51 @@ def test_run_all_engines_three_way_differential(capsys):
         assert "numpy" not in out
 
 
+def test_plan_grouped_query_uses_aggregate_operator(capsys):
+    sql = (
+        "select orders.o_year, count(*) from orders, lineitem "
+        "where orders.o_orderkey = lineitem.l_orderkey "
+        "group by orders.o_year"
+    )
+    assert main(["plan", "--catalog", "tpch", sql]) == 0
+    out = capsys.readouterr().out
+    assert "aggregate" in out  # stream_aggregate or hash_aggregate
+    assert "count(*)" in out
+
+
+def test_prepare_grouped_query_reports_the_grouping(capsys):
+    sql = (
+        "select customer.c_custkey, count(*) from customer, orders "
+        "where customer.c_custkey = orders.o_custkey "
+        "group by customer.c_custkey"
+    )
+    assert main(["prepare", "--catalog", "tpch", sql]) == 0
+    out = capsys.readouterr().out
+    assert "grouping: {customer.c_custkey}" in out
+
+
+def test_run_grouped_query_all_engines_agree(capsys):
+    sql = (
+        "select orders.o_year, count(*), sum(lineitem.l_discount) "
+        "from orders, lineitem "
+        "where orders.o_orderkey = lineitem.l_orderkey "
+        "group by orders.o_year order by orders.o_year"
+    )
+    assert main(["run", "--catalog", "tpch", "--engine", "all",
+                 "--rows", "80", sql]) == 0
+    out = capsys.readouterr().out
+    assert "aggregate" in out
+    assert "engines agree" in out
+
+
+def test_run_distinct_all_engines_agree(capsys):
+    sql = "select distinct orders.o_year from orders"
+    assert main(["run", "--catalog", "tpch", "--engine", "all",
+                 "--rows", "60", sql]) == 0
+    out = capsys.readouterr().out
+    assert "engines agree (7 row(s))" in out or "engines agree" in out
+
+
 def test_q8(capsys):
     assert main(["q8"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Golden ``explain analyze`` snapshots for the *aggregated* TPC-H/R plans.
+
+The plain analyze snapshots (``test_golden_analyze.py``) plan with the
+library default config, where aggregation is off and a GROUP BY only
+shapes the interesting orders.  This suite plans the same queries with
+``enable_aggregation=True`` — the service-stack default since the GROUP
+BY surface landed — so the chosen plans carry real stream-/hash-aggregate
+operators, and snapshots their executed operator trees per engine under
+``tests/golden/<name>.agg.analyze.txt`` (vector) and
+``tests/golden/<name>.<engine>.agg.analyze.txt``.
+
+    PYTHONPATH=src python -m pytest tests/workloads/test_golden_agg.py \
+        --update-golden
+
+rewrites the snapshots, landing any drift in the change's own diff.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    NUMPY_AVAILABLE,
+    ExecutionConfig,
+    RowEngine,
+    generate_dataset,
+    make_engine,
+    render_analyze,
+)
+from repro.plangen import FsmBackend, PlanGenConfig, PlanGenerator
+from repro.plangen.plan import HASH_AGGREGATE, STREAM_AGGREGATE
+from repro.workloads import ALL_TPCH_QUERIES
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+ROWS_PER_TABLE = 60
+SEED = 7
+BATCH_SIZE = 16
+
+AGG_CONFIG = PlanGenConfig(enable_aggregation=True)
+
+SNAPSHOT_ENGINES = (
+    ("vector", "numpy", "parallel-vector") if NUMPY_AVAILABLE else ("vector",)
+)
+
+
+def golden_path(name: str, engine_name: str) -> Path:
+    suffix = "" if engine_name == "vector" else f".{engine_name}"
+    return GOLDEN_DIR / f"{name}{suffix}.agg.analyze.txt"
+
+
+def analyzed_snapshot(name: str, engine_name: str = "vector"):
+    """(snapshot text, spec, plan, dataset, result) for one grouped query."""
+    spec = ALL_TPCH_QUERIES[name]()
+    plan = PlanGenerator(spec, FsmBackend(), config=AGG_CONFIG).run().best_plan
+    dataset = generate_dataset(spec, rows_per_table=ROWS_PER_TABLE, seed=SEED)
+    workers = 2 if engine_name.startswith("parallel-") else 1
+    engine = make_engine(
+        engine_name,
+        ExecutionConfig(
+            batch_size=BATCH_SIZE,
+            check_merge_inputs=True,
+            workers=workers,
+            morsel_size=16,
+            parallel_mode="thread",
+        ),
+    )
+    result = engine.execute(plan, spec, dataset)
+    header = (
+        f"# golden aggregated explain-analyze for {spec.name}\n"
+        f"# engine={engine_name} rows_per_table={ROWS_PER_TABLE} seed={SEED} "
+        f"batch_size={BATCH_SIZE}\n"
+        f"# regenerate: PYTHONPATH=src python -m pytest "
+        f"tests/workloads/test_golden_agg.py --update-golden"
+    )
+    text = render_analyze(result, header=header) + "\n"
+    return text, spec, plan, dataset, result
+
+
+@pytest.mark.parametrize("engine_name", SNAPSHOT_ENGINES)
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_golden_aggregated_analyze(name: str, engine_name: str, update_golden: bool):
+    snapshot, _, plan, _, _ = analyzed_snapshot(name, engine_name)
+    assert any(
+        node.op in (STREAM_AGGREGATE, HASH_AGGREGATE) for node in plan.operators()
+    ), f"{name} planned without an aggregate operator"
+    path = golden_path(name, engine_name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(snapshot)
+        return
+    assert path.exists(), (
+        f"no golden aggregated snapshot for {name} ({engine_name}); "
+        "create it with --update-golden"
+    )
+    golden = path.read_text()
+    if snapshot != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                snapshot.splitlines(),
+                fromfile=f"golden/{path.name}",
+                tofile="freshly executed",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"aggregated analyze drift for {name} ({engine_name}) — if "
+            f"intended, rerun with --update-golden and commit the change:\n"
+            f"{diff}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TPCH_QUERIES))
+def test_row_engine_matches_the_aggregated_golden(name: str):
+    """Differential anchor: the reference row engine answers each grouped
+    plan with the *identical ordered row list* (aggregation output order
+    is deterministic, so multiset equality would be too weak)."""
+    _, spec, plan, dataset, vector = analyzed_snapshot(name)
+    row = RowEngine(ExecutionConfig(check_merge_inputs=True)).execute(
+        plan, spec, dataset
+    )
+    assert row.rows() == vector.rows()

@@ -4,9 +4,14 @@ JSONL journals, closed-loop load runs, and bit-for-bit replay."""
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.catalog.schema import Catalog, simple_table
-from repro.query.query import QuerySpec, RelationRef
+from repro.core.attributes import Attribute
+from repro.core.ordering import Ordering
+from repro.query.predicates import JoinPredicate
+from repro.query.query import AggregateSpec, QuerySpec, RelationRef, make_query
 from repro.query.sql import sql_to_query
 from repro.service import PoolFrontend, canonical_query_key, template_signature
 from repro.workloads import (
@@ -60,6 +65,52 @@ def test_spec_to_sql_round_trips_the_canonical_key():
             # (relations, predicates, orderings) must match exactly.
             assert canonical_query_key(rebound)[1:] == canonical_query_key(spec)[1:]
     assert len(seen) >= 3  # the sample really covered multiple templates
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_grouped_spec_to_sql_round_trips_the_canonical_key(data):
+    """Property (regression): grouped specs — GROUP BY, aggregates, an
+    ORDER BY covered by the grouping — render to SQL that binds back to
+    the same canonical plan-cache key.  ``spec_to_sql`` used to emit
+    ``SELECT *`` for aggregated specs, silently dropping the aggregate
+    list on the round trip."""
+    catalog = (
+        Catalog()
+        .add(simple_table("t", ["a", "k"], 500, clustered_on="a"))
+        .add(simple_table("u", ["b", "v"], 500))
+    )
+    columns = [
+        Attribute("a", "t"),
+        Attribute("k", "t"),
+        Attribute("b", "u"),
+        Attribute("v", "u"),
+    ]
+    group_by = tuple(
+        data.draw(
+            st.lists(st.sampled_from(columns), min_size=1, max_size=3, unique=True)
+        )
+    )
+    functions = st.sampled_from(["count", "sum", "min", "max", "avg"])
+    aggregates = []
+    for function in data.draw(st.lists(functions, min_size=0, max_size=4)):
+        argument = (
+            None if function == "count" else data.draw(st.sampled_from(columns))
+        )
+        aggregates.append(AggregateSpec(function, argument))
+    order_len = data.draw(st.integers(min_value=0, max_value=len(group_by)))
+    order_by = Ordering(group_by[:order_len]) if order_len else None
+    spec = make_query(
+        catalog,
+        ["t", "u"],
+        [JoinPredicate(Attribute("a", "t"), Attribute("b", "u"))],
+        group_by=group_by,
+        order_by=order_by,
+        aggregates=tuple(aggregates),
+        name="grouped-roundtrip",
+    )
+    rebound = sql_to_query(spec_to_sql(spec), catalog)
+    assert canonical_query_key(rebound)[1:] == canonical_query_key(spec)[1:]
 
 
 def test_spec_to_sql_rejects_what_sql_cannot_carry():
